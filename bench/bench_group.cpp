@@ -1,0 +1,113 @@
+// E8: group-substrate anchor — modular exponentiation and multi-exponentiation
+// cost per parameter set. Every other experiment's absolute numbers are
+// multiples of these.
+#include <benchmark/benchmark.h>
+
+#include "group/fixed_base.h"
+#include "rng/chacha_rng.h"
+
+namespace {
+
+using namespace dfky;
+
+const GroupParams& params_for(int idx) {
+  static const std::array<GroupParams, 5> kAll = {
+      GroupParams::named(ParamId::kTest128), GroupParams::named(ParamId::kSec256),
+      GroupParams::named(ParamId::kSec512), GroupParams::named(ParamId::kSec1024),
+      GroupParams::named(ParamId::kSec2048)};
+  return kAll.at(static_cast<std::size_t>(idx));
+}
+
+void BM_ModExp(benchmark::State& state) {
+  const Group g(params_for(static_cast<int>(state.range(0))));
+  ChaChaRng rng(1);
+  const Gelt base = g.random_element(rng);
+  const Bigint e = g.random_exponent(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.pow(base, e));
+  }
+  state.SetLabel(std::to_string(g.p().bit_length()) + "-bit p");
+}
+BENCHMARK(BM_ModExp)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
+
+void BM_MultiExp(benchmark::State& state) {
+  const Group g(GroupParams::named(ParamId::kSec512));
+  ChaChaRng rng(2);
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  std::vector<Gelt> bases;
+  std::vector<Bigint> exps;
+  for (std::size_t i = 0; i < k; ++i) {
+    bases.push_back(g.random_element(rng));
+    exps.push_back(g.random_exponent(rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multiexp(g, bases, exps));
+  }
+  state.counters["terms"] = static_cast<double>(k);
+}
+BENCHMARK(BM_MultiExp)->RangeMultiplier(2)->Range(2, 64)->Unit(benchmark::kMicrosecond);
+
+void BM_NaiveProductOfPows(benchmark::State& state) {
+  // The baseline multiexp replaces: k independent pow + mul.
+  const Group g(GroupParams::named(ParamId::kSec512));
+  ChaChaRng rng(3);
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  std::vector<Gelt> bases;
+  std::vector<Bigint> exps;
+  for (std::size_t i = 0; i < k; ++i) {
+    bases.push_back(g.random_element(rng));
+    exps.push_back(g.random_exponent(rng));
+  }
+  for (auto _ : state) {
+    Gelt acc = g.one();
+    for (std::size_t i = 0; i < k; ++i) {
+      acc = g.mul(acc, g.pow(bases[i], exps[i]));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["terms"] = static_cast<double>(k);
+}
+BENCHMARK(BM_NaiveProductOfPows)->RangeMultiplier(2)->Range(2, 64)->Unit(benchmark::kMicrosecond);
+
+void BM_EcScalarMul(benchmark::State& state) {
+  // The elliptic-curve backend's cost anchor (secp256k1 or P-256).
+  const Group g(state.range(0) == 0 ? CurveSpec::secp256k1()
+                                    : CurveSpec::p256());
+  ChaChaRng rng(5);
+  const Gelt base = g.random_element(rng);
+  const Bigint e = g.random_exponent(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.pow(base, e));
+  }
+  state.SetLabel(state.range(0) == 0 ? "secp256k1" : "P-256");
+}
+BENCHMARK(BM_EcScalarMul)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+void BM_FixedBasePow(benchmark::State& state) {
+  const Group g(GroupParams::named(ParamId::kSec512));
+  ChaChaRng rng(6);
+  const Gelt base = g.random_element(rng);
+  const FixedBaseTable table(g, base,
+                             static_cast<std::size_t>(state.range(0)));
+  const Bigint e = g.random_exponent(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.pow(g, e));
+  }
+  state.counters["window_bits"] = static_cast<double>(state.range(0));
+  state.counters["table_elems"] = static_cast<double>(table.table_size());
+}
+BENCHMARK(BM_FixedBasePow)->Arg(2)->Arg(4)->Arg(6)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+void BM_GroupEncode(benchmark::State& state) {
+  const Group g(GroupParams::named(ParamId::kSec512));
+  ChaChaRng rng(4);
+  const Bigint a = rng.uniform_below(g.order());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dfky::Gelt(Bigint((a + Bigint(1)) * (a + Bigint(1)) % g.p())));
+  }
+}
+BENCHMARK(BM_GroupEncode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

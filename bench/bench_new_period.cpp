@@ -1,0 +1,99 @@
+// E4: New-period cost (paper Sect. 4 + Remark).
+// Claims: the plain reset message carries 2v+2 ciphertexts of O(v) elements
+// each — O(v^2) communication; the hybrid variant drops this to O(v).
+// Both are independent of the number of users n.
+#include <cstdio>
+
+#include <chrono>
+
+#include "core/manager.h"
+#include "core/receiver.h"
+#include "rng/chacha_rng.h"
+
+using namespace dfky;
+
+namespace {
+
+SystemParams make_params(std::size_t v) {
+  ChaChaRng rng(42);
+  return SystemParams::create(Group(GroupParams::named(ParamId::kSec512)), v,
+                              rng);
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void wire_and_time_table() {
+  std::printf(
+      "# E4a: reset-message bytes & build time vs v (512-bit group)\n");
+  std::printf("%6s %16s %16s %10s %12s %12s\n", "v", "plain-bytes",
+              "hybrid-bytes", "ratio", "plain-ms", "hybrid-ms");
+  for (std::size_t v : {4, 8, 16, 32, 64}) {
+    const SystemParams sp = make_params(v);
+    ChaChaRng rng(1);
+    SecurityManager mgr_p(sp, rng, ResetMode::kPlain);
+    SecurityManager mgr_h(sp, rng, ResetMode::kHybrid);
+
+    auto t0 = std::chrono::steady_clock::now();
+    const auto plain = mgr_p.new_period(rng);
+    const double plain_ms = ms_since(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    const auto hybrid = mgr_h.new_period(rng);
+    const double hybrid_ms = ms_since(t0);
+
+    const std::size_t pb = plain.wire_size(sp.group);
+    const std::size_t hb = hybrid.wire_size(sp.group);
+    std::printf("%6zu %16zu %16zu %9.1fx %12.1f %12.1f\n", v, pb, hb,
+                static_cast<double>(pb) / static_cast<double>(hb), plain_ms,
+                hybrid_ms);
+  }
+}
+
+void population_independence_table() {
+  std::printf(
+      "\n# E4b: New-period cost vs population n (v = 8, hybrid)\n"
+      "#      claim: communication and time independent of n\n");
+  std::printf("%8s %14s %12s\n", "n", "bytes", "ms");
+  for (std::size_t n : {16, 128, 1024}) {
+    const SystemParams sp = make_params(8);
+    ChaChaRng rng(2);
+    SecurityManager mgr(sp, rng, ResetMode::kHybrid);
+    for (std::size_t i = 0; i < n; ++i) mgr.add_user(rng);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto bundle = mgr.new_period(rng);
+    const double ms = ms_since(t0);
+    std::printf("%8zu %14zu %12.1f\n", n, bundle.wire_size(sp.group), ms);
+  }
+}
+
+void receiver_update_table() {
+  std::printf(
+      "\n# E4c: receiver-side key-update time vs v (hybrid; one KEM\n"
+      "#      decryption of v+2 exps + polynomial evaluation)\n");
+  std::printf("%6s %12s\n", "v", "ms");
+  for (std::size_t v : {4, 8, 16, 32, 64}) {
+    const SystemParams sp = make_params(v);
+    ChaChaRng rng(3);
+    SecurityManager mgr(sp, rng, ResetMode::kHybrid);
+    const auto u = mgr.add_user(rng);
+    Receiver receiver(sp, u.key, mgr.verification_key());
+    const auto bundle = mgr.new_period(rng);
+    const auto t0 = std::chrono::steady_clock::now();
+    receiver.apply_reset(bundle);
+    std::printf("%6zu %12.1f\n", v, ms_since(t0));
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E4: New-period operation ===\n\n");
+  wire_and_time_table();
+  population_independence_table();
+  receiver_update_table();
+  return 0;
+}

@@ -1,0 +1,133 @@
+// E5: non-black-box tracing cost (paper Sect. 6.3.2, "Time-Complexity").
+// Claims: deterministic recovery of all <= m = floor(v/2) traitors;
+// O(n^2) with the paper's linear-algebra route (our kBerlekampWelch path),
+// improvable "in a more sophisticated manner" (our kSyndrome path:
+// O(n v + v^3)).
+#include <benchmark/benchmark.h>
+
+#include "tracing/list_tracing.h"
+#include "tracing/nonblackbox.h"
+#include "tracing/pirate.h"
+
+namespace {
+
+using namespace dfky;
+
+struct TraceBench {
+  SystemParams sp;
+  std::unique_ptr<SecurityManager> mgr;
+  Representation delta;
+
+  TraceBench(std::size_t v, std::size_t n, std::size_t coalition)
+      : sp(make_params(v)) {
+    ChaChaRng rng(7);
+    mgr = std::make_unique<SecurityManager>(sp, rng);
+    std::vector<UserKey> keys;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto u = mgr->add_user(rng);
+      if (keys.size() < coalition) keys.push_back(u.key);
+    }
+    delta = build_pirate_representation(sp, mgr->public_key(), keys, rng);
+  }
+
+  static SystemParams make_params(std::size_t v) {
+    ChaChaRng rng(42);
+    return SystemParams::create(Group(GroupParams::named(ParamId::kTest128)),
+                                v, rng);
+  }
+};
+
+void BM_TraceSyndrome_NSweep(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  TraceBench fx(16, n, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace_nonblackbox(
+        fx.sp, fx.mgr->public_key(), fx.delta, fx.mgr->users(),
+        TraceAlgorithm::kSyndrome));
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["traitors"] = 8;
+}
+BENCHMARK(BM_TraceSyndrome_NSweep)
+    ->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TraceBerlekampWelch_NSweep(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  TraceBench fx(16, n, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace_nonblackbox(
+        fx.sp, fx.mgr->public_key(), fx.delta, fx.mgr->users(),
+        TraceAlgorithm::kBerlekampWelch));
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["traitors"] = 8;
+}
+BENCHMARK(BM_TraceBerlekampWelch_NSweep)
+    ->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TraceSyndrome_CoalitionSweep(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  TraceBench fx(32, 512, m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace_nonblackbox(
+        fx.sp, fx.mgr->public_key(), fx.delta, fx.mgr->users(),
+        TraceAlgorithm::kSyndrome));
+  }
+  state.counters["traitors"] = static_cast<double>(m);
+}
+BENCHMARK(BM_TraceSyndrome_CoalitionSweep)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TraceSyndrome_VSweep(benchmark::State& state) {
+  const std::size_t v = static_cast<std::size_t>(state.range(0));
+  TraceBench fx(v, 256, v / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace_nonblackbox(
+        fx.sp, fx.mgr->public_key(), fx.delta, fx.mgr->users(),
+        TraceAlgorithm::kSyndrome));
+  }
+  state.counters["v"] = static_cast<double>(v);
+}
+BENCHMARK(BM_TraceSyndrome_VSweep)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+// Beyond-bound tracing (Sudan list decoding): coalition above m = v/2.
+// Low-rate regime: v = 20 slots, n = 24 users, coalition 12 > m = 10.
+void BM_TraceBeyondBound(benchmark::State& state) {
+  const std::size_t coalition = static_cast<std::size_t>(state.range(0));
+  TraceBench fx(20, 24, coalition);
+  ChaChaRng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace_beyond_bound(
+        fx.sp, fx.mgr->public_key(), fx.delta, fx.mgr->users(), coalition,
+        rng, &fx.mgr->master_secret()));
+  }
+  state.counters["traitors"] = static_cast<double>(coalition);
+  state.counters["unique_bound_m"] = 10;
+}
+BENCHMARK(BM_TraceBeyondBound)->Arg(11)->Arg(12)->Arg(13)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PirateConstruction(benchmark::State& state) {
+  // How cheap is the adversary's side? (context row)
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  TraceBench fx(16, 64, 1);
+  ChaChaRng rng(9);
+  std::vector<UserKey> keys;
+  SecurityManager& mgr = *fx.mgr;
+  for (std::size_t i = 0; i < m; ++i) keys.push_back(mgr.add_user(rng).key);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        build_pirate_representation(fx.sp, mgr.public_key(), keys, rng));
+  }
+  state.counters["traitors"] = static_cast<double>(m);
+}
+BENCHMARK(BM_PirateConstruction)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

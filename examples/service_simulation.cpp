@@ -1,0 +1,168 @@
+// Service simulation: a year in the life of a subscription service.
+//
+// Monte-Carlo churn: every "week" some users join, some cancel (revoked),
+// and occasionally a coalition of active subscribers leaks a pirate decoder
+// to the black market. The manager traces each seized decoder, revokes the
+// traitors, and the simulation verifies three invariants continuously:
+//   (1) every active subscriber decrypts every broadcast;
+//   (2) no revoked key (cancelled or traitor) ever decrypts again;
+//   (3) tracing always names exactly the leaking coalition.
+//
+// Build & run:  ./build/examples/service_simulation [weeks] [seed]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "core/manager.h"
+#include "rng/chacha_rng.h"
+#include "tracing/nonblackbox.h"
+#include "tracing/pirate.h"
+
+using namespace dfky;
+
+namespace {
+
+struct Subscriber {
+  UserKey key;
+  bool active = true;
+};
+
+struct Stats {
+  std::size_t joins = 0;
+  std::size_t cancels = 0;
+  std::size_t broadcasts = 0;
+  std::size_t decrypt_checks = 0;
+  std::size_t pirates_seized = 0;
+  std::size_t traitors_convicted = 0;
+  std::size_t periods = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int weeks = argc > 1 ? std::atoi(argv[1]) : 52;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+  ChaChaRng rng(seed);
+
+  const std::size_t v = 6;  // m = 3
+  const SystemParams sp = SystemParams::create(
+      Group(GroupParams::named(ParamId::kTest128)), v, rng);
+  SecurityManager mgr(sp, rng, ResetMode::kHybrid);
+  std::map<std::uint64_t, Subscriber> subs;
+  Stats st;
+
+  auto apply_bundle = [&](const SignedResetBundle& bundle) {
+    ++st.periods;
+    for (auto& [id, sub] : subs) {
+      if (!sub.active) continue;
+      const auto [d, e] = open_reset_message(sp, sub.key, bundle.reset);
+      const Zq& zq = sp.group.zq();
+      sub.key.ax = zq.add(sub.key.ax, d.eval(sub.key.x));
+      sub.key.bx = zq.add(sub.key.bx, e.eval(sub.key.x));
+      sub.key.period = bundle.reset.new_period;
+    }
+  };
+  auto revoke = [&](std::uint64_t id) {
+    const auto bundle = mgr.remove_user(id, rng);
+    subs.at(id).active = false;
+    if (bundle) apply_bundle(*bundle);
+  };
+
+  // Seed population.
+  for (int i = 0; i < 10; ++i) {
+    const auto u = mgr.add_user(rng);
+    subs.emplace(u.id, Subscriber{u.key, true});
+    ++st.joins;
+  }
+
+  for (int week = 1; week <= weeks; ++week) {
+    // Joins: 0..2 new subscribers.
+    for (std::uint64_t j = rng.u64() % 3; j > 0; --j) {
+      const auto u = mgr.add_user(rng);
+      subs.emplace(u.id, Subscriber{u.key, true});
+      ++st.joins;
+    }
+    // Cancellations: each active subscriber cancels w.p. ~1/16.
+    for (auto& [id, sub] : subs) {
+      if (sub.active && (rng.u64() & 15) == 0 && subs.size() > 4) {
+        revoke(id);
+        ++st.cancels;
+      }
+    }
+    // Piracy event roughly every 8 weeks: a coalition of up to m active
+    // subscribers leaks a decoder.
+    if (rng.u64() % 8 == 0) {
+      std::vector<std::uint64_t> coalition_ids;
+      std::vector<UserKey> coalition_keys;
+      for (const auto& [id, sub] : subs) {
+        if (sub.active && coalition_ids.size() < sp.max_collusion() &&
+            (rng.u64() & 1)) {
+          coalition_ids.push_back(id);
+          coalition_keys.push_back(sub.key);
+        }
+      }
+      if (!coalition_keys.empty()) {
+        const Representation pirate = build_pirate_representation(
+            sp, mgr.public_key(), coalition_keys, rng);
+        const TraceResult traced =
+            trace_nonblackbox(sp, mgr.public_key(), pirate, mgr.users());
+        ++st.pirates_seized;
+        // Invariant (3): exactly the coalition is convicted.
+        auto ids = traced.ids();
+        std::sort(ids.begin(), ids.end());
+        std::sort(coalition_ids.begin(), coalition_ids.end());
+        if (ids != coalition_ids) {
+          std::printf("week %d: TRACING MISMATCH\n", week);
+          return 1;
+        }
+        for (std::uint64_t id : ids) {
+          revoke(id);
+          ++st.traitors_convicted;
+        }
+      }
+    }
+    // Weekly broadcast; verify invariants (1) and (2).
+    const Gelt m = sp.group.random_element(rng);
+    const Ciphertext ct = encrypt(sp, mgr.public_key(), m, rng);
+    ++st.broadcasts;
+    for (const auto& [id, sub] : subs) {
+      ++st.decrypt_checks;
+      bool ok;
+      try {
+        UserKey k = sub.key;
+        k.period = ct.period;  // inactive keys are stale; force the attempt
+        ok = decrypt(sp, k, ct) == m;
+      } catch (const Error&) {
+        ok = false;
+      }
+      if (sub.active && !ok) {
+        std::printf("week %d: ACTIVE SUBSCRIBER #%llu LOCKED OUT\n", week,
+                    static_cast<unsigned long long>(id));
+        return 1;
+      }
+      if (!sub.active && ok) {
+        std::printf("week %d: REVOKED KEY #%llu STILL DECRYPTS\n", week,
+                    static_cast<unsigned long long>(id));
+        return 1;
+      }
+    }
+  }
+
+  std::size_t active = 0;
+  for (const auto& [id, sub] : subs) {
+    if (sub.active) ++active;
+  }
+  std::printf("simulated %d weeks (seed %llu) without invariant violations\n",
+              weeks, static_cast<unsigned long long>(seed));
+  std::printf("  joins:              %zu\n", st.joins);
+  std::printf("  cancellations:      %zu\n", st.cancels);
+  std::printf("  pirates seized:     %zu\n", st.pirates_seized);
+  std::printf("  traitors convicted: %zu\n", st.traitors_convicted);
+  std::printf("  period changes:     %zu (v = %zu)\n", st.periods, v);
+  std::printf("  broadcasts:         %zu (%zu decrypt checks)\n",
+              st.broadcasts, st.decrypt_checks);
+  std::printf("  final population:   %zu active / %zu total\n", active,
+              subs.size());
+  return 0;
+}

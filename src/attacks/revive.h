@@ -1,0 +1,37 @@
+// The "revive" attack (paper Sect. 1.3).
+//
+// In every prior public-key trace-and-revoke scheme with fixed ciphertext
+// size, a revoked adversary who keeps watching the system can regain
+// decryption capability once enough further revocations push her out of the
+// bounded revocation window. The paper's scheme *expires* such adversaries
+// instead: the New-period re-randomization makes their key information
+// permanently useless. This module stages the attack against both systems
+// and reports who survives.
+#pragma once
+
+#include "baselines/bounded_trace_revoke.h"
+#include "core/manager.h"
+
+namespace dfky {
+
+struct ReviveOutcome {
+  /// Could the revoked adversary decrypt immediately after being revoked?
+  bool baseline_decrypts_when_revoked = false;
+  bool scheme_decrypts_when_revoked = false;
+  /// ...and after v further revocations (baseline window overflow /
+  /// scheme period change)?
+  bool baseline_revived = false;
+  bool scheme_revived = false;
+  /// Extra diagnostics: number of further revocations staged.
+  std::size_t extra_revocations = 0;
+};
+
+/// Stages the attack: subscribe adversary + population, revoke the
+/// adversary, then revoke v more users. In the baseline (kDropOldest) the
+/// adversary's entry falls out of the revocation list; in the paper's scheme
+/// the same pressure triggers a New-period the adversary cannot follow.
+/// The adversary attack against the scheme tries both its raw (stale) key
+/// and the reset message it eavesdropped.
+ReviveOutcome run_revive_attack(const SystemParams& sp, Rng& rng);
+
+}  // namespace dfky

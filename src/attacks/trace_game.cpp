@@ -1,0 +1,61 @@
+#include "attacks/trace_game.h"
+
+namespace dfky {
+
+TraceGame::TraceGame(SystemParams sp, Rng& rng)
+    : manager_(std::move(sp), rng) {}
+
+UserKey TraceGame::join(const Bigint& x) {
+  require(traitor_ids_.size() < manager_.params().max_collusion(),
+          "TraceGame: at most m Join queries");
+  const auto added = manager_.add_user_with_value(x);
+  traitor_ids_.push_back(added.id);
+  traitor_keys_.push_back(added.key);
+  return added.key;
+}
+
+std::uint64_t TraceGame::add_honest(Rng& rng) {
+  return manager_.add_user(rng).id;
+}
+
+void TraceGame::apply_reset_to_traitors(const SignedResetBundle& bundle) {
+  const SystemParams& sp = manager_.params();
+  const Zq& zq = sp.group.zq();
+  for (UserKey& key : traitor_keys_) {
+    const auto [d, e] = open_reset_message(sp, key, bundle.reset);
+    key.ax = zq.add(key.ax, d.eval(key.x));
+    key.bx = zq.add(key.bx, e.eval(key.x));
+    key.period = bundle.reset.new_period;
+  }
+}
+
+void TraceGame::revoke_honest(std::uint64_t id, Rng& rng) {
+  for (std::uint64_t t : traitor_ids_) {
+    require(t != id, "TraceGame: Revoke oracle rejects traitors");
+  }
+  const auto bundle = manager_.remove_user(id, rng);
+  if (bundle) apply_reset_to_traitors(*bundle);
+}
+
+void TraceGame::force_new_period(Rng& rng) {
+  apply_reset_to_traitors(manager_.new_period(rng));
+}
+
+Representation TraceGame::build_pirate(Rng& rng) const {
+  return build_pirate_representation(manager_.params(), manager_.public_key(),
+                                     traitor_keys_, rng);
+}
+
+Representation TraceGame::build_pirate_subset(
+    std::span<const std::size_t> indices, Rng& rng) const {
+  std::vector<UserKey> subset;
+  subset.reserve(indices.size());
+  for (std::size_t i : indices) {
+    require(i < traitor_keys_.size(), "TraceGame: bad traitor index");
+    subset.push_back(traitor_keys_[i]);
+  }
+  return build_pirate_representation(manager_.params(), manager_.public_key(),
+                                     subset, rng);
+}
+
+}  // namespace dfky

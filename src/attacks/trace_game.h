@@ -1,0 +1,52 @@
+// Executable traceability attack game G_trt^m (paper Sect. 6.1.1).
+//
+// The adversary adaptively corrupts up to m users (choosing their identity
+// values), watches and drives arbitrarily many revocations of honest users
+// (including full period changes, across which the coalition's keys update
+// legitimately — traitors are subscribers in good standing until caught),
+// and finally emits a pirate decoder. The game hands the tracer exactly what
+// the model gives it: the final public key, the master secret, and the
+// registry.
+#pragma once
+
+#include "core/manager.h"
+#include "tracing/pirate.h"
+
+namespace dfky {
+
+class TraceGame {
+ public:
+  TraceGame(SystemParams sp, Rng& rng);
+
+  /// Join query (adversary-chosen value). Enforces |T| <= m.
+  UserKey join(const Bigint& x);
+  std::uint64_t add_honest(Rng& rng);
+  /// Revoke oracle on honest users; traitor keys follow any period change.
+  void revoke_honest(std::uint64_t id, Rng& rng);
+  /// Proactive period change driven by the adversary's observation.
+  void force_new_period(Rng& rng);
+
+  /// The adversary's final output: a pirate representation built from the
+  /// coalition's current keys (random convex combination).
+  Representation build_pirate(Rng& rng) const;
+  /// A pirate using only a sub-coalition (tests partial contributions).
+  Representation build_pirate_subset(std::span<const std::size_t> indices,
+                                     Rng& rng) const;
+
+  const SystemParams& params() const { return manager_.params(); }
+  const PublicKey& pk() const { return manager_.public_key(); }
+  const MasterSecret& msk() const { return manager_.master_secret(); }
+  const std::vector<UserRecord>& registry() const { return manager_.users(); }
+  const std::vector<std::uint64_t>& traitor_ids() const { return traitor_ids_; }
+  const std::vector<UserKey>& traitor_keys() const { return traitor_keys_; }
+  SecurityManager& manager() { return manager_; }
+
+ private:
+  void apply_reset_to_traitors(const SignedResetBundle& bundle);
+
+  SecurityManager manager_;
+  std::vector<std::uint64_t> traitor_ids_;
+  std::vector<UserKey> traitor_keys_;
+};
+
+}  // namespace dfky

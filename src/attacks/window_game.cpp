@@ -1,0 +1,180 @@
+#include "attacks/window_game.h"
+
+#include "poly/lagrange.h"
+#include "tracing/pirate.h"
+
+namespace dfky {
+
+WindowGame::WindowGame(SystemParams sp, Rng& rng)
+    : manager_(std::move(sp), rng) {}
+
+void WindowGame::track_reset(const SignedResetBundle& bundle) {
+  resets_.push_back(bundle);
+  // Corrupted-but-not-yet-revoked users are legitimate receivers: they
+  // follow period changes like anyone else. Once revoked they cannot.
+  const SystemParams& sp = manager_.params();
+  for (UserKey& key : corr_keys_) {
+    if (key.period + 1 != bundle.reset.new_period) continue;  // already stale
+    try {
+      const auto [d, e] = open_reset_message(sp, key, bundle.reset);
+      const Zq& zq = sp.group.zq();
+      key.ax = zq.add(key.ax, d.eval(key.x));
+      key.bx = zq.add(key.bx, e.eval(key.x));
+      key.period = bundle.reset.new_period;
+    } catch (const Error&) {
+      // Revoked during this period: the key expires here.
+    }
+  }
+}
+
+UserKey WindowGame::join(const Bigint& x, Rng&) {
+  require(corr_ids_.size() < manager_.params().v,
+          "WindowGame: at most v Join queries");
+  require(!corrupted_revoked_, "WindowGame: Join after the learning stage");
+  const auto added = manager_.add_user_with_value(x);
+  corr_ids_.push_back(added.id);
+  corr_keys_.push_back(added.key);
+  return added.key;
+}
+
+std::uint64_t WindowGame::add_honest(Rng& rng) {
+  return manager_.add_user(rng).id;
+}
+
+void WindowGame::revoke_honest(std::uint64_t id, Rng& rng) {
+  for (std::uint64_t corr : corr_ids_) {
+    require(corr != id, "WindowGame: Revoke oracle rejects corrupted users");
+  }
+  auto bundle = manager_.remove_user(id, rng);
+  if (bundle) track_reset(*bundle);
+}
+
+void WindowGame::revoke_corrupted(Rng& rng) {
+  require(!corrupted_revoked_, "WindowGame: corrupted users already revoked");
+  // Step 5: the window constraint — all corrupted users must fit into the
+  // remaining slots of the current period.
+  require(manager_.saturation_level() + corr_ids_.size() <=
+              manager_.params().v,
+          "WindowGame: window constraint violated (L + |Corr| > v)");
+  for (std::uint64_t id : corr_ids_) {
+    const auto bundle = manager_.remove_user(id, rng);
+    require(!bundle.has_value(),
+            "WindowGame: unexpected period change inside the window");
+  }
+  corrupted_revoked_ = true;
+}
+
+Ciphertext WindowGame::challenge(const Gelt& m0, const Gelt& m1, Rng& rng) {
+  require(!challenged_, "WindowGame: challenge already issued");
+  challenged_ = true;
+  sigma_star_ = static_cast<int>(rng.u64() & 1);
+  const Gelt& m = sigma_star_ == 0 ? m0 : m1;
+  return encrypt(manager_.params(), manager_.public_key(), m, rng);
+}
+
+bool WindowGame::check_guess(int sigma) const {
+  require(challenged_, "WindowGame: no challenge issued");
+  return sigma == sigma_star_;
+}
+
+namespace {
+
+/// Guess by comparing a candidate plaintext against the two messages,
+/// falling back to a coin flip.
+int guess_from_candidate(const Gelt& candidate, const Gelt& m0, const Gelt& m1,
+                         Rng& rng) {
+  if (candidate == m0) return 0;
+  if (candidate == m1) return 1;
+  return static_cast<int>(rng.u64() & 1);
+}
+
+bool run_one_trial(const SystemParams& sp, WindowStrategy strategy,
+                   std::size_t coalition_size, Rng& rng) {
+  WindowGame game(sp, rng);
+  const Zq& zq = sp.group.zq();
+
+  // Stage fst: corrupt the coalition with adversary-chosen values.
+  std::vector<UserKey> keys;
+  for (std::size_t i = 0; i < coalition_size; ++i) {
+    Bigint x = rng.uniform_nonzero_below(zq.modulus());
+    while (x <= Bigint(static_cast<long>(sp.v))) {
+      x = rng.uniform_nonzero_below(zq.modulus());
+    }
+    try {
+      keys.push_back(game.join(x, rng));
+    } catch (const ContractError&) {
+      --i;  // x collision: re-draw (negligible probability)
+    }
+  }
+
+  // A pirate key built while the coalition was still active.
+  const Representation pirate =
+      build_pirate_representation(sp, game.pk(), keys, rng);
+
+  if (strategy != WindowStrategy::kUnrevokedControl) {
+    game.revoke_corrupted(rng);
+  }
+
+  if (strategy == WindowStrategy::kExpiredAcrossPeriod) {
+    // Force a full new period after the coalition's revocation: the
+    // adversary adaptively revokes honest users until the period rolls.
+    const std::uint64_t start_period = game.pk().period;
+    while (game.pk().period == start_period) {
+      const std::uint64_t victim = game.add_honest(rng);
+      game.revoke_honest(victim, rng);
+    }
+  }
+
+  // Stage snd: the adversary picks two random messages.
+  const Gelt m0 = sp.group.random_element(rng);
+  const Gelt m1 = sp.group.random_element(rng);
+  const Ciphertext ct = game.challenge(m0, m1, rng);
+
+  // Stage trd: mount the concrete attack.
+  Gelt candidate;
+  switch (strategy) {
+    case WindowStrategy::kUnrevokedControl: {
+      // The un-revoked key decrypts the challenge outright.
+      candidate = decrypt(sp, game.corrupted_keys().front(), ct);
+      break;
+    }
+    case WindowStrategy::kExpiredConvex:
+    case WindowStrategy::kExpiredAcrossPeriod: {
+      candidate = decrypt_with_representation(sp, pirate, ct);
+      break;
+    }
+    case WindowStrategy::kExpiredInterpolation: {
+      // The coalition knows v points of each degree-v master polynomial;
+      // pretend the degree were v-1 and interpolate A(0), B(0).
+      std::vector<std::pair<Bigint, Bigint>> pa, pb;
+      for (const UserKey& k : game.corrupted_keys()) {
+        pa.emplace_back(k.x, k.ax);
+        pb.emplace_back(k.x, k.bx);
+      }
+      const Bigint a0 = interpolate(zq, pa).eval(Bigint(0));
+      const Bigint b0 = interpolate(zq, pb).eval(Bigint(0));
+      const std::array<Gelt, 2> bases = {ct.u, ct.u2};
+      const std::array<Bigint, 2> exps = {a0, b0};
+      candidate = sp.group.div(ct.w, multiexp(sp.group, bases, exps));
+      break;
+    }
+  }
+  return game.check_guess(guess_from_candidate(candidate, m0, m1, rng));
+}
+
+}  // namespace
+
+WindowTrialStats run_window_trials(const SystemParams& sp,
+                                   WindowStrategy strategy, std::size_t trials,
+                                   std::size_t coalition_size, Rng& rng) {
+  require(coalition_size >= 1 && coalition_size <= sp.v,
+          "run_window_trials: coalition size must be in [1, v]");
+  WindowTrialStats stats;
+  stats.trials = trials;
+  for (std::size_t t = 0; t < trials; ++t) {
+    if (run_one_trial(sp, strategy, coalition_size, rng)) ++stats.successes;
+  }
+  return stats;
+}
+
+}  // namespace dfky

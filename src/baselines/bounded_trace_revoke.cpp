@@ -1,0 +1,98 @@
+#include "baselines/bounded_trace_revoke.h"
+
+#include "poly/leap_vector.h"
+
+namespace dfky {
+
+BoundedTraceRevoke::BoundedTraceRevoke(SystemParams sp, OverflowPolicy policy,
+                                       Rng& rng)
+    : sp_(std::move(sp)),
+      policy_(policy),
+      p_(Polynomial::random(sp_.group.zq(), sp_.v, rng)) {
+  coeff_commitments_.reserve(sp_.v + 1);
+  for (std::size_t j = 0; j <= sp_.v; ++j) {
+    coeff_commitments_.push_back(sp_.group.pow(sp_.g, p_.coeff(j)));
+  }
+}
+
+Gelt BoundedTraceRevoke::g_pow_p(const Bigint& z) const {
+  std::vector<Bigint> exps;
+  exps.reserve(coeff_commitments_.size());
+  Bigint pw(1);
+  for (std::size_t j = 0; j < coeff_commitments_.size(); ++j) {
+    exps.push_back(pw);
+    pw = sp_.group.zq().mul(pw, z);
+  }
+  return multiexp(sp_.group, coeff_commitments_, exps);
+}
+
+BoundedTraceRevoke::UserSecret BoundedTraceRevoke::add_user(Rng& rng) {
+  const Bigint v_bound(static_cast<long>(sp_.v));
+  Bigint x;
+  do {
+    x = rng.uniform_nonzero_below(sp_.group.order());
+  } while (x <= v_bound || used_x_.contains(x));
+  used_x_.insert(x);
+  const std::uint64_t id = users_.size();
+  users_.emplace_back(id, x);
+  return UserSecret{id, x, p_.eval(x)};
+}
+
+bool BoundedTraceRevoke::revoke(std::uint64_t id) {
+  require(id < users_.size(), "BoundedTraceRevoke: unknown user");
+  for (std::uint64_t barred : revocation_list_) {
+    require(barred != id, "BoundedTraceRevoke: user already revoked");
+  }
+  if (revocation_list_.size() == sp_.v) {
+    if (policy_ == OverflowPolicy::kRefuse) return false;
+    revocation_list_.pop_front();  // the dropped user's key revives
+  }
+  revocation_list_.push_back(id);
+  return true;
+}
+
+bool BoundedTraceRevoke::currently_barred(std::uint64_t id) const {
+  for (std::uint64_t barred : revocation_list_) {
+    if (barred == id) return true;
+  }
+  return false;
+}
+
+Ciphertext BoundedTraceRevoke::encrypt(const Gelt& m, Rng& rng) const {
+  const Bigint r = sp_.group.random_exponent(rng);
+  Ciphertext ct;
+  ct.period = 0;  // this scheme has no periods
+  ct.u = sp_.group.pow(sp_.g, r);
+  ct.u2 = sp_.group.one();  // unused: single-generator scheme
+  ct.w = sp_.group.mul(sp_.group.pow(coeff_commitments_[0], r), m);
+  // Slots: revoked users' x values, padded to v with placeholders 1..v.
+  std::vector<Bigint> zs;
+  zs.reserve(sp_.v);
+  for (std::uint64_t id : revocation_list_) zs.push_back(users_[id].second);
+  for (long l = 1; zs.size() < sp_.v; ++l) zs.push_back(Bigint(l));
+  for (const Bigint& z : zs) {
+    ct.slots.push_back(CtSlot{z, sp_.group.pow(g_pow_p(z), r)});
+  }
+  return ct;
+}
+
+Gelt BoundedTraceRevoke::decrypt(const Ciphertext& ct,
+                                 const UserSecret& us) const {
+  const Zq& zq = sp_.group.zq();
+  const std::vector<Bigint> zs = ct.slot_ids();
+  // Throws ContractError when us.x collides with a slot (barred user).
+  const LeapCoefficients lc = leap_coefficients(zq, us.x, zs);
+  std::vector<Gelt> bases;
+  std::vector<Bigint> exps;
+  bases.reserve(ct.slots.size() + 1);
+  exps.reserve(ct.slots.size() + 1);
+  bases.push_back(ct.u);
+  exps.push_back(zq.mul(lc.lambda0, us.px));
+  for (std::size_t l = 0; l < ct.slots.size(); ++l) {
+    bases.push_back(ct.slots[l].hr);
+    exps.push_back(lc.lambdas[l]);
+  }
+  return sp_.group.div(ct.w, multiexp(sp_.group, bases, exps));
+}
+
+}  // namespace dfky

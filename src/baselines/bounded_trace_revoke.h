@@ -1,0 +1,77 @@
+// Baseline 2: bounded-revocation public-key trace-and-revoke in the style of
+// Naor-Pinkas [25] / Tzeng-Tzeng [28].
+//
+// A single fixed secret polynomial P of degree v; the public key carries
+// g^{a_j} for every coefficient so any provider can compute g^{P(z)} at any
+// point. A broadcast bars the members of the current revocation list R
+// (|R| <= v, padded with placeholders):
+//     < g^r, M * g^{r P(0)}, { (z, g^{r P(z)}) : z in R } >.
+// User keys are fixed points (x_i, P(x_i)) — never refreshed.
+//
+// This reproduces the two weaknesses the paper's scheme eliminates:
+//   * the total number of revocations is bounded by v for the system's
+//     entire lifetime (client-side scalability failure), and
+//   * if the manager is forced to drop an old entry from the list (policy
+//     kDropOldest), the dropped user's key immediately works again — the
+//     "revive" attack of Sect. 1.3.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <set>
+
+#include "core/ciphertext.h"
+#include "poly/polynomial.h"
+
+namespace dfky {
+
+enum class OverflowPolicy {
+  kRefuse,      // revocation beyond v fails: the system is saturated forever
+  kDropOldest,  // old revocations are forgotten: revived pirate keys
+};
+
+class BoundedTraceRevoke {
+ public:
+  BoundedTraceRevoke(SystemParams sp, OverflowPolicy policy, Rng& rng);
+
+  struct UserSecret {
+    std::uint64_t id;
+    Bigint x;
+    Bigint px;  // P(x), fixed for the lifetime of the system
+  };
+
+  UserSecret add_user(Rng& rng);
+
+  /// Revokes user `id`. Returns false when the revocation list is full and
+  /// the policy is kRefuse. With kDropOldest the oldest revocation is
+  /// dropped (and that user can decrypt again).
+  bool revoke(std::uint64_t id);
+
+  /// Whether `id`'s key currently decrypts broadcasts.
+  bool currently_barred(std::uint64_t id) const;
+
+  /// The published coefficients commitments g^{a_0..a_v} plus generator:
+  /// the public encryption key. Encryption uses only public data.
+  Ciphertext encrypt(const Gelt& m, Rng& rng) const;
+
+  /// Decrypts with a fixed user point (Lagrange through the ciphertext's
+  /// revocation slots). Throws ContractError when the user is barred.
+  Gelt decrypt(const Ciphertext& ct, const UserSecret& us) const;
+
+  std::size_t wire_size(const Ciphertext& ct) const {
+    return ct.wire_size(sp_.group);
+  }
+
+ private:
+  Gelt g_pow_p(const Bigint& z) const;  // g^{P(z)} from the commitments
+
+  SystemParams sp_;
+  OverflowPolicy policy_;
+  Polynomial p_;
+  std::vector<Gelt> coeff_commitments_;  // g^{a_j}
+  std::vector<std::pair<std::uint64_t, Bigint>> users_;  // id -> x
+  std::deque<std::uint64_t> revocation_list_;            // FIFO, size <= v
+  std::set<Bigint> used_x_;
+};
+
+}  // namespace dfky

@@ -1,0 +1,63 @@
+#include "baselines/naive_elgamal.h"
+
+#include "serial/codec.h"
+
+namespace dfky {
+
+NaiveElGamalBroadcast::NaiveElGamalBroadcast(Group group)
+    : group_(std::move(group)) {}
+
+NaiveElGamalBroadcast::UserSecret NaiveElGamalBroadcast::add_user(Rng& rng) {
+  const Bigint sk = group_.random_exponent(rng);
+  users_.push_back(UserRec{group_.pow_g(sk), false});
+  return UserSecret{users_.size() - 1, sk};
+}
+
+void NaiveElGamalBroadcast::revoke(std::uint64_t id) {
+  require(id < users_.size(), "NaiveElGamal: unknown user");
+  users_[id].revoked = true;
+}
+
+std::size_t NaiveElGamalBroadcast::active_users() const {
+  std::size_t n = 0;
+  for (const UserRec& u : users_) {
+    if (!u.revoked) ++n;
+  }
+  return n;
+}
+
+NaiveElGamalBroadcast::Broadcast NaiveElGamalBroadcast::encrypt(
+    const Gelt& m, Rng& rng) const {
+  Broadcast out;
+  for (std::size_t id = 0; id < users_.size(); ++id) {
+    if (users_[id].revoked) continue;
+    const Bigint r = group_.random_exponent(rng);
+    out.entries.push_back(Broadcast::Entry{
+        id, group_.pow_g(r),
+        group_.mul(group_.pow(users_[id].pk, r), m)});
+  }
+  return out;
+}
+
+std::optional<Gelt> NaiveElGamalBroadcast::decrypt(
+    const Broadcast& b, const UserSecret& us) const {
+  for (const Broadcast::Entry& e : b.entries) {
+    if (e.id == us.id) {
+      return group_.div(e.c2, group_.pow(e.c1, us.sk));
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t NaiveElGamalBroadcast::Broadcast::wire_size(
+    const Group& group) const {
+  Writer w;
+  for (const Entry& e : entries) {
+    w.put_u64(e.id);
+    put_gelt(w, group, e.c1);
+    put_gelt(w, group, e.c2);
+  }
+  return w.size();
+}
+
+}  // namespace dfky

@@ -1,0 +1,57 @@
+// Baseline 1: naive per-user ElGamal broadcast.
+//
+// The strawman of the paper's transmission-efficiency discussion
+// (Sect. 1.1.3): every user has an independent ElGamal key pair and each
+// broadcast carries one ciphertext per active subscriber — ciphertext size
+// O(n), revocation trivial (skip the user), tracing trivial (keys are
+// per-user). Exists to anchor the E1 transmission experiment.
+#pragma once
+
+#include <optional>
+
+#include "group/element.h"
+#include "serial/buffer.h"
+
+namespace dfky {
+
+class NaiveElGamalBroadcast {
+ public:
+  explicit NaiveElGamalBroadcast(Group group);
+
+  struct UserSecret {
+    std::uint64_t id;
+    Bigint sk;
+  };
+
+  UserSecret add_user(Rng& rng);
+  void revoke(std::uint64_t id);
+  std::size_t active_users() const;
+
+  struct Broadcast {
+    // One (g^r, m * pk_i^r) pair per active user, tagged with the id.
+    struct Entry {
+      std::uint64_t id;
+      Gelt c1;
+      Gelt c2;
+    };
+    std::vector<Entry> entries;
+
+    std::size_t wire_size(const Group& group) const;
+  };
+
+  Broadcast encrypt(const Gelt& m, Rng& rng) const;
+  /// Decrypts with a user secret; nullopt if the user has no entry
+  /// (revoked).
+  std::optional<Gelt> decrypt(const Broadcast& b, const UserSecret& us) const;
+
+ private:
+  struct UserRec {
+    Gelt pk;
+    bool revoked = false;
+  };
+
+  Group group_;
+  std::vector<UserRec> users_;
+};
+
+}  // namespace dfky

@@ -1,0 +1,149 @@
+#include "bigint/bigint.h"
+
+#include <limits>
+#include <ostream>
+
+namespace dfky {
+
+Bigint Bigint::from_dec(std::string_view s) {
+  Bigint r;
+  if (s.empty() || mpz_set_str(r.z_, std::string(s).c_str(), 10) != 0) {
+    throw DecodeError("Bigint::from_dec: invalid decimal string");
+  }
+  return r;
+}
+
+Bigint Bigint::from_hex(std::string_view s) {
+  Bigint r;
+  if (s.empty() || mpz_set_str(r.z_, std::string(s).c_str(), 16) != 0) {
+    throw DecodeError("Bigint::from_hex: invalid hex string");
+  }
+  return r;
+}
+
+Bigint Bigint::from_bytes(BytesView bytes) {
+  Bigint r;
+  if (!bytes.empty()) {
+    mpz_import(r.z_, bytes.size(), /*order=*/1, /*size=*/1, /*endian=*/1,
+               /*nails=*/0, bytes.data());
+  }
+  return r;
+}
+
+std::string Bigint::to_dec() const {
+  char* s = mpz_get_str(nullptr, 10, z_);
+  std::string out(s);
+  void (*freefn)(void*, std::size_t);
+  mp_get_memory_functions(nullptr, nullptr, &freefn);
+  freefn(s, out.size() + 1);
+  return out;
+}
+
+std::string Bigint::to_hex() const {
+  char* s = mpz_get_str(nullptr, 16, z_);
+  std::string out(s);
+  void (*freefn)(void*, std::size_t);
+  mp_get_memory_functions(nullptr, nullptr, &freefn);
+  freefn(s, out.size() + 1);
+  return out;
+}
+
+Bytes Bigint::to_bytes() const {
+  require(sign() >= 0, "Bigint::to_bytes: negative value");
+  if (is_zero()) return {};
+  const std::size_t n = (bit_length() + 7) / 8;
+  Bytes out(n);
+  std::size_t written = 0;
+  mpz_export(out.data(), &written, 1, 1, 1, 0, z_);
+  out.resize(written);
+  return out;
+}
+
+Bytes Bigint::to_bytes_padded(std::size_t len) const {
+  Bytes raw = to_bytes();
+  require(raw.size() <= len, "Bigint::to_bytes_padded: value too large");
+  Bytes out(len, 0);
+  std::copy(raw.begin(), raw.end(), out.begin() + (len - raw.size()));
+  return out;
+}
+
+Bigint operator/(const Bigint& a, const Bigint& b) {
+  if (b.is_zero()) throw MathError("Bigint: division by zero");
+  Bigint r;
+  mpz_tdiv_q(r.raw(), a.raw(), b.raw());
+  return r;
+}
+
+Bigint operator%(const Bigint& a, const Bigint& b) {
+  if (b.is_zero()) throw MathError("Bigint: modulo by zero");
+  Bigint r;
+  mpz_tdiv_r(r.raw(), a.raw(), b.raw());
+  return r;
+}
+
+Bigint Bigint::mod(const Bigint& m) const {
+  require(m.sign() > 0, "Bigint::mod: modulus must be positive");
+  Bigint r;
+  mpz_mod(r.z_, z_, m.z_);
+  return r;
+}
+
+Bigint Bigint::powm(const Bigint& base, const Bigint& exp, const Bigint& m) {
+  require(m.sign() > 0, "Bigint::powm: modulus must be positive");
+  Bigint r;
+  if (exp.sign() < 0) {
+    const Bigint inv = invm(base, m);
+    const Bigint pos_exp = -exp;
+    mpz_powm(r.z_, inv.z_, pos_exp.z_, m.z_);
+  } else {
+    mpz_powm(r.z_, base.z_, exp.z_, m.z_);
+  }
+  return r;
+}
+
+Bigint Bigint::invm(const Bigint& a, const Bigint& m) {
+  require(m.sign() > 0, "Bigint::invm: modulus must be positive");
+  Bigint r;
+  if (mpz_invert(r.z_, a.z_, m.z_) == 0) {
+    throw MathError("Bigint::invm: element not invertible");
+  }
+  return r;
+}
+
+Bigint Bigint::gcd(const Bigint& a, const Bigint& b) {
+  Bigint r;
+  mpz_gcd(r.z_, a.z_, b.z_);
+  return r;
+}
+
+bool Bigint::probab_prime(int reps) const {
+  return mpz_probab_prime_p(z_, reps) != 0;
+}
+
+Bigint Bigint::next_prime() const {
+  Bigint r;
+  mpz_nextprime(r.z_, z_);
+  return r;
+}
+
+int Bigint::jacobi(const Bigint& n) const {
+  require(n.is_odd() && n.sign() > 0, "Bigint::jacobi: n must be odd > 0");
+  return mpz_jacobi(z_, n.z_);
+}
+
+std::uint64_t Bigint::to_u64() const {
+  require(sign() >= 0, "Bigint::to_u64: negative value");
+  require(bit_length() <= 64, "Bigint::to_u64: value exceeds 64 bits");
+  std::uint64_t out = 0;
+  // Export manually: mpz_get_ui truncates to unsigned long which is 64-bit on
+  // this platform, but exporting is portable regardless of limb size.
+  Bytes b = to_bytes();
+  for (byte x : b) out = (out << 8) | x;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Bigint& v) {
+  return os << v.to_dec();
+}
+
+}  // namespace dfky

@@ -1,0 +1,162 @@
+// RAII value wrapper around GMP's mpz_t.
+//
+// This is the only place in the library that touches raw GMP handles; all
+// higher layers (fields, groups, polynomials, codes) treat Bigint as a
+// regular value type with deep-copy semantics.
+#pragma once
+
+#include <gmp.h>
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "common.h"
+
+namespace dfky {
+
+/// Arbitrary-precision signed integer with value semantics.
+class Bigint {
+ public:
+  Bigint() { mpz_init(z_); }
+  Bigint(long v) { mpz_init_set_si(z_, v); }  // NOLINT: implicit by design
+  Bigint(unsigned long v) { mpz_init_set_ui(z_, v); }
+  Bigint(int v) : Bigint(static_cast<long>(v)) {}
+
+  Bigint(const Bigint& o) { mpz_init_set(z_, o.z_); }
+  Bigint(Bigint&& o) noexcept {
+    mpz_init(z_);
+    mpz_swap(z_, o.z_);
+  }
+  Bigint& operator=(const Bigint& o) {
+    if (this != &o) mpz_set(z_, o.z_);
+    return *this;
+  }
+  Bigint& operator=(Bigint&& o) noexcept {
+    mpz_swap(z_, o.z_);
+    return *this;
+  }
+  ~Bigint() { mpz_clear(z_); }
+
+  /// Parses a decimal string (optionally signed). Throws DecodeError.
+  static Bigint from_dec(std::string_view s);
+  /// Parses a hexadecimal string (no 0x prefix). Throws DecodeError.
+  static Bigint from_hex(std::string_view s);
+  /// Interprets big-endian bytes as an unsigned integer.
+  static Bigint from_bytes(BytesView bytes);
+
+  std::string to_dec() const;
+  std::string to_hex() const;
+  /// Minimal big-endian byte encoding (empty for zero). Requires *this >= 0.
+  Bytes to_bytes() const;
+  /// Big-endian encoding left-padded with zeros to exactly `len` bytes.
+  /// Throws ContractError if the value does not fit or is negative.
+  Bytes to_bytes_padded(std::size_t len) const;
+
+  // -- arithmetic ------------------------------------------------------------
+  friend Bigint operator+(const Bigint& a, const Bigint& b) {
+    Bigint r;
+    mpz_add(r.z_, a.z_, b.z_);
+    return r;
+  }
+  friend Bigint operator-(const Bigint& a, const Bigint& b) {
+    Bigint r;
+    mpz_sub(r.z_, a.z_, b.z_);
+    return r;
+  }
+  friend Bigint operator*(const Bigint& a, const Bigint& b) {
+    Bigint r;
+    mpz_mul(r.z_, a.z_, b.z_);
+    return r;
+  }
+  /// Truncated division (C semantics). Throws MathError on division by zero.
+  friend Bigint operator/(const Bigint& a, const Bigint& b);
+  /// Truncated remainder (sign follows dividend, C semantics).
+  friend Bigint operator%(const Bigint& a, const Bigint& b);
+  Bigint operator-() const {
+    Bigint r;
+    mpz_neg(r.z_, z_);
+    return r;
+  }
+
+  Bigint& operator+=(const Bigint& b) {
+    mpz_add(z_, z_, b.z_);
+    return *this;
+  }
+  Bigint& operator-=(const Bigint& b) {
+    mpz_sub(z_, z_, b.z_);
+    return *this;
+  }
+  Bigint& operator*=(const Bigint& b) {
+    mpz_mul(z_, z_, b.z_);
+    return *this;
+  }
+
+  Bigint operator<<(unsigned long n) const {
+    Bigint r;
+    mpz_mul_2exp(r.z_, z_, n);
+    return r;
+  }
+  Bigint operator>>(unsigned long n) const {
+    Bigint r;
+    mpz_fdiv_q_2exp(r.z_, z_, n);
+    return r;
+  }
+
+  // -- comparison ------------------------------------------------------------
+  friend bool operator==(const Bigint& a, const Bigint& b) {
+    return mpz_cmp(a.z_, b.z_) == 0;
+  }
+  friend std::strong_ordering operator<=>(const Bigint& a, const Bigint& b) {
+    const int c = mpz_cmp(a.z_, b.z_);
+    return c < 0    ? std::strong_ordering::less
+           : c > 0 ? std::strong_ordering::greater
+                   : std::strong_ordering::equal;
+  }
+  friend bool operator==(const Bigint& a, long b) {
+    return mpz_cmp_si(a.z_, b) == 0;
+  }
+
+  // -- modular arithmetic ----------------------------------------------------
+  /// Canonical residue in [0, m). Requires m > 0.
+  Bigint mod(const Bigint& m) const;
+  /// (base ^ exp) mod m. Negative exponents invert the base first.
+  static Bigint powm(const Bigint& base, const Bigint& exp, const Bigint& m);
+  /// Modular inverse; throws MathError if gcd(a, m) != 1.
+  static Bigint invm(const Bigint& a, const Bigint& m);
+  static Bigint gcd(const Bigint& a, const Bigint& b);
+
+  // -- number theory ---------------------------------------------------------
+  /// Miller-Rabin style primality test (GMP), `reps` rounds.
+  bool probab_prime(int reps = 32) const;
+  /// Next prime strictly greater than *this.
+  Bigint next_prime() const;
+  /// Jacobi symbol (*this / n); n must be odd and positive.
+  int jacobi(const Bigint& n) const;
+
+  // -- inspection ------------------------------------------------------------
+  bool is_zero() const { return mpz_sgn(z_) == 0; }
+  bool is_one() const { return mpz_cmp_ui(z_, 1) == 0; }
+  bool is_odd() const { return mpz_odd_p(z_) != 0; }
+  int sign() const { return mpz_sgn(z_); }
+  /// Number of significant bits (0 for zero).
+  std::size_t bit_length() const {
+    return is_zero() ? 0 : mpz_sizeinbase(z_, 2);
+  }
+  bool bit(std::size_t i) const { return mpz_tstbit(z_, i) != 0; }
+  /// Converts to uint64_t; throws ContractError if out of range or negative.
+  std::uint64_t to_u64() const;
+
+  /// Low-level handle for interop inside the bigint module only.
+  const mpz_t& raw() const { return z_; }
+  mpz_t& raw() { return z_; }
+
+ private:
+  mpz_t z_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Bigint& v);
+
+}  // namespace dfky

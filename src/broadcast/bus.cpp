@@ -1,0 +1,32 @@
+#include "broadcast/bus.h"
+
+namespace dfky {
+
+std::size_t BroadcastBus::subscribe(Handler handler) {
+  const std::size_t token = next_token_++;
+  handlers_.emplace(token, std::move(handler));
+  return token;
+}
+
+void BroadcastBus::unsubscribe(std::size_t token) {
+  handlers_.erase(token);
+}
+
+void BroadcastBus::publish(Envelope env) {
+  ++messages_;
+  bytes_ += env.payload.size();
+  bytes_by_type_[env.type] += env.payload.size();
+  log_.push_back(env);
+  // Deliver to a snapshot so handlers may (un)subscribe during delivery.
+  std::vector<Handler> snapshot;
+  snapshot.reserve(handlers_.size());
+  for (const auto& [token, h] : handlers_) snapshot.push_back(h);
+  for (const Handler& h : snapshot) h(log_.back());
+}
+
+std::uint64_t BroadcastBus::bytes_sent(MsgType type) const {
+  const auto it = bytes_by_type_.find(type);
+  return it == bytes_by_type_.end() ? 0 : it->second;
+}
+
+}  // namespace dfky

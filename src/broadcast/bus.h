@@ -1,0 +1,54 @@
+// In-process broadcast channel.
+//
+// Models the paper's distribution medium: an authenticated-but-insecure
+// broadcast channel every party (and every eavesdropper) can read. Messages
+// are serialized bytes — the byte counters here are what the transmission-
+// efficiency experiments report.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "common.h"
+
+namespace dfky {
+
+enum class MsgType : std::uint8_t {
+  kContent = 0,        // ContentMessage from a provider
+  kPublicKeyUpdate = 1,  // PublicKey republished by the manager
+  kChangePeriod = 2,     // SignedResetBundle
+};
+
+struct Envelope {
+  MsgType type;
+  Bytes payload;
+};
+
+class BroadcastBus {
+ public:
+  using Handler = std::function<void(const Envelope&)>;
+
+  /// Registers a listener; returns a token for unsubscribe.
+  std::size_t subscribe(Handler handler);
+  void unsubscribe(std::size_t token);
+
+  /// Delivers synchronously to all current subscribers and logs the message.
+  void publish(Envelope env);
+
+  std::uint64_t messages_sent() const { return messages_; }
+  std::uint64_t bytes_sent() const { return bytes_; }
+  std::uint64_t bytes_sent(MsgType type) const;
+
+  /// Everything ever broadcast — the eavesdropper's view.
+  const std::vector<Envelope>& log() const { return log_; }
+
+ private:
+  std::map<std::size_t, Handler> handlers_;
+  std::size_t next_token_ = 0;
+  std::vector<Envelope> log_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::map<MsgType, std::uint64_t> bytes_by_type_;
+};
+
+}  // namespace dfky

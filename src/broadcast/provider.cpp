@@ -1,0 +1,85 @@
+#include "broadcast/provider.h"
+
+namespace dfky {
+
+ContentProvider::ContentProvider(std::string name, SystemParams sp,
+                                 PublicKey initial, BroadcastBus& bus)
+    : name_(std::move(name)),
+      sp_(std::move(sp)),
+      pk_(std::move(initial)),
+      bus_(bus) {
+  token_ = bus_.subscribe([this](const Envelope& env) {
+    if (env.type == MsgType::kPublicKeyUpdate) {
+      Reader r(env.payload);
+      pk_ = PublicKey::deserialize(r, sp_.group);
+    }
+  });
+}
+
+ContentProvider::~ContentProvider() {
+  bus_.unsubscribe(token_);
+}
+
+ContentMessage ContentProvider::broadcast(BytesView payload, Rng& rng) {
+  ContentMessage msg = seal_content(sp_, pk_, payload, rng);
+  Writer w;
+  msg.serialize(w, sp_.group);
+  bus_.publish(Envelope{MsgType::kContent, std::move(w).take()});
+  return msg;
+}
+
+void announce_public_key(BroadcastBus& bus, const Group& group,
+                         const PublicKey& pk) {
+  Writer w;
+  pk.serialize(w, group);
+  bus.publish(Envelope{MsgType::kPublicKeyUpdate, std::move(w).take()});
+}
+
+void announce_reset(BroadcastBus& bus, const Group& group,
+                    const SignedResetBundle& bundle) {
+  Writer w;
+  bundle.serialize(w, group);
+  bus.publish(Envelope{MsgType::kChangePeriod, std::move(w).take()});
+}
+
+SubscriberClient::SubscriberClient(SystemParams sp, UserKey key,
+                                   Gelt manager_vk, BroadcastBus& bus)
+    : sp_(sp), receiver_(std::move(sp), std::move(key), std::move(manager_vk)),
+      bus_(bus) {
+  token_ = bus_.subscribe([this](const Envelope& env) { on_message(env); });
+}
+
+SubscriberClient::~SubscriberClient() {
+  bus_.unsubscribe(token_);
+}
+
+void SubscriberClient::on_message(const Envelope& env) {
+  switch (env.type) {
+    case MsgType::kContent: {
+      try {
+        Reader r(env.payload);
+        const ContentMessage msg = ContentMessage::deserialize(r, sp_.group);
+        content_.push_back(
+            open_content(sp_, receiver_.key(), msg));
+      } catch (const Error&) {
+        ++missed_;  // revoked, stale key, or malformed broadcast
+      }
+      break;
+    }
+    case MsgType::kChangePeriod: {
+      try {
+        Reader r(env.payload);
+        const SignedResetBundle bundle =
+            SignedResetBundle::deserialize(r, sp_.group);
+        receiver_.apply_reset(bundle);
+      } catch (const Error&) {
+        ++failed_resets_;  // revoked receivers cannot follow the change
+      }
+      break;
+    }
+    case MsgType::kPublicKeyUpdate:
+      break;  // receivers do not need the public key
+  }
+}
+
+}  // namespace dfky

@@ -1,0 +1,84 @@
+// Content providers and subscriber clients on the broadcast bus.
+//
+// Server-side scalability (paper Sect. 1.1.4): any number of providers
+// encrypt with the same public key; none holds secret material, so
+// compromising a provider compromises nothing. Providers track the public
+// key from the manager's bus announcements. Subscriber clients wrap a
+// Receiver: they decrypt content and follow signed period changes.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "broadcast/bus.h"
+#include "core/content.h"
+#include "core/receiver.h"
+
+namespace dfky {
+
+class ContentProvider {
+ public:
+  /// Subscribes to public-key updates on the bus.
+  ContentProvider(std::string name, SystemParams sp, PublicKey initial,
+                  BroadcastBus& bus);
+  ~ContentProvider();
+
+  ContentProvider(const ContentProvider&) = delete;
+  ContentProvider& operator=(const ContentProvider&) = delete;
+
+  const std::string& name() const { return name_; }
+  const PublicKey& current_public_key() const { return pk_; }
+
+  /// Encrypts `payload` under the current public key and broadcasts it.
+  ContentMessage broadcast(BytesView payload, Rng& rng);
+
+ private:
+  std::string name_;
+  SystemParams sp_;
+  PublicKey pk_;
+  BroadcastBus& bus_;
+  std::size_t token_;
+};
+
+/// Publishes the manager's current public key on the bus (done after every
+/// Remove-user / New-period so providers stay current).
+void announce_public_key(BroadcastBus& bus, const Group& group,
+                         const PublicKey& pk);
+
+/// Publishes a signed reset bundle on the bus.
+void announce_reset(BroadcastBus& bus, const Group& group,
+                    const SignedResetBundle& bundle);
+
+class SubscriberClient {
+ public:
+  /// Subscribes to content and period-change messages.
+  SubscriberClient(SystemParams sp, UserKey key, Gelt manager_vk,
+                   BroadcastBus& bus);
+  ~SubscriberClient();
+
+  SubscriberClient(const SubscriberClient&) = delete;
+  SubscriberClient& operator=(const SubscriberClient&) = delete;
+
+  const Receiver& receiver() const { return receiver_; }
+  std::uint64_t period() const { return receiver_.period(); }
+
+  /// Payloads successfully decrypted so far.
+  const std::vector<Bytes>& received_content() const { return content_; }
+  /// Broadcasts this client failed to decrypt (revoked/stale).
+  std::size_t missed_broadcasts() const { return missed_; }
+  /// Reset bundles this client could not follow.
+  std::size_t failed_resets() const { return failed_resets_; }
+
+ private:
+  void on_message(const Envelope& env);
+
+  SystemParams sp_;
+  Receiver receiver_;
+  BroadcastBus& bus_;
+  std::size_t token_;
+  std::vector<Bytes> content_;
+  std::size_t missed_ = 0;
+  std::size_t failed_resets_ = 0;
+};
+
+}  // namespace dfky

@@ -1,0 +1,111 @@
+#include "codes/berlekamp_massey.h"
+
+#include "linalg/gauss.h"
+
+namespace dfky {
+
+Polynomial berlekamp_massey(const Zq& field,
+                            std::span<const Bigint> syndromes) {
+  // Massey's algorithm; syndromes[0] is S_1.
+  std::vector<Bigint> c = {Bigint(1)};  // connection polynomial C(z)
+  std::vector<Bigint> b = {Bigint(1)};  // previous C before last length change
+  std::size_t len = 0;                  // current LFSR length L
+  std::size_t m = 1;                    // steps since last length change
+  Bigint bb(1);                         // discrepancy at last length change
+
+  for (std::size_t n = 0; n < syndromes.size(); ++n) {
+    // Discrepancy d = S_{n+1} + sum_{i=1..L} c_i * S_{n+1-i}.
+    Bigint d = field.reduce(syndromes[n]);
+    for (std::size_t i = 1; i <= len && i <= n; ++i) {
+      if (i < c.size()) d = field.add(d, field.mul(c[i], syndromes[n - i]));
+    }
+    if (d.is_zero()) {
+      ++m;
+      continue;
+    }
+    const Bigint coef = field.mul(d, field.inv(bb));
+    if (2 * len <= n) {
+      const std::vector<Bigint> t = c;
+      if (c.size() < b.size() + m) c.resize(b.size() + m, Bigint(0));
+      for (std::size_t i = 0; i < b.size(); ++i) {
+        c[i + m] = field.sub(c[i + m], field.mul(coef, b[i]));
+      }
+      len = n + 1 - len;
+      b = t;
+      bb = d;
+      m = 1;
+    } else {
+      if (c.size() < b.size() + m) c.resize(b.size() + m, Bigint(0));
+      for (std::size_t i = 0; i < b.size(); ++i) {
+        c[i + m] = field.sub(c[i + m], field.mul(coef, b[i]));
+      }
+      ++m;
+    }
+  }
+  return Polynomial(field, std::move(c));
+}
+
+std::optional<SyndromeError> decode_power_sums(
+    const Zq& field, std::span<const Bigint> syndromes,
+    std::span<const Bigint> candidates) {
+  require(!syndromes.empty(), "decode_power_sums: no syndromes");
+
+  // All-zero syndromes: zero error (valid, empty support).
+  bool all_zero = true;
+  for (const Bigint& s : syndromes) {
+    if (!field.is_zero(s)) {
+      all_zero = false;
+      break;
+    }
+  }
+  if (all_zero) return SyndromeError{};
+
+  // 1. Error-locator polynomial C(z) = prod_j (1 - x_j z) via BM.
+  const Polynomial locator = berlekamp_massey(field, syndromes);
+  const std::size_t weight = static_cast<std::size_t>(locator.degree());
+  if (weight == 0 || 2 * weight > syndromes.size()) return std::nullopt;
+
+  // 2. Locator roots are the inverses of the error locators; scan the
+  //    candidate set (the user registry in the tracer).
+  SyndromeError out;
+  for (const Bigint& x : candidates) {
+    const Bigint xr = field.reduce(x);
+    if (xr.is_zero()) continue;
+    if (field.is_zero(locator.eval(field.inv(xr)))) {
+      out.locators.push_back(xr);
+    }
+  }
+  if (out.locators.size() != weight) return std::nullopt;
+
+  // 3. Error values from the first `weight` syndromes:
+  //    S_k = sum_j c_j x_j^k, k = 1..weight — a (scaled) Vandermonde system.
+  Matrix m(field, weight, weight);
+  std::vector<Bigint> rhs(weight);
+  for (std::size_t k = 0; k < weight; ++k) {
+    for (std::size_t j = 0; j < weight; ++j) {
+      m.at(k, j) = field.pow(out.locators[j], Bigint(static_cast<long>(k + 1)));
+    }
+    rhs[k] = field.reduce(syndromes[k]);
+  }
+  auto vals = solve(m, rhs);
+  if (!vals) return std::nullopt;
+  out.values = std::move(*vals);
+
+  // 4. Verify against all provided syndromes (catches wrong candidates).
+  for (std::size_t k = 0; k < syndromes.size(); ++k) {
+    Bigint acc(0);
+    for (std::size_t j = 0; j < weight; ++j) {
+      acc = field.add(
+          acc, field.mul(out.values[j],
+                         field.pow(out.locators[j],
+                                   Bigint(static_cast<long>(k + 1)))));
+    }
+    if (!(acc == field.reduce(syndromes[k]))) return std::nullopt;
+  }
+  for (const Bigint& v : out.values) {
+    if (v.is_zero()) return std::nullopt;  // weight smaller than claimed
+  }
+  return out;
+}
+
+}  // namespace dfky

@@ -1,0 +1,42 @@
+// Berlekamp-Massey syndrome decoding over Z_q.
+//
+// The paper notes (Sect. 6.3.2, "Time-Complexity") that tracing can be
+// implemented in better than O(n^2) "in a more sophisticated manner". This
+// module provides that faster path: the tracer's parity checks
+// delta''_k = sum_j c_j x_j^k (k = 1..v) are power-sum syndromes of the error
+// vector, so the error-locator polynomial can be found with Berlekamp-Massey
+// in O(v^2), located by scanning the user registry in O(n v), and the error
+// values recovered from a small linear system — O(n v + v^3) overall instead
+// of Gaussian elimination over n x n systems. Both paths are implemented and
+// cross-checked in tests.
+#pragma once
+
+#include <optional>
+
+#include "poly/polynomial.h"
+
+namespace dfky {
+
+/// Minimal LFSR (connection polynomial) for the syndrome sequence
+/// S_1, S_2, ... Returns C(z) = 1 + c_1 z + ... + c_L z^L such that
+/// S_k = -sum_{i=1..L} c_i S_{k-i} for all k > L.
+Polynomial berlekamp_massey(const Zq& field,
+                            std::span<const Bigint> syndromes);
+
+/// Error described by a weight-t vector with support {locs} and values
+/// {vals}: syndromes S_k = sum_j vals[j] * locs[j]^k.
+struct SyndromeError {
+  std::vector<Bigint> locators;  // the x_j with nonzero error
+  std::vector<Bigint> values;    // the corresponding c_j
+};
+
+/// Recovers error locations and values from power-sum syndromes
+/// S_k = sum_j c_j x_j^k (k = 1..syndromes.size()), where the locators are
+/// known to come from the candidate set `candidates` and the error weight is
+/// at most floor(syndromes.size() / 2). Returns nullopt if decoding fails
+/// (locator does not split over the candidates, or inconsistent values).
+std::optional<SyndromeError> decode_power_sums(
+    const Zq& field, std::span<const Bigint> syndromes,
+    std::span<const Bigint> candidates);
+
+}  // namespace dfky

@@ -1,0 +1,24 @@
+// Berlekamp-Welch decoding of (generalized) Reed-Solomon codes.
+//
+// This is the decoder the paper cites ([1] in Sect. 6.3.2) for recovering the
+// traitor-indicator vector phi from the "partially corrupted codeword" theta.
+#pragma once
+
+#include <optional>
+
+#include "poly/polynomial.h"
+
+namespace dfky {
+
+/// Finds the unique polynomial P with deg P < dim such that P(xs[i]) == ys[i]
+/// for all but at most `max_errors` indices, if one exists.
+/// Classic key-equation approach: solve for an error-locator E (monic,
+/// deg <= max_errors) and N = P * E (deg < dim + max_errors) from the linear
+/// system N(x_i) = y_i * E(x_i), then divide.
+std::optional<Polynomial> berlekamp_welch(const Zq& field,
+                                          std::span<const Bigint> xs,
+                                          std::span<const Bigint> ys,
+                                          std::size_t dim,
+                                          std::size_t max_errors);
+
+}  // namespace dfky

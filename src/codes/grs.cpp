@@ -1,0 +1,67 @@
+#include "codes/grs.h"
+
+#include "codes/berlekamp_welch.h"
+#include "poly/lagrange.h"
+
+namespace dfky {
+
+GrsCode::GrsCode(Zq field, std::vector<Bigint> xs, std::vector<Bigint> ws,
+                 std::size_t dim)
+    : field_(std::move(field)),
+      xs_(std::move(xs)),
+      ws_(std::move(ws)),
+      dim_(dim) {
+  require(xs_.size() == ws_.size(), "GrsCode: xs/ws size mismatch");
+  require(dim_ >= 1 && dim_ <= xs_.size(), "GrsCode: bad dimension");
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    xs_[i] = field_.reduce(xs_[i]);
+    ws_[i] = field_.reduce(ws_[i]);
+    require(!ws_[i].is_zero(), "GrsCode: zero column multiplier");
+  }
+}
+
+std::vector<Bigint> GrsCode::encode(const Polynomial& message) const {
+  require(message.degree() < static_cast<int>(dim_),
+          "GrsCode::encode: message degree too high");
+  std::vector<Bigint> out(xs_.size());
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    out[i] = field_.mul(ws_[i], message.eval(xs_[i]));
+  }
+  return out;
+}
+
+bool GrsCode::is_codeword(std::span<const Bigint> word) const {
+  if (word.size() != xs_.size()) return false;
+  // Divide out the multipliers and check the result interpolates to a
+  // polynomial of degree < dim.
+  std::vector<std::pair<Bigint, Bigint>> pts;
+  pts.reserve(word.size());
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    pts.emplace_back(xs_[i], field_.div(word[i], ws_[i]));
+  }
+  const Polynomial p = interpolate(field_, pts);
+  return p.degree() < static_cast<int>(dim_);
+}
+
+std::optional<GrsCode::Decoded> GrsCode::decode(
+    std::span<const Bigint> received, std::size_t max_errors) const {
+  require(received.size() == xs_.size(), "GrsCode::decode: length mismatch");
+  require(max_errors <= max_correctable(),
+          "GrsCode::decode: beyond unique-decoding radius");
+  std::vector<Bigint> ys(received.size());
+  for (std::size_t i = 0; i < received.size(); ++i) {
+    ys[i] = field_.div(received[i], ws_[i]);
+  }
+  auto p = berlekamp_welch(field_, xs_, ys, dim_, max_errors);
+  if (!p) return std::nullopt;
+  Decoded out{std::move(*p), {}, {}};
+  out.codeword = encode(out.message);
+  for (std::size_t i = 0; i < received.size(); ++i) {
+    if (!(out.codeword[i] == field_.reduce(received[i]))) {
+      out.error_positions.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace dfky

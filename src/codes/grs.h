@@ -1,0 +1,57 @@
+// Generalized Reed-Solomon codes over Z_q.
+//
+// The non-black-box tracer (paper Sect. 6.3) recasts a pirate key as a
+// corrupted codeword of the GRS code
+//   C' = { < -(lambda_1/lambda_0^(1)) P(x_1), ...,
+//            -(lambda_n/lambda_0^(n)) P(x_n) > : deg P < n - v }
+// (Lemma 7), whose distance v+1 lets it correct up to m = floor(v/2) errors —
+// exactly the traitor positions.
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.h"
+#include "poly/polynomial.h"
+
+namespace dfky {
+
+/// A GRS code of length xs.size() and dimension `dim`, with codewords
+/// ( ws[0] * P(xs[0]), ..., ws[n-1] * P(xs[n-1]) ), deg P < dim.
+class GrsCode {
+ public:
+  GrsCode(Zq field, std::vector<Bigint> xs, std::vector<Bigint> ws,
+          std::size_t dim);
+
+  const Zq& field() const { return field_; }
+  std::size_t length() const { return xs_.size(); }
+  std::size_t dimension() const { return dim_; }
+  /// Minimum distance n - k + 1 (MDS).
+  std::size_t distance() const { return length() - dim_ + 1; }
+  std::size_t max_correctable() const { return (distance() - 1) / 2; }
+  const std::vector<Bigint>& evaluation_points() const { return xs_; }
+  const std::vector<Bigint>& multipliers() const { return ws_; }
+
+  /// Encodes a message polynomial (deg < dimension).
+  std::vector<Bigint> encode(const Polynomial& message) const;
+
+  bool is_codeword(std::span<const Bigint> word) const;
+
+  struct Decoded {
+    Polynomial message;
+    std::vector<Bigint> codeword;
+    std::vector<std::size_t> error_positions;
+  };
+
+  /// Decodes `received` (length n) correcting up to `max_errors` errors via
+  /// Berlekamp-Welch. Returns nullopt if no codeword lies within range.
+  std::optional<Decoded> decode(std::span<const Bigint> received,
+                                std::size_t max_errors) const;
+
+ private:
+  Zq field_;
+  std::vector<Bigint> xs_;
+  std::vector<Bigint> ws_;
+  std::size_t dim_;
+};
+
+}  // namespace dfky

@@ -1,0 +1,143 @@
+#include "codes/sudan.h"
+
+#include "linalg/gauss.h"
+#include "poly/roots.h"
+
+namespace dfky {
+
+namespace {
+
+/// Monomials x^a y^b with a + b(k-1) <= d, as (a-bound per b) list.
+std::vector<std::size_t> x_bounds(std::size_t k, std::size_t d) {
+  std::vector<std::size_t> out;  // out[b] = max x-degree for y^b, plus one
+  const std::size_t step = k >= 2 ? k - 1 : 1;
+  for (std::size_t b = 0; b * step <= d; ++b) {
+    out.push_back(d - b * step + 1);
+  }
+  return out;
+}
+
+std::size_t monomial_count(std::size_t k, std::size_t d) {
+  std::size_t total = 0;
+  for (std::size_t c : x_bounds(k, d)) total += c;
+  return total;
+}
+
+void rr_descend(const BiPoly& q, std::size_t budget,
+                std::vector<Bigint>& partial,
+                std::vector<std::vector<Bigint>>& found, Rng& rng,
+                std::size_t& nodes) {
+  constexpr std::size_t kNodeCap = 50000;
+  if (++nodes > kNodeCap) return;  // safety valve; verification is sound
+  if (budget == 0) {
+    // The remaining tail of f must be zero: Q(x, 0) = q_0(x) must vanish.
+    if (q.is_zero() || q.y_coeff(0).is_zero()) found.push_back(partial);
+    return;
+  }
+  if (q.is_zero()) {
+    // Every completion works; take the zero completion (candidates are
+    // verified against the agreement bound afterwards anyway).
+    std::vector<Bigint> padded = partial;
+    padded.resize(partial.size() + budget, Bigint(0));
+    found.push_back(std::move(padded));
+    return;
+  }
+  const BiPoly stripped = q.strip_x();
+  const Polynomial r = stripped.at_x_zero();
+  std::vector<Bigint> gammas = polynomial_roots(r, rng);
+  if (r.is_zero()) {
+    // Q(0, y) == 0: any gamma continues a root branch; in particular 0.
+    gammas.push_back(Bigint(0));
+  }
+  for (const Bigint& gamma : gammas) {
+    partial.push_back(gamma);
+    rr_descend(stripped.shift_substitute(gamma), budget - 1, partial, found,
+               rng, nodes);
+    partial.pop_back();
+  }
+}
+
+}  // namespace
+
+bool sudan_feasible(std::size_t n, std::size_t k, std::size_t t) {
+  if (t == 0 || k == 0 || t > n) return false;
+  return monomial_count(k, t - 1) > n;
+}
+
+std::vector<Polynomial> y_roots(const BiPoly& q, std::size_t k, Rng& rng) {
+  std::vector<Polynomial> out;
+  if (q.is_zero()) return out;
+  std::vector<Bigint> partial;
+  std::vector<std::vector<Bigint>> found;
+  std::size_t nodes = 0;
+  rr_descend(q, k, partial, found, rng, nodes);
+  for (auto& coeffs : found) {
+    Polynomial f(q.field(), std::move(coeffs));
+    // Deduplicate and verify Q(x, f(x)) == 0.
+    bool dup = false;
+    for (const Polynomial& g : out) {
+      if (g == f) dup = true;
+    }
+    if (!dup && q.eval_poly(f).is_zero()) out.push_back(std::move(f));
+  }
+  return out;
+}
+
+std::vector<Polynomial> sudan_list_decode(const Zq& field,
+                                          std::span<const Bigint> xs,
+                                          std::span<const Bigint> ys,
+                                          std::size_t k, std::size_t t,
+                                          Rng& rng) {
+  const std::size_t n = xs.size();
+  require(ys.size() == n, "sudan: size mismatch");
+  require(sudan_feasible(n, k, t),
+          "sudan: agreement too low for multiplicity-1 interpolation");
+  const std::size_t d = t - 1;
+  const std::vector<std::size_t> bounds = x_bounds(k, d);
+  const std::size_t cols = monomial_count(k, d);
+
+  // Interpolation matrix: one row per point, one column per monomial
+  // x^a y^b (a < bounds[b]).
+  Matrix m(field, n, cols);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t col = 0;
+    Bigint ypow(1);
+    for (std::size_t b = 0; b < bounds.size(); ++b) {
+      Bigint xpow(1);
+      for (std::size_t a = 0; a < bounds[b]; ++a) {
+        m.at(i, col++) = field.mul(ypow, xpow);
+        xpow = field.mul(xpow, xs[i]);
+      }
+      ypow = field.mul(ypow, ys[i]);
+    }
+  }
+  const auto kv = kernel_vector(m);
+  if (!kv) throw MathError("sudan: interpolation failed (no kernel)");
+
+  // Assemble Q from the kernel vector.
+  std::vector<Polynomial> qc;
+  {
+    std::size_t col = 0;
+    for (std::size_t b = 0; b < bounds.size(); ++b) {
+      std::vector<Bigint> c(kv->begin() + static_cast<long>(col),
+                            kv->begin() + static_cast<long>(col + bounds[b]));
+      qc.push_back(Polynomial(field, std::move(c)));
+      col += bounds[b];
+    }
+  }
+  const BiPoly q(field, std::move(qc));
+
+  // Extract y-roots and keep those meeting the agreement bound.
+  std::vector<Polynomial> out;
+  for (Polynomial& f : y_roots(q, k, rng)) {
+    if (f.degree() >= static_cast<int>(k)) continue;
+    std::size_t agree = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (f.eval(xs[i]) == field.reduce(ys[i])) ++agree;
+    }
+    if (agree >= t) out.push_back(std::move(f));
+  }
+  return out;
+}
+
+}  // namespace dfky

@@ -1,0 +1,41 @@
+// Sudan list decoding of Reed-Solomon codes beyond half the minimum
+// distance.
+//
+// The paper (Sect. 6.3.2, "Time-Complexity") notes that when the traitor
+// coalition exceeds m = floor(v/2), candidate traitor sets can still be
+// extracted with Guruswami-Sudan-style decoding "beyond the error-correction
+// bound". This module implements the multiplicity-1 (Sudan) variant:
+//
+//  1. Interpolate a nonzero bivariate Q(x, y) with (1, k-1)-weighted degree
+//     at most D = t - 1 vanishing on all n points (possible whenever the
+//     monomial count exceeds n);
+//  2. every f with deg f < k agreeing with the points in >= t positions
+//     satisfies (y - f(x)) | Q, so the y-roots of Q (Roth-Ruckenstein)
+//     contain all such f;
+//  3. verify each candidate's agreement count.
+//
+// For the low-rate regime (k << n) this decodes well beyond (n - k) / 2.
+#pragma once
+
+#include "poly/bivariate.h"
+
+namespace dfky {
+
+/// True iff the Sudan interpolation step is feasible for these parameters:
+/// the number of monomials of (1, k-1)-weighted degree <= t-1 exceeds n.
+bool sudan_feasible(std::size_t n, std::size_t k, std::size_t t);
+
+/// All polynomials f with deg f < k and f(xs[i]) == ys[i] for at least `t`
+/// indices. Throws ContractError when parameters are infeasible
+/// (use sudan_feasible to probe).
+std::vector<Polynomial> sudan_list_decode(const Zq& field,
+                                          std::span<const Bigint> xs,
+                                          std::span<const Bigint> ys,
+                                          std::size_t k, std::size_t t,
+                                          Rng& rng);
+
+/// The Roth-Ruckenstein y-root extraction: all f with deg f < k and
+/// Q(x, f(x)) == 0. Exposed for tests.
+std::vector<Polynomial> y_roots(const BiPoly& q, std::size_t k, Rng& rng);
+
+}  // namespace dfky

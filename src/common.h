@@ -1,0 +1,46 @@
+// Common error types and small utilities shared by every dfky module.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dfky {
+
+using byte = std::uint8_t;
+using Bytes = std::vector<byte>;
+using BytesView = std::span<const byte>;
+
+/// Base class for all library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition (bad argument, wrong state).
+class ContractError : public Error {
+ public:
+  explicit ContractError(const std::string& what) : Error(what) {}
+};
+
+/// A wire message failed to parse or authenticate.
+class DecodeError : public Error {
+ public:
+  explicit DecodeError(const std::string& what) : Error(what) {}
+};
+
+/// An algorithm's mathematical precondition failed at runtime
+/// (singular matrix, non-invertible element, undecodable word, ...).
+class MathError : public Error {
+ public:
+  explicit MathError(const std::string& what) : Error(what) {}
+};
+
+/// Throws ContractError with `msg` unless `cond` holds.
+inline void require(bool cond, const char* msg) {
+  if (!cond) throw ContractError(msg);
+}
+
+}  // namespace dfky

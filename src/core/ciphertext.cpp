@@ -1,0 +1,51 @@
+#include "core/ciphertext.h"
+
+#include "serial/codec.h"
+
+namespace dfky {
+
+std::vector<Bigint> Ciphertext::slot_ids() const {
+  std::vector<Bigint> out;
+  out.reserve(slots.size());
+  for (const CtSlot& s : slots) out.push_back(s.z);
+  return out;
+}
+
+void Ciphertext::serialize(Writer& w_, const Group& group) const {
+  w_.put_u64(period);
+  put_gelt(w_, group, u);
+  put_gelt(w_, group, u2);
+  put_gelt(w_, group, w);
+  require(slots.size() <= UINT32_MAX, "Ciphertext: too many slots");
+  w_.put_u32(static_cast<std::uint32_t>(slots.size()));
+  for (const CtSlot& s : slots) {
+    put_bigint(w_, s.z);
+    put_gelt(w_, group, s.hr);
+  }
+}
+
+Ciphertext Ciphertext::deserialize(Reader& r, const Group& group) {
+  Ciphertext ct;
+  ct.period = r.get_u64();
+  ct.u = get_gelt(r, group);
+  ct.u2 = get_gelt(r, group);
+  ct.w = get_gelt(r, group);
+  const std::uint32_t n = r.get_u32();
+  r.check_count(n, 4 + group.element_size());
+  ct.slots.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    CtSlot s;
+    s.z = get_bigint(r);
+    s.hr = get_gelt(r, group);
+    ct.slots.push_back(std::move(s));
+  }
+  return ct;
+}
+
+std::size_t Ciphertext::wire_size(const Group& group) const {
+  Writer w_;
+  serialize(w_, group);
+  return w_.size();
+}
+
+}  // namespace dfky

@@ -1,0 +1,32 @@
+// Broadcast ciphertext (paper Sect. 4, Encryption):
+//   psi = < g^r, g'^r, y^r * M, (z_1, h_1^r), ..., (z_v, h_v^r) >.
+// The slot identities travel with the ciphertext so receivers are stateless
+// within a period: they need no knowledge of intervening Remove-user
+// operations to decrypt.
+#pragma once
+
+#include "core/keys.h"
+
+namespace dfky {
+
+struct CtSlot {
+  Bigint z;
+  Gelt hr;  // h_l^r
+};
+
+struct Ciphertext {
+  Gelt u;   // g^r
+  Gelt u2;  // g'^r
+  Gelt w;   // y^r * M
+  std::vector<CtSlot> slots;
+  std::uint64_t period = 0;
+
+  std::vector<Bigint> slot_ids() const;
+
+  void serialize(Writer& w_, const Group& group) const;
+  static Ciphertext deserialize(Reader& r, const Group& group);
+  /// Serialized size in bytes (the transmission-efficiency metric).
+  std::size_t wire_size(const Group& group) const;
+};
+
+}  // namespace dfky

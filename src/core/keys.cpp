@@ -1,0 +1,100 @@
+#include "core/keys.h"
+
+#include "serial/codec.h"
+
+namespace dfky {
+
+SystemParams SystemParams::create(Group group, std::size_t v, Rng& rng) {
+  require(v >= 1, "SystemParams: saturation limit must be >= 1");
+  SystemParams sp{std::move(group), Gelt(), Gelt(), v};
+  // Two independent random generators of the (prime-order) subgroup: any
+  // non-identity element generates it.
+  do {
+    sp.g = sp.group.random_element(rng);
+  } while (sp.g == sp.group.one());
+  do {
+    sp.g2 = sp.group.random_element(rng);
+  } while (sp.g2 == sp.group.one() || sp.g2 == sp.g);
+  return sp;
+}
+
+std::vector<Bigint> PublicKey::slot_ids() const {
+  std::vector<Bigint> out;
+  out.reserve(slots.size());
+  for (const PkSlot& s : slots) out.push_back(s.z);
+  return out;
+}
+
+bool PublicKey::has_slot_id(const Bigint& z) const {
+  for (const PkSlot& s : slots) {
+    if (s.z == z) return true;
+  }
+  return false;
+}
+
+void PublicKey::serialize(Writer& w, const Group& group) const {
+  w.put_u64(period);
+  put_gelt(w, group, g);
+  put_gelt(w, group, g2);
+  put_gelt(w, group, y);
+  require(slots.size() <= UINT32_MAX, "PublicKey: too many slots");
+  w.put_u32(static_cast<std::uint32_t>(slots.size()));
+  for (const PkSlot& s : slots) {
+    put_bigint(w, s.z);
+    put_gelt(w, group, s.h);
+  }
+}
+
+PublicKey PublicKey::deserialize(Reader& r, const Group& group) {
+  PublicKey pk;
+  pk.period = r.get_u64();
+  pk.g = get_gelt(r, group);
+  pk.g2 = get_gelt(r, group);
+  pk.y = get_gelt(r, group);
+  const std::uint32_t n = r.get_u32();
+  r.check_count(n, 4 + group.element_size());
+  pk.slots.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    PkSlot s;
+    s.z = get_bigint(r);
+    s.h = get_gelt(r, group);
+    pk.slots.push_back(std::move(s));
+  }
+  return pk;
+}
+
+void UserKey::serialize(Writer& w) const {
+  w.put_u64(period);
+  put_bigint(w, x);
+  put_bigint(w, ax);
+  put_bigint(w, bx);
+}
+
+UserKey UserKey::deserialize(Reader& r) {
+  UserKey k;
+  k.period = r.get_u64();
+  k.x = get_bigint(r);
+  k.ax = get_bigint(r);
+  k.bx = get_bigint(r);
+  return k;
+}
+
+bool Representation::valid_for(const SystemParams& sp,
+                               const PublicKey& pk) const {
+  if (tail.size() != pk.slots.size()) return false;
+  std::vector<Gelt> bases;
+  std::vector<Bigint> exps;
+  bases.reserve(tail.size() + 2);
+  exps.reserve(tail.size() + 2);
+  bases.push_back(pk.g);
+  exps.push_back(gamma_a);
+  bases.push_back(pk.g2);
+  exps.push_back(gamma_b);
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    bases.push_back(pk.slots[i].h);
+    exps.push_back(tail[i]);
+  }
+  return multiexp(sp.group, bases, exps) == pk.y;
+}
+
+}  // namespace dfky

@@ -1,0 +1,262 @@
+#include "core/manager.h"
+
+#include "serial/codec.h"
+
+namespace dfky {
+
+namespace {
+
+constexpr std::uint32_t kStateMagic = 0x64666b79;  // "dfky"
+constexpr std::uint8_t kStateVersion = 1;
+
+void put_poly_fixed(Writer& w, const Polynomial& p, std::size_t v) {
+  for (std::size_t i = 0; i <= v; ++i) put_bigint(w, p.coeff(i));
+}
+
+Polynomial get_poly_fixed(Reader& r, const Zq& zq, std::size_t v) {
+  std::vector<Bigint> c;
+  c.reserve(v + 1);
+  for (std::size_t i = 0; i <= v; ++i) c.push_back(get_bigint(r));
+  return Polynomial(zq, std::move(c));
+}
+
+}  // namespace
+
+SecurityManager::SecurityManager(SystemParams sp, Rng& rng,
+                                 ResetMode default_mode)
+    : sp_(std::move(sp)),
+      msk_(Polynomial::zero(sp_.group.zq()), Polynomial::zero(sp_.group.zq())),
+      sign_key_(SchnorrKeyPair::generate(sp_.group, rng)),
+      default_mode_(default_mode) {
+  SetupResult s = setup(sp_, rng);
+  msk_ = std::move(s.msk);
+  pk_ = std::move(s.pk);
+}
+
+Bigint SecurityManager::fresh_x(Rng& rng) {
+  const Bigint v_bound(static_cast<long>(sp_.v));
+  while (true) {
+    Bigint x = rng.uniform_nonzero_below(sp_.group.order());
+    if (x <= v_bound) continue;  // placeholder identities 1..v are reserved
+    if (used_x_.contains(x)) continue;
+    return x;
+  }
+}
+
+SecurityManager::AddedUser SecurityManager::add_user(Rng& rng) {
+  const Bigint x = fresh_x(rng);
+  const std::uint64_t id = users_.size();
+  users_.push_back(UserRecord{id, x, false, 0});
+  used_x_.insert(x);
+  return AddedUser{id, issue_user_key(sp_, msk_, x, pk_.period)};
+}
+
+SecurityManager::AddedUser SecurityManager::add_user_with_value(
+    const Bigint& x) {
+  const Bigint xr = sp_.group.zq().reduce(x);
+  require(!xr.is_zero(), "add_user_with_value: x must be nonzero");
+  require(xr > Bigint(static_cast<long>(sp_.v)),
+          "add_user_with_value: x collides with placeholder identities");
+  require(!used_x_.contains(xr), "add_user_with_value: x already in use");
+  const std::uint64_t id = users_.size();
+  users_.push_back(UserRecord{id, xr, false, 0});
+  used_x_.insert(xr);
+  return AddedUser{id, issue_user_key(sp_, msk_, xr, pk_.period)};
+}
+
+const UserRecord& SecurityManager::user(std::uint64_t id) const {
+  require(id < users_.size(), "SecurityManager: unknown user id");
+  return users_[id];
+}
+
+std::optional<SignedResetBundle> SecurityManager::remove_user(std::uint64_t id,
+                                                              Rng& rng) {
+  return remove_user(id, rng, default_mode_);
+}
+
+std::optional<SignedResetBundle> SecurityManager::remove_user(std::uint64_t id,
+                                                              Rng& rng,
+                                                              ResetMode mode) {
+  require(id < users_.size(), "remove_user: unknown user id");
+  UserRecord& rec = users_[id];
+  require(!rec.revoked, "remove_user: user already revoked");
+
+  std::optional<SignedResetBundle> bundle;
+  if (level_ == sp_.v) {
+    bundle = new_period(rng, mode);
+  }
+  revoke_into_slot(sp_, msk_, pk_, level_, rec.x);
+  ++level_;
+  rec.revoked = true;
+  rec.revoked_in_period = pk_.period;
+  return bundle;
+}
+
+std::vector<SignedResetBundle> SecurityManager::remove_users(
+    std::span<const std::uint64_t> ids, Rng& rng) {
+  return remove_users(ids, rng, default_mode_);
+}
+
+std::vector<SignedResetBundle> SecurityManager::remove_users(
+    std::span<const std::uint64_t> ids, Rng& rng, ResetMode mode) {
+  // All-or-nothing validation before any state change.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t id : ids) {
+    require(id < users_.size(), "remove_users: unknown user id");
+    require(!users_[id].revoked, "remove_users: user already revoked");
+    require(seen.insert(id).second, "remove_users: duplicate user id");
+  }
+  std::vector<SignedResetBundle> bundles;
+  for (std::uint64_t id : ids) {
+    auto bundle = remove_user(id, rng, mode);
+    if (bundle) bundles.push_back(std::move(*bundle));
+  }
+  return bundles;
+}
+
+SignedResetBundle SecurityManager::new_period(Rng& rng) {
+  return new_period(rng, default_mode_);
+}
+
+SecurityManager::SecurityManager(RestoreTag, SystemParams sp,
+                                 MasterSecret msk, PublicKey pk,
+                                 SchnorrKeyPair sign_key, ResetMode mode,
+                                 std::size_t level,
+                                 std::vector<UserRecord> users)
+    : sp_(std::move(sp)),
+      msk_(std::move(msk)),
+      pk_(std::move(pk)),
+      sign_key_(std::move(sign_key)),
+      default_mode_(mode),
+      level_(level),
+      users_(std::move(users)) {
+  for (const UserRecord& u : users_) used_x_.insert(u.x);
+}
+
+Bytes SecurityManager::save_state() const {
+  Writer w;
+  w.put_u32(kStateMagic);
+  w.put_u8(kStateVersion);
+  // Group and system parameters.
+  w.put_u8(sp_.group.is_elliptic() ? 1 : 0);
+  if (sp_.group.is_elliptic()) {
+    const CurveSpec& c = sp_.group.curve();
+    put_bigint(w, c.p);
+    put_bigint(w, c.a);
+    put_bigint(w, c.b);
+    put_bigint(w, c.q);
+    put_bigint(w, c.gx);
+    put_bigint(w, c.gy);
+  } else {
+    put_bigint(w, sp_.group.p());
+    put_bigint(w, sp_.group.order());
+    put_bigint(w, sp_.group.params().g);
+  }
+  put_gelt(w, sp_.group, sp_.g);
+  put_gelt(w, sp_.group, sp_.g2);
+  w.put_u64(sp_.v);
+  // Master secret.
+  put_poly_fixed(w, msk_.a, sp_.v);
+  put_poly_fixed(w, msk_.b, sp_.v);
+  // Public key, signing key, bookkeeping.
+  pk_.serialize(w, sp_.group);
+  sign_key_.serialize_secret(w, sp_.group);
+  w.put_u8(static_cast<std::uint8_t>(default_mode_));
+  w.put_u64(level_);
+  w.put_u64(users_.size());
+  for (const UserRecord& u : users_) {
+    w.put_u64(u.id);
+    put_bigint(w, u.x);
+    w.put_u8(u.revoked ? 1 : 0);
+    w.put_u64(u.revoked_in_period);
+  }
+  return std::move(w).take();
+}
+
+SecurityManager SecurityManager::restore_state(BytesView state) {
+  Reader r(state);
+  if (r.get_u32() != kStateMagic) {
+    throw DecodeError("SecurityManager: bad state magic");
+  }
+  if (r.get_u8() != kStateVersion) {
+    throw DecodeError("SecurityManager: unsupported state version");
+  }
+  const std::uint8_t group_kind = r.get_u8();
+  if (group_kind > 1) throw DecodeError("SecurityManager: bad group kind");
+  std::optional<Group> group_opt;
+  if (group_kind == 1) {
+    CurveSpec c;
+    c.p = get_bigint(r);
+    c.a = get_bigint(r);
+    c.b = get_bigint(r);
+    c.q = get_bigint(r);
+    c.gx = get_bigint(r);
+    c.gy = get_bigint(r);
+    group_opt.emplace(c);
+  } else {
+    GroupParams gp;
+    gp.p = get_bigint(r);
+    gp.q = get_bigint(r);
+    gp.g = get_bigint(r);
+    group_opt.emplace(gp);
+  }
+  Group& group = *group_opt;
+  SystemParams sp{group, Gelt(), Gelt(), 0};
+  sp.g = get_gelt(r, group);
+  sp.g2 = get_gelt(r, group);
+  sp.v = r.get_u64();
+  if (sp.v == 0 || sp.v > (1u << 20)) {
+    throw DecodeError("SecurityManager: implausible saturation limit");
+  }
+  r.check_count(2 * (sp.v + 1), 4);  // coefficient length prefixes
+  MasterSecret msk{get_poly_fixed(r, group.zq(), sp.v),
+                   get_poly_fixed(r, group.zq(), sp.v)};
+  PublicKey pk = PublicKey::deserialize(r, group);
+  if (pk.slots.size() != sp.v) {
+    throw DecodeError("SecurityManager: slot count mismatch");
+  }
+  SchnorrKeyPair sign_key = SchnorrKeyPair::deserialize_secret(r, group);
+  const auto mode_raw = r.get_u8();
+  if (mode_raw > 1) throw DecodeError("SecurityManager: bad reset mode");
+  const std::size_t level = r.get_u64();
+  if (level > sp.v) throw DecodeError("SecurityManager: bad saturation level");
+  const std::uint64_t n = r.get_u64();
+  r.check_count(n, 8 + 4 + 1 + 8);  // id + x length prefix + flag + period
+  std::vector<UserRecord> users;
+  users.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    UserRecord u;
+    u.id = r.get_u64();
+    u.x = get_bigint(r);
+    u.revoked = r.get_u8() != 0;
+    u.revoked_in_period = r.get_u64();
+    if (u.id != i) throw DecodeError("SecurityManager: non-sequential ids");
+    users.push_back(std::move(u));
+  }
+  r.expect_end();
+  return SecurityManager(RestoreTag{}, std::move(sp), std::move(msk),
+                         std::move(pk), std::move(sign_key),
+                         static_cast<ResetMode>(mode_raw), level,
+                         std::move(users));
+}
+
+SignedResetBundle SecurityManager::new_period(Rng& rng, ResetMode mode) {
+  const Zq& zq = sp_.group.zq();
+  const Polynomial d = Polynomial::random(zq, sp_.v, rng);
+  const Polynomial e = Polynomial::random(zq, sp_.v, rng);
+
+  SignedResetBundle bundle;
+  bundle.reset = build_reset_message(sp_, pk_, d, e, mode, rng);
+
+  // Update the master secret and publish the fresh public key.
+  msk_.a = msk_.a + d;
+  msk_.b = msk_.b + e;
+  pk_ = make_fresh_public_key(sp_, msk_, pk_.period + 1);
+  level_ = 0;
+
+  bundle.signature =
+      sign_key_.sign(sp_.group, bundle.signed_payload(sp_.group), rng);
+  return bundle;
+}
+
+}  // namespace dfky

@@ -1,0 +1,103 @@
+// The security manager: the stateful orchestrator of the scheme's lifecycle
+// (paper Sect. 2): Setup, Add-user, Remove-user with saturation bookkeeping,
+// and New-period (reactive on saturation overflow, or proactive on demand).
+#pragma once
+
+#include <optional>
+#include <set>
+
+#include "core/reset_message.h"
+#include "core/scheme.h"
+
+namespace dfky {
+
+struct UserRecord {
+  std::uint64_t id = 0;
+  Bigint x;
+  bool revoked = false;
+  std::uint64_t revoked_in_period = 0;  // meaningful iff revoked
+};
+
+class SecurityManager {
+ public:
+  /// Runs Setup and generates the manager's Schnorr signing key.
+  SecurityManager(SystemParams sp, Rng& rng,
+                  ResetMode default_mode = ResetMode::kHybrid);
+
+  const SystemParams& params() const { return sp_; }
+  const PublicKey& public_key() const { return pk_; }
+  /// Verification key for the manager's signed broadcasts.
+  const Gelt& verification_key() const { return sign_key_.public_key(); }
+  std::uint64_t period() const { return pk_.period; }
+  /// Users revoked so far in the current period (the saturation level L).
+  std::size_t saturation_level() const { return level_; }
+  std::size_t saturation_limit() const { return sp_.v; }
+
+  struct AddedUser {
+    std::uint64_t id;
+    UserKey key;
+  };
+
+  /// Add-user with a manager-chosen random identity value x.
+  AddedUser add_user(Rng& rng);
+  /// Join-query variant (Sect. 5.1): the caller chooses x. Throws
+  /// ContractError if x lies in the placeholder range {1..v}, is zero, or is
+  /// already taken.
+  AddedUser add_user_with_value(const Bigint& x);
+
+  /// Remove-user. If the saturation limit is already reached, a New-period
+  /// operation is executed first and its signed bundle is returned; the
+  /// public key is edited either way. Throws ContractError for unknown or
+  /// already-revoked users.
+  std::optional<SignedResetBundle> remove_user(std::uint64_t id, Rng& rng);
+  std::optional<SignedResetBundle> remove_user(std::uint64_t id, Rng& rng,
+                                               ResetMode mode);
+
+  /// Batch Remove-user, the paper's native form (Sect. 4: identities
+  /// i_1..i_k with L + k <= v per period). Handles any batch size by
+  /// rolling periods as needed; returns every reset bundle emitted, in
+  /// broadcast order. Validates all ids upfront (all-or-nothing).
+  std::vector<SignedResetBundle> remove_users(
+      std::span<const std::uint64_t> ids, Rng& rng);
+  std::vector<SignedResetBundle> remove_users(
+      std::span<const std::uint64_t> ids, Rng& rng, ResetMode mode);
+
+  /// Proactive period change.
+  SignedResetBundle new_period(Rng& rng);
+  SignedResetBundle new_period(Rng& rng, ResetMode mode);
+
+  // -- views used by tracing and the attack games -----------------------------
+  const std::vector<UserRecord>& users() const { return users_; }
+  const UserRecord& user(std::uint64_t id) const;
+  bool is_revoked(std::uint64_t id) const { return user(id).revoked; }
+  /// Master secret (tracing algorithms are run by the manager).
+  const MasterSecret& master_secret() const { return msk_; }
+
+  // -- persistence -------------------------------------------------------------
+  /// Serializes the COMPLETE manager state — including the master secret
+  /// polynomials and the signing key — for the manager's own durable
+  /// storage. Never broadcast this.
+  Bytes save_state() const;
+  /// Restores a manager from save_state output. Throws DecodeError on
+  /// malformed or inconsistent state.
+  static SecurityManager restore_state(BytesView state);
+
+ private:
+  struct RestoreTag {};
+  SecurityManager(RestoreTag, SystemParams sp, MasterSecret msk, PublicKey pk,
+                  SchnorrKeyPair sign_key, ResetMode mode, std::size_t level,
+                  std::vector<UserRecord> users);
+
+  Bigint fresh_x(Rng& rng);
+
+  SystemParams sp_;
+  MasterSecret msk_;
+  PublicKey pk_;
+  SchnorrKeyPair sign_key_;
+  ResetMode default_mode_;
+  std::size_t level_ = 0;
+  std::vector<UserRecord> users_;
+  std::set<Bigint> used_x_;
+};
+
+}  // namespace dfky

@@ -1,0 +1,26 @@
+#include "core/receiver.h"
+
+namespace dfky {
+
+Receiver::Receiver(SystemParams sp, UserKey key, Gelt manager_vk)
+    : sp_(std::move(sp)), key_(std::move(key)), manager_vk_(std::move(manager_vk)) {}
+
+Gelt Receiver::decrypt(const Ciphertext& ct) const {
+  return dfky::decrypt(sp_, key_, ct);
+}
+
+void Receiver::apply_reset(const SignedResetBundle& bundle) {
+  if (!bundle.verify(sp_.group, manager_vk_)) {
+    throw DecodeError("Receiver: reset bundle signature invalid");
+  }
+  if (bundle.reset.new_period != key_.period + 1) {
+    throw DecodeError("Receiver: reset message for unexpected period");
+  }
+  const auto [d, e] = open_reset_message(sp_, key_, bundle.reset);
+  const Zq& zq = sp_.group.zq();
+  key_.ax = zq.add(key_.ax, d.eval(key_.x));
+  key_.bx = zq.add(key_.bx, e.eval(key_.x));
+  key_.period = bundle.reset.new_period;
+}
+
+}  // namespace dfky

@@ -1,0 +1,35 @@
+// A subscriber's receiver: stateless within a period, stateful across
+// periods (paper Sect. 2). Holds the user key, decrypts broadcasts, and
+// follows signed New-period announcements by updating its key.
+#pragma once
+
+#include "core/reset_message.h"
+#include "core/scheme.h"
+
+namespace dfky {
+
+class Receiver {
+ public:
+  Receiver(SystemParams sp, UserKey key, Gelt manager_vk);
+
+  const UserKey& key() const { return key_; }
+  std::uint64_t period() const { return key_.period; }
+
+  /// Decrypts a broadcast ciphertext. Throws ContractError if the ciphertext
+  /// belongs to a different period or this receiver is revoked in it.
+  Gelt decrypt(const Ciphertext& ct) const;
+
+  /// Processes a signed change-period broadcast: verifies the manager's
+  /// signature, recovers the randomizing polynomials with the current key,
+  /// and updates SK_i := < x_i, A(x_i)+D(x_i), B(x_i)+E(x_i) >.
+  /// Throws DecodeError on a bad signature, a wrong period, or (hybrid mode)
+  /// when this receiver has been revoked and cannot follow the change.
+  void apply_reset(const SignedResetBundle& bundle);
+
+ private:
+  SystemParams sp_;
+  UserKey key_;
+  Gelt manager_vk_;
+};
+
+}  // namespace dfky

@@ -1,0 +1,104 @@
+#include "crypto/chacha20.h"
+
+#include <bit>
+
+namespace dfky {
+
+namespace {
+
+inline std::uint32_t load_le32(const byte* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline void store_le32(byte* p, std::uint32_t v) {
+  p[0] = static_cast<byte>(v);
+  p[1] = static_cast<byte>(v >> 8);
+  p[2] = static_cast<byte>(v >> 16);
+  p[3] = static_cast<byte>(v >> 24);
+}
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b;
+  d = std::rotl(d ^ a, 16);
+  c += d;
+  b = std::rotl(b ^ c, 12);
+  a += b;
+  d = std::rotl(d ^ a, 8);
+  c += d;
+  b = std::rotl(b ^ c, 7);
+}
+
+void chacha_block(const std::array<std::uint32_t, 16>& in,
+                  std::array<byte, ChaCha20::kBlockSize>& out) {
+  std::array<std::uint32_t, 16> x = in;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    store_le32(out.data() + 4 * i, x[i] + in[i]);
+  }
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(BytesView key, BytesView nonce, std::uint32_t counter) {
+  require(key.size() == kKeySize, "ChaCha20: key must be 32 bytes");
+  require(nonce.size() == kNonceSize, "ChaCha20: nonce must be 12 bytes");
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state_[4 + i] = load_le32(key.data() + 4 * i);
+  state_[12] = counter;
+  for (int i = 0; i < 3; ++i) state_[13 + i] = load_le32(nonce.data() + 4 * i);
+}
+
+void ChaCha20::refill() {
+  chacha_block(state_, buf_);
+  ++state_[12];  // RFC 8439 counter wraps mod 2^32; callers never reach that
+  buf_pos_ = 0;
+}
+
+void ChaCha20::apply(std::span<byte> data) {
+  for (byte& b : data) {
+    if (buf_pos_ == kBlockSize) refill();
+    b ^= buf_[buf_pos_++];
+  }
+}
+
+void ChaCha20::keystream(std::span<byte> out) {
+  for (byte& b : out) {
+    if (buf_pos_ == kBlockSize) refill();
+    b = buf_[buf_pos_++];
+  }
+}
+
+std::array<byte, ChaCha20::kBlockSize> ChaCha20::block(BytesView key,
+                                                       BytesView nonce,
+                                                       std::uint32_t counter) {
+  ChaCha20 c(key, nonce, counter);
+  std::array<byte, kBlockSize> out{};
+  c.keystream(out);
+  return out;
+}
+
+Bytes chacha20_xor(BytesView key, BytesView nonce, std::uint32_t counter,
+                   BytesView data) {
+  Bytes out(data.begin(), data.end());
+  ChaCha20 c(key, nonce, counter);
+  c.apply(out);
+  return out;
+}
+
+}  // namespace dfky

@@ -1,0 +1,45 @@
+// ChaCha20 stream cipher (RFC 8439).
+//
+// Used for (a) the deterministic PRG behind ChaChaRng and (b) the one-time
+// symmetric encryption of the hybrid New-period reset message (paper Sect. 4,
+// Remark).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common.h"
+
+namespace dfky {
+
+class ChaCha20 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kNonceSize = 12;
+  static constexpr std::size_t kBlockSize = 64;
+
+  ChaCha20(BytesView key, BytesView nonce, std::uint32_t counter = 0);
+
+  /// XORs the keystream into `data` in place (encrypt == decrypt).
+  void apply(std::span<byte> data);
+
+  /// Produces `out.size()` keystream bytes.
+  void keystream(std::span<byte> out);
+
+  /// One 64-byte block for the given key/nonce/counter (RFC 8439 block fn).
+  static std::array<byte, kBlockSize> block(BytesView key, BytesView nonce,
+                                            std::uint32_t counter);
+
+ private:
+  void refill();
+
+  std::array<std::uint32_t, 16> state_{};
+  std::array<byte, kBlockSize> buf_{};
+  std::size_t buf_pos_ = kBlockSize;  // exhausted
+};
+
+/// Convenience one-shot: XOR `data` with the ChaCha20 keystream.
+Bytes chacha20_xor(BytesView key, BytesView nonce, std::uint32_t counter,
+                   BytesView data);
+
+}  // namespace dfky

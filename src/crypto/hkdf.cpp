@@ -1,0 +1,36 @@
+#include "crypto/hkdf.h"
+
+namespace dfky {
+
+Sha256::Digest hkdf_extract(BytesView salt, BytesView ikm) {
+  static constexpr std::array<byte, Sha256::kDigestSize> kZeroSalt{};
+  return HmacSha256::mac(salt.empty() ? BytesView(kZeroSalt) : salt, ikm);
+}
+
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t len) {
+  require(len <= 255 * Sha256::kDigestSize, "hkdf_expand: output too long");
+  Bytes out;
+  out.reserve(len);
+  Sha256::Digest t{};
+  std::size_t t_len = 0;
+  byte counter = 1;
+  while (out.size() < len) {
+    HmacSha256 h(prk);
+    h.update(BytesView(t.data(), t_len));
+    h.update(info);
+    h.update(BytesView(&counter, 1));
+    t = h.finish();
+    t_len = t.size();
+    const std::size_t take = std::min(t_len, len - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + take);
+    ++counter;
+  }
+  return out;
+}
+
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t len) {
+  const auto prk = hkdf_extract(salt, ikm);
+  return hkdf_expand(prk, info, len);
+}
+
+}  // namespace dfky

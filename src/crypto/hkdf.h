@@ -1,0 +1,19 @@
+// HKDF-SHA256 (RFC 5869). Derives symmetric keys from group elements in the
+// hybrid New-period path and in content key encapsulation.
+#pragma once
+
+#include "crypto/hmac.h"
+
+namespace dfky {
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Sha256::Digest hkdf_extract(BytesView salt, BytesView ikm);
+
+/// HKDF-Expand: `len` bytes of output keyed by `prk`, bound to `info`.
+/// `len` must be <= 255 * 32.
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t len);
+
+/// Extract-then-expand convenience.
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t len);
+
+}  // namespace dfky

@@ -1,0 +1,50 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace dfky {
+
+HmacSha256::HmacSha256(BytesView key) {
+  std::array<byte, Sha256::kBlockSize> k{};
+  if (key.size() > Sha256::kBlockSize) {
+    const auto d = Sha256::hash(key);
+    std::memcpy(k.data(), d.data(), d.size());
+  } else {
+    std::memcpy(k.data(), key.data(), key.size());
+  }
+  std::array<byte, Sha256::kBlockSize> ipad_key;
+  for (std::size_t i = 0; i < k.size(); ++i) {
+    ipad_key[i] = k[i] ^ 0x36;
+    opad_key_[i] = k[i] ^ 0x5c;
+  }
+  inner_.update(ipad_key);
+}
+
+HmacSha256& HmacSha256::update(BytesView data) {
+  inner_.update(data);
+  return *this;
+}
+
+HmacSha256::Tag HmacSha256::finish() {
+  const auto inner_digest = inner_.finish();
+  Sha256 outer;
+  outer.update(opad_key_);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+HmacSha256::Tag HmacSha256::mac(BytesView key, BytesView data) {
+  HmacSha256 h(key);
+  h.update(data);
+  return h.finish();
+}
+
+bool HmacSha256::verify(BytesView key, BytesView data, BytesView tag) {
+  if (tag.size() != kTagSize) return false;
+  const Tag expect = mac(key, data);
+  byte diff = 0;
+  for (std::size_t i = 0; i < kTagSize; ++i) diff |= expect[i] ^ tag[i];
+  return diff == 0;
+}
+
+}  // namespace dfky

@@ -1,0 +1,27 @@
+// HMAC-SHA256 (RFC 2104).
+#pragma once
+
+#include "crypto/sha256.h"
+
+namespace dfky {
+
+class HmacSha256 {
+ public:
+  static constexpr std::size_t kTagSize = Sha256::kDigestSize;
+  using Tag = Sha256::Digest;
+
+  explicit HmacSha256(BytesView key);
+
+  HmacSha256& update(BytesView data);
+  Tag finish();
+
+  static Tag mac(BytesView key, BytesView data);
+  /// Constant-time tag comparison.
+  static bool verify(BytesView key, BytesView data, BytesView tag);
+
+ private:
+  Sha256 inner_;
+  std::array<byte, Sha256::kBlockSize> opad_key_{};
+};
+
+}  // namespace dfky

@@ -1,0 +1,80 @@
+#include "crypto/schnorr.h"
+
+#include "crypto/sha256.h"
+#include "serial/codec.h"
+
+namespace dfky {
+
+namespace {
+
+/// Fiat-Shamir challenge c = H(R || pk || m) reduced into Z_q.
+Bigint challenge(const Group& group, const Gelt& commitment, const Gelt& pk,
+                 BytesView message) {
+  Writer w;
+  put_gelt(w, group, commitment);
+  put_gelt(w, group, pk);
+  w.put_blob(message);
+  const auto digest = Sha256::hash(w.bytes());
+  return Bigint::from_bytes(digest).mod(group.order());
+}
+
+}  // namespace
+
+void SchnorrSignature::serialize(Writer& w, const Group& group) const {
+  put_gelt(w, group, commitment);
+  put_bigint(w, response);
+}
+
+SchnorrSignature SchnorrSignature::deserialize(Reader& r, const Group& group) {
+  SchnorrSignature sig;
+  sig.commitment = get_gelt(r, group);
+  sig.response = get_bigint(r);
+  if (sig.response >= group.order()) {
+    throw DecodeError("SchnorrSignature: response out of range");
+  }
+  return sig;
+}
+
+SchnorrKeyPair SchnorrKeyPair::generate(const Group& group, Rng& rng) {
+  Bigint sk = group.random_exponent(rng);
+  Gelt pk = group.pow_g(sk);
+  return SchnorrKeyPair(std::move(sk), std::move(pk));
+}
+
+SchnorrSignature SchnorrKeyPair::sign(const Group& group, BytesView message,
+                                      Rng& rng) const {
+  const Bigint k = group.random_exponent(rng);
+  SchnorrSignature sig;
+  sig.commitment = group.pow_g(k);
+  const Bigint c = challenge(group, sig.commitment, pk_, message);
+  sig.response = group.zq().add(k, group.zq().mul(c, sk_));
+  return sig;
+}
+
+void SchnorrKeyPair::serialize_secret(Writer& w, const Group& group) const {
+  put_bigint(w, sk_);
+  put_gelt(w, group, pk_);
+}
+
+SchnorrKeyPair SchnorrKeyPair::deserialize_secret(Reader& r,
+                                                  const Group& group) {
+  Bigint sk = get_bigint(r);
+  Gelt pk = get_gelt(r, group);
+  if (sk >= group.order() || !(group.pow_g(sk) == pk)) {
+    throw DecodeError("SchnorrKeyPair: inconsistent key pair");
+  }
+  return SchnorrKeyPair(std::move(sk), std::move(pk));
+}
+
+bool schnorr_verify(const Group& group, const Gelt& pk, BytesView message,
+                    const SchnorrSignature& sig) {
+  if (!group.is_element(sig.commitment) || !group.is_element(pk)) return false;
+  if (sig.response.sign() < 0 || sig.response >= group.order()) return false;
+  const Bigint c = challenge(group, sig.commitment, pk, message);
+  // g^s == R * pk^c
+  const Gelt lhs = group.pow_g(sig.response);
+  const Gelt rhs = group.mul(sig.commitment, group.pow(pk, c));
+  return lhs == rhs;
+}
+
+}  // namespace dfky

@@ -1,0 +1,38 @@
+// SHA-256 (FIPS 180-4).
+//
+// Used by HMAC/HKDF for the hybrid reset message and by Schnorr signatures
+// for the challenge hash.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common.h"
+
+namespace dfky {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+  using Digest = std::array<byte, kDigestSize>;
+
+  Sha256();
+
+  Sha256& update(BytesView data);
+  /// Finalizes and returns the digest. The object must not be reused after.
+  Digest finish();
+
+  static Digest hash(BytesView data);
+
+ private:
+  void process_block(const byte* block);
+
+  std::array<std::uint32_t, 8> h_{};
+  std::array<byte, kBlockSize> buf_{};
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace dfky

@@ -1,0 +1,52 @@
+#include "crypto/stream_seal.h"
+
+#include "crypto/chacha20.h"
+#include "crypto/hkdf.h"
+#include "crypto/hmac.h"
+
+namespace dfky {
+
+namespace {
+
+constexpr std::array<byte, ChaCha20::kNonceSize> kSealNonce = {
+    'd', 'f', 'k', 'y', '-', 's', 'e', 'a', 'l', 0, 0, 1};
+
+struct DerivedKeys {
+  Bytes enc_key;
+  Bytes mac_key;
+};
+
+DerivedKeys derive(BytesView key32) {
+  require(key32.size() == kSealKeySize, "seal: key must be 32 bytes");
+  static const byte kInfoEnc[] = {'e', 'n', 'c'};
+  static const byte kInfoMac[] = {'m', 'a', 'c'};
+  return DerivedKeys{
+      hkdf(/*salt=*/{}, key32, BytesView(kInfoEnc, sizeof(kInfoEnc)), 32),
+      hkdf(/*salt=*/{}, key32, BytesView(kInfoMac, sizeof(kInfoMac)), 32)};
+}
+
+}  // namespace
+
+Bytes seal(BytesView key32, BytesView plaintext) {
+  const DerivedKeys keys = derive(key32);
+  Bytes out = chacha20_xor(keys.enc_key, kSealNonce, 1, plaintext);
+  const auto tag = HmacSha256::mac(keys.mac_key, out);
+  out.insert(out.end(), tag.begin(), tag.end());
+  return out;
+}
+
+Bytes open_sealed(BytesView key32, BytesView sealed) {
+  const DerivedKeys keys = derive(key32);
+  if (sealed.size() < HmacSha256::kTagSize) {
+    throw DecodeError("open_sealed: message too short");
+  }
+  const std::size_t ct_len = sealed.size() - HmacSha256::kTagSize;
+  const BytesView ct = sealed.subspan(0, ct_len);
+  const BytesView tag = sealed.subspan(ct_len);
+  if (!HmacSha256::verify(keys.mac_key, ct, tag)) {
+    throw DecodeError("open_sealed: authentication failed");
+  }
+  return chacha20_xor(keys.enc_key, kSealNonce, 1, ct);
+}
+
+}  // namespace dfky

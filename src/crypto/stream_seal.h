@@ -1,0 +1,23 @@
+// One-time authenticated symmetric encryption (encrypt-then-MAC with
+// ChaCha20 + HMAC-SHA256).
+//
+// Implements the "secure one-time symmetric-key encryption scheme" of the
+// paper's hybrid New-period remark (Sect. 4) and the payload layer of the
+// content-distribution examples. Keys must be used once (the nonce is fixed);
+// both uses here derive a fresh key per message via HKDF from a fresh group
+// element.
+#pragma once
+
+#include "common.h"
+
+namespace dfky {
+
+constexpr std::size_t kSealKeySize = 32;
+
+/// Encrypts and authenticates `plaintext` under the one-time `key32`.
+Bytes seal(BytesView key32, BytesView plaintext);
+
+/// Decrypts and verifies; throws DecodeError if the tag does not match.
+Bytes open_sealed(BytesView key32, BytesView sealed);
+
+}  // namespace dfky

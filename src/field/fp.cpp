@@ -1,0 +1,68 @@
+#include "field/fp.h"
+
+namespace dfky {
+
+bool is_quadratic_residue(const Bigint& a, const Bigint& p) {
+  const Bigint r = a.mod(p);
+  if (r.is_zero()) return false;
+  return r.jacobi(p) == 1;
+}
+
+namespace {
+
+// Tonelli-Shanks for p = 1 (mod 4). Assumes `a` is a QR.
+Bigint tonelli_shanks(const Bigint& a, const Bigint& p) {
+  // Write p - 1 = s * 2^e with s odd.
+  Bigint s = p - Bigint(1);
+  unsigned long e = 0;
+  while (!s.is_odd()) {
+    s = s >> 1;
+    ++e;
+  }
+  // Find a quadratic non-residue n (deterministic scan; fine for fixed p).
+  Bigint n(2);
+  while (n.jacobi(p) != -1) n += Bigint(1);
+
+  Bigint x = Bigint::powm(a, (s + Bigint(1)) >> 1, p);
+  Bigint b = Bigint::powm(a, s, p);
+  Bigint g = Bigint::powm(n, s, p);
+  unsigned long r = e;
+  while (true) {
+    // Find least m with b^(2^m) == 1.
+    Bigint t = b;
+    unsigned long m = 0;
+    while (!t.is_one()) {
+      t = (t * t).mod(p);
+      ++m;
+      if (m == r) throw MathError("sqrt_mod: not a quadratic residue");
+    }
+    if (m == 0) return x;
+    // x *= g^(2^(r-m-1)); b *= g^(2^(r-m)); g = g^(2^(r-m)); r = m.
+    Bigint gs = g;
+    for (unsigned long i = 0; i + m + 1 < r; ++i) gs = (gs * gs).mod(p);
+    x = (x * gs).mod(p);
+    g = (gs * gs).mod(p);
+    b = (b * g).mod(p);
+    r = m;
+  }
+}
+
+}  // namespace
+
+Bigint sqrt_mod(const Bigint& a, const Bigint& p) {
+  const Bigint r = a.mod(p);
+  if (r.is_zero()) return Bigint(0);
+  if (r.jacobi(p) != 1) throw MathError("sqrt_mod: not a quadratic residue");
+  if (p.mod(Bigint(4)) == Bigint(3)) {
+    return Bigint::powm(r, (p + Bigint(1)) >> 2, p);
+  }
+  return tonelli_shanks(r, p);
+}
+
+Bigint min_sqrt_mod(const Bigint& a, const Bigint& p) {
+  const Bigint r1 = sqrt_mod(a, p);
+  const Bigint r2 = (p - r1).mod(p);
+  return r1 < r2 ? r1 : r2;
+}
+
+}  // namespace dfky

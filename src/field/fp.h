@@ -1,0 +1,25 @@
+// Square roots and quadratic-residue tests modulo an odd prime p.
+//
+// The scheme's message encoding (paper Sect. 4, New-period) maps a in Z_q to
+// (a+1)^2 mod p and inverts by taking the smaller square root; since the
+// group uses a safe prime p = 2q + 1 we always have p = 3 (mod 4) and the
+// fast exponent-(p+1)/4 root applies, but a general Tonelli-Shanks fallback
+// is provided (and cross-checked in tests) for completeness.
+#pragma once
+
+#include "bigint/bigint.h"
+
+namespace dfky {
+
+/// True iff a is a nonzero quadratic residue mod odd prime p.
+bool is_quadratic_residue(const Bigint& a, const Bigint& p);
+
+/// A square root of `a` modulo odd prime `p`.
+/// Throws MathError if `a` is not a quadratic residue.
+Bigint sqrt_mod(const Bigint& a, const Bigint& p);
+
+/// The smaller of the two square roots of `a` mod `p`, as an integer in
+/// [0, p). For a = 0 returns 0.
+Bigint min_sqrt_mod(const Bigint& a, const Bigint& p);
+
+}  // namespace dfky

@@ -1,0 +1,29 @@
+#include "field/zq.h"
+
+namespace dfky {
+
+Zq::Zq(Bigint q, bool trust_prime) : q_(std::move(q)) {
+  require(q_ > Bigint(2), "Zq: modulus must be an odd prime > 2");
+  if (!trust_prime) {
+    require(q_.probab_prime(24), "Zq: modulus must be prime");
+  }
+}
+
+void Zq::batch_inv(std::vector<Bigint>& xs) const {
+  if (xs.empty()) return;
+  // prefix[i] = xs[0] * ... * xs[i]
+  std::vector<Bigint> prefix(xs.size());
+  prefix[0] = reduce(xs[0]);
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    prefix[i] = mul(prefix[i - 1], xs[i]);
+  }
+  Bigint acc = inv(prefix.back());  // throws if any xs[i] == 0
+  for (std::size_t i = xs.size(); i-- > 1;) {
+    const Bigint inv_i = mul(acc, prefix[i - 1]);
+    acc = mul(acc, xs[i]);
+    xs[i] = inv_i;
+  }
+  xs[0] = acc;
+}
+
+}  // namespace dfky

@@ -1,0 +1,58 @@
+// Prime-field context Z_q.
+//
+// Scalars are plain Bigint values held in canonical form [0, q); all
+// operations are routed through a Zq context so the modulus is stated once.
+// Polynomials, matrices and codes all carry a Zq by value (the modulus copy
+// is a few machine words; contexts compare equal iff their moduli do).
+#pragma once
+
+#include <vector>
+
+#include "bigint/bigint.h"
+
+namespace dfky {
+
+class Zq {
+ public:
+  /// `q` must be an odd prime (checked probabilistically unless
+  /// `trust_prime` is set, which the embedded parameter sets use).
+  explicit Zq(Bigint q, bool trust_prime = false);
+
+  const Bigint& modulus() const { return q_; }
+
+  Bigint reduce(const Bigint& a) const { return a.mod(q_); }
+
+  Bigint add(const Bigint& a, const Bigint& b) const {
+    return (a + b).mod(q_);
+  }
+  Bigint sub(const Bigint& a, const Bigint& b) const {
+    return (a - b).mod(q_);
+  }
+  Bigint mul(const Bigint& a, const Bigint& b) const {
+    return (a * b).mod(q_);
+  }
+  Bigint neg(const Bigint& a) const { return (-a).mod(q_); }
+  /// Throws MathError if `a` is zero mod q.
+  Bigint inv(const Bigint& a) const { return Bigint::invm(a, q_); }
+  /// a / b in the field; throws MathError if b == 0.
+  Bigint div(const Bigint& a, const Bigint& b) const {
+    return mul(a, inv(b));
+  }
+  Bigint pow(const Bigint& a, const Bigint& e) const {
+    return Bigint::powm(a, e, q_);
+  }
+
+  bool is_zero(const Bigint& a) const { return a.mod(q_).is_zero(); }
+
+  /// Inverts every element of `xs` in place using Montgomery's batch trick
+  /// (one field inversion + 3(n-1) multiplications). Throws MathError if any
+  /// element is zero.
+  void batch_inv(std::vector<Bigint>& xs) const;
+
+  friend bool operator==(const Zq& a, const Zq& b) { return a.q_ == b.q_; }
+
+ private:
+  Bigint q_;
+};
+
+}  // namespace dfky

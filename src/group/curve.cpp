@@ -1,0 +1,98 @@
+#include "group/curve.h"
+
+namespace dfky {
+
+CurveSpec CurveSpec::secp256k1() {
+  CurveSpec c;
+  c.p = Bigint::from_hex(
+      "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+  c.a = Bigint(0);
+  c.b = Bigint(7);
+  c.q = Bigint::from_hex(
+      "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141");
+  c.gx = Bigint::from_hex(
+      "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798");
+  c.gy = Bigint::from_hex(
+      "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8");
+  return c;
+}
+
+CurveSpec CurveSpec::p256() {
+  CurveSpec c;
+  c.p = Bigint::from_hex(
+      "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff");
+  c.a = c.p - Bigint(3);
+  c.b = Bigint::from_hex(
+      "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b");
+  c.q = Bigint::from_hex(
+      "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551");
+  c.gx = Bigint::from_hex(
+      "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296");
+  c.gy = Bigint::from_hex(
+      "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5");
+  return c;
+}
+
+void CurveSpec::validate() const {
+  require(p.probab_prime(24), "CurveSpec: field prime not prime");
+  require(q.probab_prime(24), "CurveSpec: group order not prime");
+  const EcPoint g = EcPoint::affine(gx, gy);
+  require(ec_on_curve(*this, g), "CurveSpec: base point not on curve");
+  require(ec_mul(*this, g, q).infinity,
+          "CurveSpec: base point order is not q");
+}
+
+bool ec_on_curve(const CurveSpec& c, const EcPoint& pt) {
+  if (pt.infinity) return true;
+  if (pt.x.sign() < 0 || pt.x >= c.p || pt.y.sign() < 0 || pt.y >= c.p) {
+    return false;
+  }
+  // y^2 == x^3 + a x + b (mod p)
+  const Bigint lhs = (pt.y * pt.y).mod(c.p);
+  const Bigint rhs = (pt.x * pt.x * pt.x + c.a * pt.x + c.b).mod(c.p);
+  return lhs == rhs;
+}
+
+EcPoint ec_neg(const CurveSpec& c, const EcPoint& pt) {
+  if (pt.infinity) return pt;
+  return EcPoint::affine(pt.x, (-pt.y).mod(c.p));
+}
+
+EcPoint ec_double(const CurveSpec& c, const EcPoint& pt) {
+  if (pt.infinity) return pt;
+  if (pt.y.is_zero()) return EcPoint::at_infinity();
+  // lambda = (3 x^2 + a) / (2 y)
+  const Bigint num = (Bigint(3) * pt.x * pt.x + c.a).mod(c.p);
+  const Bigint den = Bigint::invm((Bigint(2) * pt.y).mod(c.p), c.p);
+  const Bigint lambda = (num * den).mod(c.p);
+  const Bigint x3 = (lambda * lambda - pt.x - pt.x).mod(c.p);
+  const Bigint y3 = (lambda * (pt.x - x3) - pt.y).mod(c.p);
+  return EcPoint::affine(x3, y3);
+}
+
+EcPoint ec_add(const CurveSpec& c, const EcPoint& l, const EcPoint& r) {
+  if (l.infinity) return r;
+  if (r.infinity) return l;
+  if (l.x == r.x) {
+    if (l.y == r.y) return ec_double(c, l);
+    return EcPoint::at_infinity();  // P + (-P)
+  }
+  const Bigint num = (r.y - l.y).mod(c.p);
+  const Bigint den = Bigint::invm((r.x - l.x).mod(c.p), c.p);
+  const Bigint lambda = (num * den).mod(c.p);
+  const Bigint x3 = (lambda * lambda - l.x - r.x).mod(c.p);
+  const Bigint y3 = (lambda * (l.x - x3) - l.y).mod(c.p);
+  return EcPoint::affine(x3, y3);
+}
+
+EcPoint ec_mul(const CurveSpec& c, const EcPoint& pt, const Bigint& k) {
+  const Bigint e = k.mod(c.q);
+  EcPoint acc = EcPoint::at_infinity();
+  for (std::size_t i = e.bit_length(); i-- > 0;) {
+    acc = ec_double(c, acc);
+    if (e.bit(i)) acc = ec_add(c, acc, pt);
+  }
+  return acc;
+}
+
+}  // namespace dfky

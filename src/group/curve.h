@@ -1,0 +1,62 @@
+// Elliptic-curve arithmetic over prime fields (short Weierstrass form
+// y^2 = x^3 + ax + b), affine coordinates.
+//
+// The paper (Sect. 3) allows instantiating the scheme's group 𝒢 either as
+// the order-q subgroup of Z_p^* or as "the (additive) group of points of an
+// elliptic curve over a finite field". This module supplies the latter; the
+// Group facade in group/element.h dispatches between the two backends.
+//
+// Embedded curves (secp256k1, NIST P-256) both have prime order and
+// cofactor 1, so every finite point on the curve generates the full group —
+// membership testing is an on-curve check.
+#pragma once
+
+#include "bigint/bigint.h"
+
+namespace dfky {
+
+struct CurveSpec {
+  Bigint p;   // field prime (p = 3 mod 4 for both embedded curves)
+  Bigint a;   // curve coefficient a
+  Bigint b;   // curve coefficient b
+  Bigint q;   // prime group order (cofactor 1)
+  Bigint gx;  // base point
+  Bigint gy;
+
+  static CurveSpec secp256k1();
+  static CurveSpec p256();
+
+  /// Checks p, q prime, base point on curve and of order q.
+  /// Throws ContractError on failure.
+  void validate() const;
+
+  friend bool operator==(const CurveSpec& l, const CurveSpec& r) {
+    return l.p == r.p && l.a == r.a && l.b == r.b && l.q == r.q &&
+           l.gx == r.gx && l.gy == r.gy;
+  }
+};
+
+struct EcPoint {
+  bool infinity = true;
+  Bigint x;
+  Bigint y;
+
+  static EcPoint at_infinity() { return EcPoint{}; }
+  static EcPoint affine(Bigint px, Bigint py) {
+    return EcPoint{false, std::move(px), std::move(py)};
+  }
+
+  friend bool operator==(const EcPoint& l, const EcPoint& r) {
+    if (l.infinity || r.infinity) return l.infinity == r.infinity;
+    return l.x == r.x && l.y == r.y;
+  }
+};
+
+bool ec_on_curve(const CurveSpec& c, const EcPoint& pt);
+EcPoint ec_neg(const CurveSpec& c, const EcPoint& pt);
+EcPoint ec_add(const CurveSpec& c, const EcPoint& l, const EcPoint& r);
+EcPoint ec_double(const CurveSpec& c, const EcPoint& pt);
+/// Scalar multiplication k * pt (k may be any integer; reduced mod q).
+EcPoint ec_mul(const CurveSpec& c, const EcPoint& pt, const Bigint& k);
+
+}  // namespace dfky

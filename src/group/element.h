@@ -1,0 +1,133 @@
+// Group facade and strongly-typed group elements.
+//
+// The paper instantiates 𝒢 either as the order-q subgroup of quadratic
+// residues of Z_p^* (the construction it details, Sect. 3) or as "the
+// (additive) group of points of an elliptic curve over a finite field".
+// Group supports both backends behind one multiplicative-notation API; all
+// higher layers (scheme, tracing, signatures) are backend-agnostic.
+//
+// A `Gelt` is either a residue mod p (Schnorr backend) or an affine point /
+// point at infinity (EC backend). Elements of different groups cannot be
+// mixed silently — every operation goes through a Group context and the
+// membership checks reject foreign representations.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "field/zq.h"
+#include "group/curve.h"
+#include "group/params.h"
+
+namespace dfky {
+
+class Gelt {
+ public:
+  /// Placeholder identity for the Z_p^* backend. (EC code never produces
+  /// scalar-kind elements; use Group::one() for a backend-correct identity.)
+  Gelt() : kind_(Kind::kScalar), a_(1) {}
+  /// Z_p^* residue.
+  explicit Gelt(Bigint v) : kind_(Kind::kScalar), a_(std::move(v)) {}
+
+  static Gelt point(Bigint x, Bigint y) {
+    Gelt e;
+    e.kind_ = Kind::kPoint;
+    e.a_ = std::move(x);
+    e.b_ = std::move(y);
+    return e;
+  }
+  static Gelt infinity() {
+    Gelt e;
+    e.kind_ = Kind::kInfinity;
+    e.a_ = Bigint(0);
+    return e;
+  }
+
+  bool is_scalar() const { return kind_ == Kind::kScalar; }
+  bool is_point() const { return kind_ == Kind::kPoint; }
+  bool is_infinity() const { return kind_ == Kind::kInfinity; }
+
+  /// The residue (Z_p^* backend only).
+  const Bigint& value() const {
+    require(is_scalar(), "Gelt::value: not a residue element");
+    return a_;
+  }
+  const Bigint& px() const {
+    require(is_point(), "Gelt::px: not an affine point");
+    return a_;
+  }
+  const Bigint& py() const {
+    require(is_point(), "Gelt::py: not an affine point");
+    return b_;
+  }
+
+  friend bool operator==(const Gelt& l, const Gelt& r) {
+    return l.kind_ == r.kind_ && l.a_ == r.a_ && l.b_ == r.b_;
+  }
+
+ private:
+  enum class Kind : std::uint8_t { kScalar, kPoint, kInfinity };
+
+  Kind kind_;
+  Bigint a_;
+  Bigint b_;
+};
+
+class Group {
+ public:
+  /// Z_p^* subgroup backend (safe prime p = 2q + 1).
+  explicit Group(GroupParams params);
+  /// Elliptic-curve backend (prime order, cofactor 1).
+  explicit Group(CurveSpec curve);
+
+  bool is_elliptic() const { return curve_.has_value(); }
+  /// Backend parameters; each accessor requires the matching backend.
+  const GroupParams& params() const;
+  const CurveSpec& curve() const;
+
+  /// Field prime (modulus p / curve field prime).
+  const Bigint& p() const;
+  /// Prime group order q.
+  const Bigint& order() const { return order_; }
+  /// Exponent field Z_q.
+  const Zq& zq() const { return zq_; }
+
+  Gelt generator() const;
+  Gelt one() const;
+
+  Gelt mul(const Gelt& a, const Gelt& b) const;
+  Gelt div(const Gelt& a, const Gelt& b) const;
+  Gelt inv(const Gelt& a) const;
+  /// a^e for any integer exponent (reduced mod q).
+  Gelt pow(const Gelt& a, const Bigint& e) const;
+  /// g^e for the canonical generator.
+  Gelt pow_g(const Bigint& e) const { return pow(generator(), e); }
+
+  /// Full membership test (subgroup membership / on-curve).
+  bool is_element(const Gelt& a) const;
+  /// Validates and wraps a raw residue (Z_p^* backend only).
+  Gelt element_from(Bigint raw) const;
+
+  /// Uniformly random group element.
+  Gelt random_element(Rng& rng) const;
+  /// Uniformly random exponent in [0, q).
+  Bigint random_exponent(Rng& rng) const { return rng.uniform_below(order_); }
+
+  /// Serialized size of one element (fixed width; see serial/codec.h).
+  std::size_t element_size() const;
+
+  friend bool operator==(const Group& a, const Group& b);
+
+ private:
+  std::optional<GroupParams> params_;
+  std::optional<CurveSpec> curve_;
+  Bigint order_;
+  Zq zq_;
+};
+
+/// Simultaneous multi-exponentiation: prod_i bases[i]^exps[i]
+/// (interleaved square-and-multiply, one shared squaring chain).
+Gelt multiexp(const Group& group, std::span<const Gelt> bases,
+              std::span<const Bigint> exps);
+
+}  // namespace dfky

@@ -1,0 +1,69 @@
+#include "group/encoding.h"
+
+#include "field/fp.h"
+
+namespace dfky {
+
+namespace {
+
+constexpr unsigned long kKoblitzBits = 16;
+
+Gelt encode_koblitz(const CurveSpec& c, const Bigint& a) {
+  const Bigint base = a << kKoblitzBits;
+  for (long i = 0; i < (1L << kKoblitzBits); ++i) {
+    const Bigint x = base + Bigint(i);
+    if (x >= c.p) break;
+    const Bigint rhs = (x * x * x + c.a * x + c.b).mod(c.p);
+    if (rhs.is_zero() || is_quadratic_residue(rhs, c.p)) {
+      return Gelt::point(x, sqrt_mod(rhs, c.p));
+    }
+  }
+  throw MathError("encode_to_group: no curve point in padding budget");
+}
+
+}  // namespace
+
+Bigint encode_capacity(const Group& group) {
+  if (group.is_elliptic()) return group.order() >> kKoblitzBits;
+  return group.order();
+}
+
+Gelt encode_to_group(const Group& group, const Bigint& a) {
+  require(a.sign() >= 0 && a < encode_capacity(group),
+          "encode_to_group: value out of range");
+  if (group.is_elliptic()) return encode_koblitz(group.curve(), a);
+  const Bigint a1 = a + Bigint(1);  // in [1, q], nonzero mod p
+  return Gelt((a1 * a1).mod(group.p()));
+}
+
+Bigint decode_from_group(const Group& group, const Gelt& e) {
+  if (!group.is_element(e)) {
+    throw DecodeError("decode_from_group: not a group element");
+  }
+  if (group.is_elliptic()) {
+    if (e.is_infinity()) {
+      throw DecodeError("decode_from_group: infinity is not an encoding");
+    }
+    const Bigint a = e.px() >> kKoblitzBits;
+    if (a >= encode_capacity(group)) {
+      throw DecodeError("decode_from_group: recovered value out of range");
+    }
+    return a;
+  }
+  // Both square roots of e are a+1 and p-(a+1); since a+1 <= q = (p-1)/2,
+  // the encoded value corresponds to the smaller root.
+  Bigint root;
+  try {
+    root = min_sqrt_mod(e.value(), group.p());
+  } catch (const MathError&) {
+    throw DecodeError("decode_from_group: element has no square root");
+  }
+  if (root.is_zero()) throw DecodeError("decode_from_group: zero root");
+  const Bigint a = root - Bigint(1);
+  if (a >= group.order()) {
+    throw DecodeError("decode_from_group: recovered value out of range");
+  }
+  return a;
+}
+
+}  // namespace dfky

@@ -1,0 +1,29 @@
+// Invertible message encoding enc : [0, capacity) -> 𝒢.
+//
+// Z_p^* backend (the paper's Sect. 4 construction): enc(a) = (a+1)^2 mod p,
+// a quadratic residue, inverted via the smaller square root; capacity is the
+// full exponent range q.
+//
+// Elliptic-curve backend: Koblitz padding — x = a * 2^16 + i for the
+// smallest i that puts x on the curve; capacity is q >> 16. The New-period
+// plain mode needs full-range encoding and is therefore only available on
+// the Z_p^* backend (the hybrid mode of the paper's Remark works on both).
+#pragma once
+
+#include "group/element.h"
+
+namespace dfky {
+
+/// Exclusive upper bound on encodable values for this group.
+Bigint encode_capacity(const Group& group);
+
+/// Encodes a in [0, capacity) as a group element. Throws ContractError if a
+/// is out of range; MathError in the (cryptographically negligible) event
+/// that no curve point exists within the padding budget.
+Gelt encode_to_group(const Group& group, const Bigint& a);
+
+/// Inverts encode_to_group. Throws DecodeError if `e` is not a valid
+/// encoding (not in the group, or the recovered value is out of range).
+Bigint decode_from_group(const Group& group, const Gelt& e);
+
+}  // namespace dfky

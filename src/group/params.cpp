@@ -1,0 +1,132 @@
+#include "group/params.h"
+
+namespace dfky {
+
+namespace {
+
+struct Embedded {
+  const char* p;
+  const char* q;
+  const char* g;
+};
+
+// Safe primes generated once with GMP (deterministic seeds); see
+// DESIGN.md Sect. 5. All values hexadecimal.
+constexpr Embedded kTest128Params = {
+    "faa45b4ad6056503fbcfe237234b0903",
+    "7d522da56b02b281fde7f11b91a58481",
+    "277804bb82c7fab2aaaced71b0eef524"};
+
+constexpr Embedded kSec256Params = {
+    "c7c4cb344f9b56ff5cd0a66f7c8e8ea21480921b8d5a2eca991587316e296c17",
+    "63e2659a27cdab7fae685337be4747510a40490dc6ad17654c8ac398b714b60b",
+    "c12c4cfea3c589b24dcc597db460890259fe145e4f833aaf0c60dd29b3236884"};
+
+constexpr Embedded kSec512Params = {
+    "e1cdd12096e646cefdad161138374d5fb3d511a1468df256af3767ad985cf51d"
+    "47616b59ce6ecc4b51278f08023fe30517938aece9acf0217efa55988fcc2a5f",
+    "70e6e8904b7323677ed68b089c1ba6afd9ea88d0a346f92b579bb3d6cc2e7a8e"
+    "a3b0b5ace7376625a893c784011ff1828bc9c57674d67810bf7d2acc47e6152f",
+    "891ab242d41b7fdbe1eacd323175e5ac0ea6055d2b1c9a9115652d794ea4c344"
+    "3ae05e8745d3d355ec6f84fcf470c640b84725c3c1d1a05bf68f34e23ae4fe9f"};
+
+constexpr Embedded kSec1024Params = {
+    "e91a3c70131b1cf4d23b317ee35f6ffcdb231952514ff82a0325c1a0c81c8436"
+    "15958634ce80c4c31b48a38830a372e3d92e70bdf2f9c7f1b291b01eee8ad0c1"
+    "01dc4fdb4fb07fd173f5275dd55b6175fac8c28b568720b6d84299c78cb92012"
+    "b3fe1e0a3767e8749c5f787caf882574311c2dc2db309069e10a0afa937c0837",
+    "748d1e38098d8e7a691d98bf71afb7fe6d918ca928a7fc150192e0d0640e421b"
+    "0acac31a674062618da451c41851b971ec97385ef97ce3f8d948d80f77456860"
+    "80ee27eda7d83fe8b9fa93aeeaadb0bafd646145ab43905b6c214ce3c65c9009"
+    "59ff0f051bb3f43a4e2fbc3e57c412ba188e16e16d984834f085057d49be041b",
+    "685af0596ecd072d213a3cfc0c8dc057028f0dd73f1b16cefa75b8458832e670"
+    "8b77c28fea155910a492edfa5599dced8e85c384545eff00dd6bdd97a28efad6"
+    "0e4532b6d9733a636e7bef7a031c6aa6150acf71c66395a8b83a2b580c8cf7c7"
+    "dde665bf25dcd8a3b0c07d64516cfe08e695ef09a97cfd94178dc88a1c08f1d"};
+
+constexpr Embedded kSec2048Params = {
+    "ff1455267c778363cf6c8e11eab2ca71505385f26b754a2de9eb82d18f76f60c"
+    "2a2e56a5d18ca78dfd350f55b565f9c8abe0fd1adc76ce70f3de6de4c45c964e"
+    "cd2bdd3fd0435219bd03b997bc5b24069eeca2bc2f2f342613f1ace75c2bdd79"
+    "0be2d7a4494730a96c200957cf7821529ca06190bfffb7137808f4028fe2d8f9"
+    "484359d814cfb9478ded7762b521220a8dd8a4682041e2304dedebea1ae836d0"
+    "2c251fe4e2b741e96a4fe8c008df037acb20b6fa93965086a4afbb33b74a846d"
+    "0426102946de94c2b396b26bb2a48b620d2881c6d2a54ab4ae8e3bbcb3b08a78"
+    "a2fa1830e97c82e25d01ea1809694ea4abb28bc3e8b32f23ef5201b2899ae683",
+    "7f8a2a933e3bc1b1e7b64708f5596538a829c2f935baa516f4f5c168c7bb7b06"
+    "15172b52e8c653c6fe9a87aadab2fce455f07e8d6e3b673879ef36f2622e4b27"
+    "6695ee9fe821a90cde81dccbde2d92034f76515e17979a1309f8d673ae15eebc"
+    "85f16bd224a39854b61004abe7bc10a94e5030c85fffdb89bc047a0147f16c7c"
+    "a421acec0a67dca3c6f6bbb15a90910546ec52341020f11826f6f5f50d741b68"
+    "16128ff2715ba0f4b527f460046f81bd65905b7d49cb28435257dd99dba54236"
+    "82130814a36f4a6159cb5935d95245b1069440e36952a55a57471dde59d8453c"
+    "517d0c1874be41712e80f50c04b4a75255d945e1f4599791f7a900d944cd7341",
+    "8cbb56ff4091691a2348ce20359a3f2be0638cfe2825c27074414dff4de6706d"
+    "9637887e6ed790f540ee9c8af809c933895d9cfa527bd0f6c85d11cb0eff99e0"
+    "c0dfa6a3af4881e0297329c7016486e84a3e362227ba56bf5e763beefdd48313"
+    "0d32134e91f228509b500240442bff7773d1a412775bab7d2d8a3205f24f652e"
+    "78b6b4f01e64d2f1ce4b56c658dd5178c4372f5076a51ebff29567ca8b062f4d"
+    "0a7e1ec2cace90a1116d8436bae565888b8317375e8f32c52e81257dcdb9c046"
+    "2c1a4cdaf16c1a119de5b0d12ca8b47156dece105db4a0d621c5da029baab46c"
+    "dce91ba7634340f61e04ccd5d058e9d9b3f82c5f0feafde0ee687df17a8dc189"};
+
+GroupParams from_embedded(const Embedded& e) {
+  return GroupParams{Bigint::from_hex(e.p), Bigint::from_hex(e.q),
+                     Bigint::from_hex(e.g)};
+}
+
+}  // namespace
+
+GroupParams GroupParams::named(ParamId id) {
+  switch (id) {
+    case ParamId::kTest128:
+      return from_embedded(kTest128Params);
+    case ParamId::kSec256:
+      return from_embedded(kSec256Params);
+    case ParamId::kSec512:
+      return from_embedded(kSec512Params);
+    case ParamId::kSec1024:
+      return from_embedded(kSec1024Params);
+    case ParamId::kSec2048:
+      return from_embedded(kSec2048Params);
+  }
+  throw ContractError("GroupParams::named: unknown id");
+}
+
+GroupParams GroupParams::generate(Rng& rng, std::size_t p_bits) {
+  require(p_bits >= 16, "GroupParams::generate: p_bits too small");
+  GroupParams out;
+  while (true) {
+    Bigint q = rng.uniform_bits(p_bits - 1);
+    // Make odd.
+    if (!q.is_odd()) q += Bigint(1);
+    q = q.next_prime();
+    const Bigint p = (q << 1) + Bigint(1);
+    if (q.bit_length() != p_bits - 1) continue;
+    if (!p.probab_prime(32) || !q.probab_prime(32)) continue;
+    out.p = p;
+    out.q = q;
+    break;
+  }
+  // Generator of the QR subgroup: square of a random unit (and != 1).
+  while (true) {
+    const Bigint h = rng.uniform_nonzero_below(out.p);
+    const Bigint g = (h * h).mod(out.p);
+    if (!g.is_one()) {
+      out.g = g;
+      break;
+    }
+  }
+  return out;
+}
+
+void GroupParams::validate() const {
+  require(p.probab_prime(24), "GroupParams: p not prime");
+  require(q.probab_prime(24), "GroupParams: q not prime");
+  require(p == (q << 1) + Bigint(1), "GroupParams: p != 2q + 1");
+  require(!g.is_one() && g.sign() > 0 && g < p, "GroupParams: bad generator");
+  require(Bigint::powm(g, q, p).is_one(),
+          "GroupParams: generator not of order q");
+}
+
+}  // namespace dfky

@@ -1,0 +1,35 @@
+// Schnorr group parameters: the order-q subgroup of quadratic residues of
+// Z_p^*, with p = 2q + 1 a safe prime (paper Sect. 3).
+#pragma once
+
+#include "bigint/bigint.h"
+#include "rng/rng.h"
+
+namespace dfky {
+
+enum class ParamId {
+  kTest128,  // 128-bit p: fast, for tests only
+  kSec256,
+  kSec512,
+  kSec1024,
+  kSec2048,
+};
+
+struct GroupParams {
+  Bigint p;  // safe prime, p = 2q + 1
+  Bigint q;  // prime group order
+  Bigint g;  // generator of the order-q subgroup (a quadratic residue != 1)
+
+  /// Embedded, pre-generated parameter set.
+  static GroupParams named(ParamId id);
+
+  /// Generates a fresh safe-prime group with p of `p_bits` bits.
+  /// Expensive for large sizes; prefer the embedded sets.
+  static GroupParams generate(Rng& rng, std::size_t p_bits);
+
+  /// Full consistency check: p, q prime, p = 2q+1, g a generator of the
+  /// QR subgroup. Throws ContractError on failure.
+  void validate() const;
+};
+
+}  // namespace dfky

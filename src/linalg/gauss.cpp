@@ -1,0 +1,94 @@
+#include "linalg/gauss.h"
+
+namespace dfky {
+
+std::vector<std::size_t> row_echelon(Matrix& m) {
+  const Zq& f = m.field();
+  std::vector<std::size_t> pivots;
+  std::size_t row = 0;
+  for (std::size_t col = 0; col < m.cols() && row < m.rows(); ++col) {
+    // Find a pivot.
+    std::size_t pivot = row;
+    while (pivot < m.rows() && m.at(pivot, col).is_zero()) ++pivot;
+    if (pivot == m.rows()) continue;
+    if (pivot != row) {
+      for (std::size_t c = 0; c < m.cols(); ++c) {
+        std::swap(m.at(pivot, c), m.at(row, c));
+      }
+    }
+    // Normalize pivot row.
+    const Bigint inv = f.inv(m.at(row, col));
+    for (std::size_t c = col; c < m.cols(); ++c) {
+      m.at(row, c) = f.mul(m.at(row, c), inv);
+    }
+    // Eliminate below and above (reduced row echelon form).
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      if (r == row || m.at(r, col).is_zero()) continue;
+      const Bigint factor = m.at(r, col);
+      for (std::size_t c = col; c < m.cols(); ++c) {
+        m.at(r, c) = f.sub(m.at(r, c), f.mul(factor, m.at(row, c)));
+      }
+    }
+    pivots.push_back(col);
+    ++row;
+  }
+  return pivots;
+}
+
+std::size_t rank(Matrix m) {
+  return row_echelon(m).size();
+}
+
+std::optional<std::vector<Bigint>> solve(const Matrix& m,
+                                         std::span<const Bigint> b) {
+  require(b.size() == m.rows(), "solve: rhs size mismatch");
+  const Zq& f = m.field();
+  // Augmented matrix [M | b].
+  Matrix aug(f, m.rows(), m.cols() + 1);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) aug.at(r, c) = m.at(r, c);
+    aug.at(r, m.cols()) = f.reduce(b[r]);
+  }
+  const auto pivots = row_echelon(aug);
+  // Inconsistent iff a pivot lands in the augmented column.
+  if (!pivots.empty() && pivots.back() == m.cols()) return std::nullopt;
+  std::vector<Bigint> x(m.cols(), Bigint(0));
+  for (std::size_t r = 0; r < pivots.size(); ++r) {
+    x[pivots[r]] = aug.at(r, m.cols());
+  }
+  return x;
+}
+
+std::optional<std::vector<Bigint>> solve_left(const Matrix& m,
+                                              std::span<const Bigint> b) {
+  return solve(m.transposed(), b);
+}
+
+std::optional<std::vector<Bigint>> kernel_vector(const Matrix& m) {
+  const Zq& f = m.field();
+  Matrix red = m;
+  const auto pivots = row_echelon(red);
+  if (pivots.size() == m.cols()) return std::nullopt;  // trivial kernel
+  // Find the first free column.
+  std::size_t free_col = 0;
+  {
+    std::size_t pi = 0;
+    while (free_col < m.cols() && pi < pivots.size() &&
+           pivots[pi] == free_col) {
+      ++pi;
+      ++free_col;
+    }
+  }
+  // Back-substitute with the free variable set to 1.
+  std::vector<Bigint> x(m.cols(), Bigint(0));
+  x[free_col] = Bigint(1);
+  for (std::size_t r = 0; r < pivots.size(); ++r) {
+    if (pivots[r] < free_col) {
+      // Reduced echelon form: pivot rows read off directly.
+      x[pivots[r]] = f.neg(red.at(r, free_col));
+    }
+  }
+  return x;
+}
+
+}  // namespace dfky

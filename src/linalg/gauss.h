@@ -1,0 +1,28 @@
+// Gaussian elimination over Z_q: rank, solving, kernel vectors.
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.h"
+
+namespace dfky {
+
+/// Reduces `m` to row echelon form in place; returns the rank and the pivot
+/// column of each nonzero row.
+std::vector<std::size_t> row_echelon(Matrix& m);
+
+std::size_t rank(Matrix m);
+
+/// Solves M x = b (column vector). Returns one solution if the system is
+/// consistent (free variables set to zero), std::nullopt otherwise.
+std::optional<std::vector<Bigint>> solve(const Matrix& m,
+                                         std::span<const Bigint> b);
+
+/// Solves x M = b for a row vector x (i.e. M^T x^T = b^T).
+std::optional<std::vector<Bigint>> solve_left(const Matrix& m,
+                                              std::span<const Bigint> b);
+
+/// A nonzero kernel vector of M (M x = 0), if the kernel is nontrivial.
+std::optional<std::vector<Bigint>> kernel_vector(const Matrix& m);
+
+}  // namespace dfky

@@ -1,0 +1,95 @@
+#include "linalg/matrix.h"
+
+namespace dfky {
+
+Matrix::Matrix(Zq field, std::size_t rows, std::size_t cols)
+    : field_(std::move(field)),
+      rows_(rows),
+      cols_(cols),
+      data_(rows * cols, Bigint(0)) {}
+
+Matrix::Matrix(Zq field, std::size_t rows, std::size_t cols,
+               std::vector<Bigint> data)
+    : field_(std::move(field)), rows_(rows), cols_(cols), data_(std::move(data)) {
+  require(data_.size() == rows_ * cols_, "Matrix: data size mismatch");
+  for (Bigint& v : data_) v = field_.reduce(v);
+}
+
+Matrix Matrix::identity(const Zq& field, std::size_t n) {
+  Matrix m(field, n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = Bigint(1);
+  return m;
+}
+
+Matrix Matrix::vandermonde(const Zq& field, std::span<const Bigint> xs,
+                           std::size_t cols) {
+  Matrix m(field, xs.size(), cols);
+  for (std::size_t r = 0; r < xs.size(); ++r) {
+    Bigint pw(1);
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.at(r, c) = pw;
+      pw = field.mul(pw, xs[r]);
+    }
+  }
+  return m;
+}
+
+const Bigint& Matrix::at(std::size_t r, std::size_t c) const {
+  require(r < rows_ && c < cols_, "Matrix: index out of range");
+  return data_[r * cols_ + c];
+}
+
+Bigint& Matrix::at(std::size_t r, std::size_t c) {
+  require(r < rows_ && c < cols_, "Matrix: index out of range");
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(field_, cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out.at(c, r) = at(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::operator*(const Matrix& o) const {
+  require(field_ == o.field_, "Matrix: field mismatch");
+  require(cols_ == o.rows_, "Matrix: dimension mismatch");
+  Matrix out(field_, rows_, o.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const Bigint& aik = at(i, k);
+      if (aik.is_zero()) continue;
+      for (std::size_t j = 0; j < o.cols_; ++j) {
+        out.at(i, j) = field_.add(out.at(i, j), field_.mul(aik, o.at(k, j)));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Bigint> Matrix::left_mul(std::span<const Bigint> v) const {
+  require(v.size() == rows_, "Matrix::left_mul: size mismatch");
+  std::vector<Bigint> out(cols_, Bigint(0));
+  for (std::size_t i = 0; i < rows_; ++i) {
+    if (v[i].is_zero()) continue;
+    for (std::size_t j = 0; j < cols_; ++j) {
+      out[j] = field_.add(out[j], field_.mul(v[i], at(i, j)));
+    }
+  }
+  return out;
+}
+
+std::vector<Bigint> Matrix::right_mul(std::span<const Bigint> v) const {
+  require(v.size() == cols_, "Matrix::right_mul: size mismatch");
+  std::vector<Bigint> out(rows_, Bigint(0));
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      if (v[j].is_zero()) continue;
+      out[i] = field_.add(out[i], field_.mul(at(i, j), v[j]));
+    }
+  }
+  return out;
+}
+
+}  // namespace dfky

@@ -1,0 +1,52 @@
+// Dense matrices over Z_q.
+//
+// Used by the non-black-box tracer (solving theta * H = delta'', building the
+// A/B/H matrices of Sect. 6.3.2) and by tests that verify the rank arguments
+// behind the paper's Lemma 1 applications.
+#pragma once
+
+#include <vector>
+
+#include "field/zq.h"
+
+namespace dfky {
+
+class Matrix {
+ public:
+  Matrix(Zq field, std::size_t rows, std::size_t cols);
+  /// Row-major construction; `data.size()` must equal rows * cols.
+  Matrix(Zq field, std::size_t rows, std::size_t cols,
+         std::vector<Bigint> data);
+
+  static Matrix identity(const Zq& field, std::size_t n);
+  /// Vandermonde matrix with rows (1, x_i, x_i^2, ..., x_i^{cols-1}).
+  static Matrix vandermonde(const Zq& field, std::span<const Bigint> xs,
+                            std::size_t cols);
+
+  const Zq& field() const { return field_; }
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  const Bigint& at(std::size_t r, std::size_t c) const;
+  Bigint& at(std::size_t r, std::size_t c);
+
+  Matrix transposed() const;
+  Matrix operator*(const Matrix& o) const;
+  /// Row vector times matrix: returns v * M (v.size() == rows()).
+  std::vector<Bigint> left_mul(std::span<const Bigint> v) const;
+  /// Matrix times column vector (v.size() == cols()).
+  std::vector<Bigint> right_mul(std::span<const Bigint> v) const;
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.field_ == b.field_ &&
+           a.data_ == b.data_;
+  }
+
+ private:
+  Zq field_;
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<Bigint> data_;  // row-major
+};
+
+}  // namespace dfky

@@ -1,0 +1,110 @@
+#include "poly/bivariate.h"
+
+namespace dfky {
+
+BiPoly::BiPoly(Zq field, std::vector<Polynomial> coeffs)
+    : field_(std::move(field)), coeffs_(std::move(coeffs)) {
+  for (const Polynomial& c : coeffs_) {
+    require(c.field() == field_, "BiPoly: field mismatch");
+  }
+  trim();
+}
+
+BiPoly BiPoly::zero(const Zq& field) {
+  return BiPoly(field, {});
+}
+
+void BiPoly::trim() {
+  while (!coeffs_.empty() && coeffs_.back().is_zero()) coeffs_.pop_back();
+}
+
+const Polynomial& BiPoly::y_coeff(std::size_t j) const {
+  require(j < coeffs_.size(), "BiPoly: y_coeff out of range");
+  return coeffs_[j];
+}
+
+Bigint BiPoly::eval(const Bigint& x, const Bigint& y) const {
+  Bigint acc(0);
+  for (std::size_t j = coeffs_.size(); j-- > 0;) {
+    acc = field_.add(field_.mul(acc, y), coeffs_[j].eval(x));
+  }
+  return acc;
+}
+
+Polynomial BiPoly::eval_poly(const Polynomial& f) const {
+  Polynomial acc = Polynomial::zero(field_);
+  for (std::size_t j = coeffs_.size(); j-- > 0;) {
+    acc = acc * f + coeffs_[j];
+  }
+  return acc;
+}
+
+Polynomial BiPoly::at_x_zero() const {
+  std::vector<Bigint> c;
+  c.reserve(coeffs_.size());
+  for (const Polynomial& q : coeffs_) c.push_back(q.coeff(0));
+  return Polynomial(field_, std::move(c));
+}
+
+BiPoly BiPoly::shift_substitute(const Bigint& gamma) const {
+  // Q(x, x*y + gamma) = sum_j q_j(x) * sum_{i<=j} C(j,i) x^i gamma^{j-i} y^i.
+  const int dy = y_degree();
+  if (dy < 0) return *this;
+  const std::size_t n = static_cast<std::size_t>(dy) + 1;
+
+  // Pascal's triangle mod q (y-degrees are small).
+  std::vector<std::vector<Bigint>> binom(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    binom[j].assign(j + 1, Bigint(1));
+    for (std::size_t i = 1; i < j; ++i) {
+      binom[j][i] = field_.add(binom[j - 1][i - 1], binom[j - 1][i]);
+    }
+  }
+
+  std::vector<Polynomial> out(n, Polynomial::zero(field_));
+  for (std::size_t j = 0; j < n; ++j) {
+    if (coeffs_[j].is_zero()) continue;
+    Bigint gamma_pow(1);  // gamma^{j-i}, iterating i = j down to 0
+    for (std::size_t i = j + 1; i-- > 0;) {
+      // term into y^i: q_j(x) * C(j,i) * gamma^{j-i} * x^i
+      const Bigint scale = field_.mul(binom[j][i], gamma_pow);
+      if (!scale.is_zero()) {
+        // multiply q_j by scale and shift by x^i
+        std::vector<Bigint> shifted(i, Bigint(0));
+        for (const Bigint& c : coeffs_[j].coeffs()) {
+          shifted.push_back(field_.mul(c, scale));
+        }
+        out[i] = out[i] + Polynomial(field_, std::move(shifted));
+      }
+      gamma_pow = field_.mul(gamma_pow, gamma);
+    }
+  }
+  return BiPoly(field_, std::move(out));
+}
+
+BiPoly BiPoly::strip_x() const {
+  if (is_zero()) return *this;
+  // r = min over coefficients of the lowest nonzero x-power.
+  std::size_t r = SIZE_MAX;
+  for (const Polynomial& q : coeffs_) {
+    if (q.is_zero()) continue;
+    std::size_t low = 0;
+    while (q.coeff(low).is_zero()) ++low;
+    r = std::min(r, low);
+  }
+  if (r == 0 || r == SIZE_MAX) return *this;
+  std::vector<Polynomial> out;
+  out.reserve(coeffs_.size());
+  for (const Polynomial& q : coeffs_) {
+    if (q.is_zero()) {
+      out.push_back(q);
+    } else {
+      std::vector<Bigint> c(q.coeffs().begin() + static_cast<long>(r),
+                            q.coeffs().end());
+      out.push_back(Polynomial(field_, std::move(c)));
+    }
+  }
+  return BiPoly(field_, std::move(out));
+}
+
+}  // namespace dfky

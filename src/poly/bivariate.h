@@ -1,0 +1,44 @@
+// Bivariate polynomials over Z_q, represented as polynomials in y whose
+// coefficients are polynomials in x:  Q(x, y) = sum_j q_j(x) y^j.
+//
+// Provides exactly the operations the Sudan decoder's Roth-Ruckenstein
+// y-root extraction needs.
+#pragma once
+
+#include "poly/polynomial.h"
+
+namespace dfky {
+
+class BiPoly {
+ public:
+  /// coeffs[j] is the coefficient of y^j.
+  BiPoly(Zq field, std::vector<Polynomial> coeffs);
+
+  static BiPoly zero(const Zq& field);
+
+  const Zq& field() const { return field_; }
+  bool is_zero() const { return coeffs_.empty(); }
+  /// Degree in y; -1 for zero.
+  int y_degree() const { return static_cast<int>(coeffs_.size()) - 1; }
+  const Polynomial& y_coeff(std::size_t j) const;
+  const std::vector<Polynomial>& y_coeffs() const { return coeffs_; }
+
+  Bigint eval(const Bigint& x, const Bigint& y) const;
+  /// Q(x, f(x)) as a univariate polynomial in x.
+  Polynomial eval_poly(const Polynomial& f) const;
+  /// Q(0, y) as a univariate polynomial in y.
+  Polynomial at_x_zero() const;
+
+  /// Q(x, x*y + gamma): the Roth-Ruckenstein descent step.
+  BiPoly shift_substitute(const Bigint& gamma) const;
+  /// Divides by the largest power of x dividing every coefficient.
+  BiPoly strip_x() const;
+
+ private:
+  void trim();
+
+  Zq field_;
+  std::vector<Polynomial> coeffs_;
+};
+
+}  // namespace dfky

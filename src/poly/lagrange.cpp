@@ -1,0 +1,67 @@
+#include "poly/lagrange.h"
+
+namespace dfky {
+
+std::vector<Bigint> lagrange_coefficients_at(const Zq& field,
+                                             std::span<const Bigint> xs,
+                                             const Bigint& at) {
+  const std::size_t n = xs.size();
+  require(n > 0, "lagrange: need at least one point");
+
+  // c[i] = prod_{j != i} (at - x_j) / (x_i - x_j).
+  // Batch all denominators for a single field inversion.
+  std::vector<Bigint> denoms(n, Bigint(1));
+  std::vector<Bigint> numers(n, Bigint(1));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const Bigint diff = field.sub(xs[i], xs[j]);
+      if (diff.is_zero()) throw ContractError("lagrange: duplicate points");
+      denoms[i] = field.mul(denoms[i], diff);
+      numers[i] = field.mul(numers[i], field.sub(at, xs[j]));
+    }
+  }
+  field.batch_inv(denoms);
+  std::vector<Bigint> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = field.mul(numers[i], denoms[i]);
+  }
+  return out;
+}
+
+std::vector<Bigint> lagrange_coefficients_at_zero(const Zq& field,
+                                                  std::span<const Bigint> xs) {
+  return lagrange_coefficients_at(field, xs, Bigint(0));
+}
+
+Polynomial interpolate(const Zq& field,
+                       std::span<const std::pair<Bigint, Bigint>> points) {
+  const std::size_t n = points.size();
+  require(n > 0, "interpolate: need at least one point");
+
+  // Newton's divided differences would also work; direct Lagrange basis
+  // assembly is O(n^2) and adequate for the polynomial sizes used here.
+  Polynomial acc = Polynomial::zero(field);
+  std::vector<Bigint> denoms(n, Bigint(1));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const Bigint diff = field.sub(points[i].first, points[j].first);
+      if (diff.is_zero()) throw ContractError("interpolate: duplicate points");
+      denoms[i] = field.mul(denoms[i], diff);
+    }
+  }
+  field.batch_inv(denoms);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Basis polynomial prod_{j != i} (x - x_j), built incrementally.
+    Polynomial basis = Polynomial::constant(field, Bigint(1));
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      basis = basis * Polynomial(field, {field.neg(points[j].first), Bigint(1)});
+    }
+    acc = acc + basis.scaled(field.mul(points[i].second, denoms[i]));
+  }
+  return acc;
+}
+
+}  // namespace dfky

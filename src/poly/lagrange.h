@@ -1,0 +1,24 @@
+// Lagrange interpolation over Z_q.
+#pragma once
+
+#include "poly/polynomial.h"
+
+namespace dfky {
+
+/// Lagrange basis coefficients evaluated at `at`: the vector c with
+/// P(at) = sum_i c[i] * P(x_i) for every polynomial P of degree < xs.size().
+/// The points must be pairwise distinct.
+std::vector<Bigint> lagrange_coefficients_at(const Zq& field,
+                                             std::span<const Bigint> xs,
+                                             const Bigint& at);
+
+/// Lagrange basis coefficients at zero (the common case in the paper).
+std::vector<Bigint> lagrange_coefficients_at_zero(const Zq& field,
+                                                  std::span<const Bigint> xs);
+
+/// The unique polynomial of degree < points.size() through `points`.
+/// Throws ContractError on duplicate abscissae.
+Polynomial interpolate(const Zq& field,
+                       std::span<const std::pair<Bigint, Bigint>> points);
+
+}  // namespace dfky

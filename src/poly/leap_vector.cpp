@@ -1,0 +1,42 @@
+#include "poly/leap_vector.h"
+
+namespace dfky {
+
+LeapCoefficients leap_coefficients(const Zq& field, const Bigint& xi,
+                                   std::span<const Bigint> zs) {
+  std::vector<Bigint> points;
+  points.reserve(zs.size() + 1);
+  points.push_back(field.reduce(xi));
+  for (const Bigint& z : zs) points.push_back(field.reduce(z));
+  std::vector<Bigint> lambda = lagrange_coefficients_at_zero(field, points);
+  LeapCoefficients out;
+  out.lambda0 = std::move(lambda[0]);
+  out.lambdas.assign(std::make_move_iterator(lambda.begin() + 1),
+                     std::make_move_iterator(lambda.end()));
+  return out;
+}
+
+bool LeapVector::satisfies(const Zq& field, const Bigint& p_at_zero,
+                           std::span<const Bigint> p_at_zs) const {
+  require(p_at_zs.size() == tail.size(), "LeapVector: size mismatch");
+  Bigint acc = alpha0;
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    acc = field.add(acc, field.mul(tail[i], p_at_zs[i]));
+  }
+  return field.sub(acc, p_at_zero).is_zero();
+}
+
+LeapVector leap_vector(const Zq& field, const Bigint& xi,
+                       const Bigint& p_at_xi, std::span<const Bigint> zs) {
+  return leap_vector_from(field, leap_coefficients(field, xi, zs), p_at_xi);
+}
+
+LeapVector leap_vector_from(const Zq& field, const LeapCoefficients& coeffs,
+                            const Bigint& p_at_xi) {
+  LeapVector out;
+  out.alpha0 = field.mul(coeffs.lambda0, p_at_xi);
+  out.tail = coeffs.lambdas;
+  return out;
+}
+
+}  // namespace dfky

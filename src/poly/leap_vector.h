@@ -1,0 +1,52 @@
+// Leap-vectors (paper Sect. 3.2, Definitions 5/6).
+//
+// A leap-vector with respect to a degree-v polynomial P and values
+// z_1, ..., z_v is a vector alpha in Z_q^{v+1} with
+//     P(0) = alpha_0 + sum_l alpha_l * P(z_l)            (Eq. 1)
+// i.e. a discrete-log representation of g^{P(0)} w.r.t. the base
+// g, g^{P(z_1)}, ..., g^{P(z_v)}. A user holding the point (x_i, P(x_i))
+// derives one by Lagrange interpolation through {x_i, z_1, ..., z_v}:
+//     alpha = < lambda_0 * P(x_i), lambda_1, ..., lambda_v >   (Eq. 2)
+// where lambda_0 is the Lagrange-at-zero coefficient of x_i and lambda_l are
+// those of the z_l. The lambdas depend only on x_i and the z's, not on P —
+// which is why the same tail serves both master polynomials A and B in the
+// scheme's decryption.
+#pragma once
+
+#include "poly/lagrange.h"
+
+namespace dfky {
+
+/// The Lagrange scaffolding of a leap-vector: lambda_0 for the user point
+/// and the shared tail lambda_1..lambda_v for the public slots.
+struct LeapCoefficients {
+  Bigint lambda0;
+  std::vector<Bigint> lambdas;  // size v
+};
+
+/// Computes the Lagrange-at-zero coefficients for interpolation through
+/// {x_i, z_1, ..., z_v}. All points must be distinct; throws ContractError
+/// if x_i collides with some z_l (e.g. the user has been revoked).
+LeapCoefficients leap_coefficients(const Zq& field, const Bigint& xi,
+                                   std::span<const Bigint> zs);
+
+/// A full leap-vector: alpha_0 = lambda_0 * P(x_i) plus the shared tail.
+struct LeapVector {
+  Bigint alpha0;
+  std::vector<Bigint> tail;  // size v
+
+  /// Checks Eq. (1) against explicit values of P at 0 and at the z's.
+  bool satisfies(const Zq& field, const Bigint& p_at_zero,
+                 std::span<const Bigint> p_at_zs) const;
+};
+
+/// Leap-vector associated to the point (x_i, P(x_i)) per Definition 6.
+LeapVector leap_vector(const Zq& field, const Bigint& xi,
+                       const Bigint& p_at_xi, std::span<const Bigint> zs);
+
+/// Builds a leap-vector from precomputed coefficients (shares the lambda
+/// computation between the A- and B-polynomial leap-vectors).
+LeapVector leap_vector_from(const Zq& field, const LeapCoefficients& coeffs,
+                            const Bigint& p_at_xi);
+
+}  // namespace dfky

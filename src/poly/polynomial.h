@@ -1,0 +1,63 @@
+// Dense univariate polynomials over Z_q.
+//
+// These are the paper's central objects: the master secret key is a pair of
+// random degree-v polynomials (A, B); New-period adds fresh random
+// polynomials (D, E); tracing manipulates error-locator and numerator
+// polynomials of the Berlekamp-Welch / Berlekamp-Massey decoders.
+#pragma once
+
+#include <vector>
+
+#include "field/zq.h"
+#include "rng/rng.h"
+
+namespace dfky {
+
+class Polynomial {
+ public:
+  /// coeffs[i] is the coefficient of x^i. Trailing zeros are trimmed.
+  Polynomial(Zq field, std::vector<Bigint> coeffs);
+
+  static Polynomial zero(const Zq& field);
+  static Polynomial constant(const Zq& field, const Bigint& c);
+  /// Uniformly random polynomial of degree exactly <= `degree` (each
+  /// coefficient uniform in Z_q; the leading coefficient may be zero, which
+  /// matches the paper's "random element of Z_q^v[x]").
+  static Polynomial random(const Zq& field, std::size_t degree, Rng& rng);
+
+  const Zq& field() const { return field_; }
+  /// Degree; -1 for the zero polynomial.
+  int degree() const { return static_cast<int>(coeffs_.size()) - 1; }
+  bool is_zero() const { return coeffs_.empty(); }
+  /// Coefficient of x^i (zero beyond the degree).
+  const Bigint& coeff(std::size_t i) const;
+  const std::vector<Bigint>& coeffs() const { return coeffs_; }
+
+  /// Horner evaluation.
+  Bigint eval(const Bigint& x) const;
+  /// Evaluates at many points.
+  std::vector<Bigint> eval_many(std::span<const Bigint> xs) const;
+
+  Polynomial operator+(const Polynomial& o) const;
+  Polynomial operator-(const Polynomial& o) const;
+  Polynomial operator*(const Polynomial& o) const;
+  Polynomial scaled(const Bigint& c) const;
+
+  /// Euclidean division: returns {quotient, remainder}.
+  /// Throws MathError when dividing by the zero polynomial.
+  std::pair<Polynomial, Polynomial> divmod(const Polynomial& divisor) const;
+  /// Exact division; throws MathError if the remainder is nonzero.
+  Polynomial divided_exactly_by(const Polynomial& divisor) const;
+
+  friend bool operator==(const Polynomial& a, const Polynomial& b) {
+    return a.field_ == b.field_ && a.coeffs_ == b.coeffs_;
+  }
+
+ private:
+  void trim();
+
+  Zq field_;
+  std::vector<Bigint> coeffs_;
+};
+
+}  // namespace dfky

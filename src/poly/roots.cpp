@@ -1,0 +1,107 @@
+#include "poly/roots.h"
+
+namespace dfky {
+
+namespace {
+
+Polynomial make_monic(const Polynomial& p) {
+  if (p.is_zero()) return p;
+  const Bigint& lead = p.coeffs().back();
+  if (lead.is_one()) return p;
+  return p.scaled(p.field().inv(lead));
+}
+
+/// y as a polynomial.
+Polynomial poly_y(const Zq& f) {
+  return Polynomial(f, {Bigint(0), Bigint(1)});
+}
+
+/// Splits a squarefree product of distinct linear factors into roots.
+void split_linear_product(const Polynomial& g, Rng& rng,
+                          std::vector<Bigint>& out) {
+  const Zq& f = g.field();
+  if (g.degree() <= 0) return;
+  if (g.degree() == 1) {
+    // monic: y + c0  =>  root -c0.
+    out.push_back(f.neg(g.coeff(0)));
+    return;
+  }
+  // Cantor-Zassenhaus: gcd(g, (y + a)^((q-1)/2) - 1) splits g with
+  // probability ~1/2 per random shift a.
+  const Bigint half = (f.modulus() - Bigint(1)) >> 1;
+  while (true) {
+    const Bigint a = rng.uniform_below(f.modulus());
+    const Polynomial shifted(f, {a, Bigint(1)});  // y + a
+    Polynomial h = poly_powmod(shifted, half, g);
+    h = h - Polynomial::constant(f, Bigint(1));
+    Polynomial d = poly_gcd(h, g);
+    if (d.degree() > 0 && d.degree() < g.degree()) {
+      split_linear_product(d, rng, out);
+      split_linear_product(g.divided_exactly_by(d), rng, out);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Polynomial poly_gcd(const Polynomial& a, const Polynomial& b) {
+  Polynomial x = a;
+  Polynomial y = b;
+  while (!y.is_zero()) {
+    Polynomial r = x.divmod(y).second;
+    x = std::move(y);
+    y = std::move(r);
+  }
+  return make_monic(x);
+}
+
+Polynomial poly_powmod(const Polynomial& base, const Bigint& e,
+                       const Polynomial& m) {
+  require(m.degree() >= 1, "poly_powmod: modulus must be non-constant");
+  require(e.sign() >= 0, "poly_powmod: negative exponent");
+  const Zq& f = base.field();
+  Polynomial acc = Polynomial::constant(f, Bigint(1));
+  Polynomial b = base.divmod(m).second;
+  const std::size_t bits = e.bit_length();
+  for (std::size_t i = bits; i-- > 0;) {
+    acc = (acc * acc).divmod(m).second;
+    if (e.bit(i)) acc = (acc * b).divmod(m).second;
+  }
+  return acc;
+}
+
+std::vector<Bigint> polynomial_roots(const Polynomial& p, Rng& rng) {
+  const Zq& f = p.field();
+  std::vector<Bigint> out;
+  if (p.degree() <= 0) return out;  // constants (incl. zero poly) have no
+                                    // well-defined root set here
+  Polynomial work = make_monic(p);
+
+  // Root at zero.
+  if (work.coeff(0).is_zero()) {
+    out.push_back(Bigint(0));
+    // Divide out all y factors.
+    std::vector<Bigint> shifted(work.coeffs().begin() + 1,
+                                work.coeffs().end());
+    while (!shifted.empty() && shifted.front().is_zero()) {
+      shifted.erase(shifted.begin());
+    }
+    work = Polynomial(f, std::move(shifted));
+    if (work.degree() <= 0) return out;
+  }
+
+  if (work.degree() == 1) {
+    out.push_back(f.neg(f.div(work.coeff(0), work.coeff(1))));
+    return out;
+  }
+
+  // g = gcd(work, y^q - y) = product of (y - r) over the distinct nonzero
+  // roots r (y itself was divided out above).
+  const Polynomial yq = poly_powmod(poly_y(f), f.modulus(), work);
+  const Polynomial g = poly_gcd(yq - poly_y(f), work);
+  split_linear_product(g, rng, out);
+  return out;
+}
+
+}  // namespace dfky

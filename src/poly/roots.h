@@ -1,0 +1,27 @@
+// Root finding for univariate polynomials over Z_q.
+//
+// Needed by the Roth-Ruckenstein step of the Sudan list decoder (tracing
+// beyond the collusion bound, paper Sect. 6.3.2 "Time-Complexity"): each
+// recursion level extracts the roots of Q(0, y).
+//
+// Algorithm: strip the root at zero, isolate the distinct linear factors via
+// gcd(p, y^q - y) computed with modular polynomial exponentiation, then
+// split them with Cantor-Zassenhaus random gcds.
+#pragma once
+
+#include "poly/polynomial.h"
+
+namespace dfky {
+
+/// Polynomial gcd (monic result; gcd(0, 0) = 0).
+Polynomial poly_gcd(const Polynomial& a, const Polynomial& b);
+
+/// base^e mod m in Z_q[y]. m must be non-constant.
+Polynomial poly_powmod(const Polynomial& base, const Bigint& e,
+                       const Polynomial& m);
+
+/// All distinct roots of p in Z_q (without multiplicities).
+/// Expected polynomial time; randomized (Cantor-Zassenhaus splitting).
+std::vector<Bigint> polynomial_roots(const Polynomial& p, Rng& rng);
+
+}  // namespace dfky

@@ -1,0 +1,40 @@
+#include "rng/chacha_rng.h"
+
+#include "crypto/sha256.h"
+
+namespace dfky {
+
+namespace {
+
+constexpr std::array<byte, ChaCha20::kNonceSize> kRngNonce = {
+    'd', 'f', 'k', 'y', '-', 'p', 'r', 'g', 0, 0, 0, 1};
+
+std::array<byte, 32> expand_seed(std::uint64_t seed) {
+  std::array<byte, 8> b;
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<byte>(seed >> (56 - 8 * i));
+  return Sha256::hash(b);
+}
+
+ChaCha20 make_stream(BytesView seed32) {
+  require(seed32.size() == 32, "ChaChaRng: seed must be 32 bytes");
+  return ChaCha20(seed32, kRngNonce);
+}
+
+}  // namespace
+
+ChaChaRng::ChaChaRng(BytesView seed32) : stream_(make_stream(seed32)) {}
+
+ChaChaRng::ChaChaRng(std::uint64_t seed)
+    : stream_(make_stream(expand_seed(seed))) {}
+
+void ChaChaRng::fill(std::span<byte> out) {
+  stream_.keystream(out);
+}
+
+ChaChaRng ChaChaRng::fork() {
+  std::array<byte, 32> child_seed;
+  fill(child_seed);
+  return ChaChaRng(child_seed);
+}
+
+}  // namespace dfky

@@ -1,0 +1,25 @@
+// Deterministic ChaCha20-based PRG for reproducible tests and benchmarks.
+#pragma once
+
+#include "crypto/chacha20.h"
+#include "rng/rng.h"
+
+namespace dfky {
+
+class ChaChaRng final : public Rng {
+ public:
+  /// Seeds from a 32-byte key.
+  explicit ChaChaRng(BytesView seed32);
+  /// Convenience: expands a 64-bit seed through SHA-256.
+  explicit ChaChaRng(std::uint64_t seed);
+
+  void fill(std::span<byte> out) override;
+
+  /// An independent child stream (forked by drawing a fresh seed).
+  ChaChaRng fork();
+
+ private:
+  ChaCha20 stream_;
+};
+
+}  // namespace dfky

@@ -1,0 +1,55 @@
+#include "rng/rng.h"
+
+namespace dfky {
+
+Bytes Rng::bytes(std::size_t n) {
+  Bytes out(n);
+  fill(out);
+  return out;
+}
+
+std::uint64_t Rng::u64() {
+  std::array<byte, 8> b;
+  fill(b);
+  std::uint64_t v = 0;
+  for (byte x : b) v = (v << 8) | x;
+  return v;
+}
+
+Bigint Rng::uniform_below(const Bigint& bound) {
+  require(bound.sign() > 0, "Rng::uniform_below: bound must be positive");
+  const std::size_t bits = bound.bit_length();
+  const std::size_t nbytes = (bits + 7) / 8;
+  const unsigned top_bits = static_cast<unsigned>(bits % 8 == 0 ? 8 : bits % 8);
+  const byte mask = static_cast<byte>((1u << top_bits) - 1);
+  Bytes buf(nbytes);
+  while (true) {
+    fill(buf);
+    if (!buf.empty()) buf[0] &= mask;  // trim to bit_length(bound) bits
+    Bigint candidate = Bigint::from_bytes(buf);
+    if (candidate < bound) return candidate;
+  }
+}
+
+Bigint Rng::uniform_nonzero_below(const Bigint& bound) {
+  require(bound > Bigint(1), "Rng::uniform_nonzero_below: bound must be > 1");
+  while (true) {
+    Bigint c = uniform_below(bound);
+    if (!c.is_zero()) return c;
+  }
+}
+
+Bigint Rng::uniform_bits(std::size_t bits) {
+  require(bits >= 1, "Rng::uniform_bits: bits must be >= 1");
+  const std::size_t nbytes = (bits + 7) / 8;
+  Bytes buf(nbytes);
+  fill(buf);
+  Bigint v = Bigint::from_bytes(buf);
+  // Clear excess high bits, then force the top bit.
+  const std::size_t excess = nbytes * 8 - bits;
+  if (excess > 0) v = v.mod(Bigint(1) << bits);
+  if (!v.bit(bits - 1)) v += (Bigint(1) << (bits - 1));
+  return v.mod(Bigint(1) << bits);
+}
+
+}  // namespace dfky

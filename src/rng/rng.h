@@ -1,0 +1,29 @@
+// Randomness interface.
+//
+// Every randomized algorithm in the library takes an `Rng&` parameter, so
+// tests and benchmarks can substitute a deterministic ChaChaRng while
+// deployments use SystemRng.
+#pragma once
+
+#include "bigint/bigint.h"
+
+namespace dfky {
+
+class Rng {
+ public:
+  virtual ~Rng() = default;
+
+  /// Fills `out` with random bytes.
+  virtual void fill(std::span<byte> out) = 0;
+
+  Bytes bytes(std::size_t n);
+  std::uint64_t u64();
+  /// Uniform integer in [0, bound) via rejection sampling. bound must be > 0.
+  Bigint uniform_below(const Bigint& bound);
+  /// Uniform integer in [1, bound).
+  Bigint uniform_nonzero_below(const Bigint& bound);
+  /// Uniform integer with exactly `bits` bits (top bit set). bits >= 1.
+  Bigint uniform_bits(std::size_t bits);
+};
+
+}  // namespace dfky

@@ -1,0 +1,31 @@
+#include "rng/system_rng.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace dfky {
+
+SystemRng::SystemRng() {
+  fd_ = ::open("/dev/urandom", O_RDONLY | O_CLOEXEC);
+  if (fd_ < 0) throw Error("SystemRng: cannot open /dev/urandom");
+}
+
+SystemRng::~SystemRng() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SystemRng::fill(std::span<byte> out) {
+  std::size_t got = 0;
+  while (got < out.size()) {
+    const ssize_t n = ::read(fd_, out.data() + got, out.size() - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error("SystemRng: read from /dev/urandom failed");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace dfky

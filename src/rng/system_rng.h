@@ -1,0 +1,22 @@
+// OS entropy source (/dev/urandom), buffered.
+#pragma once
+
+#include "rng/rng.h"
+
+namespace dfky {
+
+class SystemRng final : public Rng {
+ public:
+  SystemRng();
+  ~SystemRng() override;
+
+  SystemRng(const SystemRng&) = delete;
+  SystemRng& operator=(const SystemRng&) = delete;
+
+  void fill(std::span<byte> out) override;
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace dfky

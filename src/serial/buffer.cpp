@@ -1,0 +1,77 @@
+#include "serial/buffer.h"
+
+namespace dfky {
+
+void Writer::put_u16(std::uint16_t v) {
+  put_u8(static_cast<std::uint8_t>(v >> 8));
+  put_u8(static_cast<std::uint8_t>(v));
+}
+
+void Writer::put_u32(std::uint32_t v) {
+  put_u16(static_cast<std::uint16_t>(v >> 16));
+  put_u16(static_cast<std::uint16_t>(v));
+}
+
+void Writer::put_u64(std::uint64_t v) {
+  put_u32(static_cast<std::uint32_t>(v >> 32));
+  put_u32(static_cast<std::uint32_t>(v));
+}
+
+void Writer::put_blob(BytesView data) {
+  require(data.size() <= UINT32_MAX, "Writer::put_blob: blob too large");
+  put_u32(static_cast<std::uint32_t>(data.size()));
+  put_raw(data);
+}
+
+void Writer::put_raw(BytesView data) {
+  out_.insert(out_.end(), data.begin(), data.end());
+}
+
+void Reader::need(std::size_t n) const {
+  if (remaining() < n) throw DecodeError("Reader: truncated input");
+}
+
+std::uint8_t Reader::get_u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t Reader::get_u16() {
+  const auto hi = get_u8();
+  return static_cast<std::uint16_t>((hi << 8) | get_u8());
+}
+
+std::uint32_t Reader::get_u32() {
+  const auto hi = get_u16();
+  return (static_cast<std::uint32_t>(hi) << 16) | get_u16();
+}
+
+std::uint64_t Reader::get_u64() {
+  const auto hi = get_u32();
+  return (static_cast<std::uint64_t>(hi) << 32) | get_u32();
+}
+
+Bytes Reader::get_blob() {
+  const std::uint32_t len = get_u32();
+  return get_raw(len);
+}
+
+Bytes Reader::get_raw(std::size_t n) {
+  need(n);
+  Bytes out(data_.begin() + pos_, data_.begin() + pos_ + n);
+  pos_ += n;
+  return out;
+}
+
+void Reader::expect_end() const {
+  if (!empty()) throw DecodeError("Reader: trailing bytes");
+}
+
+void Reader::check_count(std::uint64_t count, std::size_t min_bytes_each) const {
+  const std::size_t each = std::max<std::size_t>(min_bytes_each, 1);
+  if (count > remaining() / each) {
+    throw DecodeError("Reader: element count exceeds available bytes");
+  }
+}
+
+}  // namespace dfky

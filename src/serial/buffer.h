@@ -1,0 +1,64 @@
+// Canonical byte serialization.
+//
+// All broadcast messages (ciphertexts, public keys, reset messages, signed
+// envelopes) are serialized through these writers/readers, so transmission
+// costs reported by the benchmarks are real on-the-wire byte counts.
+// Encoding rules: fixed-width big-endian integers; variable-size blobs are
+// u32-length-prefixed.
+#pragma once
+
+#include <cstdint>
+
+#include "common.h"
+
+namespace dfky {
+
+class Writer {
+ public:
+  void put_u8(std::uint8_t v) { out_.push_back(v); }
+  void put_u16(std::uint16_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  /// u32 length prefix + raw bytes.
+  void put_blob(BytesView data);
+  /// Raw bytes, no prefix (caller knows the size).
+  void put_raw(BytesView data);
+
+  const Bytes& bytes() const& { return out_; }
+  Bytes take() && { return std::move(out_); }
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  Bytes out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  std::uint8_t get_u8();
+  std::uint16_t get_u16();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  Bytes get_blob();
+  Bytes get_raw(std::size_t n);
+
+  bool empty() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  /// Throws DecodeError unless the entire input was consumed.
+  void expect_end() const;
+
+  /// Validates an untrusted element count against the bytes actually left:
+  /// throws DecodeError unless count * min_bytes_each <= remaining().
+  /// Deserializers MUST call this before reserving count elements, so a
+  /// forged length field cannot drive an allocation bomb.
+  void check_count(std::uint64_t count, std::size_t min_bytes_each) const;
+
+ private:
+  void need(std::size_t n) const;
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dfky

@@ -1,0 +1,89 @@
+#include "serial/codec.h"
+
+#include "field/fp.h"
+
+namespace dfky {
+
+void put_bigint(Writer& w, const Bigint& v) {
+  require(v.sign() >= 0, "put_bigint: negative value");
+  w.put_blob(v.to_bytes());
+}
+
+Bigint get_bigint(Reader& r) {
+  return Bigint::from_bytes(r.get_blob());
+}
+
+void put_gelt(Writer& w, const Group& group, const Gelt& e) {
+  if (!group.is_elliptic()) {
+    w.put_raw(e.value().to_bytes_padded(group.element_size()));
+    return;
+  }
+  const std::size_t field_bytes = group.element_size() - 1;
+  if (e.is_infinity()) {
+    w.put_u8(0);
+    w.put_raw(Bytes(field_bytes, 0));
+    return;
+  }
+  // Compressed point: 0x02 / 0x03 by y parity, then x.
+  w.put_u8(static_cast<std::uint8_t>(e.py().is_odd() ? 3 : 2));
+  w.put_raw(e.px().to_bytes_padded(field_bytes));
+}
+
+Gelt get_gelt(Reader& r, const Group& group) {
+  if (!group.is_elliptic()) {
+    const Bytes raw = r.get_raw(group.element_size());
+    Bigint v = Bigint::from_bytes(raw);
+    try {
+      return group.element_from(std::move(v));
+    } catch (const ContractError&) {
+      throw DecodeError("get_gelt: value not a group element");
+    }
+  }
+  const CurveSpec& c = group.curve();
+  const std::size_t field_bytes = group.element_size() - 1;
+  const std::uint8_t tag = r.get_u8();
+  const Bytes raw = r.get_raw(field_bytes);
+  if (tag == 0) {
+    for (byte b : raw) {
+      if (b != 0) throw DecodeError("get_gelt: malformed infinity encoding");
+    }
+    return Gelt::infinity();
+  }
+  if (tag != 2 && tag != 3) throw DecodeError("get_gelt: bad point tag");
+  const Bigint x = Bigint::from_bytes(raw);
+  if (x >= c.p) throw DecodeError("get_gelt: x coordinate out of range");
+  const Bigint rhs = (x * x * x + c.a * x + c.b).mod(c.p);
+  Bigint y;
+  try {
+    y = sqrt_mod(rhs, c.p);
+  } catch (const MathError&) {
+    throw DecodeError("get_gelt: x not on curve");
+  }
+  if (y.is_odd() != (tag == 3)) y = (c.p - y).mod(c.p);
+  const Gelt e = Gelt::point(x, y);
+  if (!group.is_element(e)) throw DecodeError("get_gelt: point not on curve");
+  return e;
+}
+
+Bytes gelt_canonical_bytes(const Group& group, const Gelt& e) {
+  Writer w;
+  put_gelt(w, group, e);
+  return std::move(w).take();
+}
+
+void put_bigint_vec(Writer& w, std::span<const Bigint> v) {
+  require(v.size() <= UINT32_MAX, "put_bigint_vec: too many entries");
+  w.put_u32(static_cast<std::uint32_t>(v.size()));
+  for (const Bigint& x : v) put_bigint(w, x);
+}
+
+std::vector<Bigint> get_bigint_vec(Reader& r) {
+  const std::uint32_t n = r.get_u32();
+  r.check_count(n, 4);  // every entry carries at least a length prefix
+  std::vector<Bigint> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(get_bigint(r));
+  return out;
+}
+
+}  // namespace dfky

@@ -1,0 +1,26 @@
+// Serialization helpers for math types.
+#pragma once
+
+#include "group/element.h"
+#include "serial/buffer.h"
+
+namespace dfky {
+
+void put_bigint(Writer& w, const Bigint& v);
+Bigint get_bigint(Reader& r);
+
+/// Fixed-width element encoding relative to a group: the raw residue for
+/// the Z_p^* backend, a compressed point (tag byte + x coordinate) for the
+/// elliptic-curve backend — group.element_size() bytes either way.
+void put_gelt(Writer& w, const Group& group, const Gelt& e);
+/// Reads and validates membership; throws DecodeError for non-elements.
+Gelt get_gelt(Reader& r, const Group& group);
+
+/// The canonical fixed-width byte encoding of one element (used as KDF
+/// input by the KEM paths).
+Bytes gelt_canonical_bytes(const Group& group, const Gelt& e);
+
+void put_bigint_vec(Writer& w, std::span<const Bigint> v);
+std::vector<Bigint> get_bigint_vec(Reader& r);
+
+}  // namespace dfky

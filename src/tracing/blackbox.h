@@ -1,0 +1,56 @@
+// epsilon-Black-Box Confirmation (paper Sect. 6.2, Definitions 9/10).
+//
+// The tracer probes a stateless pirate decoder with encryptions under fake
+// public keys PK(I) whose master polynomials agree with the real ones only
+// on the suspect set I. By Theorem 2 a decoder whose coalition is contained
+// in I keeps working under PK(I); by Theorem 3 dropping an innocent user
+// from I does not change the decoder's success rate. The algorithm walks
+// suspects out of I one at a time and accuses the first whose removal drops
+// the estimated success probability by at least epsilon / (2m).
+#pragma once
+
+#include <optional>
+
+#include "core/manager.h"
+#include "tracing/pirate.h"
+
+namespace dfky {
+
+struct BbcOptions {
+  /// Usefulness threshold: decoders succeeding on less than an
+  /// epsilon-fraction of broadcasts are considered harmless.
+  double epsilon = 0.5;
+  /// Per-estimate failure probability driving the Hoeffding sample count.
+  double confidence = 1e-3;
+  /// Overrides the derived sample count when nonzero (benchmarks/tests).
+  std::size_t samples_override = 0;
+};
+
+struct BbcResult {
+  /// The accused traitor's registry id, or nullopt ("?").
+  std::optional<std::uint64_t> accused;
+  /// Total decoder queries spent.
+  std::size_t queries = 0;
+  /// delta(I) estimates in removal order; success_curve[0] is delta(Susp).
+  std::vector<double> success_curve;
+};
+
+/// Builds the fake public key PK(I): fresh random degree-v polynomials that
+/// agree with the current master polynomials exactly on `keep_xs` (the
+/// suspects' x values), re-keying every slot and y. Exposed for tests.
+PublicKey fake_public_key(const SystemParams& sp, const MasterSecret& msk,
+                          const PublicKey& pk,
+                          std::span<const Bigint> keep_xs, Rng& rng);
+
+/// Monte-Carlo estimate of Succ_PK(D) (Definition 8) with `samples` queries.
+double estimate_success(const SystemParams& sp, const PublicKey& pk,
+                        PirateDecoder& decoder, std::size_t samples, Rng& rng);
+
+/// The BBC algorithm of Sect. 6.2.1.
+BbcResult black_box_confirm(const SystemParams& sp, const MasterSecret& msk,
+                            const PublicKey& pk,
+                            std::span<const UserRecord> suspects,
+                            PirateDecoder& decoder, const BbcOptions& options,
+                            Rng& rng);
+
+}  // namespace dfky

@@ -1,0 +1,91 @@
+#include "tracing/blackbox_search.h"
+
+namespace dfky {
+
+namespace {
+
+/// Advances `idx` to the next combination of pool indices; false at the end.
+bool next_combination(std::vector<std::size_t>& idx, std::size_t n) {
+  const std::size_t k = idx.size();
+  for (std::size_t i = k; i-- > 0;) {
+    if (idx[i] < n - (k - i)) {
+      ++idx[i];
+      for (std::size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Does the decoder still work under PK restricted to `suspects`?
+bool covers(const SystemParams& sp, const MasterSecret& msk,
+            const PublicKey& pk, std::span<const UserRecord> suspects,
+            PirateDecoder& decoder, std::size_t samples, Rng& rng,
+            double epsilon, std::size_t& queries) {
+  std::vector<Bigint> keep;
+  keep.reserve(suspects.size());
+  for (const UserRecord& u : suspects) keep.push_back(u.x);
+  const PublicKey fake = fake_public_key(sp, msk, pk, keep, rng);
+  queries += samples;
+  return estimate_success(sp, fake, decoder, samples, rng) >= epsilon / 2;
+}
+
+}  // namespace
+
+BlackBoxTraceResult black_box_trace(const SystemParams& sp,
+                                    const MasterSecret& msk,
+                                    const PublicKey& pk,
+                                    std::span<const UserRecord> pool,
+                                    std::size_t coalition_bound,
+                                    PirateDecoder& decoder,
+                                    const BbcOptions& options, Rng& rng) {
+  require(coalition_bound >= 1 && coalition_bound <= sp.max_collusion(),
+          "black_box_trace: coalition bound must be in [1, m]");
+  BlackBoxTraceResult result;
+  if (pool.size() < coalition_bound) return result;
+
+  const std::size_t probe_samples =
+      options.samples_override != 0 ? options.samples_override : 25;
+
+  std::vector<std::size_t> idx(coalition_bound);
+  for (std::size_t i = 0; i < coalition_bound; ++i) idx[i] = i;
+  do {
+    ++result.subsets_tried;
+    std::vector<UserRecord> suspects;
+    suspects.reserve(coalition_bound);
+    for (std::size_t i : idx) suspects.push_back(pool[i]);
+    // Cheap coverage probe before running the full confirmation walk.
+    if (!covers(sp, msk, pk, suspects, decoder, probe_samples, rng,
+                options.epsilon, result.queries)) {
+      continue;
+    }
+    // This subset covers the coalition. Identify every traitor in it by
+    // leave-one-out estimation: dropping a traitor from I collapses delta(I)
+    // (the convex combination needs all contributors, Theorem 2), while
+    // dropping an innocent changes nothing (Theorem 3).
+    const std::size_t samples = options.samples_override != 0
+                                    ? options.samples_override
+                                    : probe_samples;
+    std::vector<Bigint> keep_all;
+    for (const UserRecord& u : suspects) keep_all.push_back(u.x);
+    const PublicKey fake_all = fake_public_key(sp, msk, pk, keep_all, rng);
+    result.queries += samples;
+    const double base = estimate_success(sp, fake_all, decoder, samples, rng);
+    const double threshold =
+        options.epsilon / (2.0 * static_cast<double>(sp.max_collusion()));
+    for (const UserRecord& candidate : suspects) {
+      std::vector<Bigint> keep;
+      for (const UserRecord& u : suspects) {
+        if (u.id != candidate.id) keep.push_back(u.x);
+      }
+      const PublicKey fake = fake_public_key(sp, msk, pk, keep, rng);
+      result.queries += samples;
+      const double est = estimate_success(sp, fake, decoder, samples, rng);
+      if (base - est >= threshold) result.traitors.push_back(candidate.id);
+    }
+    if (!result.traitors.empty()) return result;
+  } while (next_combination(idx, pool.size()));
+  return result;
+}
+
+}  // namespace dfky

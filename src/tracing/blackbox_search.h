@@ -1,0 +1,38 @@
+// Full black-box tracing by suspect-set search (paper Sect. 6.2).
+//
+// Black-box confirmation only answers "does this suspect set cover the
+// coalition, and if so name one traitor". Full black-box tracing walks
+// candidate suspect sets — in the worst case all m-subsets of the candidate
+// pool (the paper: exponential in m, "inherent to this setting" [19]), but
+// "in many cases a lot of partial information about the set of corrupted
+// users makes the search space dramatically smaller". The searcher takes an
+// arbitrary candidate pool to model exactly that.
+//
+// Once a covering set is confirmed, the remaining traitors are peeled off by
+// repeated confirmation on the shrinking set.
+#pragma once
+
+#include "tracing/blackbox.h"
+
+namespace dfky {
+
+struct BlackBoxTraceResult {
+  /// All traitors recovered (complete when the pool covers the coalition).
+  std::vector<std::uint64_t> traitors;
+  std::size_t queries = 0;
+  std::size_t subsets_tried = 0;
+};
+
+/// Searches subsets of `pool` of size exactly `coalition_bound` (<= m) until
+/// BBC confirms one, then peels all members of the covered coalition.
+/// Returns an empty traitor list if no subset of the pool covers the
+/// coalition (all candidates exhausted).
+BlackBoxTraceResult black_box_trace(const SystemParams& sp,
+                                    const MasterSecret& msk,
+                                    const PublicKey& pk,
+                                    std::span<const UserRecord> pool,
+                                    std::size_t coalition_bound,
+                                    PirateDecoder& decoder,
+                                    const BbcOptions& options, Rng& rng);
+
+}  // namespace dfky

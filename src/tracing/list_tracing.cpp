@@ -1,0 +1,137 @@
+#include "tracing/list_tracing.h"
+
+#include "codes/sudan.h"
+#include "linalg/gauss.h"
+#include "poly/leap_vector.h"
+
+namespace dfky {
+
+std::vector<std::uint64_t> CandidateCoalition::ids() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(traitors.size());
+  for (const auto& t : traitors) out.push_back(t.id);
+  return out;
+}
+
+std::size_t max_list_traceable(std::size_t n, std::size_t v) {
+  if (n <= v) return 0;
+  const std::size_t k = n - v;
+  std::size_t best = 0;
+  for (std::size_t e = 0; e < n; ++e) {
+    if (sudan_feasible(n, k, n - e)) {
+      best = e;
+    } else {
+      break;
+    }
+  }
+  return best;
+}
+
+std::vector<CandidateCoalition> trace_beyond_bound(
+    const SystemParams& sp, const PublicKey& pk, const Representation& delta,
+    std::span<const UserRecord> users, std::size_t max_coalition, Rng& rng,
+    const MasterSecret* msk) {
+  if (!delta.valid_for(sp, pk)) {
+    throw MathError("trace_beyond_bound: invalid representation");
+  }
+  const Zq& zq = sp.group.zq();
+  const std::vector<Bigint> zs = pk.slot_ids();
+  const std::size_t v = zs.size();
+
+  // Candidates: active users (x outside the slot set), with lambda0.
+  struct Cand {
+    std::uint64_t id;
+    Bigint x;
+    Bigint lambda0;
+  };
+  std::vector<Cand> cands;
+  for (const UserRecord& u : users) {
+    const Bigint x = zq.reduce(u.x);
+    bool collides = x.is_zero();
+    for (const Bigint& z : zs) {
+      if (zq.sub(x, z).is_zero()) collides = true;
+    }
+    if (collides) continue;
+    cands.push_back(Cand{u.id, x, leap_coefficients(zq, x, zs).lambda0});
+  }
+  const std::size_t n = cands.size();
+  require(n > v, "trace_beyond_bound: needs more than v registered users");
+  const std::size_t k = n - v;
+  require(max_coalition < n, "trace_beyond_bound: coalition bound too large");
+  const std::size_t t = n - max_coalition;
+
+  // theta * H = delta''  (as in the Berlekamp-Welch tracer).
+  const std::vector<Bigint> dpp = tracing_syndromes(zq, zs, delta.tail);
+  Matrix ht(zq, v, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    Bigint pw = cands[j].x;
+    for (std::size_t kk = 0; kk < v; ++kk) {
+      ht.at(kk, j) = zq.neg(zq.mul(cands[j].lambda0, pw));
+      pw = zq.mul(pw, cands[j].x);
+    }
+  }
+  const auto theta = solve(ht, dpp);
+  if (!theta) throw MathError("trace_beyond_bound: theta system inconsistent");
+
+  // Divide out the GRS column multipliers w_j = -lambda_j / lambda0^{(j)}.
+  std::vector<Bigint> xs;
+  xs.reserve(n);
+  for (const Cand& c : cands) xs.push_back(c.x);
+  const std::vector<Bigint> lambda_full = lagrange_coefficients_at_zero(zq, xs);
+  std::vector<Bigint> ws(n), ys(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    ws[j] = zq.neg(zq.div(lambda_full[j], cands[j].lambda0));
+    ys[j] = zq.div((*theta)[j], ws[j]);
+  }
+
+  // List-decode: every f agreeing in >= t positions is a nearby codeword.
+  const std::vector<Polynomial> list =
+      sudan_list_decode(zq, xs, ys, k, t, rng);
+
+  std::vector<CandidateCoalition> out;
+  for (const Polynomial& f : list) {
+    CandidateCoalition cc;
+    bool plausible = true;
+    Bigint weight_sum(0);
+    std::vector<Bigint> tail(v, Bigint(0));
+    Bigint gamma_a(0), gamma_b(0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const Bigint omega_j = zq.mul(ws[j], f.eval(xs[j]));
+      const Bigint phi_j = zq.sub((*theta)[j], omega_j);
+      if (phi_j.is_zero()) continue;
+      if (cc.traitors.size() == max_coalition) {
+        plausible = false;  // more errors than the agreed bound
+        break;
+      }
+      cc.traitors.push_back(
+          TraceResult::Traitor{cands[j].id, cands[j].x, phi_j});
+      weight_sum = zq.add(weight_sum, phi_j);
+      const LeapCoefficients lc = leap_coefficients(zq, cands[j].x, zs);
+      for (std::size_t l = 0; l < v; ++l) {
+        tail[l] = zq.add(tail[l], zq.mul(phi_j, lc.lambdas[l]));
+      }
+      if (msk != nullptr) {
+        const Bigint scale = zq.mul(phi_j, lc.lambda0);
+        gamma_a = zq.add(gamma_a, zq.mul(scale, msk->a.eval(cands[j].x)));
+        gamma_b = zq.add(gamma_b, zq.mul(scale, msk->b.eval(cands[j].x)));
+      }
+    }
+    if (!plausible || cc.traitors.empty()) continue;
+    if (!weight_sum.is_one()) continue;
+    bool tail_ok = true;
+    for (std::size_t l = 0; l < v; ++l) {
+      if (!(tail[l] == zq.reduce(delta.tail[l]))) tail_ok = false;
+    }
+    if (!tail_ok) continue;
+    if (msk != nullptr) {
+      if (!(gamma_a == zq.reduce(delta.gamma_a)) ||
+          !(gamma_b == zq.reduce(delta.gamma_b))) {
+        continue;
+      }
+    }
+    out.push_back(std::move(cc));
+  }
+  return out;
+}
+
+}  // namespace dfky

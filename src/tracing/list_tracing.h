@@ -1,0 +1,39 @@
+// Tracing beyond the collusion bound (paper Sect. 6.3.2, last paragraph).
+//
+// When more than m = floor(v/2) traitors collude, unique decoding fails, but
+// list decoding still pins down a small set of CANDIDATE coalitions: we
+// Sudan-decode the corrupted codeword theta and keep every candidate error
+// vector that genuinely explains the pirate representation. The true
+// coalition is always among the candidates (when the interpolation bound is
+// met); spurious candidates are filtered by re-deriving the pirate key from
+// the alleged coalition and, optionally, by checking the alpha_0 components
+// against the master secret.
+#pragma once
+
+#include "core/manager.h"
+#include "tracing/nonblackbox.h"
+
+namespace dfky {
+
+struct CandidateCoalition {
+  std::vector<TraceResult::Traitor> traitors;
+
+  std::vector<std::uint64_t> ids() const;
+};
+
+/// Lists all coalitions of size <= max_coalition among `candidates` that
+/// exactly explain `delta` (tail + convex weights), using Sudan list
+/// decoding. `msk`, when provided, additionally filters by the gamma_a /
+/// gamma_b components. Throws ContractError when the agreement bound is
+/// infeasible for these parameters, MathError when delta is invalid.
+std::vector<CandidateCoalition> trace_beyond_bound(
+    const SystemParams& sp, const PublicKey& pk, const Representation& delta,
+    std::span<const UserRecord> candidates, std::size_t max_coalition,
+    Rng& rng, const MasterSecret* msk = nullptr);
+
+/// Largest coalition size for which trace_beyond_bound's interpolation step
+/// is feasible with n registered users (cf. the paper's
+/// n - sqrt(n (n - v)) bound for full Guruswami-Sudan).
+std::size_t max_list_traceable(std::size_t n, std::size_t v);
+
+}  // namespace dfky

@@ -1,0 +1,196 @@
+#include "tracing/nonblackbox.h"
+
+#include "codes/berlekamp_massey.h"
+#include "codes/grs.h"
+#include "linalg/gauss.h"
+#include "poly/leap_vector.h"
+
+namespace dfky {
+
+std::vector<std::uint64_t> TraceResult::ids() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(traitors.size());
+  for (const Traitor& t : traitors) out.push_back(t.id);
+  return out;
+}
+
+std::vector<Bigint> tracing_syndromes(const Zq& zq,
+                                      std::span<const Bigint> slot_ids,
+                                      std::span<const Bigint> delta_tail) {
+  require(slot_ids.size() == delta_tail.size(),
+          "tracing_syndromes: size mismatch");
+  const std::size_t v = slot_ids.size();
+  std::vector<Bigint> syndromes(v, Bigint(0));
+  std::vector<Bigint> pw(v);
+  for (std::size_t l = 0; l < v; ++l) pw[l] = zq.reduce(slot_ids[l]);
+  for (std::size_t k = 0; k < v; ++k) {
+    for (std::size_t l = 0; l < v; ++l) {
+      syndromes[k] = zq.add(syndromes[k], zq.mul(delta_tail[l], pw[l]));
+      pw[l] = zq.mul(pw[l], slot_ids[l]);
+    }
+  }
+  return syndromes;
+}
+
+namespace {
+
+struct Candidate {
+  std::uint64_t id;
+  Bigint x;
+  Bigint lambda0;  // Lagrange-at-zero coefficient of x over {x, z_1..z_v}
+};
+
+/// Collects candidates, dropping any whose x collides with a slot id
+/// (revoked users cannot hold a leap-vector).
+std::vector<Candidate> collect_candidates(const Zq& zq,
+                                          std::span<const Bigint> zs,
+                                          std::span<const UserRecord> users) {
+  std::vector<Candidate> out;
+  out.reserve(users.size());
+  for (const UserRecord& u : users) {
+    const Bigint x = zq.reduce(u.x);
+    bool collides = x.is_zero();
+    for (const Bigint& z : zs) {
+      if (zq.sub(x, z).is_zero()) {
+        collides = true;
+        break;
+      }
+    }
+    if (collides) continue;
+    const LeapCoefficients lc = leap_coefficients(zq, x, zs);
+    out.push_back(Candidate{u.id, x, lc.lambda0});
+  }
+  return out;
+}
+
+/// Consistency check: the recovered coalition's convex combination really
+/// reproduces delta (weights sum to 1 and the tail matches).
+void verify_coalition(const SystemParams& sp, const PublicKey& pk,
+                      const Representation& delta,
+                      std::span<const TraceResult::Traitor> traitors) {
+  const Zq& zq = sp.group.zq();
+  const std::vector<Bigint> zs = pk.slot_ids();
+  Bigint weight_sum(0);
+  std::vector<Bigint> tail(zs.size(), Bigint(0));
+  for (const auto& t : traitors) {
+    weight_sum = zq.add(weight_sum, t.weight);
+    const LeapCoefficients lc = leap_coefficients(zq, t.x, zs);
+    for (std::size_t l = 0; l < tail.size(); ++l) {
+      tail[l] = zq.add(tail[l], zq.mul(t.weight, lc.lambdas[l]));
+    }
+  }
+  if (!weight_sum.is_one()) {
+    throw MathError("trace: recovered weights do not sum to 1");
+  }
+  for (std::size_t l = 0; l < tail.size(); ++l) {
+    if (!(tail[l] == zq.reduce(delta.tail[l]))) {
+      throw MathError("trace: recovered coalition does not match pirate key");
+    }
+  }
+}
+
+TraceResult trace_syndrome(const SystemParams& sp, const PublicKey& pk,
+                           const Representation& delta,
+                           std::span<const Candidate> candidates) {
+  const Zq& zq = sp.group.zq();
+  const std::vector<Bigint> zs = pk.slot_ids();
+  const std::vector<Bigint> syndromes = tracing_syndromes(zq, zs, delta.tail);
+
+  std::vector<Bigint> xs;
+  xs.reserve(candidates.size());
+  for (const Candidate& c : candidates) xs.push_back(c.x);
+
+  const auto err = decode_power_sums(zq, syndromes, xs);
+  if (!err) throw MathError("trace: syndrome decoding failed");
+
+  TraceResult out;
+  for (std::size_t j = 0; j < err->locators.size(); ++j) {
+    // Map the locator back to a registry entry.
+    const Candidate* hit = nullptr;
+    for (const Candidate& c : candidates) {
+      if (c.x == err->locators[j]) {
+        hit = &c;
+        break;
+      }
+    }
+    if (hit == nullptr) throw MathError("trace: locator not in registry");
+    // c_j = -phi_j * lambda0^{(j)}  =>  phi_j = -c_j / lambda0^{(j)}.
+    const Bigint weight =
+        zq.div(zq.neg(err->values[j]), hit->lambda0);
+    out.traitors.push_back(TraceResult::Traitor{hit->id, hit->x, weight});
+  }
+  return out;
+}
+
+TraceResult trace_berlekamp_welch(const SystemParams& sp, const PublicKey& pk,
+                                  const Representation& delta,
+                                  std::span<const Candidate> candidates) {
+  const Zq& zq = sp.group.zq();
+  const std::size_t n = candidates.size();
+  const std::size_t v = pk.slots.size();
+  require(n > v, "trace (BW): needs more than v registered users");
+
+  const std::vector<Bigint> zs = pk.slot_ids();
+  const std::vector<Bigint> dpp = tracing_syndromes(zq, zs, delta.tail);
+
+  // H^T in Z_q^{v x n}: (H^T)_{k,j} = -lambda0^{(j)} x_j^{k+1}.
+  Matrix ht(zq, v, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    Bigint pw = candidates[j].x;
+    for (std::size_t k = 0; k < v; ++k) {
+      ht.at(k, j) = zq.neg(zq.mul(candidates[j].lambda0, pw));
+      pw = zq.mul(pw, candidates[j].x);
+    }
+  }
+  // Any theta with theta * H = delta''.
+  const auto theta = solve(ht, dpp);
+  if (!theta) throw MathError("trace (BW): theta system inconsistent");
+
+  // The GRS code C of Lemma 7: xs = registry values,
+  // w_j = -lambda_j / lambda0^{(j)} with lambda_j the full-registry
+  // Lagrange-at-zero coefficients, dimension n - v.
+  std::vector<Bigint> xs;
+  xs.reserve(n);
+  for (const Candidate& c : candidates) xs.push_back(c.x);
+  const std::vector<Bigint> lambda_full =
+      lagrange_coefficients_at_zero(zq, xs);
+  std::vector<Bigint> ws(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    ws[j] = zq.neg(zq.div(lambda_full[j], candidates[j].lambda0));
+  }
+  const GrsCode code(zq, xs, ws, n - v);
+  const auto decoded = code.decode(*theta, sp.max_collusion());
+  if (!decoded) throw MathError("trace (BW): decoding failed");
+
+  TraceResult out;
+  for (std::size_t j = 0; j < n; ++j) {
+    const Bigint phi_j = zq.sub((*theta)[j], decoded->codeword[j]);
+    if (!phi_j.is_zero()) {
+      out.traitors.push_back(
+          TraceResult::Traitor{candidates[j].id, candidates[j].x, phi_j});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceResult trace_nonblackbox(const SystemParams& sp, const PublicKey& pk,
+                              const Representation& delta,
+                              std::span<const UserRecord> candidates,
+                              TraceAlgorithm alg) {
+  if (!delta.valid_for(sp, pk)) {
+    throw MathError("trace: not a valid representation of the public key");
+  }
+  const Zq& zq = sp.group.zq();
+  const std::vector<Bigint> zs = pk.slot_ids();
+  const std::vector<Candidate> cands = collect_candidates(zq, zs, candidates);
+
+  TraceResult out = (alg == TraceAlgorithm::kSyndrome)
+                        ? trace_syndrome(sp, pk, delta, cands)
+                        : trace_berlekamp_welch(sp, pk, delta, cands);
+  verify_coalition(sp, pk, delta, out.traitors);
+  return out;
+}
+
+}  // namespace dfky

@@ -1,0 +1,59 @@
+// Non-black-box tracing (paper Sect. 6.3.2).
+//
+// Given a valid representation delta extracted from a pirate decoder, the
+// tracer deterministically recovers the identities of ALL traitors whose
+// keys entered the convex combination, as long as the coalition has size at
+// most m = floor(v/2).
+//
+// Two interchangeable implementations, cross-checked in tests:
+//
+// * kBerlekampWelch — the paper's presentation: solve theta * H = delta'' by
+//   linear algebra, view theta as a corrupted codeword of the GRS code C of
+//   Lemma 7 (distance v+1), Berlekamp-Welch-decode it to the nearest
+//   codeword omega, and read the traitors off the support of
+//   phi = theta - omega. Requires n > v active users.
+//
+// * kSyndrome — the "more sophisticated" O(n v + v^3) route the paper's
+//   Time-Complexity paragraph alludes to: delta'' IS a power-sum syndrome
+//   vector of the error phi (S_k = sum_j c_j x_j^k with
+//   c_j = -phi_j * lambda_0^(j)), so Berlekamp-Massey yields the error
+//   locator directly, roots are found by scanning the user registry, and the
+//   weights come from a small Vandermonde solve. Works for any n >= 1.
+#pragma once
+
+#include "core/manager.h"
+#include "core/scheme.h"
+
+namespace dfky {
+
+enum class TraceAlgorithm { kBerlekampWelch, kSyndrome };
+
+struct TraceResult {
+  /// Traced traitors as (registry id, x value, recovered convex weight).
+  struct Traitor {
+    std::uint64_t id;
+    Bigint x;
+    Bigint weight;
+  };
+  std::vector<Traitor> traitors;
+
+  std::vector<std::uint64_t> ids() const;
+};
+
+/// Traces the coalition behind `delta`, searching among `candidates`
+/// (all users whose x does not occur among the public-key slots — revoked
+/// users hold no leap-vector and cannot have contributed).
+/// Throws MathError if `delta` is not a valid representation of `pk` or the
+/// decoder's coalition exceeds the correction capability.
+TraceResult trace_nonblackbox(const SystemParams& sp, const PublicKey& pk,
+                              const Representation& delta,
+                              std::span<const UserRecord> candidates,
+                              TraceAlgorithm alg = TraceAlgorithm::kSyndrome);
+
+/// The parity-check products delta'' = delta' * B of Eq. (36): the power-sum
+/// syndromes S_1..S_v used by both tracing paths. Exposed for tests.
+std::vector<Bigint> tracing_syndromes(const Zq& zq,
+                                      std::span<const Bigint> slot_ids,
+                                      std::span<const Bigint> delta_tail);
+
+}  // namespace dfky

@@ -1,0 +1,79 @@
+#include "tracing/pirate.h"
+
+namespace dfky {
+
+NoisyDecoder::NoisyDecoder(SystemParams sp,
+                           std::unique_ptr<PirateDecoder> inner,
+                           double epsilon, std::uint64_t seed)
+    : sp_(std::move(sp)),
+      inner_(std::move(inner)),
+      epsilon_(epsilon),
+      rng_(seed) {
+  require(inner_ != nullptr, "NoisyDecoder: null inner decoder");
+  require(epsilon > 0.0 && epsilon <= 1.0, "NoisyDecoder: bad epsilon");
+}
+
+Gelt NoisyDecoder::decrypt(const Ciphertext& ct) {
+  // Bernoulli(epsilon) coin from 53 bits of the PRG.
+  const double coin =
+      static_cast<double>(rng_.u64() >> 11) / 9007199254740992.0;
+  if (coin < epsilon_) return inner_->decrypt(ct);
+  return sp_.group.random_element(rng_);
+}
+
+SelfProtectingDecoder::SelfProtectingDecoder(SystemParams sp,
+                                             Representation rep,
+                                             PublicKey built_for,
+                                             std::uint64_t seed)
+    : sp_(std::move(sp)),
+      rep_(std::move(rep)),
+      built_for_(std::move(built_for)),
+      rng_(seed) {}
+
+bool SelfProtectingDecoder::consistent(const Ciphertext& ct) const {
+  if (ct.period != built_for_.period) return false;
+  if (ct.slots.size() != built_for_.slots.size()) return false;
+  for (std::size_t l = 0; l < ct.slots.size(); ++l) {
+    // Same identities, same order, as a genuine broadcast would carry.
+    if (!(ct.slots[l].z == built_for_.slots[l].z)) return false;
+    if (!sp_.group.is_element(ct.slots[l].hr)) return false;
+  }
+  return sp_.group.is_element(ct.u) && sp_.group.is_element(ct.u2) &&
+         sp_.group.is_element(ct.w);
+}
+
+Gelt SelfProtectingDecoder::decrypt(const Ciphertext& ct) {
+  last_accepted_ = consistent(ct);
+  if (!last_accepted_) return sp_.group.random_element(rng_);
+  return decrypt_with_representation(sp_, rep_, ct);
+}
+
+Representation build_pirate_representation(const SystemParams& sp,
+                                           const PublicKey& pk,
+                                           std::span<const UserKey> traitors,
+                                           Rng& rng) {
+  require(!traitors.empty(), "build_pirate_representation: no traitors");
+  const Zq& zq = sp.group.zq();
+
+  std::vector<Representation> deltas;
+  deltas.reserve(traitors.size());
+  for (const UserKey& sk : traitors) {
+    deltas.push_back(representation_of(sp, sk, pk));
+  }
+
+  // Random weights, all nonzero, summing to 1: draw the first k-1 nonzero
+  // and force the last; re-draw in the rare case the last lands on zero.
+  std::vector<Bigint> mus(traitors.size());
+  while (true) {
+    Bigint sum(0);
+    for (std::size_t j = 0; j + 1 < mus.size(); ++j) {
+      mus[j] = rng.uniform_nonzero_below(zq.modulus());
+      sum = zq.add(sum, mus[j]);
+    }
+    mus.back() = zq.sub(Bigint(1), sum);
+    if (!mus.back().is_zero()) break;
+  }
+  return convex_combination(sp, deltas, mus);
+}
+
+}  // namespace dfky

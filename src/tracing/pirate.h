@@ -1,0 +1,97 @@
+// Pirate decoder models (paper Sect. 6.1).
+//
+// A pirate decoder is a stateless device built by a traitor coalition. By
+// Lemma 6, under the DLog assumption the only useful key material a
+// coalition can place inside a decoder is a convex combination of the
+// traitors' compact representations — which RepresentationDecoder models.
+// NoisyDecoder degrades any decoder to succeed on only an epsilon-fraction
+// of ciphertexts (the "threshold tracing" regime of Sect. 6.2).
+// SelfProtectingDecoder models a crafty pirate that refuses to answer
+// unless the ciphertext passes every check it CAN perform (group
+// membership, expected slot identities, period tag); Theorem 2 shows this
+// does not help — the tracer's fake keys PK(I) keep all of those fields,
+// so the decoder cannot tell probing apart from genuine broadcasts.
+#pragma once
+
+#include <memory>
+
+#include "core/scheme.h"
+#include "rng/chacha_rng.h"
+
+namespace dfky {
+
+/// Black-box interface: the tracer may only submit ciphertexts and observe
+/// the output (Definition 8's success experiment).
+class PirateDecoder {
+ public:
+  virtual ~PirateDecoder() = default;
+  virtual Gelt decrypt(const Ciphertext& ct) = 0;
+};
+
+/// Decoder driven by an embedded key representation.
+class RepresentationDecoder final : public PirateDecoder {
+ public:
+  RepresentationDecoder(SystemParams sp, Representation rep)
+      : sp_(std::move(sp)), rep_(std::move(rep)) {}
+
+  Gelt decrypt(const Ciphertext& ct) override {
+    return decrypt_with_representation(sp_, rep_, ct);
+  }
+
+  /// The non-black-box "reverse engineering" of Assumption 3: expose the
+  /// embedded representation to the tracer.
+  const Representation& extract_representation() const { return rep_; }
+
+ private:
+  SystemParams sp_;
+  Representation rep_;
+};
+
+/// Succeeds with probability ~epsilon, otherwise outputs a random element.
+class NoisyDecoder final : public PirateDecoder {
+ public:
+  NoisyDecoder(SystemParams sp, std::unique_ptr<PirateDecoder> inner,
+               double epsilon, std::uint64_t seed);
+
+  Gelt decrypt(const Ciphertext& ct) override;
+
+ private:
+  SystemParams sp_;
+  std::unique_ptr<PirateDecoder> inner_;
+  double epsilon_;
+  ChaChaRng rng_;
+};
+
+/// A crafty stateless pirate: decrypts only ciphertexts that pass every
+/// publicly-checkable consistency test against the public key it was built
+/// for (slot identities and order, period tag, element membership);
+/// otherwise it outputs an unrelated random element. The tracer's fake keys
+/// preserve all checked fields, so BBC defeats this decoder too.
+class SelfProtectingDecoder final : public PirateDecoder {
+ public:
+  SelfProtectingDecoder(SystemParams sp, Representation rep,
+                        PublicKey built_for, std::uint64_t seed);
+
+  Gelt decrypt(const Ciphertext& ct) override;
+
+  /// Whether the last query passed the consistency checks (test hook).
+  bool last_query_accepted() const { return last_accepted_; }
+
+ private:
+  bool consistent(const Ciphertext& ct) const;
+
+  SystemParams sp_;
+  Representation rep_;
+  PublicKey built_for_;
+  ChaChaRng rng_;
+  bool last_accepted_ = false;
+};
+
+/// Builds a pirate representation as a random convex combination (all
+/// weights nonzero) of the traitors' representations w.r.t. `pk`.
+Representation build_pirate_representation(const SystemParams& sp,
+                                           const PublicKey& pk,
+                                           std::span<const UserKey> traitors,
+                                           Rng& rng);
+
+}  // namespace dfky

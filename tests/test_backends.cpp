@@ -1,0 +1,165 @@
+// Backend parity: the entire scheme must behave identically over every
+// group backend (Z_p^* safe-prime subgroups of several sizes, secp256k1,
+// P-256). One parameterized sweep, one behavior contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/content.h"
+#include "core/manager.h"
+#include "core/receiver.h"
+#include "rng/chacha_rng.h"
+#include "test_util.h"
+#include "tracing/blackbox.h"
+#include "tracing/nonblackbox.h"
+#include "tracing/pirate.h"
+
+namespace dfky {
+namespace {
+
+enum class Backend { kZp128, kZp256, kSecp256k1, kP256 };
+
+Group make_group(Backend b) {
+  switch (b) {
+    case Backend::kZp128:
+      return Group(GroupParams::named(ParamId::kTest128));
+    case Backend::kZp256:
+      return Group(GroupParams::named(ParamId::kSec256));
+    case Backend::kSecp256k1:
+      return Group(CurveSpec::secp256k1());
+    case Backend::kP256:
+      return Group(CurveSpec::p256());
+  }
+  throw ContractError("unknown backend");
+}
+
+class BackendSweep : public ::testing::TestWithParam<Backend> {
+ protected:
+  static constexpr std::size_t kV = 4;
+
+  SystemParams make_sp(std::uint64_t seed) {
+    ChaChaRng rng(seed);
+    return SystemParams::create(make_group(GetParam()), kV, rng);
+  }
+};
+
+TEST_P(BackendSweep, EncryptDecryptManyUsers) {
+  ChaChaRng rng(40001);
+  const SystemParams sp = make_sp(40002);
+  const SetupResult s = setup(sp, rng);
+  const Gelt m = sp.group.random_element(rng);
+  const Ciphertext ct = encrypt(sp, s.pk, m, rng);
+  for (long i = 0; i < 4; ++i) {
+    const UserKey sk = issue_user_key(sp, s.msk, Bigint(1000 + i), 0);
+    EXPECT_EQ(decrypt(sp, sk, ct), m);
+  }
+}
+
+TEST_P(BackendSweep, RevocationBarsExactlyTheRevoked) {
+  ChaChaRng rng(40003);
+  SecurityManager mgr(make_sp(40004), rng);
+  const auto good = mgr.add_user(rng);
+  const auto bad = mgr.add_user(rng);
+  mgr.remove_user(bad.id, rng);
+  const Gelt m = mgr.params().group.random_element(rng);
+  const Ciphertext ct = encrypt(mgr.params(), mgr.public_key(), m, rng);
+  EXPECT_EQ(decrypt(mgr.params(), good.key, ct), m);
+  EXPECT_THROW(decrypt(mgr.params(), bad.key, ct), ContractError);
+}
+
+TEST_P(BackendSweep, HybridPeriodChange) {
+  ChaChaRng rng(40005);
+  SecurityManager mgr(make_sp(40006), rng, ResetMode::kHybrid);
+  const auto u = mgr.add_user(rng);
+  Receiver receiver(mgr.params(), u.key, mgr.verification_key());
+  receiver.apply_reset(mgr.new_period(rng));
+  const Gelt m = mgr.params().group.random_element(rng);
+  const Ciphertext ct = encrypt(mgr.params(), mgr.public_key(), m, rng);
+  EXPECT_EQ(receiver.decrypt(ct), m);
+}
+
+TEST_P(BackendSweep, ContentRoundTripAndRevokedRejection) {
+  ChaChaRng rng(40007);
+  SecurityManager mgr(make_sp(40008), rng);
+  const auto good = mgr.add_user(rng);
+  const auto bad = mgr.add_user(rng);
+  mgr.remove_user(bad.id, rng);
+  const Bytes payload = {'x', 'y', 'z'};
+  const ContentMessage msg =
+      seal_content(mgr.params(), mgr.public_key(), payload, rng);
+  EXPECT_EQ(open_content(mgr.params(), good.key, msg), payload);
+  EXPECT_THROW(open_content(mgr.params(), bad.key, msg), Error);
+}
+
+TEST_P(BackendSweep, NonBlackBoxTracing) {
+  ChaChaRng rng(40009);
+  SecurityManager mgr(make_sp(40010), rng);
+  std::vector<SecurityManager::AddedUser> users;
+  for (int i = 0; i < 6; ++i) users.push_back(mgr.add_user(rng));
+  std::vector<UserKey> keys = {users[0].key, users[4].key};
+  const Representation delta = build_pirate_representation(
+      mgr.params(), mgr.public_key(), keys, rng);
+  const TraceResult result = trace_nonblackbox(
+      mgr.params(), mgr.public_key(), delta, mgr.users());
+  auto ids = result.ids();
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{users[0].id, users[4].id}));
+}
+
+TEST_P(BackendSweep, BlackBoxConfirmation) {
+  ChaChaRng rng(40011);
+  SecurityManager mgr(make_sp(40012), rng);
+  std::vector<SecurityManager::AddedUser> users;
+  for (int i = 0; i < 4; ++i) users.push_back(mgr.add_user(rng));
+  std::vector<UserKey> keys = {users[1].key};
+  RepresentationDecoder dec(
+      mgr.params(),
+      build_pirate_representation(mgr.params(), mgr.public_key(), keys, rng));
+  BbcOptions opt;
+  opt.epsilon = 0.9;
+  opt.samples_override = 15;
+  const std::vector<UserRecord> suspects = {mgr.users()[users[1].id]};
+  const BbcResult r =
+      black_box_confirm(mgr.params(), mgr.master_secret(), mgr.public_key(),
+                        suspects, dec, opt, rng);
+  ASSERT_TRUE(r.accused.has_value());
+  EXPECT_EQ(*r.accused, users[1].id);
+}
+
+TEST_P(BackendSweep, WireRoundTrips) {
+  ChaChaRng rng(40013);
+  SecurityManager mgr(make_sp(40014), rng);
+  const auto u = mgr.add_user(rng);
+  const Group& g = mgr.params().group;
+  // Ciphertext.
+  const Gelt m = g.random_element(rng);
+  const Ciphertext ct = encrypt(mgr.params(), mgr.public_key(), m, rng);
+  Writer w1;
+  ct.serialize(w1, g);
+  Reader r1(w1.bytes());
+  EXPECT_EQ(decrypt(mgr.params(), u.key, Ciphertext::deserialize(r1, g)), m);
+  // Public key.
+  Writer w2;
+  mgr.public_key().serialize(w2, g);
+  Reader r2(w2.bytes());
+  EXPECT_TRUE(PublicKey::deserialize(r2, g).y == mgr.public_key().y);
+  // Manager state.
+  SecurityManager restored = SecurityManager::restore_state(mgr.save_state());
+  EXPECT_EQ(restored.period(), mgr.period());
+}
+
+TEST_P(BackendSweep, SchnorrSignatures) {
+  ChaChaRng rng(40015);
+  const Group g = make_group(GetParam());
+  const auto kp = SchnorrKeyPair::generate(g, rng);
+  const Bytes msg = {'m'};
+  EXPECT_TRUE(schnorr_verify(g, kp.public_key(), msg, kp.sign(g, msg, rng)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendSweep,
+                         ::testing::Values(Backend::kZp128, Backend::kZp256,
+                                           Backend::kSecp256k1,
+                                           Backend::kP256));
+
+}  // namespace
+}  // namespace dfky

@@ -1,0 +1,178 @@
+#include "bigint/bigint.h"
+
+#include <gtest/gtest.h>
+
+namespace dfky {
+namespace {
+
+TEST(Bigint, DefaultIsZero) {
+  Bigint z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.sign(), 0);
+  EXPECT_EQ(z.bit_length(), 0u);
+}
+
+TEST(Bigint, DecimalRoundTrip) {
+  const Bigint v = Bigint::from_dec("123456789012345678901234567890");
+  EXPECT_EQ(v.to_dec(), "123456789012345678901234567890");
+}
+
+TEST(Bigint, HexRoundTrip) {
+  const Bigint v = Bigint::from_hex("deadbeefcafebabe0123456789abcdef");
+  EXPECT_EQ(v.to_hex(), "deadbeefcafebabe0123456789abcdef");
+}
+
+TEST(Bigint, NegativeDecimal) {
+  const Bigint v = Bigint::from_dec("-42");
+  EXPECT_EQ(v.sign(), -1);
+  EXPECT_EQ(v.to_dec(), "-42");
+}
+
+TEST(Bigint, FromDecRejectsGarbage) {
+  EXPECT_THROW(Bigint::from_dec("12x4"), DecodeError);
+  EXPECT_THROW(Bigint::from_dec(""), DecodeError);
+}
+
+TEST(Bigint, FromHexRejectsGarbage) {
+  EXPECT_THROW(Bigint::from_hex("zz"), DecodeError);
+}
+
+TEST(Bigint, BytesRoundTrip) {
+  const Bigint v = Bigint::from_hex("0102030405060708090a");
+  const Bytes b = v.to_bytes();
+  ASSERT_EQ(b.size(), 10u);
+  EXPECT_EQ(b[0], 0x01);
+  EXPECT_EQ(b[9], 0x0a);
+  EXPECT_EQ(Bigint::from_bytes(b), v);
+}
+
+TEST(Bigint, BytesOfZeroIsEmpty) {
+  EXPECT_TRUE(Bigint(0).to_bytes().empty());
+  EXPECT_TRUE(Bigint::from_bytes({}).is_zero());
+}
+
+TEST(Bigint, PaddedBytes) {
+  const Bigint v(0x1234);
+  const Bytes b = v.to_bytes_padded(4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 0x00);
+  EXPECT_EQ(b[1], 0x00);
+  EXPECT_EQ(b[2], 0x12);
+  EXPECT_EQ(b[3], 0x34);
+  EXPECT_THROW(Bigint::from_hex("ffffffffff").to_bytes_padded(4),
+               ContractError);
+}
+
+TEST(Bigint, Arithmetic) {
+  const Bigint a(1000), b(37);
+  EXPECT_EQ(a + b, Bigint(1037));
+  EXPECT_EQ(a - b, Bigint(963));
+  EXPECT_EQ(a * b, Bigint(37000));
+  EXPECT_EQ(a / b, Bigint(27));
+  EXPECT_EQ(a % b, Bigint(1));
+  EXPECT_EQ(-a, Bigint(-1000));
+}
+
+TEST(Bigint, DivisionByZeroThrows) {
+  EXPECT_THROW(Bigint(1) / Bigint(0), MathError);
+  EXPECT_THROW(Bigint(1) % Bigint(0), MathError);
+}
+
+TEST(Bigint, TruncatedDivisionSemantics) {
+  EXPECT_EQ(Bigint(-7) / Bigint(2), Bigint(-3));
+  EXPECT_EQ(Bigint(-7) % Bigint(2), Bigint(-1));
+}
+
+TEST(Bigint, ModIsCanonical) {
+  EXPECT_EQ(Bigint(-7).mod(Bigint(5)), Bigint(3));
+  EXPECT_EQ(Bigint(12).mod(Bigint(5)), Bigint(2));
+  EXPECT_THROW(Bigint(1).mod(Bigint(0)), ContractError);
+  EXPECT_THROW(Bigint(1).mod(Bigint(-5)), ContractError);
+}
+
+TEST(Bigint, Comparisons) {
+  EXPECT_LT(Bigint(3), Bigint(5));
+  EXPECT_GT(Bigint(5), Bigint(3));
+  EXPECT_LE(Bigint(5), Bigint(5));
+  EXPECT_EQ(Bigint(-2), Bigint(-2));
+  EXPECT_LT(Bigint(-5), Bigint(0));
+}
+
+TEST(Bigint, Shifts) {
+  EXPECT_EQ(Bigint(1) << 10, Bigint(1024));
+  EXPECT_EQ(Bigint(1024) >> 3, Bigint(128));
+}
+
+TEST(Bigint, Powm) {
+  // 3^20 mod 1000 = 3486784401 mod 1000 = 401
+  EXPECT_EQ(Bigint::powm(Bigint(3), Bigint(20), Bigint(1000)), Bigint(401));
+  EXPECT_EQ(Bigint::powm(Bigint(5), Bigint(0), Bigint(7)), Bigint(1));
+}
+
+TEST(Bigint, PowmNegativeExponent) {
+  // 3^-1 mod 7 = 5; 3^-2 mod 7 = 25 mod 7 = 4.
+  EXPECT_EQ(Bigint::powm(Bigint(3), Bigint(-1), Bigint(7)), Bigint(5));
+  EXPECT_EQ(Bigint::powm(Bigint(3), Bigint(-2), Bigint(7)), Bigint(4));
+}
+
+TEST(Bigint, Invm) {
+  const Bigint inv = Bigint::invm(Bigint(3), Bigint(7));
+  EXPECT_EQ((inv * Bigint(3)).mod(Bigint(7)), Bigint(1));
+  EXPECT_THROW(Bigint::invm(Bigint(6), Bigint(9)), MathError);
+  EXPECT_THROW(Bigint::invm(Bigint(0), Bigint(7)), MathError);
+}
+
+TEST(Bigint, Gcd) {
+  EXPECT_EQ(Bigint::gcd(Bigint(48), Bigint(36)), Bigint(12));
+  EXPECT_EQ(Bigint::gcd(Bigint(17), Bigint(13)), Bigint(1));
+}
+
+TEST(Bigint, Primality) {
+  EXPECT_TRUE(Bigint::from_dec("2147483647").probab_prime());  // 2^31 - 1
+  EXPECT_FALSE(Bigint::from_dec("2147483649").probab_prime());
+  EXPECT_EQ(Bigint(13).next_prime(), Bigint(17));
+}
+
+TEST(Bigint, Jacobi) {
+  // (2/7) = 1 (2 is a QR mod 7: 3^2 = 2), (3/7) = -1.
+  EXPECT_EQ(Bigint(2).jacobi(Bigint(7)), 1);
+  EXPECT_EQ(Bigint(3).jacobi(Bigint(7)), -1);
+  EXPECT_EQ(Bigint(7).jacobi(Bigint(7)), 0);
+}
+
+TEST(Bigint, BitAccess) {
+  const Bigint v(0b101101);
+  EXPECT_EQ(v.bit_length(), 6u);
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_FALSE(v.bit(1));
+  EXPECT_TRUE(v.bit(2));
+  EXPECT_TRUE(v.bit(5));
+  EXPECT_FALSE(v.bit(6));
+}
+
+TEST(Bigint, ToU64) {
+  EXPECT_EQ(Bigint::from_hex("ffffffffffffffff").to_u64(),
+            0xffffffffffffffffULL);
+  EXPECT_EQ(Bigint(0).to_u64(), 0u);
+  EXPECT_THROW(Bigint::from_hex("10000000000000000").to_u64(), ContractError);
+  EXPECT_THROW(Bigint(-1).to_u64(), ContractError);
+}
+
+TEST(Bigint, CopyAndMoveSemantics) {
+  Bigint a = Bigint::from_dec("99999999999999999999");
+  Bigint b = a;             // copy
+  Bigint c = std::move(a);  // move
+  EXPECT_EQ(b, c);
+  a = b;  // reassign moved-from
+  EXPECT_EQ(a, c);
+}
+
+TEST(Bigint, LargeMultiplicationKnownValue) {
+  const Bigint a = Bigint::from_dec("123456789123456789123456789");
+  const Bigint b = Bigint::from_dec("987654321987654321987654321");
+  EXPECT_EQ((a * b).to_dec(),
+            "121932631356500531591068431581771069347203169112635269");
+}
+
+}  // namespace
+}  // namespace dfky

@@ -1,0 +1,237 @@
+// epsilon-Black-Box Confirmation tests (paper Sect. 6.2): Theorem 2
+// (coalition inside the suspect set keeps decoding under PK(I)), Theorem 3
+// (innocent removal changes nothing), and the Confirmation / Soundness
+// properties of Definition 10.
+#include "tracing/blackbox.h"
+
+#include <gtest/gtest.h>
+
+#include "rng/chacha_rng.h"
+#include "test_util.h"
+
+namespace dfky {
+namespace {
+
+struct BbcFixture {
+  SystemParams sp;
+  ChaChaRng rng;
+  SecurityManager mgr;
+  std::vector<SecurityManager::AddedUser> users;
+
+  BbcFixture(std::size_t v, std::size_t n, std::uint64_t seed = 6001)
+      : sp(test::test_params(v, seed)), rng(seed ^ 0xbbbb), mgr(sp, rng) {
+    for (std::size_t i = 0; i < n; ++i) users.push_back(mgr.add_user(rng));
+  }
+
+  std::unique_ptr<RepresentationDecoder> decoder(
+      std::span<const std::size_t> coalition) {
+    std::vector<UserKey> keys;
+    for (std::size_t i : coalition) keys.push_back(users[i].key);
+    return std::make_unique<RepresentationDecoder>(
+        sp, build_pirate_representation(sp, mgr.public_key(), keys, rng));
+  }
+
+  std::vector<UserRecord> suspects(std::span<const std::size_t> idx) {
+    std::vector<UserRecord> out;
+    for (std::size_t i : idx) out.push_back(mgr.users()[users[i].id]);
+    return out;
+  }
+};
+
+TEST(FakeKey, SuspectKeysStillDecrypt) {
+  // Theorem 2's mechanism: PK(I) agrees with the master polynomials on I,
+  // so a coalition inside I decodes ciphertexts under PK(I) perfectly.
+  BbcFixture fx(6, 8);
+  const std::vector<std::size_t> coalition = {1, 2};
+  auto dec = fx.decoder(coalition);
+  std::vector<Bigint> keep = {fx.users[1].key.x, fx.users[2].key.x};
+  const PublicKey fake = fake_public_key(fx.sp, fx.mgr.master_secret(),
+                                         fx.mgr.public_key(), keep, fx.rng);
+  const double rate = estimate_success(fx.sp, fake, *dec, 20, fx.rng);
+  EXPECT_EQ(rate, 1.0);
+}
+
+TEST(FakeKey, OutsiderKeysFail) {
+  // A decoder whose traitor is NOT kept in PK(I) decodes garbage.
+  BbcFixture fx(6, 8);
+  const std::vector<std::size_t> coalition = {1, 2};
+  auto dec = fx.decoder(coalition);
+  std::vector<Bigint> keep = {fx.users[3].key.x};  // innocent only
+  const PublicKey fake = fake_public_key(fx.sp, fx.mgr.master_secret(),
+                                         fx.mgr.public_key(), keep, fx.rng);
+  const double rate = estimate_success(fx.sp, fake, *dec, 20, fx.rng);
+  EXPECT_EQ(rate, 0.0);
+}
+
+TEST(FakeKey, PartialCoalitionFails) {
+  // Convex combination of {1,2} under PK({1}): user 2's contribution is
+  // re-randomized, so the combined representation is invalid.
+  BbcFixture fx(6, 8);
+  const std::vector<std::size_t> coalition = {1, 2};
+  auto dec = fx.decoder(coalition);
+  std::vector<Bigint> keep = {fx.users[1].key.x};
+  const PublicKey fake = fake_public_key(fx.sp, fx.mgr.master_secret(),
+                                         fx.mgr.public_key(), keep, fx.rng);
+  const double rate = estimate_success(fx.sp, fake, *dec, 20, fx.rng);
+  EXPECT_EQ(rate, 0.0);
+}
+
+TEST(FakeKey, EmptySuspectSetKillsEveryDecoder) {
+  BbcFixture fx(4, 6);
+  const std::vector<std::size_t> coalition = {0};
+  auto dec = fx.decoder(coalition);
+  const PublicKey fake = fake_public_key(fx.sp, fx.mgr.master_secret(),
+                                         fx.mgr.public_key(), {}, fx.rng);
+  EXPECT_EQ(estimate_success(fx.sp, fake, *dec, 20, fx.rng), 0.0);
+}
+
+TEST(FakeKey, TooManySuspectsRejected) {
+  BbcFixture fx(4, 6);  // m = 2
+  std::vector<Bigint> keep = {fx.users[0].key.x, fx.users[1].key.x,
+                              fx.users[2].key.x};
+  EXPECT_THROW(fake_public_key(fx.sp, fx.mgr.master_secret(),
+                               fx.mgr.public_key(), keep, fx.rng),
+               ContractError);
+}
+
+TEST(Bbc, ConfirmationAccusesATraitor) {
+  // T = {1, 3} and Susp = {1, 3}: BBC must output some traitor.
+  BbcFixture fx(6, 8);
+  const std::vector<std::size_t> coalition = {1, 3};
+  auto dec = fx.decoder(coalition);
+  BbcOptions opt;
+  opt.epsilon = 0.9;
+  opt.samples_override = 30;
+  const auto suspects = fx.suspects(coalition);
+  const BbcResult result =
+      black_box_confirm(fx.sp, fx.mgr.master_secret(), fx.mgr.public_key(),
+                        suspects, *dec, opt, fx.rng);
+  ASSERT_TRUE(result.accused.has_value());
+  EXPECT_TRUE(*result.accused == fx.users[1].id ||
+              *result.accused == fx.users[3].id);
+  EXPECT_GT(result.queries, 0u);
+}
+
+TEST(Bbc, SoundnessNeverAccusesInnocent) {
+  // T = {1}, Susp = {1, 4}: user 4 is innocent; removal of 4 changes
+  // nothing, so the accusation (if any) must be user 1.
+  BbcFixture fx(6, 8);
+  const std::vector<std::size_t> coalition = {1};
+  auto dec = fx.decoder(coalition);
+  BbcOptions opt;
+  opt.epsilon = 0.9;
+  opt.samples_override = 30;
+  const std::vector<std::size_t> susp_idx = {1, 4};
+  const auto suspects = fx.suspects(susp_idx);
+  const BbcResult result =
+      black_box_confirm(fx.sp, fx.mgr.master_secret(), fx.mgr.public_key(),
+                        suspects, *dec, opt, fx.rng);
+  ASSERT_TRUE(result.accused.has_value());
+  EXPECT_EQ(*result.accused, fx.users[1].id);
+}
+
+TEST(Bbc, UncoveredCoalitionReturnsQuestionMark) {
+  // T = {1, 2} but Susp = {3}: the suspect set misses the coalition, so the
+  // decoder never works under any PK(I) and BBC must return "?" — it must
+  // NOT accuse the innocent suspect 3.
+  BbcFixture fx(6, 8);
+  const std::vector<std::size_t> coalition = {1, 2};
+  auto dec = fx.decoder(coalition);
+  BbcOptions opt;
+  opt.epsilon = 0.9;
+  opt.samples_override = 30;
+  const std::vector<std::size_t> susp_idx = {3};
+  const auto suspects = fx.suspects(susp_idx);
+  const BbcResult result =
+      black_box_confirm(fx.sp, fx.mgr.master_secret(), fx.mgr.public_key(),
+                        suspects, *dec, opt, fx.rng);
+  EXPECT_FALSE(result.accused.has_value());
+}
+
+TEST(Bbc, ThresholdDecoderStillConfirmed) {
+  // A decoder that only works on ~60% of broadcasts (threshold tracing).
+  BbcFixture fx(4, 6);
+  const std::vector<std::size_t> coalition = {2};
+  auto inner = fx.decoder(coalition);
+  NoisyDecoder noisy(fx.sp, std::move(inner), 0.6, /*seed=*/99);
+  BbcOptions opt;
+  opt.epsilon = 0.4;          // decoder is "useful" at the 0.4 level
+  opt.samples_override = 400;  // estimates need more samples at eps < 1
+  const auto suspects = fx.suspects(coalition);
+  const BbcResult result =
+      black_box_confirm(fx.sp, fx.mgr.master_secret(), fx.mgr.public_key(),
+                        suspects, noisy, opt, fx.rng);
+  ASSERT_TRUE(result.accused.has_value());
+  EXPECT_EQ(*result.accused, fx.users[2].id);
+}
+
+TEST(Bbc, SuccessCurveDropsAtTraitorRemoval) {
+  BbcFixture fx(6, 8);
+  const std::vector<std::size_t> coalition = {0};
+  auto dec = fx.decoder(coalition);
+  BbcOptions opt;
+  opt.epsilon = 0.9;
+  opt.samples_override = 25;
+  const auto suspects = fx.suspects(coalition);
+  const BbcResult result =
+      black_box_confirm(fx.sp, fx.mgr.master_secret(), fx.mgr.public_key(),
+                        suspects, *dec, opt, fx.rng);
+  ASSERT_GE(result.success_curve.size(), 2u);
+  EXPECT_EQ(result.success_curve[0], 1.0);  // delta(Susp) with T inside
+  EXPECT_EQ(result.success_curve[1], 0.0);  // delta(empty-ish) collapses
+}
+
+TEST(Bbc, SelfProtectingDecoderCannotDetectProbing) {
+  // Theorem 2 in action: the crafty pirate checks every public field of the
+  // ciphertext against the key it was built for — but the tracer's PK(I)
+  // preserves them all, so every probe is accepted and BBC still convicts.
+  BbcFixture fx(6, 8);
+  const std::vector<std::size_t> coalition = {2};
+  std::vector<UserKey> keys = {fx.users[2].key};
+  SelfProtectingDecoder dec(
+      fx.sp,
+      build_pirate_representation(fx.sp, fx.mgr.public_key(), keys, fx.rng),
+      fx.mgr.public_key(), /*seed=*/4242);
+
+  // Sanity: the decoder does refuse genuinely inconsistent ciphertexts.
+  {
+    const Gelt m = fx.sp.group.random_element(fx.rng);
+    Ciphertext bad = encrypt(fx.sp, fx.mgr.public_key(), m, fx.rng);
+    bad.slots[0].z = Bigint(987654);  // foreign slot identity
+    (void)dec.decrypt(bad);
+    EXPECT_FALSE(dec.last_query_accepted());
+    Ciphertext stale = encrypt(fx.sp, fx.mgr.public_key(), m, fx.rng);
+    stale.period = 99;
+    (void)dec.decrypt(stale);
+    EXPECT_FALSE(dec.last_query_accepted());
+  }
+
+  BbcOptions opt;
+  opt.epsilon = 0.9;
+  opt.samples_override = 30;
+  const auto suspects = fx.suspects(coalition);
+  const BbcResult result =
+      black_box_confirm(fx.sp, fx.mgr.master_secret(), fx.mgr.public_key(),
+                        suspects, dec, opt, fx.rng);
+  ASSERT_TRUE(result.accused.has_value());
+  EXPECT_EQ(*result.accused, fx.users[2].id);
+  EXPECT_TRUE(dec.last_query_accepted());  // probes were indistinguishable
+}
+
+TEST(Bbc, DerivedSampleCountUsedWhenNoOverride) {
+  BbcFixture fx(2, 4);  // m = 1: few suspects keeps this fast
+  const std::vector<std::size_t> coalition = {0};
+  auto dec = fx.decoder(coalition);
+  BbcOptions opt;
+  opt.epsilon = 0.99;
+  opt.confidence = 0.5;  // tiny sample count, still deterministic here
+  const auto suspects = fx.suspects(coalition);
+  const BbcResult result =
+      black_box_confirm(fx.sp, fx.mgr.master_secret(), fx.mgr.public_key(),
+                        suspects, *dec, opt, fx.rng);
+  ASSERT_TRUE(result.accused.has_value());
+  EXPECT_EQ(*result.accused, fx.users[0].id);
+}
+
+}  // namespace
+}  // namespace dfky

@@ -1,0 +1,136 @@
+// Full black-box tracing by suspect-set search (paper Sect. 6.2: BBC plus
+// enumeration of candidate sets).
+#include "tracing/blackbox_search.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rng/chacha_rng.h"
+#include "test_util.h"
+
+namespace dfky {
+namespace {
+
+struct SearchFixture {
+  SystemParams sp;
+  ChaChaRng rng;
+  SecurityManager mgr;
+  std::vector<SecurityManager::AddedUser> users;
+
+  SearchFixture(std::size_t v, std::size_t n, std::uint64_t seed = 11001)
+      : sp(test::test_params(v, seed)), rng(seed ^ 0xdddd), mgr(sp, rng) {
+    for (std::size_t i = 0; i < n; ++i) users.push_back(mgr.add_user(rng));
+  }
+
+  RepresentationDecoder decoder(std::span<const std::size_t> coalition) {
+    std::vector<UserKey> keys;
+    for (std::size_t i : coalition) keys.push_back(users[i].key);
+    return RepresentationDecoder(
+        sp, build_pirate_representation(sp, mgr.public_key(), keys, rng));
+  }
+
+  std::vector<UserRecord> pool(std::size_t count) {
+    std::vector<UserRecord> out;
+    for (std::size_t i = 0; i < count; ++i) {
+      out.push_back(mgr.users()[users[i].id]);
+    }
+    return out;
+  }
+};
+
+BbcOptions fast_options() {
+  BbcOptions opt;
+  opt.epsilon = 0.9;
+  opt.samples_override = 25;
+  return opt;
+}
+
+TEST(BlackBoxSearch, FindsFullCoalitionInPool) {
+  SearchFixture fx(6, 8);  // m = 3
+  const std::vector<std::size_t> coalition = {2, 5};
+  auto dec = fx.decoder(coalition);
+  const auto pool = fx.pool(8);
+  const BlackBoxTraceResult r =
+      black_box_trace(fx.sp, fx.mgr.master_secret(), fx.mgr.public_key(),
+                      pool, /*coalition_bound=*/2, dec, fast_options(),
+                      fx.rng);
+  auto got = r.traitors;
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{fx.users[2].id, fx.users[5].id}));
+  EXPECT_GT(r.subsets_tried, 1u);  // {2,5} is not the first 2-subset
+}
+
+TEST(BlackBoxSearch, SingleTraitor) {
+  SearchFixture fx(4, 6);  // m = 2
+  const std::vector<std::size_t> coalition = {4};
+  auto dec = fx.decoder(coalition);
+  const auto pool = fx.pool(6);
+  const BlackBoxTraceResult r =
+      black_box_trace(fx.sp, fx.mgr.master_secret(), fx.mgr.public_key(),
+                      pool, 1, dec, fast_options(), fx.rng);
+  ASSERT_EQ(r.traitors.size(), 1u);
+  EXPECT_EQ(r.traitors[0], fx.users[4].id);
+  EXPECT_EQ(r.subsets_tried, 5u);  // pools 0..3 probed and rejected first
+}
+
+TEST(BlackBoxSearch, CoalitionOutsidePoolReturnsEmpty) {
+  SearchFixture fx(6, 8);
+  const std::vector<std::size_t> coalition = {6, 7};
+  auto dec = fx.decoder(coalition);
+  const auto pool = fx.pool(5);  // users 0..4 only: coalition not covered
+  const BlackBoxTraceResult r =
+      black_box_trace(fx.sp, fx.mgr.master_secret(), fx.mgr.public_key(),
+                      pool, 2, dec, fast_options(), fx.rng);
+  EXPECT_TRUE(r.traitors.empty());
+  EXPECT_EQ(r.subsets_tried, 10u);  // C(5,2): exhausted
+}
+
+TEST(BlackBoxSearch, PartialIntelligenceShrinksSearch) {
+  // With the pool narrowed to the true coalition, the first subset hits.
+  SearchFixture fx(6, 10);
+  const std::vector<std::size_t> coalition = {1, 3};
+  auto dec = fx.decoder(coalition);
+  std::vector<UserRecord> pool = {fx.mgr.users()[fx.users[1].id],
+                                  fx.mgr.users()[fx.users[3].id]};
+  const BlackBoxTraceResult r =
+      black_box_trace(fx.sp, fx.mgr.master_secret(), fx.mgr.public_key(),
+                      pool, 2, dec, fast_options(), fx.rng);
+  EXPECT_EQ(r.subsets_tried, 1u);
+  auto got = r.traitors;
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{fx.users[1].id, fx.users[3].id}));
+}
+
+TEST(BlackBoxSearch, SupersetSubsetAccusesOnlyTraitors) {
+  // coalition_bound = m = 3 but only 2 real traitors: the covering 3-subset
+  // contains an innocent who must not be accused.
+  SearchFixture fx(6, 6);
+  const std::vector<std::size_t> coalition = {0, 1};
+  auto dec = fx.decoder(coalition);
+  const auto pool = fx.pool(3);  // {0, 1, 2}: first 3-subset covers
+  const BlackBoxTraceResult r =
+      black_box_trace(fx.sp, fx.mgr.master_secret(), fx.mgr.public_key(),
+                      pool, 3, dec, fast_options(), fx.rng);
+  auto got = r.traitors;
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{fx.users[0].id, fx.users[1].id}));
+}
+
+TEST(BlackBoxSearch, BoundValidation) {
+  SearchFixture fx(4, 4);  // m = 2
+  const std::vector<std::size_t> coalition = {0};
+  auto dec = fx.decoder(coalition);
+  const auto pool = fx.pool(4);
+  EXPECT_THROW(black_box_trace(fx.sp, fx.mgr.master_secret(),
+                               fx.mgr.public_key(), pool, 3, dec,
+                               fast_options(), fx.rng),
+               ContractError);
+  EXPECT_THROW(black_box_trace(fx.sp, fx.mgr.master_secret(),
+                               fx.mgr.public_key(), pool, 0, dec,
+                               fast_options(), fx.rng),
+               ContractError);
+}
+
+}  // namespace
+}  // namespace dfky

@@ -1,0 +1,168 @@
+// Broadcast bus integration: multiple providers, many subscribers,
+// revocations and period changes flowing over serialized wire messages.
+#include "broadcast/provider.h"
+
+#include <gtest/gtest.h>
+
+#include "core/manager.h"
+#include "rng/chacha_rng.h"
+#include "test_util.h"
+
+namespace dfky {
+namespace {
+
+Bytes str(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+TEST(Bus, DeliversToSubscribers) {
+  BroadcastBus bus;
+  int count = 0;
+  const std::size_t token =
+      bus.subscribe([&](const Envelope& env) { count += env.payload.size(); });
+  bus.publish(Envelope{MsgType::kContent, Bytes{1, 2, 3}});
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(bus.messages_sent(), 1u);
+  EXPECT_EQ(bus.bytes_sent(), 3u);
+  bus.unsubscribe(token);
+  bus.publish(Envelope{MsgType::kContent, Bytes{4}});
+  EXPECT_EQ(count, 3);  // unsubscribed
+  EXPECT_EQ(bus.log().size(), 2u);
+}
+
+TEST(Bus, PerTypeByteAccounting) {
+  BroadcastBus bus;
+  bus.publish(Envelope{MsgType::kContent, Bytes(10)});
+  bus.publish(Envelope{MsgType::kChangePeriod, Bytes(20)});
+  bus.publish(Envelope{MsgType::kContent, Bytes(5)});
+  EXPECT_EQ(bus.bytes_sent(MsgType::kContent), 15u);
+  EXPECT_EQ(bus.bytes_sent(MsgType::kChangePeriod), 20u);
+  EXPECT_EQ(bus.bytes_sent(MsgType::kPublicKeyUpdate), 0u);
+}
+
+struct SystemFixture {
+  ChaChaRng rng{7001};
+  SystemParams sp{test::test_params(3, 7002)};
+  BroadcastBus bus;
+  SecurityManager mgr{sp, rng};
+};
+
+TEST(System, ProviderToSubscriberDelivery) {
+  SystemFixture fx;
+  const auto u = fx.mgr.add_user(fx.rng);
+  SubscriberClient sub(fx.sp, u.key, fx.mgr.verification_key(), fx.bus);
+  ContentProvider hbo("hbo", fx.sp, fx.mgr.public_key(), fx.bus);
+
+  hbo.broadcast(str("movie night"), fx.rng);
+  ASSERT_EQ(sub.received_content().size(), 1u);
+  EXPECT_EQ(sub.received_content()[0], str("movie night"));
+  EXPECT_EQ(sub.missed_broadcasts(), 0u);
+}
+
+TEST(System, MultipleProvidersShareOneInfrastructure) {
+  // Server-side scalability: a second provider joins with no key exchange —
+  // it only reads the public key from the bus.
+  SystemFixture fx;
+  const auto u = fx.mgr.add_user(fx.rng);
+  SubscriberClient sub(fx.sp, u.key, fx.mgr.verification_key(), fx.bus);
+  ContentProvider a("alpha", fx.sp, fx.mgr.public_key(), fx.bus);
+  ContentProvider b("beta", fx.sp, fx.mgr.public_key(), fx.bus);
+
+  a.broadcast(str("from alpha"), fx.rng);
+  b.broadcast(str("from beta"), fx.rng);
+  ASSERT_EQ(sub.received_content().size(), 2u);
+  EXPECT_EQ(sub.received_content()[1], str("from beta"));
+}
+
+TEST(System, RevokedSubscriberMissesContent) {
+  SystemFixture fx;
+  const auto good = fx.mgr.add_user(fx.rng);
+  const auto bad = fx.mgr.add_user(fx.rng);
+  SubscriberClient good_sub(fx.sp, good.key, fx.mgr.verification_key(),
+                            fx.bus);
+  SubscriberClient bad_sub(fx.sp, bad.key, fx.mgr.verification_key(), fx.bus);
+  ContentProvider tv("tv", fx.sp, fx.mgr.public_key(), fx.bus);
+
+  fx.mgr.remove_user(bad.id, fx.rng);
+  announce_public_key(fx.bus, fx.sp.group, fx.mgr.public_key());
+
+  tv.broadcast(str("premium"), fx.rng);
+  EXPECT_EQ(good_sub.received_content().size(), 1u);
+  EXPECT_TRUE(bad_sub.received_content().empty());
+  EXPECT_EQ(bad_sub.missed_broadcasts(), 1u);
+}
+
+TEST(System, ProvidersTrackKeyUpdates) {
+  SystemFixture fx;
+  const auto u = fx.mgr.add_user(fx.rng);
+  ContentProvider tv("tv", fx.sp, fx.mgr.public_key(), fx.bus);
+
+  // Revoke someone: the provider must pick up the new key from the bus.
+  const auto victim = fx.mgr.add_user(fx.rng);
+  fx.mgr.remove_user(victim.id, fx.rng);
+  announce_public_key(fx.bus, fx.sp.group, fx.mgr.public_key());
+  EXPECT_EQ(tv.current_public_key().slot_ids()[0],
+            fx.mgr.public_key().slot_ids()[0]);
+
+  SubscriberClient sub(fx.sp, u.key, fx.mgr.verification_key(), fx.bus);
+  tv.broadcast(str("still works"), fx.rng);
+  ASSERT_EQ(sub.received_content().size(), 1u);
+}
+
+TEST(System, FullLifecycleWithPeriodChangeOverTheBus) {
+  SystemFixture fx;  // v = 3
+  const auto u = fx.mgr.add_user(fx.rng);
+  SubscriberClient sub(fx.sp, u.key, fx.mgr.verification_key(), fx.bus);
+  ContentProvider tv("tv", fx.sp, fx.mgr.public_key(), fx.bus);
+
+  // Churn enough users to force a period change; everything over the bus.
+  for (int i = 0; i < 4; ++i) {
+    const auto victim = fx.mgr.add_user(fx.rng);
+    const auto bundle = fx.mgr.remove_user(victim.id, fx.rng);
+    if (bundle) announce_reset(fx.bus, fx.sp.group, *bundle);
+    announce_public_key(fx.bus, fx.sp.group, fx.mgr.public_key());
+  }
+  EXPECT_EQ(fx.mgr.period(), 1u);
+  EXPECT_EQ(sub.period(), 1u);  // followed via the signed bus message
+  EXPECT_EQ(sub.failed_resets(), 0u);
+
+  tv.broadcast(str("new period content"), fx.rng);
+  ASSERT_EQ(sub.received_content().size(), 1u);
+  EXPECT_EQ(sub.received_content()[0], str("new period content"));
+}
+
+TEST(System, RevokedSubscriberCannotFollowPeriodChange) {
+  SystemFixture fx;  // v = 3
+  const auto bad = fx.mgr.add_user(fx.rng);
+  SubscriberClient bad_sub(fx.sp, bad.key, fx.mgr.verification_key(), fx.bus);
+  ContentProvider tv("tv", fx.sp, fx.mgr.public_key(), fx.bus);
+
+  fx.mgr.remove_user(bad.id, fx.rng);
+  // Fill the period and roll it.
+  for (int i = 0; i < 3; ++i) {
+    const auto victim = fx.mgr.add_user(fx.rng);
+    const auto bundle = fx.mgr.remove_user(victim.id, fx.rng);
+    if (bundle) announce_reset(fx.bus, fx.sp.group, *bundle);
+  }
+  announce_public_key(fx.bus, fx.sp.group, fx.mgr.public_key());
+  EXPECT_EQ(fx.mgr.period(), 1u);
+  EXPECT_EQ(bad_sub.period(), 0u);  // stuck in the old period
+  EXPECT_EQ(bad_sub.failed_resets(), 1u);
+
+  tv.broadcast(str("expired for you"), fx.rng);
+  EXPECT_TRUE(bad_sub.received_content().empty());
+  EXPECT_EQ(bad_sub.missed_broadcasts(), 1u);
+}
+
+TEST(System, EavesdropperLogIsComplete) {
+  SystemFixture fx;
+  ContentProvider tv("tv", fx.sp, fx.mgr.public_key(), fx.bus);
+  tv.broadcast(str("one"), fx.rng);
+  announce_public_key(fx.bus, fx.sp.group, fx.mgr.public_key());
+  EXPECT_EQ(fx.bus.log().size(), 2u);
+  EXPECT_EQ(fx.bus.log()[0].type, MsgType::kContent);
+  EXPECT_EQ(fx.bus.log()[1].type, MsgType::kPublicKeyUpdate);
+}
+
+}  // namespace
+}  // namespace dfky

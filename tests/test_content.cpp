@@ -1,0 +1,111 @@
+// Hybrid content distribution (KEM/DEM) tests.
+#include "core/content.h"
+
+#include <gtest/gtest.h>
+
+#include "core/manager.h"
+#include "rng/chacha_rng.h"
+#include "test_util.h"
+
+namespace dfky {
+namespace {
+
+Bytes str(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+TEST(Content, RoundTrip) {
+  ChaChaRng rng(200);
+  SecurityManager mgr(test::test_params(3), rng);
+  const auto u = mgr.add_user(rng);
+  const Bytes payload = str("episode 1: the phantom broadcast");
+  const ContentMessage msg =
+      seal_content(mgr.params(), mgr.public_key(), payload, rng);
+  EXPECT_EQ(open_content(mgr.params(), u.key, msg), payload);
+}
+
+TEST(Content, LargePayload) {
+  ChaChaRng rng(201);
+  SecurityManager mgr(test::test_params(2), rng);
+  const auto u = mgr.add_user(rng);
+  Bytes payload(100000);
+  rng.fill(payload);
+  const ContentMessage msg =
+      seal_content(mgr.params(), mgr.public_key(), payload, rng);
+  EXPECT_EQ(open_content(mgr.params(), u.key, msg), payload);
+}
+
+TEST(Content, RevokedUserRejected) {
+  ChaChaRng rng(202);
+  SecurityManager mgr(test::test_params(3), rng);
+  const auto bad = mgr.add_user(rng);
+  mgr.remove_user(bad.id, rng);
+  const ContentMessage msg =
+      seal_content(mgr.params(), mgr.public_key(), str("secret"), rng);
+  EXPECT_THROW(open_content(mgr.params(), bad.key, msg), Error);
+}
+
+TEST(Content, StaleKeyFailsAuthentication) {
+  ChaChaRng rng(203);
+  SecurityManager mgr(test::test_params(3), rng);
+  const auto u = mgr.add_user(rng);
+  mgr.new_period(rng);  // u's key becomes stale (reset not applied)
+  const ContentMessage msg =
+      seal_content(mgr.params(), mgr.public_key(), str("secret"), rng);
+  EXPECT_THROW(open_content(mgr.params(), u.key, msg), Error);
+}
+
+TEST(Content, TamperDetected) {
+  ChaChaRng rng(204);
+  SecurityManager mgr(test::test_params(2), rng);
+  const auto u = mgr.add_user(rng);
+  ContentMessage msg =
+      seal_content(mgr.params(), mgr.public_key(), str("payload"), rng);
+  msg.sealed_payload[0] ^= 1;
+  EXPECT_THROW(open_content(mgr.params(), u.key, msg), DecodeError);
+}
+
+TEST(Content, SerializationRoundTrip) {
+  ChaChaRng rng(205);
+  SecurityManager mgr(test::test_params(2), rng);
+  const auto u = mgr.add_user(rng);
+  const Bytes payload = str("serialize me");
+  const ContentMessage msg =
+      seal_content(mgr.params(), mgr.public_key(), payload, rng);
+  Writer w;
+  msg.serialize(w, mgr.params().group);
+  Reader r(w.bytes());
+  const ContentMessage msg2 =
+      ContentMessage::deserialize(r, mgr.params().group);
+  r.expect_end();
+  EXPECT_EQ(open_content(mgr.params(), u.key, msg2), payload);
+}
+
+TEST(Content, RepresentationPathDecrypts) {
+  ChaChaRng rng(206);
+  SecurityManager mgr(test::test_params(3), rng);
+  const auto u = mgr.add_user(rng);
+  const Representation rep =
+      representation_of(mgr.params(), u.key, mgr.public_key());
+  const Bytes payload = str("pirated stream");
+  const ContentMessage msg =
+      seal_content(mgr.params(), mgr.public_key(), payload, rng);
+  EXPECT_EQ(open_content_with_representation(mgr.params(), rep, msg), payload);
+}
+
+TEST(Content, WireOverheadIndependentOfPayloadStructure) {
+  ChaChaRng rng(207);
+  SecurityManager mgr(test::test_params(4), rng);
+  const ContentMessage a =
+      seal_content(mgr.params(), mgr.public_key(), Bytes(10, 0), rng);
+  const ContentMessage b =
+      seal_content(mgr.params(), mgr.public_key(), Bytes(1000, 0), rng);
+  const std::size_t overhead_a =
+      a.wire_size(mgr.params().group) - 10;
+  const std::size_t overhead_b =
+      b.wire_size(mgr.params().group) - 1000;
+  EXPECT_EQ(overhead_a, overhead_b);
+}
+
+}  // namespace
+}  // namespace dfky

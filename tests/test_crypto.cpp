@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include "crypto/chacha20.h"
+#include "crypto/hkdf.h"
+#include "crypto/hmac.h"
+#include "crypto/schnorr.h"
+#include "crypto/sha256.h"
+#include "crypto/stream_seal.h"
+#include "rng/chacha_rng.h"
+#include "test_util.h"
+
+namespace dfky {
+namespace {
+
+Bytes hex(std::string_view s) {
+  Bytes out;
+  auto nib = [](char c) -> byte {
+    if (c >= '0' && c <= '9') return static_cast<byte>(c - '0');
+    return static_cast<byte>(c - 'a' + 10);
+  };
+  for (std::size_t i = 0; i + 1 < s.size(); i += 2) {
+    out.push_back(static_cast<byte>((nib(s[i]) << 4) | nib(s[i + 1])));
+  }
+  return out;
+}
+
+Bytes str(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string to_hex(BytesView b) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  for (byte x : b) {
+    out.push_back(kDigits[x >> 4]);
+    out.push_back(kDigits[x & 0xf]);
+  }
+  return out;
+}
+
+// ---- SHA-256 (FIPS 180-4 / NIST vectors) ------------------------------------
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(Sha256::hash({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(to_hex(Sha256::hash(str("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(
+      to_hex(Sha256::hash(
+          str("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Sha256 h;
+  h.update(str("hello "));
+  h.update(str("world"));
+  EXPECT_EQ(h.finish(), Sha256::hash(str("hello world")));
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  const Bytes block(64, 'x');
+  Sha256 h;
+  h.update(block);
+  EXPECT_EQ(h.finish(), Sha256::hash(block));
+}
+
+// ---- HMAC-SHA256 (RFC 4231) --------------------------------------------------
+
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const auto tag = HmacSha256::mac(key, str("Hi There"));
+  EXPECT_EQ(to_hex(tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const auto tag =
+      HmacSha256::mac(str("Jefe"), str("what do ya want for nothing?"));
+  EXPECT_EQ(to_hex(tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3LongKeyData) {
+  const Bytes key(131, 0xaa);  // key longer than the block size
+  const auto tag = HmacSha256::mac(
+      key, str("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(to_hex(tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, VerifyAcceptsAndRejects) {
+  const Bytes key = str("key");
+  const Bytes msg = str("message");
+  auto tag = HmacSha256::mac(key, msg);
+  EXPECT_TRUE(HmacSha256::verify(key, msg, tag));
+  tag[0] ^= 1;
+  EXPECT_FALSE(HmacSha256::verify(key, msg, tag));
+  EXPECT_FALSE(HmacSha256::verify(key, msg, BytesView(tag.data(), 16)));
+}
+
+// ---- HKDF (RFC 5869) ----------------------------------------------------------
+
+TEST(Hkdf, Rfc5869Case1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = hex("000102030405060708090a0b0c");
+  const Bytes info = hex("f0f1f2f3f4f5f6f7f8f9");
+  const Bytes okm = hkdf(salt, ikm, info, 42);
+  EXPECT_EQ(to_hex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, Rfc5869Case3NoSaltNoInfo) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes okm = hkdf({}, ikm, {}, 42);
+  EXPECT_EQ(to_hex(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(Hkdf, RejectsOverlongOutput) {
+  EXPECT_THROW(hkdf_expand(Bytes(32, 1), {}, 255 * 32 + 1), ContractError);
+}
+
+// ---- ChaCha20 (RFC 8439) -------------------------------------------------------
+
+TEST(ChaCha, Rfc8439Encryption) {
+  const Bytes key = hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes nonce = hex("000000000000004a00000000");
+  const Bytes plaintext = str(
+      "Ladies and Gentlemen of the class of '99: If I could offer you only "
+      "one tip for the future, sunscreen would be it.");
+  const Bytes ct = chacha20_xor(key, nonce, 1, plaintext);
+  EXPECT_EQ(to_hex(ct),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42874d");
+}
+
+TEST(ChaCha, DecryptIsInverse) {
+  const Bytes key(32, 7);
+  const Bytes nonce(12, 9);
+  const Bytes msg = str("round trip me");
+  const Bytes ct = chacha20_xor(key, nonce, 0, msg);
+  EXPECT_NE(ct, msg);
+  EXPECT_EQ(chacha20_xor(key, nonce, 0, ct), msg);
+}
+
+TEST(ChaCha, StreamingMatchesOneShot) {
+  const Bytes key(32, 1);
+  const Bytes nonce(12, 2);
+  Bytes data(300);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<byte>(i);
+  const Bytes expect = chacha20_xor(key, nonce, 0, data);
+  ChaCha20 c(key, nonce, 0);
+  Bytes got = data;
+  c.apply(std::span<byte>(got.data(), 100));
+  c.apply(std::span<byte>(got.data() + 100, 200));
+  EXPECT_EQ(got, expect);
+}
+
+TEST(ChaCha, KeySizeValidated) {
+  EXPECT_THROW(ChaCha20(Bytes(31, 0), Bytes(12, 0)), ContractError);
+  EXPECT_THROW(ChaCha20(Bytes(32, 0), Bytes(11, 0)), ContractError);
+}
+
+// ---- One-time seal -------------------------------------------------------------
+
+TEST(Seal, RoundTrip) {
+  const Bytes key(32, 0x42);
+  const Bytes msg = str("top secret broadcast content");
+  const Bytes sealed = seal(key, msg);
+  EXPECT_EQ(open_sealed(key, sealed), msg);
+}
+
+TEST(Seal, EmptyPayload) {
+  const Bytes key(32, 0x42);
+  const Bytes sealed = seal(key, {});
+  EXPECT_TRUE(open_sealed(key, sealed).empty());
+}
+
+TEST(Seal, TamperDetected) {
+  const Bytes key(32, 0x42);
+  Bytes sealed = seal(key, str("payload"));
+  sealed[0] ^= 1;
+  EXPECT_THROW(open_sealed(key, sealed), DecodeError);
+}
+
+TEST(Seal, WrongKeyRejected) {
+  const Bytes key(32, 0x42);
+  const Bytes other(32, 0x43);
+  const Bytes sealed = seal(key, str("payload"));
+  EXPECT_THROW(open_sealed(other, sealed), DecodeError);
+}
+
+TEST(Seal, TruncatedRejected) {
+  const Bytes key(32, 0x42);
+  const Bytes sealed = seal(key, str("payload"));
+  EXPECT_THROW(
+      open_sealed(key, BytesView(sealed.data(), HmacSha256::kTagSize - 1)),
+      DecodeError);
+}
+
+// ---- Schnorr signatures ----------------------------------------------------------
+
+TEST(Schnorr, SignVerifyRoundTrip) {
+  const Group group = test::test_group();
+  ChaChaRng rng(31);
+  const auto kp = SchnorrKeyPair::generate(group, rng);
+  const Bytes msg = str("change period");
+  const auto sig = kp.sign(group, msg, rng);
+  EXPECT_TRUE(schnorr_verify(group, kp.public_key(), msg, sig));
+}
+
+TEST(Schnorr, RejectsWrongMessage) {
+  const Group group = test::test_group();
+  ChaChaRng rng(32);
+  const auto kp = SchnorrKeyPair::generate(group, rng);
+  const auto sig = kp.sign(group, str("message A"), rng);
+  EXPECT_FALSE(schnorr_verify(group, kp.public_key(), str("message B"), sig));
+}
+
+TEST(Schnorr, RejectsWrongKey) {
+  const Group group = test::test_group();
+  ChaChaRng rng(33);
+  const auto kp1 = SchnorrKeyPair::generate(group, rng);
+  const auto kp2 = SchnorrKeyPair::generate(group, rng);
+  const auto sig = kp1.sign(group, str("msg"), rng);
+  EXPECT_FALSE(schnorr_verify(group, kp2.public_key(), str("msg"), sig));
+}
+
+TEST(Schnorr, RejectsTamperedSignature) {
+  const Group group = test::test_group();
+  ChaChaRng rng(34);
+  const auto kp = SchnorrKeyPair::generate(group, rng);
+  auto sig = kp.sign(group, str("msg"), rng);
+  sig.response = group.zq().add(sig.response, Bigint(1));
+  EXPECT_FALSE(schnorr_verify(group, kp.public_key(), str("msg"), sig));
+}
+
+TEST(Schnorr, SerializationRoundTrip) {
+  const Group group = test::test_group();
+  ChaChaRng rng(35);
+  const auto kp = SchnorrKeyPair::generate(group, rng);
+  const auto sig = kp.sign(group, str("msg"), rng);
+  Writer w;
+  sig.serialize(w, group);
+  Reader r(w.bytes());
+  const auto sig2 = SchnorrSignature::deserialize(r, group);
+  EXPECT_TRUE(schnorr_verify(group, kp.public_key(), str("msg"), sig2));
+}
+
+}  // namespace
+}  // namespace dfky

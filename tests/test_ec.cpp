@@ -1,0 +1,269 @@
+// Elliptic-curve backend: curve arithmetic, group facade, point
+// serialization, Koblitz message encoding, and the complete scheme
+// (encrypt/decrypt/revoke/period-change/trace) running over secp256k1 —
+// the paper's "alternatively, an elliptic curve" instantiation (Sect. 3).
+#include <gtest/gtest.h>
+
+#include "core/manager.h"
+#include "core/receiver.h"
+#include "group/encoding.h"
+#include "rng/chacha_rng.h"
+#include "serial/codec.h"
+#include "test_util.h"
+#include "tracing/nonblackbox.h"
+#include "tracing/pirate.h"
+
+namespace dfky {
+namespace {
+
+class CurveBackend : public ::testing::TestWithParam<int> {
+ protected:
+  CurveSpec spec() const {
+    return GetParam() == 0 ? CurveSpec::secp256k1() : CurveSpec::p256();
+  }
+};
+
+TEST_P(CurveBackend, SpecValidates) {
+  EXPECT_NO_THROW(spec().validate());
+}
+
+TEST_P(CurveBackend, GroupLaws) {
+  const CurveSpec c = spec();
+  const EcPoint g = EcPoint::affine(c.gx, c.gy);
+  // Closure + on-curve.
+  const EcPoint g2 = ec_double(c, g);
+  const EcPoint g3 = ec_add(c, g2, g);
+  EXPECT_TRUE(ec_on_curve(c, g2));
+  EXPECT_TRUE(ec_on_curve(c, g3));
+  // Commutativity.
+  EXPECT_EQ(ec_add(c, g, g2), ec_add(c, g2, g));
+  // Identity and inverse.
+  EXPECT_EQ(ec_add(c, g, EcPoint::at_infinity()), g);
+  EXPECT_TRUE(ec_add(c, g, ec_neg(c, g)).infinity);
+  // Associativity spot check: (g + g2) + g3 == g + (g2 + g3).
+  EXPECT_EQ(ec_add(c, ec_add(c, g, g2), g3), ec_add(c, g, ec_add(c, g2, g3)));
+}
+
+TEST_P(CurveBackend, ScalarMultiplicationConsistency) {
+  const CurveSpec c = spec();
+  const EcPoint g = EcPoint::affine(c.gx, c.gy);
+  EXPECT_EQ(ec_mul(c, g, Bigint(1)), g);
+  EXPECT_EQ(ec_mul(c, g, Bigint(2)), ec_double(c, g));
+  EXPECT_EQ(ec_mul(c, g, Bigint(5)),
+            ec_add(c, ec_mul(c, g, Bigint(2)), ec_mul(c, g, Bigint(3))));
+  // Order annihilates, and exponents reduce mod q.
+  EXPECT_TRUE(ec_mul(c, g, c.q).infinity);
+  EXPECT_EQ(ec_mul(c, g, c.q + Bigint(7)), ec_mul(c, g, Bigint(7)));
+}
+
+TEST_P(CurveBackend, DiffieHellmanProperty) {
+  const CurveSpec c = spec();
+  ChaChaRng rng(31337);
+  const EcPoint g = EcPoint::affine(c.gx, c.gy);
+  const Bigint a = rng.uniform_below(c.q);
+  const Bigint b = rng.uniform_below(c.q);
+  EXPECT_EQ(ec_mul(c, ec_mul(c, g, a), b), ec_mul(c, ec_mul(c, g, b), a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Curves, CurveBackend, ::testing::Values(0, 1));
+
+Group ec_group() {
+  return Group(CurveSpec::secp256k1());
+}
+
+SystemParams ec_params(std::size_t v, std::uint64_t seed = 777) {
+  ChaChaRng rng(seed);
+  return SystemParams::create(ec_group(), v, rng);
+}
+
+TEST(EcGroup, FacadeBasics) {
+  const Group g = ec_group();
+  EXPECT_TRUE(g.is_elliptic());
+  EXPECT_TRUE(g.is_element(g.generator()));
+  EXPECT_TRUE(g.is_element(g.one()));
+  EXPECT_TRUE(g.one() == Gelt::infinity());
+  EXPECT_EQ(g.pow_g(g.order()), g.one());
+  EXPECT_FALSE(g.is_element(Gelt(Bigint(5))));  // wrong representation kind
+  EXPECT_EQ(g.element_size(), 33u);             // 1 tag + 32 bytes of x
+}
+
+TEST(EcGroup, MulPowConsistency) {
+  const Group g = ec_group();
+  ChaChaRng rng(1);
+  const Gelt a = g.random_element(rng);
+  EXPECT_EQ(g.mul(a, a), g.pow(a, Bigint(2)));
+  EXPECT_EQ(g.mul(a, g.inv(a)), g.one());
+  EXPECT_EQ(g.pow(a, Bigint(-1)), g.inv(a));
+  EXPECT_EQ(g.div(a, a), g.one());
+}
+
+TEST(EcGroup, MultiexpMatchesNaive) {
+  const Group g = ec_group();
+  ChaChaRng rng(2);
+  std::vector<Gelt> bases;
+  std::vector<Bigint> exps;
+  Gelt expect = g.one();
+  for (int i = 0; i < 6; ++i) {
+    bases.push_back(g.random_element(rng));
+    exps.push_back(g.random_exponent(rng));
+    expect = g.mul(expect, g.pow(bases[i], exps[i]));
+  }
+  EXPECT_EQ(multiexp(g, bases, exps), expect);
+}
+
+TEST(EcGroup, PointSerializationRoundTrip) {
+  const Group g = ec_group();
+  ChaChaRng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    const Gelt e = g.random_element(rng);
+    Writer w;
+    put_gelt(w, g, e);
+    EXPECT_EQ(w.size(), g.element_size());
+    Reader r(w.bytes());
+    EXPECT_EQ(get_gelt(r, g), e);
+  }
+  // Infinity.
+  Writer w;
+  put_gelt(w, g, g.one());
+  Reader r(w.bytes());
+  EXPECT_EQ(get_gelt(r, g), g.one());
+}
+
+TEST(EcGroup, SerializationRejectsGarbage) {
+  const Group g = ec_group();
+  // Bad tag.
+  {
+    Bytes raw(g.element_size(), 0);
+    raw[0] = 9;
+    Reader r(raw);
+    EXPECT_THROW(get_gelt(r, g), DecodeError);
+  }
+  // x not on curve (x = 0 is not on secp256k1: rhs = 7, 7 is a QR? check
+  // robustly with an x known to be off-curve by trial below).
+  {
+    Bytes raw(g.element_size(), 0);
+    raw[0] = 2;
+    raw[g.element_size() - 1] = 5;  // x = 5
+    Reader r(raw);
+    // Either decodes (if 5^3+7 is a QR) or throws; never crashes. Verify
+    // on-curve if it decodes.
+    try {
+      const Gelt e = get_gelt(r, g);
+      EXPECT_TRUE(g.is_element(e));
+    } catch (const DecodeError&) {
+    }
+  }
+  // Malformed infinity (nonzero payload).
+  {
+    Bytes raw(g.element_size(), 0);
+    raw[1] = 1;
+    Reader r(raw);
+    EXPECT_THROW(get_gelt(r, g), DecodeError);
+  }
+}
+
+TEST(EcGroup, KoblitzEncodingRoundTrip) {
+  const Group g = ec_group();
+  ChaChaRng rng(4);
+  EXPECT_LT(encode_capacity(g), g.order());
+  for (int i = 0; i < 20; ++i) {
+    const Bigint a = rng.uniform_below(encode_capacity(g));
+    const Gelt e = encode_to_group(g, a);
+    EXPECT_TRUE(g.is_element(e));
+    EXPECT_EQ(decode_from_group(g, e), a);
+  }
+  EXPECT_THROW(encode_to_group(g, encode_capacity(g)), ContractError);
+  EXPECT_THROW(decode_from_group(g, g.one()), DecodeError);
+}
+
+TEST(EcScheme, EncryptDecryptRoundTrip) {
+  ChaChaRng rng(5);
+  const SystemParams sp = ec_params(4);
+  const SetupResult s = setup(sp, rng);
+  const UserKey sk = issue_user_key(sp, s.msk, Bigint(1234), 0);
+  const Gelt m = sp.group.random_element(rng);
+  const Ciphertext ct = encrypt(sp, s.pk, m, rng);
+  EXPECT_EQ(decrypt(sp, sk, ct), m);
+}
+
+TEST(EcScheme, FullLifecycleHybridResets) {
+  ChaChaRng rng(6);
+  SecurityManager mgr(ec_params(2), rng, ResetMode::kHybrid);
+  const auto survivor = mgr.add_user(rng);
+  Receiver receiver(mgr.params(), survivor.key, mgr.verification_key());
+  for (int i = 0; i < 5; ++i) {
+    const auto victim = mgr.add_user(rng);
+    const auto bundle = mgr.remove_user(victim.id, rng);
+    if (bundle) receiver.apply_reset(*bundle);
+    const Gelt m = mgr.params().group.random_element(rng);
+    const Ciphertext ct = encrypt(mgr.params(), mgr.public_key(), m, rng);
+    EXPECT_EQ(receiver.decrypt(ct), m) << "round " << i;
+  }
+  EXPECT_GE(mgr.period(), 1u);
+}
+
+TEST(EcScheme, PlainResetRejectedOnCurves) {
+  ChaChaRng rng(7);
+  SecurityManager mgr(ec_params(2), rng, ResetMode::kPlain);
+  EXPECT_THROW(mgr.new_period(rng), ContractError);
+}
+
+TEST(EcScheme, RevokedUserBarred) {
+  ChaChaRng rng(8);
+  SecurityManager mgr(ec_params(3), rng);
+  const auto bad = mgr.add_user(rng);
+  const auto good = mgr.add_user(rng);
+  mgr.remove_user(bad.id, rng);
+  const Gelt m = mgr.params().group.random_element(rng);
+  const Ciphertext ct = encrypt(mgr.params(), mgr.public_key(), m, rng);
+  EXPECT_THROW(decrypt(mgr.params(), bad.key, ct), ContractError);
+  EXPECT_EQ(decrypt(mgr.params(), good.key, ct), m);
+}
+
+TEST(EcScheme, TracingWorksOverCurves) {
+  ChaChaRng rng(9);
+  SecurityManager mgr(ec_params(4), rng);
+  std::vector<SecurityManager::AddedUser> users;
+  for (int i = 0; i < 8; ++i) users.push_back(mgr.add_user(rng));
+  std::vector<UserKey> keys = {users[1].key, users[6].key};
+  const Representation delta = build_pirate_representation(
+      mgr.params(), mgr.public_key(), keys, rng);
+  EXPECT_TRUE(delta.valid_for(mgr.params(), mgr.public_key()));
+  const TraceResult result = trace_nonblackbox(
+      mgr.params(), mgr.public_key(), delta, mgr.users());
+  ASSERT_EQ(result.traitors.size(), 2u);
+}
+
+TEST(EcScheme, PersistenceRoundTrip) {
+  ChaChaRng rng(10);
+  SecurityManager mgr(ec_params(2), rng);
+  const auto u = mgr.add_user(rng);
+  SecurityManager restored = SecurityManager::restore_state(mgr.save_state());
+  EXPECT_TRUE(restored.params().group.is_elliptic());
+  const Gelt m = restored.params().group.random_element(rng);
+  const Ciphertext ct =
+      encrypt(restored.params(), restored.public_key(), m, rng);
+  EXPECT_EQ(decrypt(restored.params(), u.key, ct), m);
+}
+
+TEST(EcScheme, CiphertextSmallerThanSchnorrAtSameSecurity) {
+  // 256-bit EC ~ 3072-bit Z_p* security; even against only-512-bit Z_p*
+  // groups the EC elements are half the size (33 vs 64 bytes).
+  const Group ec = ec_group();
+  const Group zp512(GroupParams::named(ParamId::kSec512));
+  EXPECT_LT(ec.element_size(), zp512.element_size());
+}
+
+TEST(EcScheme, SchnorrSignaturesOverCurves) {
+  const Group g = ec_group();
+  ChaChaRng rng(12);
+  const auto kp = SchnorrKeyPair::generate(g, rng);
+  const Bytes msg = {'h', 'i'};
+  const auto sig = kp.sign(g, msg, rng);
+  EXPECT_TRUE(schnorr_verify(g, kp.public_key(), msg, sig));
+  const Bytes other = {'h', 'o'};
+  EXPECT_FALSE(schnorr_verify(g, kp.public_key(), other, sig));
+}
+
+}  // namespace
+}  // namespace dfky

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "field/fp.h"
+#include "field/zq.h"
+#include "rng/chacha_rng.h"
+#include "test_util.h"
+
+namespace dfky {
+namespace {
+
+TEST(Zq, RejectsNonPrime) {
+  EXPECT_THROW(Zq(Bigint(15)), ContractError);
+  EXPECT_THROW(Zq(Bigint(1)), ContractError);
+  EXPECT_THROW(Zq(Bigint(2)), ContractError);
+}
+
+TEST(Zq, BasicOps) {
+  const Zq f{Bigint(101)};
+  EXPECT_EQ(f.add(Bigint(60), Bigint(60)), Bigint(19));
+  EXPECT_EQ(f.sub(Bigint(3), Bigint(10)), Bigint(94));
+  EXPECT_EQ(f.mul(Bigint(20), Bigint(20)), Bigint(97));
+  EXPECT_EQ(f.neg(Bigint(1)), Bigint(100));
+  EXPECT_EQ(f.neg(Bigint(0)), Bigint(0));
+  EXPECT_EQ(f.mul(f.inv(Bigint(7)), Bigint(7)), Bigint(1));
+  EXPECT_EQ(f.div(Bigint(1), Bigint(2)), Bigint(51));
+  EXPECT_EQ(f.pow(Bigint(2), Bigint(100)), Bigint(1));  // Fermat
+}
+
+TEST(Zq, InvZeroThrows) {
+  const Zq f{Bigint(101)};
+  EXPECT_THROW(f.inv(Bigint(0)), MathError);
+}
+
+TEST(Zq, ReduceCanonicalizes) {
+  const Zq f{Bigint(101)};
+  EXPECT_EQ(f.reduce(Bigint(-1)), Bigint(100));
+  EXPECT_EQ(f.reduce(Bigint(202)), Bigint(0));
+}
+
+TEST(Zq, BatchInvMatchesScalarInv) {
+  const Zq f = test::test_zq();
+  ChaChaRng rng(7);
+  std::vector<Bigint> xs;
+  for (int i = 0; i < 40; ++i) {
+    xs.push_back(rng.uniform_nonzero_below(f.modulus()));
+  }
+  std::vector<Bigint> batch = xs;
+  f.batch_inv(batch);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(batch[i], f.inv(xs[i])) << "index " << i;
+  }
+}
+
+TEST(Zq, BatchInvSingleElement) {
+  const Zq f{Bigint(101)};
+  std::vector<Bigint> xs = {Bigint(7)};
+  f.batch_inv(xs);
+  EXPECT_EQ(xs[0], f.inv(Bigint(7)));
+}
+
+TEST(Zq, BatchInvEmptyIsNoop) {
+  const Zq f{Bigint(101)};
+  std::vector<Bigint> xs;
+  EXPECT_NO_THROW(f.batch_inv(xs));
+}
+
+TEST(Zq, BatchInvThrowsOnZero) {
+  const Zq f{Bigint(101)};
+  std::vector<Bigint> xs = {Bigint(3), Bigint(0), Bigint(5)};
+  EXPECT_THROW(f.batch_inv(xs), MathError);
+}
+
+TEST(Fp, QuadraticResidueDetection) {
+  const Bigint p(23);  // QRs mod 23: 1,2,3,4,6,8,9,12,13,16,18
+  EXPECT_TRUE(is_quadratic_residue(Bigint(2), p));
+  EXPECT_TRUE(is_quadratic_residue(Bigint(13), p));
+  EXPECT_FALSE(is_quadratic_residue(Bigint(5), p));
+  EXPECT_FALSE(is_quadratic_residue(Bigint(0), p));
+}
+
+TEST(Fp, SqrtMod3Mod4Prime) {
+  const Bigint p(23);  // 23 = 3 (mod 4)
+  for (long a = 1; a < 23; ++a) {
+    const Bigint sq = (Bigint(a) * Bigint(a)).mod(p);
+    const Bigint r = sqrt_mod(sq, p);
+    EXPECT_EQ((r * r).mod(p), sq);
+  }
+}
+
+TEST(Fp, SqrtMod1Mod4PrimeTonelliShanks) {
+  const Bigint p(13);  // 13 = 1 (mod 4)
+  for (long a = 1; a < 13; ++a) {
+    const Bigint sq = (Bigint(a) * Bigint(a)).mod(p);
+    const Bigint r = sqrt_mod(sq, p);
+    EXPECT_EQ((r * r).mod(p), sq) << "a=" << a;
+  }
+}
+
+TEST(Fp, SqrtOfNonResidueThrows) {
+  EXPECT_THROW(sqrt_mod(Bigint(5), Bigint(23)), MathError);
+  EXPECT_THROW(sqrt_mod(Bigint(2), Bigint(13)), MathError);
+}
+
+TEST(Fp, SqrtZero) {
+  EXPECT_EQ(sqrt_mod(Bigint(0), Bigint(23)), Bigint(0));
+}
+
+TEST(Fp, MinSqrtReturnsSmallerRoot) {
+  const Bigint p(23);
+  for (long a = 1; a < 23; ++a) {
+    const Bigint sq = (Bigint(a) * Bigint(a)).mod(p);
+    const Bigint r = min_sqrt_mod(sq, p);
+    EXPECT_EQ((r * r).mod(p), sq);
+    EXPECT_LE(r, (p - r).mod(p));
+  }
+}
+
+TEST(Fp, SqrtLargeSafePrime) {
+  // The embedded 128-bit test group: p = 3 (mod 4) by safe-prime structure.
+  const GroupParams gp = GroupParams::named(ParamId::kTest128);
+  EXPECT_EQ(gp.p.mod(Bigint(4)), Bigint(3));
+  ChaChaRng rng(11);
+  for (int i = 0; i < 20; ++i) {
+    const Bigint a = rng.uniform_nonzero_below(gp.p);
+    const Bigint sq = (a * a).mod(gp.p);
+    const Bigint r = sqrt_mod(sq, gp.p);
+    EXPECT_EQ((r * r).mod(gp.p), sq);
+  }
+}
+
+}  // namespace
+}  // namespace dfky

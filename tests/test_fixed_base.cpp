@@ -1,0 +1,103 @@
+#include "group/fixed_base.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scheme.h"
+#include "rng/chacha_rng.h"
+#include "test_util.h"
+
+namespace dfky {
+namespace {
+
+class FixedBaseWindows : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FixedBaseWindows, MatchesPlainPow) {
+  const Group g = test::test_group();
+  ChaChaRng rng(30001);
+  const Gelt base = g.random_element(rng);
+  const FixedBaseTable table(g, base, GetParam());
+  for (int i = 0; i < 20; ++i) {
+    const Bigint e = g.random_exponent(rng);
+    EXPECT_EQ(table.pow(g, e), g.pow(base, e));
+  }
+}
+
+TEST_P(FixedBaseWindows, EdgeExponents) {
+  const Group g = test::test_group();
+  ChaChaRng rng(30002);
+  const Gelt base = g.random_element(rng);
+  const FixedBaseTable table(g, base, GetParam());
+  EXPECT_EQ(table.pow(g, Bigint(0)), g.one());
+  EXPECT_EQ(table.pow(g, Bigint(1)), base);
+  EXPECT_EQ(table.pow(g, g.order()), g.one());
+  EXPECT_EQ(table.pow(g, g.order() - Bigint(1)), g.inv(base));
+  EXPECT_EQ(table.pow(g, Bigint(-2)), g.inv(g.mul(base, base)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, FixedBaseWindows,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));
+
+TEST(FixedBase, RejectsBadWindow) {
+  const Group g = test::test_group();
+  EXPECT_THROW(FixedBaseTable(g, g.generator(), 0), ContractError);
+  EXPECT_THROW(FixedBaseTable(g, g.generator(), 9), ContractError);
+}
+
+TEST(FixedBase, TableSizeMatchesGeometry) {
+  const Group g = test::test_group();  // 127-bit order
+  const FixedBaseTable table(g, g.generator(), 4);
+  const std::size_t digits = (g.order().bit_length() + 3) / 4;
+  EXPECT_EQ(table.table_size(), digits * 15);
+}
+
+TEST(FixedBase, WorksOnCurves) {
+  const Group g{CurveSpec::secp256k1()};
+  ChaChaRng rng(30003);
+  const FixedBaseTable table(g, g.generator(), 4);
+  for (int i = 0; i < 5; ++i) {
+    const Bigint e = g.random_exponent(rng);
+    EXPECT_EQ(table.pow(g, e), g.pow_g(e));
+  }
+}
+
+TEST(Encryptor, CiphertextsDecryptLikePlainEncrypt) {
+  ChaChaRng rng(30004);
+  const SystemParams sp = test::test_params(6, 30005);
+  const SetupResult s = setup(sp, rng);
+  const Encryptor enc(sp, s.pk);
+  const UserKey sk = issue_user_key(sp, s.msk, Bigint(4242), 0);
+  for (int i = 0; i < 5; ++i) {
+    const Gelt m = sp.group.random_element(rng);
+    const Ciphertext ct = enc.encrypt(m, rng);
+    EXPECT_EQ(decrypt(sp, sk, ct), m);
+  }
+}
+
+// Any fixed group element, for the determinism test below.
+Gelt encode_mock(const SystemParams& sp) {
+  return sp.group.pow_g(Bigint(12345));
+}
+
+TEST(Encryptor, MatchesPlainEncryptWithSameRandomness) {
+  // Feeding identical PRG streams, Encryptor and encrypt() must produce the
+  // exact same ciphertext (it is the same algorithm, just precomputed).
+  const SystemParams sp = test::test_params(4, 30006);
+  ChaChaRng rng_setup(30007);
+  const SetupResult s = setup(sp, rng_setup);
+  ChaChaRng r1(555);
+  ChaChaRng r2(555);
+  const Gelt m = encode_mock(sp);
+  const Ciphertext a = encrypt(sp, s.pk, m, r1);
+  const Encryptor enc(sp, s.pk);
+  const Ciphertext b = enc.encrypt(m, r2);
+  EXPECT_EQ(a.u, b.u);
+  EXPECT_EQ(a.u2, b.u2);
+  EXPECT_EQ(a.w, b.w);
+  ASSERT_EQ(a.slots.size(), b.slots.size());
+  for (std::size_t i = 0; i < a.slots.size(); ++i) {
+    EXPECT_EQ(a.slots[i].hr, b.slots[i].hr);
+  }
+}
+
+}  // namespace
+}  // namespace dfky

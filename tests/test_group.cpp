@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "group/encoding.h"
+#include "group/params.h"
+#include "rng/chacha_rng.h"
+#include "test_util.h"
+
+namespace dfky {
+namespace {
+
+TEST(GroupParams, EmbeddedSetsValidate) {
+  for (ParamId id : {ParamId::kTest128, ParamId::kSec256, ParamId::kSec512,
+                     ParamId::kSec1024, ParamId::kSec2048}) {
+    EXPECT_NO_THROW(GroupParams::named(id).validate())
+        << static_cast<int>(id);
+  }
+}
+
+TEST(GroupParams, BitLengths) {
+  EXPECT_EQ(GroupParams::named(ParamId::kTest128).p.bit_length(), 128u);
+  EXPECT_EQ(GroupParams::named(ParamId::kSec512).p.bit_length(), 512u);
+  EXPECT_EQ(GroupParams::named(ParamId::kSec1024).p.bit_length(), 1024u);
+  EXPECT_EQ(GroupParams::named(ParamId::kSec2048).p.bit_length(), 2048u);
+}
+
+TEST(GroupParams, RuntimeGeneration) {
+  ChaChaRng rng(41);
+  const GroupParams gp = GroupParams::generate(rng, 64);
+  EXPECT_NO_THROW(gp.validate());
+  EXPECT_EQ(gp.p.bit_length(), 64u);
+}
+
+TEST(Group, GeneratorHasOrderQ) {
+  const Group g = test::test_group();
+  EXPECT_EQ(g.pow_g(g.order()), g.one());
+  EXPECT_FALSE(g.pow_g(Bigint(1)) == g.one());
+}
+
+TEST(Group, MulPowConsistency) {
+  const Group g = test::test_group();
+  const Gelt a = g.pow_g(Bigint(12345));
+  const Gelt b = g.pow_g(Bigint(67890));
+  EXPECT_EQ(g.mul(a, b), g.pow_g(Bigint(12345 + 67890)));
+  EXPECT_EQ(g.pow(a, Bigint(3)), g.mul(g.mul(a, a), a));
+}
+
+TEST(Group, InverseAndDivision) {
+  const Group g = test::test_group();
+  const Gelt a = g.pow_g(Bigint(999));
+  EXPECT_EQ(g.mul(a, g.inv(a)), g.one());
+  EXPECT_EQ(g.div(a, a), g.one());
+}
+
+TEST(Group, ExponentsReducedModOrder) {
+  const Group g = test::test_group();
+  const Gelt a = g.pow_g(Bigint(5));
+  EXPECT_EQ(g.pow(a, g.order() + Bigint(3)), g.pow(a, Bigint(3)));
+  EXPECT_EQ(g.pow(a, Bigint(-1)), g.inv(a));
+}
+
+TEST(Group, MembershipTest) {
+  const Group g = test::test_group();
+  EXPECT_TRUE(g.is_element(g.generator()));
+  EXPECT_TRUE(g.is_element(g.one()));
+  EXPECT_FALSE(g.is_element(Gelt(Bigint(0))));
+  EXPECT_FALSE(g.is_element(Gelt(g.p())));
+  // A non-residue: the QR subgroup has index 2, so some value fails.
+  ChaChaRng rng(42);
+  bool found_nonmember = false;
+  for (int i = 0; i < 64 && !found_nonmember; ++i) {
+    const Bigint v = rng.uniform_nonzero_below(g.p());
+    if (!g.is_element(Gelt(v))) found_nonmember = true;
+  }
+  EXPECT_TRUE(found_nonmember);
+}
+
+TEST(Group, ElementFromValidates) {
+  const Group g = test::test_group();
+  EXPECT_THROW(g.element_from(Bigint(0)), ContractError);
+  EXPECT_NO_THROW(g.element_from(g.generator().value()));
+}
+
+TEST(Group, RandomElementsAreMembers) {
+  const Group g = test::test_group();
+  ChaChaRng rng(43);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_TRUE(g.is_element(g.random_element(rng)));
+  }
+}
+
+TEST(Group, RandomElementOrderQ) {
+  const Group g = test::test_group();
+  ChaChaRng rng(44);
+  const Gelt e = g.random_element(rng);
+  EXPECT_EQ(g.pow(e, g.order()), g.one());
+}
+
+TEST(Multiexp, MatchesNaive) {
+  const Group g = test::test_group();
+  ChaChaRng rng(45);
+  for (std::size_t n : {0u, 1u, 2u, 5u, 12u}) {
+    std::vector<Gelt> bases;
+    std::vector<Bigint> exps;
+    Gelt expect = g.one();
+    for (std::size_t i = 0; i < n; ++i) {
+      bases.push_back(g.random_element(rng));
+      exps.push_back(g.random_exponent(rng));
+      expect = g.mul(expect, g.pow(bases[i], exps[i]));
+    }
+    EXPECT_EQ(multiexp(g, bases, exps), expect) << "n=" << n;
+  }
+}
+
+TEST(Multiexp, SizeMismatchThrows) {
+  const Group g = test::test_group();
+  std::vector<Gelt> bases = {g.generator()};
+  std::vector<Bigint> exps;
+  EXPECT_THROW(multiexp(g, bases, exps), ContractError);
+}
+
+TEST(Multiexp, ZeroExponents) {
+  const Group g = test::test_group();
+  std::vector<Gelt> bases = {g.generator(), g.generator()};
+  std::vector<Bigint> exps = {Bigint(0), Bigint(0)};
+  EXPECT_EQ(multiexp(g, bases, exps), g.one());
+}
+
+// ---- enc / enc^-1 (paper Sect. 4) -------------------------------------------
+
+TEST(Encoding, RoundTripSmallValues) {
+  const Group g = test::test_group();
+  for (long a : {0L, 1L, 2L, 42L, 100000L}) {
+    const Gelt e = encode_to_group(g, Bigint(a));
+    EXPECT_TRUE(g.is_element(e));
+    EXPECT_EQ(decode_from_group(g, e), Bigint(a));
+  }
+}
+
+TEST(Encoding, RoundTripRandomValues) {
+  const Group g = test::test_group();
+  ChaChaRng rng(46);
+  for (int i = 0; i < 50; ++i) {
+    const Bigint a = rng.uniform_below(g.order());
+    EXPECT_EQ(decode_from_group(g, encode_to_group(g, a)), a);
+  }
+}
+
+TEST(Encoding, BoundaryValue) {
+  const Group g = test::test_group();
+  const Bigint max = g.order() - Bigint(1);
+  EXPECT_EQ(decode_from_group(g, encode_to_group(g, max)), max);
+}
+
+TEST(Encoding, OutOfRangeRejected) {
+  const Group g = test::test_group();
+  EXPECT_THROW(encode_to_group(g, g.order()), ContractError);
+  EXPECT_THROW(encode_to_group(g, Bigint(-1)), ContractError);
+}
+
+TEST(Encoding, DecodeRejectsNonElement) {
+  const Group g = test::test_group();
+  EXPECT_THROW(decode_from_group(g, Gelt(Bigint(0))), DecodeError);
+}
+
+TEST(SystemParams, CreateProducesDistinctGenerators) {
+  ChaChaRng rng(47);
+  const SystemParams sp = SystemParams::create(test::test_group(), 4, rng);
+  EXPECT_FALSE(sp.g == sp.g2);
+  EXPECT_TRUE(sp.group.is_element(sp.g));
+  EXPECT_TRUE(sp.group.is_element(sp.g2));
+  EXPECT_EQ(sp.max_collusion(), 2u);
+}
+
+TEST(SystemParams, RejectsZeroSaturation) {
+  ChaChaRng rng(48);
+  EXPECT_THROW(SystemParams::create(test::test_group(), 0, rng),
+               ContractError);
+}
+
+}  // namespace
+}  // namespace dfky

@@ -1,0 +1,165 @@
+// Property tests for the paper's leap-vector machinery (Sect. 3.2):
+// Definition 5/6 (Eq. 1) and Proposition 1 (rank extension).
+#include "poly/leap_vector.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/gauss.h"
+#include "rng/chacha_rng.h"
+#include "test_util.h"
+
+namespace dfky {
+namespace {
+
+struct LeapCase {
+  std::size_t v;       // number of z-values (= slot count)
+  std::uint64_t seed;  // randomness for polynomial/points
+};
+
+class LeapVectorProperty : public ::testing::TestWithParam<LeapCase> {};
+
+std::vector<Bigint> distinct_points(const Zq& f, std::size_t count,
+                                    ChaChaRng& rng) {
+  std::vector<Bigint> out;
+  while (out.size() < count) {
+    Bigint x = rng.uniform_nonzero_below(f.modulus());
+    bool dup = false;
+    for (const Bigint& y : out) {
+      if (x == y) dup = true;
+    }
+    if (!dup) out.push_back(std::move(x));
+  }
+  return out;
+}
+
+// Eq. (1): P(0) = alpha_0 + sum_l alpha_l P(z_l) for the leap-vector derived
+// from any point (x_i, P(x_i)) outside {z_1..z_v}.
+TEST_P(LeapVectorProperty, DefinitionEquationHolds) {
+  const auto [v, seed] = GetParam();
+  const Zq f = test::test_zq();
+  ChaChaRng rng(seed);
+  const Polynomial p = Polynomial::random(f, v, rng);
+  auto pts = distinct_points(f, v + 1, rng);
+  const Bigint xi = pts.back();
+  pts.pop_back();
+
+  const LeapVector lv = leap_vector(f, xi, p.eval(xi), pts);
+  EXPECT_TRUE(lv.satisfies(f, p.eval(Bigint(0)), p.eval_many(pts)));
+}
+
+// The lambda tail is shared between polynomials: both the A- and B-vectors
+// use identical tails (paper Sect. 4, Decryption).
+TEST_P(LeapVectorProperty, TailIndependentOfPolynomial) {
+  const auto [v, seed] = GetParam();
+  const Zq f = test::test_zq();
+  ChaChaRng rng(seed ^ 0x5555);
+  const Polynomial a = Polynomial::random(f, v, rng);
+  const Polynomial b = Polynomial::random(f, v, rng);
+  auto pts = distinct_points(f, v + 1, rng);
+  const Bigint xi = pts.back();
+  pts.pop_back();
+
+  const LeapVector la = leap_vector(f, xi, a.eval(xi), pts);
+  const LeapVector lb = leap_vector(f, xi, b.eval(xi), pts);
+  EXPECT_EQ(la.tail, lb.tail);
+  EXPECT_TRUE(la.satisfies(f, a.eval(Bigint(0)), a.eval_many(pts)));
+  EXPECT_TRUE(lb.satisfies(f, b.eval(Bigint(0)), b.eval_many(pts)));
+}
+
+// Proposition 1: appending the leap-vector constraint row to the Vandermonde
+// rows of z_1..z_v yields a full-rank (v+1) x (v+1) matrix.
+TEST_P(LeapVectorProperty, Proposition1FullRank) {
+  const auto [v, seed] = GetParam();
+  const Zq f = test::test_zq();
+  ChaChaRng rng(seed ^ 0xabcd);
+  auto pts = distinct_points(f, v + 1, rng);
+  const Bigint xi = pts.back();
+  pts.pop_back();
+  const LeapCoefficients lc = leap_coefficients(f, xi, pts);
+
+  // M: rows (1, z_l, ..., z_l^v) for each l, then the leap row
+  // (1 - sum alpha_l, -sum alpha_l z_l, ..., -sum alpha_l z_l^v).
+  Matrix m(f, v + 1, v + 1);
+  for (std::size_t r = 0; r < v; ++r) {
+    Bigint pw(1);
+    for (std::size_t c = 0; c <= v; ++c) {
+      m.at(r, c) = pw;
+      pw = f.mul(pw, pts[r]);
+    }
+  }
+  for (std::size_t c = 0; c <= v; ++c) {
+    Bigint s(0);
+    for (std::size_t l = 0; l < v; ++l) {
+      s = f.add(s, f.mul(lc.lambdas[l], f.pow(pts[l], Bigint((long)c))));
+    }
+    m.at(v, c) = c == 0 ? f.sub(Bigint(1), s) : f.neg(s);
+  }
+  EXPECT_EQ(rank(m), v + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LeapVectorProperty,
+    ::testing::Values(LeapCase{1, 1}, LeapCase{2, 2}, LeapCase{3, 3},
+                      LeapCase{4, 4}, LeapCase{6, 5}, LeapCase{8, 6},
+                      LeapCase{12, 7}, LeapCase{16, 8}, LeapCase{24, 9},
+                      LeapCase{32, 10}));
+
+TEST(LeapVector, RevokedPointThrows) {
+  const Zq f = test::test_zq();
+  std::vector<Bigint> zs = {Bigint(5), Bigint(7)};
+  EXPECT_THROW(leap_coefficients(f, Bigint(5), zs), ContractError);
+}
+
+TEST(LeapVector, SatisfiesRejectsWrongValues) {
+  const Zq f = test::test_zq();
+  ChaChaRng rng(99);
+  const Polynomial p = Polynomial::random(f, 3, rng);
+  std::vector<Bigint> zs = {Bigint(2), Bigint(3), Bigint(4)};
+  const LeapVector lv = leap_vector(f, Bigint(11), p.eval(Bigint(11)), zs);
+  // Corrupt P(0).
+  EXPECT_FALSE(lv.satisfies(f, f.add(p.eval(Bigint(0)), Bigint(1)),
+                            p.eval_many(zs)));
+}
+
+TEST(LeapVector, WrongSizeThrows) {
+  const Zq f = test::test_zq();
+  LeapVector lv;
+  lv.alpha0 = Bigint(1);
+  lv.tail = {Bigint(1), Bigint(2)};
+  const std::vector<Bigint> vals = {Bigint(1)};
+  EXPECT_THROW(lv.satisfies(f, Bigint(0), vals), ContractError);
+}
+
+// A convex combination of leap-vectors (same z's) is again a leap-vector —
+// the algebraic heart of pirate-key construction.
+TEST(LeapVector, ConvexCombinationStillSatisfies) {
+  const Zq f = test::test_zq();
+  ChaChaRng rng(123);
+  const std::size_t v = 6;
+  const Polynomial p = Polynomial::random(f, v, rng);
+  auto pts = distinct_points(f, v + 3, rng);
+  const Bigint x1 = pts[v], x2 = pts[v + 1], x3 = pts[v + 2];
+  pts.resize(v);
+
+  const LeapVector l1 = leap_vector(f, x1, p.eval(x1), pts);
+  const LeapVector l2 = leap_vector(f, x2, p.eval(x2), pts);
+  const LeapVector l3 = leap_vector(f, x3, p.eval(x3), pts);
+
+  const Bigint mu1 = rng.uniform_nonzero_below(f.modulus());
+  const Bigint mu2 = rng.uniform_nonzero_below(f.modulus());
+  const Bigint mu3 = f.sub(Bigint(1), f.add(mu1, mu2));
+
+  LeapVector combo;
+  combo.alpha0 = f.add(f.add(f.mul(mu1, l1.alpha0), f.mul(mu2, l2.alpha0)),
+                       f.mul(mu3, l3.alpha0));
+  combo.tail.resize(v);
+  for (std::size_t i = 0; i < v; ++i) {
+    combo.tail[i] =
+        f.add(f.add(f.mul(mu1, l1.tail[i]), f.mul(mu2, l2.tail[i])),
+              f.mul(mu3, l3.tail[i]));
+  }
+  EXPECT_TRUE(combo.satisfies(f, p.eval(Bigint(0)), p.eval_many(pts)));
+}
+
+}  // namespace
+}  // namespace dfky

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "linalg/gauss.h"
+#include "rng/chacha_rng.h"
+#include "test_util.h"
+
+namespace dfky {
+namespace {
+
+Zq f101() {
+  return Zq{Bigint(101)};
+}
+
+Matrix from_rows(const Zq& f, std::vector<std::vector<long>> rows) {
+  const std::size_t r = rows.size();
+  const std::size_t c = rows[0].size();
+  std::vector<Bigint> data;
+  for (const auto& row : rows) {
+    for (long v : row) data.push_back(Bigint(v));
+  }
+  return Matrix(f, r, c, std::move(data));
+}
+
+TEST(Matrix, IdentityMultiplication) {
+  const Zq f = f101();
+  const Matrix id = Matrix::identity(f, 3);
+  const Matrix m = from_rows(f, {{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+  EXPECT_EQ(id * m, m);
+  EXPECT_EQ(m * id, m);
+}
+
+TEST(Matrix, KnownProduct) {
+  const Zq f = f101();
+  const Matrix a = from_rows(f, {{1, 2}, {3, 4}});
+  const Matrix b = from_rows(f, {{5, 6}, {7, 8}});
+  EXPECT_EQ(a * b, from_rows(f, {{19, 22}, {43, 50}}));
+}
+
+TEST(Matrix, DimensionMismatchThrows) {
+  const Zq f = f101();
+  const Matrix a = from_rows(f, {{1, 2}});
+  const Matrix b = from_rows(f, {{1, 2}});
+  EXPECT_THROW(a * b, ContractError);
+}
+
+TEST(Matrix, Transpose) {
+  const Zq f = f101();
+  const Matrix a = from_rows(f, {{1, 2, 3}, {4, 5, 6}});
+  const Matrix at = a.transposed();
+  EXPECT_EQ(at.rows(), 3u);
+  EXPECT_EQ(at.cols(), 2u);
+  EXPECT_EQ(at.at(2, 1), Bigint(6));
+}
+
+TEST(Matrix, LeftAndRightMul) {
+  const Zq f = f101();
+  const Matrix a = from_rows(f, {{1, 2}, {3, 4}, {5, 6}});
+  const std::vector<Bigint> rowv = {Bigint(1), Bigint(1), Bigint(1)};
+  const auto lm = a.left_mul(rowv);
+  ASSERT_EQ(lm.size(), 2u);
+  EXPECT_EQ(lm[0], Bigint(9));
+  EXPECT_EQ(lm[1], Bigint(12));
+  const std::vector<Bigint> colv = {Bigint(1), Bigint(2)};
+  const auto rm = a.right_mul(colv);
+  ASSERT_EQ(rm.size(), 3u);
+  EXPECT_EQ(rm[0], Bigint(5));
+  EXPECT_EQ(rm[2], Bigint(17));
+}
+
+TEST(Matrix, VandermondeRank) {
+  const Zq f = test::test_zq();
+  const std::vector<Bigint> xs = {Bigint(2), Bigint(5), Bigint(9), Bigint(11)};
+  Matrix vm = Matrix::vandermonde(f, xs, 4);
+  EXPECT_EQ(rank(vm), 4u);
+  // Rectangular Vandermonde with distinct nodes still has full row rank.
+  Matrix wide = Matrix::vandermonde(f, xs, 7);
+  EXPECT_EQ(rank(wide), 4u);
+}
+
+TEST(Gauss, RankOfSingularMatrix) {
+  const Zq f = f101();
+  // Third row = first + second.
+  const Matrix m = from_rows(f, {{1, 2, 3}, {4, 5, 6}, {5, 7, 9}});
+  EXPECT_EQ(rank(m), 2u);
+}
+
+TEST(Gauss, SolveUniqueSystem) {
+  const Zq f = f101();
+  const Matrix m = from_rows(f, {{2, 1}, {1, 3}});
+  // Solve: 2x + y = 5; x + 3y = 10  =>  x = 1, y = 3.
+  const std::vector<Bigint> b = {Bigint(5), Bigint(10)};
+  const auto x = solve(m, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ((*x)[0], Bigint(1));
+  EXPECT_EQ((*x)[1], Bigint(3));
+}
+
+TEST(Gauss, SolveInconsistentReturnsNullopt) {
+  const Zq f = f101();
+  const Matrix m = from_rows(f, {{1, 1}, {2, 2}});
+  const std::vector<Bigint> b = {Bigint(1), Bigint(3)};
+  EXPECT_FALSE(solve(m, b).has_value());
+}
+
+TEST(Gauss, SolveUnderdeterminedReturnsSomeSolution) {
+  const Zq f = f101();
+  const Matrix m = from_rows(f, {{1, 2, 3}});
+  const std::vector<Bigint> b = {Bigint(7)};
+  const auto x = solve(m, b);
+  ASSERT_TRUE(x.has_value());
+  const auto check = m.right_mul(*x);
+  EXPECT_EQ(check[0], Bigint(7));
+}
+
+TEST(Gauss, SolveRandomSystemsRoundTrip) {
+  const Zq f = test::test_zq();
+  ChaChaRng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 6;
+    std::vector<Bigint> data;
+    for (std::size_t i = 0; i < n * n; ++i) {
+      data.push_back(rng.uniform_below(f.modulus()));
+    }
+    const Matrix m(f, n, n, std::move(data));
+    std::vector<Bigint> xs;
+    for (std::size_t i = 0; i < n; ++i) {
+      xs.push_back(rng.uniform_below(f.modulus()));
+    }
+    const auto b = m.right_mul(xs);
+    const auto sol = solve(m, b);
+    ASSERT_TRUE(sol.has_value());
+    EXPECT_EQ(m.right_mul(*sol), b);  // solution satisfies the system
+  }
+}
+
+TEST(Gauss, SolveLeft) {
+  const Zq f = f101();
+  const Matrix m = from_rows(f, {{1, 2}, {3, 4}});
+  // x * M = (7, 10)  =>  x = (1, 2).
+  const std::vector<Bigint> b = {Bigint(7), Bigint(10)};
+  const auto x = solve_left(m, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ(m.left_mul(*x), b);
+}
+
+TEST(Gauss, KernelVector) {
+  const Zq f = f101();
+  const Matrix m = from_rows(f, {{1, 2, 3}, {2, 4, 6}});
+  const auto k = kernel_vector(m);
+  ASSERT_TRUE(k.has_value());
+  bool nonzero = false;
+  for (const Bigint& v : *k) {
+    if (!v.is_zero()) nonzero = true;
+  }
+  EXPECT_TRUE(nonzero);
+  for (const Bigint& v : m.right_mul(*k)) EXPECT_TRUE(v.is_zero());
+}
+
+TEST(Gauss, KernelOfFullRankIsTrivial) {
+  const Zq f = f101();
+  EXPECT_FALSE(kernel_vector(Matrix::identity(f, 4)).has_value());
+}
+
+TEST(Matrix, OutOfRangeThrows) {
+  const Zq f = f101();
+  Matrix m(f, 2, 2);
+  EXPECT_THROW(m.at(2, 0), ContractError);
+  EXPECT_THROW(m.at(0, 2), ContractError);
+}
+
+}  // namespace
+}  // namespace dfky

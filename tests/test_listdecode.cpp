@@ -1,0 +1,331 @@
+// Sudan list decoding and its building blocks (polynomial roots, bivariate
+// polynomials), plus tracing beyond the collusion bound.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "codes/sudan.h"
+#include "poly/roots.h"
+#include "rng/chacha_rng.h"
+#include "test_util.h"
+#include "tracing/list_tracing.h"
+#include "tracing/pirate.h"
+
+namespace dfky {
+namespace {
+
+// ---- polynomial roots ------------------------------------------------------
+
+TEST(PolyRoots, LinearAndConstant) {
+  const Zq f = test::test_zq();
+  ChaChaRng rng(1);
+  // 3y + 6 = 0  =>  y = -2.
+  const Polynomial p(f, {Bigint(6), Bigint(3)});
+  const auto roots = polynomial_roots(p, rng);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0], f.neg(Bigint(2)));
+  EXPECT_TRUE(polynomial_roots(Polynomial::constant(f, Bigint(5)), rng).empty());
+  EXPECT_TRUE(polynomial_roots(Polynomial::zero(f), rng).empty());
+}
+
+TEST(PolyRoots, ProductOfKnownLinearFactors) {
+  const Zq f = test::test_zq();
+  ChaChaRng rng(2);
+  const std::vector<long> want = {3, 17, 99, 12345};
+  Polynomial p = Polynomial::constant(f, Bigint(1));
+  for (long r : want) {
+    p = p * Polynomial(f, {f.neg(Bigint(r)), Bigint(1)});
+  }
+  auto roots = polynomial_roots(p, rng);
+  std::sort(roots.begin(), roots.end());
+  ASSERT_EQ(roots.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(roots[i], Bigint(want[i]));
+  }
+}
+
+TEST(PolyRoots, RootAtZero) {
+  const Zq f = test::test_zq();
+  ChaChaRng rng(3);
+  // y * (y - 7)
+  const Polynomial p =
+      Polynomial(f, {Bigint(0), Bigint(1)}) * Polynomial(f, {f.neg(Bigint(7)), Bigint(1)});
+  auto roots = polynomial_roots(p, rng);
+  std::sort(roots.begin(), roots.end());
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_EQ(roots[0], Bigint(0));
+  EXPECT_EQ(roots[1], Bigint(7));
+}
+
+TEST(PolyRoots, IrreducibleHasNoRoots) {
+  const Zq f = test::test_zq();
+  ChaChaRng rng(4);
+  // y^2 - s for a non-residue s: no roots. Find a non-residue.
+  Bigint s(2);
+  while (s.jacobi(f.modulus()) != -1) s += Bigint(1);
+  const Polynomial p(f, {f.neg(s), Bigint(0), Bigint(1)});
+  EXPECT_TRUE(polynomial_roots(p, rng).empty());
+}
+
+TEST(PolyRoots, MixedFactors) {
+  const Zq f = test::test_zq();
+  ChaChaRng rng(5);
+  // (y - 5)(y^2 - s) with s a non-residue: exactly one root.
+  Bigint s(2);
+  while (s.jacobi(f.modulus()) != -1) s += Bigint(1);
+  const Polynomial p = Polynomial(f, {f.neg(Bigint(5)), Bigint(1)}) *
+                       Polynomial(f, {f.neg(s), Bigint(0), Bigint(1)});
+  const auto roots = polynomial_roots(p, rng);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0], Bigint(5));
+}
+
+TEST(PolyRoots, RepeatedRootReportedOnce) {
+  const Zq f = test::test_zq();
+  ChaChaRng rng(6);
+  const Polynomial lin(f, {f.neg(Bigint(9)), Bigint(1)});
+  const auto roots = polynomial_roots(lin * lin * lin, rng);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0], Bigint(9));
+}
+
+TEST(PolyGcd, KnownGcd) {
+  const Zq f = test::test_zq();
+  const Polynomial a(f, {f.neg(Bigint(1)), Bigint(0), Bigint(1)});  // y^2-1
+  const Polynomial b(f, {Bigint(1), Bigint(1)});                    // y+1
+  EXPECT_EQ(poly_gcd(a, b), b);
+  EXPECT_EQ(poly_gcd(b, Polynomial::zero(f)), b);
+}
+
+TEST(PolyPowmod, MatchesRepeatedMultiplication) {
+  const Zq f = test::test_zq();
+  ChaChaRng rng(7);
+  const Polynomial base = Polynomial::random(f, 3, rng);
+  const Polynomial mod = Polynomial::random(f, 4, rng);
+  Polynomial expect = Polynomial::constant(f, Bigint(1));
+  for (int i = 0; i < 9; ++i) expect = (expect * base).divmod(mod).second;
+  EXPECT_EQ(poly_powmod(base, Bigint(9), mod), expect);
+}
+
+// ---- bivariate polynomials ---------------------------------------------------
+
+TEST(BiPoly, EvalAndAtXZero) {
+  const Zq f = test::test_zq();
+  // Q(x,y) = (1 + 2x) + (3 + x) y + 5 y^2
+  const BiPoly q(f, {Polynomial(f, {Bigint(1), Bigint(2)}),
+                     Polynomial(f, {Bigint(3), Bigint(1)}),
+                     Polynomial(f, {Bigint(5)})});
+  // Q(2, 3) = 5 + 5*3 + 5*9 = 65.
+  EXPECT_EQ(q.eval(Bigint(2), Bigint(3)), Bigint(65));
+  const Polynomial r = q.at_x_zero();
+  EXPECT_EQ(r.coeff(0), Bigint(1));
+  EXPECT_EQ(r.coeff(1), Bigint(3));
+  EXPECT_EQ(r.coeff(2), Bigint(5));
+}
+
+TEST(BiPoly, ShiftSubstituteIdentity) {
+  // Q(x, x*y + gamma) evaluated at (x0, y0) equals Q(x0, x0*y0 + gamma).
+  const Zq f = test::test_zq();
+  ChaChaRng rng(8);
+  std::vector<Polynomial> coeffs;
+  for (int j = 0; j < 4; ++j) coeffs.push_back(Polynomial::random(f, 3, rng));
+  const BiPoly q(f, coeffs);
+  const Bigint gamma = rng.uniform_below(f.modulus());
+  const BiPoly shifted = q.shift_substitute(gamma);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Bigint x0 = rng.uniform_below(f.modulus());
+    const Bigint y0 = rng.uniform_below(f.modulus());
+    EXPECT_EQ(shifted.eval(x0, y0),
+              q.eval(x0, f.add(f.mul(x0, y0), gamma)));
+  }
+}
+
+TEST(BiPoly, StripX) {
+  const Zq f = test::test_zq();
+  // Q = x^2 (1 + y): strip gives (1 + y).
+  const BiPoly q(f, {Polynomial(f, {Bigint(0), Bigint(0), Bigint(1)}),
+                     Polynomial(f, {Bigint(0), Bigint(0), Bigint(1)})});
+  const BiPoly s = q.strip_x();
+  EXPECT_EQ(s.y_coeff(0), Polynomial::constant(f, Bigint(1)));
+  EXPECT_EQ(s.y_coeff(1), Polynomial::constant(f, Bigint(1)));
+}
+
+TEST(BiPoly, EvalPoly) {
+  const Zq f = test::test_zq();
+  ChaChaRng rng(9);
+  // If Q = (y - f(x)) * (y - g(x)) then Q(x, f(x)) == 0.
+  const Polynomial fx = Polynomial::random(f, 2, rng);
+  const Polynomial gx = Polynomial::random(f, 2, rng);
+  const BiPoly q(f, {fx * gx, (fx + gx).scaled(f.neg(Bigint(1))),
+                     Polynomial::constant(f, Bigint(1))});
+  EXPECT_TRUE(q.eval_poly(fx).is_zero());
+  EXPECT_TRUE(q.eval_poly(gx).is_zero());
+  EXPECT_FALSE(q.eval_poly(fx + Polynomial::constant(f, Bigint(1))).is_zero());
+}
+
+TEST(YRoots, FactorsOfExplicitProduct) {
+  const Zq f = test::test_zq();
+  ChaChaRng rng(10);
+  const Polynomial fx = Polynomial::random(f, 2, rng);
+  const Polynomial gx = Polynomial::random(f, 2, rng);
+  const BiPoly q(f, {fx * gx, (fx + gx).scaled(f.neg(Bigint(1))),
+                     Polynomial::constant(f, Bigint(1))});
+  const auto roots = y_roots(q, 3, rng);
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_TRUE((roots[0] == fx && roots[1] == gx) ||
+              (roots[0] == gx && roots[1] == fx));
+}
+
+// ---- Sudan list decoding -------------------------------------------------------
+
+std::vector<Bigint> distinct_nonzero(const Zq& f, std::size_t count,
+                                     ChaChaRng& rng) {
+  std::vector<Bigint> out;
+  while (out.size() < count) {
+    Bigint x = rng.uniform_nonzero_below(f.modulus());
+    bool dup = false;
+    for (const Bigint& y : out) {
+      if (x == y) dup = true;
+    }
+    if (!dup) out.push_back(std::move(x));
+  }
+  return out;
+}
+
+TEST(Sudan, FeasibilityBounds) {
+  // n = 64, k = 8: monomial count for D = t-1 must exceed n.
+  EXPECT_TRUE(sudan_feasible(64, 8, 34));
+  EXPECT_TRUE(sudan_feasible(64, 8, 29));   // e = 35 still feasible
+  EXPECT_FALSE(sudan_feasible(64, 8, 24));  // e = 40 infeasible
+  EXPECT_FALSE(sudan_feasible(64, 8, 0));
+  EXPECT_FALSE(sudan_feasible(64, 8, 65));
+}
+
+TEST(Sudan, DecodesBeyondHalfDistance) {
+  // n = 64, k = 8: unique decoding corrects (64-8)/2 = 28 errors; Sudan
+  // handles 32 here.
+  const Zq f = test::test_zq();
+  ChaChaRng rng(11);
+  const std::size_t n = 64, k = 8, e = 32;
+  const auto xs = distinct_nonzero(f, n, rng);
+  const Polynomial p = Polynomial::random(f, k - 1, rng);
+  auto ys = p.eval_many(xs);
+  for (std::size_t i = 0; i < e; ++i) ys[i] = rng.uniform_below(f.modulus());
+  const auto list = sudan_list_decode(f, xs, ys, k, n - e, rng);
+  bool found = false;
+  for (const Polynomial& cand : list) {
+    if (cand == p) found = true;
+  }
+  EXPECT_TRUE(found) << "list size " << list.size();
+}
+
+TEST(Sudan, NoErrorsReturnsThePolynomial) {
+  const Zq f = test::test_zq();
+  ChaChaRng rng(12);
+  const std::size_t n = 20, k = 4;
+  const auto xs = distinct_nonzero(f, n, rng);
+  const Polynomial p = Polynomial::random(f, k - 1, rng);
+  const auto ys = p.eval_many(xs);
+  const auto list = sudan_list_decode(f, xs, ys, k, n, rng);
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0], p);
+}
+
+TEST(Sudan, InfeasibleParametersThrow) {
+  const Zq f = test::test_zq();
+  ChaChaRng rng(13);
+  const auto xs = distinct_nonzero(f, 10, rng);
+  const auto ys = distinct_nonzero(f, 10, rng);
+  EXPECT_THROW(sudan_list_decode(f, xs, ys, 8, 3, rng), ContractError);
+}
+
+// ---- tracing beyond the bound ---------------------------------------------------
+
+TEST(ListTracing, CoalitionBeyondUniqueBoundIsFound) {
+  // v = 20 => m = 10 unique-traceable; trace a 12-coalition among n = 24.
+  // (Multiplicity-1 Sudan needs low rate k/n; here k = n - v = 4.)
+  ChaChaRng rng(14);
+  const SystemParams sp = test::test_params(20, 15);
+  SecurityManager mgr(sp, rng);
+  std::vector<SecurityManager::AddedUser> users;
+  for (int i = 0; i < 24; ++i) users.push_back(mgr.add_user(rng));
+
+  std::vector<UserKey> keys;
+  std::vector<std::uint64_t> expect;
+  for (int i = 0; i < 12; ++i) {
+    keys.push_back(users[i].key);
+    expect.push_back(users[i].id);
+  }
+  const Representation delta =
+      build_pirate_representation(sp, mgr.public_key(), keys, rng);
+
+  // Unique decoding must fail at coalition 10 > m = 8...
+  EXPECT_THROW(trace_nonblackbox(sp, mgr.public_key(), delta, mgr.users()),
+               MathError);
+
+  // ...but list tracing finds it.
+  const auto coalitions = trace_beyond_bound(
+      sp, mgr.public_key(), delta, mgr.users(), /*max_coalition=*/12, rng,
+      &mgr.master_secret());
+  ASSERT_GE(coalitions.size(), 1u);
+  bool found = false;
+  for (const auto& cc : coalitions) {
+    auto ids = cc.ids();
+    std::sort(ids.begin(), ids.end());
+    if (ids == expect) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ListTracing, AgreesWithUniqueTracingInsideBound) {
+  ChaChaRng rng(16);
+  const SystemParams sp = test::test_params(8, 17);
+  SecurityManager mgr(sp, rng);
+  std::vector<SecurityManager::AddedUser> users;
+  for (int i = 0; i < 20; ++i) users.push_back(mgr.add_user(rng));
+  std::vector<UserKey> keys = {users[3].key, users[5].key, users[9].key};
+  const Representation delta =
+      build_pirate_representation(sp, mgr.public_key(), keys, rng);
+
+  const auto unique =
+      trace_nonblackbox(sp, mgr.public_key(), delta, mgr.users());
+  const auto coalitions = trace_beyond_bound(sp, mgr.public_key(), delta,
+                                             mgr.users(), 4, rng,
+                                             &mgr.master_secret());
+  ASSERT_GE(coalitions.size(), 1u);
+  auto uids = unique.ids();
+  std::sort(uids.begin(), uids.end());
+  bool found = false;
+  for (const auto& cc : coalitions) {
+    auto ids = cc.ids();
+    std::sort(ids.begin(), ids.end());
+    if (ids == uids) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ListTracing, MaxListTraceableExceedsUniqueBound) {
+  // For n = 24, v = 20: unique bound m = 10; list tracing reaches 13.
+  EXPECT_GT(max_list_traceable(24, 20), 10u);
+  // At rate 1/3 (n = 24, v = 16) multiplicity-1 Sudan matches but cannot
+  // beat the unique bound m = 8.
+  EXPECT_EQ(max_list_traceable(24, 16), 8u);
+  EXPECT_EQ(max_list_traceable(10, 12), 0u);  // needs n > v
+}
+
+TEST(ListTracing, InvalidRepresentationRejected) {
+  ChaChaRng rng(18);
+  const SystemParams sp = test::test_params(4, 19);
+  SecurityManager mgr(sp, rng);
+  for (int i = 0; i < 8; ++i) mgr.add_user(rng);
+  Representation delta;
+  delta.gamma_a = Bigint(1);
+  delta.gamma_b = Bigint(1);
+  delta.tail.assign(4, Bigint(1));
+  EXPECT_THROW(trace_beyond_bound(sp, mgr.public_key(), delta, mgr.users(), 2,
+                                  rng, nullptr),
+               MathError);
+}
+
+}  // namespace
+}  // namespace dfky

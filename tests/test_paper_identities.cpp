@@ -1,0 +1,134 @@
+// Direct verification of the algebraic identities the paper's tracing
+// section rests on (Sect. 6.3.2 and Lemma 7):
+//
+//   * A . B = H, where A holds the users' leap-vector tails, B is the slot
+//     Vandermonde (columns z^1..z^v) and H_{j,k} = -lambda0^{(j)} x_j^k;
+//   * the code C = { c : c . H = 0 } equals the GRS code C' of Lemma 7 with
+//     multipliers -lambda_j / lambda0^{(j)} and dimension n - v;
+//   * C has distance v + 1 (via its MDS parameters);
+//   * a pirate tail delta' = phi . A yields delta'' = phi . H (Eq. 35/36).
+#include <gtest/gtest.h>
+
+#include "codes/grs.h"
+#include "linalg/gauss.h"
+#include "poly/leap_vector.h"
+#include "rng/chacha_rng.h"
+#include "test_util.h"
+#include "tracing/nonblackbox.h"
+
+namespace dfky {
+namespace {
+
+struct World {
+  Zq f = test::test_zq();
+  std::vector<Bigint> zs;      // slot identities z_1..z_v
+  std::vector<Bigint> xs;      // user values x_1..x_n
+  std::vector<Bigint> lambda0;  // lambda0^{(j)} per user
+  Matrix a, b, h;
+
+  World(std::size_t v, std::size_t n, std::uint64_t seed)
+      : a(f, n, v), b(f, v, v), h(f, n, v) {
+    ChaChaRng rng(seed);
+    for (std::size_t l = 0; l < v; ++l) {
+      zs.push_back(Bigint(static_cast<long>(l + 1)));
+    }
+    while (xs.size() < n) {
+      Bigint x = rng.uniform_nonzero_below(f.modulus());
+      if (x <= Bigint(static_cast<long>(v))) continue;
+      bool dup = false;
+      for (const Bigint& y : xs) {
+        if (x == y) dup = true;
+      }
+      if (!dup) xs.push_back(std::move(x));
+    }
+    // A: row j = lambda tail of user j; also collect lambda0.
+    for (std::size_t j = 0; j < n; ++j) {
+      const LeapCoefficients lc = leap_coefficients(f, xs[j], zs);
+      lambda0.push_back(lc.lambda0);
+      for (std::size_t l = 0; l < v; ++l) a.at(j, l) = lc.lambdas[l];
+    }
+    // B: columns z^1..z^v.
+    for (std::size_t l = 0; l < v; ++l) {
+      Bigint pw = zs[l];
+      for (std::size_t k = 0; k < v; ++k) {
+        b.at(l, k) = pw;
+        pw = f.mul(pw, zs[l]);
+      }
+    }
+    // H: -lambda0^{(j)} x_j^k.
+    for (std::size_t j = 0; j < n; ++j) {
+      Bigint pw = xs[j];
+      for (std::size_t k = 0; k < v; ++k) {
+        h.at(j, k) = f.neg(f.mul(lambda0[j], pw));
+        pw = f.mul(pw, xs[j]);
+      }
+    }
+  }
+};
+
+struct IdCase {
+  std::size_t v, n;
+  std::uint64_t seed;
+};
+
+class PaperIdentities : public ::testing::TestWithParam<IdCase> {};
+
+TEST_P(PaperIdentities, AB_equals_H) {
+  const auto [v, n, seed] = GetParam();
+  World w(v, n, seed);
+  EXPECT_EQ(w.a * w.b, w.h);
+}
+
+TEST_P(PaperIdentities, GrsCodewordsLieInKernelOfH) {
+  // Lemma 7, direction C' subseteq C: every GRS codeword c satisfies
+  // c . H = 0.
+  const auto [v, n, seed] = GetParam();
+  if (n <= v) GTEST_SKIP();
+  World w(v, n, seed);
+  ChaChaRng rng(seed ^ 0xfeed);
+  const std::vector<Bigint> lambda_full =
+      lagrange_coefficients_at_zero(w.f, w.xs);
+  std::vector<Bigint> ws(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    ws[j] = w.f.neg(w.f.div(lambda_full[j], w.lambda0[j]));
+  }
+  const GrsCode code(w.f, w.xs, ws, n - v);
+  EXPECT_EQ(code.distance(), v + 1);  // Lemma 7(2)
+  const Polynomial msg = Polynomial::random(w.f, n - v - 1, rng);
+  const auto word = code.encode(msg);
+  const auto syndrome = w.h.transposed().right_mul(word);
+  for (const Bigint& s : syndrome) EXPECT_TRUE(s.is_zero());
+}
+
+TEST_P(PaperIdentities, KernelOfHHasGrsDimension) {
+  // Lemma 7, dimension argument: rank(H) = v so dim C = n - v = dim C'.
+  const auto [v, n, seed] = GetParam();
+  if (n <= v) GTEST_SKIP();
+  World w(v, n, seed);
+  EXPECT_EQ(rank(w.h), v);
+}
+
+TEST_P(PaperIdentities, PirateTailSyndromeChain) {
+  // Eq. (35)/(36): delta' = phi . A  ==>  delta'' = delta' . B = phi . H.
+  const auto [v, n, seed] = GetParam();
+  World w(v, n, seed);
+  ChaChaRng rng(seed ^ 0xbeef);
+  std::vector<Bigint> phi(n, Bigint(0));
+  // A sparse phi of weight min(3, n).
+  for (std::size_t j = 0; j < std::min<std::size_t>(3, n); ++j) {
+    phi[(j * 7) % n] = rng.uniform_nonzero_below(w.f.modulus());
+  }
+  const auto delta_tail = w.a.left_mul(phi);
+  const auto via_b = tracing_syndromes(w.f, w.zs, delta_tail);
+  const auto via_h = w.h.left_mul(phi);
+  EXPECT_EQ(via_b, via_h);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PaperIdentities,
+                         ::testing::Values(IdCase{2, 5, 1}, IdCase{3, 8, 2},
+                                           IdCase{4, 10, 3}, IdCase{6, 9, 4},
+                                           IdCase{8, 20, 5},
+                                           IdCase{12, 16, 6}));
+
+}  // namespace
+}  // namespace dfky

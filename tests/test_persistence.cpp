@@ -1,0 +1,128 @@
+// Manager state persistence: a restored manager is operationally identical
+// to the original (keys verify, revocations continue, periods roll, tracing
+// works) and malformed state is rejected.
+#include <gtest/gtest.h>
+
+#include "core/manager.h"
+#include "core/receiver.h"
+#include "rng/chacha_rng.h"
+#include "test_util.h"
+#include "tracing/nonblackbox.h"
+#include "tracing/pirate.h"
+
+namespace dfky {
+namespace {
+
+TEST(Persistence, RoundTripPreservesPublicState) {
+  ChaChaRng rng(12001);
+  SecurityManager mgr(test::test_params(4), rng);
+  const auto u = mgr.add_user(rng);
+  mgr.remove_user(mgr.add_user(rng).id, rng);
+
+  const Bytes state = mgr.save_state();
+  SecurityManager restored = SecurityManager::restore_state(state);
+
+  EXPECT_EQ(restored.period(), mgr.period());
+  EXPECT_EQ(restored.saturation_level(), mgr.saturation_level());
+  EXPECT_EQ(restored.saturation_limit(), mgr.saturation_limit());
+  EXPECT_EQ(restored.users().size(), mgr.users().size());
+  EXPECT_TRUE(restored.public_key().y == mgr.public_key().y);
+  EXPECT_TRUE(restored.verification_key() == mgr.verification_key());
+  // Old user keys still decrypt broadcasts under the restored manager.
+  const Gelt m = restored.params().group.random_element(rng);
+  const Ciphertext ct =
+      encrypt(restored.params(), restored.public_key(), m, rng);
+  EXPECT_EQ(decrypt(restored.params(), u.key, ct), m);
+}
+
+TEST(Persistence, RestoredManagerContinuesOperating) {
+  ChaChaRng rng(12002);
+  SecurityManager mgr(test::test_params(2), rng);
+  const auto survivor = mgr.add_user(rng);
+  Receiver receiver(mgr.params(), survivor.key, mgr.verification_key());
+
+  SecurityManager restored = SecurityManager::restore_state(mgr.save_state());
+  // New users, revocations and a period change on the restored instance.
+  for (int i = 0; i < 3; ++i) {
+    const auto victim = restored.add_user(rng);
+    const auto bundle = restored.remove_user(victim.id, rng);
+    if (bundle) receiver.apply_reset(*bundle);
+  }
+  EXPECT_GE(restored.period(), 1u);
+  const Gelt m = restored.params().group.random_element(rng);
+  const Ciphertext ct =
+      encrypt(restored.params(), restored.public_key(), m, rng);
+  EXPECT_EQ(receiver.decrypt(ct), m);
+}
+
+TEST(Persistence, RestoredManagerTraces) {
+  ChaChaRng rng(12003);
+  SecurityManager mgr(test::test_params(4), rng);
+  std::vector<SecurityManager::AddedUser> users;
+  for (int i = 0; i < 8; ++i) users.push_back(mgr.add_user(rng));
+
+  SecurityManager restored = SecurityManager::restore_state(mgr.save_state());
+  std::vector<UserKey> keys = {users[2].key, users[6].key};
+  const Representation delta = build_pirate_representation(
+      restored.params(), restored.public_key(), keys, rng);
+  const TraceResult result = trace_nonblackbox(
+      restored.params(), restored.public_key(), delta, restored.users());
+  ASSERT_EQ(result.traitors.size(), 2u);
+}
+
+TEST(Persistence, UserUniquenessSurvivesRestore) {
+  ChaChaRng rng(12004);
+  SecurityManager mgr(test::test_params(3), rng);
+  const auto u = mgr.add_user(rng);
+  SecurityManager restored = SecurityManager::restore_state(mgr.save_state());
+  EXPECT_THROW(restored.add_user_with_value(u.key.x), ContractError);
+}
+
+TEST(Persistence, RejectsCorruptedState) {
+  ChaChaRng rng(12005);
+  SecurityManager mgr(test::test_params(3), rng);
+  mgr.add_user(rng);
+  Bytes state = mgr.save_state();
+
+  // Bad magic.
+  Bytes bad = state;
+  bad[0] ^= 0xff;
+  EXPECT_THROW(SecurityManager::restore_state(bad), DecodeError);
+
+  // Truncation at various points must throw, never crash.
+  for (std::size_t cut : {std::size_t{5}, std::size_t{20}, std::size_t{60},
+                          state.size() - 1}) {
+    EXPECT_THROW(
+        SecurityManager::restore_state(BytesView(state.data(), cut)), Error)
+        << "cut at " << cut;
+  }
+
+  // Trailing garbage.
+  Bytes extended = state;
+  extended.push_back(0);
+  EXPECT_THROW(SecurityManager::restore_state(extended), DecodeError);
+}
+
+TEST(Persistence, RejectsTamperedSignKey) {
+  ChaChaRng rng(12006);
+  SecurityManager mgr(test::test_params(2), rng);
+  Bytes state = mgr.save_state();
+  // Flipping a bit mid-state corrupts some field; restore must either throw
+  // or produce a manager that fails consistency — we only require no crash
+  // and (almost always) a DecodeError. Flip several positions.
+  std::size_t threw = 0;
+  for (std::size_t pos = 8; pos < state.size(); pos += 37) {
+    Bytes bad = state;
+    bad[pos] ^= 0x01;
+    try {
+      SecurityManager restored = SecurityManager::restore_state(bad);
+      (void)restored;
+    } catch (const Error&) {
+      ++threw;
+    }
+  }
+  EXPECT_GT(threw, 0u);
+}
+
+}  // namespace
+}  // namespace dfky

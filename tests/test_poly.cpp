@@ -1,0 +1,193 @@
+#include "poly/polynomial.h"
+
+#include <gtest/gtest.h>
+
+#include "poly/lagrange.h"
+#include "rng/chacha_rng.h"
+#include "test_util.h"
+
+namespace dfky {
+namespace {
+
+Zq small_field() {
+  return Zq{Bigint(101)};
+}
+
+TEST(Polynomial, ZeroProperties) {
+  const Zq f = small_field();
+  const Polynomial z = Polynomial::zero(f);
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.degree(), -1);
+  EXPECT_EQ(z.eval(Bigint(5)), Bigint(0));
+}
+
+TEST(Polynomial, TrimsTrailingZeros) {
+  const Zq f = small_field();
+  const Polynomial p(f, {Bigint(1), Bigint(2), Bigint(0), Bigint(0)});
+  EXPECT_EQ(p.degree(), 1);
+}
+
+TEST(Polynomial, CoefficientsReducedIntoField) {
+  const Zq f = small_field();
+  const Polynomial p(f, {Bigint(102), Bigint(-1)});
+  EXPECT_EQ(p.coeff(0), Bigint(1));
+  EXPECT_EQ(p.coeff(1), Bigint(100));
+}
+
+TEST(Polynomial, HornerEvaluation) {
+  const Zq f = small_field();
+  // p(x) = 3 + 2x + x^2; p(5) = 3 + 10 + 25 = 38.
+  const Polynomial p(f, {Bigint(3), Bigint(2), Bigint(1)});
+  EXPECT_EQ(p.eval(Bigint(5)), Bigint(38));
+  EXPECT_EQ(p.eval(Bigint(0)), Bigint(3));
+}
+
+TEST(Polynomial, AddSub) {
+  const Zq f = small_field();
+  const Polynomial p(f, {Bigint(1), Bigint(2)});
+  const Polynomial q(f, {Bigint(3), Bigint(99), Bigint(7)});
+  const Polynomial s = p + q;
+  EXPECT_EQ(s.coeff(0), Bigint(4));
+  EXPECT_EQ(s.coeff(1), Bigint(0));  // 2 + 99 = 101 = 0
+  EXPECT_EQ(s.coeff(2), Bigint(7));
+  EXPECT_EQ(s - q, p);
+}
+
+TEST(Polynomial, AdditionCancellationTrims) {
+  const Zq f = small_field();
+  const Polynomial p(f, {Bigint(1), Bigint(5)});
+  const Polynomial q(f, {Bigint(1), Bigint(96)});
+  EXPECT_EQ((p + q).degree(), 0);
+}
+
+TEST(Polynomial, Multiplication) {
+  const Zq f = small_field();
+  // (1 + x)(1 - x) = 1 - x^2.
+  const Polynomial p(f, {Bigint(1), Bigint(1)});
+  const Polynomial q(f, {Bigint(1), Bigint(100)});
+  const Polynomial r = p * q;
+  EXPECT_EQ(r.coeff(0), Bigint(1));
+  EXPECT_EQ(r.coeff(1), Bigint(0));
+  EXPECT_EQ(r.coeff(2), Bigint(100));
+}
+
+TEST(Polynomial, MultiplyByZero) {
+  const Zq f = small_field();
+  const Polynomial p(f, {Bigint(1), Bigint(1)});
+  EXPECT_TRUE((p * Polynomial::zero(f)).is_zero());
+}
+
+TEST(Polynomial, DivmodRoundTrip) {
+  const Zq f = small_field();
+  ChaChaRng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Polynomial a = Polynomial::random(f, 7, rng);
+    Polynomial b = Polynomial::random(f, 3, rng);
+    if (b.is_zero()) continue;
+    const auto [q, r] = a.divmod(b);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r.degree(), b.degree());
+  }
+}
+
+TEST(Polynomial, DivideByZeroThrows) {
+  const Zq f = small_field();
+  const Polynomial p(f, {Bigint(1)});
+  EXPECT_THROW(p.divmod(Polynomial::zero(f)), MathError);
+}
+
+TEST(Polynomial, ExactDivision) {
+  const Zq f = small_field();
+  ChaChaRng rng(4);
+  const Polynomial a = Polynomial::random(f, 5, rng);
+  const Polynomial b = Polynomial::random(f, 3, rng);
+  EXPECT_EQ((a * b).divided_exactly_by(b), a);
+  // Inexact division throws.
+  const Polynomial c = a * b + Polynomial::constant(f, Bigint(1));
+  EXPECT_THROW(c.divided_exactly_by(b), MathError);
+}
+
+TEST(Polynomial, FieldMismatchThrows) {
+  const Zq f1{Bigint(101)};
+  const Zq f2{Bigint(103)};
+  const Polynomial p(f1, {Bigint(1)});
+  const Polynomial q(f2, {Bigint(1)});
+  EXPECT_THROW(p + q, ContractError);
+  EXPECT_THROW(p * q, ContractError);
+}
+
+TEST(Lagrange, InterpolateRecoversPolynomial) {
+  const Zq f = test::test_zq();
+  ChaChaRng rng(5);
+  for (std::size_t deg : {0u, 1u, 3u, 8u}) {
+    const Polynomial p = Polynomial::random(f, deg, rng);
+    std::vector<std::pair<Bigint, Bigint>> pts;
+    for (std::size_t i = 0; i <= deg; ++i) {
+      const Bigint x(static_cast<long>(i + 1));
+      pts.emplace_back(x, p.eval(x));
+    }
+    EXPECT_EQ(interpolate(f, pts), p) << "degree " << deg;
+  }
+}
+
+TEST(Lagrange, InterpolateRejectsDuplicates) {
+  const Zq f = small_field();
+  std::vector<std::pair<Bigint, Bigint>> pts = {{Bigint(1), Bigint(2)},
+                                                {Bigint(1), Bigint(3)}};
+  EXPECT_THROW(interpolate(f, pts), ContractError);
+}
+
+TEST(Lagrange, CoefficientsReconstructEvaluation) {
+  const Zq f = test::test_zq();
+  ChaChaRng rng(6);
+  const std::size_t n = 9;
+  std::vector<Bigint> xs;
+  for (std::size_t i = 0; i < n; ++i) xs.push_back(Bigint(static_cast<long>(3 * i + 2)));
+  const Bigint at = Bigint(77);
+  const auto coeffs = lagrange_coefficients_at(f, xs, at);
+  const Polynomial p = Polynomial::random(f, n - 1, rng);
+  Bigint acc(0);
+  for (std::size_t i = 0; i < n; ++i) {
+    acc = f.add(acc, f.mul(coeffs[i], p.eval(xs[i])));
+  }
+  EXPECT_EQ(acc, p.eval(at));
+}
+
+TEST(Lagrange, CoefficientsAtZeroSumToOneForConstants) {
+  // For the constant polynomial 1, sum of Lagrange-at-zero coefficients = 1.
+  const Zq f = test::test_zq();
+  std::vector<Bigint> xs = {Bigint(5), Bigint(9), Bigint(13), Bigint(21)};
+  const auto coeffs = lagrange_coefficients_at_zero(f, xs);
+  Bigint acc(0);
+  for (const Bigint& c : coeffs) acc = f.add(acc, c);
+  EXPECT_EQ(acc, Bigint(1));
+}
+
+TEST(Lagrange, DuplicatePointsThrow) {
+  const Zq f = small_field();
+  std::vector<Bigint> xs = {Bigint(1), Bigint(102)};  // 102 = 1 mod 101
+  EXPECT_THROW(lagrange_coefficients_at_zero(f, xs), ContractError);
+}
+
+TEST(Polynomial, RandomHasExpectedDegreeBound) {
+  const Zq f = test::test_zq();
+  ChaChaRng rng(8);
+  for (int i = 0; i < 10; ++i) {
+    const Polynomial p = Polynomial::random(f, 6, rng);
+    EXPECT_LE(p.degree(), 6);
+  }
+}
+
+TEST(Polynomial, EvalMany) {
+  const Zq f = small_field();
+  const Polynomial p(f, {Bigint(1), Bigint(1)});
+  const std::vector<Bigint> xs = {Bigint(0), Bigint(1), Bigint(2)};
+  const auto ys = p.eval_many(xs);
+  ASSERT_EQ(ys.size(), 3u);
+  EXPECT_EQ(ys[0], Bigint(1));
+  EXPECT_EQ(ys[1], Bigint(2));
+  EXPECT_EQ(ys[2], Bigint(3));
+}
+
+}  // namespace
+}  // namespace dfky

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "rng/chacha_rng.h"
+#include "rng/system_rng.h"
+
+namespace dfky {
+namespace {
+
+TEST(ChaChaRng, DeterministicFromSeed) {
+  ChaChaRng a(1234);
+  ChaChaRng b(1234);
+  EXPECT_EQ(a.bytes(64), b.bytes(64));
+  EXPECT_EQ(a.u64(), b.u64());
+}
+
+TEST(ChaChaRng, DifferentSeedsDiffer) {
+  ChaChaRng a(1);
+  ChaChaRng b(2);
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(ChaChaRng, ForkProducesIndependentStream) {
+  ChaChaRng a(7);
+  ChaChaRng child = a.fork();
+  // The child diverges from the parent's continuation.
+  EXPECT_NE(child.bytes(32), a.bytes(32));
+}
+
+TEST(ChaChaRng, SeedBytesValidated) {
+  const Bytes short_seed(16, 0);
+  EXPECT_THROW(ChaChaRng{BytesView(short_seed)}, ContractError);
+}
+
+TEST(Rng, UniformBelowInRange) {
+  ChaChaRng rng(5);
+  const Bigint bound = Bigint::from_dec("1000000007");
+  for (int i = 0; i < 200; ++i) {
+    const Bigint v = rng.uniform_below(bound);
+    EXPECT_GE(v.sign(), 0);
+    EXPECT_LT(v, bound);
+  }
+}
+
+TEST(Rng, UniformBelowOneIsZero) {
+  ChaChaRng rng(6);
+  EXPECT_TRUE(rng.uniform_below(Bigint(1)).is_zero());
+}
+
+TEST(Rng, UniformBelowRejectsNonPositive) {
+  ChaChaRng rng(6);
+  EXPECT_THROW(rng.uniform_below(Bigint(0)), ContractError);
+  EXPECT_THROW(rng.uniform_below(Bigint(-3)), ContractError);
+}
+
+TEST(Rng, UniformNonzeroNeverZero) {
+  ChaChaRng rng(8);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_FALSE(rng.uniform_nonzero_below(Bigint(2)).is_zero());
+  }
+}
+
+TEST(Rng, UniformBitsHasExactBitLength) {
+  ChaChaRng rng(9);
+  for (std::size_t bits : {1u, 2u, 7u, 8u, 9u, 31u, 64u, 127u, 256u}) {
+    const Bigint v = rng.uniform_bits(bits);
+    EXPECT_EQ(v.bit_length(), bits) << "bits=" << bits;
+  }
+}
+
+TEST(Rng, UniformBelowCoversSmallRangeUniformly) {
+  // Sanity chi-square-lite: all residues mod 8 appear.
+  ChaChaRng rng(10);
+  std::array<int, 8> counts{};
+  for (int i = 0; i < 800; ++i) {
+    counts[rng.uniform_below(Bigint(8)).to_u64()]++;
+  }
+  for (int c : counts) EXPECT_GT(c, 50);
+}
+
+TEST(SystemRng, ProducesEntropy) {
+  SystemRng rng;
+  const Bytes a = rng.bytes(32);
+  const Bytes b = rng.bytes(32);
+  EXPECT_NE(a, b);  // 2^-256 false-failure probability
+}
+
+}  // namespace
+}  // namespace dfky

@@ -1,0 +1,255 @@
+// Correctness of the scheme's algorithms (paper Sect. 4): Setup, Add-user,
+// Encryption/Decryption, Remove-user, and representations.
+#include "core/scheme.h"
+
+#include <gtest/gtest.h>
+
+#include "rng/chacha_rng.h"
+#include "test_util.h"
+
+namespace dfky {
+namespace {
+
+struct SchemeFixture {
+  SystemParams sp;
+  ChaChaRng rng;
+  SetupResult s;
+
+  explicit SchemeFixture(std::size_t v, std::uint64_t seed = 1001)
+      : sp(test::test_params(v, seed)), rng(seed ^ 0x1234), s(setup(sp, rng)) {}
+};
+
+TEST(Setup, PublicKeyShape) {
+  SchemeFixture fx(6);
+  EXPECT_EQ(fx.s.pk.slots.size(), 6u);
+  EXPECT_EQ(fx.s.pk.period, 0u);
+  for (std::size_t l = 0; l < 6; ++l) {
+    EXPECT_EQ(fx.s.pk.slots[l].z, Bigint(static_cast<long>(l + 1)));
+    EXPECT_TRUE(fx.sp.group.is_element(fx.s.pk.slots[l].h));
+  }
+  EXPECT_EQ(fx.s.msk.a.degree() <= 6, true);
+}
+
+TEST(Setup, PublicKeyMatchesMasterSecret) {
+  SchemeFixture fx(4);
+  const auto& [msk, pk] = fx.s;
+  // y == g^{A(0)} g'^{B(0)} and each slot h == g^{A(z)} g'^{B(z)}.
+  const Group& g = fx.sp.group;
+  EXPECT_EQ(pk.y, g.mul(g.pow(fx.sp.g, msk.a.eval(Bigint(0))),
+                        g.pow(fx.sp.g2, msk.b.eval(Bigint(0)))));
+  for (const PkSlot& s : pk.slots) {
+    EXPECT_EQ(s.h, g.mul(g.pow(fx.sp.g, msk.a.eval(s.z)),
+                         g.pow(fx.sp.g2, msk.b.eval(s.z))));
+  }
+}
+
+struct EncDecCase {
+  std::size_t v;
+  std::uint64_t seed;
+};
+
+class EncDecSweep : public ::testing::TestWithParam<EncDecCase> {};
+
+TEST_P(EncDecSweep, DecryptInvertsEncrypt) {
+  const auto [v, seed] = GetParam();
+  SchemeFixture fx(v, seed);
+  const UserKey sk =
+      issue_user_key(fx.sp, fx.s.msk, Bigint(static_cast<long>(v + 100)), 0);
+  for (int i = 0; i < 3; ++i) {
+    const Gelt m = fx.sp.group.random_element(fx.rng);
+    const Ciphertext ct = encrypt(fx.sp, fx.s.pk, m, fx.rng);
+    EXPECT_EQ(decrypt(fx.sp, sk, ct), m);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EncDecSweep,
+                         ::testing::Values(EncDecCase{1, 1}, EncDecCase{2, 2},
+                                           EncDecCase{3, 3}, EncDecCase{4, 4},
+                                           EncDecCase{8, 5}, EncDecCase{16, 6},
+                                           EncDecCase{32, 7}));
+
+TEST(EncDec, ManyUsersAllDecrypt) {
+  SchemeFixture fx(5);
+  const Gelt m = fx.sp.group.random_element(fx.rng);
+  const Ciphertext ct = encrypt(fx.sp, fx.s.pk, m, fx.rng);
+  for (long i = 0; i < 20; ++i) {
+    const UserKey sk = issue_user_key(fx.sp, fx.s.msk, Bigint(1000 + i), 0);
+    EXPECT_EQ(decrypt(fx.sp, sk, ct), m);
+  }
+}
+
+TEST(EncDec, WrongKeyGivesWrongPlaintext) {
+  SchemeFixture fx(4);
+  const Gelt m = fx.sp.group.random_element(fx.rng);
+  const Ciphertext ct = encrypt(fx.sp, fx.s.pk, m, fx.rng);
+  UserKey sk = issue_user_key(fx.sp, fx.s.msk, Bigint(500), 0);
+  sk.ax = fx.sp.group.zq().add(sk.ax, Bigint(1));  // corrupt the key
+  EXPECT_FALSE(decrypt(fx.sp, sk, ct) == m);
+}
+
+TEST(EncDec, PeriodMismatchThrows) {
+  SchemeFixture fx(4);
+  const UserKey sk = issue_user_key(fx.sp, fx.s.msk, Bigint(500), 1);
+  const Gelt m = fx.sp.group.random_element(fx.rng);
+  const Ciphertext ct = encrypt(fx.sp, fx.s.pk, m, fx.rng);  // period 0
+  EXPECT_THROW(decrypt(fx.sp, sk, ct), ContractError);
+}
+
+TEST(EncDec, NonElementMessageRejected) {
+  SchemeFixture fx(2);
+  EXPECT_THROW(encrypt(fx.sp, fx.s.pk, Gelt(Bigint(0)), fx.rng),
+               ContractError);
+}
+
+TEST(RemoveUser, RevokedUserCannotDecrypt) {
+  SchemeFixture fx(4);
+  const Bigint x(777);
+  const UserKey sk = issue_user_key(fx.sp, fx.s.msk, x, 0);
+  PublicKey pk = fx.s.pk;
+  revoke_into_slot(fx.sp, fx.s.msk, pk, 0, x);
+
+  const Gelt m = fx.sp.group.random_element(fx.rng);
+  const Ciphertext ct = encrypt(fx.sp, pk, m, fx.rng);
+  // The revoked user's x collides with a ciphertext slot: no leap-vector.
+  EXPECT_THROW(decrypt(fx.sp, sk, ct), ContractError);
+}
+
+TEST(RemoveUser, OthersStillDecryptAfterRevocation) {
+  SchemeFixture fx(4);
+  PublicKey pk = fx.s.pk;
+  for (std::size_t l = 0; l < 4; ++l) {
+    revoke_into_slot(fx.sp, fx.s.msk, pk, l,
+                     Bigint(static_cast<long>(7000 + l)));
+  }
+  const UserKey honest = issue_user_key(fx.sp, fx.s.msk, Bigint(31337), 0);
+  const Gelt m = fx.sp.group.random_element(fx.rng);
+  const Ciphertext ct = encrypt(fx.sp, pk, m, fx.rng);
+  EXPECT_EQ(decrypt(fx.sp, honest, ct), m);
+}
+
+TEST(RemoveUser, DuplicateRevocationRejected) {
+  SchemeFixture fx(3);
+  PublicKey pk = fx.s.pk;
+  revoke_into_slot(fx.sp, fx.s.msk, pk, 0, Bigint(999));
+  EXPECT_THROW(revoke_into_slot(fx.sp, fx.s.msk, pk, 1, Bigint(999)),
+               ContractError);
+}
+
+TEST(RemoveUser, BadSlotIndexRejected) {
+  SchemeFixture fx(3);
+  PublicKey pk = fx.s.pk;
+  EXPECT_THROW(revoke_into_slot(fx.sp, fx.s.msk, pk, 3, Bigint(999)),
+               ContractError);
+}
+
+TEST(Representation, UserRepresentationIsValid) {
+  SchemeFixture fx(5);
+  const UserKey sk = issue_user_key(fx.sp, fx.s.msk, Bigint(600), 0);
+  const Representation rep = representation_of(fx.sp, sk, fx.s.pk);
+  EXPECT_TRUE(rep.valid_for(fx.sp, fx.s.pk));
+}
+
+TEST(Representation, DecryptsLikeTheKey) {
+  SchemeFixture fx(5);
+  const UserKey sk = issue_user_key(fx.sp, fx.s.msk, Bigint(600), 0);
+  const Representation rep = representation_of(fx.sp, sk, fx.s.pk);
+  const Gelt m = fx.sp.group.random_element(fx.rng);
+  const Ciphertext ct = encrypt(fx.sp, fx.s.pk, m, fx.rng);
+  EXPECT_EQ(decrypt_with_representation(fx.sp, rep, ct), m);
+}
+
+TEST(Representation, InvalidAfterKeyChange) {
+  SchemeFixture fx(5);
+  const UserKey sk = issue_user_key(fx.sp, fx.s.msk, Bigint(600), 0);
+  Representation rep = representation_of(fx.sp, sk, fx.s.pk);
+  rep.gamma_a = fx.sp.group.zq().add(rep.gamma_a, Bigint(1));
+  EXPECT_FALSE(rep.valid_for(fx.sp, fx.s.pk));
+}
+
+TEST(Representation, ConvexCombinationIsValidAndDecrypts) {
+  SchemeFixture fx(6);
+  std::vector<Representation> deltas;
+  for (long i = 0; i < 3; ++i) {
+    const UserKey sk = issue_user_key(fx.sp, fx.s.msk, Bigint(800 + i), 0);
+    deltas.push_back(representation_of(fx.sp, sk, fx.s.pk));
+  }
+  const Zq& zq = fx.sp.group.zq();
+  const Bigint mu0(5), mu1(10);
+  const Bigint mu2 = zq.sub(Bigint(1), zq.add(mu0, mu1));
+  const std::vector<Bigint> mus = {mu0, mu1, mu2};
+  const Representation combo = convex_combination(fx.sp, deltas, mus);
+  EXPECT_TRUE(combo.valid_for(fx.sp, fx.s.pk));
+  const Gelt m = fx.sp.group.random_element(fx.rng);
+  const Ciphertext ct = encrypt(fx.sp, fx.s.pk, m, fx.rng);
+  EXPECT_EQ(decrypt_with_representation(fx.sp, combo, ct), m);
+}
+
+TEST(Representation, NonConvexCombinationRejected) {
+  SchemeFixture fx(4);
+  const UserKey sk = issue_user_key(fx.sp, fx.s.msk, Bigint(900), 0);
+  const std::vector<Representation> deltas = {
+      representation_of(fx.sp, sk, fx.s.pk)};
+  const std::vector<Bigint> mus = {Bigint(2)};  // sums to 2, not 1
+  EXPECT_THROW(convex_combination(fx.sp, deltas, mus), ContractError);
+}
+
+TEST(Ciphertext, SerializationRoundTrip) {
+  SchemeFixture fx(4);
+  const Gelt m = fx.sp.group.random_element(fx.rng);
+  const Ciphertext ct = encrypt(fx.sp, fx.s.pk, m, fx.rng);
+  Writer w;
+  ct.serialize(w, fx.sp.group);
+  Reader r(w.bytes());
+  const Ciphertext ct2 = Ciphertext::deserialize(r, fx.sp.group);
+  r.expect_end();
+  const UserKey sk = issue_user_key(fx.sp, fx.s.msk, Bigint(123), 0);
+  EXPECT_EQ(decrypt(fx.sp, sk, ct2), m);
+}
+
+TEST(Ciphertext, WireSizeIndependentOfNothingButV) {
+  // O(v) transmission: size grows linearly in v, independent of users.
+  SchemeFixture fx4(4, 3001);
+  SchemeFixture fx8(8, 3002);
+  const Gelt m4 = fx4.sp.group.random_element(fx4.rng);
+  const Gelt m8 = fx8.sp.group.random_element(fx8.rng);
+  const auto ct4 = encrypt(fx4.sp, fx4.s.pk, m4, fx4.rng);
+  const auto ct8 = encrypt(fx8.sp, fx8.s.pk, m8, fx8.rng);
+  EXPECT_GT(ct8.wire_size(fx8.sp.group), ct4.wire_size(fx4.sp.group));
+}
+
+TEST(PublicKey, SerializationRoundTrip) {
+  SchemeFixture fx(5);
+  Writer w;
+  fx.s.pk.serialize(w, fx.sp.group);
+  Reader r(w.bytes());
+  const PublicKey pk2 = PublicKey::deserialize(r, fx.sp.group);
+  r.expect_end();
+  EXPECT_EQ(pk2.y, fx.s.pk.y);
+  EXPECT_EQ(pk2.period, fx.s.pk.period);
+  ASSERT_EQ(pk2.slots.size(), fx.s.pk.slots.size());
+  for (std::size_t i = 0; i < pk2.slots.size(); ++i) {
+    EXPECT_EQ(pk2.slots[i].z, fx.s.pk.slots[i].z);
+    EXPECT_EQ(pk2.slots[i].h, fx.s.pk.slots[i].h);
+  }
+}
+
+TEST(UserKeySerial, RoundTrip) {
+  SchemeFixture fx(3);
+  const UserKey sk = issue_user_key(fx.sp, fx.s.msk, Bigint(456), 9);
+  Writer w;
+  sk.serialize(w);
+  Reader r(w.bytes());
+  const UserKey sk2 = UserKey::deserialize(r);
+  EXPECT_EQ(sk2.x, sk.x);
+  EXPECT_EQ(sk2.ax, sk.ax);
+  EXPECT_EQ(sk2.bx, sk.bx);
+  EXPECT_EQ(sk2.period, 9u);
+}
+
+TEST(IssueUserKey, RejectsZero) {
+  SchemeFixture fx(3);
+  EXPECT_THROW(issue_user_key(fx.sp, fx.s.msk, Bigint(0), 0), ContractError);
+}
+
+}  // namespace
+}  // namespace dfky

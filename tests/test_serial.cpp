@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "rng/chacha_rng.h"
+#include "serial/codec.h"
+#include "test_util.h"
+
+namespace dfky {
+namespace {
+
+TEST(Writer, IntegerEncodingsBigEndian) {
+  Writer w;
+  w.put_u8(0x01);
+  w.put_u16(0x0203);
+  w.put_u32(0x04050607);
+  w.put_u64(0x08090a0b0c0d0e0fULL);
+  const Bytes& b = w.bytes();
+  ASSERT_EQ(b.size(), 15u);
+  for (std::size_t i = 0; i < 15; ++i) {
+    EXPECT_EQ(b[i], static_cast<byte>(i + 1));
+  }
+}
+
+TEST(ReaderWriter, RoundTripAllTypes) {
+  Writer w;
+  w.put_u8(0xab);
+  w.put_u16(0xcdef);
+  w.put_u32(0xdeadbeef);
+  w.put_u64(0x0123456789abcdefULL);
+  w.put_blob(Bytes{1, 2, 3});
+  Reader r(w.bytes());
+  EXPECT_EQ(r.get_u8(), 0xab);
+  EXPECT_EQ(r.get_u16(), 0xcdef);
+  EXPECT_EQ(r.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.get_blob(), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(r.empty());
+  EXPECT_NO_THROW(r.expect_end());
+}
+
+TEST(Reader, TruncationThrows) {
+  Writer w;
+  w.put_u16(7);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.get_u8(), 0);
+  EXPECT_EQ(r.get_u8(), 7);
+  EXPECT_THROW(r.get_u8(), DecodeError);
+}
+
+TEST(Reader, TruncatedBlobThrows) {
+  Writer w;
+  w.put_u32(100);  // claims 100 bytes follow, but none do
+  Reader r(w.bytes());
+  EXPECT_THROW(r.get_blob(), DecodeError);
+}
+
+TEST(Reader, TrailingBytesDetected) {
+  Writer w;
+  w.put_u8(1);
+  w.put_u8(2);
+  Reader r(w.bytes());
+  r.get_u8();
+  EXPECT_THROW(r.expect_end(), DecodeError);
+}
+
+TEST(Codec, BigintRoundTrip) {
+  Writer w;
+  const Bigint v = Bigint::from_dec("123456789123456789123456789");
+  put_bigint(w, v);
+  put_bigint(w, Bigint(0));
+  Reader r(w.bytes());
+  EXPECT_EQ(get_bigint(r), v);
+  EXPECT_EQ(get_bigint(r), Bigint(0));
+}
+
+TEST(Codec, NegativeBigintRejected) {
+  Writer w;
+  EXPECT_THROW(put_bigint(w, Bigint(-1)), ContractError);
+}
+
+TEST(Codec, GeltRoundTripFixedWidth) {
+  const Group g = test::test_group();
+  ChaChaRng rng(51);
+  Writer w;
+  const Gelt e = g.random_element(rng);
+  put_gelt(w, g, e);
+  EXPECT_EQ(w.size(), g.element_size());
+  Reader r(w.bytes());
+  EXPECT_EQ(get_gelt(r, g), e);
+}
+
+TEST(Codec, GeltRejectsNonElement) {
+  const Group g = test::test_group();
+  Writer w;
+  w.put_raw(Bigint(0).to_bytes_padded(g.element_size()));
+  Reader r(w.bytes());
+  EXPECT_THROW(get_gelt(r, g), DecodeError);
+}
+
+TEST(Codec, BigintVecRoundTrip) {
+  Writer w;
+  const std::vector<Bigint> v = {Bigint(1), Bigint::from_dec("99999999999"),
+                                 Bigint(0)};
+  put_bigint_vec(w, v);
+  Reader r(w.bytes());
+  EXPECT_EQ(get_bigint_vec(r), v);
+}
+
+TEST(Codec, EmptyBigintVec) {
+  Writer w;
+  put_bigint_vec(w, {});
+  Reader r(w.bytes());
+  EXPECT_TRUE(get_bigint_vec(r).empty());
+}
+
+}  // namespace
+}  // namespace dfky

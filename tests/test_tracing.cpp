@@ -1,0 +1,237 @@
+// Non-black-box tracing tests (paper Sect. 6.3): deterministic recovery of
+// ALL traitors from a pirate representation, via both the Berlekamp-Welch
+// path and the syndrome (Berlekamp-Massey) path.
+#include "tracing/nonblackbox.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "attacks/trace_game.h"
+#include "rng/chacha_rng.h"
+#include "test_util.h"
+
+namespace dfky {
+namespace {
+
+struct TraceFixture {
+  SystemParams sp;
+  ChaChaRng rng;
+  SecurityManager mgr;
+  std::vector<SecurityManager::AddedUser> users;
+
+  TraceFixture(std::size_t v, std::size_t n, std::uint64_t seed = 4001)
+      : sp(test::test_params(v, seed)), rng(seed ^ 0x7777), mgr(sp, rng) {
+    for (std::size_t i = 0; i < n; ++i) users.push_back(mgr.add_user(rng));
+  }
+
+  Representation pirate(std::span<const std::size_t> coalition) {
+    std::vector<UserKey> keys;
+    for (std::size_t i : coalition) keys.push_back(users[i].key);
+    return build_pirate_representation(sp, mgr.public_key(), keys, rng);
+  }
+};
+
+std::vector<std::uint64_t> sorted_ids(const TraceResult& r) {
+  auto ids = r.ids();
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+struct TraceCase {
+  std::size_t v, n, coalition;
+  std::uint64_t seed;
+};
+
+class TraceSweep : public ::testing::TestWithParam<TraceCase> {};
+
+TEST_P(TraceSweep, SyndromePathRecoversExactCoalition) {
+  const auto [v, n, csize, seed] = GetParam();
+  TraceFixture fx(v, n, seed);
+  std::vector<std::size_t> coalition;
+  for (std::size_t i = 0; i < csize; ++i) coalition.push_back(2 * i + 1);
+  const Representation delta = fx.pirate(coalition);
+
+  const TraceResult result =
+      trace_nonblackbox(fx.sp, fx.mgr.public_key(), delta, fx.mgr.users(),
+                        TraceAlgorithm::kSyndrome);
+  std::vector<std::uint64_t> expect;
+  for (std::size_t i : coalition) expect.push_back(fx.users[i].id);
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(sorted_ids(result), expect);
+}
+
+TEST_P(TraceSweep, BerlekampWelchPathAgrees) {
+  const auto [v, n, csize, seed] = GetParam();
+  if (n <= v) GTEST_SKIP() << "BW path requires n > v";
+  TraceFixture fx(v, n, seed ^ 0x3141);
+  std::vector<std::size_t> coalition;
+  for (std::size_t i = 0; i < csize; ++i) coalition.push_back(2 * i);
+  const Representation delta = fx.pirate(coalition);
+
+  const TraceResult syn =
+      trace_nonblackbox(fx.sp, fx.mgr.public_key(), delta, fx.mgr.users(),
+                        TraceAlgorithm::kSyndrome);
+  const TraceResult bw =
+      trace_nonblackbox(fx.sp, fx.mgr.public_key(), delta, fx.mgr.users(),
+                        TraceAlgorithm::kBerlekampWelch);
+  EXPECT_EQ(sorted_ids(syn), sorted_ids(bw));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TraceSweep,
+    ::testing::Values(TraceCase{2, 8, 1, 1}, TraceCase{4, 10, 2, 2},
+                      TraceCase{6, 12, 3, 3}, TraceCase{8, 16, 4, 4},
+                      TraceCase{8, 20, 2, 5}, TraceCase{12, 20, 6, 6},
+                      TraceCase{16, 24, 8, 7}, TraceCase{4, 40, 2, 8}));
+
+TEST(Tracing, SingleTraitorIdentityKey) {
+  // The laziest pirate: the decoder embeds one user's own representation.
+  TraceFixture fx(4, 10);
+  const Representation delta =
+      representation_of(fx.sp, fx.users[3].key, fx.mgr.public_key());
+  const TraceResult result =
+      trace_nonblackbox(fx.sp, fx.mgr.public_key(), delta, fx.mgr.users());
+  ASSERT_EQ(result.traitors.size(), 1u);
+  EXPECT_EQ(result.traitors[0].id, fx.users[3].id);
+  EXPECT_TRUE(result.traitors[0].weight.is_one());
+}
+
+TEST(Tracing, RecoversConvexWeights) {
+  TraceFixture fx(6, 12);
+  std::vector<Representation> deltas;
+  const std::vector<std::size_t> coalition = {1, 4, 7};
+  for (std::size_t i : coalition) {
+    deltas.push_back(
+        representation_of(fx.sp, fx.users[i].key, fx.mgr.public_key()));
+  }
+  const Zq& zq = fx.sp.group.zq();
+  const Bigint mu0(17), mu1(23);
+  const Bigint mu2 = zq.sub(Bigint(1), zq.add(mu0, mu1));
+  const Representation delta =
+      convex_combination(fx.sp, deltas, std::vector<Bigint>{mu0, mu1, mu2});
+
+  const TraceResult result =
+      trace_nonblackbox(fx.sp, fx.mgr.public_key(), delta, fx.mgr.users());
+  ASSERT_EQ(result.traitors.size(), 3u);
+  for (const auto& t : result.traitors) {
+    if (t.id == fx.users[1].id) {
+      EXPECT_EQ(t.weight, mu0);
+    } else if (t.id == fx.users[4].id) {
+      EXPECT_EQ(t.weight, mu1);
+    } else if (t.id == fx.users[7].id) {
+      EXPECT_EQ(t.weight, mu2);
+    }
+  }
+}
+
+TEST(Tracing, InvalidRepresentationRejected) {
+  TraceFixture fx(4, 8);
+  Representation delta =
+      representation_of(fx.sp, fx.users[0].key, fx.mgr.public_key());
+  delta.gamma_b = fx.sp.group.zq().add(delta.gamma_b, Bigint(1));
+  EXPECT_THROW(
+      trace_nonblackbox(fx.sp, fx.mgr.public_key(), delta, fx.mgr.users()),
+      MathError);
+}
+
+TEST(Tracing, CoalitionBeyondBoundFails) {
+  // m = floor(v/2) = 2, but 4 traitors collude: the tracer must fail
+  // loudly, not accuse innocents.
+  TraceFixture fx(4, 12);
+  const std::vector<std::size_t> coalition = {0, 1, 2, 3};
+  const Representation delta = fx.pirate(coalition);
+  EXPECT_THROW(
+      trace_nonblackbox(fx.sp, fx.mgr.public_key(), delta, fx.mgr.users(),
+                        TraceAlgorithm::kSyndrome),
+      MathError);
+}
+
+TEST(Tracing, WorksAfterRevocations) {
+  // Trace against a public key whose slots contain revoked users.
+  TraceFixture fx(4, 14);
+  // Revoke three bystanders.
+  fx.mgr.remove_user(fx.users[10].id, fx.rng);
+  fx.mgr.remove_user(fx.users[11].id, fx.rng);
+  fx.mgr.remove_user(fx.users[12].id, fx.rng);
+
+  std::vector<UserKey> keys = {fx.users[2].key, fx.users[5].key};
+  const Representation delta =
+      build_pirate_representation(fx.sp, fx.mgr.public_key(), keys, fx.rng);
+  const TraceResult result =
+      trace_nonblackbox(fx.sp, fx.mgr.public_key(), delta, fx.mgr.users());
+  EXPECT_EQ(sorted_ids(result),
+            (std::vector<std::uint64_t>{fx.users[2].id, fx.users[5].id}));
+}
+
+TEST(Tracing, SyndromesMatchDefinition) {
+  // delta'' = delta' * B where B is the slot Vandermonde (columns x^1..x^v).
+  const Zq f = test::test_zq();
+  const std::vector<Bigint> zs = {Bigint(2), Bigint(3), Bigint(5)};
+  const std::vector<Bigint> tail = {Bigint(7), Bigint(11), Bigint(13)};
+  const auto syn = tracing_syndromes(f, zs, tail);
+  ASSERT_EQ(syn.size(), 3u);
+  // S_1 = 7*2 + 11*3 + 13*5 = 112; S_2 = 7*4+11*9+13*25 = 452;
+  // S_3 = 7*8+11*27+13*125 = 1978.
+  EXPECT_EQ(syn[0], Bigint(112));
+  EXPECT_EQ(syn[1], Bigint(452));
+  EXPECT_EQ(syn[2], Bigint(1978));
+}
+
+// Full adversarial game: adaptive joins interleaved with revocations and
+// period changes, pirate built at the end (paper Sect. 6.1.1).
+TEST(TraceGame, AdaptiveAdversaryAcrossPeriodsIsTraced) {
+  ChaChaRng rng(555);
+  const SystemParams sp = test::test_params(4, 556);
+  TraceGame game(sp, rng);
+
+  game.join(Bigint(1000));
+  // Some honest churn, including a forced period change.
+  std::vector<std::uint64_t> honest;
+  for (int i = 0; i < 6; ++i) honest.push_back(game.add_honest(rng));
+  game.revoke_honest(honest[0], rng);
+  game.join(Bigint(2000));
+  game.revoke_honest(honest[1], rng);
+  game.revoke_honest(honest[2], rng);
+  game.revoke_honest(honest[3], rng);
+  game.revoke_honest(honest[4], rng);  // forces a New-period (v = 4)
+  EXPECT_GE(game.pk().period, 1u);
+
+  const Representation delta = game.build_pirate(rng);
+  EXPECT_TRUE(delta.valid_for(sp, game.pk()));
+  const TraceResult result =
+      trace_nonblackbox(sp, game.pk(), delta, game.registry());
+  auto expect = game.traitor_ids();
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(sorted_ids(result), expect);
+}
+
+TEST(TraceGame, EnforcesCollusionBound) {
+  ChaChaRng rng(557);
+  const SystemParams sp = test::test_params(4, 558);  // m = 2
+  TraceGame game(sp, rng);
+  game.join(Bigint(1000));
+  game.join(Bigint(1001));
+  EXPECT_THROW(game.join(Bigint(1002)), ContractError);
+}
+
+TEST(TraceGame, SubsetPirateTracesOnlyContributors) {
+  ChaChaRng rng(559);
+  const SystemParams sp = test::test_params(6, 560);  // m = 3
+  TraceGame game(sp, rng);
+  game.join(Bigint(1000));
+  game.join(Bigint(1001));
+  game.join(Bigint(1002));
+  for (int i = 0; i < 4; ++i) game.add_honest(rng);
+
+  const std::vector<std::size_t> subset = {0, 2};
+  const Representation delta = game.build_pirate_subset(subset, rng);
+  const TraceResult result =
+      trace_nonblackbox(sp, game.pk(), delta, game.registry());
+  EXPECT_EQ(sorted_ids(result),
+            (std::vector<std::uint64_t>{game.traitor_ids()[0],
+                                        game.traitor_ids()[2]}));
+}
+
+}  // namespace
+}  // namespace dfky

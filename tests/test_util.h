@@ -1,0 +1,24 @@
+// Shared test fixtures: fast embedded group parameters and seeded PRGs so
+// every test run is deterministic.
+#pragma once
+
+#include "core/keys.h"
+#include "group/params.h"
+#include "rng/chacha_rng.h"
+
+namespace dfky::test {
+
+inline Group test_group() {
+  return Group(GroupParams::named(ParamId::kTest128));
+}
+
+inline SystemParams test_params(std::size_t v, std::uint64_t seed = 42) {
+  ChaChaRng rng(seed);
+  return SystemParams::create(test_group(), v, rng);
+}
+
+inline Zq test_zq() {
+  return Zq(GroupParams::named(ParamId::kTest128).q, /*trust_prime=*/true);
+}
+
+}  // namespace dfky::test

@@ -1,0 +1,376 @@
+// dfky_cli — command-line management tool for the scalable trace-and-revoke
+// system. State lives in files, so a whole deployment can be driven from a
+// shell:
+//
+//   dfky_cli init sys.state --v 8 --group sec512
+//   dfky_cli status sys.state
+//   dfky_cli add sys.state alice.key
+//   dfky_cli add sys.state bob.key
+//   dfky_cli revoke sys.state 1 --reset-out reset
+//   dfky_cli encrypt sys.state payload.bin broadcast.bin
+//   dfky_cli decrypt alice.key broadcast.bin
+//   dfky_cli apply-reset alice.key reset.0.bin
+//   dfky_cli pirate sys.state pirate.rep 0 1     (demo: forge a pirate key)
+//   dfky_cli trace sys.state pirate.rep
+//
+// Key files bundle the group description with the user key so the receiver
+// side needs no other configuration.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/content.h"
+#include "core/manager.h"
+#include "core/receiver.h"
+#include "rng/system_rng.h"
+#include "serial/codec.h"
+#include "tracing/nonblackbox.h"
+#include "tracing/pirate.h"
+
+using namespace dfky;
+
+namespace {
+
+[[noreturn]] void die(const std::string& msg) {
+  std::cerr << "dfky_cli: " << msg << "\n";
+  std::exit(1);
+}
+
+Bytes read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) die("cannot open " + path);
+  return Bytes(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, BytesView data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) die("cannot write " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+}
+
+// ---- public environment (group + generators + v), shared by key files -------
+
+void put_env(Writer& w, const SystemParams& sp) {
+  w.put_u8(sp.group.is_elliptic() ? 1 : 0);
+  if (sp.group.is_elliptic()) {
+    const CurveSpec& c = sp.group.curve();
+    put_bigint(w, c.p);
+    put_bigint(w, c.a);
+    put_bigint(w, c.b);
+    put_bigint(w, c.q);
+    put_bigint(w, c.gx);
+    put_bigint(w, c.gy);
+  } else {
+    put_bigint(w, sp.group.p());
+    put_bigint(w, sp.group.order());
+    put_bigint(w, sp.group.params().g);
+  }
+  put_gelt(w, sp.group, sp.g);
+  put_gelt(w, sp.group, sp.g2);
+  w.put_u64(sp.v);
+}
+
+SystemParams get_env(Reader& r) {
+  const std::uint8_t kind = r.get_u8();
+  std::optional<Group> group;
+  if (kind == 1) {
+    CurveSpec c;
+    c.p = get_bigint(r);
+    c.a = get_bigint(r);
+    c.b = get_bigint(r);
+    c.q = get_bigint(r);
+    c.gx = get_bigint(r);
+    c.gy = get_bigint(r);
+    group.emplace(c);
+  } else if (kind == 0) {
+    GroupParams gp;
+    gp.p = get_bigint(r);
+    gp.q = get_bigint(r);
+    gp.g = get_bigint(r);
+    group.emplace(gp);
+  } else {
+    throw DecodeError("bad group kind");
+  }
+  SystemParams sp{*group, Gelt(), Gelt(), 0};
+  sp.g = get_gelt(r, *group);
+  sp.g2 = get_gelt(r, *group);
+  sp.v = r.get_u64();
+  return sp;
+}
+
+struct KeyFile {
+  SystemParams sp;
+  Gelt manager_vk;
+  UserKey key;
+};
+
+void write_key_file(const std::string& path, const SecurityManager& mgr,
+                    const UserKey& key) {
+  Writer w;
+  put_env(w, mgr.params());
+  put_gelt(w, mgr.params().group, mgr.verification_key());
+  key.serialize(w);
+  write_file(path, w.bytes());
+}
+
+KeyFile read_key_file(const std::string& path) {
+  const Bytes raw = read_file(path);
+  Reader r(raw);
+  SystemParams sp = get_env(r);
+  Gelt vk = get_gelt(r, sp.group);
+  UserKey key = UserKey::deserialize(r);
+  r.expect_end();
+  return KeyFile{std::move(sp), std::move(vk), std::move(key)};
+}
+
+SecurityManager load_manager(const std::string& path) {
+  return SecurityManager::restore_state(read_file(path));
+}
+
+void store_manager(const std::string& path, const SecurityManager& mgr) {
+  write_file(path, mgr.save_state());
+}
+
+std::optional<std::string> flag_value(std::vector<std::string>& args,
+                                      const std::string& name) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == name) {
+      std::string value = args[i + 1];
+      args.erase(args.begin() + static_cast<long>(i),
+                 args.begin() + static_cast<long>(i) + 2);
+      return value;
+    }
+  }
+  return std::nullopt;
+}
+
+Group group_by_name(const std::string& name) {
+  if (name == "test128") return Group(GroupParams::named(ParamId::kTest128));
+  if (name == "sec256") return Group(GroupParams::named(ParamId::kSec256));
+  if (name == "sec512") return Group(GroupParams::named(ParamId::kSec512));
+  if (name == "sec1024") return Group(GroupParams::named(ParamId::kSec1024));
+  if (name == "sec2048") return Group(GroupParams::named(ParamId::kSec2048));
+  if (name == "secp256k1") return Group(CurveSpec::secp256k1());
+  if (name == "p256") return Group(CurveSpec::p256());
+  die("unknown group '" + name +
+      "' (test128|sec256|sec512|sec1024|sec2048|secp256k1|p256)");
+}
+
+// ---- commands -----------------------------------------------------------------
+
+int cmd_init(std::vector<std::string> args) {
+  if (args.empty()) die("init: missing state file");
+  const std::string state_path = args[0];
+  args.erase(args.begin());
+  const std::size_t v =
+      std::stoul(flag_value(args, "--v").value_or("8"));
+  const std::string group_name =
+      flag_value(args, "--group").value_or("sec512");
+  SystemRng rng;
+  const SystemParams sp =
+      SystemParams::create(group_by_name(group_name), v, rng);
+  SecurityManager mgr(sp, rng);
+  store_manager(state_path, mgr);
+  std::printf("initialized: group=%s v=%zu m=%zu state=%s (%zu bytes)\n",
+              group_name.c_str(), v, sp.max_collusion(), state_path.c_str(),
+              mgr.save_state().size());
+  return 0;
+}
+
+int cmd_status(std::vector<std::string> args) {
+  if (args.empty()) die("status: missing state file");
+  const SecurityManager mgr = load_manager(args[0]);
+  std::size_t active = 0, revoked = 0;
+  for (const UserRecord& u : mgr.users()) {
+    (u.revoked ? revoked : active) += 1;
+  }
+  std::printf("period:            %llu\n",
+              static_cast<unsigned long long>(mgr.period()));
+  std::printf("saturation:        %zu / %zu\n", mgr.saturation_level(),
+              mgr.saturation_limit());
+  std::printf("users:             %zu active, %zu revoked\n", active, revoked);
+  std::printf("group:             %s, %zu-bit order\n",
+              mgr.params().group.is_elliptic() ? "elliptic-curve" : "Z_p*",
+              mgr.params().group.order().bit_length());
+  std::printf("element size:      %zu bytes\n",
+              mgr.params().group.element_size());
+  return 0;
+}
+
+int cmd_add(std::vector<std::string> args) {
+  if (args.size() < 2) die("add: usage: add <state> <key-out>");
+  SecurityManager mgr = load_manager(args[0]);
+  SystemRng rng;
+  const auto added = mgr.add_user(rng);
+  write_key_file(args[1], mgr, added.key);
+  store_manager(args[0], mgr);
+  std::printf("added user #%llu -> %s\n",
+              static_cast<unsigned long long>(added.id), args[1].c_str());
+  return 0;
+}
+
+int cmd_revoke(std::vector<std::string> args) {
+  if (args.size() < 2) die("revoke: usage: revoke <state> <id...> [--reset-out prefix]");
+  const std::string state_path = args[0];
+  args.erase(args.begin());
+  const std::string reset_prefix =
+      flag_value(args, "--reset-out").value_or("reset");
+  std::vector<std::uint64_t> ids;
+  for (const std::string& a : args) ids.push_back(std::stoull(a));
+  SecurityManager mgr = load_manager(state_path);
+  SystemRng rng;
+  const auto bundles = mgr.remove_users(ids, rng);
+  store_manager(state_path, mgr);
+  std::printf("revoked %zu user(s); saturation %zu/%zu, period %llu\n",
+              ids.size(), mgr.saturation_level(), mgr.saturation_limit(),
+              static_cast<unsigned long long>(mgr.period()));
+  for (std::size_t i = 0; i < bundles.size(); ++i) {
+    Writer w;
+    bundles[i].serialize(w, mgr.params().group);
+    const std::string path = reset_prefix + "." + std::to_string(i) + ".bin";
+    write_file(path, w.bytes());
+    std::printf("period change -> broadcast %s (%zu bytes) to subscribers\n",
+                path.c_str(), w.size());
+  }
+  return 0;
+}
+
+int cmd_encrypt(std::vector<std::string> args) {
+  if (args.size() < 3) die("encrypt: usage: encrypt <state> <payload> <out>");
+  const SecurityManager mgr = load_manager(args[0]);
+  const Bytes payload = read_file(args[1]);
+  SystemRng rng;
+  const ContentMessage msg =
+      seal_content(mgr.params(), mgr.public_key(), payload, rng);
+  Writer w;
+  msg.serialize(w, mgr.params().group);
+  write_file(args[2], w.bytes());
+  std::printf("encrypted %zu bytes -> %s (%zu bytes on the wire)\n",
+              payload.size(), args[2].c_str(), w.size());
+  return 0;
+}
+
+int cmd_decrypt(std::vector<std::string> args) {
+  if (args.size() < 2) die("decrypt: usage: decrypt <key-file> <broadcast>");
+  const KeyFile kf = read_key_file(args[0]);
+  const Bytes raw = read_file(args[1]);
+  Reader r(raw);
+  const ContentMessage msg = ContentMessage::deserialize(r, kf.sp.group);
+  r.expect_end();
+  const Bytes payload = open_content(kf.sp, kf.key, msg);
+  std::fwrite(payload.data(), 1, payload.size(), stdout);
+  return 0;
+}
+
+int cmd_apply_reset(std::vector<std::string> args) {
+  if (args.size() < 2) {
+    die("apply-reset: usage: apply-reset <key-file> <reset-file>");
+  }
+  KeyFile kf = read_key_file(args[0]);
+  const Bytes raw = read_file(args[1]);
+  Reader r(raw);
+  const SignedResetBundle bundle =
+      SignedResetBundle::deserialize(r, kf.sp.group);
+  r.expect_end();
+  Receiver receiver(kf.sp, kf.key, kf.manager_vk);
+  receiver.apply_reset(bundle);
+  // Rewrite the key file with the updated key.
+  Writer w;
+  put_env(w, kf.sp);
+  put_gelt(w, kf.sp.group, kf.manager_vk);
+  receiver.key().serialize(w);
+  write_file(args[0], w.bytes());
+  std::printf("key updated to period %llu\n",
+              static_cast<unsigned long long>(receiver.period()));
+  return 0;
+}
+
+int cmd_pirate(std::vector<std::string> args) {
+  if (args.size() < 3) {
+    die("pirate: usage: pirate <state> <rep-out> <key-file...>");
+  }
+  const SecurityManager mgr = load_manager(args[0]);
+  std::vector<UserKey> keys;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    keys.push_back(read_key_file(args[i]).key);
+  }
+  SystemRng rng;
+  const Representation rep = build_pirate_representation(
+      mgr.params(), mgr.public_key(), keys, rng);
+  Writer w;
+  put_bigint(w, rep.gamma_a);
+  put_bigint(w, rep.gamma_b);
+  put_bigint_vec(w, rep.tail);
+  write_file(args[1], w.bytes());
+  std::printf("pirate representation (%zu colluders) -> %s\n", keys.size(),
+              args[1].c_str());
+  return 0;
+}
+
+int cmd_trace(std::vector<std::string> args) {
+  if (args.size() < 2) die("trace: usage: trace <state> <rep-file>");
+  const SecurityManager mgr = load_manager(args[0]);
+  const Bytes raw = read_file(args[1]);
+  Reader r(raw);
+  Representation rep;
+  rep.gamma_a = get_bigint(r);
+  rep.gamma_b = get_bigint(r);
+  rep.tail = get_bigint_vec(r);
+  r.expect_end();
+  const TraceResult result = trace_nonblackbox(
+      mgr.params(), mgr.public_key(), rep, mgr.users());
+  std::printf("traced %zu traitor(s):", result.traitors.size());
+  for (const auto& t : result.traitors) {
+    std::printf(" #%llu", static_cast<unsigned long long>(t.id));
+  }
+  std::printf("\n");
+  return 0;
+}
+
+void usage() {
+  std::puts(
+      "usage: dfky_cli <command> ...\n"
+      "  init <state> [--v N] [--group NAME]   create a system\n"
+      "  status <state>                        show system state\n"
+      "  add <state> <key-out>                 subscribe a user\n"
+      "  revoke <state> <id...> [--reset-out P]  revoke users\n"
+      "  encrypt <state> <payload> <out>       broadcast content\n"
+      "  decrypt <key-file> <broadcast>        receive content\n"
+      "  apply-reset <key-file> <reset-file>   follow a period change\n"
+      "  pirate <state> <rep-out> <key...>     (demo) forge a pirate key\n"
+      "  trace <state> <rep-file>              trace a pirate key");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "init") return cmd_init(std::move(args));
+    if (cmd == "status") return cmd_status(std::move(args));
+    if (cmd == "add") return cmd_add(std::move(args));
+    if (cmd == "revoke") return cmd_revoke(std::move(args));
+    if (cmd == "encrypt") return cmd_encrypt(std::move(args));
+    if (cmd == "decrypt") return cmd_decrypt(std::move(args));
+    if (cmd == "apply-reset") return cmd_apply_reset(std::move(args));
+    if (cmd == "pirate") return cmd_pirate(std::move(args));
+    if (cmd == "trace") return cmd_trace(std::move(args));
+  } catch (const Error& e) {
+    die(e.what());
+  } catch (const std::exception& e) {
+    die(std::string("unexpected error: ") + e.what());
+  }
+  usage();
+  return 1;
+}
