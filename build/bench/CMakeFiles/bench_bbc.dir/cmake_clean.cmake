@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bbc.dir/bench_bbc.cpp.o"
+  "CMakeFiles/bench_bbc.dir/bench_bbc.cpp.o.d"
+  "bench_bbc"
+  "bench_bbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_encdec.dir/bench_encdec.cpp.o"
+  "CMakeFiles/bench_encdec.dir/bench_encdec.cpp.o.d"
+  "bench_encdec"
+  "bench_encdec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_encdec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

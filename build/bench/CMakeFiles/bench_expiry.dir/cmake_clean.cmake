@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_expiry.dir/bench_expiry.cpp.o"
+  "CMakeFiles/bench_expiry.dir/bench_expiry.cpp.o.d"
+  "bench_expiry"
+  "bench_expiry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_expiry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

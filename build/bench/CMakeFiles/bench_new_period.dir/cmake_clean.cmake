@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_new_period.dir/bench_new_period.cpp.o"
+  "CMakeFiles/bench_new_period.dir/bench_new_period.cpp.o.d"
+  "bench_new_period"
+  "bench_new_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_new_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

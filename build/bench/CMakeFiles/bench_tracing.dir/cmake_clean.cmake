@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tracing.dir/bench_tracing.cpp.o"
+  "CMakeFiles/bench_tracing.dir/bench_tracing.cpp.o.d"
+  "bench_tracing"
+  "bench_tracing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_user_ops.dir/bench_user_ops.cpp.o"
+  "CMakeFiles/bench_user_ops.dir/bench_user_ops.cpp.o.d"
+  "bench_user_ops"
+  "bench_user_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_user_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

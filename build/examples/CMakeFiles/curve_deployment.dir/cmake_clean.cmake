@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curve_deployment.dir/curve_deployment.cpp.o"
+  "CMakeFiles/curve_deployment.dir/curve_deployment.cpp.o.d"
+  "curve_deployment"
+  "curve_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curve_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

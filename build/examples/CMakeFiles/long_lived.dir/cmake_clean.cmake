@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/long_lived.dir/long_lived.cpp.o"
+  "CMakeFiles/long_lived.dir/long_lived.cpp.o.d"
+  "long_lived"
+  "long_lived.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/long_lived.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pay_tv.dir/pay_tv.cpp.o"
+  "CMakeFiles/pay_tv.dir/pay_tv.cpp.o.d"
+  "pay_tv"
+  "pay_tv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pay_tv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piracy_bust.dir/piracy_bust.cpp.o"
+  "CMakeFiles/piracy_bust.dir/piracy_bust.cpp.o.d"
+  "piracy_bust"
+  "piracy_bust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piracy_bust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for piracy_bust.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attacks/revive.cpp" "src/CMakeFiles/dfky.dir/attacks/revive.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/attacks/revive.cpp.o.d"
+  "/root/repo/src/attacks/trace_game.cpp" "src/CMakeFiles/dfky.dir/attacks/trace_game.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/attacks/trace_game.cpp.o.d"
+  "/root/repo/src/attacks/window_game.cpp" "src/CMakeFiles/dfky.dir/attacks/window_game.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/attacks/window_game.cpp.o.d"
+  "/root/repo/src/baselines/bounded_trace_revoke.cpp" "src/CMakeFiles/dfky.dir/baselines/bounded_trace_revoke.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/baselines/bounded_trace_revoke.cpp.o.d"
+  "/root/repo/src/baselines/naive_elgamal.cpp" "src/CMakeFiles/dfky.dir/baselines/naive_elgamal.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/baselines/naive_elgamal.cpp.o.d"
+  "/root/repo/src/bigint/bigint.cpp" "src/CMakeFiles/dfky.dir/bigint/bigint.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/bigint/bigint.cpp.o.d"
+  "/root/repo/src/broadcast/bus.cpp" "src/CMakeFiles/dfky.dir/broadcast/bus.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/broadcast/bus.cpp.o.d"
+  "/root/repo/src/broadcast/provider.cpp" "src/CMakeFiles/dfky.dir/broadcast/provider.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/broadcast/provider.cpp.o.d"
+  "/root/repo/src/codes/berlekamp_massey.cpp" "src/CMakeFiles/dfky.dir/codes/berlekamp_massey.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/codes/berlekamp_massey.cpp.o.d"
+  "/root/repo/src/codes/berlekamp_welch.cpp" "src/CMakeFiles/dfky.dir/codes/berlekamp_welch.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/codes/berlekamp_welch.cpp.o.d"
+  "/root/repo/src/codes/grs.cpp" "src/CMakeFiles/dfky.dir/codes/grs.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/codes/grs.cpp.o.d"
+  "/root/repo/src/codes/sudan.cpp" "src/CMakeFiles/dfky.dir/codes/sudan.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/codes/sudan.cpp.o.d"
+  "/root/repo/src/core/ciphertext.cpp" "src/CMakeFiles/dfky.dir/core/ciphertext.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/core/ciphertext.cpp.o.d"
+  "/root/repo/src/core/content.cpp" "src/CMakeFiles/dfky.dir/core/content.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/core/content.cpp.o.d"
+  "/root/repo/src/core/keys.cpp" "src/CMakeFiles/dfky.dir/core/keys.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/core/keys.cpp.o.d"
+  "/root/repo/src/core/manager.cpp" "src/CMakeFiles/dfky.dir/core/manager.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/core/manager.cpp.o.d"
+  "/root/repo/src/core/receiver.cpp" "src/CMakeFiles/dfky.dir/core/receiver.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/core/receiver.cpp.o.d"
+  "/root/repo/src/core/reset_message.cpp" "src/CMakeFiles/dfky.dir/core/reset_message.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/core/reset_message.cpp.o.d"
+  "/root/repo/src/core/scheme.cpp" "src/CMakeFiles/dfky.dir/core/scheme.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/core/scheme.cpp.o.d"
+  "/root/repo/src/crypto/chacha20.cpp" "src/CMakeFiles/dfky.dir/crypto/chacha20.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/crypto/chacha20.cpp.o.d"
+  "/root/repo/src/crypto/hkdf.cpp" "src/CMakeFiles/dfky.dir/crypto/hkdf.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/crypto/hkdf.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/CMakeFiles/dfky.dir/crypto/hmac.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/schnorr.cpp" "src/CMakeFiles/dfky.dir/crypto/schnorr.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/crypto/schnorr.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/CMakeFiles/dfky.dir/crypto/sha256.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/crypto/sha256.cpp.o.d"
+  "/root/repo/src/crypto/stream_seal.cpp" "src/CMakeFiles/dfky.dir/crypto/stream_seal.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/crypto/stream_seal.cpp.o.d"
+  "/root/repo/src/field/fp.cpp" "src/CMakeFiles/dfky.dir/field/fp.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/field/fp.cpp.o.d"
+  "/root/repo/src/field/zq.cpp" "src/CMakeFiles/dfky.dir/field/zq.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/field/zq.cpp.o.d"
+  "/root/repo/src/group/curve.cpp" "src/CMakeFiles/dfky.dir/group/curve.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/group/curve.cpp.o.d"
+  "/root/repo/src/group/element.cpp" "src/CMakeFiles/dfky.dir/group/element.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/group/element.cpp.o.d"
+  "/root/repo/src/group/encoding.cpp" "src/CMakeFiles/dfky.dir/group/encoding.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/group/encoding.cpp.o.d"
+  "/root/repo/src/group/fixed_base.cpp" "src/CMakeFiles/dfky.dir/group/fixed_base.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/group/fixed_base.cpp.o.d"
+  "/root/repo/src/group/params.cpp" "src/CMakeFiles/dfky.dir/group/params.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/group/params.cpp.o.d"
+  "/root/repo/src/linalg/gauss.cpp" "src/CMakeFiles/dfky.dir/linalg/gauss.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/linalg/gauss.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/CMakeFiles/dfky.dir/linalg/matrix.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/linalg/matrix.cpp.o.d"
+  "/root/repo/src/poly/bivariate.cpp" "src/CMakeFiles/dfky.dir/poly/bivariate.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/poly/bivariate.cpp.o.d"
+  "/root/repo/src/poly/lagrange.cpp" "src/CMakeFiles/dfky.dir/poly/lagrange.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/poly/lagrange.cpp.o.d"
+  "/root/repo/src/poly/leap_vector.cpp" "src/CMakeFiles/dfky.dir/poly/leap_vector.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/poly/leap_vector.cpp.o.d"
+  "/root/repo/src/poly/polynomial.cpp" "src/CMakeFiles/dfky.dir/poly/polynomial.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/poly/polynomial.cpp.o.d"
+  "/root/repo/src/poly/roots.cpp" "src/CMakeFiles/dfky.dir/poly/roots.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/poly/roots.cpp.o.d"
+  "/root/repo/src/rng/chacha_rng.cpp" "src/CMakeFiles/dfky.dir/rng/chacha_rng.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/rng/chacha_rng.cpp.o.d"
+  "/root/repo/src/rng/rng.cpp" "src/CMakeFiles/dfky.dir/rng/rng.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/rng/rng.cpp.o.d"
+  "/root/repo/src/rng/system_rng.cpp" "src/CMakeFiles/dfky.dir/rng/system_rng.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/rng/system_rng.cpp.o.d"
+  "/root/repo/src/serial/buffer.cpp" "src/CMakeFiles/dfky.dir/serial/buffer.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/serial/buffer.cpp.o.d"
+  "/root/repo/src/serial/codec.cpp" "src/CMakeFiles/dfky.dir/serial/codec.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/serial/codec.cpp.o.d"
+  "/root/repo/src/tracing/blackbox.cpp" "src/CMakeFiles/dfky.dir/tracing/blackbox.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/tracing/blackbox.cpp.o.d"
+  "/root/repo/src/tracing/blackbox_search.cpp" "src/CMakeFiles/dfky.dir/tracing/blackbox_search.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/tracing/blackbox_search.cpp.o.d"
+  "/root/repo/src/tracing/list_tracing.cpp" "src/CMakeFiles/dfky.dir/tracing/list_tracing.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/tracing/list_tracing.cpp.o.d"
+  "/root/repo/src/tracing/nonblackbox.cpp" "src/CMakeFiles/dfky.dir/tracing/nonblackbox.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/tracing/nonblackbox.cpp.o.d"
+  "/root/repo/src/tracing/pirate.cpp" "src/CMakeFiles/dfky.dir/tracing/pirate.cpp.o" "gcc" "src/CMakeFiles/dfky.dir/tracing/pirate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

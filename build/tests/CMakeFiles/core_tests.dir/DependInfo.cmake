@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_backends.cpp" "tests/CMakeFiles/core_tests.dir/test_backends.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/test_backends.cpp.o.d"
+  "/root/repo/tests/test_content.cpp" "tests/CMakeFiles/core_tests.dir/test_content.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/test_content.cpp.o.d"
+  "/root/repo/tests/test_manager.cpp" "tests/CMakeFiles/core_tests.dir/test_manager.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/test_manager.cpp.o.d"
+  "/root/repo/tests/test_persistence.cpp" "tests/CMakeFiles/core_tests.dir/test_persistence.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/test_persistence.cpp.o.d"
+  "/root/repo/tests/test_reset.cpp" "tests/CMakeFiles/core_tests.dir/test_reset.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/test_reset.cpp.o.d"
+  "/root/repo/tests/test_scheme.cpp" "tests/CMakeFiles/core_tests.dir/test_scheme.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/test_scheme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dfky.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/test_backends.cpp.o"
+  "CMakeFiles/core_tests.dir/test_backends.cpp.o.d"
+  "CMakeFiles/core_tests.dir/test_content.cpp.o"
+  "CMakeFiles/core_tests.dir/test_content.cpp.o.d"
+  "CMakeFiles/core_tests.dir/test_manager.cpp.o"
+  "CMakeFiles/core_tests.dir/test_manager.cpp.o.d"
+  "CMakeFiles/core_tests.dir/test_persistence.cpp.o"
+  "CMakeFiles/core_tests.dir/test_persistence.cpp.o.d"
+  "CMakeFiles/core_tests.dir/test_reset.cpp.o"
+  "CMakeFiles/core_tests.dir/test_reset.cpp.o.d"
+  "CMakeFiles/core_tests.dir/test_scheme.cpp.o"
+  "CMakeFiles/core_tests.dir/test_scheme.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/identity_tests.dir/test_paper_identities.cpp.o"
+  "CMakeFiles/identity_tests.dir/test_paper_identities.cpp.o.d"
+  "identity_tests"
+  "identity_tests.pdb"
+  "identity_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/identity_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

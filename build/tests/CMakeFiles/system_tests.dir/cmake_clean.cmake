@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_tests.dir/test_attacks.cpp.o"
+  "CMakeFiles/system_tests.dir/test_attacks.cpp.o.d"
+  "CMakeFiles/system_tests.dir/test_baselines.cpp.o"
+  "CMakeFiles/system_tests.dir/test_baselines.cpp.o.d"
+  "CMakeFiles/system_tests.dir/test_broadcast.cpp.o"
+  "CMakeFiles/system_tests.dir/test_broadcast.cpp.o.d"
+  "CMakeFiles/system_tests.dir/test_fuzz_decode.cpp.o"
+  "CMakeFiles/system_tests.dir/test_fuzz_decode.cpp.o.d"
+  "system_tests"
+  "system_tests.pdb"
+  "system_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracing_tests.dir/test_blackbox.cpp.o"
+  "CMakeFiles/tracing_tests.dir/test_blackbox.cpp.o.d"
+  "CMakeFiles/tracing_tests.dir/test_blackbox_search.cpp.o"
+  "CMakeFiles/tracing_tests.dir/test_blackbox_search.cpp.o.d"
+  "CMakeFiles/tracing_tests.dir/test_listdecode.cpp.o"
+  "CMakeFiles/tracing_tests.dir/test_listdecode.cpp.o.d"
+  "CMakeFiles/tracing_tests.dir/test_tracing.cpp.o"
+  "CMakeFiles/tracing_tests.dir/test_tracing.cpp.o.d"
+  "tracing_tests"
+  "tracing_tests.pdb"
+  "tracing_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracing_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_crypto.cpp" "tests/CMakeFiles/unit_crypto_tests.dir/test_crypto.cpp.o" "gcc" "tests/CMakeFiles/unit_crypto_tests.dir/test_crypto.cpp.o.d"
+  "/root/repo/tests/test_ec.cpp" "tests/CMakeFiles/unit_crypto_tests.dir/test_ec.cpp.o" "gcc" "tests/CMakeFiles/unit_crypto_tests.dir/test_ec.cpp.o.d"
+  "/root/repo/tests/test_fixed_base.cpp" "tests/CMakeFiles/unit_crypto_tests.dir/test_fixed_base.cpp.o" "gcc" "tests/CMakeFiles/unit_crypto_tests.dir/test_fixed_base.cpp.o.d"
+  "/root/repo/tests/test_group.cpp" "tests/CMakeFiles/unit_crypto_tests.dir/test_group.cpp.o" "gcc" "tests/CMakeFiles/unit_crypto_tests.dir/test_group.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/unit_crypto_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/unit_crypto_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_serial.cpp" "tests/CMakeFiles/unit_crypto_tests.dir/test_serial.cpp.o" "gcc" "tests/CMakeFiles/unit_crypto_tests.dir/test_serial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dfky.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

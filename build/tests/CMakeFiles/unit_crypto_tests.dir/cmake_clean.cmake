@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_crypto_tests.dir/test_crypto.cpp.o"
+  "CMakeFiles/unit_crypto_tests.dir/test_crypto.cpp.o.d"
+  "CMakeFiles/unit_crypto_tests.dir/test_ec.cpp.o"
+  "CMakeFiles/unit_crypto_tests.dir/test_ec.cpp.o.d"
+  "CMakeFiles/unit_crypto_tests.dir/test_fixed_base.cpp.o"
+  "CMakeFiles/unit_crypto_tests.dir/test_fixed_base.cpp.o.d"
+  "CMakeFiles/unit_crypto_tests.dir/test_group.cpp.o"
+  "CMakeFiles/unit_crypto_tests.dir/test_group.cpp.o.d"
+  "CMakeFiles/unit_crypto_tests.dir/test_rng.cpp.o"
+  "CMakeFiles/unit_crypto_tests.dir/test_rng.cpp.o.d"
+  "CMakeFiles/unit_crypto_tests.dir/test_serial.cpp.o"
+  "CMakeFiles/unit_crypto_tests.dir/test_serial.cpp.o.d"
+  "unit_crypto_tests"
+  "unit_crypto_tests.pdb"
+  "unit_crypto_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_crypto_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

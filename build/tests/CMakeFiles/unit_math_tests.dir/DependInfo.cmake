@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bigint.cpp" "tests/CMakeFiles/unit_math_tests.dir/test_bigint.cpp.o" "gcc" "tests/CMakeFiles/unit_math_tests.dir/test_bigint.cpp.o.d"
+  "/root/repo/tests/test_codes.cpp" "tests/CMakeFiles/unit_math_tests.dir/test_codes.cpp.o" "gcc" "tests/CMakeFiles/unit_math_tests.dir/test_codes.cpp.o.d"
+  "/root/repo/tests/test_field.cpp" "tests/CMakeFiles/unit_math_tests.dir/test_field.cpp.o" "gcc" "tests/CMakeFiles/unit_math_tests.dir/test_field.cpp.o.d"
+  "/root/repo/tests/test_leap_vector.cpp" "tests/CMakeFiles/unit_math_tests.dir/test_leap_vector.cpp.o" "gcc" "tests/CMakeFiles/unit_math_tests.dir/test_leap_vector.cpp.o.d"
+  "/root/repo/tests/test_linalg.cpp" "tests/CMakeFiles/unit_math_tests.dir/test_linalg.cpp.o" "gcc" "tests/CMakeFiles/unit_math_tests.dir/test_linalg.cpp.o.d"
+  "/root/repo/tests/test_poly.cpp" "tests/CMakeFiles/unit_math_tests.dir/test_poly.cpp.o" "gcc" "tests/CMakeFiles/unit_math_tests.dir/test_poly.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dfky.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_math_tests.dir/test_bigint.cpp.o"
+  "CMakeFiles/unit_math_tests.dir/test_bigint.cpp.o.d"
+  "CMakeFiles/unit_math_tests.dir/test_codes.cpp.o"
+  "CMakeFiles/unit_math_tests.dir/test_codes.cpp.o.d"
+  "CMakeFiles/unit_math_tests.dir/test_field.cpp.o"
+  "CMakeFiles/unit_math_tests.dir/test_field.cpp.o.d"
+  "CMakeFiles/unit_math_tests.dir/test_leap_vector.cpp.o"
+  "CMakeFiles/unit_math_tests.dir/test_leap_vector.cpp.o.d"
+  "CMakeFiles/unit_math_tests.dir/test_linalg.cpp.o"
+  "CMakeFiles/unit_math_tests.dir/test_linalg.cpp.o.d"
+  "CMakeFiles/unit_math_tests.dir/test_poly.cpp.o"
+  "CMakeFiles/unit_math_tests.dir/test_poly.cpp.o.d"
+  "unit_math_tests"
+  "unit_math_tests.pdb"
+  "unit_math_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_math_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

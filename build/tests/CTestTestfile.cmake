@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/unit_math_tests[1]_include.cmake")
+include("/root/repo/build/tests/unit_crypto_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/tracing_tests[1]_include.cmake")
+include("/root/repo/build/tests/system_tests[1]_include.cmake")
+include("/root/repo/build/tests/identity_tests[1]_include.cmake")
+add_test(cli_e2e "bash" "/root/repo/tests/cli_e2e.sh" "/root/repo/build/tools/dfky_cli")
+set_tests_properties(cli_e2e PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;54;add_test;/root/repo/tests/CMakeLists.txt;0;")

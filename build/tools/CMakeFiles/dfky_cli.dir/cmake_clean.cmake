@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfky_cli.dir/dfky_cli.cpp.o"
+  "CMakeFiles/dfky_cli.dir/dfky_cli.cpp.o.d"
+  "dfky_cli"
+  "dfky_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfky_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
