@@ -12,16 +12,26 @@ void BroadcastBus::unsubscribe(std::size_t token) {
   handlers_.erase(token);
 }
 
-void BroadcastBus::publish(Envelope env) {
+void BroadcastBus::record(const Envelope& env) {
   ++messages_;
   bytes_ += env.payload.size();
   bytes_by_type_[env.type] += env.payload.size();
   log_.push_back(env);
+}
+
+void BroadcastBus::deliver(const Envelope& env) {
   // Deliver to a snapshot so handlers may (un)subscribe during delivery.
+  // `env` must be the caller's own copy: a handler that publishes
+  // recursively grows log_, so a reference into it would dangle.
   std::vector<Handler> snapshot;
   snapshot.reserve(handlers_.size());
   for (const auto& [token, h] : handlers_) snapshot.push_back(h);
-  for (const Handler& h : snapshot) h(log_.back());
+  for (const Handler& h : snapshot) h(env);
+}
+
+void BroadcastBus::publish(Envelope env) {
+  record(env);
+  deliver(env);
 }
 
 std::uint64_t BroadcastBus::bytes_sent(MsgType type) const {

@@ -4,6 +4,10 @@
 // broadcast channel every party (and every eavesdropper) can read. Messages
 // are serialized bytes — the byte counters here are what the transmission-
 // efficiency experiments report.
+//
+// The channel is authenticated but NOT reliable: `publish` is virtual so
+// FaultyBus can interpose drops, duplicates, reorders, corruption, and
+// delays between the sender's log and the subscribers (see faulty_bus.h).
 #pragma once
 
 #include <functional>
@@ -14,9 +18,11 @@
 namespace dfky {
 
 enum class MsgType : std::uint8_t {
-  kContent = 0,        // ContentMessage from a provider
+  kContent = 0,          // ContentMessage from a provider
   kPublicKeyUpdate = 1,  // PublicKey republished by the manager
   kChangePeriod = 2,     // SignedResetBundle
+  kCatchUpRequest = 3,   // CatchUpRequest from a stale receiver
+  kCatchUpResponse = 4,  // CatchUpResponse from the manager's archive
 };
 
 struct Envelope {
@@ -28,19 +34,32 @@ class BroadcastBus {
  public:
   using Handler = std::function<void(const Envelope&)>;
 
+  virtual ~BroadcastBus() = default;
+
   /// Registers a listener; returns a token for unsubscribe.
   std::size_t subscribe(Handler handler);
   void unsubscribe(std::size_t token);
 
-  /// Delivers synchronously to all current subscribers and logs the message.
-  void publish(Envelope env);
+  /// Logs the message and delivers it to all current subscribers. The base
+  /// bus is synchronous and lossless; FaultyBus overrides this.
+  virtual void publish(Envelope env);
 
   std::uint64_t messages_sent() const { return messages_; }
   std::uint64_t bytes_sent() const { return bytes_; }
   std::uint64_t bytes_sent(MsgType type) const;
 
-  /// Everything ever broadcast — the eavesdropper's view.
+  /// Everything ever broadcast — the eavesdropper's view. Faults are a
+  /// delivery phenomenon; the log always records what the sender put on
+  /// the wire.
   const std::vector<Envelope>& log() const { return log_; }
+
+ protected:
+  /// Accounting + append to the eavesdropper log.
+  void record(const Envelope& env);
+  /// Invokes every current handler on `env`. Snapshots the handler map
+  /// first, so handlers may (un)subscribe — or publish recursively —
+  /// during delivery.
+  void deliver(const Envelope& env);
 
  private:
   std::map<std::size_t, Handler> handlers_;

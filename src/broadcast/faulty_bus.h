@@ -1,0 +1,86 @@
+// Fault-injecting broadcast channel.
+//
+// The paper assumes an authenticated-but-unreliable broadcast medium; the
+// plain BroadcastBus is lossless, which hides a whole class of receiver
+// failures (one missed New-period bundle bricks a legitimate subscriber).
+// FaultyBus interposes a deterministic, seeded fault plan between the
+// sender's log and the subscribers: per-message drop / duplicate / reorder /
+// byte-corruption / delay-by-N-messages probabilities, plus a targeted
+// "drop the next kChangePeriod bundle" directive for staging exact gap
+// scenarios. Every decision is drawn from a ChaCha20 PRG seeded by the
+// plan, so two runs with the same seed and publish sequence produce
+// identical fault counters and identical delivery schedules.
+#pragma once
+
+#include <map>
+
+#include "broadcast/bus.h"
+#include "rng/chacha_rng.h"
+
+namespace dfky {
+
+/// Knobs of the channel model. Probabilities are evaluated independently
+/// per message, in a fixed order (drop, duplicate, corrupt, delay, reorder),
+/// so the random stream — and therefore the run — is seed-deterministic.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  double drop_prob = 0.0;       // message never delivered
+  double duplicate_prob = 0.0;  // message delivered twice back-to-back
+  double corrupt_prob = 0.0;    // one payload byte flipped before delivery
+  double delay_prob = 0.0;      // delivery deferred by `delay_messages`
+  double reorder_prob = 0.0;    // delivery deferred by one message (swap)
+  std::size_t delay_messages = 2;
+};
+
+/// Per-fault counters. `published` counts publish() calls; `delivered`
+/// counts envelopes actually handed to subscribers (duplicates count
+/// twice, drops not at all).
+struct FaultCounters {
+  std::uint64_t published = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t targeted_drops = 0;
+
+  bool operator==(const FaultCounters&) const = default;
+};
+
+class FaultyBus final : public BroadcastBus {
+ public:
+  explicit FaultyBus(FaultPlan plan);
+
+  void publish(Envelope env) override;
+
+  /// Targeted directive: unconditionally drop the next `n` kChangePeriod
+  /// envelopes (stages "receiver missed the New-period bundle" exactly).
+  void drop_next_change_periods(std::size_t n) {
+    drop_change_period_budget_ += n;
+  }
+
+  /// Zeroes all fault probabilities and releases every held envelope —
+  /// the channel heals. Counters and the PRG stream are kept.
+  void heal();
+
+  /// Releases every delayed/reordered envelope now, in schedule order.
+  void flush();
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultCounters& fault_counters() const { return counters_; }
+  std::size_t held_messages() const { return held_.size(); }
+
+ private:
+  bool roll(double prob);
+  void release_due();
+
+  FaultPlan plan_;
+  ChaChaRng rng_;
+  FaultCounters counters_;
+  std::size_t drop_change_period_budget_ = 0;
+  std::uint64_t clock_ = 0;  // publish() calls seen so far
+  std::multimap<std::uint64_t, Envelope> held_;  // release clock -> envelope
+};
+
+}  // namespace dfky

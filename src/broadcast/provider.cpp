@@ -9,9 +9,16 @@ ContentProvider::ContentProvider(std::string name, SystemParams sp,
       pk_(std::move(initial)),
       bus_(bus) {
   token_ = bus_.subscribe([this](const Envelope& env) {
-    if (env.type == MsgType::kPublicKeyUpdate) {
+    if (env.type != MsgType::kPublicKeyUpdate) return;
+    try {
       Reader r(env.payload);
-      pk_ = PublicKey::deserialize(r, sp_.group);
+      PublicKey pk = PublicKey::deserialize(r, sp_.group);
+      r.expect_end();
+      // A delayed/reordered update must not roll the provider's key back
+      // to an earlier period (same-period updates carry new revocations).
+      if (pk.period >= pk_.period) pk_ = std::move(pk);
+    } catch (const Error&) {
+      ++quarantined_updates_;  // corrupted on the wire
     }
   });
 }
@@ -56,29 +63,64 @@ SubscriberClient::~SubscriberClient() {
 void SubscriberClient::on_message(const Envelope& env) {
   switch (env.type) {
     case MsgType::kContent: {
+      std::optional<ContentMessage> msg;
       try {
         Reader r(env.payload);
-        const ContentMessage msg = ContentMessage::deserialize(r, sp_.group);
-        content_.push_back(
-            open_content(sp_, receiver_.key(), msg));
+        msg.emplace(ContentMessage::deserialize(r, sp_.group));
+        r.expect_end();
       } catch (const Error&) {
-        ++missed_;  // revoked, stale key, or malformed broadcast
+        ++quarantined_;  // corrupted on the wire
+        break;
+      }
+      try {
+        content_.push_back(open_content(sp_, receiver_.key(), *msg));
+      } catch (const Error&) {
+        ++missed_;  // revoked or stale key
+        // A ciphertext from a future period is (unauthenticated) evidence
+        // that New-period bundles were lost; widen the catch-up target.
+        if (msg->kem.period > receiver_.period()) {
+          const bool was_stale = receiver_.state() != ReceiverState::kCurrent;
+          receiver_.note_observed_period(msg->kem.period);
+          if (!was_stale && receiver_.state() == ReceiverState::kStale) {
+            ++gaps_;
+          }
+        }
       }
       break;
     }
     case MsgType::kChangePeriod: {
+      std::optional<SignedResetBundle> bundle;
       try {
         Reader r(env.payload);
-        const SignedResetBundle bundle =
-            SignedResetBundle::deserialize(r, sp_.group);
-        receiver_.apply_reset(bundle);
+        bundle.emplace(SignedResetBundle::deserialize(r, sp_.group));
+        r.expect_end();
       } catch (const Error&) {
-        ++failed_resets_;  // revoked receivers cannot follow the change
+        ++quarantined_;  // corrupted on the wire
+        break;
+      }
+      try {
+        switch (receiver_.apply_reset(*bundle)) {
+          case ResetOutcome::kApplied:
+            break;
+          case ResetOutcome::kStaleIgnored:
+            ++stale_resets_;
+            break;
+          case ResetOutcome::kGapDetected:
+            ++gaps_;
+            break;
+          case ResetOutcome::kCannotFollow:
+            ++failed_resets_;  // revoked receivers cannot follow the change
+            break;
+        }
+      } catch (const Error&) {
+        ++quarantined_;  // forged signature (or corrupted past parsing)
       }
       break;
     }
     case MsgType::kPublicKeyUpdate:
-      break;  // receivers do not need the public key
+    case MsgType::kCatchUpRequest:
+    case MsgType::kCatchUpResponse:
+      break;  // handled by providers / RecoveryClient, not the subscriber
   }
 }
 

@@ -28,6 +28,9 @@ class ContentProvider {
 
   const std::string& name() const { return name_; }
   const PublicKey& current_public_key() const { return pk_; }
+  /// Corrupted key-update envelopes ignored (the provider keeps encrypting
+  /// under its last good key).
+  std::size_t quarantined_updates() const { return quarantined_updates_; }
 
   /// Encrypts `payload` under the current public key and broadcasts it.
   ContentMessage broadcast(BytesView payload, Rng& rng);
@@ -38,6 +41,7 @@ class ContentProvider {
   PublicKey pk_;
   BroadcastBus& bus_;
   std::size_t token_;
+  std::size_t quarantined_updates_ = 0;
 };
 
 /// Publishes the manager's current public key on the bus (done after every
@@ -49,6 +53,10 @@ void announce_public_key(BroadcastBus& bus, const Group& group,
 void announce_reset(BroadcastBus& bus, const Group& group,
                     const SignedResetBundle& bundle);
 
+/// Wraps a Receiver on the bus. Resilient by construction: envelopes that
+/// fail to parse or authenticate are counted and quarantined, never thrown
+/// through the bus callback; period gaps flip the receiver into kStale
+/// (attach a RecoveryClient, see broadcast/recovery.h, to drive catch-up).
 class SubscriberClient {
  public:
   /// Subscribes to content and period-change messages.
@@ -59,15 +67,27 @@ class SubscriberClient {
   SubscriberClient(const SubscriberClient&) = delete;
   SubscriberClient& operator=(const SubscriberClient&) = delete;
 
+  const SystemParams& params() const { return sp_; }
   const Receiver& receiver() const { return receiver_; }
+  /// Mutable access for the recovery path (catch-up bundle replay).
+  Receiver& receiver() { return receiver_; }
   std::uint64_t period() const { return receiver_.period(); }
+  ReceiverState state() const { return receiver_.state(); }
 
   /// Payloads successfully decrypted so far.
   const std::vector<Bytes>& received_content() const { return content_; }
   /// Broadcasts this client failed to decrypt (revoked/stale).
   std::size_t missed_broadcasts() const { return missed_; }
-  /// Reset bundles this client could not follow.
+  /// Reset bundles this client could not follow (revoked key).
   std::size_t failed_resets() const { return failed_resets_; }
+  /// Envelopes whose payload failed to parse or authenticate (corruption,
+  /// forgery) — counted, never surfaced as exceptions.
+  std::size_t quarantined_envelopes() const { return quarantined_; }
+  /// Duplicate / replayed resets idempotently ignored.
+  std::size_t stale_resets_ignored() const { return stale_resets_; }
+  /// Period gaps detected (reset for a future period, or a newer observed
+  /// ciphertext period).
+  std::size_t gaps_detected() const { return gaps_; }
 
  private:
   void on_message(const Envelope& env);
@@ -79,6 +99,9 @@ class SubscriberClient {
   std::vector<Bytes> content_;
   std::size_t missed_ = 0;
   std::size_t failed_resets_ = 0;
+  std::size_t quarantined_ = 0;
+  std::size_t stale_resets_ = 0;
+  std::size_t gaps_ = 0;
 };
 
 }  // namespace dfky

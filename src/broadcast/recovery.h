@@ -1,0 +1,99 @@
+// Catch-up recovery protocol over the broadcast bus.
+//
+// When a receiver misses New-period bundles (lossy channel), it flips to
+// kStale and needs the missing SignedResetBundles replayed in order. Two
+// small actors implement that:
+//
+//   CatchUpResponder — manager side. Listens for kCatchUpRequest envelopes
+//   and answers from the manager's bounded signed-reset archive with a
+//   kCatchUpResponse carrying the missing bundle range (or an empty range
+//   plus the archive floor when the needed period has been evicted).
+//
+//   RecoveryClient — receiver side. Watches a SubscriberClient; whenever
+//   its receiver is kStale it publishes catch-up requests under a bounded
+//   attempt budget with a deterministic exponential backoff, measured in
+//   observed bus messages (the in-process bus has no clock). Responses are
+//   self-authenticating (each bundle is signed), so the client replays
+//   bundles from ANY response it sees — concurrent recoveries share work.
+//   Signed evidence that the archive evicted the needed period drives the
+//   receiver to its terminal kUnrecoverable state.
+#pragma once
+
+#include "broadcast/provider.h"
+#include "core/manager.h"
+
+namespace dfky {
+
+class CatchUpResponder {
+ public:
+  /// `rng` feeds the response signatures (seed it for deterministic runs).
+  CatchUpResponder(SecurityManager& mgr, BroadcastBus& bus, Rng& rng);
+  ~CatchUpResponder();
+
+  CatchUpResponder(const CatchUpResponder&) = delete;
+  CatchUpResponder& operator=(const CatchUpResponder&) = delete;
+
+  std::uint64_t requests_answered() const { return answered_; }
+  std::uint64_t requests_quarantined() const { return quarantined_; }
+
+ private:
+  SecurityManager& mgr_;
+  BroadcastBus& bus_;
+  Rng& rng_;
+  std::size_t token_;
+  std::uint64_t answered_ = 0;
+  std::uint64_t quarantined_ = 0;
+};
+
+struct RecoveryPolicy {
+  /// Max catch-up requests per stale episode. Exhausting the budget stops
+  /// this client (kExhausted) but does NOT mark the receiver unrecoverable:
+  /// only signed archive-eviction evidence is terminal, so lost responses
+  /// cannot be escalated into a bricked subscriber by an injected hint.
+  std::size_t attempt_budget = 6;
+  /// Backoff before retry #n, in observed bus messages: base << (n - 1).
+  std::uint64_t backoff_base = 1;
+  /// Correlation nonce echoed by the responder (pick per client).
+  std::uint64_t nonce = 1;
+};
+
+class RecoveryClient {
+ public:
+  enum class Status : std::uint8_t {
+    kIdle = 0,         // receiver current; nothing to do
+    kWaiting = 1,      // request sent, watching for a response
+    kRecovered = 2,    // last stale episode ended in kCurrent
+    kExhausted = 3,    // attempt budget spent while still stale
+    kUnrecoverable = 4,  // archive evicted the needed period (terminal)
+  };
+
+  RecoveryClient(SubscriberClient& subscriber, BroadcastBus& bus,
+                 RecoveryPolicy policy = {});
+  ~RecoveryClient();
+
+  RecoveryClient(const RecoveryClient&) = delete;
+  RecoveryClient& operator=(const RecoveryClient&) = delete;
+
+  Status status() const { return status_; }
+  std::size_t attempts() const { return attempts_; }
+  std::uint64_t requests_sent() const { return requests_sent_; }
+  std::uint64_t bundles_replayed() const { return bundles_replayed_; }
+
+ private:
+  void on_message(const Envelope& env);
+  void handle_response(const Envelope& env);
+  void maybe_request();
+
+  SubscriberClient& subscriber_;
+  BroadcastBus& bus_;
+  RecoveryPolicy policy_;
+  std::size_t token_;
+  Status status_ = Status::kIdle;
+  std::uint64_t tick_ = 0;  // bus messages observed
+  std::uint64_t next_attempt_tick_ = 0;
+  std::size_t attempts_ = 0;  // within the current stale episode
+  std::uint64_t requests_sent_ = 0;
+  std::uint64_t bundles_replayed_ = 0;
+};
+
+}  // namespace dfky

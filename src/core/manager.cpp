@@ -7,7 +7,8 @@ namespace dfky {
 namespace {
 
 constexpr std::uint32_t kStateMagic = 0x64666b79;  // "dfky"
-constexpr std::uint8_t kStateVersion = 1;
+// v2 appends the signed-reset archive (catch-up recovery) to v1.
+constexpr std::uint8_t kStateVersion = 2;
 
 void put_poly_fixed(Writer& w, const Polynomial& p, std::size_t v) {
   for (std::size_t i = 0; i <= v; ++i) put_bigint(w, p.coeff(i));
@@ -122,14 +123,18 @@ SecurityManager::SecurityManager(RestoreTag, SystemParams sp,
                                  MasterSecret msk, PublicKey pk,
                                  SchnorrKeyPair sign_key, ResetMode mode,
                                  std::size_t level,
-                                 std::vector<UserRecord> users)
+                                 std::vector<UserRecord> users,
+                                 std::size_t archive_capacity,
+                                 std::deque<SignedResetBundle> archive)
     : sp_(std::move(sp)),
       msk_(std::move(msk)),
       pk_(std::move(pk)),
       sign_key_(std::move(sign_key)),
       default_mode_(mode),
       level_(level),
-      users_(std::move(users)) {
+      users_(std::move(users)),
+      archive_capacity_(archive_capacity),
+      archive_(std::move(archive)) {
   for (const UserRecord& u : users_) used_x_.insert(u.x);
 }
 
@@ -170,6 +175,10 @@ Bytes SecurityManager::save_state() const {
     w.put_u8(u.revoked ? 1 : 0);
     w.put_u64(u.revoked_in_period);
   }
+  // v2: the signed-reset archive that answers catch-up requests.
+  w.put_u64(archive_capacity_);
+  w.put_u64(archive_.size());
+  for (const SignedResetBundle& b : archive_) b.serialize(w, sp_.group);
   return std::move(w).take();
 }
 
@@ -233,11 +242,32 @@ SecurityManager SecurityManager::restore_state(BytesView state) {
     if (u.id != i) throw DecodeError("SecurityManager: non-sequential ids");
     users.push_back(std::move(u));
   }
+  const std::size_t archive_capacity = r.get_u64();
+  if (archive_capacity == 0 || archive_capacity > (1u << 16)) {
+    throw DecodeError("SecurityManager: implausible archive capacity");
+  }
+  const std::uint64_t an = r.get_u64();
+  if (an > archive_capacity) {
+    throw DecodeError("SecurityManager: archive exceeds its capacity");
+  }
+  if (an > pk.period) {
+    throw DecodeError("SecurityManager: archive longer than period history");
+  }
+  r.check_count(an, 9 + 2 * group.element_size());
+  std::deque<SignedResetBundle> archive;
+  for (std::uint64_t i = 0; i < an; ++i) {
+    archive.push_back(SignedResetBundle::deserialize(r, group));
+    // Must be the consecutive run ending at the current period.
+    if (archive.back().reset.new_period != pk.period - (an - 1 - i)) {
+      throw DecodeError("SecurityManager: archive periods inconsistent");
+    }
+  }
   r.expect_end();
   return SecurityManager(RestoreTag{}, std::move(sp), std::move(msk),
                          std::move(pk), std::move(sign_key),
                          static_cast<ResetMode>(mode_raw), level,
-                         std::move(users));
+                         std::move(users), archive_capacity,
+                         std::move(archive));
 }
 
 SignedResetBundle SecurityManager::new_period(Rng& rng, ResetMode mode) {
@@ -256,7 +286,40 @@ SignedResetBundle SecurityManager::new_period(Rng& rng, ResetMode mode) {
 
   bundle.signature =
       sign_key_.sign(sp_.group, bundle.signed_payload(sp_.group), rng);
+
+  archive_.push_back(bundle);
+  while (archive_.size() > archive_capacity_) archive_.pop_front();
   return bundle;
+}
+
+void SecurityManager::set_reset_archive_capacity(std::size_t k) {
+  require(k >= 1, "set_reset_archive_capacity: capacity must be >= 1");
+  archive_capacity_ = k;
+  while (archive_.size() > archive_capacity_) archive_.pop_front();
+}
+
+std::uint64_t SecurityManager::archive_oldest_period() const {
+  return archive_.empty() ? pk_.period + 1
+                          : archive_.front().reset.new_period;
+}
+
+CatchUpResponse SecurityManager::handle_catch_up(const CatchUpRequest& req,
+                                                 Rng& rng) const {
+  CatchUpResponse resp;
+  resp.nonce = req.nonce;
+  resp.oldest_available = archive_oldest_period();
+  const std::uint64_t from = req.have_period + 1;
+  if (from >= resp.oldest_available) {
+    const std::uint64_t to = std::min(req.want_period, pk_.period);
+    for (const SignedResetBundle& b : archive_) {
+      if (b.reset.new_period < from) continue;
+      if (b.reset.new_period > to) break;
+      resp.bundles.push_back(b);
+    }
+  }
+  resp.signature =
+      sign_key_.sign(sp_.group, resp.signed_payload(sp_.group), rng);
+  return resp;
 }
 
 }  // namespace dfky

@@ -3,6 +3,7 @@
 // and New-period (reactive on saturation overflow, or proactive on demand).
 #pragma once
 
+#include <deque>
 #include <optional>
 #include <set>
 
@@ -66,6 +67,29 @@ class SecurityManager {
   SignedResetBundle new_period(Rng& rng);
   SignedResetBundle new_period(Rng& rng, ResetMode mode);
 
+  // -- catch-up recovery -------------------------------------------------------
+  /// The manager archives the last K signed reset bundles (a ring buffer,
+  /// persisted by save_state) so receivers that missed New-period
+  /// broadcasts can be replayed the gap. A receiver whose needed period
+  /// has been evicted is unrecoverable and must re-join out of band.
+  static constexpr std::size_t kDefaultArchiveCapacity = 16;
+  std::size_t reset_archive_capacity() const { return archive_capacity_; }
+  /// Shrinking evicts oldest bundles immediately. Capacity must be >= 1.
+  void set_reset_archive_capacity(std::size_t k);
+  const std::deque<SignedResetBundle>& reset_archive() const {
+    return archive_;
+  }
+  /// Oldest period a catch-up can still start from; current period + 1
+  /// when the archive is empty (nothing to serve, nothing missing).
+  std::uint64_t archive_oldest_period() const;
+
+  /// Answers a stale receiver: the consecutive bundles for periods
+  /// have_period+1 .. min(want_period, current). Returns an empty bundle
+  /// list when the range's start has been evicted — the signed bundles in
+  /// any non-empty answer always begin exactly at have_period + 1. The
+  /// response is signed (the eviction verdict must not be forgeable).
+  CatchUpResponse handle_catch_up(const CatchUpRequest& req, Rng& rng) const;
+
   // -- views used by tracing and the attack games -----------------------------
   const std::vector<UserRecord>& users() const { return users_; }
   const UserRecord& user(std::uint64_t id) const;
@@ -86,7 +110,8 @@ class SecurityManager {
   struct RestoreTag {};
   SecurityManager(RestoreTag, SystemParams sp, MasterSecret msk, PublicKey pk,
                   SchnorrKeyPair sign_key, ResetMode mode, std::size_t level,
-                  std::vector<UserRecord> users);
+                  std::vector<UserRecord> users, std::size_t archive_capacity,
+                  std::deque<SignedResetBundle> archive);
 
   Bigint fresh_x(Rng& rng);
 
@@ -98,6 +123,8 @@ class SecurityManager {
   std::size_t level_ = 0;
   std::vector<UserRecord> users_;
   std::set<Bigint> used_x_;
+  std::size_t archive_capacity_ = kDefaultArchiveCapacity;
+  std::deque<SignedResetBundle> archive_;  // ascending new_period
 };
 
 }  // namespace dfky

@@ -1,19 +1,54 @@
 // A subscriber's receiver: stateless within a period, stateful across
 // periods (paper Sect. 2). Holds the user key, decrypts broadcasts, and
 // follows signed New-period announcements by updating its key.
+//
+// The broadcast medium is authenticated but unreliable, so the receiver is
+// a small state machine over the periods it has evidence for:
+//
+//   kCurrent ──(signed reset with a period gap, or a newer observed
+//               ciphertext period)──▶ kStale ──(catch-up replay closes the
+//               gap)──▶ kCurrent
+//   kStale ──(manager archive has evicted the needed period)──▶
+//               kUnrecoverable (terminal; the subscription must be
+//               re-issued out of band)
+//
+// Future signed bundles arriving out of order are quarantined in a bounded
+// pending buffer and replayed automatically once the gap closes.
 #pragma once
+
+#include <map>
 
 #include "core/reset_message.h"
 #include "core/scheme.h"
 
 namespace dfky {
 
+enum class ReceiverState : std::uint8_t {
+  kCurrent = 0,        // key period matches every authenticated observation
+  kStale = 1,          // a period gap was detected; catch-up needed
+  kUnrecoverable = 2,  // the needed resets are gone from the archive
+};
+
+/// What a (non-strict) apply_reset did with a verified bundle.
+enum class ResetOutcome : std::uint8_t {
+  kApplied = 0,       // key advanced (and pending bundles drained)
+  kStaleIgnored = 1,  // duplicate / old period: idempotent no-op
+  kGapDetected = 2,   // future period: buffered, receiver is now kStale
+  kCannotFollow = 3,  // next period but undecryptable (revoked key)
+};
+
 class Receiver {
  public:
-  Receiver(SystemParams sp, UserKey key, Gelt manager_vk);
+  /// `strict` restores the original paper-identity behavior: any bundle
+  /// that is not the immediate next period throws DecodeError instead of
+  /// engaging the gap/idempotency state machine.
+  Receiver(SystemParams sp, UserKey key, Gelt manager_vk, bool strict = false);
 
   const UserKey& key() const { return key_; }
   std::uint64_t period() const { return key_.period; }
+  ReceiverState state() const { return state_; }
+  /// The manager verification key this receiver trusts.
+  const Gelt& manager_vk() const { return manager_vk_; }
 
   /// Decrypts a broadcast ciphertext. Throws ContractError if the ciphertext
   /// belongs to a different period or this receiver is revoked in it.
@@ -22,14 +57,47 @@ class Receiver {
   /// Processes a signed change-period broadcast: verifies the manager's
   /// signature, recovers the randomizing polynomials with the current key,
   /// and updates SK_i := < x_i, A(x_i)+D(x_i), B(x_i)+E(x_i) >.
-  /// Throws DecodeError on a bad signature, a wrong period, or (hybrid mode)
-  /// when this receiver has been revoked and cannot follow the change.
-  void apply_reset(const SignedResetBundle& bundle);
+  ///
+  /// Always throws DecodeError on a bad signature. In strict mode it also
+  /// throws on any period other than key.period + 1 (and on an
+  /// undecryptable payload). Otherwise it distinguishes the failure modes:
+  /// stale periods are idempotently ignored, future periods flip the
+  /// receiver to kStale and buffer the bundle, and an undecryptable
+  /// next-period payload (a revoked key) reports kCannotFollow.
+  ResetOutcome apply_reset(const SignedResetBundle& bundle);
+
+  /// Unauthenticated staleness hint from an observed ciphertext period
+  /// (e.g. a content message the receiver could not decrypt). Never
+  /// advances the key — it only widens the catch-up target, and the
+  /// signed catch-up response is what actually moves the state.
+  void note_observed_period(std::uint64_t period);
+
+  /// First period this receiver is missing (key period + 1).
+  std::uint64_t needed_from() const { return key_.period + 1; }
+  /// Highest period the receiver has evidence for (signed or hinted).
+  std::uint64_t catch_up_target() const;
+  /// Terminal transition, taken on signed evidence that the manager's
+  /// archive no longer holds needed_from().
+  void mark_unrecoverable();
+
+  /// Verified future bundles awaiting replay.
+  std::size_t pending_resets() const { return pending_.size(); }
 
  private:
+  /// Applies a verified bundle for exactly key_.period + 1.
+  ResetOutcome apply_next(const SignedResetBundle& bundle);
+  void refresh_state();
+
   SystemParams sp_;
   UserKey key_;
   Gelt manager_vk_;
+  bool strict_;
+  ReceiverState state_ = ReceiverState::kCurrent;
+  std::uint64_t signed_horizon_ = 0;  // highest verified reset period seen
+  std::uint64_t hinted_horizon_ = 0;  // highest unauthenticated hint seen
+  std::map<std::uint64_t, SignedResetBundle> pending_;
+
+  static constexpr std::size_t kMaxPending = 32;
 };
 
 }  // namespace dfky

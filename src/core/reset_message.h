@@ -52,6 +52,42 @@ struct SignedResetBundle {
   bool verify(const Group& group, const Gelt& manager_vk) const;
 };
 
+/// Catch-up request from a receiver that detected a period gap (its key is
+/// at `have_period` but it saw authenticated evidence of `want_period`).
+/// Unauthenticated — the manager's answer is what carries signatures.
+struct CatchUpRequest {
+  std::uint64_t nonce = 0;  // echoed in the response for correlation
+  std::uint64_t have_period = 0;
+  std::uint64_t want_period = 0;
+
+  void serialize(Writer& w) const;
+  static CatchUpRequest deserialize(Reader& r);
+};
+
+/// Catch-up response: the consecutive run of archived signed reset bundles
+/// covering periods have_period+1 .. want_period, or an empty list when the
+/// bounded archive has already evicted period have_period+1 (the receiver
+/// is then unrecoverable). `oldest_available` is the earliest new_period
+/// the archive can still serve. The whole response is signed by the
+/// manager: the bundles are already individually signed, but the eviction
+/// verdict (`oldest_available` with no bundles) is what sends a receiver
+/// to its terminal state, so it must not be forgeable. Replay is harmless:
+/// the archive only evicts forward, so any authentic eviction verdict
+/// stays true.
+struct CatchUpResponse {
+  std::uint64_t nonce = 0;
+  std::uint64_t oldest_available = 0;
+  std::vector<SignedResetBundle> bundles;
+  SchnorrSignature signature;
+
+  /// The byte string the signature covers.
+  Bytes signed_payload(const Group& group) const;
+  bool verify(const Group& group, const Gelt& manager_vk) const;
+
+  void serialize(Writer& w, const Group& group) const;
+  static CatchUpResponse deserialize(Reader& r, const Group& group);
+};
+
 /// Builds a reset message for randomizers D, E under the current public key.
 ResetMessage build_reset_message(const SystemParams& sp, const PublicKey& pk,
                                  const Polynomial& d, const Polynomial& e,

@@ -30,6 +30,54 @@ TEST(Bus, DeliversToSubscribers) {
   EXPECT_EQ(bus.log().size(), 2u);
 }
 
+TEST(Bus, HandlersMaySubscribeAndUnsubscribeDuringPublish) {
+  BroadcastBus bus;
+  int late_calls = 0;
+  std::size_t self_token = 0;
+  std::size_t victim_token =
+      bus.subscribe([&](const Envelope&) { ++late_calls; });
+  // This handler mutates the handler map mid-delivery: it unsubscribes
+  // itself and a peer, and registers a brand-new subscriber.
+  int mutator_calls = 0;
+  self_token = bus.subscribe([&](const Envelope&) {
+    ++mutator_calls;
+    bus.unsubscribe(self_token);
+    bus.unsubscribe(victim_token);
+    bus.subscribe([&](const Envelope&) { ++late_calls; });
+  });
+
+  bus.publish(Envelope{MsgType::kContent, Bytes{1}});
+  EXPECT_EQ(mutator_calls, 1);
+
+  // Next publish: the mutator and the victim are gone; the new subscriber
+  // (registered during delivery) receives it.
+  const int late_before = late_calls;
+  bus.publish(Envelope{MsgType::kContent, Bytes{2}});
+  EXPECT_EQ(mutator_calls, 1);
+  EXPECT_EQ(late_calls, late_before + 1);
+}
+
+TEST(Bus, ReentrantPublishKeepsEnvelopesIntact) {
+  // A handler that publishes during delivery grows the log; the envelope
+  // being delivered must not be invalidated by that reallocation.
+  BroadcastBus bus;
+  std::vector<Bytes> seen;
+  bus.subscribe([&](const Envelope& env) {
+    if (env.type == MsgType::kContent && env.payload.size() == 3) {
+      // Recursive publishes, enough to force log_ reallocation.
+      for (int i = 0; i < 64; ++i) {
+        bus.publish(Envelope{MsgType::kPublicKeyUpdate, Bytes(100, byte(i))});
+      }
+    }
+    seen.push_back(env.payload);
+  });
+  bus.publish(Envelope{MsgType::kContent, Bytes{7, 8, 9}});
+  ASSERT_EQ(seen.size(), 65u);
+  // The outer envelope, read after the nested publishes, is still intact.
+  EXPECT_EQ(seen.back(), (Bytes{7, 8, 9}));
+  EXPECT_EQ(bus.log().size(), 65u);
+}
+
 TEST(Bus, PerTypeByteAccounting) {
   BroadcastBus bus;
   bus.publish(Envelope{MsgType::kContent, Bytes(10)});

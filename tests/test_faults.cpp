@@ -1,0 +1,296 @@
+// Fault-injection matrix: seeded fault plans (drop / duplicate / corrupt /
+// reorder / delay, plus targeted New-period drops) over the full system —
+// manager, providers, subscribers, catch-up responder and recovery clients.
+// Asserts the acceptance bar of the channel-fault work: every non-revoked
+// receiver converges back to the manager's period and decrypts post-recovery
+// content, revoked receivers stay expired (no revival through the catch-up
+// path), and runs are bit-deterministic given the seed.
+#include "broadcast/faulty_bus.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "attacks/revive.h"
+#include "broadcast/recovery.h"
+#include "core/manager.h"
+#include "rng/chacha_rng.h"
+#include "test_util.h"
+
+namespace dfky {
+namespace {
+
+Bytes str(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+TEST(FaultyBus, DeterministicGivenSeed) {
+  const FaultPlan plan{.seed = 99,
+                       .drop_prob = 0.3,
+                       .duplicate_prob = 0.2,
+                       .corrupt_prob = 0.2,
+                       .delay_prob = 0.15,
+                       .reorder_prob = 0.15,
+                       .delay_messages = 3};
+  auto run = [&] {
+    FaultyBus bus(plan);
+    std::vector<Bytes> delivered;
+    bus.subscribe([&](const Envelope& env) { delivered.push_back(env.payload); });
+    for (int i = 0; i < 200; ++i) {
+      bus.publish(Envelope{MsgType::kContent, Bytes(4, byte(i))});
+    }
+    bus.flush();
+    return std::pair{bus.fault_counters(), delivered};
+  };
+  const auto [c1, d1] = run();
+  const auto [c2, d2] = run();
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(d1, d2);
+  // The plan actually injected every fault class.
+  EXPECT_GT(c1.dropped, 0u);
+  EXPECT_GT(c1.duplicated, 0u);
+  EXPECT_GT(c1.corrupted, 0u);
+  EXPECT_GT(c1.delayed, 0u);
+  EXPECT_GT(c1.reordered, 0u);
+  EXPECT_EQ(c1.published, 200u);
+}
+
+TEST(FaultyBus, TargetedChangePeriodDrop) {
+  FaultyBus bus(FaultPlan{.seed = 5});  // no probabilistic faults
+  std::size_t resets_seen = 0;
+  bus.subscribe([&](const Envelope& env) {
+    if (env.type == MsgType::kChangePeriod) ++resets_seen;
+  });
+  bus.drop_next_change_periods(1);
+  bus.publish(Envelope{MsgType::kContent, Bytes{1}});      // unaffected
+  bus.publish(Envelope{MsgType::kChangePeriod, Bytes{2}});  // dropped
+  bus.publish(Envelope{MsgType::kChangePeriod, Bytes{3}});  // delivered
+  EXPECT_EQ(resets_seen, 1u);
+  EXPECT_EQ(bus.fault_counters().targeted_drops, 1u);
+  EXPECT_EQ(bus.fault_counters().dropped, 1u);
+  EXPECT_EQ(bus.log().size(), 3u);  // the eavesdropper still saw everything
+}
+
+// ---------------------------------------------------------------------------
+// Full-system scenario under a fault mix.
+
+struct Mix {
+  const char* name;
+  double drop, dup, corrupt, delay, reorder;
+};
+
+struct ScenarioResult {
+  FaultCounters counters;
+  std::uint64_t mgr_period = 0;
+  std::vector<std::uint64_t> good_periods;
+  std::vector<ReceiverState> good_states;
+  std::vector<bool> good_got_finale;
+  std::uint64_t bad_period = 0;
+  bool bad_got_any_content = false;
+  bool bad_got_finale = false;
+
+  bool operator==(const ScenarioResult&) const = default;
+};
+
+ScenarioResult run_scenario(std::uint64_t seed, const Mix& mix) {
+  constexpr int kGoodUsers = 4;
+  constexpr int kTransitions = 6;  // >= 5 New-period transitions
+  constexpr int kTrafficPerTransition = 6;
+
+  ChaChaRng rng(seed);
+  const SystemParams sp = test::test_params(3, seed ^ 0xfa157);
+  FaultPlan plan{.seed = seed * 1000003 + 17,
+                 .drop_prob = mix.drop,
+                 .duplicate_prob = mix.dup,
+                 .corrupt_prob = mix.corrupt,
+                 .delay_prob = mix.delay,
+                 .reorder_prob = mix.reorder,
+                 .delay_messages = 3};
+  FaultyBus bus(plan);
+  SecurityManager mgr(sp, rng);
+  ChaChaRng responder_rng(seed ^ 0xd00d);
+  CatchUpResponder responder(mgr, bus, responder_rng);
+
+  const auto bad = mgr.add_user(rng);
+  std::vector<SecurityManager::AddedUser> good;
+  for (int i = 0; i < kGoodUsers; ++i) good.push_back(mgr.add_user(rng));
+
+  const RecoveryPolicy base_policy{
+      .attempt_budget = 16, .backoff_base = 1, .nonce = 0};
+  std::vector<std::unique_ptr<SubscriberClient>> subs;
+  std::vector<std::unique_ptr<RecoveryClient>> recoveries;
+  for (int i = 0; i < kGoodUsers; ++i) {
+    subs.push_back(std::make_unique<SubscriberClient>(
+        sp, good[i].key, mgr.verification_key(), bus));
+    RecoveryPolicy policy = base_policy;
+    policy.nonce = 100 + i;
+    recoveries.push_back(
+        std::make_unique<RecoveryClient>(*subs.back(), bus, policy));
+  }
+  SubscriberClient bad_sub(sp, bad.key, mgr.verification_key(), bus);
+  RecoveryPolicy bad_policy = base_policy;
+  bad_policy.nonce = 666;
+  RecoveryClient bad_recovery(bad_sub, bus, bad_policy);
+
+  ContentProvider tv("tv", sp, mgr.public_key(), bus);
+
+  mgr.remove_user(bad.id, rng);
+  announce_public_key(bus, sp.group, mgr.public_key());
+
+  // Guarantee at least one clean "missed the New-period bundle" episode on
+  // top of the probabilistic faults.
+  bus.drop_next_change_periods(1);
+
+  for (int t = 0; t < kTransitions; ++t) {
+    announce_reset(bus, sp.group, mgr.new_period(rng));
+    announce_public_key(bus, sp.group, mgr.public_key());
+    for (int c = 0; c < kTrafficPerTransition; ++c) {
+      tv.broadcast(str("tick"), rng);
+    }
+  }
+
+  // The channel heals; steady traffic lets every pending recovery finish.
+  bus.heal();
+  announce_public_key(bus, sp.group, mgr.public_key());
+  for (int c = 0; c < 8; ++c) tv.broadcast(str("post-heal"), rng);
+  tv.broadcast(str("finale"), rng);
+
+  auto got_finale = [](const SubscriberClient& sub) {
+    const auto& content = sub.received_content();
+    return !content.empty() && content.back() == str("finale");
+  };
+
+  ScenarioResult result;
+  result.counters = bus.fault_counters();
+  result.mgr_period = mgr.period();
+  for (const auto& sub : subs) {
+    result.good_periods.push_back(sub->period());
+    result.good_states.push_back(sub->state());
+    result.good_got_finale.push_back(got_finale(*sub));
+  }
+  result.bad_period = bad_sub.period();
+  result.bad_got_any_content = !bad_sub.received_content().empty();
+  result.bad_got_finale = got_finale(bad_sub);
+  return result;
+}
+
+class FaultMatrixTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+const Mix kMixes[] = {
+    // The acceptance mix: 20% drop / 10% duplicate / 5% corruption.
+    {"acceptance", 0.20, 0.10, 0.05, 0.00, 0.00},
+    {"reorder-heavy", 0.10, 0.05, 0.05, 0.15, 0.15},
+    {"brutal", 0.30, 0.15, 0.10, 0.10, 0.10},
+};
+
+TEST_P(FaultMatrixTest, NonRevokedReceiversConvergeRevokedExpire) {
+  const auto [seed, mix_index] = GetParam();
+  const Mix& mix = kMixes[mix_index];
+  const ScenarioResult r = run_scenario(seed, mix);
+
+  EXPECT_GT(r.counters.dropped, 0u) << mix.name;
+  EXPECT_EQ(r.counters.targeted_drops, 1u) << mix.name;
+  EXPECT_EQ(r.mgr_period, 6u);
+
+  for (std::size_t i = 0; i < r.good_periods.size(); ++i) {
+    EXPECT_EQ(r.good_periods[i], r.mgr_period)
+        << mix.name << " seed=" << seed << " receiver " << i;
+    EXPECT_EQ(r.good_states[i], ReceiverState::kCurrent)
+        << mix.name << " seed=" << seed << " receiver " << i;
+    EXPECT_TRUE(r.good_got_finale[i])
+        << mix.name << " seed=" << seed << " receiver " << i;
+  }
+
+  // The revoked receiver never follows a period change and never sees
+  // content — the catch-up machinery must not revive it.
+  EXPECT_EQ(r.bad_period, 0u) << mix.name;
+  EXPECT_FALSE(r.bad_got_any_content) << mix.name;
+  EXPECT_FALSE(r.bad_got_finale) << mix.name;
+
+  // Determinism: the identical seed reproduces the run bit-for-bit.
+  EXPECT_EQ(r, run_scenario(seed, mix)) << mix.name << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsTimesMixes, FaultMatrixTest,
+    ::testing::Combine(::testing::Values(11u, 42u), ::testing::Range(0, 3)));
+
+// ---------------------------------------------------------------------------
+// Archive eviction: a receiver that sleeps through more transitions than
+// the archive retains is unrecoverable — terminally, with signed evidence.
+
+TEST(Recovery, ArchiveEvictionIsTerminal) {
+  ChaChaRng rng(404);
+  const SystemParams sp = test::test_params(3, 405);
+  BroadcastBus bus;  // lossless: isolates the eviction logic
+  SecurityManager mgr(sp, rng);
+  mgr.set_reset_archive_capacity(2);
+  ChaChaRng responder_rng(406);
+  CatchUpResponder responder(mgr, bus, responder_rng);
+
+  const auto sleeper = mgr.add_user(rng);
+  // Five transitions happen while the sleeper is offline; the archive only
+  // retains the last two bundles (periods 4 and 5).
+  for (int i = 0; i < 5; ++i) mgr.new_period(rng);
+  EXPECT_EQ(mgr.archive_oldest_period(), 4u);
+
+  SubscriberClient sub(sp, sleeper.key, mgr.verification_key(), bus);
+  RecoveryClient recovery(sub, bus, RecoveryPolicy{.nonce = 9});
+  ContentProvider tv("tv", sp, mgr.public_key(), bus);
+
+  tv.broadcast(str("hello?"), rng);
+  EXPECT_EQ(sub.state(), ReceiverState::kUnrecoverable);
+  EXPECT_EQ(recovery.status(), RecoveryClient::Status::kUnrecoverable);
+  EXPECT_EQ(sub.period(), 0u);  // the key never moved
+
+  // Terminal: later resets and traffic change nothing.
+  announce_reset(bus, sp.group, mgr.new_period(rng));
+  tv.broadcast(str("still there?"), rng);
+  EXPECT_EQ(sub.state(), ReceiverState::kUnrecoverable);
+  EXPECT_TRUE(sub.received_content().empty());
+}
+
+TEST(Recovery, WithinArchiveGapIsBridged) {
+  ChaChaRng rng(500);
+  const SystemParams sp = test::test_params(3, 501);
+  BroadcastBus bus;
+  SecurityManager mgr(sp, rng);
+  ChaChaRng responder_rng(502);
+  CatchUpResponder responder(mgr, bus, responder_rng);
+
+  const auto u = mgr.add_user(rng);
+  for (int i = 0; i < 4; ++i) mgr.new_period(rng);  // within default K=16
+
+  SubscriberClient sub(sp, u.key, mgr.verification_key(), bus);
+  RecoveryClient recovery(sub, bus, RecoveryPolicy{.nonce = 3});
+  ContentProvider tv("tv", sp, mgr.public_key(), bus);
+
+  // One content message exposes the gap; the synchronous request/response
+  // replays all four bundles, so the next message already decrypts.
+  tv.broadcast(str("gap probe"), rng);
+  EXPECT_EQ(sub.state(), ReceiverState::kCurrent);
+  EXPECT_EQ(sub.period(), 4u);
+  EXPECT_EQ(recovery.bundles_replayed(), 4u);
+  EXPECT_EQ(recovery.status(), RecoveryClient::Status::kRecovered);
+
+  tv.broadcast(str("back online"), rng);
+  ASSERT_FALSE(sub.received_content().empty());
+  EXPECT_EQ(sub.received_content().back(), str("back online"));
+}
+
+// The revive attack extended through the recovery protocol: the manager's
+// archive happily answers the revoked adversary, but the replayed bundles
+// do not open under her key — no revival through the catch-up path.
+TEST(Recovery, NoRevivalThroughCatchUp) {
+  ChaChaRng rng(321);
+  const SystemParams sp = test::test_params(4, 322);
+  const ReviveOutcome out = run_revive_attack(sp, rng);
+  EXPECT_FALSE(out.scheme_decrypts_when_revoked);
+  EXPECT_FALSE(out.scheme_revived);
+  EXPECT_GT(out.catch_up_requests_answered, 0u);
+  EXPECT_FALSE(out.scheme_revived_via_catch_up);
+}
+
+}  // namespace
+}  // namespace dfky

@@ -137,7 +137,9 @@ TEST(Manager, RevokedReceiverStaysOutAcrossPeriods) {
   ChaChaRng rng(110);
   SecurityManager mgr(test::test_params(2), rng);
   const auto bad = mgr.add_user(rng);
-  Receiver bad_receiver(mgr.params(), bad.key, mgr.verification_key());
+  // Strict mode: failure to follow a reset surfaces as a throw.
+  Receiver bad_receiver(mgr.params(), bad.key, mgr.verification_key(),
+                        /*strict=*/true);
   mgr.remove_user(bad.id, rng);
 
   // Force a period change with fresh victims; the revoked receiver cannot

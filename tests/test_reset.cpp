@@ -167,10 +167,12 @@ TEST(Receiver, RejectsForgedReset) {
 }
 
 TEST(Receiver, RejectsWrongPeriodReset) {
+  // Strict mode preserves the original paper-identity behavior: anything
+  // other than the immediate next period throws.
   ResetFixture fx(3);
   const auto kp = SchnorrKeyPair::generate(fx.sp.group, fx.rng);
   const UserKey sk = issue_user_key(fx.sp, fx.s.msk, Bigint(321), 0);
-  Receiver receiver(fx.sp, sk, kp.public_key());
+  Receiver receiver(fx.sp, sk, kp.public_key(), /*strict=*/true);
 
   SignedResetBundle bundle;
   bundle.reset = build_reset_message(fx.sp, fx.s.pk, fx.d, fx.e,
@@ -179,6 +181,82 @@ TEST(Receiver, RejectsWrongPeriodReset) {
   bundle.signature =
       kp.sign(fx.sp.group, bundle.signed_payload(fx.sp.group), fx.rng);
   EXPECT_THROW(receiver.apply_reset(bundle), DecodeError);
+}
+
+TEST(Receiver, LenientModeDistinguishesFailureModes) {
+  ResetFixture fx(3);
+  const auto kp = SchnorrKeyPair::generate(fx.sp.group, fx.rng);
+  const UserKey sk = issue_user_key(fx.sp, fx.s.msk, Bigint(321), 0);
+  Receiver receiver(fx.sp, sk, kp.public_key());
+
+  SignedResetBundle next;
+  next.reset = build_reset_message(fx.sp, fx.s.pk, fx.d, fx.e,
+                                   ResetMode::kHybrid, fx.rng);
+  next.signature =
+      kp.sign(fx.sp.group, next.signed_payload(fx.sp.group), fx.rng);
+
+  // Future period: gap detected, bundle quarantined, state flips to stale.
+  SignedResetBundle future = next;
+  future.reset.new_period = 3;
+  future.signature =
+      kp.sign(fx.sp.group, future.signed_payload(fx.sp.group), fx.rng);
+  EXPECT_EQ(receiver.apply_reset(future), ResetOutcome::kGapDetected);
+  EXPECT_EQ(receiver.state(), ReceiverState::kStale);
+  EXPECT_EQ(receiver.pending_resets(), 1u);
+  EXPECT_EQ(receiver.catch_up_target(), 3u);
+  EXPECT_EQ(receiver.period(), 0u);  // key untouched
+
+  // The immediate next period still applies...
+  EXPECT_EQ(receiver.apply_reset(next), ResetOutcome::kApplied);
+  EXPECT_EQ(receiver.period(), 1u);
+  EXPECT_EQ(receiver.state(), ReceiverState::kStale);  // still missing 2..3
+
+  // ...and a duplicate of it is idempotently ignored.
+  EXPECT_EQ(receiver.apply_reset(next), ResetOutcome::kStaleIgnored);
+  EXPECT_EQ(receiver.period(), 1u);
+
+  // A bad signature throws in both modes.
+  SignedResetBundle forged = next;
+  forged.reset.new_period = 2;
+  EXPECT_THROW(receiver.apply_reset(forged), DecodeError);
+}
+
+TEST(Receiver, DrainsPendingResetsOnceGapCloses) {
+  ResetFixture fx(3);
+  const auto kp = SchnorrKeyPair::generate(fx.sp.group, fx.rng);
+  const UserKey sk = issue_user_key(fx.sp, fx.s.msk, Bigint(77), 0);
+  Receiver receiver(fx.sp, sk, kp.public_key());
+
+  // Build the genuine chain of three consecutive resets by evolving the
+  // master secret exactly as the manager would.
+  MasterSecret msk = fx.s.msk;
+  PublicKey pk = fx.s.pk;
+  std::vector<SignedResetBundle> chain;
+  for (int i = 0; i < 3; ++i) {
+    const Polynomial d = Polynomial::random(fx.sp.group.zq(), 3, fx.rng);
+    const Polynomial e = Polynomial::random(fx.sp.group.zq(), 3, fx.rng);
+    SignedResetBundle b;
+    b.reset = build_reset_message(fx.sp, pk, d, e, ResetMode::kHybrid, fx.rng);
+    b.signature = kp.sign(fx.sp.group, b.signed_payload(fx.sp.group), fx.rng);
+    msk.a = msk.a + d;
+    msk.b = msk.b + e;
+    pk = make_fresh_public_key(fx.sp, msk, pk.period + 1);
+    chain.push_back(std::move(b));
+  }
+
+  // Deliver out of order: 2, 3, then 1 — the receiver buffers the future
+  // ones and replays them the moment the gap closes.
+  EXPECT_EQ(receiver.apply_reset(chain[1]), ResetOutcome::kGapDetected);
+  EXPECT_EQ(receiver.apply_reset(chain[2]), ResetOutcome::kGapDetected);
+  EXPECT_EQ(receiver.pending_resets(), 2u);
+  EXPECT_EQ(receiver.apply_reset(chain[0]), ResetOutcome::kApplied);
+  EXPECT_EQ(receiver.period(), 3u);
+  EXPECT_EQ(receiver.state(), ReceiverState::kCurrent);
+  EXPECT_EQ(receiver.pending_resets(), 0u);
+
+  // The fully caught-up key decrypts current-period content.
+  const Gelt m = fx.sp.group.random_element(fx.rng);
+  EXPECT_EQ(receiver.decrypt(encrypt(fx.sp, pk, m, fx.rng)), m);
 }
 
 TEST(ResetMessage, RandomizerDegreeBoundEnforced) {

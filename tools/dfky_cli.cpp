@@ -279,7 +279,23 @@ int cmd_apply_reset(std::vector<std::string> args) {
       SignedResetBundle::deserialize(r, kf.sp.group);
   r.expect_end();
   Receiver receiver(kf.sp, kf.key, kf.manager_vk);
-  receiver.apply_reset(bundle);
+  switch (receiver.apply_reset(bundle)) {
+    case ResetOutcome::kApplied:
+      break;
+    case ResetOutcome::kStaleIgnored:
+      std::printf("key already at period %llu; stale reset ignored\n",
+                  static_cast<unsigned long long>(receiver.period()));
+      return 0;
+    case ResetOutcome::kGapDetected:
+      die("apply-reset: reset is for period " +
+          std::to_string(bundle.reset.new_period) + " but key is at period " +
+          std::to_string(receiver.period()) +
+          "; apply the missing resets first");
+    case ResetOutcome::kCannotFollow:
+      die("apply-reset: this key cannot open the reset message (revoked "
+          "before period " +
+          std::to_string(bundle.reset.new_period) + ")");
+  }
   // Rewrite the key file with the updated key.
   Writer w;
   put_env(w, kf.sp);

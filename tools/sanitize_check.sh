@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Build a separate ASan+UBSan tree (-DDFKY_SANITIZE=ON) and run the channel
+# fault/recovery tests under it. Usage:
+#
+#   tools/sanitize_check.sh [build-dir] [ctest-regex]
+#
+# Defaults: build-dir = build-asan, regex = the fault matrix plus the bus
+# reentrancy regressions. Pass '.*' to sanitize the whole suite.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo/build-asan}"
+filter="${2:-FaultyBus|Recovery|FaultMatrixTest|Bus\.}"
+
+cmake -S "$repo" -B "$build_dir" -DDFKY_SANITIZE=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build_dir" -j"$(nproc)" --target fault_tests system_tests
+
+# halt_on_error so a sanitizer report fails the run loudly.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+
+ctest --test-dir "$build_dir" --output-on-failure -j"$(nproc)" -R "$filter"
+echo "sanitize_check: OK"
