@@ -4,12 +4,17 @@
 // scaling like O((m/eps)^2 log(1/conf)) per estimate.
 #include <cstdio>
 
+#include <chrono>
+
+#include "bench_json.h"
 #include "tracing/blackbox_search.h"
 #include "tracing/pirate.h"
 
 using namespace dfky;
 
 namespace {
+
+benchjson::Report g_report("bbc");
 
 struct World {
   SystemParams sp;
@@ -34,7 +39,10 @@ void coalition_sweep() {
       "# E6a: BBC vs coalition size (v = 12, perfect decoder, eps = 0.9)\n");
   std::printf("%10s %10s %12s %16s\n", "|T|=|Susp|", "accused?", "in T?",
               "decoder-queries");
-  for (std::size_t m : {1u, 2u, 3u, 4u, 6u}) {
+  const std::vector<std::size_t> ms =
+      benchjson::smoke() ? std::vector<std::size_t>{1, 2}
+                         : std::vector<std::size_t>{1, 2, 3, 4, 6};
+  for (std::size_t m : ms) {
     World w(12, 16, 100 + m);
     ChaChaRng rng(200 + m);
     std::vector<UserKey> keys;
@@ -47,10 +55,15 @@ void coalition_sweep() {
         w.sp, build_pirate_representation(w.sp, w.mgr->public_key(), keys, rng));
     BbcOptions opt;
     opt.epsilon = 0.9;
-    opt.samples_override = 40;
+    opt.samples_override = benchjson::smoke() ? 10 : 40;
+    const auto t0 = std::chrono::steady_clock::now();
     const BbcResult r =
         black_box_confirm(w.sp, w.mgr->master_secret(), w.mgr->public_key(),
                           suspects, dec, opt, rng);
+    const std::uint64_t ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
     bool in_coalition = false;
     if (r.accused) {
       for (std::size_t i = 0; i < m; ++i) {
@@ -59,6 +72,8 @@ void coalition_sweep() {
     }
     std::printf("%10zu %10s %12s %16zu\n", m, r.accused ? "yes" : "no",
                 r.accused ? (in_coalition ? "yes" : "NO!") : "-", r.queries);
+    // n = coalition size; bytes field reused for decoder query count.
+    g_report.add({"bbc_confirm", m, 12, ns, ns, r.queries, 1});
   }
 }
 
@@ -191,9 +206,11 @@ void subset_search_sweep() {
 int main() {
   std::printf("=== E6: black-box confirmation ===\n\n");
   coalition_sweep();
-  epsilon_sweep();
-  soundness_sweep();
-  uncovered_sweep();
-  subset_search_sweep();
-  return 0;
+  if (!benchjson::smoke()) {
+    epsilon_sweep();
+    soundness_sweep();
+    uncovered_sweep();
+    subset_search_sweep();
+  }
+  return g_report.write() ? 0 : 1;
 }

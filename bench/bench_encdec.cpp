@@ -4,6 +4,7 @@
 // of the number of users n and of the total number of past user operations.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include "core/scheme.h"
 #include "group/fixed_base.h"
 #include "rng/chacha_rng.h"
@@ -156,4 +157,31 @@ BENCHMARK(BM_RepresentationDecrypt)->Arg(8)->Arg(32)->Unit(benchmark::kMilliseco
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Machine-readable records first (self-sampled; cheap sizes so the smoke
+// profile stays fast), then the full google-benchmark suite unless smoking.
+int main(int argc, char** argv) {
+  using namespace dfky;
+  benchjson::Report report("encdec");
+  const std::size_t samples = benchjson::smoke() ? 3 : 15;
+  for (const std::size_t v : {std::size_t{4}, std::size_t{16}}) {
+    Fixture fx(ParamId::kTest128, v);
+    ChaChaRng rng(7);
+    const std::uint64_t bytes = fx.ct.wire_size(fx.sp.group);
+    report.add_timed("encrypt", 0, v, bytes, samples, [&] {
+      benchmark::DoNotOptimize(encrypt(fx.sp, fx.s.pk, fx.m, rng));
+    });
+    report.add_timed("decrypt", 0, v, bytes, samples, [&] {
+      benchmark::DoNotOptimize(decrypt(fx.sp, fx.sk, fx.ct));
+    });
+    const Representation rep = representation_of(fx.sp, fx.sk, fx.s.pk);
+    report.add_timed("decrypt_representation", 0, v, bytes, samples, [&] {
+      benchmark::DoNotOptimize(decrypt_with_representation(fx.sp, rep, fx.ct));
+    });
+  }
+  if (!report.write()) return 1;
+  if (benchjson::smoke()) return 0;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

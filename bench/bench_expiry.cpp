@@ -5,13 +5,18 @@
 // a revoked adversary in bounded-revocation baselines.
 #include <cstdio>
 
+#include <chrono>
+
 #include "attacks/revive.h"
 #include "attacks/window_game.h"
+#include "bench_json.h"
 #include "rng/chacha_rng.h"
 
 using namespace dfky;
 
 namespace {
+
+benchjson::Report g_report("expiry");
 
 SystemParams make_params(std::size_t v) {
   ChaChaRng rng(42);
@@ -41,7 +46,7 @@ void window_table() {
   std::printf("%40s %10s %10s %12s\n", "strategy", "coalition", "success",
               "advantage");
   const SystemParams sp = make_params(3);
-  const std::size_t trials = 200;
+  const std::size_t trials = benchjson::smoke() ? 10 : 200;
   const struct {
     WindowStrategy s;
     std::size_t coalition;
@@ -54,10 +59,18 @@ void window_table() {
   };
   ChaChaRng rng(1);
   for (const auto& row : rows) {
+    const auto t0 = std::chrono::steady_clock::now();
     const WindowTrialStats st =
         run_window_trials(sp, row.s, trials, row.coalition, rng);
+    const std::uint64_t ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
     std::printf("%40s %10zu %10.3f %12.3f\n", strategy_name(row.s),
                 row.coalition, st.success_rate(), st.advantage());
+    // n = trial count, per-row wall time across all trials.
+    g_report.add({std::string("window_trials_") + strategy_name(row.s),
+                  trials, 3, ns / trials, ns / trials, 0, trials});
   }
 }
 
@@ -82,6 +95,6 @@ void revive_table() {
 int main() {
   std::printf("=== E7: adversary expiry vs revive ===\n\n");
   window_table();
-  revive_table();
-  return 0;
+  if (!benchjson::smoke()) revive_table();
+  return g_report.write() ? 0 : 1;
 }

@@ -3,6 +3,7 @@
 // multiples of these.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include "group/fixed_base.h"
 #include "rng/chacha_rng.h"
 
@@ -110,4 +111,45 @@ BENCHMARK(BM_GroupEncode);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace dfky;
+  benchjson::Report report("group");
+  const std::size_t samples = benchjson::smoke() ? 3 : 25;
+  {
+    // Modexp anchors: n = bit length of p.
+    for (const ParamId id : {ParamId::kTest128, ParamId::kSec512}) {
+      const Group g(GroupParams::named(id));
+      ChaChaRng rng(1);
+      const Gelt base = g.random_element(rng);
+      const Bigint e = g.random_exponent(rng);
+      report.add_timed("modexp", g.p().bit_length(), 0, g.element_size(),
+                       samples,
+                       [&] { benchmark::DoNotOptimize(g.pow(base, e)); });
+    }
+  }
+  {
+    // Multiexp vs naive product at k = 16 terms (sec512).
+    const Group g(GroupParams::named(ParamId::kSec512));
+    ChaChaRng rng(2);
+    const std::size_t k = 16;
+    std::vector<Gelt> bases;
+    std::vector<Bigint> exps;
+    for (std::size_t i = 0; i < k; ++i) {
+      bases.push_back(g.random_element(rng));
+      exps.push_back(g.random_exponent(rng));
+    }
+    report.add_timed("multiexp", k, 0, 0, samples, [&] {
+      benchmark::DoNotOptimize(multiexp(g, bases, exps));
+    });
+    const FixedBaseTable table(g, bases[0], 4);
+    report.add_timed("fixedbase_pow", g.p().bit_length(), 0, 0, samples, [&] {
+      benchmark::DoNotOptimize(table.pow(g, exps[0]));
+    });
+  }
+  if (!report.write()) return 1;
+  if (benchjson::smoke()) return 0;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,6 +6,7 @@
 
 #include <chrono>
 
+#include "bench_json.h"
 #include "core/manager.h"
 #include "core/receiver.h"
 #include "rng/chacha_rng.h"
@@ -13,6 +14,13 @@
 using namespace dfky;
 
 namespace {
+
+benchjson::Report g_report("new_period");
+
+std::vector<std::size_t> v_sweep() {
+  if (benchjson::smoke()) return {4, 8};
+  return {4, 8, 16, 32, 64};
+}
 
 SystemParams make_params(std::size_t v) {
   ChaChaRng rng(42);
@@ -31,25 +39,29 @@ void wire_and_time_table() {
       "# E4a: reset-message bytes & build time vs v (512-bit group)\n");
   std::printf("%6s %16s %16s %10s %12s %12s\n", "v", "plain-bytes",
               "hybrid-bytes", "ratio", "plain-ms", "hybrid-ms");
-  for (std::size_t v : {4, 8, 16, 32, 64}) {
+  const std::size_t samples = benchjson::smoke() ? 2 : 5;
+  for (std::size_t v : v_sweep()) {
     const SystemParams sp = make_params(v);
     ChaChaRng rng(1);
     SecurityManager mgr_p(sp, rng, ResetMode::kPlain);
     SecurityManager mgr_h(sp, rng, ResetMode::kHybrid);
 
-    auto t0 = std::chrono::steady_clock::now();
-    const auto plain = mgr_p.new_period(rng);
-    const double plain_ms = ms_since(t0);
-
-    t0 = std::chrono::steady_clock::now();
-    const auto hybrid = mgr_h.new_period(rng);
-    const double hybrid_ms = ms_since(t0);
-
-    const std::size_t pb = plain.wire_size(sp.group);
-    const std::size_t hb = hybrid.wire_size(sp.group);
+    std::size_t pb = 0;
+    const benchjson::Timing plain_t = benchjson::time_samples(samples, [&] {
+      pb = mgr_p.new_period(rng).wire_size(sp.group);
+    });
+    std::size_t hb = 0;
+    const benchjson::Timing hybrid_t = benchjson::time_samples(samples, [&] {
+      hb = mgr_h.new_period(rng).wire_size(sp.group);
+    });
+    g_report.add({"new_period_plain", 0, v, plain_t.median_ns,
+                  plain_t.p95_ns, pb, plain_t.samples});
+    g_report.add({"new_period_hybrid", 0, v, hybrid_t.median_ns,
+                  hybrid_t.p95_ns, hb, hybrid_t.samples});
     std::printf("%6zu %16zu %16zu %9.1fx %12.1f %12.1f\n", v, pb, hb,
-                static_cast<double>(pb) / static_cast<double>(hb), plain_ms,
-                hybrid_ms);
+                static_cast<double>(pb) / static_cast<double>(hb),
+                static_cast<double>(plain_t.median_ns) / 1e6,
+                static_cast<double>(hybrid_t.median_ns) / 1e6);
   }
 }
 
@@ -58,7 +70,10 @@ void population_independence_table() {
       "\n# E4b: New-period cost vs population n (v = 8, hybrid)\n"
       "#      claim: communication and time independent of n\n");
   std::printf("%8s %14s %12s\n", "n", "bytes", "ms");
-  for (std::size_t n : {16, 128, 1024}) {
+  const std::vector<std::size_t> ns =
+      benchjson::smoke() ? std::vector<std::size_t>{16, 128}
+                         : std::vector<std::size_t>{16, 128, 1024};
+  for (std::size_t n : ns) {
     const SystemParams sp = make_params(8);
     ChaChaRng rng(2);
     SecurityManager mgr(sp, rng, ResetMode::kHybrid);
@@ -66,7 +81,11 @@ void population_independence_table() {
     const auto t0 = std::chrono::steady_clock::now();
     const auto bundle = mgr.new_period(rng);
     const double ms = ms_since(t0);
-    std::printf("%8zu %14zu %12.1f\n", n, bundle.wire_size(sp.group), ms);
+    const std::size_t bytes = bundle.wire_size(sp.group);
+    std::printf("%8zu %14zu %12.1f\n", n, bytes, ms);
+    g_report.add({"new_period_vs_n", n, 8,
+                  static_cast<std::uint64_t>(ms * 1e6),
+                  static_cast<std::uint64_t>(ms * 1e6), bytes, 1});
   }
 }
 
@@ -75,7 +94,7 @@ void receiver_update_table() {
       "\n# E4c: receiver-side key-update time vs v (hybrid; one KEM\n"
       "#      decryption of v+2 exps + polynomial evaluation)\n");
   std::printf("%6s %12s\n", "v", "ms");
-  for (std::size_t v : {4, 8, 16, 32, 64}) {
+  for (std::size_t v : v_sweep()) {
     const SystemParams sp = make_params(v);
     ChaChaRng rng(3);
     SecurityManager mgr(sp, rng, ResetMode::kHybrid);
@@ -84,7 +103,11 @@ void receiver_update_table() {
     const auto bundle = mgr.new_period(rng);
     const auto t0 = std::chrono::steady_clock::now();
     receiver.apply_reset(bundle);
-    std::printf("%6zu %12.1f\n", v, ms_since(t0));
+    const double ms = ms_since(t0);
+    std::printf("%6zu %12.1f\n", v, ms);
+    g_report.add({"reset_apply", 0, v, static_cast<std::uint64_t>(ms * 1e6),
+                  static_cast<std::uint64_t>(ms * 1e6),
+                  bundle.wire_size(sp.group), 1});
   }
 }
 
@@ -95,5 +118,5 @@ int main() {
   wire_and_time_table();
   population_independence_table();
   receiver_update_table();
-  return 0;
+  return g_report.write() ? 0 : 1;
 }

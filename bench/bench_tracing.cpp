@@ -5,6 +5,7 @@
 // O(n v + v^3)).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include "tracing/list_tracing.h"
 #include "tracing/nonblackbox.h"
 #include "tracing/pirate.h"
@@ -130,4 +131,29 @@ BENCHMARK(BM_PirateConstruction)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace dfky;
+  benchjson::Report report("tracing");
+  const bool smoke = benchjson::smoke();
+  const std::size_t samples = smoke ? 2 : 10;
+  const std::size_t n = smoke ? 32 : 256;
+  {
+    TraceBench fx(16, n, 8);
+    report.add_timed("trace_syndrome", n, 16, 0, samples, [&] {
+      benchmark::DoNotOptimize(trace_nonblackbox(
+          fx.sp, fx.mgr->public_key(), fx.delta, fx.mgr->users(),
+          TraceAlgorithm::kSyndrome));
+    });
+    report.add_timed("trace_berlekamp_welch", n, 16, 0, samples, [&] {
+      benchmark::DoNotOptimize(trace_nonblackbox(
+          fx.sp, fx.mgr->public_key(), fx.delta, fx.mgr->users(),
+          TraceAlgorithm::kBerlekampWelch));
+    });
+  }
+  if (!report.write()) return 1;
+  if (smoke) return 0;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,17 +5,26 @@
 // baseline matches our O(v) ciphertext but buys it with a lifetime
 // revocation bound.
 //
-// Output: measured wire bytes per broadcast (512-bit group).
+// Output: measured wire bytes per broadcast (512-bit group), plus
+// BENCH_transmission.json (bytes-only records: median_ns = p95_ns = 0).
 #include <cstdio>
 
 #include "baselines/bounded_trace_revoke.h"
 #include "baselines/naive_elgamal.h"
+#include "bench_json.h"
 #include "core/scheme.h"
 #include "rng/chacha_rng.h"
 
 using namespace dfky;
 
 namespace {
+
+benchjson::Report g_report("transmission");
+
+std::vector<std::size_t> v_sweep() {
+  if (benchjson::smoke()) return {4, 8};
+  return {4, 8, 16, 32, 64, 128};
+}
 
 SystemParams make_params(std::size_t v) {
   ChaChaRng rng(42);
@@ -26,7 +35,7 @@ SystemParams make_params(std::size_t v) {
 void scheme_table() {
   std::printf("# E1a: this scheme — ciphertext bytes vs saturation limit v\n");
   std::printf("%8s %14s %20s\n", "v", "bytes", "bytes-per-slot");
-  for (std::size_t v : {4, 8, 16, 32, 64, 128}) {
+  for (std::size_t v : v_sweep()) {
     const SystemParams sp = make_params(v);
     ChaChaRng rng(1);
     const SetupResult s = setup(sp, rng);
@@ -34,6 +43,7 @@ void scheme_table() {
     const std::size_t bytes = encrypt(sp, s.pk, m, rng).wire_size(sp.group);
     std::printf("%8zu %14zu %20.1f\n", v, bytes,
                 static_cast<double>(bytes) / static_cast<double>(v));
+    g_report.add({"ciphertext_bytes", 0, v, 0, 0, bytes, 1});
   }
 }
 
@@ -49,6 +59,7 @@ void population_independence_table() {
     // Adding users costs the sender nothing: the same PK encrypts for all.
     const std::size_t bytes = encrypt(sp, s.pk, m, rng).wire_size(sp.group);
     std::printf("%8zu %14zu\n", n, bytes);
+    g_report.add({"ciphertext_bytes_vs_n", n, 16, 0, 0, bytes, 1});
   }
 }
 
@@ -59,13 +70,17 @@ void naive_table() {
   ChaChaRng rng(3);
   NaiveElGamalBroadcast sys(g);
   std::size_t added = 0;
-  for (std::size_t n : {16, 64, 256, 1024}) {
+  const std::vector<std::size_t> ns =
+      benchjson::smoke() ? std::vector<std::size_t>{16, 64}
+                         : std::vector<std::size_t>{16, 64, 256, 1024};
+  for (std::size_t n : ns) {
     while (added < n) {
       sys.add_user(rng);
       ++added;
     }
     const auto b = sys.encrypt(g.random_element(rng), rng);
     std::printf("%8zu %14zu\n", n, b.wire_size(g));
+    g_report.add({"naive_elgamal_bytes", n, 0, 0, 0, b.wire_size(g), 1});
   }
 }
 
@@ -79,7 +94,9 @@ void bounded_table() {
     ChaChaRng rng(4);
     BoundedTraceRevoke sys(sp, OverflowPolicy::kRefuse, rng);
     const Gelt m = sp.group.random_element(rng);
-    std::printf("%8zu %14zu\n", v, sys.wire_size(sys.encrypt(m, rng)));
+    const std::size_t bytes = sys.wire_size(sys.encrypt(m, rng));
+    std::printf("%8zu %14zu\n", v, bytes);
+    g_report.add({"bounded_baseline_bytes", 0, v, 0, 0, bytes, 1});
   }
 }
 
@@ -126,6 +143,7 @@ void ec_table() {
     const std::size_t zp_bytes =
         encrypt(zp, zp_s.pk, zp_m, rng).wire_size(zp.group);
     std::printf("%8zu %14zu %14zu\n", v, ec_bytes, zp_bytes);
+    g_report.add({"ciphertext_bytes_ec", 0, v, 0, 0, ec_bytes, 1});
   }
 }
 
@@ -136,8 +154,10 @@ int main() {
   scheme_table();
   population_independence_table();
   naive_table();
-  bounded_table();
-  crossover_table();
-  ec_table();
-  return 0;
+  if (!benchjson::smoke()) {
+    bounded_table();
+    crossover_table();
+    ec_table();
+  }
+  return g_report.write() ? 0 : 1;
 }

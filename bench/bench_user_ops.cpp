@@ -4,6 +4,7 @@
 // touches only the public key; both are independent of the population n.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include "core/manager.h"
 #include "rng/chacha_rng.h"
 
@@ -82,4 +83,34 @@ BENCHMARK(BM_Setup_VSweep)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMillisec
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace dfky;
+  benchjson::Report report("user_ops");
+  const std::size_t samples = benchjson::smoke() ? 3 : 25;
+  for (const std::size_t v : {std::size_t{8}, std::size_t{32}}) {
+    ChaChaRng rng(11);
+    SecurityManager mgr(make_params(v), rng);
+    report.add_timed("add_user", 0, v, 0, samples, [&] {
+      benchmark::DoNotOptimize(mgr.add_user(rng));
+    });
+    // One removal per sample; roll the period manually when saturated so
+    // the timing isolates the Remove-user edit itself.
+    std::vector<std::uint64_t> pool;
+    for (std::size_t i = 0; i < samples + 1; ++i) {
+      pool.push_back(mgr.add_user(rng).id);
+    }
+    std::size_t next = 0;
+    report.add_timed("remove_user", 0, v, 0, samples, [&] {
+      if (mgr.saturation_level() == mgr.saturation_limit()) {
+        mgr.new_period(rng);
+      }
+      benchmark::DoNotOptimize(mgr.remove_user(pool[next++], rng));
+    });
+  }
+  if (!report.write()) return 1;
+  if (benchjson::smoke()) return 0;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

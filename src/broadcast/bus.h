@@ -30,6 +30,9 @@ struct Envelope {
   Bytes payload;
 };
 
+/// Stable lowercase name for metric labels and log lines.
+const char* msg_type_name(MsgType type);
+
 class BroadcastBus {
  public:
   using Handler = std::function<void(const Envelope&)>;
@@ -44,9 +47,17 @@ class BroadcastBus {
   /// bus is synchronous and lossless; FaultyBus overrides this.
   virtual void publish(Envelope env);
 
+  // Published side: what the sender put on the wire. Delivered side: each
+  // envelope that actually reached the subscriber set, counted once per
+  // envelope — drops make delivered < published, duplicates make it larger.
+  // Instance counters stay live in every build; DFKY_OBS additionally
+  // mirrors them into the process-wide registry (dfky_bus_* series).
   std::uint64_t messages_sent() const { return messages_; }
   std::uint64_t bytes_sent() const { return bytes_; }
   std::uint64_t bytes_sent(MsgType type) const;
+  std::uint64_t messages_delivered() const { return delivered_messages_; }
+  std::uint64_t bytes_delivered() const { return delivered_bytes_; }
+  std::uint64_t bytes_delivered(MsgType type) const;
 
   /// Everything ever broadcast — the eavesdropper's view. Faults are a
   /// delivery phenomenon; the log always records what the sender put on
@@ -68,6 +79,9 @@ class BroadcastBus {
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
   std::map<MsgType, std::uint64_t> bytes_by_type_;
+  std::uint64_t delivered_messages_ = 0;
+  std::uint64_t delivered_bytes_ = 0;
+  std::map<MsgType, std::uint64_t> delivered_bytes_by_type_;
 };
 
 }  // namespace dfky

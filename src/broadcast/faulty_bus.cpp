@@ -1,6 +1,21 @@
 #include "broadcast/faulty_bus.h"
 
+#include "obs/metrics.h"
+
 namespace dfky {
+
+namespace {
+
+// Mirrors a per-instance FaultCounters increment into the registry; the
+// struct itself stays the source of truth for seeded-determinism tests.
+inline void note_fault(const char* kind) {
+  DFKY_OBS(obs::counter("dfky_bus_faults_total", {{"kind", kind}}).inc(););
+#if !DFKY_OBS_ENABLED
+  (void)kind;
+#endif
+}
+
+}  // namespace
 
 FaultyBus::FaultyBus(FaultPlan plan) : plan_(plan), rng_(plan.seed) {}
 
@@ -40,23 +55,29 @@ void FaultyBus::publish(Envelope env) {
     --drop_change_period_budget_;
     ++counters_.targeted_drops;
     ++counters_.dropped;
+    note_fault("targeted_drop");
+    note_fault("drop");
     release_due();
     return;
   }
   if (drop) {
     ++counters_.dropped;
+    note_fault("drop");
     release_due();
     return;
   }
   if (corrupt && !env.payload.empty()) {
     env.payload[corrupt_pos % env.payload.size()] ^= 0x5a;
     ++counters_.corrupted;
+    note_fault("corrupt");
   }
   if (delay) {
     ++counters_.delayed;
+    note_fault("delay");
     held_.emplace(clock_ + plan_.delay_messages, std::move(env));
   } else if (reorder) {
     ++counters_.reordered;
+    note_fault("reorder");
     held_.emplace(clock_ + 1, std::move(env));
   } else {
     ++counters_.delivered;
@@ -64,6 +85,7 @@ void FaultyBus::publish(Envelope env) {
     if (duplicate) {
       ++counters_.duplicated;
       ++counters_.delivered;
+      note_fault("duplicate");
       deliver(env);
     }
   }

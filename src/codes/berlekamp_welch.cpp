@@ -1,6 +1,7 @@
 #include "codes/berlekamp_welch.h"
 
 #include "linalg/gauss.h"
+#include "obs/metrics.h"
 #include "poly/lagrange.h"
 
 namespace dfky {
@@ -28,8 +29,19 @@ std::optional<Polynomial> berlekamp_welch(const Zq& field,
   const std::size_t n = xs.size();
   require(dim >= 1 && dim + 2 * max_errors <= n,
           "berlekamp_welch: dim + 2e must be <= n");
+  DFKY_OBS_TIMER(obs_span, "dfky_bw_decode_ns");
+  // Counts the ok/fail verdict of whichever return below fires.
+  const auto decoded = [](std::optional<Polynomial> p) {
+    DFKY_OBS(obs::counter("dfky_bw_decode_total",
+                          {{"result", p ? "ok" : "fail"}})
+                 .inc(););
+    return p;
+  };
 
   for (std::size_t e = max_errors + 1; e-- > 0;) {
+    DFKY_OBS(static obs::Counter& rounds =
+                 obs::counter("dfky_bw_decode_rounds_total");
+             rounds.inc(););
     if (e == 0) {
       // Plain interpolation through the first `dim` points, then verify.
       std::vector<std::pair<Bigint, Bigint>> pts;
@@ -38,9 +50,9 @@ std::optional<Polynomial> berlekamp_welch(const Zq& field,
       Polynomial p = interpolate(field, pts);
       if (p.degree() < static_cast<int>(dim) &&
           disagreements(p, xs, ys) == 0) {
-        return p;
+        return decoded(std::move(p));
       }
-      return std::nullopt;
+      return decoded(std::nullopt);
     }
 
     // Unknowns: N_0..N_{dim+e-1}, E_0..E_{e-1} (E monic of degree e).
@@ -73,13 +85,13 @@ std::optional<Polynomial> berlekamp_welch(const Zq& field,
       Polynomial p = num.divided_exactly_by(loc);
       if (p.degree() < static_cast<int>(dim) &&
           disagreements(p, xs, ys) <= max_errors) {
-        return p;
+        return decoded(std::move(p));
       }
     } catch (const MathError&) {
       // Inexact division: fall through to a smaller locator degree.
     }
   }
-  return std::nullopt;
+  return decoded(std::nullopt);
 }
 
 }  // namespace dfky

@@ -1,5 +1,6 @@
 #include "core/manager.h"
 
+#include "obs/metrics.h"
 #include "serial/codec.h"
 
 namespace dfky {
@@ -49,6 +50,7 @@ SecurityManager::AddedUser SecurityManager::add_user(Rng& rng) {
   const std::uint64_t id = users_.size();
   users_.push_back(UserRecord{id, x, false, 0});
   used_x_.insert(x);
+  DFKY_OBS(obs::counter("dfky_users_added_total").inc(););
   return AddedUser{id, issue_user_key(sp_, msk_, x, pk_.period)};
 }
 
@@ -62,6 +64,7 @@ SecurityManager::AddedUser SecurityManager::add_user_with_value(
   const std::uint64_t id = users_.size();
   users_.push_back(UserRecord{id, xr, false, 0});
   used_x_.insert(xr);
+  DFKY_OBS(obs::counter("dfky_users_added_total").inc(););
   return AddedUser{id, issue_user_key(sp_, msk_, xr, pk_.period)};
 }
 
@@ -90,6 +93,15 @@ std::optional<SignedResetBundle> SecurityManager::remove_user(std::uint64_t id,
   ++level_;
   rec.revoked = true;
   rec.revoked_in_period = pk_.period;
+  DFKY_OBS(
+      obs::counter("dfky_users_revoked_total").inc();
+      obs::gauge("dfky_saturation_level")
+          .set(static_cast<std::int64_t>(level_));
+      obs::event({.name = "revoke",
+                  .period = static_cast<std::int64_t>(pk_.period),
+                  .user = static_cast<std::int64_t>(id),
+                  .detail = "slot",
+                  .value = static_cast<std::int64_t>(level_)}););
   return bundle;
 }
 
@@ -271,6 +283,11 @@ SecurityManager SecurityManager::restore_state(BytesView state) {
 }
 
 SignedResetBundle SecurityManager::new_period(Rng& rng, ResetMode mode) {
+  DFKY_OBS_TIMER(obs_span, "dfky_new_period_ns");
+  DFKY_OBS(obs::counter("dfky_resets_generated_total",
+                        {{"mode", mode == ResetMode::kPlain ? "plain"
+                                                            : "hybrid"}})
+               .inc(););
   const Zq& zq = sp_.group.zq();
   const Polynomial d = Polynomial::random(zq, sp_.v, rng);
   const Polynomial e = Polynomial::random(zq, sp_.v, rng);
@@ -289,6 +306,11 @@ SignedResetBundle SecurityManager::new_period(Rng& rng, ResetMode mode) {
 
   archive_.push_back(bundle);
   while (archive_.size() > archive_capacity_) archive_.pop_front();
+  DFKY_OBS(
+      obs::gauge("dfky_saturation_level").set(0);
+      obs::event({.name = "new_period",
+                  .period = static_cast<std::int64_t>(pk_.period),
+                  .detail = mode == ResetMode::kPlain ? "plain" : "hybrid"}););
   return bundle;
 }
 
@@ -305,6 +327,7 @@ std::uint64_t SecurityManager::archive_oldest_period() const {
 
 CatchUpResponse SecurityManager::handle_catch_up(const CatchUpRequest& req,
                                                  Rng& rng) const {
+  DFKY_OBS(obs::counter("dfky_catchup_requests_handled_total").inc(););
   CatchUpResponse resp;
   resp.nonce = req.nonce;
   resp.oldest_available = archive_oldest_period();

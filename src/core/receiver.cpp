@@ -1,6 +1,22 @@
 #include "core/receiver.h"
 
+#include "obs/metrics.h"
+
 namespace dfky {
+
+namespace {
+
+[[maybe_unused]] const char* outcome_name(ResetOutcome outcome) {
+  switch (outcome) {
+    case ResetOutcome::kApplied: return "applied";
+    case ResetOutcome::kStaleIgnored: return "stale_ignored";
+    case ResetOutcome::kGapDetected: return "gap_detected";
+    case ResetOutcome::kCannotFollow: return "cannot_follow";
+  }
+  return "unknown";
+}
+
+}  // namespace
 
 Receiver::Receiver(SystemParams sp, UserKey key, Gelt manager_vk, bool strict)
     : sp_(std::move(sp)),
@@ -32,22 +48,41 @@ ResetOutcome Receiver::apply_next(const SignedResetBundle& bundle) {
 }
 
 ResetOutcome Receiver::apply_reset(const SignedResetBundle& bundle) {
+  DFKY_OBS_TIMER(obs_span, "dfky_reset_apply_ns");
+  // Record the outcome (plus an event) of every return path below.
+  const auto noted = [&bundle](ResetOutcome outcome) {
+    DFKY_OBS(
+        obs::counter("dfky_reset_apply_total",
+                     {{"outcome", outcome_name(outcome)}})
+            .inc();
+        obs::event({.name = "reset_apply",
+                    .period =
+                        static_cast<std::int64_t>(bundle.reset.new_period),
+                    .detail = outcome_name(outcome)}););
+#if !DFKY_OBS_ENABLED
+    (void)bundle;
+#endif
+    return outcome;
+  };
   if (!bundle.verify(sp_.group, manager_vk_)) {
+    DFKY_OBS(obs::counter("dfky_reset_apply_total",
+                          {{"outcome", "bad_signature"}})
+                 .inc(););
     throw DecodeError("Receiver: reset bundle signature invalid");
   }
   if (strict_) {
     if (bundle.reset.new_period != key_.period + 1) {
       throw DecodeError("Receiver: reset message for unexpected period");
     }
-    return apply_next(bundle);
+    return noted(apply_next(bundle));
   }
   if (state_ == ReceiverState::kUnrecoverable) {
-    return ResetOutcome::kStaleIgnored;
+    return noted(ResetOutcome::kStaleIgnored);
   }
 
   const std::uint64_t target = bundle.reset.new_period;
   if (target <= key_.period) {
-    return ResetOutcome::kStaleIgnored;  // duplicate or replayed reset
+    return noted(ResetOutcome::kStaleIgnored);  // duplicate or replayed reset
   }
   signed_horizon_ = std::max(signed_horizon_, target);
 
@@ -61,7 +96,7 @@ ResetOutcome Receiver::apply_reset(const SignedResetBundle& bundle) {
       }
     }
     refresh_state();
-    return ResetOutcome::kGapDetected;
+    return noted(ResetOutcome::kGapDetected);
   }
 
   const ResetOutcome outcome = apply_next(bundle);
@@ -77,7 +112,7 @@ ResetOutcome Receiver::apply_reset(const SignedResetBundle& bundle) {
     }
   }
   refresh_state();
-  return outcome;
+  return noted(outcome);
 }
 
 void Receiver::note_observed_period(std::uint64_t period) {

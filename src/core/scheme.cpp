@@ -1,5 +1,6 @@
 #include "core/scheme.h"
 
+#include "obs/metrics.h"
 #include "poly/leap_vector.h"
 
 namespace dfky {
@@ -61,6 +62,10 @@ void revoke_into_slot(const SystemParams& sp, const MasterSecret& msk,
 Ciphertext encrypt(const SystemParams& sp, const PublicKey& pk, const Gelt& m,
                    Rng& rng) {
   require(sp.group.is_element(m), "encrypt: message not a group element");
+  DFKY_OBS_TIMER(obs_span, "dfky_encrypt_ns", {{"path", "plain"}});
+  DFKY_OBS(static obs::Counter& c =
+               obs::counter("dfky_encrypt_total", {{"path", "plain"}});
+           c.inc(););
   const Bigint r = sp.group.random_exponent(rng);
   Ciphertext ct;
   ct.period = pk.period;
@@ -77,6 +82,10 @@ Ciphertext encrypt(const SystemParams& sp, const PublicKey& pk, const Gelt& m,
 Gelt decrypt(const SystemParams& sp, const UserKey& sk, const Ciphertext& ct) {
   require(sk.period == ct.period,
           "decrypt: key period does not match ciphertext period");
+  DFKY_OBS_TIMER(obs_span, "dfky_decrypt_ns", {{"path", "user"}});
+  DFKY_OBS(static obs::Counter& c =
+               obs::counter("dfky_decrypt_total", {{"path", "user"}});
+           c.inc(););
   const Zq& zq = sp.group.zq();
   const std::vector<Bigint> zs = ct.slot_ids();
   // Throws ContractError on a revoked user (x collides with a slot id).
@@ -106,6 +115,10 @@ Gelt decrypt_with_representation(const SystemParams& sp,
                                  const Ciphertext& ct) {
   require(rep.tail.size() == ct.slots.size(),
           "decrypt_with_representation: slot count mismatch");
+  DFKY_OBS_TIMER(obs_span, "dfky_decrypt_ns", {{"path", "representation"}});
+  DFKY_OBS(static obs::Counter& c = obs::counter(
+               "dfky_decrypt_total", {{"path", "representation"}});
+           c.inc(););
   std::vector<Gelt> bases;
   std::vector<Bigint> exps;
   bases.reserve(ct.slots.size() + 2);

@@ -1,5 +1,7 @@
 #include "group/fixed_base.h"
 
+#include "obs/metrics.h"
+
 namespace dfky {
 
 FixedBaseTable::FixedBaseTable(const Group& group, const Gelt& base,
@@ -7,6 +9,7 @@ FixedBaseTable::FixedBaseTable(const Group& group, const Gelt& base,
     : window_bits_(window_bits) {
   require(window_bits >= 1 && window_bits <= 8,
           "FixedBaseTable: window_bits must be in [1, 8]");
+  DFKY_OBS_TIMER(obs_span, "dfky_fixedbase_precompute_ns");
   const std::size_t digits =
       (group.order().bit_length() + window_bits - 1) / window_bits;
   const std::size_t radix = std::size_t{1} << window_bits;
@@ -28,6 +31,8 @@ FixedBaseTable::FixedBaseTable(const Group& group, const Gelt& base,
 }
 
 Gelt FixedBaseTable::pow(const Group& group, const Bigint& e) const {
+  DFKY_OBS(static obs::Counter& c = obs::counter("dfky_fixedbase_pow_total");
+           c.inc(););
   const Bigint exp = e.mod(group.order());
   Gelt acc = group.one();
   const std::size_t bits = exp.bit_length();
@@ -64,6 +69,10 @@ Encryptor::Encryptor(SystemParams sp, PublicKey pk, std::size_t window_bits)
 
 Ciphertext Encryptor::encrypt(const Gelt& m, Rng& rng) const {
   require(sp_.group.is_element(m), "Encryptor: message not a group element");
+  DFKY_OBS_TIMER(obs_span, "dfky_encrypt_ns", {{"path", "fixed_base"}});
+  DFKY_OBS(static obs::Counter& c =
+               obs::counter("dfky_encrypt_total", {{"path", "fixed_base"}});
+           c.inc(););
   const Bigint r = sp_.group.random_exponent(rng);
   Ciphertext ct;
   ct.period = pk_.period;

@@ -1,0 +1,300 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dfky::json {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  Value document() {
+    Value v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* msg) {
+    throw DecodeError("json: " + std::string(msg) + " at offset " +
+                      std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= s_.size() || s_[pos_] != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return Value::string(string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Value::boolean(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Value::boolean(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Value();
+      default: return number();
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("unterminated escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) fail("bad \\u escape");
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = s_[pos_++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape");
+            }
+            // UTF-8 encode (surrogate pairs unsupported; our writers only
+            // escape control characters, which fit in one code unit).
+            if (cp < 0x80) {
+              out.push_back(static_cast<char>(cp));
+            } else if (cp < 0x800) {
+              out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+              out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+            } else {
+              out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+              out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+            }
+            break;
+          }
+          default: fail("bad escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+
+  Value number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' ||
+            s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string text(s_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size()) fail("malformed number");
+    return Value::number(v);
+  }
+
+  Value array() {
+    expect('[');
+    Value out = Value::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      out.push_back(value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return out;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  Value object() {
+    expect('{');
+    Value out = Value::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      out.set(std::move(key), value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return out;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value Value::boolean(bool b) {
+  Value v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::number(double n) {
+  Value v;
+  v.type_ = Type::kNumber;
+  v.num_ = n;
+  return v;
+}
+
+Value Value::string(std::string s) {
+  Value v;
+  v.type_ = Type::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+Value Value::array() {
+  Value v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+Value Value::object() {
+  Value v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+Value Value::parse(std::string_view text) {
+  return Parser(text).document();
+}
+
+bool Value::as_bool() const {
+  if (!is_bool()) throw DecodeError("json: not a boolean");
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (!is_number()) throw DecodeError("json: not a number");
+  return num_;
+}
+
+const std::string& Value::as_string() const {
+  if (!is_string()) throw DecodeError("json: not a string");
+  return str_;
+}
+
+const std::vector<Value>& Value::as_array() const {
+  if (!is_array()) throw DecodeError("json: not an array");
+  return arr_;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::as_object() const {
+  if (!is_object()) throw DecodeError("json: not an object");
+  return obj_;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Value::push_back(Value v) {
+  if (!is_array()) throw ContractError("json: push_back on non-array");
+  arr_.push_back(std::move(v));
+}
+
+void Value::set(std::string key, Value v) {
+  if (!is_object()) throw ContractError("json: set on non-object");
+  obj_.emplace_back(std::move(key), std::move(v));
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_number(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace dfky::json

@@ -1,0 +1,72 @@
+// Minimal JSON reader/writer for the observability layer.
+//
+// Scope: exactly what the metrics exporters, `dfky_cli stats` and the
+// BENCH_*.json schema checker need — no external dependency, strict enough
+// to reject malformed files loudly (DecodeError), tolerant of whitespace.
+// Numbers are held as doubles (all our values — ns, bytes, counts — fit
+// well inside the 2^53 exact-integer range).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common.h"
+
+namespace dfky::json {
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() : type_(Type::kNull) {}
+  static Value boolean(bool b);
+  static Value number(double n);
+  static Value string(std::string s);
+  static Value array();
+  static Value object();
+
+  /// Parses one JSON document (throws DecodeError on trailing garbage).
+  static Value parse(std::string_view text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Value>& as_array() const;
+  /// Insertion-ordered key/value pairs.
+  const std::vector<std::pair<std::string, Value>>& as_object() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const Value* find(std::string_view key) const;
+
+  // -- building (used by tests) ------------------------------------------------
+  void push_back(Value v);                      // arrays
+  void set(std::string key, Value v);           // objects
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Value> arr_;
+  std::vector<std::pair<std::string, Value>> obj_;
+};
+
+/// JSON string escaping (quotes not included).
+std::string escape(std::string_view s);
+
+/// Canonical number formatting: integers without exponent/decimals, other
+/// values via shortest round-trip-ish %.17g.
+std::string format_number(double v);
+
+}  // namespace dfky::json

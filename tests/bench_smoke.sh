@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Runs one bench binary in smoke profile (DFKY_BENCH_SMOKE=1 shrinks the
+# sweeps to seconds) and validates the BENCH_<name>.json it writes against
+# the dfky-bench-v1 schema. Used by the `obs`-configuration ctest jobs:
+#
+#   tests/bench_smoke.sh <bench-binary> <bench_schema_check-binary>
+set -euo pipefail
+
+bench="$1"
+check="$2"
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+cd "$work"
+
+DFKY_BENCH_SMOKE=1 "$bench" > bench.out
+
+shopt -s nullglob
+json=(BENCH_*.json)
+[ "${#json[@]}" -ge 1 ] || { echo "bench_smoke: no BENCH_*.json produced" >&2; exit 1; }
+
+"$check" "${json[@]}"
+echo "bench_smoke: ok (${json[*]})"

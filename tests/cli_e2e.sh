@@ -49,4 +49,52 @@ if "$CLI" decrypt bob.key b3.bin >/dev/null 2>&1; then
 fi
 
 "$CLI" status sys.state | grep -q 'period: *1' || fail "period not advanced"
+
+# ---- exit codes and usage routing --------------------------------------------
+if "$CLI" frobnicate >/dev/null 2>err.txt; then
+  fail "unknown command exited 0"
+fi
+grep -q '^usage:' err.txt || fail "unknown command: no usage on stderr"
+if "$CLI" status sys.state --frob 2>/dev/null; then
+  fail "unknown flag exited 0"
+fi
+if "$CLI" >/dev/null 2>err.txt; then
+  fail "bare invocation exited 0"
+fi
+"$CLI" help > help.txt || fail "help exited nonzero"
+grep -q '^usage:' help.txt || fail "help: no usage on stdout"
+
+# ---- metrics: --metrics-out snapshots merged by `stats` ----------------------
+M="metrics.jsonl"
+"$CLI" init sys2.state --v 2 --group test128 --metrics-out "$M" >/dev/null
+"$CLI" add sys2.state dora.key --metrics-out "$M" >/dev/null
+for i in 1 2 3; do "$CLI" add sys2.state "w$i.key" --metrics-out "$M" >/dev/null; done
+"$CLI" revoke sys2.state 1 2 3 --reset-out r2 --metrics-out "$M" >/dev/null
+[ -f r2.0.bin ] || fail "no reset bundle from sys2 revocations"
+"$CLI" apply-reset dora.key r2.0.bin --metrics-out "$M" >/dev/null
+"$CLI" encrypt sys2.state payload.bin b4.bin --metrics-out "$M" >/dev/null
+[ "$("$CLI" decrypt dora.key b4.bin --metrics-out "$M")" = "the midnight broadcast" ] \
+  || fail "dora cannot decrypt after period change"
+
+head -n 1 "$M" | grep -q '"kind":"meta"' || fail "metrics file: no meta line"
+"$CLI" stats "$M" > stats.txt || fail "stats exited nonzero"
+if grep -q '"obs":"on"' "$M"; then
+  # Obs layer compiled in: the scripted session must have left real numbers.
+  grep -q 'obs layer: on' stats.txt || fail "stats: obs layer not reported on"
+  grep -Eq 'dfky_bus_publish_bytes_total\{type="change_period"\} +[1-9]' stats.txt \
+    || fail "stats: no publish bytes for the period change"
+  grep -Eq 'dfky_reset_apply_total\{outcome="applied"\} +[1-9]' stats.txt \
+    || fail "stats: reset apply not counted"
+  grep -Eq 'dfky_decrypt_ns\{path="user"\} +count=[1-9]' stats.txt \
+    || fail "stats: no decrypt timings"
+  "$CLI" stats "$M" --format prom | grep -q 'dfky_users_added_total' \
+    || fail "stats --format prom missing counters"
+else
+  # DFKY_OBS=OFF build: snapshots are meta-only and stats must say so.
+  grep -q 'obs layer: off' stats.txt || fail "stats: obs layer not reported off"
+fi
+if "$CLI" stats "$M" --format yaml >/dev/null 2>&1; then
+  fail "stats accepted an unknown format"
+fi
+
 echo "cli_e2e: ok"

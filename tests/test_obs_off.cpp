@@ -1,0 +1,70 @@
+// Forces the DFKY_OBS=OFF stubs in this translation unit (regardless of how
+// the build was configured — the `on`/`off` inline-namespace split makes
+// that ODR-safe) and checks that every instrumentation construct compiles
+// to a no-op: no state, no output, no side effects.
+#ifdef DFKY_OBS_ENABLED
+#undef DFKY_OBS_ENABLED
+#endif
+#define DFKY_OBS_ENABLED 0
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace dfky {
+namespace {
+
+static_assert(!obs::enabled(), "this TU must see the stub layer");
+
+TEST(ObsOff, StubsCarryNoState) {
+  obs::Counter& c = obs::counter("off_counter", {{"k", "v"}});
+  c.inc();
+  c.inc(100);
+  EXPECT_EQ(c.value(), 0u);
+
+  obs::Gauge& g = obs::gauge("off_gauge");
+  g.set(42);
+  g.add(7);
+  EXPECT_EQ(g.value(), 0);
+
+  obs::Histogram& h = obs::histogram("off_hist", {}, {1, 2, 3});
+  h.observe(99);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  const auto s = h.snapshot();
+  EXPECT_TRUE(s.bounds.empty());
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+}
+
+TEST(ObsOff, RegistryExportsNothing) {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.emit({.name = "off_event", .period = 1, .user = -1, .detail = "", .value = 0});
+  obs::event({.name = "off_event2", .period = -1, .user = -1, .detail = "", .value = 0});
+  EXPECT_TRUE(reg.events().empty());
+  EXPECT_EQ(reg.prometheus(), "");
+  EXPECT_EQ(reg.jsonl(), "");
+  reg.reset();  // must be callable
+}
+
+TEST(ObsOff, MacrosExpandToNothing) {
+  int touched = 0;
+  // The whole statement list is compiled out, so `touched` never moves.
+  DFKY_OBS(touched = 1; obs::counter("off_macro").inc(););
+  EXPECT_EQ(touched, 0);
+
+  DFKY_OBS_TIMER(span, "off_timer", {{"path", "x"}});
+  // `span` is not declared in the OFF expansion; shadowing is legal.
+  const int span = 5;
+  EXPECT_EQ(span, 5);
+}
+
+TEST(ObsOff, ScopedTimerIsInert) {
+  obs::Histogram& h = obs::histogram("off_timer_hist");
+  { obs::ScopedTimer t(h); }
+  EXPECT_EQ(h.count(), 0u);
+}
+
+}  // namespace
+}  // namespace dfky

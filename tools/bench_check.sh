@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Builds the benches in Release and runs every one in the smoke profile
+# (DFKY_BENCH_SMOKE=1), validating each BENCH_<name>.json against the
+# dfky-bench-v1 schema. Usage:
+#
+#   tools/bench_check.sh [build-dir] [--full]
+#
+# Defaults: build-dir = build-bench, smoke profile. --full runs the real
+# sweep sizes (slow; what you want when collecting numbers for the paper
+# tables rather than checking plumbing).
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo/build-bench"
+smoke=1
+for arg in "$@"; do
+  case "$arg" in
+    --full) smoke=0 ;;
+    *) build_dir="$arg" ;;
+  esac
+done
+
+benches=(bench_group bench_encdec bench_user_ops bench_tracing
+         bench_transmission bench_new_period bench_bbc bench_expiry
+         bench_longlived bench_recovery)
+
+cmake -S "$repo" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j"$(nproc)" \
+  --target bench_schema_check "${benches[@]}"
+
+out_dir="$build_dir/bench-out"
+rm -rf "$out_dir"
+mkdir -p "$out_dir"
+cd "$out_dir"
+
+for b in "${benches[@]}"; do
+  echo "== $b =="
+  DFKY_BENCH_SMOKE=$smoke "$build_dir/bench/$b" > "$b.out"
+  tail -n 1 "$b.out"
+done
+
+shopt -s nullglob
+json=(BENCH_*.json)
+[ "${#json[@]}" -eq "${#benches[@]}" ] || {
+  echo "bench_check: expected ${#benches[@]} BENCH_*.json, got ${#json[@]}" >&2
+  exit 1
+}
+"$build_dir/tools/bench_schema_check" "${json[@]}"
+echo "bench_check: OK ($out_dir)"

@@ -1,0 +1,94 @@
+// Validates BENCH_<name>.json files against the dfky-bench-v1 schema
+// (DESIGN.md Sect. 8): top-level {schema, bench, smoke, obs, records[]},
+// each record {op, n, v, median_ns, p95_ns, bytes, samples}. Exit 0 when
+// every file conforms; the first violation is reported on stderr, exit 1.
+//
+//   bench_schema_check BENCH_encdec.json [more.json ...]
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "obs/json.h"
+
+namespace {
+
+using dfky::json::Value;
+
+[[noreturn]] void fail(const std::string& file, const std::string& msg) {
+  std::fprintf(stderr, "bench_schema_check: %s: %s\n", file.c_str(),
+               msg.c_str());
+  std::exit(1);
+}
+
+const Value& member(const std::string& file, const Value& obj,
+                    const char* key) {
+  const Value* v = obj.find(key);
+  if (!v) fail(file, std::string("missing key \"") + key + "\"");
+  return *v;
+}
+
+double non_negative_number(const std::string& file, const Value& obj,
+                           const char* key) {
+  const Value& v = member(file, obj, key);
+  if (!v.is_number()) fail(file, std::string("\"") + key + "\" not a number");
+  if (v.as_number() < 0) fail(file, std::string("\"") + key + "\" negative");
+  return v.as_number();
+}
+
+void check_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(path, "cannot open");
+  const std::string text{std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>()};
+  Value doc;
+  try {
+    doc = Value::parse(text);
+  } catch (const dfky::DecodeError& e) {
+    fail(path, std::string("invalid JSON: ") + e.what());
+  }
+  if (!doc.is_object()) fail(path, "top level is not an object");
+  const Value& schema = member(path, doc, "schema");
+  if (!schema.is_string() || schema.as_string() != "dfky-bench-v1") {
+    fail(path, "\"schema\" is not \"dfky-bench-v1\"");
+  }
+  const Value& bench = member(path, doc, "bench");
+  if (!bench.is_string() || bench.as_string().empty()) {
+    fail(path, "\"bench\" is not a non-empty string");
+  }
+  if (!member(path, doc, "smoke").is_bool()) fail(path, "\"smoke\" not a bool");
+  if (!member(path, doc, "obs").is_bool()) fail(path, "\"obs\" not a bool");
+  const Value& records = member(path, doc, "records");
+  if (!records.is_array()) fail(path, "\"records\" not an array");
+  if (records.as_array().empty()) fail(path, "\"records\" is empty");
+  std::size_t i = 0;
+  for (const Value& r : records.as_array()) {
+    const std::string where = path + " record " + std::to_string(i++);
+    if (!r.is_object()) fail(where, "not an object");
+    const Value& op = member(where, r, "op");
+    if (!op.is_string() || op.as_string().empty()) {
+      fail(where, "\"op\" is not a non-empty string");
+    }
+    non_negative_number(where, r, "n");
+    non_negative_number(where, r, "v");
+    const double median = non_negative_number(where, r, "median_ns");
+    const double p95 = non_negative_number(where, r, "p95_ns");
+    if (p95 < median) fail(where, "p95_ns < median_ns");
+    non_negative_number(where, r, "bytes");
+    if (non_negative_number(where, r, "samples") < 1) {
+      fail(where, "\"samples\" < 1");
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: bench_schema_check <BENCH_*.json ...>\n");
+    return 1;
+  }
+  for (int i = 1; i < argc; ++i) check_file(argv[i]);
+  std::printf("bench_schema_check: %d file(s) ok\n", argc - 1);
+  return 0;
+}

@@ -15,17 +15,27 @@
 //
 // Key files bundle the group description with the user key so the receiver
 // side needs no other configuration.
+//
+// Observability: every subcommand accepts `--metrics-out <file>`, which
+// appends this process's metrics snapshot (JSONL, dfky-metrics-v1) to the
+// file on success. `dfky_cli stats <file>` merges the snapshots from a whole
+// scripted session (counters sum, gauges last-write-wins, histogram buckets
+// add) and prints a summary or Prometheus text.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "broadcast/bus.h"
 #include "core/content.h"
 #include "core/manager.h"
 #include "core/receiver.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "rng/system_rng.h"
 #include "serial/codec.h"
 #include "tracing/nonblackbox.h"
@@ -150,6 +160,18 @@ std::optional<std::string> flag_value(std::vector<std::string>& args,
   return std::nullopt;
 }
 
+/// Called after a command has consumed all the flags it knows; anything
+/// left that looks like a flag is a usage error (exit 1, message on
+/// stderr) rather than a silently ignored positional.
+void reject_unknown_flags(const std::vector<std::string>& args,
+                          const std::string& cmd) {
+  for (const std::string& a : args) {
+    if (a.size() >= 2 && a[0] == '-' && a[1] == '-') {
+      die(cmd + ": unknown flag '" + a + "'");
+    }
+  }
+}
+
 Group group_by_name(const std::string& name) {
   if (name == "test128") return Group(GroupParams::named(ParamId::kTest128));
   if (name == "sec256") return Group(GroupParams::named(ParamId::kSec256));
@@ -172,6 +194,7 @@ int cmd_init(std::vector<std::string> args) {
       std::stoul(flag_value(args, "--v").value_or("8"));
   const std::string group_name =
       flag_value(args, "--group").value_or("sec512");
+  reject_unknown_flags(args, "init");
   SystemRng rng;
   const SystemParams sp =
       SystemParams::create(group_by_name(group_name), v, rng);
@@ -184,6 +207,7 @@ int cmd_init(std::vector<std::string> args) {
 }
 
 int cmd_status(std::vector<std::string> args) {
+  reject_unknown_flags(args, "status");
   if (args.empty()) die("status: missing state file");
   const SecurityManager mgr = load_manager(args[0]);
   std::size_t active = 0, revoked = 0;
@@ -204,6 +228,7 @@ int cmd_status(std::vector<std::string> args) {
 }
 
 int cmd_add(std::vector<std::string> args) {
+  reject_unknown_flags(args, "add");
   if (args.size() < 2) die("add: usage: add <state> <key-out>");
   SecurityManager mgr = load_manager(args[0]);
   SystemRng rng;
@@ -221,6 +246,7 @@ int cmd_revoke(std::vector<std::string> args) {
   args.erase(args.begin());
   const std::string reset_prefix =
       flag_value(args, "--reset-out").value_or("reset");
+  reject_unknown_flags(args, "revoke");
   std::vector<std::uint64_t> ids;
   for (const std::string& a : args) ids.push_back(std::stoull(a));
   SecurityManager mgr = load_manager(state_path);
@@ -230,11 +256,16 @@ int cmd_revoke(std::vector<std::string> args) {
   std::printf("revoked %zu user(s); saturation %zu/%zu, period %llu\n",
               ids.size(), mgr.saturation_level(), mgr.saturation_limit(),
               static_cast<unsigned long long>(mgr.period()));
+  // File-based deployments have no live subscribers, but the reset still
+  // goes over the broadcast channel so the dfky_bus_* accounting matches
+  // what a wired deployment would report.
+  BroadcastBus bus;
   for (std::size_t i = 0; i < bundles.size(); ++i) {
     Writer w;
     bundles[i].serialize(w, mgr.params().group);
     const std::string path = reset_prefix + "." + std::to_string(i) + ".bin";
     write_file(path, w.bytes());
+    bus.publish({MsgType::kChangePeriod, w.bytes()});
     std::printf("period change -> broadcast %s (%zu bytes) to subscribers\n",
                 path.c_str(), w.size());
   }
@@ -242,6 +273,7 @@ int cmd_revoke(std::vector<std::string> args) {
 }
 
 int cmd_encrypt(std::vector<std::string> args) {
+  reject_unknown_flags(args, "encrypt");
   if (args.size() < 3) die("encrypt: usage: encrypt <state> <payload> <out>");
   const SecurityManager mgr = load_manager(args[0]);
   const Bytes payload = read_file(args[1]);
@@ -251,12 +283,15 @@ int cmd_encrypt(std::vector<std::string> args) {
   Writer w;
   msg.serialize(w, mgr.params().group);
   write_file(args[2], w.bytes());
+  BroadcastBus bus;
+  bus.publish({MsgType::kContent, w.bytes()});
   std::printf("encrypted %zu bytes -> %s (%zu bytes on the wire)\n",
               payload.size(), args[2].c_str(), w.size());
   return 0;
 }
 
 int cmd_decrypt(std::vector<std::string> args) {
+  reject_unknown_flags(args, "decrypt");
   if (args.size() < 2) die("decrypt: usage: decrypt <key-file> <broadcast>");
   const KeyFile kf = read_key_file(args[0]);
   const Bytes raw = read_file(args[1]);
@@ -269,6 +304,7 @@ int cmd_decrypt(std::vector<std::string> args) {
 }
 
 int cmd_apply_reset(std::vector<std::string> args) {
+  reject_unknown_flags(args, "apply-reset");
   if (args.size() < 2) {
     die("apply-reset: usage: apply-reset <key-file> <reset-file>");
   }
@@ -308,6 +344,7 @@ int cmd_apply_reset(std::vector<std::string> args) {
 }
 
 int cmd_pirate(std::vector<std::string> args) {
+  reject_unknown_flags(args, "pirate");
   if (args.size() < 3) {
     die("pirate: usage: pirate <state> <rep-out> <key-file...>");
   }
@@ -330,6 +367,7 @@ int cmd_pirate(std::vector<std::string> args) {
 }
 
 int cmd_trace(std::vector<std::string> args) {
+  reject_unknown_flags(args, "trace");
   if (args.size() < 2) die("trace: usage: trace <state> <rep-file>");
   const SecurityManager mgr = load_manager(args[0]);
   const Bytes raw = read_file(args[1]);
@@ -349,9 +387,230 @@ int cmd_trace(std::vector<std::string> args) {
   return 0;
 }
 
-void usage() {
-  std::puts(
-      "usage: dfky_cli <command> ...\n"
+// ---- metrics snapshots and the stats subcommand -------------------------------
+
+/// Appends this process's metrics snapshot to `path`. In a DFKY_OBS=OFF
+/// build only the meta line is written, so `stats` (and scripts) can tell
+/// "layer disabled" apart from "nothing happened".
+void append_metrics_snapshot(const std::string& path) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) die("cannot write metrics file " + path);
+  if (obs::enabled()) {
+    out << obs::MetricsRegistry::instance().jsonl();
+  } else {
+    out << "{\"kind\":\"meta\",\"obs\":\"off\",\"schema\":\"dfky-metrics-v1\"}\n";
+  }
+}
+
+/// Metrics merged across the snapshots of a scripted session. Keys are the
+/// Prometheus-style `name{k="v",...}` rendering, so the maps sort exactly
+/// like the exporters do.
+struct MergedMetrics {
+  struct Hist {
+    std::vector<double> bounds;
+    std::vector<double> cumulative;  // per bucket incl. +Inf, summed
+    double count = 0;
+    double sum = 0;
+  };
+  std::map<std::string, double> counters;    // summed
+  std::map<std::string, double> gauges;      // last write wins
+  std::map<std::string, Hist> histograms;    // buckets added elementwise
+  std::map<std::string, std::size_t> event_counts;
+  std::vector<json::Value> events;           // in file order
+  std::size_t snapshots = 0;
+  bool obs_on = false;
+};
+
+std::string series_key(const json::Value& line) {
+  std::string key = line.find("name")->as_string();
+  const json::Value* labels = line.find("labels");
+  if (labels && !labels->as_object().empty()) {
+    key += "{";
+    bool first = true;
+    for (const auto& [k, v] : labels->as_object()) {
+      if (!first) key += ",";
+      first = false;
+      key += k + "=\"" + json::escape(v.as_string()) + "\"";
+    }
+    key += "}";
+  }
+  return key;
+}
+
+std::vector<double> number_array(const json::Value& v) {
+  std::vector<double> out;
+  for (const json::Value& x : v.as_array()) out.push_back(x.as_number());
+  return out;
+}
+
+MergedMetrics read_metrics_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) die("cannot open metrics file " + path);
+  MergedMetrics m;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    json::Value v;
+    try {
+      v = json::Value::parse(line);
+    } catch (const DecodeError& e) {
+      die(path + ":" + std::to_string(lineno) + ": " + e.what());
+    }
+    const json::Value* kind = v.find("kind");
+    if (!kind) die(path + ":" + std::to_string(lineno) + ": missing \"kind\"");
+    const std::string& k = kind->as_string();
+    if (k == "meta") {
+      ++m.snapshots;
+      const json::Value* o = v.find("obs");
+      if (o && o->as_string() == "on") m.obs_on = true;
+    } else if (k == "counter") {
+      m.counters[series_key(v)] += v.find("value")->as_number();
+    } else if (k == "gauge") {
+      m.gauges[series_key(v)] = v.find("value")->as_number();
+    } else if (k == "histogram") {
+      MergedMetrics::Hist& h = m.histograms[series_key(v)];
+      const std::vector<double> bounds = number_array(*v.find("bounds"));
+      const std::vector<double> cum =
+          number_array(*v.find("cumulative_counts"));
+      if (h.bounds.empty()) {
+        h.bounds = bounds;
+        h.cumulative.assign(cum.size(), 0.0);
+      }
+      if (bounds != h.bounds || cum.size() != h.cumulative.size()) {
+        die(path + ":" + std::to_string(lineno) +
+            ": histogram bounds changed between snapshots");
+      }
+      for (std::size_t i = 0; i < cum.size(); ++i) h.cumulative[i] += cum[i];
+      h.count += v.find("count")->as_number();
+      h.sum += v.find("sum")->as_number();
+    } else if (k == "event") {
+      m.event_counts[v.find("name")->as_string()] += 1;
+      m.events.push_back(std::move(v));
+    } else {
+      die(path + ":" + std::to_string(lineno) + ": unknown kind \"" + k +
+          "\"");
+    }
+  }
+  return m;
+}
+
+/// Same rank-interpolation rule as Histogram::Snapshot::quantile, applied
+/// to the merged buckets.
+double merged_quantile(const MergedMetrics::Hist& h, double q) {
+  if (h.count <= 0) return 0.0;
+  const double rank = q * h.count;
+  double prev_cum = 0, prev_bound = 0;
+  for (std::size_t i = 0; i < h.cumulative.size(); ++i) {
+    const double cum = h.cumulative[i];
+    if (rank <= cum || i + 1 == h.cumulative.size()) {
+      if (i >= h.bounds.size()) {
+        // +Inf bucket: no upper bound to interpolate against.
+        return h.bounds.empty() ? h.sum / h.count : h.bounds.back();
+      }
+      const double in_bucket = cum - prev_cum;
+      if (in_bucket <= 0) return h.bounds[i];
+      const double frac = (rank - prev_cum) / in_bucket;
+      return prev_bound + frac * (h.bounds[i] - prev_bound);
+    }
+    prev_cum = cum;
+    if (i < h.bounds.size()) prev_bound = h.bounds[i];
+  }
+  return h.bounds.empty() ? 0.0 : h.bounds.back();
+}
+
+std::string fmt_ns(double ns) {
+  char buf[64];
+  if (ns >= 1e9) std::snprintf(buf, sizeof buf, "%.2fs", ns / 1e9);
+  else if (ns >= 1e6) std::snprintf(buf, sizeof buf, "%.2fms", ns / 1e6);
+  else if (ns >= 1e3) std::snprintf(buf, sizeof buf, "%.2fus", ns / 1e3);
+  else std::snprintf(buf, sizeof buf, "%.0fns", ns);
+  return buf;
+}
+
+void print_summary(const MergedMetrics& m) {
+  std::printf("snapshots: %zu  (obs layer: %s)\n", m.snapshots,
+              m.obs_on ? "on" : "off");
+  if (!m.counters.empty()) {
+    std::printf("\n# counters\n");
+    for (const auto& [k, v] : m.counters) {
+      std::printf("  %-56s %s\n", k.c_str(), json::format_number(v).c_str());
+    }
+  }
+  if (!m.gauges.empty()) {
+    std::printf("\n# gauges\n");
+    for (const auto& [k, v] : m.gauges) {
+      std::printf("  %-56s %s\n", k.c_str(), json::format_number(v).c_str());
+    }
+  }
+  if (!m.histograms.empty()) {
+    std::printf("\n# timings\n");
+    for (const auto& [k, h] : m.histograms) {
+      std::printf("  %-44s count=%-6s p50=%-10s p95=%s\n", k.c_str(),
+                  json::format_number(h.count).c_str(),
+                  fmt_ns(merged_quantile(h, 0.5)).c_str(),
+                  fmt_ns(merged_quantile(h, 0.95)).c_str());
+    }
+  }
+  if (!m.event_counts.empty()) {
+    std::printf("\n# events\n");
+    for (const auto& [k, n] : m.event_counts) {
+      std::printf("  %-56s %zu\n", k.c_str(), n);
+    }
+  }
+}
+
+void print_prometheus(const MergedMetrics& m) {
+  for (const auto& [k, v] : m.counters) {
+    std::printf("%s %s\n", k.c_str(), json::format_number(v).c_str());
+  }
+  for (const auto& [k, v] : m.gauges) {
+    std::printf("%s %s\n", k.c_str(), json::format_number(v).c_str());
+  }
+  for (const auto& [k, h] : m.histograms) {
+    // Splice `le` into an existing label set: name{a="b"} -> name_bucket{a="b",le="..."}.
+    const std::size_t brace = k.find('{');
+    const std::string name = k.substr(0, brace == std::string::npos ? k.size() : brace);
+    const std::string inner =
+        brace == std::string::npos ? "" : k.substr(brace + 1, k.size() - brace - 2);
+    for (std::size_t i = 0; i < h.cumulative.size(); ++i) {
+      const std::string le = i < h.bounds.size()
+                                 ? json::format_number(h.bounds[i])
+                                 : std::string("+Inf");
+      std::printf("%s_bucket{%s%sle=\"%s\"} %s\n", name.c_str(), inner.c_str(),
+                  inner.empty() ? "" : ",", le.c_str(),
+                  json::format_number(h.cumulative[i]).c_str());
+    }
+    std::printf("%s_sum%s %s\n", name.c_str(),
+                brace == std::string::npos ? "" : k.substr(brace).c_str(),
+                json::format_number(h.sum).c_str());
+    std::printf("%s_count%s %s\n", name.c_str(),
+                brace == std::string::npos ? "" : k.substr(brace).c_str(),
+                json::format_number(h.count).c_str());
+  }
+}
+
+int cmd_stats(std::vector<std::string> args) {
+  const std::string format = flag_value(args, "--format").value_or("summary");
+  reject_unknown_flags(args, "stats");
+  if (args.empty()) {
+    die("stats: usage: stats <metrics-file> [--format summary|prom]");
+  }
+  const MergedMetrics m = read_metrics_file(args[0]);
+  if (format == "summary") {
+    print_summary(m);
+  } else if (format == "prom") {
+    print_prometheus(m);
+  } else {
+    die("stats: unknown format '" + format + "' (summary|prom)");
+  }
+  return 0;
+}
+
+void usage(std::FILE* to) {
+  std::fputs(
+      "usage: dfky_cli <command> ... [--metrics-out FILE]\n"
       "  init <state> [--v N] [--group NAME]   create a system\n"
       "  status <state>                        show system state\n"
       "  add <state> <key-out>                 subscribe a user\n"
@@ -360,33 +619,53 @@ void usage() {
       "  decrypt <key-file> <broadcast>        receive content\n"
       "  apply-reset <key-file> <reset-file>   follow a period change\n"
       "  pirate <state> <rep-out> <key...>     (demo) forge a pirate key\n"
-      "  trace <state> <rep-file>              trace a pirate key");
+      "  trace <state> <rep-file>              trace a pirate key\n"
+      "  stats <metrics-file> [--format summary|prom]  session metrics\n"
+      "  help                                  this text\n"
+      "\n"
+      "--metrics-out FILE appends this invocation's metrics snapshot\n"
+      "(JSONL) to FILE; `stats` merges the snapshots of a whole session.\n",
+      to);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    usage();
+    usage(stderr);
     return 1;
   }
   const std::string cmd = argv[1];
   std::vector<std::string> args(argv + 2, argv + argc);
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    usage(stdout);
+    return 0;
+  }
+  // Global flag, valid on every subcommand.
+  const std::optional<std::string> metrics_out =
+      flag_value(args, "--metrics-out");
+  int rc = -1;
   try {
-    if (cmd == "init") return cmd_init(std::move(args));
-    if (cmd == "status") return cmd_status(std::move(args));
-    if (cmd == "add") return cmd_add(std::move(args));
-    if (cmd == "revoke") return cmd_revoke(std::move(args));
-    if (cmd == "encrypt") return cmd_encrypt(std::move(args));
-    if (cmd == "decrypt") return cmd_decrypt(std::move(args));
-    if (cmd == "apply-reset") return cmd_apply_reset(std::move(args));
-    if (cmd == "pirate") return cmd_pirate(std::move(args));
-    if (cmd == "trace") return cmd_trace(std::move(args));
+    if (cmd == "init") rc = cmd_init(std::move(args));
+    else if (cmd == "status") rc = cmd_status(std::move(args));
+    else if (cmd == "add") rc = cmd_add(std::move(args));
+    else if (cmd == "revoke") rc = cmd_revoke(std::move(args));
+    else if (cmd == "encrypt") rc = cmd_encrypt(std::move(args));
+    else if (cmd == "decrypt") rc = cmd_decrypt(std::move(args));
+    else if (cmd == "apply-reset") rc = cmd_apply_reset(std::move(args));
+    else if (cmd == "pirate") rc = cmd_pirate(std::move(args));
+    else if (cmd == "trace") rc = cmd_trace(std::move(args));
+    else if (cmd == "stats") rc = cmd_stats(std::move(args));
   } catch (const Error& e) {
     die(e.what());
   } catch (const std::exception& e) {
     die(std::string("unexpected error: ") + e.what());
   }
-  usage();
-  return 1;
+  if (rc < 0) {
+    std::cerr << "dfky_cli: unknown command '" << cmd << "'\n";
+    usage(stderr);
+    return 1;
+  }
+  if (metrics_out) append_metrics_snapshot(*metrics_out);
+  return rc;
 }

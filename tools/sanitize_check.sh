@@ -1,24 +1,43 @@
 #!/usr/bin/env bash
-# Build a separate ASan+UBSan tree (-DDFKY_SANITIZE=ON) and run the channel
-# fault/recovery tests under it. Usage:
+# Build a separate sanitizer tree and run the racy/fault-heavy tests under
+# it. Usage:
 #
-#   tools/sanitize_check.sh [build-dir] [ctest-regex]
+#   tools/sanitize_check.sh [--tsan] [build-dir] [ctest-regex]
 #
-# Defaults: build-dir = build-asan, regex = the fault matrix plus the bus
-# reentrancy regressions. Pass '.*' to sanitize the whole suite.
+# Default (ASan+UBSan, -DDFKY_SANITIZE=ON): build-dir = build-asan, regex =
+# the fault matrix, the bus reentrancy regressions, and the metrics
+# registry. --tsan builds -DDFKY_SANITIZE_THREAD=ON instead and runs the
+# obs concurrency tests, which hammer one registry from many threads.
+# Pass '.*' to sanitize the whole suite.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo/build-asan}"
-filter="${2:-FaultyBus|Recovery|FaultMatrixTest|Bus\.}"
 
-cmake -S "$repo" -B "$build_dir" -DDFKY_SANITIZE=ON \
+mode=asan
+if [ "${1:-}" = "--tsan" ]; then
+  mode=tsan
+  shift
+fi
+
+if [ "$mode" = "tsan" ]; then
+  build_dir="${1:-$repo/build-tsan}"
+  filter="${2:-ObsConcurrency|ObsCounter|ObsEvents}"
+  sanitize_flag=-DDFKY_SANITIZE_THREAD=ON
+  targets=(obs_tests)
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+else
+  build_dir="${1:-$repo/build-asan}"
+  filter="${2:-FaultyBus|Recovery|FaultMatrixTest|Bus\.|Obs}"
+  sanitize_flag=-DDFKY_SANITIZE=ON
+  targets=(fault_tests system_tests obs_tests)
+  # halt_on_error so a sanitizer report fails the run loudly.
+  export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+fi
+
+cmake -S "$repo" -B "$build_dir" "$sanitize_flag" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$build_dir" -j"$(nproc)" --target fault_tests system_tests
-
-# halt_on_error so a sanitizer report fails the run loudly.
-export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
-export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+cmake --build "$build_dir" -j"$(nproc)" --target "${targets[@]}"
 
 ctest --test-dir "$build_dir" --output-on-failure -j"$(nproc)" -R "$filter"
-echo "sanitize_check: OK"
+echo "sanitize_check: OK ($mode)"
