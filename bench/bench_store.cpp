@@ -1,0 +1,161 @@
+// E11: Durable state store cost (DESIGN.md Sect. 9).
+// Claims: a mutation's durability overhead is one WAL record append + fsync
+// (independent of population size n); snapshot rotation is O(state);
+// recovery replays the WAL suffix linearly. Measured both against the real
+// filesystem (fsync included) and the in-memory FileIo (framing/HMAC cost
+// in isolation).
+#include <cstdio>
+#include <cstdlib>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+
+#include "bench_json.h"
+#include "core/manager.h"
+#include "rng/chacha_rng.h"
+#include "store/file_io.h"
+#include "store/store.h"
+
+using namespace dfky;
+
+namespace {
+
+benchjson::Report g_report("store");
+
+constexpr std::size_t kV = 8;
+
+SystemParams make_params() {
+  ChaChaRng rng(42);
+  return SystemParams::create(Group(GroupParams::named(ParamId::kSec512)), kV,
+                              rng);
+}
+
+StoreOptions no_rotation() {
+  StoreOptions opts;
+  opts.snapshot_every = std::size_t{1} << 30;  // isolate what each table times
+  return opts;
+}
+
+void remove_store_dir(FileIo& io, const std::string& dir) {
+  if (!io.is_dir(dir)) return;
+  for (const std::string& name : io.list(dir)) io.remove(dir + "/" + name);
+  ::rmdir(dir.c_str());
+}
+
+// E11a: durable add_user — WAL append + fsync on a real filesystem vs the
+// in-memory model. The gap is the price of the durable-before-ack contract.
+void mutation_table() {
+  std::printf("# E11a: durable add_user latency (v = %zu, 512-bit group)\n",
+              kV);
+  std::printf("%10s %12s %12s %10s\n", "backend", "median-us", "p95-us",
+              "rec-bytes");
+  const std::size_t samples = benchjson::smoke() ? 4 : 32;
+  const SystemParams sp = make_params();
+
+  const auto run = [&](FileIo& io, const std::string& dir,
+                       const std::string& op, const char* label) {
+    ChaChaRng rng(1);
+    remove_store_dir(io, dir);
+    StateStore store =
+        StateStore::create(io, dir, SecurityManager(sp, rng), rng,
+                           no_rotation());
+    const std::size_t wal0 =
+        io.read(dir + "/wal.0").size();
+    const benchjson::Timing t =
+        benchjson::time_samples(samples, [&] { store.add_user(rng); });
+    const std::size_t per_record =
+        (io.read(dir + "/wal.0").size() - wal0) / samples;
+    g_report.add({op, 0, kV, t.median_ns, t.p95_ns, per_record, t.samples});
+    std::printf("%10s %12.1f %12.1f %10zu\n", label,
+                static_cast<double>(t.median_ns) / 1e3,
+                static_cast<double>(t.p95_ns) / 1e3, per_record);
+    remove_store_dir(io, dir);
+  };
+
+  MemFileIo mem;
+  run(mem, "sys", "add_user_mem", "mem");
+  char tmpl[] = "/tmp/dfky_bench_store_XXXXXX";
+  if (::mkdtemp(tmpl) != nullptr) {
+    RealFileIo real;
+    run(real, std::string(tmpl) + "/sys", "add_user_disk", "disk");
+    ::rmdir(tmpl);
+  } else {
+    std::printf("# (mkdtemp failed; skipping the on-disk row)\n");
+  }
+}
+
+// E11b: snapshot rotation vs population n — write-temp/fsync/rename of the
+// full state plus a fresh WAL header.
+void snapshot_table() {
+  std::printf("\n# E11b: snapshot rotation vs population n (in-memory io)\n");
+  std::printf("%8s %12s %12s %12s\n", "n", "median-us", "p95-us",
+              "snap-bytes");
+  const std::size_t samples = benchjson::smoke() ? 3 : 9;
+  const std::vector<std::size_t> ns =
+      benchjson::smoke() ? std::vector<std::size_t>{8, 32}
+                         : std::vector<std::size_t>{16, 64, 256};
+  const SystemParams sp = make_params();
+  for (std::size_t n : ns) {
+    ChaChaRng rng(2);
+    MemFileIo io;
+    StateStore store =
+        StateStore::create(io, "sys", SecurityManager(sp, rng), rng,
+                           no_rotation());
+    for (std::size_t i = 0; i < n; ++i) store.add_user(rng);
+    const benchjson::Timing t =
+        benchjson::time_samples(samples, [&] { store.snapshot(); });
+    const std::size_t bytes =
+        io.read("sys/" + (StateStore::kSnapPrefix +
+                          std::to_string(store.generation())))
+            .size();
+    g_report.add({"snapshot", n, kV, t.median_ns, t.p95_ns, bytes,
+                  t.samples});
+    std::printf("%8zu %12.1f %12.1f %12zu\n", n,
+                static_cast<double>(t.median_ns) / 1e3,
+                static_cast<double>(t.p95_ns) / 1e3, bytes);
+  }
+}
+
+// E11c: recovery — open() replaying k WAL records on top of the snapshot.
+void recovery_table() {
+  std::printf("\n# E11c: recovery (open + WAL replay) vs WAL length\n");
+  std::printf("%8s %12s %12s %12s\n", "records", "median-us", "p95-us",
+              "wal-bytes");
+  const std::size_t samples = benchjson::smoke() ? 3 : 9;
+  const std::vector<std::size_t> ks =
+      benchjson::smoke() ? std::vector<std::size_t>{8, 32}
+                         : std::vector<std::size_t>{16, 64, 256};
+  const SystemParams sp = make_params();
+  for (std::size_t k : ks) {
+    ChaChaRng rng(3);
+    MemFileIo io;
+    {
+      StateStore store =
+          StateStore::create(io, "sys", SecurityManager(sp, rng), rng,
+                             no_rotation());
+      for (std::size_t i = 0; i < k; ++i) store.add_user(rng);
+    }
+    const std::size_t wal_bytes = io.read("sys/wal.0").size();
+    const benchjson::Timing t = benchjson::time_samples(samples, [&] {
+      const StateStore s = StateStore::open(io, "sys", no_rotation());
+      if (s.wal_records() != k) std::abort();  // bench invariant
+    });
+    g_report.add({"recovery_open", k, kV, t.median_ns, t.p95_ns, wal_bytes,
+                  t.samples});
+    std::printf("%8zu %12.1f %12.1f %12zu\n", k,
+                static_cast<double>(t.median_ns) / 1e3,
+                static_cast<double>(t.p95_ns) / 1e3, wal_bytes);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E11: Durable state store ===\n\n");
+  mutation_table();
+  snapshot_table();
+  recovery_table();
+  return g_report.write() ? 0 : 1;
+}

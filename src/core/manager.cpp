@@ -24,6 +24,51 @@ Polynomial get_poly_fixed(Reader& r, const Zq& zq, std::size_t v) {
 
 }  // namespace
 
+// ---- ManagerMutation ----------------------------------------------------------
+
+void ManagerMutation::serialize(Writer& w, const Group& group) const {
+  w.put_u8(static_cast<std::uint8_t>(kind));
+  switch (kind) {
+    case Kind::kAddUser:
+      put_bigint(w, x);
+      break;
+    case Kind::kRemoveUser:
+      w.put_u64(user_id);
+      break;
+    case Kind::kNewPeriod:
+      put_bigint_vec(w, d);
+      put_bigint_vec(w, e);
+      bundle.serialize(w, group);
+      break;
+  }
+}
+
+ManagerMutation ManagerMutation::deserialize(Reader& r, const Group& group) {
+  ManagerMutation m;
+  const std::uint8_t kind_raw = r.get_u8();
+  switch (kind_raw) {
+    case static_cast<std::uint8_t>(Kind::kAddUser):
+      m.kind = Kind::kAddUser;
+      m.x = get_bigint(r);
+      break;
+    case static_cast<std::uint8_t>(Kind::kRemoveUser):
+      m.kind = Kind::kRemoveUser;
+      m.user_id = r.get_u64();
+      break;
+    case static_cast<std::uint8_t>(Kind::kNewPeriod):
+      m.kind = Kind::kNewPeriod;
+      m.d = get_bigint_vec(r);
+      m.e = get_bigint_vec(r);
+      m.bundle = SignedResetBundle::deserialize(r, group);
+      break;
+    default:
+      throw DecodeError("ManagerMutation: unknown kind");
+  }
+  return m;
+}
+
+// ---- SecurityManager ----------------------------------------------------------
+
 SecurityManager::SecurityManager(SystemParams sp, Rng& rng,
                                  ResetMode default_mode)
     : sp_(std::move(sp)),
@@ -50,6 +95,7 @@ SecurityManager::AddedUser SecurityManager::add_user(Rng& rng) {
   const std::uint64_t id = users_.size();
   users_.push_back(UserRecord{id, x, false, 0});
   used_x_.insert(x);
+  record(ManagerMutation{.kind = ManagerMutation::Kind::kAddUser, .x = x});
   DFKY_OBS(obs::counter("dfky_users_added_total").inc(););
   return AddedUser{id, issue_user_key(sp_, msk_, x, pk_.period)};
 }
@@ -64,6 +110,7 @@ SecurityManager::AddedUser SecurityManager::add_user_with_value(
   const std::uint64_t id = users_.size();
   users_.push_back(UserRecord{id, xr, false, 0});
   used_x_.insert(xr);
+  record(ManagerMutation{.kind = ManagerMutation::Kind::kAddUser, .x = xr});
   DFKY_OBS(obs::counter("dfky_users_added_total").inc(););
   return AddedUser{id, issue_user_key(sp_, msk_, xr, pk_.period)};
 }
@@ -93,6 +140,8 @@ std::optional<SignedResetBundle> SecurityManager::remove_user(std::uint64_t id,
   ++level_;
   rec.revoked = true;
   rec.revoked_in_period = pk_.period;
+  record(ManagerMutation{.kind = ManagerMutation::Kind::kRemoveUser,
+                         .user_id = id});
   DFKY_OBS(
       obs::counter("dfky_users_revoked_total").inc();
       obs::gauge("dfky_saturation_level")
@@ -294,24 +343,98 @@ SignedResetBundle SecurityManager::new_period(Rng& rng, ResetMode mode) {
 
   SignedResetBundle bundle;
   bundle.reset = build_reset_message(sp_, pk_, d, e, mode, rng);
-
-  // Update the master secret and publish the fresh public key.
-  msk_.a = msk_.a + d;
-  msk_.b = msk_.b + e;
-  pk_ = make_fresh_public_key(sp_, msk_, pk_.period + 1);
-  level_ = 0;
-
   bundle.signature =
       sign_key_.sign(sp_.group, bundle.signed_payload(sp_.group), rng);
 
-  archive_.push_back(bundle);
-  while (archive_.size() > archive_capacity_) archive_.pop_front();
+  apply_new_period(d, e, bundle);
+
+  if (record_mutations_) {
+    ManagerMutation m{.kind = ManagerMutation::Kind::kNewPeriod,
+                      .bundle = bundle};
+    m.d.reserve(sp_.v + 1);
+    m.e.reserve(sp_.v + 1);
+    for (std::size_t i = 0; i <= sp_.v; ++i) {
+      m.d.push_back(d.coeff(i));
+      m.e.push_back(e.coeff(i));
+    }
+    record(std::move(m));
+  }
   DFKY_OBS(
       obs::gauge("dfky_saturation_level").set(0);
       obs::event({.name = "new_period",
                   .period = static_cast<std::int64_t>(pk_.period),
                   .detail = mode == ResetMode::kPlain ? "plain" : "hybrid"}););
   return bundle;
+}
+
+void SecurityManager::apply_new_period(const Polynomial& d,
+                                       const Polynomial& e,
+                                       const SignedResetBundle& bundle) {
+  msk_.a = msk_.a + d;
+  msk_.b = msk_.b + e;
+  pk_ = make_fresh_public_key(sp_, msk_, pk_.period + 1);
+  level_ = 0;
+  archive_.push_back(bundle);
+  while (archive_.size() > archive_capacity_) archive_.pop_front();
+}
+
+void SecurityManager::record(ManagerMutation m) {
+  if (record_mutations_) mutation_log_.push_back(std::move(m));
+}
+
+void SecurityManager::set_mutation_recording(bool on) {
+  record_mutations_ = on;
+  if (!on) mutation_log_.clear();
+}
+
+std::vector<ManagerMutation> SecurityManager::take_mutation_log() {
+  std::vector<ManagerMutation> out = std::move(mutation_log_);
+  mutation_log_.clear();
+  return out;
+}
+
+void SecurityManager::apply_mutation(const ManagerMutation& m) {
+  switch (m.kind) {
+    case ManagerMutation::Kind::kAddUser: {
+      if (m.x.is_zero() || used_x_.contains(m.x)) {
+        throw DecodeError("apply_mutation: add-user record reuses x");
+      }
+      const std::uint64_t id = users_.size();
+      users_.push_back(UserRecord{id, m.x, false, 0});
+      used_x_.insert(m.x);
+      return;
+    }
+    case ManagerMutation::Kind::kRemoveUser: {
+      if (m.user_id >= users_.size()) {
+        throw DecodeError("apply_mutation: remove record names unknown user");
+      }
+      UserRecord& rec = users_[m.user_id];
+      if (rec.revoked) {
+        throw DecodeError("apply_mutation: remove record for revoked user");
+      }
+      if (level_ == sp_.v) {
+        throw DecodeError(
+            "apply_mutation: saturated without a new-period record");
+      }
+      revoke_into_slot(sp_, msk_, pk_, level_, rec.x);
+      ++level_;
+      rec.revoked = true;
+      rec.revoked_in_period = pk_.period;
+      return;
+    }
+    case ManagerMutation::Kind::kNewPeriod: {
+      if (m.d.size() != sp_.v + 1 || m.e.size() != sp_.v + 1) {
+        throw DecodeError("apply_mutation: bad randomizer coefficient count");
+      }
+      if (m.bundle.reset.new_period != pk_.period + 1) {
+        throw DecodeError("apply_mutation: new-period record out of order");
+      }
+      const Zq& zq = sp_.group.zq();
+      apply_new_period(Polynomial(zq, m.d), Polynomial(zq, m.e), m.bundle);
+      return;
+    }
+  }
+  throw DecodeError("apply_mutation: unknown record kind");
 }
 
 void SecurityManager::set_reset_archive_capacity(std::size_t k) {

@@ -19,6 +19,33 @@ struct UserRecord {
   std::uint64_t revoked_in_period = 0;  // meaningful iff revoked
 };
 
+/// One incremental, replayable record of a state-v2 mutation — the unit the
+/// durable state store appends to its write-ahead log (DESIGN.md Sect. 9).
+/// Records carry the *results* of every randomized choice (the issued x,
+/// the randomizer coefficients, the signed bundle), so replaying them is
+/// deterministic and reproduces the original state byte-for-byte.
+struct ManagerMutation {
+  enum class Kind : std::uint8_t {
+    kAddUser = 1,
+    kRemoveUser = 2,
+    kNewPeriod = 3,
+  };
+
+  Kind kind = Kind::kAddUser;
+  Bigint x;                   // kAddUser: the issued identity value
+  std::uint64_t user_id = 0;  // kRemoveUser
+  /// kNewPeriod: the randomizing polynomials D, E as fixed-width
+  /// coefficient vectors (v + 1 each, untrimmed)...
+  std::vector<Bigint> d, e;
+  /// ...and the broadcast bundle itself — the Schnorr signature is
+  /// randomized, so replay must reuse the recorded one.
+  SignedResetBundle bundle;
+
+  void serialize(Writer& w, const Group& group) const;
+  /// Throws DecodeError on malformed input.
+  static ManagerMutation deserialize(Reader& r, const Group& group);
+};
+
 class SecurityManager {
  public:
   /// Runs Setup and generates the manager's Schnorr signing key.
@@ -106,6 +133,21 @@ class SecurityManager {
   /// malformed or inconsistent state.
   static SecurityManager restore_state(BytesView state);
 
+  // -- incremental mutation records (the durable store's WAL payload) ----------
+  /// While recording is on, every mutating operation appends the replayable
+  /// record(s) it performed: add_user one kAddUser, remove_user a kRemoveUser
+  /// (preceded by a kNewPeriod when it rolled the period), new_period one
+  /// kNewPeriod. Disabling recording clears any undrained records.
+  void set_mutation_recording(bool on);
+  bool mutation_recording() const { return record_mutations_; }
+  /// Drains the records appended since the last call, in execution order.
+  std::vector<ManagerMutation> take_mutation_log();
+  /// Replays one record produced by a recording manager: applies exactly
+  /// the original state change (no fresh randomness, no lifecycle metrics).
+  /// Throws DecodeError if the record is inconsistent with the current
+  /// state — the WAL it came from is corrupt or misordered.
+  void apply_mutation(const ManagerMutation& m);
+
  private:
   struct RestoreTag {};
   SecurityManager(RestoreTag, SystemParams sp, MasterSecret msk, PublicKey pk,
@@ -114,6 +156,11 @@ class SecurityManager {
                   std::deque<SignedResetBundle> archive);
 
   Bigint fresh_x(Rng& rng);
+  /// The shared state edit of New-period: msk += (D, E), fresh public key,
+  /// saturation reset, archive push. Used by the live path and by replay.
+  void apply_new_period(const Polynomial& d, const Polynomial& e,
+                        const SignedResetBundle& bundle);
+  void record(ManagerMutation m);
 
   SystemParams sp_;
   MasterSecret msk_;
@@ -125,6 +172,8 @@ class SecurityManager {
   std::set<Bigint> used_x_;
   std::size_t archive_capacity_ = kDefaultArchiveCapacity;
   std::deque<SignedResetBundle> archive_;  // ascending new_period
+  bool record_mutations_ = false;
+  std::vector<ManagerMutation> mutation_log_;
 };
 
 }  // namespace dfky

@@ -1,0 +1,58 @@
+#include "crypto/crc32c.h"
+
+#include <array>
+
+namespace dfky {
+
+namespace {
+
+// Reflected-form table for the Castagnoli polynomial, built once at first
+// use. Slicing-by-4 keeps the store's append hot path cheap without any
+// hardware-specific intrinsics.
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 4> t{};
+
+  Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+      }
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xffu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xffu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xffu];
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32c_update(std::uint32_t crc, BytesView data) {
+  const Tables& tb = tables();
+  std::uint32_t c = ~crc;
+  std::size_t i = 0;
+  for (; i + 4 <= data.size(); i += 4) {
+    c ^= static_cast<std::uint32_t>(data[i]) |
+         (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+         (static_cast<std::uint32_t>(data[i + 2]) << 16) |
+         (static_cast<std::uint32_t>(data[i + 3]) << 24);
+    c = tb.t[3][c & 0xffu] ^ tb.t[2][(c >> 8) & 0xffu] ^
+        tb.t[1][(c >> 16) & 0xffu] ^ tb.t[0][c >> 24];
+  }
+  for (; i < data.size(); ++i) {
+    c = tb.t[0][(c ^ data[i]) & 0xffu] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+std::uint32_t crc32c(BytesView data) { return crc32c_update(0, data); }
+
+}  // namespace dfky

@@ -1,0 +1,18 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+// checksum used by the durable state store's record and snapshot framing
+// (DESIGN.md Sect. 9). CRC catches accidental corruption (torn writes, bit
+// rot) cheaply; it is NOT an authenticator — the store layers an HMAC chain
+// on top for that.
+#pragma once
+
+#include "common.h"
+
+namespace dfky {
+
+/// One-shot CRC32C of `data` (initial value 0).
+std::uint32_t crc32c(BytesView data);
+
+/// Streaming form: feed `crc` from a previous call (or 0) to continue.
+std::uint32_t crc32c_update(std::uint32_t crc, BytesView data);
+
+}  // namespace dfky

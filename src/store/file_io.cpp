@@ -1,0 +1,388 @@
+#include "store/file_io.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "obs/metrics.h"
+
+namespace dfky {
+
+std::string dirname_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+// ---- RealFileIo ----------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void io_fail(const std::string& op, const std::string& path) {
+  throw IoError("file_io: " + op + " " + path + ": " + std::strerror(errno));
+}
+
+class Fd {
+ public:
+  Fd(const std::string& path, int flags, mode_t mode = 0644)
+      : fd_(::open(path.c_str(), flags, mode)), path_(path) {}
+  ~Fd() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  int get() const { return fd_; }
+  bool ok() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+void write_all(const Fd& fd, BytesView data, const char* op) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd.get(), data.data() + off, data.size() - off);
+    if (n < 0) io_fail(op, fd.path());
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+bool RealFileIo::exists(const std::string& path) const {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+bool RealFileIo::is_dir(const std::string& path) const {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+std::vector<std::string> RealFileIo::list(const std::string& dir) const {
+  DIR* d = ::opendir(dir.empty() ? "." : dir.c_str());
+  if (d == nullptr) io_fail("list", dir);
+  std::vector<std::string> names;
+  while (dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st;
+    const std::string full = dir.empty() ? name : dir + "/" + name;
+    if (::stat(full.c_str(), &st) == 0 && S_ISREG(st.st_mode)) {
+      names.push_back(name);
+    }
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Bytes RealFileIo::read(const std::string& path) const {
+  Fd fd(path, O_RDONLY);
+  if (!fd.ok()) io_fail("read", path);
+  Bytes out;
+  byte buf[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd.get(), buf, sizeof buf);
+    if (n < 0) io_fail("read", path);
+    if (n == 0) break;
+    out.insert(out.end(), buf, buf + n);
+  }
+  return out;
+}
+
+void RealFileIo::write(const std::string& path, BytesView data) {
+  Fd fd(path, O_WRONLY | O_CREAT | O_TRUNC);
+  if (!fd.ok()) io_fail("write", path);
+  write_all(fd, data, "write");
+}
+
+void RealFileIo::append(const std::string& path, BytesView data) {
+  Fd fd(path, O_WRONLY | O_CREAT | O_APPEND);
+  if (!fd.ok()) io_fail("append", path);
+  write_all(fd, data, "append");
+}
+
+void RealFileIo::truncate(const std::string& path, std::size_t size) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) io_fail("truncate", path);
+  if (static_cast<std::size_t>(st.st_size) < size) {
+    errno = EINVAL;
+    io_fail("truncate-grow", path);
+  }
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    io_fail("truncate", path);
+  }
+}
+
+void RealFileIo::rename(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) io_fail("rename", from);
+}
+
+void RealFileIo::remove(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) io_fail("remove", path);
+}
+
+void RealFileIo::mkdir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) != 0) io_fail("mkdir", path);
+}
+
+void RealFileIo::fsync_file(const std::string& path) {
+  Fd fd(path, O_RDONLY);
+  if (!fd.ok()) io_fail("fsync_file", path);
+  if (::fsync(fd.get()) != 0) io_fail("fsync_file", path);
+}
+
+void RealFileIo::fsync_dir(const std::string& dir) {
+  Fd fd(dir.empty() ? "." : dir, O_RDONLY | O_DIRECTORY);
+  if (!fd.ok()) io_fail("fsync_dir", dir);
+  if (::fsync(fd.get()) != 0) io_fail("fsync_dir", dir);
+}
+
+// ---- MemFileIo -----------------------------------------------------------------
+
+MemFileIo::Inode& MemFileIo::live_inode(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) throw IoError("mem_io: no such file: " + path);
+  return it->second;
+}
+
+bool MemFileIo::exists(const std::string& path) const {
+  return files_.contains(path) || live_dirs_.contains(path);
+}
+
+bool MemFileIo::is_dir(const std::string& path) const {
+  return live_dirs_.contains(path);
+}
+
+std::vector<std::string> MemFileIo::list(const std::string& dir) const {
+  if (!live_dirs_.contains(dir)) throw IoError("mem_io: no such dir: " + dir);
+  std::vector<std::string> names;
+  for (const auto& [path, inode] : files_) {
+    (void)inode;
+    if (dirname_of(path) == dir) {
+      names.push_back(path.substr(dir.empty() ? 0 : dir.size() + 1));
+    }
+  }
+  return names;  // std::map iteration is already sorted
+}
+
+Bytes MemFileIo::read(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) throw IoError("mem_io: no such file: " + path);
+  return it->second.live;
+}
+
+void MemFileIo::write(const std::string& path, BytesView data) {
+  if (!live_dirs_.contains(dirname_of(path))) {
+    throw IoError("mem_io: no such dir for: " + path);
+  }
+  files_[path].live.assign(data.begin(), data.end());
+}
+
+void MemFileIo::append(const std::string& path, BytesView data) {
+  if (!live_dirs_.contains(dirname_of(path))) {
+    throw IoError("mem_io: no such dir for: " + path);
+  }
+  Bytes& live = files_[path].live;
+  live.insert(live.end(), data.begin(), data.end());
+}
+
+void MemFileIo::truncate(const std::string& path, std::size_t size) {
+  Inode& ino = live_inode(path);
+  if (ino.live.size() < size) throw IoError("mem_io: truncate grows " + path);
+  ino.live.resize(size);
+}
+
+void MemFileIo::rename(const std::string& from, const std::string& to) {
+  auto it = files_.find(from);
+  if (it == files_.end()) throw IoError("mem_io: rename missing " + from);
+  if (!live_dirs_.contains(dirname_of(to))) {
+    throw IoError("mem_io: rename into missing dir: " + to);
+  }
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+}
+
+void MemFileIo::remove(const std::string& path) {
+  if (files_.erase(path) == 0) throw IoError("mem_io: remove missing " + path);
+}
+
+void MemFileIo::mkdir(const std::string& path) {
+  if (exists(path)) throw IoError("mem_io: mkdir exists: " + path);
+  if (!live_dirs_.contains(dirname_of(path))) {
+    throw IoError("mem_io: mkdir into missing dir: " + path);
+  }
+  live_dirs_.insert(path);
+}
+
+void MemFileIo::fsync_file(const std::string& path) {
+  Inode& ino = live_inode(path);
+  ino.durable = ino.live;
+  // If the directory entry is already durable, the synced content reaches
+  // the platter immediately (POSIX fsync); otherwise it stays staged on the
+  // inode until fsync_dir promotes the entry.
+  const auto it = durable_ns_.find(path);
+  if (it != durable_ns_.end()) it->second.durable = ino.durable;
+}
+
+void MemFileIo::fsync_dir(const std::string& dir) {
+  if (!live_dirs_.contains(dir)) throw IoError("mem_io: no such dir: " + dir);
+  // Persist the entry table of `dir`: creations, renames and removals all
+  // become crash-safe. Content durability is fsync_file's job — an entry
+  // promoted here still reverts to its last synced *content* on crash.
+  durable_dirs_.insert(dir);
+  for (auto it = durable_ns_.begin(); it != durable_ns_.end();) {
+    if (dirname_of(it->first) == dir && !files_.contains(it->first)) {
+      it = durable_ns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& [path, inode] : files_) {
+    if (dirname_of(path) != dir) continue;
+    durable_ns_[path].durable = inode.durable;
+  }
+}
+
+void MemFileIo::crash() {
+  std::map<std::string, Inode> survivors;
+  for (const auto& [path, inode] : durable_ns_) {
+    survivors[path] = Inode{inode.durable, inode.durable};
+  }
+  files_ = std::move(survivors);
+  live_dirs_ = durable_dirs_;
+}
+
+void MemFileIo::inject_durable_append(const std::string& path,
+                                      BytesView data) {
+  auto it = durable_ns_.find(path);
+  if (it == durable_ns_.end()) return;  // entry never durable: nothing lands
+  it->second.durable.insert(it->second.durable.end(), data.begin(),
+                            data.end());
+  // Mirror into the live inode's synced content so a later fsync-less
+  // crash() is idempotent.
+  auto live = files_.find(path);
+  if (live != files_.end()) {
+    live->second.durable = it->second.durable;
+  }
+}
+
+// ---- FaultyFileIo --------------------------------------------------------------
+
+namespace {
+
+inline void note_io_fault(const char* kind) {
+  DFKY_OBS(obs::counter("dfky_store_io_faults_total", {{"kind", kind}}).inc(););
+#if !DFKY_OBS_ENABLED
+  (void)kind;
+#endif
+}
+
+}  // namespace
+
+FaultyFileIo::FaultyFileIo(MemFileIo& fs, FilePlan plan)
+    : fs_(fs), plan_(plan), rng_(plan.seed) {}
+
+void FaultyFileIo::mutating_op(const char* op, const std::string& path,
+                               BytesView torn_data,
+                               const std::string* torn_target) {
+  const std::uint64_t index = counters_.mutating_ops++;
+  if (plan_.crash_at && index == *plan_.crash_at) {
+    ++counters_.crashes;
+    note_io_fault("crash");
+    if (torn_target != nullptr && !torn_data.empty()) {
+      // A seeded prefix of the in-flight append reaches the platter.
+      const std::size_t kept = rng_.u64() % (torn_data.size() + 1);
+      fs_.inject_durable_append(*torn_target, torn_data.subspan(0, kept));
+      counters_.torn_bytes += kept;
+      if (kept > 0) note_io_fault("torn_append");
+    }
+    throw CrashPoint(std::string("injected crash at op ") +
+                     std::to_string(index) + " (" + op + " " + path + ")");
+  }
+}
+
+bool FaultyFileIo::exists(const std::string& path) const {
+  return fs_.exists(path);
+}
+bool FaultyFileIo::is_dir(const std::string& path) const {
+  return fs_.is_dir(path);
+}
+std::vector<std::string> FaultyFileIo::list(const std::string& dir) const {
+  return fs_.list(dir);
+}
+
+Bytes FaultyFileIo::read(const std::string& path) const {
+  ++counters_.reads;
+  Bytes data = fs_.read(path);
+  // Unconditional draws keep the PRG stream aligned across runs, exactly
+  // like FaultyBus::roll.
+  const std::uint64_t flip_roll = rng_.u64();
+  const std::uint64_t flip_pos = rng_.u64();
+  const std::uint64_t short_roll = rng_.u64();
+  const std::uint64_t short_len = rng_.u64();
+  const auto hits = [](std::uint64_t roll, double prob) {
+    return static_cast<double>(roll >> 11) * (1.0 / 9007199254740992.0) < prob;
+  };
+  if (!data.empty() && hits(flip_roll, plan_.bitflip_read_prob)) {
+    data[flip_pos % data.size()] ^=
+        static_cast<byte>(1u << (flip_pos % 8));
+    ++counters_.bitflips;
+    note_io_fault("bitflip");
+  }
+  if (!data.empty() && hits(short_roll, plan_.short_read_prob)) {
+    data.resize(short_len % data.size());
+    ++counters_.short_reads;
+    note_io_fault("short_read");
+  }
+  return data;
+}
+
+void FaultyFileIo::write(const std::string& path, BytesView data) {
+  mutating_op("write", path, {}, nullptr);
+  fs_.write(path, data);
+}
+
+void FaultyFileIo::append(const std::string& path, BytesView data) {
+  mutating_op("append", path, data, &path);
+  fs_.append(path, data);
+}
+
+void FaultyFileIo::truncate(const std::string& path, std::size_t size) {
+  mutating_op("truncate", path, {}, nullptr);
+  fs_.truncate(path, size);
+}
+
+void FaultyFileIo::rename(const std::string& from, const std::string& to) {
+  mutating_op("rename", from, {}, nullptr);
+  fs_.rename(from, to);
+}
+
+void FaultyFileIo::remove(const std::string& path) {
+  mutating_op("remove", path, {}, nullptr);
+  fs_.remove(path);
+}
+
+void FaultyFileIo::mkdir(const std::string& path) {
+  mutating_op("mkdir", path, {}, nullptr);
+  fs_.mkdir(path);
+}
+
+void FaultyFileIo::fsync_file(const std::string& path) {
+  mutating_op("fsync_file", path, {}, nullptr);
+  fs_.fsync_file(path);
+}
+
+void FaultyFileIo::fsync_dir(const std::string& dir) {
+  mutating_op("fsync_dir", dir, {}, nullptr);
+  fs_.fsync_dir(dir);
+}
+
+}  // namespace dfky

@@ -1,0 +1,636 @@
+#include "store/store.h"
+
+#include <algorithm>
+
+#include "crypto/crc32c.h"
+#include "crypto/hmac.h"
+#include "obs/metrics.h"
+#include "serial/codec.h"
+
+namespace dfky {
+
+namespace {
+
+constexpr std::uint32_t kKeyMagic = 0x6466736b;   // "dfsk"
+constexpr std::uint32_t kSnapMagic = 0x64667374;  // "dfst"
+constexpr std::uint32_t kWalMagic = 0x6466776c;   // "dfwl"
+constexpr std::uint8_t kVersion = 1;
+constexpr std::size_t kTagSize = Sha256::kDigestSize;
+// Per record: u32 payload length, u32 CRC32C, chained HMAC tag.
+constexpr std::size_t kFrameHeader = 4 + 4 + kTagSize;
+// WAL file prefix: magic, version, generation, chain seed tag.
+constexpr std::size_t kWalHeader = 4 + 1 + 8 + kTagSize;
+constexpr std::size_t kMaxRecordBytes = std::size_t{1} << 28;
+
+std::string snap_name(std::uint64_t gen) {
+  return StateStore::kSnapPrefix + std::to_string(gen);
+}
+std::string wal_name(std::uint64_t gen) {
+  return StateStore::kWalPrefix + std::to_string(gen);
+}
+
+std::string join(const std::string& dir, const std::string& name) {
+  return dir.empty() ? name : dir + "/" + name;
+}
+
+/// snap.<digits> / wal.<digits> -> the generation; nullopt otherwise.
+std::optional<std::uint64_t> parse_gen(const std::string& name,
+                                       const char* prefix) {
+  const std::string p = prefix;
+  if (name.size() <= p.size() || name.compare(0, p.size(), p) != 0) {
+    return std::nullopt;
+  }
+  std::uint64_t gen = 0;
+  for (std::size_t i = p.size(); i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return std::nullopt;
+    if (gen > (UINT64_MAX - 9) / 10) return std::nullopt;
+    gen = gen * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  return gen;
+}
+
+Sha256::Digest chain_next(BytesView key, const Sha256::Digest& prev,
+                          BytesView payload) {
+  HmacSha256 h(key);
+  h.update(prev);
+  h.update(payload);
+  return h.finish();
+}
+
+Sha256::Digest snapshot_tag(BytesView key, std::uint64_t gen,
+                            BytesView payload) {
+  static constexpr char kLabel[] = "dfky-snap-v1";
+  Writer g8;
+  g8.put_u64(gen);
+  HmacSha256 h(key);
+  h.update(BytesView(reinterpret_cast<const byte*>(kLabel), sizeof kLabel));
+  h.update(g8.bytes());
+  h.update(payload);
+  return h.finish();
+}
+
+Bytes encode_key_file(BytesView key32) {
+  Writer w;
+  w.put_u32(kKeyMagic);
+  w.put_u8(kVersion);
+  w.put_raw(key32);
+  w.put_u32(crc32c(key32));
+  return std::move(w).take();
+}
+
+Bytes decode_key_file(BytesView raw) {
+  Reader r(raw);
+  if (r.get_u32() != kKeyMagic) throw DecodeError("store.key: bad magic");
+  if (r.get_u8() != kVersion) throw DecodeError("store.key: bad version");
+  Bytes key = r.get_raw(32);
+  if (r.get_u32() != crc32c(key)) throw DecodeError("store.key: bad checksum");
+  r.expect_end();
+  return key;
+}
+
+Bytes encode_snapshot(BytesView key, std::uint64_t gen, BytesView payload,
+                      Sha256::Digest& tag_out) {
+  tag_out = snapshot_tag(key, gen, payload);
+  Writer w;
+  w.put_u32(kSnapMagic);
+  w.put_u8(kVersion);
+  w.put_u64(gen);
+  w.put_blob(payload);
+  w.put_u32(crc32c(payload));
+  w.put_raw(tag_out);
+  return std::move(w).take();
+}
+
+struct SnapInfo {
+  Bytes payload;
+  Sha256::Digest tag{};
+};
+
+/// Structural + integrity validation of one snapshot file; nullopt on any
+/// mismatch (truncated frame, CRC, HMAC, wrong generation).
+std::optional<SnapInfo> parse_snapshot(BytesView raw, BytesView key,
+                                       std::uint64_t expected_gen) {
+  try {
+    Reader r(raw);
+    if (r.get_u32() != kSnapMagic) return std::nullopt;
+    if (r.get_u8() != kVersion) return std::nullopt;
+    if (r.get_u64() != expected_gen) return std::nullopt;
+    SnapInfo info;
+    info.payload = r.get_blob();
+    if (r.get_u32() != crc32c(info.payload)) return std::nullopt;
+    const Bytes tag = r.get_raw(kTagSize);
+    r.expect_end();
+    const Sha256::Digest want = snapshot_tag(key, expected_gen, info.payload);
+    if (!std::equal(tag.begin(), tag.end(), want.begin())) return std::nullopt;
+    std::copy(want.begin(), want.end(), info.tag.begin());
+    return info;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+Bytes encode_wal_header(std::uint64_t gen, const Sha256::Digest& seed) {
+  Writer w;
+  w.put_u32(kWalMagic);
+  w.put_u8(kVersion);
+  w.put_u64(gen);
+  w.put_raw(seed);
+  return std::move(w).take();
+}
+
+Bytes encode_record(BytesView key, const Sha256::Digest& prev,
+                    BytesView payload, Sha256::Digest& tag_out) {
+  tag_out = chain_next(key, prev, payload);
+  Writer w;
+  w.put_u32(static_cast<std::uint32_t>(payload.size()));
+  w.put_u32(crc32c(payload));
+  w.put_raw(tag_out);
+  w.put_raw(payload);
+  return std::move(w).take();
+}
+
+std::uint32_t read_be32(BytesView raw, std::size_t off) {
+  return (static_cast<std::uint32_t>(raw[off]) << 24) |
+         (static_cast<std::uint32_t>(raw[off + 1]) << 16) |
+         (static_cast<std::uint32_t>(raw[off + 2]) << 8) |
+         static_cast<std::uint32_t>(raw[off + 3]);
+}
+
+/// Counts the frames a torn tail *looks like* it holds (for reporting; the
+/// bytes are untrusted, so this is an estimate by length-prefix walking).
+std::size_t estimate_frames(BytesView raw, std::size_t off) {
+  std::size_t count = 0;
+  while (off < raw.size()) {
+    ++count;
+    if (raw.size() - off < kFrameHeader) break;
+    const std::size_t len = read_be32(raw, off);
+    if (len > kMaxRecordBytes || raw.size() - off - kFrameHeader < len) break;
+    off += kFrameHeader + len;
+  }
+  return count;
+}
+
+struct WalRecord {
+  Bytes payload;
+  std::size_t end = 0;  // offset one past this record's frame
+  Sha256::Digest tag{};
+};
+
+struct WalScan {
+  bool header_ok = false;
+  std::vector<WalRecord> records;  // CRC- and chain-valid prefix
+  std::size_t valid_end = 0;       // bytes of validated prefix (incl. header)
+  std::size_t tail_bytes = 0;      // bytes past the validated prefix
+  std::size_t tail_records = 0;    // estimated frames among those bytes
+};
+
+/// Integrity scan of a WAL file: header fields, then the longest prefix of
+/// records whose length, CRC32C and HMAC chain all verify.
+WalScan scan_wal(BytesView raw, BytesView key, std::uint64_t gen,
+                 const Sha256::Digest& seed) {
+  WalScan s;
+  if (raw.size() < kWalHeader) {
+    s.tail_bytes = raw.size();
+    s.tail_records = raw.empty() ? 0 : 1;
+    return s;
+  }
+  Reader r(raw);
+  Bytes seed_in;
+  if (r.get_u32() != kWalMagic || r.get_u8() != kVersion ||
+      r.get_u64() != gen ||
+      (seed_in = r.get_raw(kTagSize),
+       !std::equal(seed_in.begin(), seed_in.end(), seed.begin()))) {
+    s.tail_bytes = raw.size();
+    s.tail_records = 1;
+    return s;
+  }
+  s.header_ok = true;
+  s.valid_end = kWalHeader;
+  Sha256::Digest chain = seed;
+  while (true) {
+    const std::size_t start = raw.size() - r.remaining();
+    if (r.remaining() < kFrameHeader) break;
+    const std::size_t len = r.get_u32();
+    const std::uint32_t crc = r.get_u32();
+    const Bytes tag = r.get_raw(kTagSize);
+    if (len > kMaxRecordBytes || len > r.remaining()) break;
+    const Bytes payload = r.get_raw(len);
+    if (crc32c(payload) != crc) break;
+    const Sha256::Digest want = chain_next(key, chain, payload);
+    if (!std::equal(tag.begin(), tag.end(), want.begin())) break;
+    chain = want;
+    const std::size_t end = raw.size() - r.remaining();
+    s.records.push_back(WalRecord{payload, end, want});
+    s.valid_end = end;
+  }
+  s.tail_bytes = raw.size() - s.valid_end;
+  s.tail_records = estimate_frames(raw, s.valid_end);
+  return s;
+}
+
+}  // namespace
+
+// ---- StateStore ----------------------------------------------------------------
+
+StateStore::StateStore(FileIo& io, std::string dir, StoreOptions opts,
+                       SecurityManager mgr, Bytes key)
+    : io_(&io),
+      dir_(std::move(dir)),
+      opts_(opts),
+      mgr_(std::move(mgr)),
+      key_(std::move(key)) {}
+
+std::string StateStore::path(const std::string& name) const {
+  return join(dir_, name);
+}
+
+StateStore StateStore::create(FileIo& io, std::string dir,
+                              SecurityManager manager, Rng& rng,
+                              StoreOptions opts) {
+  if (io.is_dir(dir)) {
+    if (io.exists(join(dir, kKeyFile))) {
+      throw ContractError("state store: " + dir + " already holds a store");
+    }
+  } else {
+    io.mkdir(dir);
+  }
+  Bytes key = rng.bytes(32);
+  StateStore s(io, std::move(dir), opts, std::move(manager), std::move(key));
+
+  io.write(s.path(kKeyFile), encode_key_file(s.key_));
+  io.fsync_file(s.path(kKeyFile));
+
+  const Bytes payload = s.mgr_.save_state();
+  Sha256::Digest tag{};
+  const Bytes frame = encode_snapshot(s.key_, 0, payload, tag);
+  const std::string tmp = s.path(snap_name(0) + kTmpSuffix);
+  io.write(tmp, frame);
+  io.fsync_file(tmp);
+  io.rename(tmp, s.path(snap_name(0)));
+  io.write(s.path(wal_name(0)), encode_wal_header(0, tag));
+  io.fsync_file(s.path(wal_name(0)));
+  // Commit point: generation 0's entries and the store directory itself.
+  io.fsync_dir(s.dir_);
+  io.fsync_dir(dirname_of(s.dir_));
+
+  s.gen_ = 0;
+  s.wal_records_ = 0;
+  s.chain_tag_ = tag;
+  s.recovery_.generation = 0;
+  s.mgr_.set_mutation_recording(true);
+  s.mgr_.take_mutation_log();  // discard records from before the store existed
+  return s;
+}
+
+StateStore StateStore::open(FileIo& io, std::string dir, StoreOptions opts) {
+  DFKY_OBS_TIMER(span, "dfky_store_recovery_ns");
+  if (!io.is_dir(dir)) {
+    throw DecodeError("state store: no such directory: " + dir);
+  }
+  Bytes key;
+  try {
+    key = decode_key_file(io.read(join(dir, kKeyFile)));
+  } catch (const IoError&) {
+    throw DecodeError("state store: " + dir + " has no store.key");
+  }
+
+  // Newest generation whose snapshot passes CRC + HMAC + restore.
+  std::vector<std::uint64_t> gens;
+  for (const std::string& name : io.list(dir)) {
+    if (const auto g = parse_gen(name, kSnapPrefix)) gens.push_back(*g);
+  }
+  std::sort(gens.rbegin(), gens.rend());
+  RecoveryReport rep;
+  std::optional<SecurityManager> mgr;
+  std::uint64_t gen = 0;
+  Sha256::Digest seed{};
+  for (const std::uint64_t g : gens) {
+    Bytes raw;
+    try {
+      raw = io.read(join(dir, snap_name(g)));
+    } catch (const IoError&) {
+      ++rep.skipped_snapshots;
+      continue;
+    }
+    const auto info = parse_snapshot(raw, key, g);
+    if (!info) {
+      ++rep.skipped_snapshots;
+      continue;
+    }
+    try {
+      mgr.emplace(SecurityManager::restore_state(info->payload));
+    } catch (const Error&) {
+      ++rep.skipped_snapshots;
+      continue;
+    }
+    gen = g;
+    seed = info->tag;
+    break;
+  }
+  if (!mgr) {
+    throw DecodeError("state store: no valid snapshot in " + dir);
+  }
+  rep.generation = gen;
+
+  // Replay the WAL suffix; truncate whatever fails integrity or replay.
+  const std::string wal = join(dir, wal_name(gen));
+  Sha256::Digest chain = seed;
+  std::size_t applied = 0;
+  bool rewrote_wal = false;
+  if (io.exists(wal)) {
+    const Bytes raw = io.read(wal);
+    const WalScan scan = scan_wal(raw, key, gen, seed);
+    if (!scan.header_ok) {
+      rep.truncated_bytes += scan.tail_bytes;
+      rep.truncated_records += scan.tail_records;
+      io.write(wal, encode_wal_header(gen, seed));
+      io.fsync_file(wal);
+      rewrote_wal = true;
+    } else {
+      std::size_t keep_end = kWalHeader;
+      const Group& group = mgr->params().group;
+      std::size_t i = 0;
+      for (; i < scan.records.size(); ++i) {
+        const WalRecord& rec = scan.records[i];
+        try {
+          Reader pr(rec.payload);
+          const ManagerMutation m = ManagerMutation::deserialize(pr, group);
+          pr.expect_end();
+          mgr->apply_mutation(m);
+        } catch (const Error&) {
+          break;  // semantically torn: drop this record and everything after
+        }
+        ++applied;
+        chain = rec.tag;
+        keep_end = rec.end;
+      }
+      rep.truncated_records += (scan.records.size() - i) + scan.tail_records;
+      rep.truncated_bytes += raw.size() - keep_end;
+      if (keep_end < raw.size()) {
+        io.truncate(wal, keep_end);
+        io.fsync_file(wal);
+        rewrote_wal = true;
+      }
+    }
+  } else {
+    // Snapshot durable but its WAL never made it: start an empty one.
+    io.write(wal, encode_wal_header(gen, seed));
+    io.fsync_file(wal);
+    rewrote_wal = true;
+  }
+  rep.replayed_records = applied;
+
+  // Remove anything that is not the live generation.
+  bool dirty_dir = rewrote_wal;
+  for (const std::string& name : io.list(dir)) {
+    if (name == kKeyFile || name == snap_name(gen) || name == wal_name(gen)) {
+      continue;
+    }
+    io.remove(join(dir, name));
+    ++rep.stale_files_removed;
+    dirty_dir = true;
+  }
+  if (dirty_dir) io.fsync_dir(dir);
+
+  DFKY_OBS(
+      obs::counter("dfky_store_recoveries_total").inc();
+      obs::counter("dfky_store_recovery_replayed_records_total")
+          .inc(rep.replayed_records);
+      obs::counter("dfky_store_recovery_truncated_records_total")
+          .inc(rep.truncated_records);
+      obs::counter("dfky_store_recovery_truncated_bytes_total")
+          .inc(rep.truncated_bytes);
+      obs::event({.name = "store_recovery",
+                  .period = static_cast<std::int64_t>(mgr->period()),
+                  .detail = rep.truncated_records > 0 ? "truncated" : "clean",
+                  .value = static_cast<std::int64_t>(rep.replayed_records)}););
+
+  StateStore s(io, std::move(dir), opts, std::move(*mgr), std::move(key));
+  s.gen_ = gen;
+  s.wal_records_ = applied;
+  s.chain_tag_ = chain;
+  s.recovery_ = rep;
+  s.mgr_.set_mutation_recording(true);
+  return s;
+}
+
+void StateStore::append_record(const ManagerMutation& m) {
+  Writer pw;
+  m.serialize(pw, mgr_.params().group);
+  Sha256::Digest tag{};
+  const Bytes frame = encode_record(key_, chain_tag_, pw.bytes(), tag);
+  io_->append(path(wal_name(gen_)), frame);
+  chain_tag_ = tag;
+}
+
+void StateStore::commit() {
+  const std::vector<ManagerMutation> muts = mgr_.take_mutation_log();
+  if (muts.empty()) return;
+  {
+    DFKY_OBS_TIMER(span, "dfky_store_wal_append_ns");
+    for (const ManagerMutation& m : muts) append_record(m);
+    io_->fsync_file(path(wal_name(gen_)));
+  }
+  wal_records_ += muts.size();
+  DFKY_OBS(obs::counter("dfky_store_wal_appends_total").inc(muts.size()););
+  if (wal_records_ >= opts_.snapshot_every) snapshot();
+}
+
+SecurityManager::AddedUser StateStore::add_user(Rng& rng) {
+  auto added = mgr_.add_user(rng);
+  commit();
+  return added;
+}
+
+SecurityManager::AddedUser StateStore::add_user_with_value(const Bigint& x) {
+  auto added = mgr_.add_user_with_value(x);
+  commit();
+  return added;
+}
+
+std::vector<SignedResetBundle> StateStore::remove_users(
+    std::span<const std::uint64_t> ids, Rng& rng) {
+  auto bundles = mgr_.remove_users(ids, rng);
+  commit();
+  return bundles;
+}
+
+SignedResetBundle StateStore::new_period(Rng& rng) {
+  auto bundle = mgr_.new_period(rng);
+  commit();
+  return bundle;
+}
+
+void StateStore::snapshot() {
+  DFKY_OBS_TIMER(span, "dfky_store_snapshot_ns");
+  const std::uint64_t next = gen_ + 1;
+  const Bytes payload = mgr_.save_state();
+  Sha256::Digest tag{};
+  const Bytes frame = encode_snapshot(key_, next, payload, tag);
+  const std::string tmp = path(snap_name(next) + kTmpSuffix);
+  io_->write(tmp, frame);
+  io_->fsync_file(tmp);
+  io_->rename(tmp, path(snap_name(next)));
+  io_->write(path(wal_name(next)), encode_wal_header(next, tag));
+  io_->fsync_file(path(wal_name(next)));
+  // Commit point: the new generation's entries become durable together.
+  io_->fsync_dir(dir_);
+  const std::uint64_t old = gen_;
+  gen_ = next;
+  wal_records_ = 0;
+  chain_tag_ = tag;
+  DFKY_OBS(obs::counter("dfky_store_snapshots_total").inc(););
+  // Best-effort cleanup; a crash from here on only leaves stale files that
+  // the next open()/fsck removes.
+  try {
+    io_->remove(path(snap_name(old)));
+    io_->remove(path(wal_name(old)));
+    io_->fsync_dir(dir_);
+  } catch (const IoError&) {
+    // Leftovers are harmless; CrashPoint (not IoError) still propagates.
+  }
+}
+
+// ---- fsck ----------------------------------------------------------------------
+
+FsckReport fsck_store(FileIo& io, const std::string& dir, bool repair) {
+  FsckReport r;
+  if (!io.is_dir(dir)) {
+    r.unrecoverable = true;
+    r.notes.push_back("no such directory: " + dir);
+    return r;
+  }
+  Bytes key;
+  try {
+    key = decode_key_file(io.read(join(dir, StateStore::kKeyFile)));
+  } catch (const Error& e) {
+    r.unrecoverable = true;
+    r.notes.push_back(std::string("store.key unusable: ") + e.what());
+    return r;
+  }
+
+  if (repair) {
+    try {
+      const StateStore s = StateStore::open(io, dir);
+      const RecoveryReport& rr = s.recovery_report();
+      r.ok = true;
+      r.generation = rr.generation;
+      r.wal_records = rr.replayed_records;
+      r.torn_tail_bytes = rr.truncated_bytes;
+      r.stale_files = rr.stale_files_removed;
+      r.repaired = rr.truncated_records > 0 || rr.truncated_bytes > 0 ||
+                   rr.stale_files_removed > 0 || rr.skipped_snapshots > 0;
+      if (rr.truncated_records > 0) {
+        r.notes.push_back("truncated " + std::to_string(rr.truncated_records) +
+                          " torn record(s), " +
+                          std::to_string(rr.truncated_bytes) + " byte(s)");
+      }
+      if (rr.skipped_snapshots > 0) {
+        r.notes.push_back("skipped " + std::to_string(rr.skipped_snapshots) +
+                          " invalid snapshot(s)");
+      }
+      if (rr.stale_files_removed > 0) {
+        r.notes.push_back("removed " + std::to_string(rr.stale_files_removed) +
+                          " stale file(s)");
+      }
+    } catch (const Error& e) {
+      r.unrecoverable = true;
+      r.notes.push_back(e.what());
+    }
+    return r;
+  }
+
+  // Check-only: same validation as open(), nothing written.
+  std::vector<std::uint64_t> gens;
+  std::size_t entries = 0;
+  for (const std::string& name : io.list(dir)) {
+    ++entries;
+    if (const auto g = parse_gen(name, StateStore::kSnapPrefix)) {
+      gens.push_back(*g);
+    }
+  }
+  std::sort(gens.rbegin(), gens.rend());
+  std::optional<SecurityManager> mgr;
+  Sha256::Digest seed{};
+  std::size_t skipped = 0;
+  for (const std::uint64_t g : gens) {
+    Bytes raw;
+    try {
+      raw = io.read(join(dir, snap_name(g)));
+    } catch (const IoError&) {
+      ++skipped;
+      continue;
+    }
+    const auto info = parse_snapshot(raw, key, g);
+    if (!info) {
+      ++skipped;
+      continue;
+    }
+    try {
+      mgr.emplace(SecurityManager::restore_state(info->payload));
+    } catch (const Error&) {
+      ++skipped;
+      continue;
+    }
+    r.generation = g;
+    seed = info->tag;
+    break;
+  }
+  if (skipped > 0) {
+    r.notes.push_back(std::to_string(skipped) + " invalid snapshot(s)");
+  }
+  if (!mgr) {
+    r.unrecoverable = true;
+    r.notes.push_back("no valid snapshot");
+    return r;
+  }
+
+  const std::string wal = join(dir, wal_name(r.generation));
+  bool wal_clean = false;
+  if (!io.exists(wal)) {
+    r.notes.push_back(wal_name(r.generation) + " missing");
+  } else {
+    const Bytes raw = io.read(wal);
+    const WalScan scan = scan_wal(raw, key, r.generation, seed);
+    if (!scan.header_ok) {
+      r.torn_tail_bytes = scan.tail_bytes;
+      r.notes.push_back(wal_name(r.generation) + ": bad header");
+    } else {
+      std::size_t keep_end = kWalHeader;
+      const Group& group = mgr->params().group;
+      std::size_t i = 0;
+      for (; i < scan.records.size(); ++i) {
+        try {
+          Reader pr(scan.records[i].payload);
+          const ManagerMutation m = ManagerMutation::deserialize(pr, group);
+          pr.expect_end();
+          mgr->apply_mutation(m);
+        } catch (const Error&) {
+          break;
+        }
+        ++r.wal_records;
+        keep_end = scan.records[i].end;
+      }
+      r.torn_tail_bytes = raw.size() - keep_end;
+      wal_clean = r.torn_tail_bytes == 0;
+      if (!wal_clean) {
+        r.notes.push_back(wal_name(r.generation) + ": torn tail (" +
+                          std::to_string(r.torn_tail_bytes) + " byte(s), ~" +
+                          std::to_string((scan.records.size() - i) +
+                                         scan.tail_records) +
+                          " record(s))");
+      }
+    }
+  }
+
+  // Anything beyond {store.key, snap.<g>, wal.<g>} is stale.
+  r.stale_files =
+      entries - 1 /* store.key */ - 1 /* snap */ - (io.exists(wal) ? 1 : 0);
+  if (r.stale_files > 0) {
+    r.notes.push_back(std::to_string(r.stale_files) + " stale file(s)");
+  }
+  r.ok = wal_clean && r.stale_files == 0 && skipped == 0;
+  return r;
+}
+
+}  // namespace dfky

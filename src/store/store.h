@@ -1,0 +1,119 @@
+// Crash-consistent durable store for the security manager's state
+// (DESIGN.md Sect. 9).
+//
+// On-disk layout (one directory per deployment):
+//
+//   <dir>/store.key   32-byte HMAC key, CRC-framed; written once at create
+//   <dir>/snap.<g>    checksummed full snapshot of generation g
+//   <dir>/wal.<g>     write-ahead log of ManagerMutation records since g
+//
+// Exactly one generation is live at a time; a snapshot rotation writes
+// snap.<g+1> via write-to-temp / fsync / rename / fsync-dir, starts a fresh
+// WAL seeded from the new snapshot's HMAC tag, and only then removes the
+// old generation. Every WAL record is framed with a length, a CRC32C of the
+// payload, and an HMAC-SHA256 chained from the previous record's tag, so a
+// torn tail, a bit flip and a spliced-in record are all detected. open()
+// loads the newest valid snapshot, replays the WAL suffix, truncates any
+// torn tail, removes stale files, and reports what it did.
+//
+// Mutations are durable (appended + fsynced) before the mutating call
+// returns — the acknowledgement contract a manager daemon needs.
+#pragma once
+
+#include "core/manager.h"
+#include "crypto/sha256.h"
+#include "store/file_io.h"
+
+namespace dfky {
+
+struct StoreOptions {
+  /// WAL records accumulated before an automatic snapshot rotation.
+  std::size_t snapshot_every = 64;
+};
+
+/// What open() found and repaired. All zeros after a clean open.
+struct RecoveryReport {
+  std::uint64_t generation = 0;      // generation recovered into
+  std::size_t replayed_records = 0;  // WAL records applied on top of the snapshot
+  std::size_t truncated_records = 0; // torn/corrupt tail records dropped
+  std::size_t truncated_bytes = 0;
+  std::size_t skipped_snapshots = 0; // newer generations whose snapshot failed validation
+  std::size_t stale_files_removed = 0;  // leftover tmp/old-generation files
+};
+
+class StateStore {
+ public:
+  /// Creates a fresh store directory around `manager` (the directory must
+  /// not already contain a store). `rng` supplies the 32-byte HMAC key.
+  /// The initial snapshot is durable when this returns.
+  static StateStore create(FileIo& io, std::string dir,
+                           SecurityManager manager, Rng& rng,
+                           StoreOptions opts = {});
+  /// Opens an existing store: newest valid snapshot + WAL replay + torn
+  /// tail truncation + stale file cleanup. Throws DecodeError when the
+  /// directory holds no recoverable store.
+  static StateStore open(FileIo& io, std::string dir, StoreOptions opts = {});
+
+  const SecurityManager& manager() const { return mgr_; }
+
+  // -- mutating operations; each is durable before it returns -------------------
+  SecurityManager::AddedUser add_user(Rng& rng);
+  SecurityManager::AddedUser add_user_with_value(const Bigint& x);
+  std::vector<SignedResetBundle> remove_users(
+      std::span<const std::uint64_t> ids, Rng& rng);
+  SignedResetBundle new_period(Rng& rng);
+
+  /// Forces a snapshot rotation now (also taken automatically every
+  /// `opts.snapshot_every` WAL records).
+  void snapshot();
+
+  std::uint64_t generation() const { return gen_; }
+  std::size_t wal_records() const { return wal_records_; }
+  const RecoveryReport& recovery_report() const { return recovery_; }
+  const std::string& dir() const { return dir_; }
+
+  // -- layout constants shared with dfky_fsck ------------------------------------
+  static constexpr char kKeyFile[] = "store.key";
+  static constexpr char kSnapPrefix[] = "snap.";
+  static constexpr char kWalPrefix[] = "wal.";
+  static constexpr char kTmpSuffix[] = ".tmp";
+
+ private:
+  StateStore(FileIo& io, std::string dir, StoreOptions opts,
+             SecurityManager mgr, Bytes key);
+
+  /// Drains the manager's mutation log into the WAL and fsyncs it.
+  void commit();
+  void append_record(const ManagerMutation& m);
+  std::string path(const std::string& name) const;
+
+  FileIo* io_;
+  std::string dir_;
+  StoreOptions opts_;
+  SecurityManager mgr_;
+  Bytes key_;  // HMAC key (never leaves the store directory)
+  std::uint64_t gen_ = 0;
+  std::size_t wal_records_ = 0;
+  Sha256::Digest chain_tag_{};  // tag of the last WAL record (or the seed)
+  RecoveryReport recovery_;
+};
+
+/// File-system check for a store directory. In check mode (repair = false)
+/// nothing is written and `ok` reports whether the store is pristine: a
+/// valid key file, exactly one generation, a clean WAL, no stale files.
+/// With repair = true the store is opened (which truncates torn tails and
+/// removes stale files) and `ok` reports whether it is usable afterwards.
+struct FsckReport {
+  bool ok = false;
+  bool repaired = false;       // repair mode actually changed something
+  bool unrecoverable = false;  // no valid snapshot survives
+  std::uint64_t generation = 0;
+  std::size_t wal_records = 0;       // valid records in the live WAL
+  std::size_t torn_tail_bytes = 0;   // trailing bytes failing validation
+  std::size_t stale_files = 0;       // tmp / old-generation leftovers
+  std::vector<std::string> notes;    // human-readable findings
+};
+
+FsckReport fsck_store(FileIo& io, const std::string& dir, bool repair);
+
+}  // namespace dfky

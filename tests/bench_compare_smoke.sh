@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Exercises tools/bench_compare end to end: a bench run compared against its
+# own output passes (ratio 1.0), a doctored baseline trips the regression
+# gate, and a fresh bench with no baseline is reported but never fails.
+#
+#   tests/bench_compare_smoke.sh <bench-binary> <bench_compare-binary>
+set -euo pipefail
+
+bench="$(readlink -f "$1")"
+compare="$(readlink -f "$2")"
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+cd "$work"
+
+fail() { echo "bench_compare_smoke: $1" >&2; exit 1; }
+
+mkdir baseline current
+(cd baseline && DFKY_BENCH_SMOKE=1 "$bench" > /dev/null)
+cp baseline/BENCH_*.json current/
+
+# Identical runs: every ratio is exactly 1.0 — must pass any threshold.
+"$compare" baseline current --threshold 1.01 > same.txt \
+  || fail "identical runs flagged as regression"
+grep -q 'regression(s)' same.txt || fail "no summary line"
+grep -q ' 0 regression' same.txt || fail "identical runs counted regressions"
+
+# Shrink every baseline median 10x: the current run now looks 10x slower.
+sed -E 's/"median_ns":([0-9]+)/"median_ns":1/g' baseline/BENCH_*.json \
+  > doctored.json
+mkdir slow-base
+mv doctored.json "slow-base/$(basename baseline/BENCH_*.json)"
+if "$compare" slow-base current --threshold 1.5 > slow.txt; then
+  fail "10x regression not caught"
+fi
+grep -q 'REGRESSION' slow.txt || fail "regression rows not marked"
+
+# A generous threshold lets the same gap through.
+"$compare" slow-base current --threshold 1e9 > /dev/null \
+  || fail "huge threshold still failed"
+
+# No baseline for this bench: skip, never fail.
+mkdir empty-base
+"$compare" empty-base current > fresh.txt \
+  || fail "missing baseline treated as regression"
+grep -q ' 0 compared' fresh.txt || fail "fresh bench compared against nothing?"
+
+# Usage and IO errors exit 2.
+set +e
+"$compare" baseline 2>/dev/null; [ $? = 2 ] || fail "missing arg exit code"
+"$compare" baseline /nonexistent 2>/dev/null; [ $? = 2 ] \
+  || fail "bad dir exit code"
+"$compare" baseline current --threshold nope 2>/dev/null; [ $? = 2 ] \
+  || fail "bad threshold exit code"
+set -e
+
+echo "bench_compare_smoke: ok"

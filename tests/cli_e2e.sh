@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # End-to-end exercise of tools/dfky_cli: init -> subscribe -> broadcast ->
-# revoke -> period change -> key update -> pirate -> trace.
+# revoke -> period change -> key update -> pirate -> trace; once against a
+# legacy state file and once against a durable store directory (plus
+# dfky_fsck when its binary is passed as $2).
 set -euo pipefail
 
 CLI="$1"
+FSCK="${2:-}"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 cd "$WORK"
@@ -95,6 +98,79 @@ else
 fi
 if "$CLI" stats "$M" --format yaml >/dev/null 2>&1; then
   fail "stats accepted an unknown format"
+fi
+
+# ---- stats --since windows snapshots by their meta timestamp -----------------
+grep -q '"ts":' "$M" || fail "metrics meta lines carry no timestamp"
+"$CLI" stats "$M" --since 0 | grep -q 'snapshots: [1-9]' \
+  || fail "stats --since 0 dropped everything"
+"$CLI" stats "$M" --since 99999999999 | grep -q 'snapshots: 0' \
+  || fail "stats --since far-future kept snapshots"
+if "$CLI" stats "$M" --since yesterday >/dev/null 2>&1; then
+  fail "stats --since accepted a non-numeric timestamp"
+fi
+
+# ---- corrupt state files die with a clear message ----------------------------
+printf 'not a dfky state file' > bogus.state
+if "$CLI" status bogus.state >/dev/null 2>err.txt; then
+  fail "corrupt state file exited 0"
+fi
+grep -q "corrupt or not a dfky state file" err.txt \
+  || fail "corrupt state: unclear message: $(cat err.txt)"
+head -c 100 sys.state > truncated.state
+if "$CLI" add truncated.state never.key >/dev/null 2>err.txt; then
+  fail "truncated state file exited 0"
+fi
+grep -q "corrupt" err.txt || fail "truncated state: unclear message"
+
+# ---- the same lifecycle on a durable store directory -------------------------
+"$CLI" init store.sys --v 4 --group test128 --store >/dev/null
+[ -d store.sys ] || fail "init --store did not create a directory"
+[ -f store.sys/store.key ] || fail "store missing store.key"
+"$CLI" add store.sys s_alice.key >/dev/null
+"$CLI" add store.sys s_bob.key >/dev/null
+"$CLI" encrypt store.sys payload.bin sb1.bin >/dev/null
+[ "$("$CLI" decrypt s_alice.key sb1.bin)" = "the midnight broadcast" ] \
+  || fail "store: alice cannot decrypt"
+"$CLI" revoke store.sys 1 >/dev/null
+"$CLI" encrypt store.sys payload.bin sb2.bin >/dev/null
+if "$CLI" decrypt s_bob.key sb2.bin >/dev/null 2>&1; then
+  fail "store: revoked bob still decrypts"
+fi
+"$CLI" new-period store.sys --reset-out snp >/dev/null
+[ -f snp.0.bin ] || fail "store: new-period emitted no bundle"
+"$CLI" apply-reset s_alice.key snp.0.bin >/dev/null
+"$CLI" encrypt store.sys payload.bin sb3.bin >/dev/null
+[ "$("$CLI" decrypt s_alice.key sb3.bin)" = "the midnight broadcast" ] \
+  || fail "store: alice cannot decrypt after new-period"
+"$CLI" status store.sys | grep -q 'period: *1' || fail "store: period not advanced"
+"$CLI" status store.sys | grep -q 'store: *generation' \
+  || fail "store: status does not report the store line"
+if "$CLI" init store.sys --v 4 --group test128 --store >/dev/null 2>&1; then
+  fail "init --store over an existing store exited 0"
+fi
+
+if [ -n "$FSCK" ]; then
+  # Clean store passes; a torn WAL tail is detected, repaired, then clean.
+  "$FSCK" store.sys >/dev/null || fail "fsck: clean store flagged"
+  printf 'TORN_TAIL_GARBAGE' >> store.sys/wal.*
+  if "$FSCK" store.sys >/dev/null; then
+    fail "fsck: torn tail not detected"
+  fi
+  "$FSCK" store.sys --repair >/dev/null || fail "fsck --repair failed"
+  "$FSCK" store.sys >/dev/null || fail "fsck: store dirty after repair"
+  # The repaired store still serves its subscribers.
+  "$CLI" encrypt store.sys payload.bin sb4.bin >/dev/null
+  [ "$("$CLI" decrypt s_alice.key sb4.bin)" = "the midnight broadcast" ] \
+    || fail "store: alice cannot decrypt after fsck repair"
+  # An unrecoverable store exits 2.
+  snapfile=(store.sys/snap.*)
+  printf 'XXXXXXXX' | dd of="${snapfile[0]}" bs=1 seek=16 conv=notrunc 2>/dev/null
+  set +e
+  "$FSCK" store.sys >/dev/null 2>&1
+  rc=$?
+  set -e
+  [ "$rc" = 2 ] || fail "fsck: corrupt snapshot exit code $rc, want 2"
 fi
 
 echo "cli_e2e: ok"

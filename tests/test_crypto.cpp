@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "crypto/chacha20.h"
+#include "crypto/crc32c.h"
 #include "crypto/hkdf.h"
 #include "crypto/hmac.h"
 #include "crypto/schnorr.h"
@@ -36,6 +37,47 @@ std::string to_hex(BytesView b) {
     out.push_back(kDigits[x & 0xf]);
   }
   return out;
+}
+
+// ---- CRC32C (RFC 3720 Sect. B.4 test vectors) --------------------------------
+
+TEST(Crc32c, KnownAnswerVectors) {
+  EXPECT_EQ(crc32c(Bytes{}), 0x00000000u);
+  EXPECT_EQ(crc32c(str("123456789")), 0xE3069283u);
+  EXPECT_EQ(crc32c(Bytes(32, byte{0x00})), 0x8A9136AAu);
+  EXPECT_EQ(crc32c(Bytes(32, byte{0xFF})), 0x62A8AB43u);
+  Bytes ascending(32), descending(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    ascending[i] = static_cast<byte>(i);
+    descending[i] = static_cast<byte>(31 - i);
+  }
+  EXPECT_EQ(crc32c(ascending), 0x46DD794Eu);
+  EXPECT_EQ(crc32c(descending), 0x113FDB5Cu);
+}
+
+TEST(Crc32c, StreamingMatchesOneShot) {
+  ChaChaRng rng(31001);
+  const Bytes data = rng.bytes(1027);
+  const std::uint32_t whole = crc32c(data);
+  for (std::size_t split : {std::size_t{0}, std::size_t{1}, std::size_t{4},
+                            std::size_t{513}, data.size()}) {
+    std::uint32_t crc = crc32c_update(0, BytesView(data.data(), split));
+    crc = crc32c_update(
+        crc, BytesView(data.data() + split, data.size() - split));
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32c, DetectsSingleBitFlips) {
+  const Bytes data = str("the durable store frames every record");
+  const std::uint32_t good = crc32c(data);
+  for (std::size_t pos = 0; pos < data.size(); ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes bad = data;
+      bad[pos] ^= static_cast<byte>(1u << bit);
+      EXPECT_NE(crc32c(bad), good) << "pos " << pos << " bit " << bit;
+    }
+  }
 }
 
 // ---- SHA-256 (FIPS 180-4 / NIST vectors) ------------------------------------

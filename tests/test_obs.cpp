@@ -12,6 +12,10 @@
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "rng/chacha_rng.h"
+#include "store/file_io.h"
+#include "store/store.h"
+#include "test_util.h"
 
 namespace dfky {
 namespace {
@@ -239,6 +243,81 @@ TEST(ObsRegistry, ResetZeroesInPlaceAndKeepsHandles) {
   // The cached handle is still the live series.
   c.inc();
   EXPECT_EQ(obs::counter("t_reset_total").value(), 1u);
+}
+
+// ---- store instrumentation ----------------------------------------------------
+// The durable store's counters share the process-wide registry, so these
+// assert deltas around a scripted recovery rather than absolute values.
+
+TEST(ObsStore, RecoveryIncrementsStoreCounters) {
+  MemFileIo fs;
+  ChaChaRng rng(9301);
+  {
+    SecurityManager mgr(test::test_params(2, 9301), rng);
+    StateStore store =
+        StateStore::create(fs, "sys", std::move(mgr), rng, StoreOptions{});
+    store.add_user(rng);
+    store.add_user(rng);
+  }
+
+  obs::Counter& recoveries = obs::counter("dfky_store_recoveries_total");
+  obs::Counter& replayed =
+      obs::counter("dfky_store_recovery_replayed_records_total");
+  obs::Counter& trunc_recs =
+      obs::counter("dfky_store_recovery_truncated_records_total");
+  obs::Counter& trunc_bytes =
+      obs::counter("dfky_store_recovery_truncated_bytes_total");
+  obs::Histogram& recovery_ns = obs::histogram("dfky_store_recovery_ns");
+
+  // Clean open: one recovery, two replayed records, nothing truncated.
+  const std::uint64_t rec0 = recoveries.value(), rep0 = replayed.value();
+  const std::uint64_t tr0 = trunc_recs.value(), tb0 = trunc_bytes.value();
+  const std::uint64_t ns0 = recovery_ns.count();
+  const std::size_t ev0 = obs::MetricsRegistry::instance().events().size();
+  { StateStore s = StateStore::open(fs, "sys"); }
+  EXPECT_EQ(recoveries.value(), rec0 + 1);
+  EXPECT_EQ(replayed.value(), rep0 + 2);
+  EXPECT_EQ(trunc_recs.value(), tr0);
+  EXPECT_EQ(trunc_bytes.value(), tb0);
+  EXPECT_EQ(recovery_ns.count(), ns0 + 1);
+  const auto evs = obs::MetricsRegistry::instance().events();
+  ASSERT_GT(evs.size(), ev0);
+  EXPECT_EQ(evs.back().name, "store_recovery");
+  EXPECT_EQ(evs.back().detail, "clean");
+
+  // Torn tail: the truncation counters move and the event says so.
+  const Bytes wal = fs.read("sys/wal.0");
+  Bytes torn = wal;
+  for (int i = 0; i < 21; ++i) torn.push_back(byte{0xEE});
+  fs.write("sys/wal.0", torn);
+  { StateStore s = StateStore::open(fs, "sys"); }
+  EXPECT_EQ(recoveries.value(), rec0 + 2);
+  EXPECT_EQ(replayed.value(), rep0 + 4);
+  EXPECT_EQ(trunc_bytes.value(), tb0 + 21);
+  EXPECT_EQ(obs::MetricsRegistry::instance().events().back().detail,
+            "truncated");
+}
+
+TEST(ObsStore, CommitAndSnapshotTimersAccumulate) {
+  MemFileIo fs;
+  ChaChaRng rng(9302);
+  SecurityManager mgr(test::test_params(2, 9302), rng);
+  StoreOptions opts;
+  opts.snapshot_every = 2;
+  StateStore store =
+      StateStore::create(fs, "sys", std::move(mgr), rng, opts);
+
+  obs::Counter& appends = obs::counter("dfky_store_wal_appends_total");
+  obs::Counter& snaps = obs::counter("dfky_store_snapshots_total");
+  obs::Histogram& append_ns = obs::histogram("dfky_store_wal_append_ns");
+  const std::uint64_t a0 = appends.value(), s0 = snaps.value();
+  const std::uint64_t an0 = append_ns.count();
+
+  store.add_user(rng);   // 1 record
+  store.add_user(rng);   // 2 records -> snapshot rotation
+  EXPECT_EQ(appends.value(), a0 + 2);
+  EXPECT_EQ(snaps.value(), s0 + 1);
+  EXPECT_GE(append_ns.count(), an0 + 2);
 }
 
 #endif  // DFKY_OBS_ENABLED

@@ -1,0 +1,435 @@
+// The crash-consistent state store: WAL framing, snapshot rotation,
+// recovery, the full crash-point matrix, and dfky_fsck semantics.
+#include <gtest/gtest.h>
+
+#include "core/receiver.h"
+#include "core/scheme.h"
+#include "rng/chacha_rng.h"
+#include "store/store.h"
+#include "test_util.h"
+
+namespace dfky {
+namespace {
+
+/// The deterministic mutation script every store test runs: adds, a
+/// removal, a proactive new-period, and a batch removal (v = 2). User 0
+/// (added before the store exists) is never revoked.
+constexpr std::uint64_t kScriptSeed = 777;
+
+SecurityManager script_base_manager(ChaChaRng& rng,
+                                    UserKey* survivor = nullptr) {
+  SecurityManager mgr(test::test_params(2, /*seed=*/kScriptSeed), rng);
+  const auto u0 = mgr.add_user(rng);  // user 0: the survivor
+  if (survivor) *survivor = u0.key;
+  return mgr;
+}
+
+/// Runs the script against any object exposing the mutating quartet
+/// (StateStore or SecurityManager), calling `checkpoint` after each op.
+template <typename Ops, typename Fn>
+void run_script(Ops& ops, ChaChaRng& rng, Fn&& checkpoint) {
+  ops.add_user(rng);  // user 1
+  checkpoint();
+  ops.add_user(rng);  // user 2
+  checkpoint();
+  const std::uint64_t kill1[] = {1};
+  ops.remove_users(kill1, rng);
+  checkpoint();
+  ops.new_period(rng);
+  checkpoint();
+  ops.add_user(rng);  // user 3
+  checkpoint();
+  const std::uint64_t kill2[] = {2, 3};  // saturates period 1 (v = 2)
+  ops.remove_users(kill2, rng);
+  checkpoint();
+}
+
+struct ScriptFixture {
+  MemFileIo base_fs;     // state right after create(), all durable
+  Bytes initial_state;   // manager state the store was created around
+  UserKey survivor_key;  // user 0's key (period 0)
+  std::vector<Bytes> op_states;      // manager state after each script op
+  std::vector<Bytes> record_states;  // ... after each mutation record
+  std::vector<std::size_t> records_after_op;  // prefix record count per op
+  std::uint64_t total_io_ops = 0;  // mutating I/O ops of a full faulty run
+  StoreOptions opts;
+};
+
+ScriptFixture build_fixture() {
+  ScriptFixture f;
+  f.opts.snapshot_every = 3;  // force rotations mid-script
+
+  // Clean reference run, capturing the manager state after every op.
+  {
+    ChaChaRng rng(kScriptSeed);
+    SecurityManager mgr = script_base_manager(rng, &f.survivor_key);
+    f.initial_state = mgr.save_state();
+    ChaChaRng key_rng(1);
+    StateStore store = StateStore::create(f.base_fs, "store", std::move(mgr),
+                                          key_rng, f.opts);
+    MemFileIo after_create = f.base_fs;  // fixture starts post-create
+    run_script(store, rng, [&] {
+      f.op_states.push_back(store.manager().save_state());
+    });
+    f.base_fs = after_create;
+  }
+
+  // Record-granular states: replay the script on a bare manager with
+  // mutation recording on, snapshotting after every drained record.
+  {
+    SecurityManager mgr = SecurityManager::restore_state(f.initial_state);
+    mgr.set_mutation_recording(true);
+    SecurityManager shadow = SecurityManager::restore_state(f.initial_state);
+    f.record_states.push_back(shadow.save_state());
+    ChaChaRng rng(kScriptSeed);
+    script_base_manager(rng);  // burn the setup draws
+    run_script(mgr, rng, [&] {
+      for (const ManagerMutation& m : mgr.take_mutation_log()) {
+        shadow.apply_mutation(m);
+        f.record_states.push_back(shadow.save_state());
+      }
+      f.records_after_op.push_back(f.record_states.size() - 1);
+    });
+    // Replay really is byte-for-byte: the shadow tracked the original.
+    for (std::size_t i = 0; i < f.op_states.size(); ++i) {
+      EXPECT_EQ(f.record_states[f.records_after_op[i]], f.op_states[i])
+          << "op " << i;
+    }
+  }
+
+  // Count the I/O ops of one full faulty (but crash-free) run.
+  {
+    MemFileIo fs = f.base_fs;
+    FaultyFileIo io(fs, FilePlan{});
+    StateStore store = StateStore::open(io, "store", f.opts);
+    ChaChaRng rng(kScriptSeed);
+    script_base_manager(rng);
+    run_script(store, rng, [] {});
+    f.total_io_ops = io.fault_counters().mutating_ops;
+  }
+  return f;
+}
+
+const ScriptFixture& fixture() {
+  static const ScriptFixture f = build_fixture();
+  return f;
+}
+
+/// Index of `state` in the record-granular state list, or npos.
+std::size_t state_index(const ScriptFixture& f, const Bytes& state) {
+  for (std::size_t i = 0; i < f.record_states.size(); ++i) {
+    if (f.record_states[i] == state) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+TEST(StateStore, CreateThenOpenRoundTrips) {
+  const ScriptFixture& f = fixture();
+  MemFileIo fs = f.base_fs;
+  StateStore store = StateStore::open(fs, "store", f.opts);
+  EXPECT_EQ(store.manager().save_state(), f.initial_state);
+  EXPECT_EQ(store.generation(), 0u);
+  EXPECT_EQ(store.wal_records(), 0u);
+  const RecoveryReport& r = store.recovery_report();
+  EXPECT_EQ(r.replayed_records, 0u);
+  EXPECT_EQ(r.truncated_records, 0u);
+  EXPECT_EQ(r.skipped_snapshots, 0u);
+  EXPECT_EQ(r.stale_files_removed, 0u);
+}
+
+TEST(StateStore, EveryMutationIsDurableBeforeItReturns) {
+  const ScriptFixture& f = fixture();
+  MemFileIo fs = f.base_fs;
+  std::size_t op = 0;
+  StateStore store = StateStore::open(fs, "store", f.opts);
+  ChaChaRng rng(kScriptSeed);
+  script_base_manager(rng);
+  run_script(store, rng, [&] {
+    // Power cut immediately after the op acked. Everything must survive.
+    MemFileIo cut = fs;
+    cut.crash();
+    StateStore recovered = StateStore::open(cut, "store", f.opts);
+    EXPECT_EQ(recovered.manager().save_state(), f.op_states[op])
+        << "op " << op;
+    ++op;
+  });
+  ASSERT_EQ(op, f.op_states.size());
+}
+
+TEST(StateStore, SnapshotRotationLeavesExactlyOneGeneration) {
+  const ScriptFixture& f = fixture();
+  MemFileIo fs = f.base_fs;
+  StateStore store = StateStore::open(fs, "store", f.opts);
+  ChaChaRng rng(kScriptSeed);
+  script_base_manager(rng);
+  run_script(store, rng, [] {});
+  EXPECT_GE(store.generation(), 1u);  // snapshot_every = 3 forced rotations
+  const std::string snap =
+      StateStore::kSnapPrefix + std::to_string(store.generation());
+  const std::string wal =
+      StateStore::kWalPrefix + std::to_string(store.generation());
+  EXPECT_EQ(fs.list("store"),
+            (std::vector<std::string>{snap, StateStore::kKeyFile, wal}));
+
+  store.snapshot();  // explicit rotation resets the WAL
+  EXPECT_EQ(store.wal_records(), 0u);
+  MemFileIo cut = fs;
+  cut.crash();
+  StateStore recovered = StateStore::open(cut, "store", f.opts);
+  EXPECT_EQ(recovered.manager().save_state(), f.op_states.back());
+  EXPECT_EQ(recovered.recovery_report().replayed_records, 0u);
+}
+
+TEST(StateStore, CreateRefusesAnExistingStore) {
+  const ScriptFixture& f = fixture();
+  MemFileIo fs = f.base_fs;
+  ChaChaRng rng(5);
+  SecurityManager mgr(test::test_params(2), rng);
+  EXPECT_THROW(StateStore::create(fs, "store", std::move(mgr), rng, f.opts),
+               ContractError);
+}
+
+TEST(StateStore, OpenRejectsMissingOrKeylessDirectory) {
+  MemFileIo fs;
+  EXPECT_THROW(StateStore::open(fs, "nowhere"), DecodeError);
+  fs.mkdir("empty");
+  EXPECT_THROW(StateStore::open(fs, "empty"), DecodeError);
+}
+
+TEST(StateStore, GarbageTailIsTruncatedAndReported) {
+  const ScriptFixture& f = fixture();
+  MemFileIo fs = f.base_fs;
+  {
+    StateStore store = StateStore::open(fs, "store", f.opts);
+    ChaChaRng rng(kScriptSeed);
+    script_base_manager(rng);
+    store.add_user(rng);  // one real record in wal.0
+  }
+  fs.append("store/wal.0", Bytes(37, 0xEE));
+  fs.fsync_file("store/wal.0");
+  fs.fsync_dir("store");
+
+  StateStore recovered = StateStore::open(fs, "store", f.opts);
+  EXPECT_EQ(recovered.manager().save_state(), f.op_states[0]);
+  EXPECT_EQ(recovered.recovery_report().replayed_records, 1u);
+  EXPECT_EQ(recovered.recovery_report().truncated_bytes, 37u);
+  EXPECT_GE(recovered.recovery_report().truncated_records, 1u);
+  // The truncation is itself durable: a second open is clean.
+  StateStore again = StateStore::open(fs, "store", f.opts);
+  EXPECT_EQ(again.recovery_report().truncated_bytes, 0u);
+}
+
+TEST(StateStore, BitFlipInWalTruncatesFromTheFlippedRecord) {
+  const ScriptFixture& f = fixture();
+  MemFileIo fs = f.base_fs;
+  std::size_t first_end = 0;
+  {
+    StateStore store = StateStore::open(fs, "store", f.opts);
+    ChaChaRng rng(kScriptSeed);
+    script_base_manager(rng);
+    store.add_user(rng);
+    first_end = fs.read("store/wal.0").size();
+    store.add_user(rng);
+  }
+  // Flip one payload bit inside the second record (frame header is 40
+  // bytes: length + CRC + chain tag).
+  Bytes wal = fs.read("store/wal.0");
+  ASSERT_GT(wal.size(), first_end + 41);
+  wal[first_end + 41] ^= 0x10;
+  fs.write("store/wal.0", wal);
+  fs.fsync_file("store/wal.0");
+
+  StateStore recovered = StateStore::open(fs, "store", f.opts);
+  EXPECT_EQ(recovered.manager().save_state(), f.op_states[0]);
+  EXPECT_EQ(recovered.recovery_report().replayed_records, 1u);
+  EXPECT_EQ(recovered.recovery_report().truncated_records, 1u);
+}
+
+TEST(StateStore, SplicedDuplicateRecordFailsTheHmacChain) {
+  const ScriptFixture& f = fixture();
+  MemFileIo fs = f.base_fs;
+  std::size_t first_end = 0;
+  {
+    StateStore store = StateStore::open(fs, "store", f.opts);
+    ChaChaRng rng(kScriptSeed);
+    script_base_manager(rng);
+    store.add_user(rng);
+    first_end = fs.read("store/wal.0").size();
+    store.add_user(rng);
+  }
+  // Replay attack: duplicate the first record's frame (it starts right
+  // after the 45-byte WAL header) at the tail. Its CRC is fine; the
+  // chained HMAC is what must reject it.
+  const Bytes wal = fs.read("store/wal.0");
+  Bytes spliced = wal;
+  spliced.insert(spliced.end(), wal.begin() + 45, wal.begin() + first_end);
+  fs.write("store/wal.0", spliced);
+  fs.fsync_file("store/wal.0");
+
+  StateStore recovered = StateStore::open(fs, "store", f.opts);
+  EXPECT_EQ(recovered.manager().save_state(), f.op_states[1]);
+  EXPECT_EQ(recovered.recovery_report().replayed_records, 2u);
+  EXPECT_EQ(recovered.recovery_report().truncated_records, 1u);
+}
+
+TEST(StateStore, InvalidNewerSnapshotIsSkippedAndRemoved) {
+  const ScriptFixture& f = fixture();
+  MemFileIo fs = f.base_fs;
+  // A forged newer generation that fails validation must not mask gen 0.
+  fs.write("store/snap.7", Bytes(64, 0x5A));
+  fs.fsync_file("store/snap.7");
+  fs.fsync_dir("store");
+  StateStore recovered = StateStore::open(fs, "store", f.opts);
+  EXPECT_EQ(recovered.generation(), 0u);
+  EXPECT_EQ(recovered.recovery_report().skipped_snapshots, 1u);
+  EXPECT_GE(recovered.recovery_report().stale_files_removed, 1u);
+  EXPECT_FALSE(fs.exists("store/snap.7"));
+  EXPECT_EQ(recovered.manager().save_state(), f.initial_state);
+}
+
+TEST(StateStore, CorruptOnlySnapshotIsUnrecoverable) {
+  const ScriptFixture& f = fixture();
+  MemFileIo fs = f.base_fs;
+  Bytes snap = fs.read("store/snap.0");
+  snap[snap.size() / 2] ^= 0x01;
+  fs.write("store/snap.0", snap);
+  fs.fsync_file("store/snap.0");
+  EXPECT_THROW(StateStore::open(fs, "store", f.opts), DecodeError);
+}
+
+// The tentpole assertion: kill the process-model at EVERY mutating I/O
+// boundary of the script. After each crash the store must recover to a
+// record-prefix of the mutation sequence, at least as new as the last
+// acknowledged operation; fsck must pass; and the pre-crash survivor
+// (user 0) must still be able to decrypt after catching up.
+TEST(StateStore, CrashMatrixRecoversAPrefixAtEveryCrashPoint) {
+  const ScriptFixture& f = fixture();
+  ASSERT_GT(f.total_io_ops, 0u);
+  for (std::uint64_t crash_at = 0; crash_at < f.total_io_ops; ++crash_at) {
+    MemFileIo fs = f.base_fs;
+    FilePlan plan;
+    plan.seed = 1000 + crash_at;
+    plan.crash_at = crash_at;
+    FaultyFileIo io(fs, plan);
+
+    std::size_t acked_ops = 0;
+    bool crashed = false;
+    try {
+      StateStore store = StateStore::open(io, "store", f.opts);
+      ChaChaRng rng(kScriptSeed);
+      script_base_manager(rng);
+      run_script(store, rng, [&] { ++acked_ops; });
+    } catch (const CrashPoint&) {
+      crashed = true;
+    }
+    ASSERT_TRUE(crashed) << "crash_at " << crash_at;
+
+    fs.crash();  // power cut: only fsync'ed state survives
+    StateStore recovered = StateStore::open(fs, "store", f.opts);
+    const Bytes state = recovered.manager().save_state();
+    const std::size_t idx = state_index(f, state);
+    ASSERT_NE(idx, static_cast<std::size_t>(-1))
+        << "crash_at " << crash_at
+        << ": recovered state is not a record-prefix of the script";
+    const std::size_t min_records =
+        acked_ops == 0 ? 0 : f.records_after_op[acked_ops - 1];
+    EXPECT_GE(idx, min_records)
+        << "crash_at " << crash_at << ": an acknowledged op was lost";
+
+    // The recovered directory is pristine again.
+    const FsckReport fsck = fsck_store(fs, "store", /*repair=*/false);
+    EXPECT_TRUE(fsck.ok) << "crash_at " << crash_at;
+
+    // The survivor catches up through the archive and still decrypts.
+    const SecurityManager& mgr = recovered.manager();
+    Receiver survivor(mgr.params(), f.survivor_key, mgr.verification_key());
+    for (const SignedResetBundle& bundle : mgr.reset_archive()) {
+      if (bundle.reset.new_period >= survivor.needed_from()) {
+        survivor.apply_reset(bundle);
+      }
+    }
+    ASSERT_EQ(survivor.period(), mgr.period()) << "crash_at " << crash_at;
+    ChaChaRng enc_rng(4242);
+    const Gelt m = mgr.params().group.random_element(enc_rng);
+    const Ciphertext ct =
+        encrypt(mgr.params(), mgr.public_key(), m, enc_rng);
+    EXPECT_EQ(survivor.decrypt(ct), m) << "crash_at " << crash_at;
+  }
+}
+
+TEST(Fsck, CleanStoreChecksOut) {
+  const ScriptFixture& f = fixture();
+  MemFileIo fs = f.base_fs;
+  const FsckReport r = fsck_store(fs, "store", /*repair=*/false);
+  EXPECT_TRUE(r.ok);
+  EXPECT_FALSE(r.repaired);
+  EXPECT_FALSE(r.unrecoverable);
+  EXPECT_EQ(r.generation, 0u);
+  EXPECT_EQ(r.wal_records, 0u);
+  EXPECT_EQ(r.torn_tail_bytes, 0u);
+  EXPECT_EQ(r.stale_files, 0u);
+  EXPECT_TRUE(r.notes.empty());
+}
+
+TEST(Fsck, CheckModeReportsWithoutTouchingTheStore) {
+  const ScriptFixture& f = fixture();
+  MemFileIo fs = f.base_fs;
+  fs.append("store/wal.0", Bytes(21, 0xDD));
+  fs.write("store/snap.0.tmp", Bytes(4, 0));
+  const Bytes wal_before = fs.read("store/wal.0");
+
+  const FsckReport r = fsck_store(fs, "store", /*repair=*/false);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.unrecoverable);
+  EXPECT_EQ(r.torn_tail_bytes, 21u);
+  EXPECT_EQ(r.stale_files, 1u);
+  EXPECT_FALSE(r.notes.empty());
+  EXPECT_EQ(fs.read("store/wal.0"), wal_before);  // nothing was written
+  EXPECT_TRUE(fs.exists("store/snap.0.tmp"));
+}
+
+TEST(Fsck, RepairModeTruncatesAndCleans) {
+  const ScriptFixture& f = fixture();
+  MemFileIo fs = f.base_fs;
+  fs.append("store/wal.0", Bytes(21, 0xDD));
+  fs.write("store/snap.0.tmp", Bytes(4, 0));
+
+  const FsckReport r = fsck_store(fs, "store", /*repair=*/true);
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.repaired);
+  EXPECT_EQ(r.torn_tail_bytes, 21u);
+  EXPECT_FALSE(fs.exists("store/snap.0.tmp"));
+
+  const FsckReport clean = fsck_store(fs, "store", /*repair=*/false);
+  EXPECT_TRUE(clean.ok);
+  EXPECT_FALSE(clean.repaired);
+}
+
+TEST(Fsck, UnrecoverableOnBadKeyOrSnapshot) {
+  const ScriptFixture& f = fixture();
+  {
+    MemFileIo fs = f.base_fs;
+    Bytes key = fs.read("store/store.key");
+    key[6] ^= 0xFF;
+    fs.write("store/store.key", key);
+    const FsckReport r = fsck_store(fs, "store", /*repair=*/false);
+    EXPECT_TRUE(r.unrecoverable);
+    EXPECT_FALSE(r.ok);
+  }
+  {
+    MemFileIo fs = f.base_fs;
+    Bytes snap = fs.read("store/snap.0");
+    snap[snap.size() - 1] ^= 0x01;  // breaks the HMAC tag
+    fs.write("store/snap.0", snap);
+    const FsckReport check = fsck_store(fs, "store", /*repair=*/false);
+    EXPECT_TRUE(check.unrecoverable);
+    const FsckReport repair = fsck_store(fs, "store", /*repair=*/true);
+    EXPECT_TRUE(repair.unrecoverable);
+    EXPECT_FALSE(repair.ok);
+  }
+  MemFileIo empty;
+  EXPECT_TRUE(fsck_store(empty, "missing", /*repair=*/false).unrecoverable);
+}
+
+}  // namespace
+}  // namespace dfky

@@ -1,0 +1,175 @@
+// bench_compare — regression gate over dfky-bench-v1 output (DESIGN.md
+// Sect. 8). Compares a baseline directory of BENCH_*.json files against a
+// current run and fails when any matching record's median_ns grew by more
+// than the threshold factor.
+//
+//   bench_compare <baseline-dir> <current-dir> [--threshold R]
+//
+// Records are matched by (bench, op, n, v). Timing-free records
+// (median_ns = 0 on either side) and benches present on only one side are
+// reported but never fail the gate — new benches must not need a synthetic
+// baseline. Exit status: 0 no regression, 1 regression, 2 usage/IO error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "store/file_io.h"
+
+using namespace dfky;
+
+namespace {
+
+struct Key {
+  std::string bench, op;
+  std::uint64_t n = 0, v = 0;
+  bool operator<(const Key& o) const {
+    if (bench != o.bench) return bench < o.bench;
+    if (op != o.op) return op < o.op;
+    if (n != o.n) return n < o.n;
+    return v < o.v;
+  }
+};
+
+using Table = std::map<Key, std::uint64_t>;  // -> median_ns
+
+void usage(std::FILE* to) {
+  std::fputs(
+      "usage: bench_compare <baseline-dir> <current-dir> [--threshold R]\n",
+      to);
+}
+
+std::uint64_t field_u64(const json::Value& rec, const char* name) {
+  const json::Value* f = rec.find(name);
+  if (f == nullptr) throw DecodeError("bench record missing field");
+  return static_cast<std::uint64_t>(f->as_number());
+}
+
+/// Loads every BENCH_*.json in `dir` into one (bench,op,n,v)->median table.
+Table load_dir(FileIo& io, const std::string& dir) {
+  if (!io.is_dir(dir)) throw IoError("no such directory: " + dir);
+  Table out;
+  for (const std::string& name : io.list(dir)) {
+    if (name.rfind("BENCH_", 0) != 0 ||
+        name.size() < 11 || name.substr(name.size() - 5) != ".json") {
+      continue;
+    }
+    const Bytes raw = io.read(dir + "/" + name);
+    const json::Value doc = json::Value::parse(
+        std::string(reinterpret_cast<const char*>(raw.data()), raw.size()));
+    const json::Value* schema = doc.find("schema");
+    if (schema == nullptr || schema->as_string() != "dfky-bench-v1") {
+      throw DecodeError(name + ": not a dfky-bench-v1 file");
+    }
+    const json::Value* bench_name = doc.find("bench");
+    const json::Value* records = doc.find("records");
+    if (bench_name == nullptr || records == nullptr) {
+      throw DecodeError(name + ": missing bench/records");
+    }
+    for (const json::Value& rec : records->as_array()) {
+      const json::Value* op = rec.find("op");
+      if (op == nullptr) throw DecodeError(name + ": record missing op");
+      const Key k{bench_name->as_string(), op->as_string(),
+                  field_u64(rec, "n"), field_u64(rec, "v")};
+      out[k] = field_u64(rec, "median_ns");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string base_dir, cur_dir;
+  double threshold = 1.5;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--threshold") {
+      if (i + 1 >= argc) {
+        usage(stderr);
+        return 2;
+      }
+      char* end = nullptr;
+      threshold = std::strtod(argv[++i], &end);
+      if (end == nullptr || *end != '\0' || threshold <= 0) {
+        std::fprintf(stderr, "bench_compare: bad threshold '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (a == "--help" || a == "-h") {
+      usage(stdout);
+      return 0;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "bench_compare: unknown flag '%s'\n", a.c_str());
+      usage(stderr);
+      return 2;
+    } else if (base_dir.empty()) {
+      base_dir = a;
+    } else if (cur_dir.empty()) {
+      cur_dir = a;
+    } else {
+      usage(stderr);
+      return 2;
+    }
+  }
+  if (cur_dir.empty()) {
+    usage(stderr);
+    return 2;
+  }
+
+  RealFileIo io;
+  Table base, cur;
+  try {
+    base = load_dir(io, base_dir);
+    cur = load_dir(io, cur_dir);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "bench_compare: %s\n", e.what());
+    return 2;
+  }
+
+  std::size_t compared = 0, skipped = 0, regressions = 0;
+  std::printf("%-14s %-24s %8s %4s %12s %12s %8s\n", "bench", "op", "n", "v",
+              "base-ns", "cur-ns", "ratio");
+  for (const auto& [key, cur_ns] : cur) {
+    const auto it = base.find(key);
+    if (it == base.end()) {
+      ++skipped;
+      continue;  // new record: nothing to regress against
+    }
+    const std::uint64_t base_ns = it->second;
+    if (base_ns == 0 || cur_ns == 0) {
+      ++skipped;  // transmission-only records carry no timing
+      continue;
+    }
+    const double ratio =
+        static_cast<double>(cur_ns) / static_cast<double>(base_ns);
+    const bool bad = ratio > threshold;
+    if (bad) ++regressions;
+    ++compared;
+    std::printf("%-14s %-24s %8llu %4llu %12llu %12llu %7.2fx%s\n",
+                key.bench.c_str(), key.op.c_str(),
+                static_cast<unsigned long long>(key.n),
+                static_cast<unsigned long long>(key.v),
+                static_cast<unsigned long long>(base_ns),
+                static_cast<unsigned long long>(cur_ns), ratio,
+                bad ? "  REGRESSION" : "");
+  }
+  for (const auto& [key, ns] : base) {
+    if (cur.find(key) == cur.end()) {
+      std::printf("# note: baseline record %s/%s (n=%llu, v=%llu) missing "
+                  "from current run\n",
+                  key.bench.c_str(), key.op.c_str(),
+                  static_cast<unsigned long long>(key.n),
+                  static_cast<unsigned long long>(key.v));
+      (void)ns;
+    }
+  }
+  std::printf("bench_compare: %zu compared, %zu skipped, %zu regression(s), "
+              "threshold %.2fx\n",
+              compared, skipped, regressions, threshold);
+  return regressions == 0 ? 0 : 1;
+}

@@ -2,16 +2,23 @@
 // system. State lives in files, so a whole deployment can be driven from a
 // shell:
 //
-//   dfky_cli init sys.state --v 8 --group sec512
-//   dfky_cli status sys.state
-//   dfky_cli add sys.state alice.key
-//   dfky_cli add sys.state bob.key
-//   dfky_cli revoke sys.state 1 --reset-out reset
-//   dfky_cli encrypt sys.state payload.bin broadcast.bin
+//   dfky_cli init sys --v 8 --group sec512 --store
+//   dfky_cli status sys
+//   dfky_cli add sys alice.key
+//   dfky_cli add sys bob.key
+//   dfky_cli revoke sys 1 --reset-out reset
+//   dfky_cli new-period sys --reset-out reset
+//   dfky_cli encrypt sys payload.bin broadcast.bin
 //   dfky_cli decrypt alice.key broadcast.bin
 //   dfky_cli apply-reset alice.key reset.0.bin
-//   dfky_cli pirate sys.state pirate.rep 0 1     (demo: forge a pirate key)
-//   dfky_cli trace sys.state pirate.rep
+//   dfky_cli pirate sys pirate.rep 0 1           (demo: forge a pirate key)
+//   dfky_cli trace sys pirate.rep
+//
+// `<state>` is either a crash-consistent store DIRECTORY (created with
+// `init --store`; WAL + checksummed snapshots, every mutation durable
+// before the command acknowledges — see DESIGN.md Sect. 9 and dfky_fsck)
+// or a legacy single state FILE (rewritten whole on every mutation). The
+// commands auto-detect which one they were given.
 //
 // Key files bundle the group description with the user key so the receiver
 // side needs no other configuration.
@@ -20,7 +27,9 @@
 // appends this process's metrics snapshot (JSONL, dfky-metrics-v1) to the
 // file on success. `dfky_cli stats <file>` merges the snapshots from a whole
 // scripted session (counters sum, gauges last-write-wins, histogram buckets
-// add) and prints a summary or Prometheus text.
+// add) and prints a summary or Prometheus text; `--since <unix-ts>` keeps
+// only the snapshots stamped at or after the given time.
+#include <ctime>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -38,6 +47,7 @@
 #include "obs/metrics.h"
 #include "rng/system_rng.h"
 #include "serial/codec.h"
+#include "store/store.h"
 #include "tracing/nonblackbox.h"
 #include "tracing/pirate.h"
 
@@ -139,12 +149,57 @@ KeyFile read_key_file(const std::string& path) {
   return KeyFile{std::move(sp), std::move(vk), std::move(key)};
 }
 
-SecurityManager load_manager(const std::string& path) {
-  return SecurityManager::restore_state(read_file(path));
+RealFileIo& real_io() {
+  static RealFileIo io;
+  return io;
 }
 
-void store_manager(const std::string& path, const SecurityManager& mgr) {
-  write_file(path, mgr.save_state());
+/// A loaded deployment: either a durable store directory or a legacy
+/// single-file state. Mutating commands go through the store (durable
+/// before they return) or mutate the legacy manager and save() it whole.
+struct StateHandle {
+  std::string path;
+  std::optional<StateStore> store;        // directory deployments
+  std::optional<SecurityManager> legacy;  // single-file deployments
+
+  const SecurityManager& mgr() const {
+    return store ? store->manager() : *legacy;
+  }
+  bool is_store() const { return store.has_value(); }
+  /// Legacy only: rewrites the whole state file (the crash-unsafe path the
+  /// store replaces). Store mutations are already durable.
+  void save_legacy() {
+    if (legacy) write_file(path, legacy->save_state());
+  }
+};
+
+StateHandle load_state(const std::string& path) {
+  StateHandle h;
+  h.path = path;
+  if (real_io().is_dir(path)) {
+    try {
+      h.store.emplace(StateStore::open(real_io(), path));
+    } catch (const Error& e) {
+      die("state store '" + path + "' is corrupt or unreadable: " + e.what() +
+          " — run `dfky_fsck " + path + "` for a diagnosis");
+    }
+    const RecoveryReport& r = h.store->recovery_report();
+    if (r.truncated_records > 0 || r.skipped_snapshots > 0) {
+      std::fprintf(stderr,
+                   "dfky_cli: recovered %s: dropped %zu torn record(s) "
+                   "(%zu byte(s)), skipped %zu bad snapshot(s)\n",
+                   path.c_str(), r.truncated_records, r.truncated_bytes,
+                   r.skipped_snapshots);
+    }
+  } else {
+    try {
+      h.legacy.emplace(SecurityManager::restore_state(read_file(path)));
+    } catch (const Error& e) {
+      die("state file '" + path +
+          "' is corrupt or not a dfky state file: " + e.what());
+    }
+  }
+  return h;
 }
 
 std::optional<std::string> flag_value(std::vector<std::string>& args,
@@ -194,22 +249,41 @@ int cmd_init(std::vector<std::string> args) {
       std::stoul(flag_value(args, "--v").value_or("8"));
   const std::string group_name =
       flag_value(args, "--group").value_or("sec512");
+  bool as_store = false;
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--store") {
+      as_store = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
   reject_unknown_flags(args, "init");
   SystemRng rng;
   const SystemParams sp =
       SystemParams::create(group_by_name(group_name), v, rng);
   SecurityManager mgr(sp, rng);
-  store_manager(state_path, mgr);
-  std::printf("initialized: group=%s v=%zu m=%zu state=%s (%zu bytes)\n",
-              group_name.c_str(), v, sp.max_collusion(), state_path.c_str(),
-              mgr.save_state().size());
+  if (as_store) {
+    const std::size_t state_bytes = mgr.save_state().size();
+    StateStore::create(real_io(), state_path, std::move(mgr), rng);
+    std::printf(
+        "initialized: group=%s v=%zu m=%zu store=%s/ (snapshot %zu bytes)\n",
+        group_name.c_str(), v, sp.max_collusion(), state_path.c_str(),
+        state_bytes);
+  } else {
+    write_file(state_path, mgr.save_state());
+    std::printf("initialized: group=%s v=%zu m=%zu state=%s (%zu bytes)\n",
+                group_name.c_str(), v, sp.max_collusion(), state_path.c_str(),
+                mgr.save_state().size());
+  }
   return 0;
 }
 
 int cmd_status(std::vector<std::string> args) {
   reject_unknown_flags(args, "status");
   if (args.empty()) die("status: missing state file");
-  const SecurityManager mgr = load_manager(args[0]);
+  const StateHandle h = load_state(args[0]);
+  const SecurityManager& mgr = h.mgr();
   std::size_t active = 0, revoked = 0;
   for (const UserRecord& u : mgr.users()) {
     (u.revoked ? revoked : active) += 1;
@@ -224,20 +298,44 @@ int cmd_status(std::vector<std::string> args) {
               mgr.params().group.order().bit_length());
   std::printf("element size:      %zu bytes\n",
               mgr.params().group.element_size());
+  if (h.is_store()) {
+    std::printf("store:             generation %llu, %zu WAL record(s)\n",
+                static_cast<unsigned long long>(h.store->generation()),
+                h.store->wal_records());
+  }
   return 0;
 }
 
 int cmd_add(std::vector<std::string> args) {
   reject_unknown_flags(args, "add");
   if (args.size() < 2) die("add: usage: add <state> <key-out>");
-  SecurityManager mgr = load_manager(args[0]);
+  StateHandle h = load_state(args[0]);
   SystemRng rng;
-  const auto added = mgr.add_user(rng);
-  write_key_file(args[1], mgr, added.key);
-  store_manager(args[0], mgr);
+  const auto added =
+      h.is_store() ? h.store->add_user(rng) : h.legacy->add_user(rng);
+  write_key_file(args[1], h.mgr(), added.key);
+  h.save_legacy();
   std::printf("added user #%llu -> %s\n",
               static_cast<unsigned long long>(added.id), args[1].c_str());
   return 0;
+}
+
+/// Serializes and "broadcasts" the reset bundles a mutation produced.
+/// File-based deployments have no live subscribers, but the reset still
+/// goes over the broadcast channel so the dfky_bus_* accounting matches
+/// what a wired deployment would report.
+void emit_reset_bundles(const std::vector<SignedResetBundle>& bundles,
+                        const Group& group, const std::string& reset_prefix) {
+  BroadcastBus bus;
+  for (std::size_t i = 0; i < bundles.size(); ++i) {
+    Writer w;
+    bundles[i].serialize(w, group);
+    const std::string path = reset_prefix + "." + std::to_string(i) + ".bin";
+    write_file(path, w.bytes());
+    bus.publish({MsgType::kChangePeriod, w.bytes()});
+    std::printf("period change -> broadcast %s (%zu bytes) to subscribers\n",
+                path.c_str(), w.size());
+  }
 }
 
 int cmd_revoke(std::vector<std::string> args) {
@@ -249,33 +347,45 @@ int cmd_revoke(std::vector<std::string> args) {
   reject_unknown_flags(args, "revoke");
   std::vector<std::uint64_t> ids;
   for (const std::string& a : args) ids.push_back(std::stoull(a));
-  SecurityManager mgr = load_manager(state_path);
+  StateHandle h = load_state(state_path);
   SystemRng rng;
-  const auto bundles = mgr.remove_users(ids, rng);
-  store_manager(state_path, mgr);
+  const auto bundles = h.is_store() ? h.store->remove_users(ids, rng)
+                                    : h.legacy->remove_users(ids, rng);
+  h.save_legacy();
   std::printf("revoked %zu user(s); saturation %zu/%zu, period %llu\n",
-              ids.size(), mgr.saturation_level(), mgr.saturation_limit(),
-              static_cast<unsigned long long>(mgr.period()));
-  // File-based deployments have no live subscribers, but the reset still
-  // goes over the broadcast channel so the dfky_bus_* accounting matches
-  // what a wired deployment would report.
-  BroadcastBus bus;
-  for (std::size_t i = 0; i < bundles.size(); ++i) {
-    Writer w;
-    bundles[i].serialize(w, mgr.params().group);
-    const std::string path = reset_prefix + "." + std::to_string(i) + ".bin";
-    write_file(path, w.bytes());
-    bus.publish({MsgType::kChangePeriod, w.bytes()});
-    std::printf("period change -> broadcast %s (%zu bytes) to subscribers\n",
-                path.c_str(), w.size());
+              ids.size(), h.mgr().saturation_level(),
+              h.mgr().saturation_limit(),
+              static_cast<unsigned long long>(h.mgr().period()));
+  emit_reset_bundles(bundles, h.mgr().params().group, reset_prefix);
+  return 0;
+}
+
+int cmd_new_period(std::vector<std::string> args) {
+  if (args.empty()) {
+    die("new-period: usage: new-period <state> [--reset-out prefix]");
   }
+  const std::string state_path = args[0];
+  args.erase(args.begin());
+  const std::string reset_prefix =
+      flag_value(args, "--reset-out").value_or("reset");
+  reject_unknown_flags(args, "new-period");
+  StateHandle h = load_state(state_path);
+  SystemRng rng;
+  const SignedResetBundle bundle =
+      h.is_store() ? h.store->new_period(rng) : h.legacy->new_period(rng);
+  h.save_legacy();
+  std::printf("advanced to period %llu; saturation %zu/%zu\n",
+              static_cast<unsigned long long>(h.mgr().period()),
+              h.mgr().saturation_level(), h.mgr().saturation_limit());
+  emit_reset_bundles({bundle}, h.mgr().params().group, reset_prefix);
   return 0;
 }
 
 int cmd_encrypt(std::vector<std::string> args) {
   reject_unknown_flags(args, "encrypt");
   if (args.size() < 3) die("encrypt: usage: encrypt <state> <payload> <out>");
-  const SecurityManager mgr = load_manager(args[0]);
+  const StateHandle h = load_state(args[0]);
+  const SecurityManager& mgr = h.mgr();
   const Bytes payload = read_file(args[1]);
   SystemRng rng;
   const ContentMessage msg =
@@ -348,7 +458,8 @@ int cmd_pirate(std::vector<std::string> args) {
   if (args.size() < 3) {
     die("pirate: usage: pirate <state> <rep-out> <key-file...>");
   }
-  const SecurityManager mgr = load_manager(args[0]);
+  const StateHandle h = load_state(args[0]);
+  const SecurityManager& mgr = h.mgr();
   std::vector<UserKey> keys;
   for (std::size_t i = 2; i < args.size(); ++i) {
     keys.push_back(read_key_file(args[i]).key);
@@ -369,7 +480,8 @@ int cmd_pirate(std::vector<std::string> args) {
 int cmd_trace(std::vector<std::string> args) {
   reject_unknown_flags(args, "trace");
   if (args.size() < 2) die("trace: usage: trace <state> <rep-file>");
-  const SecurityManager mgr = load_manager(args[0]);
+  const StateHandle h = load_state(args[0]);
+  const SecurityManager& mgr = h.mgr();
   const Bytes raw = read_file(args[1]);
   Reader r(raw);
   Representation rep;
@@ -391,14 +503,26 @@ int cmd_trace(std::vector<std::string> args) {
 
 /// Appends this process's metrics snapshot to `path`. In a DFKY_OBS=OFF
 /// build only the meta line is written, so `stats` (and scripts) can tell
-/// "layer disabled" apart from "nothing happened".
+/// "layer disabled" apart from "nothing happened". Each snapshot's meta
+/// line is stamped with the wall-clock time so `stats --since` can window
+/// a long-running session's file.
 void append_metrics_snapshot(const std::string& path) {
   std::ofstream out(path, std::ios::app);
   if (!out) die("cannot write metrics file " + path);
+  const std::string ts = ",\"ts\":" + std::to_string(std::time(nullptr));
   if (obs::enabled()) {
-    out << obs::MetricsRegistry::instance().jsonl();
+    // The registry's meta line leads the snapshot; splice the timestamp
+    // into it and pass the rest through untouched.
+    std::string snap = obs::MetricsRegistry::instance().jsonl();
+    const std::string marker = "\"kind\":\"meta\"";
+    const std::size_t at = snap.find(marker);
+    if (at != std::string::npos) {
+      snap.insert(at + marker.size(), ts);
+    }
+    out << snap;
   } else {
-    out << "{\"kind\":\"meta\",\"obs\":\"off\",\"schema\":\"dfky-metrics-v1\"}\n";
+    out << "{\"kind\":\"meta\"" << ts
+        << ",\"obs\":\"off\",\"schema\":\"dfky-metrics-v1\"}\n";
   }
 }
 
@@ -443,12 +567,18 @@ std::vector<double> number_array(const json::Value& v) {
   return out;
 }
 
-MergedMetrics read_metrics_file(const std::string& path) {
+/// Merges the snapshots in `path`. With `since` set, snapshots whose meta
+/// line carries no timestamp or a timestamp before `since` are skipped
+/// wholesale (every line up to the next meta line belongs to the snapshot
+/// that opened it).
+MergedMetrics read_metrics_file(const std::string& path,
+                                std::optional<double> since = std::nullopt) {
   std::ifstream in(path);
   if (!in) die("cannot open metrics file " + path);
   MergedMetrics m;
   std::string line;
   std::size_t lineno = 0;
+  bool in_window = !since.has_value();
   while (std::getline(in, line)) {
     ++lineno;
     if (line.empty()) continue;
@@ -462,9 +592,16 @@ MergedMetrics read_metrics_file(const std::string& path) {
     if (!kind) die(path + ":" + std::to_string(lineno) + ": missing \"kind\"");
     const std::string& k = kind->as_string();
     if (k == "meta") {
+      if (since) {
+        const json::Value* ts = v.find("ts");
+        in_window = ts && ts->as_number() >= *since;
+      }
+      if (!in_window) continue;
       ++m.snapshots;
       const json::Value* o = v.find("obs");
       if (o && o->as_string() == "on") m.obs_on = true;
+    } else if (!in_window) {
+      continue;
     } else if (k == "counter") {
       m.counters[series_key(v)] += v.find("value")->as_number();
     } else if (k == "gauge") {
@@ -593,11 +730,20 @@ void print_prometheus(const MergedMetrics& m) {
 
 int cmd_stats(std::vector<std::string> args) {
   const std::string format = flag_value(args, "--format").value_or("summary");
+  std::optional<double> since;
+  if (const auto s = flag_value(args, "--since")) {
+    try {
+      since = std::stod(*s);
+    } catch (const std::exception&) {
+      die("stats: --since expects a unix timestamp, got '" + *s + "'");
+    }
+  }
   reject_unknown_flags(args, "stats");
   if (args.empty()) {
-    die("stats: usage: stats <metrics-file> [--format summary|prom]");
+    die("stats: usage: stats <metrics-file> [--format summary|prom] "
+        "[--since TS]");
   }
-  const MergedMetrics m = read_metrics_file(args[0]);
+  const MergedMetrics m = read_metrics_file(args[0], since);
   if (format == "summary") {
     print_summary(m);
   } else if (format == "prom") {
@@ -611,20 +757,25 @@ int cmd_stats(std::vector<std::string> args) {
 void usage(std::FILE* to) {
   std::fputs(
       "usage: dfky_cli <command> ... [--metrics-out FILE]\n"
-      "  init <state> [--v N] [--group NAME]   create a system\n"
+      "  init <state> [--v N] [--group NAME] [--store]  create a system\n"
       "  status <state>                        show system state\n"
       "  add <state> <key-out>                 subscribe a user\n"
       "  revoke <state> <id...> [--reset-out P]  revoke users\n"
+      "  new-period <state> [--reset-out P]    proactive period change\n"
       "  encrypt <state> <payload> <out>       broadcast content\n"
       "  decrypt <key-file> <broadcast>        receive content\n"
       "  apply-reset <key-file> <reset-file>   follow a period change\n"
       "  pirate <state> <rep-out> <key...>     (demo) forge a pirate key\n"
       "  trace <state> <rep-file>              trace a pirate key\n"
-      "  stats <metrics-file> [--format summary|prom]  session metrics\n"
+      "  stats <metrics-file> [--format summary|prom] [--since TS]\n"
       "  help                                  this text\n"
       "\n"
-      "--metrics-out FILE appends this invocation's metrics snapshot\n"
-      "(JSONL) to FILE; `stats` merges the snapshots of a whole session.\n",
+      "<state> is a store directory (init --store: WAL + snapshots, every\n"
+      "mutation durable before the command returns; see dfky_fsck) or a\n"
+      "legacy single state file. --metrics-out FILE appends this\n"
+      "invocation's metrics snapshot (JSONL) to FILE; `stats` merges the\n"
+      "snapshots of a whole session, `--since TS` windows them by the\n"
+      "timestamp stamped on each snapshot.\n",
       to);
 }
 
@@ -650,6 +801,7 @@ int main(int argc, char** argv) {
     else if (cmd == "status") rc = cmd_status(std::move(args));
     else if (cmd == "add") rc = cmd_add(std::move(args));
     else if (cmd == "revoke") rc = cmd_revoke(std::move(args));
+    else if (cmd == "new-period") rc = cmd_new_period(std::move(args));
     else if (cmd == "encrypt") rc = cmd_encrypt(std::move(args));
     else if (cmd == "decrypt") rc = cmd_decrypt(std::move(args));
     else if (cmd == "apply-reset") rc = cmd_apply_reset(std::move(args));

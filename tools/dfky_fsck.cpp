@@ -1,0 +1,86 @@
+// dfky_fsck — integrity checker for a dfky_cli state-store directory
+// (DESIGN.md Sect. 9).
+//
+//   dfky_fsck <store-dir>            check only; the store is not touched
+//   dfky_fsck <store-dir> --repair   truncate torn WAL tails, drop invalid
+//                                    snapshots' leftovers, remove stale files
+//
+// Exit status: 0 the store is usable (check mode: pristine; repair mode:
+// recovered), 1 findings that repair could fix, 2 unrecoverable (no valid
+// snapshot survives — restore from backup).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "store/store.h"
+
+using namespace dfky;
+
+namespace {
+
+void usage(std::FILE* to) {
+  std::fputs("usage: dfky_fsck <store-dir> [--repair]\n", to);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir;
+  bool repair = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--repair") {
+      repair = true;
+    } else if (a == "--help" || a == "-h") {
+      usage(stdout);
+      return 0;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "dfky_fsck: unknown flag '%s'\n", a.c_str());
+      usage(stderr);
+      return 2;
+    } else if (dir.empty()) {
+      dir = a;
+    } else {
+      usage(stderr);
+      return 2;
+    }
+  }
+  if (dir.empty()) {
+    usage(stderr);
+    return 2;
+  }
+
+  RealFileIo io;
+  FsckReport r;
+  try {
+    r = fsck_store(io, dir, repair);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "dfky_fsck: %s\n", e.what());
+    return 2;
+  }
+
+  std::printf("%s: %s\n", dir.c_str(),
+              r.unrecoverable ? "UNRECOVERABLE"
+              : r.ok          ? (r.repaired ? "recovered" : "clean")
+                              : "needs repair");
+  if (!r.unrecoverable) {
+    std::printf("  generation:     %llu\n",
+                static_cast<unsigned long long>(r.generation));
+    std::printf("  wal records:    %zu\n", r.wal_records);
+    std::printf("  torn tail:      %zu byte(s)\n", r.torn_tail_bytes);
+    std::printf("  stale files:    %zu\n", r.stale_files);
+  }
+  for (const std::string& note : r.notes) {
+    std::printf("  note: %s\n", note.c_str());
+  }
+  if (r.unrecoverable) {
+    std::printf("  the store has no valid snapshot; restore from backup\n");
+    return 2;
+  }
+  if (!r.ok) {
+    std::printf("  run `dfky_fsck %s --repair` to fix\n", dir.c_str());
+    return 1;
+  }
+  return 0;
+}

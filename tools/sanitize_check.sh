@@ -5,8 +5,9 @@
 #   tools/sanitize_check.sh [--tsan] [build-dir] [ctest-regex]
 #
 # Default (ASan+UBSan, -DDFKY_SANITIZE=ON): build-dir = build-asan, regex =
-# the fault matrix, the bus reentrancy regressions, and the metrics
-# registry. --tsan builds -DDFKY_SANITIZE_THREAD=ON instead and runs the
+# the fault matrix, the bus reentrancy regressions, the metrics registry,
+# the durable-store crash matrix, and the persistence corruption fuzz.
+# --tsan builds -DDFKY_SANITIZE_THREAD=ON instead and runs the
 # obs concurrency tests, which hammer one registry from many threads.
 # Pass '.*' to sanitize the whole suite.
 set -euo pipefail
@@ -27,9 +28,9 @@ if [ "$mode" = "tsan" ]; then
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 else
   build_dir="${1:-$repo/build-asan}"
-  filter="${2:-FaultyBus|Recovery|FaultMatrixTest|Bus\.|Obs}"
+  filter="${2:-FaultyBus|Recovery|FaultMatrixTest|Bus\.|Obs|MemFileIo|FaultyFileIo|StateStore|CrashMatrix|Fsck|PersistenceFuzz}"
   sanitize_flag=-DDFKY_SANITIZE=ON
-  targets=(fault_tests system_tests obs_tests)
+  targets=(fault_tests system_tests obs_tests store_tests core_tests)
   # halt_on_error so a sanitizer report fails the run loudly.
   export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
   export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
