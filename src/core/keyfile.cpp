@@ -1,0 +1,73 @@
+#include "core/keyfile.h"
+
+#include "serial/codec.h"
+
+namespace dfky {
+
+void put_env(Writer& w, const SystemParams& sp) {
+  w.put_u8(sp.group.is_elliptic() ? 1 : 0);
+  if (sp.group.is_elliptic()) {
+    const CurveSpec& c = sp.group.curve();
+    put_bigint(w, c.p);
+    put_bigint(w, c.a);
+    put_bigint(w, c.b);
+    put_bigint(w, c.q);
+    put_bigint(w, c.gx);
+    put_bigint(w, c.gy);
+  } else {
+    put_bigint(w, sp.group.p());
+    put_bigint(w, sp.group.order());
+    put_bigint(w, sp.group.params().g);
+  }
+  put_gelt(w, sp.group, sp.g);
+  put_gelt(w, sp.group, sp.g2);
+  w.put_u64(sp.v);
+}
+
+SystemParams get_env(Reader& r) {
+  const std::uint8_t kind = r.get_u8();
+  std::optional<Group> group;
+  if (kind == 1) {
+    CurveSpec c;
+    c.p = get_bigint(r);
+    c.a = get_bigint(r);
+    c.b = get_bigint(r);
+    c.q = get_bigint(r);
+    c.gx = get_bigint(r);
+    c.gy = get_bigint(r);
+    group.emplace(c);
+  } else if (kind == 0) {
+    GroupParams gp;
+    gp.p = get_bigint(r);
+    gp.q = get_bigint(r);
+    gp.g = get_bigint(r);
+    group.emplace(gp);
+  } else {
+    throw DecodeError("bad group kind");
+  }
+  SystemParams sp{*group, Gelt(), Gelt(), 0};
+  sp.g = get_gelt(r, *group);
+  sp.g2 = get_gelt(r, *group);
+  sp.v = r.get_u64();
+  return sp;
+}
+
+Bytes encode_key_file(const SystemParams& sp, const Gelt& manager_vk,
+                      const UserKey& key) {
+  Writer w;
+  put_env(w, sp);
+  put_gelt(w, sp.group, manager_vk);
+  key.serialize(w);
+  return std::move(w).take();
+}
+
+KeyFileData decode_key_file(BytesView raw) {
+  Reader r(raw);
+  SystemParams sp = get_env(r);
+  Gelt vk = get_gelt(r, sp.group);
+  UserKey key = UserKey::deserialize(r);
+  r.expect_end();
+  return KeyFileData{std::move(sp), std::move(vk), std::move(key)};
+}
+
+}  // namespace dfky

@@ -1,0 +1,31 @@
+// The on-disk / on-wire key file format shared by dfky_cli and dfkyd: the
+// public environment (group description, generators, saturation limit v),
+// the manager's Schnorr verification key and the user key, so the receiver
+// side needs no other configuration. dfkyd's `add-user` response carries
+// exactly these bytes (hex-encoded) and `dfky_cli client add` writes them
+// verbatim, so keys issued through the daemon and through the offline CLI
+// are interchangeable.
+#pragma once
+
+#include "core/keys.h"
+#include "serial/buffer.h"
+
+namespace dfky {
+
+/// Group + generators + v (the public environment every key file and
+/// broadcast consumer needs).
+void put_env(Writer& w, const SystemParams& sp);
+SystemParams get_env(Reader& r);
+
+struct KeyFileData {
+  SystemParams sp;
+  Gelt manager_vk;
+  UserKey key;
+};
+
+Bytes encode_key_file(const SystemParams& sp, const Gelt& manager_vk,
+                      const UserKey& key);
+/// Throws DecodeError on malformed input.
+KeyFileData decode_key_file(BytesView raw);
+
+}  // namespace dfky

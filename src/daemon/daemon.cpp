@@ -1,0 +1,435 @@
+#include "daemon/daemon.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <thread>
+
+#include "core/content.h"
+#include "core/keyfile.h"
+#include "daemon/protocol.h"
+#include "obs/metrics.h"
+#include "serial/codec.h"
+
+namespace dfky::daemon {
+
+// ---- RequestHandler ------------------------------------------------------------
+
+namespace {
+
+const char* verb_label(const std::string& verb) {
+  static constexpr const char* kVerbs[] = {
+      "ping", "status", "add-user", "revoke", "new-period", "encrypt",
+      "shutdown"};
+  for (const char* v : kVerbs) {
+    if (verb == v) return v;
+  }
+  return "unknown";  // keep the metric label set closed
+}
+
+std::string saturation_field(const SecurityManager& mgr) {
+  return std::to_string(mgr.saturation_level()) + "/" +
+         std::to_string(mgr.saturation_limit());
+}
+
+}  // namespace
+
+RequestHandler::RequestHandler(StateStore& store, GroupCommit& commits,
+                               std::shared_mutex& state_mu, Rng& rng)
+    : store_(store), commits_(commits), state_mu_(state_mu), rng_(rng) {}
+
+RequestHandler::Result RequestHandler::handle(const std::string& line) {
+  Result res;
+  if (line.size() > kMaxLineBytes) {
+    res.response = err_response("request line too long");
+    return res;
+  }
+  const std::vector<std::string> tokens = split_tokens(line);
+  if (tokens.empty()) {
+    res.response = err_response("empty request");
+    return res;
+  }
+  if (tokens[0] == "shutdown") {
+    res.response = ok_response();
+    res.shutdown = true;
+  } else {
+    try {
+      res.response = dispatch(tokens);
+    } catch (const Error& e) {
+      res.response = err_response(e.what());
+    } catch (const std::exception& e) {
+      res.response = err_response(std::string("internal: ") + e.what());
+    }
+  }
+  DFKY_OBS(obs::counter("dfkyd_requests_total",
+                        {{"verb", verb_label(tokens[0])},
+                         {"outcome", res.response[0] == 'o' ? "ok" : "err"}})
+               .inc(););
+  return res;
+}
+
+std::string RequestHandler::dispatch(const std::vector<std::string>& tokens) {
+  const std::string& verb = tokens[0];
+
+  if (verb == "ping") {
+    return ok_response({{"pid", std::to_string(::getpid())}});
+  }
+
+  if (verb == "status") {
+    std::shared_lock state(state_mu_);
+    const SecurityManager& mgr = store_.manager();
+    std::size_t active = 0, revoked = 0;
+    for (const UserRecord& u : mgr.users()) (u.revoked ? revoked : active) += 1;
+    return ok_response(
+        {{"pid", std::to_string(::getpid())},
+         {"period", std::to_string(mgr.period())},
+         {"active", std::to_string(active)},
+         {"revoked", std::to_string(revoked)},
+         {"saturation", saturation_field(mgr)},
+         {"generation", std::to_string(store_.generation())},
+         {"wal_records", std::to_string(store_.wal_records())},
+         {"commit_batches", std::to_string(commits_.batches())},
+         {"committed", std::to_string(commits_.committed())}});
+  }
+
+  if (verb == "add-user") {
+    if (tokens.size() != 1) return err_response("add-user takes no arguments");
+    std::uint64_t id = 0;
+    Bytes key_file;
+    commits_.run([&] {
+      std::lock_guard rng_lk(rng_mu_);
+      const SecurityManager::AddedUser added = store_.add_user(rng_);
+      id = added.id;
+      key_file = encode_key_file(store_.manager().params(),
+                                 store_.manager().verification_key(),
+                                 added.key);
+    });
+    return ok_response(
+        {{"id", std::to_string(id)}, {"key", hex_encode(key_file)}});
+  }
+
+  if (verb == "revoke") {
+    if (tokens.size() < 2) return err_response("usage: revoke <id...>");
+    std::vector<std::uint64_t> ids;
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      const auto id = parse_u64(tokens[i]);
+      if (!id) return err_response("bad user id '" + tokens[i] + "'");
+      ids.push_back(*id);
+    }
+    std::string period, saturation, bundles_csv;
+    commits_.run([&] {
+      std::lock_guard rng_lk(rng_mu_);
+      const std::vector<SignedResetBundle> bundles =
+          store_.remove_users(ids, rng_);
+      const Group& group = store_.manager().params().group;
+      for (std::size_t i = 0; i < bundles.size(); ++i) {
+        Writer w;
+        bundles[i].serialize(w, group);
+        if (i > 0) bundles_csv += ',';
+        bundles_csv += hex_encode(w.bytes());
+      }
+      period = std::to_string(store_.manager().period());
+      saturation = saturation_field(store_.manager());
+    });
+    return ok_response({{"period", period},
+                        {"saturation", saturation},
+                        {"bundles", bundles_csv}});
+  }
+
+  if (verb == "new-period") {
+    if (tokens.size() != 1) {
+      return err_response("new-period takes no arguments");
+    }
+    std::string period, saturation, bundle_hex;
+    commits_.run([&] {
+      std::lock_guard rng_lk(rng_mu_);
+      const SignedResetBundle bundle = store_.new_period(rng_);
+      Writer w;
+      bundle.serialize(w, store_.manager().params().group);
+      bundle_hex = hex_encode(w.bytes());
+      period = std::to_string(store_.manager().period());
+      saturation = saturation_field(store_.manager());
+    });
+    return ok_response({{"period", period},
+                        {"saturation", saturation},
+                        {"bundle", bundle_hex}});
+  }
+
+  if (verb == "encrypt") {
+    if (tokens.size() != 2) {
+      return err_response("usage: encrypt <hex-payload>");
+    }
+    const auto payload = hex_decode(tokens[1]);
+    if (!payload) return err_response("payload is not hex");
+    std::shared_lock state(state_mu_);
+    const SecurityManager& mgr = store_.manager();
+    Writer w;
+    {
+      std::lock_guard rng_lk(rng_mu_);
+      const ContentMessage msg =
+          seal_content(mgr.params(), mgr.public_key(), *payload, rng_);
+      msg.serialize(w, mgr.params().group);
+    }
+    return ok_response({{"bytes", std::to_string(payload->size())},
+                        {"ct", hex_encode(w.bytes())}});
+  }
+
+  return err_response("unknown command '" + verb + "'");
+}
+
+// ---- Daemon --------------------------------------------------------------------
+
+namespace {
+
+std::atomic<int> g_wake_fd{-1};
+
+void on_signal(int) {
+  const int fd = g_wake_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char b = 1;
+    // Best effort: a full pipe already means a wakeup is pending.
+    [[maybe_unused]] const ssize_t n = ::write(fd, &b, 1);
+  }
+}
+
+bool send_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+[[noreturn]] void die(const std::string& what) {
+  std::fprintf(stderr, "dfkyd: %s: %s\n", what.c_str(), std::strerror(errno));
+  std::exit(1);
+}
+
+}  // namespace
+
+Daemon::Daemon(DaemonOptions opts) : opts_(std::move(opts)) {
+  store_.emplace(StateStore::open(io_, opts_.store_dir, opts_.store));
+  commits_.emplace(*store_, state_mu_);
+  handler_.emplace(*store_, *commits_, state_mu_, rng_);
+}
+
+Daemon::~Daemon() {
+  close_fd(listen_fd_);
+  close_fd(metrics_fd_);
+}
+
+void Daemon::request_stop() {
+  stopping_.store(true);
+  const int fd = wake_fd_;
+  if (fd >= 0) {
+    const char b = 1;
+    [[maybe_unused]] const ssize_t n = ::write(fd, &b, 1);
+  }
+}
+
+int Daemon::run() {
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) die("pipe");
+  int wake_read = pipefd[0];
+  wake_fd_ = pipefd[1];
+  g_wake_fd.store(wake_fd_);
+
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) die("socket");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opts_.socket_path.size() >= sizeof addr.sun_path) {
+    std::fprintf(stderr, "dfkyd: socket path too long: %s\n",
+                 opts_.socket_path.c_str());
+    return 1;
+  }
+  std::strncpy(addr.sun_path, opts_.socket_path.c_str(),
+               sizeof addr.sun_path - 1);
+  // A stale socket file from a SIGKILLed daemon would make bind fail; the
+  // store LOCK is what actually guarantees one daemon per store.
+  ::unlink(opts_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    die("bind " + opts_.socket_path);
+  }
+  if (::listen(listen_fd_, 64) != 0) die("listen");
+
+  if (opts_.metrics_port >= 0) {
+    metrics_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (metrics_fd_ < 0) die("metrics socket");
+    const int one = 1;
+    ::setsockopt(metrics_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in sin{};
+    sin.sin_family = AF_INET;
+    sin.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    sin.sin_port = htons(static_cast<std::uint16_t>(opts_.metrics_port));
+    if (::bind(metrics_fd_, reinterpret_cast<sockaddr*>(&sin), sizeof sin) !=
+        0) {
+      die("metrics bind");
+    }
+    if (::listen(metrics_fd_, 16) != 0) die("metrics listen");
+    socklen_t len = sizeof sin;
+    ::getsockname(metrics_fd_, reinterpret_cast<sockaddr*>(&sin), &len);
+    metrics_port_ = ntohs(sin.sin_port);
+  }
+
+  std::printf("dfkyd: serving %s on %s (pid %ld)\n", opts_.store_dir.c_str(),
+              opts_.socket_path.c_str(), static_cast<long>(::getpid()));
+  if (metrics_port_ >= 0) {
+    std::printf("dfkyd: metrics on http://127.0.0.1:%d/metrics\n",
+                metrics_port_);
+  }
+  std::printf("dfkyd: ready\n");
+  std::fflush(stdout);
+
+  while (!stopping_.load()) {
+    pollfd fds[3] = {{wake_read, POLLIN, 0},
+                     {listen_fd_, POLLIN, 0},
+                     {metrics_fd_, POLLIN, 0}};
+    const nfds_t nfds = metrics_fd_ >= 0 ? 3 : 2;
+    const int n = ::poll(fds, nfds, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      die("poll");
+    }
+    if (fds[0].revents != 0) break;  // SIGINT/SIGTERM or shutdown request
+    if (fds[1].revents & POLLIN) {
+      const int cfd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+      if (cfd >= 0) {
+        {
+          std::lock_guard lk(conns_mu_);
+          conn_fds_.insert(cfd);
+          ++active_conns_;
+        }
+        DFKY_OBS(obs::counter("dfkyd_connections_total").inc(););
+        std::thread([this, cfd] { conn_loop(cfd); }).detach();
+      }
+    }
+    if (nfds == 3 && (fds[2].revents & POLLIN)) {
+      const int mfd = ::accept4(metrics_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+      if (mfd >= 0) serve_metrics(mfd);
+    }
+  }
+  stopping_.store(true);
+
+  // Shutdown sequence: stop accepting, nudge idle connections (their
+  // in-flight requests still finish and get their acks), wait for the
+  // connection threads, drain the commit queue, final snapshot, release
+  // the store lock, remove the socket.
+  close_fd(listen_fd_);
+  close_fd(metrics_fd_);
+  {
+    std::lock_guard lk(conns_mu_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
+  }
+  {
+    std::unique_lock lk(conns_mu_);
+    conns_cv_.wait(lk, [&] { return active_conns_ == 0; });
+  }
+  handler_.reset();
+  commits_.reset();  // joins the committer; flushes anything staged
+  {
+    std::unique_lock state(state_mu_);
+    store_->snapshot();
+  }
+  store_.reset();  // releases the LOCK file
+  ::unlink(opts_.socket_path.c_str());
+  g_wake_fd.store(-1);
+  close_fd(wake_read);
+  close_fd(wake_fd_);
+  std::printf("dfkyd: shutdown complete\n");
+  std::fflush(stdout);
+  return 0;
+}
+
+void Daemon::conn_loop(int fd) {
+  std::string buf;
+  char chunk[1 << 16];
+  bool done = false;
+  while (!done) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buf.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos;
+    while (!done && (pos = buf.find('\n')) != std::string::npos) {
+      std::string line = buf.substr(0, pos);
+      buf.erase(0, pos + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      RequestHandler::Result res = handler_->handle(line);
+      res.response += '\n';
+      if (!send_all(fd, res.response)) done = true;
+      if (res.shutdown) {
+        request_stop();
+        done = true;
+      }
+    }
+    if (buf.size() > kMaxLineBytes) {
+      send_all(fd, err_response("request line too long") + "\n");
+      done = true;
+    }
+  }
+  ::close(fd);
+  std::lock_guard lk(conns_mu_);
+  conn_fds_.erase(fd);
+  --active_conns_;
+  conns_cv_.notify_all();
+}
+
+void Daemon::serve_metrics(int fd) {
+  char req[2048];
+  const ssize_t n = ::recv(fd, req, sizeof req - 1, 0);
+  const std::string request(req, n > 0 ? static_cast<std::size_t>(n) : 0);
+  std::string status = "200 OK";
+  std::string body;
+  if (request.starts_with("GET /metrics") || request.starts_with("GET / ")) {
+    body = obs::MetricsRegistry::instance().prometheus();
+    if (!obs::enabled()) body = "# dfky observability layer compiled out\n";
+    DFKY_OBS(obs::counter("dfkyd_metrics_scrapes_total").inc(););
+  } else {
+    status = "404 Not Found";
+    body = "not found\n";
+  }
+  char head[256];
+  std::snprintf(head, sizeof head,
+                "HTTP/1.0 %s\r\n"
+                "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                "Content-Length: %zu\r\n"
+                "Connection: close\r\n\r\n",
+                status.c_str(), body.size());
+  send_all(fd, head);
+  send_all(fd, body);
+  ::close(fd);
+}
+
+}  // namespace dfky::daemon

@@ -1,0 +1,105 @@
+// dfkyd — the long-running manager daemon (DESIGN.md Sect. 10).
+//
+// One daemon owns one store directory (exclusively, via the store's LOCK
+// file) and serves the newline protocol of daemon/protocol.h over a
+// unix-domain stream socket. Mutations (`add-user`, `revoke`,
+// `new-period`) are funneled through the GroupCommit queue and
+// acknowledged only after their batch's fsync; reads (`status`,
+// `encrypt`) run on the connection threads under a shared state lock.
+// SIGINT/SIGTERM (or a `shutdown` request) drain in-flight requests, take
+// a final snapshot and release the store. An optional loopback TCP port
+// answers `GET /metrics` with the obs registry's Prometheus text.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <shared_mutex>
+#include <string>
+
+#include "daemon/group_commit.h"
+#include "rng/system_rng.h"
+#include "store/store.h"
+
+namespace dfky::daemon {
+
+/// Request dispatch, socket-free so tests can drive it directly: one
+/// protocol line in, one response line out (no trailing newline).
+/// Thread-safe; mutations block until durable.
+class RequestHandler {
+ public:
+  RequestHandler(StateStore& store, GroupCommit& commits,
+                 std::shared_mutex& state_mu, Rng& rng);
+
+  struct Result {
+    std::string response;
+    bool shutdown = false;  // a `shutdown` request was acknowledged
+  };
+  Result handle(const std::string& line);
+
+ private:
+  std::string dispatch(const std::vector<std::string>& tokens);
+
+  StateStore& store_;
+  GroupCommit& commits_;
+  std::shared_mutex& state_mu_;
+  Rng& rng_;
+  std::mutex rng_mu_;  // encrypt (conn threads) vs mutations (committer)
+};
+
+struct DaemonOptions {
+  std::string store_dir;
+  std::string socket_path;
+  /// Loopback TCP port for GET /metrics: -1 disables, 0 binds an
+  /// ephemeral port (reported by metrics_port() and on stdout).
+  int metrics_port = -1;
+  StoreOptions store;
+};
+
+class Daemon {
+ public:
+  /// Opens the store (taking its LOCK — throws StoreLockedError when a
+  /// second daemon targets the same directory).
+  explicit Daemon(DaemonOptions opts);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds the sockets, installs SIGINT/SIGTERM handlers, prints the
+  /// `dfkyd: ready` line and serves until a signal or `shutdown` request;
+  /// then drains connections, commits a final snapshot, releases the
+  /// store lock and removes the socket. Returns the process exit code.
+  int run();
+
+  /// The bound metrics port (resolves option 0); -1 when disabled.
+  int metrics_port() const { return metrics_port_; }
+
+ private:
+  void conn_loop(int fd);
+  void serve_metrics(int fd);
+  void request_stop();
+
+  DaemonOptions opts_;
+  RealFileIo io_;
+  std::optional<StateStore> store_;
+  std::shared_mutex state_mu_;
+  SystemRng rng_;
+  std::optional<GroupCommit> commits_;
+  std::optional<RequestHandler> handler_;
+
+  int listen_fd_ = -1;
+  int metrics_fd_ = -1;
+  int metrics_port_ = -1;
+  int wake_fd_ = -1;  // write end of the signal self-pipe
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conns_mu_;
+  std::condition_variable conns_cv_;
+  std::set<int> conn_fds_;
+  std::size_t active_conns_ = 0;
+};
+
+}  // namespace dfky::daemon

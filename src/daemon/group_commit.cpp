@@ -1,0 +1,76 @@
+#include "daemon/group_commit.h"
+
+#include "obs/metrics.h"
+
+namespace dfky::daemon {
+
+GroupCommit::GroupCommit(StateStore& store, std::shared_mutex& state_mu)
+    : store_(store), state_mu_(state_mu) {
+  store_.set_batching(true);
+  committer_ = std::thread([this] { committer_loop(); });
+}
+
+GroupCommit::~GroupCommit() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  committer_.join();
+  store_.set_batching(false);  // flushes anything a failed sync left staged
+}
+
+void GroupCommit::run(const std::function<void()>& op) {
+  Ticket ticket{&op, nullptr, false};
+  {
+    std::unique_lock lk(mu_);
+    if (stop_) throw ContractError("group commit: shutting down");
+    queue_.push_back(&ticket);
+    work_cv_.notify_one();
+    done_cv_.wait(lk, [&] { return ticket.done; });
+  }
+  if (ticket.error) std::rethrow_exception(ticket.error);
+}
+
+void GroupCommit::committer_loop() {
+  for (;;) {
+    std::vector<Ticket*> batch;
+    {
+      std::unique_lock lk(mu_);
+      work_cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and fully drained
+      batch.swap(queue_);
+    }
+    {
+      DFKY_OBS_TIMER(span, "dfkyd_commit_batch_ns");
+      std::unique_lock state(state_mu_);
+      for (Ticket* t : batch) {
+        try {
+          (*t->op)();
+        } catch (...) {
+          t->error = std::current_exception();
+        }
+      }
+      try {
+        store_.sync();
+      } catch (...) {
+        // The fsync itself failed: nothing in this batch is acknowledged.
+        const std::exception_ptr err = std::current_exception();
+        for (Ticket* t : batch) {
+          if (!t->error) t->error = err;
+        }
+      }
+    }
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    committed_.fetch_add(batch.size(), std::memory_order_relaxed);
+    DFKY_OBS(obs::counter("dfkyd_commit_batches_total").inc();
+             obs::counter("dfkyd_commit_mutations_total").inc(batch.size()););
+    {
+      std::lock_guard lk(mu_);
+      for (Ticket* t : batch) t->done = true;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace dfky::daemon

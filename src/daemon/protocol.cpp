@@ -1,0 +1,101 @@
+#include "daemon/protocol.h"
+
+namespace dfky::daemon {
+
+std::optional<std::uint64_t> parse_u64(std::string_view s) {
+  if (s.empty() || s.size() > 20) return std::nullopt;  // 2^64-1 is 20 digits
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const auto d = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - d) / 10) return std::nullopt;
+    v = v * 10 + d;
+  }
+  return v;
+}
+
+std::string hex_encode(BytesView data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (const byte b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+namespace {
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::optional<Bytes> hex_decode(std::string_view hex) {
+  if (hex.size() % 2 != 0) return std::nullopt;
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_nibble(hex[i]);
+    const int lo = hex_nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<byte>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::vector<std::string> split_tokens(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ') ++i;
+    if (i > start) tokens.emplace_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+std::string ok_response(
+    const std::vector<std::pair<std::string, std::string>>& fields) {
+  std::string out = "ok";
+  for (const auto& [k, v] : fields) {
+    out += ' ';
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+std::string err_response(std::string_view message) {
+  std::string out = "err ";
+  for (const char c : message) out += (c == '\n' || c == '\r') ? ' ' : c;
+  return out;
+}
+
+std::optional<Response> parse_response(std::string_view line) {
+  Response resp;
+  if (line == "ok" || line.starts_with("ok ")) {
+    resp.ok = true;
+    for (const std::string& tok :
+         split_tokens(line.substr(2))) {
+      const std::size_t eq = tok.find('=');
+      if (eq == std::string::npos || eq == 0) return std::nullopt;
+      resp.fields[tok.substr(0, eq)] = tok.substr(eq + 1);
+    }
+    return resp;
+  }
+  if (line.starts_with("err ")) {
+    resp.error = std::string(line.substr(4));
+    return resp;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dfky::daemon

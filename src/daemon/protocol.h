@@ -1,0 +1,62 @@
+// Wire protocol of the dfkyd manager daemon (DESIGN.md Sect. 10), plus the
+// strict parsing helpers it shares with dfky_cli.
+//
+// Requests and responses are single LF-terminated text lines over a
+// unix-domain stream socket:
+//
+//   request  := verb (' ' arg)*
+//   response := "ok" (' ' key '=' value)*  |  "err " message
+//
+// Values never contain spaces or newlines: binary payloads (key files,
+// reset bundles, ciphertexts) travel as lowercase hex, lists as
+// comma-separated values. One request line yields exactly one response
+// line, in order, so a client may pipeline.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common.h"
+
+namespace dfky::daemon {
+
+/// Hard cap on one protocol line (request or response), framing included.
+/// Generous enough for a sec2048 reset bundle in hex; anything larger is a
+/// protocol violation, not a bigger buffer.
+constexpr std::size_t kMaxLineBytes = std::size_t{8} << 20;
+
+/// Strict base-10 uint64 parse: digits only (no sign, no whitespace, no
+/// 0x), non-empty, must fit. Everything the CLI and the daemon accept as a
+/// number goes through here — the stoull family's undocumented tolerance
+/// for "-5" (wraps) and leading spaces is exactly the bug class this
+/// replaces.
+std::optional<std::uint64_t> parse_u64(std::string_view s);
+
+std::string hex_encode(BytesView data);
+/// Lowercase/uppercase hex -> bytes; nullopt on odd length or non-hex.
+std::optional<Bytes> hex_decode(std::string_view hex);
+
+/// Splits a request line on spaces; runs of spaces collapse, so empty
+/// tokens never appear.
+std::vector<std::string> split_tokens(std::string_view line);
+
+std::string ok_response(
+    const std::vector<std::pair<std::string, std::string>>& fields = {});
+/// The message is flattened to one line (newlines become spaces).
+std::string err_response(std::string_view message);
+
+struct Response {
+  bool ok = false;
+  std::string error;                          // "err" responses
+  std::map<std::string, std::string> fields;  // "ok" responses
+};
+
+/// Parses one response line (no trailing newline); nullopt when the line
+/// fits neither grammar production.
+std::optional<Response> parse_response(std::string_view line);
+
+}  // namespace dfky::daemon

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 #include <dirent.h>
 #include <fcntl.h>
+#include <sys/file.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -26,10 +28,23 @@ namespace {
   throw IoError("file_io: " + op + " " + path + ": " + std::strerror(errno));
 }
 
+/// Retries a -1/errno syscall while it reports EINTR. With the daemon's
+/// SIGINT/SIGTERM handlers installed, an interrupted append must not
+/// surface as a spurious IoError mid-mutation.
+template <typename Fn>
+auto eintr_retry(Fn fn) {
+  decltype(fn()) r;
+  do {
+    r = fn();
+  } while (r < 0 && errno == EINTR);
+  return r;
+}
+
 class Fd {
  public:
   Fd(const std::string& path, int flags, mode_t mode = 0644)
-      : fd_(::open(path.c_str(), flags, mode)), path_(path) {}
+      : fd_(eintr_retry([&] { return ::open(path.c_str(), flags, mode); })),
+        path_(path) {}
   ~Fd() {
     if (fd_ >= 0) ::close(fd_);
   }
@@ -47,7 +62,8 @@ class Fd {
 void write_all(const Fd& fd, BytesView data, const char* op) {
   std::size_t off = 0;
   while (off < data.size()) {
-    const ssize_t n = ::write(fd.get(), data.data() + off, data.size() - off);
+    const ssize_t n = eintr_retry(
+        [&] { return ::write(fd.get(), data.data() + off, data.size() - off); });
     if (n < 0) io_fail(op, fd.path());
     off += static_cast<std::size_t>(n);
   }
@@ -89,7 +105,8 @@ Bytes RealFileIo::read(const std::string& path) const {
   Bytes out;
   byte buf[1 << 16];
   while (true) {
-    const ssize_t n = ::read(fd.get(), buf, sizeof buf);
+    const ssize_t n =
+        eintr_retry([&] { return ::read(fd.get(), buf, sizeof buf); });
     if (n < 0) io_fail("read", path);
     if (n == 0) break;
     out.insert(out.end(), buf, buf + n);
@@ -136,13 +153,71 @@ void RealFileIo::mkdir(const std::string& path) {
 void RealFileIo::fsync_file(const std::string& path) {
   Fd fd(path, O_RDONLY);
   if (!fd.ok()) io_fail("fsync_file", path);
-  if (::fsync(fd.get()) != 0) io_fail("fsync_file", path);
+  if (eintr_retry([&] { return ::fsync(fd.get()); }) != 0) {
+    io_fail("fsync_file", path);
+  }
 }
 
 void RealFileIo::fsync_dir(const std::string& dir) {
   Fd fd(dir.empty() ? "." : dir, O_RDONLY | O_DIRECTORY);
   if (!fd.ok()) io_fail("fsync_dir", dir);
-  if (::fsync(fd.get()) != 0) io_fail("fsync_dir", dir);
+  if (eintr_retry([&] { return ::fsync(fd.get()); }) != 0) {
+    io_fail("fsync_dir", dir);
+  }
+}
+
+bool RealFileIo::lock(const std::string& path, std::uint64_t* holder) {
+  if (holder != nullptr) *holder = 0;
+  if (lock_fds_.contains(path)) {
+    // We already hold it; flock would not tell us so on a fresh fd.
+    if (holder != nullptr) *holder = static_cast<std::uint64_t>(::getpid());
+    return false;
+  }
+  const int fd = eintr_retry(
+      [&] { return ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644); });
+  if (fd < 0) io_fail("lock", path);
+  if (eintr_retry([&] { return ::flock(fd, LOCK_EX | LOCK_NB); }) != 0) {
+    if (errno != EWOULDBLOCK && errno != EAGAIN) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      io_fail("lock", path);
+    }
+    // Contended: report the pid the holder stamped into the file.
+    char buf[32];
+    const ssize_t n =
+        eintr_retry([&] { return ::read(fd, buf, sizeof buf - 1); });
+    if (n > 0 && holder != nullptr) {
+      buf[n] = '\0';
+      *holder = std::strtoull(buf, nullptr, 10);
+    }
+    ::close(fd);
+    return false;
+  }
+  // Ours now: stamp our pid over whatever a previous (dead) holder left.
+  char buf[32];
+  const int len =
+      std::snprintf(buf, sizeof buf, "%ld\n", static_cast<long>(::getpid()));
+  if (::ftruncate(fd, 0) != 0 ||
+      eintr_retry([&] { return ::write(fd, buf, len); }) != len) {
+    const int saved = errno;
+    ::close(fd);  // releases the flock
+    errno = saved;
+    io_fail("lock", path);
+  }
+  lock_fds_[path] = fd;
+  return true;
+}
+
+void RealFileIo::unlock(const std::string& path) {
+  const auto it = lock_fds_.find(path);
+  if (it == lock_fds_.end()) return;
+  ::close(it->second);  // closing the description releases the flock
+  lock_fds_.erase(it);
+}
+
+RealFileIo::~RealFileIo() {
+  for (const auto& [path, fd] : lock_fds_) ::close(fd);
 }
 
 // ---- MemFileIo -----------------------------------------------------------------
@@ -251,6 +326,27 @@ void MemFileIo::fsync_dir(const std::string& dir) {
   }
 }
 
+bool MemFileIo::lock(const std::string& path, std::uint64_t* holder) {
+  if (holder != nullptr) *holder = 0;
+  if (!live_dirs_.contains(dirname_of(path))) {
+    throw IoError("mem_io: no such dir for: " + path);
+  }
+  const auto it = locks_.find(path);
+  if (it != locks_.end()) {
+    if (holder != nullptr) *holder = it->second;
+    return false;
+  }
+  const auto pid = static_cast<std::uint64_t>(::getpid());
+  locks_[path] = pid;
+  // Mirror RealFileIo: the lock file exists (and lists) while held, with
+  // the holder's pid as its content, and is never unlinked.
+  const std::string text = std::to_string(pid) + "\n";
+  files_[path].live.assign(text.begin(), text.end());
+  return true;
+}
+
+void MemFileIo::unlock(const std::string& path) { locks_.erase(path); }
+
 void MemFileIo::crash() {
   std::map<std::string, Inode> survivors;
   for (const auto& [path, inode] : durable_ns_) {
@@ -258,6 +354,7 @@ void MemFileIo::crash() {
   }
   files_ = std::move(survivors);
   live_dirs_ = durable_dirs_;
+  locks_.clear();  // kernel-held locks die with the process
 }
 
 void MemFileIo::inject_durable_append(const std::string& path,
@@ -384,5 +481,14 @@ void FaultyFileIo::fsync_dir(const std::string& dir) {
   mutating_op("fsync_dir", dir, {}, nullptr);
   fs_.fsync_dir(dir);
 }
+
+bool FaultyFileIo::lock(const std::string& path, std::uint64_t* holder) {
+  // Locking is a liveness primitive, not a durability one: it is not
+  // counted as a mutating op (crash matrices key op indices off WAL I/O)
+  // and never torn.
+  return fs_.lock(path, holder);
+}
+
+void FaultyFileIo::unlock(const std::string& path) { fs_.unlock(path); }
 
 }  // namespace dfky

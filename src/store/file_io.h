@@ -69,6 +69,17 @@ class FileIo {
   /// for a freshly created file to survive a crash.
   virtual void fsync_file(const std::string& path) = 0;
   virtual void fsync_dir(const std::string& dir) = 0;
+
+  /// Advisory exclusive lock on `path`, created if absent. On success the
+  /// holder's pid is recorded in the file and the lock is held until
+  /// unlock() or process death. Returns false when someone else holds it,
+  /// reporting that holder's recorded pid via `holder` (0 if unreadable).
+  /// The lock file itself is never unlinked — removing it would let a
+  /// third process acquire a lock on a fresh inode while the old one is
+  /// still held.
+  virtual bool lock(const std::string& path, std::uint64_t* holder) = 0;
+  /// Releases a lock() taken through this instance; no-op otherwise.
+  virtual void unlock(const std::string& path) = 0;
 };
 
 /// "" for paths with no '/', otherwise everything before the last '/'.
@@ -90,6 +101,13 @@ class RealFileIo final : public FileIo {
   void mkdir(const std::string& path) override;
   void fsync_file(const std::string& path) override;
   void fsync_dir(const std::string& dir) override;
+  bool lock(const std::string& path, std::uint64_t* holder) override;
+  void unlock(const std::string& path) override;
+
+  ~RealFileIo() override;
+
+ private:
+  std::map<std::string, int> lock_fds_;  // held flocks, path -> open fd
 };
 
 // ---- in-memory durability model -----------------------------------------------
@@ -108,10 +126,13 @@ class MemFileIo final : public FileIo {
   void mkdir(const std::string& path) override;
   void fsync_file(const std::string& path) override;
   void fsync_dir(const std::string& dir) override;
+  bool lock(const std::string& path, std::uint64_t* holder) override;
+  void unlock(const std::string& path) override;
 
   /// Simulated power cut: the live view is replaced by the durable view.
   /// Files whose directory entry was never fsync_dir'ed vanish; files whose
   /// content was never fsync_file'd revert to their last synced content.
+  /// Held locks are dropped — a dead process holds nothing.
   void crash();
 
   /// Splices bytes into a file's DURABLE content directly — the "torn
@@ -127,6 +148,7 @@ class MemFileIo final : public FileIo {
 
   Inode& live_inode(const std::string& path);
 
+  std::map<std::string, std::uint64_t> locks_;  // path -> holder pid
   std::map<std::string, Inode> files_;       // live namespace
   std::set<std::string> live_dirs_{{""}};    // "" is the cwd root
   std::map<std::string, Inode> durable_ns_;  // entries that survive a crash
@@ -178,6 +200,8 @@ class FaultyFileIo final : public FileIo {
   void mkdir(const std::string& path) override;
   void fsync_file(const std::string& path) override;
   void fsync_dir(const std::string& dir) override;
+  bool lock(const std::string& path, std::uint64_t* holder) override;
+  void unlock(const std::string& path) override;
 
   const FilePlan& plan() const { return plan_; }
   const FileFaultCounters& fault_counters() const { return counters_; }

@@ -1,6 +1,7 @@
 #include "store/store.h"
 
 #include <algorithm>
+#include <new>
 
 #include "crypto/crc32c.h"
 #include "crypto/hmac.h"
@@ -32,6 +33,33 @@ std::string wal_name(std::uint64_t gen) {
 std::string join(const std::string& dir, const std::string& name) {
   return dir.empty() ? name : dir + "/" + name;
 }
+
+/// Takes the directory's LOCK file or throws StoreLockedError. On success
+/// the returned guard releases the lock on destruction until ownership is
+/// transferred to the StateStore (`disarm()`).
+struct LockGuard {
+  FileIo* io = nullptr;
+  std::string path;
+
+  static LockGuard acquire(FileIo& io, const std::string& dir) {
+    const std::string path = join(dir, StateStore::kLockFile);
+    std::uint64_t holder = 0;
+    if (!io.lock(path, &holder)) {
+      throw StoreLockedError("state store: " + dir + " is locked by pid " +
+                             std::to_string(holder));
+    }
+    return LockGuard{&io, path};
+  }
+  void disarm() { io = nullptr; }
+  ~LockGuard() {
+    if (io == nullptr) return;
+    try {
+      io->unlock(path);
+    } catch (...) {
+      // Releasing on an error path must not mask the original exception.
+    }
+  }
+};
 
 /// snap.<digits> / wal.<digits> -> the generation; nullopt otherwise.
 std::optional<std::uint64_t> parse_gen(const std::string& name,
@@ -240,6 +268,42 @@ StateStore::StateStore(FileIo& io, std::string dir, StoreOptions opts,
       mgr_(std::move(mgr)),
       key_(std::move(key)) {}
 
+StateStore::StateStore(StateStore&& other) noexcept
+    : io_(other.io_),
+      dir_(std::move(other.dir_)),
+      opts_(other.opts_),
+      mgr_(std::move(other.mgr_)),
+      key_(std::move(other.key_)),
+      gen_(other.gen_),
+      wal_records_(other.wal_records_),
+      chain_tag_(other.chain_tag_),
+      recovery_(other.recovery_),
+      locked_(other.locked_),
+      batching_(other.batching_),
+      pending_(std::move(other.pending_)),
+      unsynced_records_(other.unsynced_records_) {
+  other.io_ = nullptr;
+  other.locked_ = false;
+}
+
+StateStore& StateStore::operator=(StateStore&& other) noexcept {
+  if (this == &other) return *this;
+  this->~StateStore();
+  new (this) StateStore(std::move(other));
+  return *this;
+}
+
+StateStore::~StateStore() {
+  if (locked_ && io_ != nullptr) {
+    try {
+      io_->unlock(path(kLockFile));
+    } catch (...) {
+      // Destructors must not throw; a failed unlock only delays reuse
+      // until the process exits.
+    }
+  }
+}
+
 std::string StateStore::path(const std::string& name) const {
   return join(dir_, name);
 }
@@ -247,15 +311,17 @@ std::string StateStore::path(const std::string& name) const {
 StateStore StateStore::create(FileIo& io, std::string dir,
                               SecurityManager manager, Rng& rng,
                               StoreOptions opts) {
-  if (io.is_dir(dir)) {
-    if (io.exists(join(dir, kKeyFile))) {
-      throw ContractError("state store: " + dir + " already holds a store");
-    }
-  } else {
-    io.mkdir(dir);
+  if (!io.is_dir(dir)) io.mkdir(dir);
+  // Exclusion before the already-a-store check: a locked directory answers
+  // "locked by pid N", not "already holds a store".
+  LockGuard lock = LockGuard::acquire(io, dir);
+  if (io.exists(join(dir, kKeyFile))) {
+    throw ContractError("state store: " + dir + " already holds a store");
   }
   Bytes key = rng.bytes(32);
   StateStore s(io, std::move(dir), opts, std::move(manager), std::move(key));
+  s.locked_ = true;
+  lock.disarm();
 
   io.write(s.path(kKeyFile), encode_key_file(s.key_));
   io.fsync_file(s.path(kKeyFile));
@@ -287,6 +353,9 @@ StateStore StateStore::open(FileIo& io, std::string dir, StoreOptions opts) {
   if (!io.is_dir(dir)) {
     throw DecodeError("state store: no such directory: " + dir);
   }
+  // Exclusion first: recovery WRITES (tail truncation, stale cleanup), so
+  // even open() must never run concurrently with another holder.
+  LockGuard lock = LockGuard::acquire(io, dir);
   Bytes key;
   try {
     key = decode_key_file(io.read(join(dir, kKeyFile)));
@@ -380,10 +449,13 @@ StateStore StateStore::open(FileIo& io, std::string dir, StoreOptions opts) {
   }
   rep.replayed_records = applied;
 
-  // Remove anything that is not the live generation.
+  // Remove anything that is not the live generation (the LOCK file we are
+  // holding is infrastructure, not state — unlinking it would hand a
+  // third process a lock on a fresh inode).
   bool dirty_dir = rewrote_wal;
   for (const std::string& name : io.list(dir)) {
-    if (name == kKeyFile || name == snap_name(gen) || name == wal_name(gen)) {
+    if (name == kKeyFile || name == kLockFile || name == snap_name(gen) ||
+        name == wal_name(gen)) {
       continue;
     }
     io.remove(join(dir, name));
@@ -411,6 +483,8 @@ StateStore StateStore::open(FileIo& io, std::string dir, StoreOptions opts) {
   s.chain_tag_ = chain;
   s.recovery_ = rep;
   s.mgr_.set_mutation_recording(true);
+  s.locked_ = true;
+  lock.disarm();
   return s;
 }
 
@@ -419,13 +493,25 @@ void StateStore::append_record(const ManagerMutation& m) {
   m.serialize(pw, mgr_.params().group);
   Sha256::Digest tag{};
   const Bytes frame = encode_record(key_, chain_tag_, pw.bytes(), tag);
-  io_->append(path(wal_name(gen_)), frame);
+  if (batching_) {
+    pending_.insert(pending_.end(), frame.begin(), frame.end());
+  } else {
+    io_->append(path(wal_name(gen_)), frame);
+  }
   chain_tag_ = tag;
 }
 
 void StateStore::commit() {
   const std::vector<ManagerMutation> muts = mgr_.take_mutation_log();
   if (muts.empty()) return;
+  if (batching_) {
+    // Stage the frames; durability (and the rotation check) waits for the
+    // batch's sync(). The chain tag already advanced, so staged records
+    // and any follow-ups land as one contiguous valid WAL run.
+    for (const ManagerMutation& m : muts) append_record(m);
+    unsynced_records_ += muts.size();
+    return;
+  }
   {
     DFKY_OBS_TIMER(span, "dfky_store_wal_append_ns");
     for (const ManagerMutation& m : muts) append_record(m);
@@ -434,6 +520,33 @@ void StateStore::commit() {
   wal_records_ += muts.size();
   DFKY_OBS(obs::counter("dfky_store_wal_appends_total").inc(muts.size()););
   if (wal_records_ >= opts_.snapshot_every) snapshot();
+}
+
+void StateStore::flush_pending() {
+  if (unsynced_records_ == 0) return;
+  {
+    DFKY_OBS_TIMER(span, "dfky_store_wal_append_ns");
+    io_->append(path(wal_name(gen_)), pending_);
+    io_->fsync_file(path(wal_name(gen_)));
+  }
+  wal_records_ += unsynced_records_;
+  DFKY_OBS(
+      obs::counter("dfky_store_wal_appends_total").inc(unsynced_records_);
+      obs::counter("dfky_store_group_commits_total").inc();
+      obs::counter("dfky_store_group_commit_records_total")
+          .inc(unsynced_records_););
+  pending_.clear();
+  unsynced_records_ = 0;
+}
+
+void StateStore::sync() {
+  flush_pending();
+  if (wal_records_ >= opts_.snapshot_every) snapshot();
+}
+
+void StateStore::set_batching(bool on) {
+  if (!on && batching_) sync();
+  batching_ = on;
 }
 
 SecurityManager::AddedUser StateStore::add_user(Rng& rng) {
@@ -462,6 +575,11 @@ SignedResetBundle StateStore::new_period(Rng& rng) {
 }
 
 void StateStore::snapshot() {
+  // Batched frames were chained against the current generation's WAL;
+  // land them there before rotating (the records are then superseded by
+  // the snapshot, but the old WAL stays self-consistent if the rotation
+  // is torn).
+  flush_pending();
   DFKY_OBS_TIMER(span, "dfky_store_snapshot_ns");
   const std::uint64_t next = gen_ + 1;
   const Bytes payload = mgr_.save_state();
@@ -544,6 +662,7 @@ FsckReport fsck_store(FileIo& io, const std::string& dir, bool repair) {
   std::vector<std::uint64_t> gens;
   std::size_t entries = 0;
   for (const std::string& name : io.list(dir)) {
+    if (name == StateStore::kLockFile) continue;  // infrastructure, not state
     ++entries;
     if (const auto g = parse_gen(name, StateStore::kSnapPrefix)) {
       gens.push_back(*g);

@@ -31,6 +31,13 @@ struct StoreOptions {
   std::size_t snapshot_every = 64;
 };
 
+/// Another process holds the store directory's LOCK file. Distinct from
+/// DecodeError: the store is fine, it is just in use.
+class StoreLockedError : public Error {
+ public:
+  explicit StoreLockedError(const std::string& what) : Error(what) {}
+};
+
 /// What open() found and repaired. All zeros after a clean open.
 struct RecoveryReport {
   std::uint64_t generation = 0;      // generation recovered into
@@ -52,7 +59,19 @@ class StateStore {
   /// Opens an existing store: newest valid snapshot + WAL replay + torn
   /// tail truncation + stale file cleanup. Throws DecodeError when the
   /// directory holds no recoverable store.
+  ///
+  /// Both create() and open() first take the directory's LOCK file
+  /// (flock-style advisory exclusion, threaded through FileIo) and throw
+  /// StoreLockedError("... is locked by pid N") when another process —
+  /// e.g. a live dfkyd — holds it. The lock is released by the destructor.
   static StateStore open(FileIo& io, std::string dir, StoreOptions opts = {});
+
+  StateStore(StateStore&& other) noexcept;
+  StateStore& operator=(StateStore&& other) noexcept;
+  StateStore(const StateStore&) = delete;
+  StateStore& operator=(const StateStore&) = delete;
+  /// Releases the LOCK file (the file itself stays behind; see FileIo::lock).
+  ~StateStore();
 
   const SecurityManager& manager() const { return mgr_; }
 
@@ -64,8 +83,25 @@ class StateStore {
   SignedResetBundle new_period(Rng& rng);
 
   /// Forces a snapshot rotation now (also taken automatically every
-  /// `opts.snapshot_every` WAL records).
+  /// `opts.snapshot_every` WAL records). Flushes any batched records first.
   void snapshot();
+
+  // -- group commit --------------------------------------------------------------
+  /// While batching is on, mutations still validate, apply and frame their
+  /// WAL records immediately, but the records accumulate in memory instead
+  /// of reaching the file: they are NOT durable until sync() issues the
+  /// batch's single append+fsync. This is the knob the daemon's committer
+  /// thread uses to amortize one fsync over a whole batch of concurrent
+  /// clients — callers must not acknowledge a mutation before sync()
+  /// returns. Turning batching off flushes anything pending.
+  void set_batching(bool on);
+  bool batching() const { return batching_; }
+  /// One append + one fsync for every record accumulated since the last
+  /// sync; then a snapshot rotation if one is due. No-op when nothing is
+  /// pending.
+  void sync();
+  /// Records applied to the manager but not yet durable (batching only).
+  std::size_t unsynced_records() const { return unsynced_records_; }
 
   std::uint64_t generation() const { return gen_; }
   std::size_t wal_records() const { return wal_records_; }
@@ -77,17 +113,21 @@ class StateStore {
   static constexpr char kSnapPrefix[] = "snap.";
   static constexpr char kWalPrefix[] = "wal.";
   static constexpr char kTmpSuffix[] = ".tmp";
+  static constexpr char kLockFile[] = "LOCK";
 
  private:
   StateStore(FileIo& io, std::string dir, StoreOptions opts,
              SecurityManager mgr, Bytes key);
 
-  /// Drains the manager's mutation log into the WAL and fsyncs it.
+  /// Drains the manager's mutation log into the WAL and fsyncs it (or, in
+  /// batching mode, stages the frames for the next sync()).
   void commit();
   void append_record(const ManagerMutation& m);
+  /// The staged batch's single append+fsync (no rotation check).
+  void flush_pending();
   std::string path(const std::string& name) const;
 
-  FileIo* io_;
+  FileIo* io_;  // null only in a moved-from store
   std::string dir_;
   StoreOptions opts_;
   SecurityManager mgr_;
@@ -96,6 +136,10 @@ class StateStore {
   std::size_t wal_records_ = 0;
   Sha256::Digest chain_tag_{};  // tag of the last WAL record (or the seed)
   RecoveryReport recovery_;
+  bool locked_ = false;
+  bool batching_ = false;
+  Bytes pending_;  // framed records staged while batching
+  std::size_t unsynced_records_ = 0;
 };
 
 /// File-system check for a store directory. In check mode (repair = false)

@@ -67,6 +67,38 @@ fi
 "$CLI" help > help.txt || fail "help exited nonzero"
 grep -q '^usage:' help.txt || fail "help: no usage on stdout"
 
+# ---- malformed numeric argv: exit 2 + usage, never an uncaught throw ---------
+# (std::stoul/stoull used to throw std::invalid_argument here, or silently
+# wrap "-5" to 2^64-5 and revoke the wrong user.)
+check_usage_error() {
+  set +e
+  "$CLI" "$@" >/dev/null 2>err.txt
+  rc=$?
+  set -e
+  [ "$rc" = 2 ] || fail "'$*' exited $rc, want 2: $(cat err.txt)"
+  grep -q '^usage:' err.txt || fail "'$*': no usage on stderr"
+  if grep -Eq 'terminate|std::|abort' err.txt; then
+    fail "'$*' died by uncaught exception: $(cat err.txt)"
+  fi
+}
+check_usage_error revoke sys.state banana
+check_usage_error revoke sys.state -5
+check_usage_error revoke sys.state 18446744073709551616
+check_usage_error revoke sys.state 99999999999999999999999999
+check_usage_error init never.state --v banana
+check_usage_error init never.state --v -1
+check_usage_error init never.state --v 18446744073709551616
+[ ! -e never.state ] || fail "malformed --v still created the state file"
+check_usage_error stats nothing.jsonl --since banana
+# client-mode ids go through the same parser.
+check_usage_error client nowhere.sock revoke banana
+
+# A daemon client with no daemon: clean nonzero failure, not a hang/crash.
+if "$CLI" client /nonexistent/dfkyd.sock status >/dev/null 2>err.txt; then
+  fail "client against a missing socket exited 0"
+fi
+grep -q 'cannot connect' err.txt || fail "client: unclear connect error"
+
 # ---- metrics: --metrics-out snapshots merged by `stats` ----------------------
 M="metrics.jsonl"
 "$CLI" init sys2.state --v 2 --group test128 --metrics-out "$M" >/dev/null

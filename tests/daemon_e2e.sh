@@ -1,0 +1,162 @@
+#!/usr/bin/env bash
+# End-to-end exercise of dfkyd: store locking against concurrent opens,
+# concurrent clients through the group-commit queue, the /metrics endpoint,
+# SIGTERM graceful shutdown, and SIGKILL crash-recovery with every
+# acknowledged mutation intact.
+#
+#   daemon_e2e.sh <dfkyd> <dfky_cli> [<dfky_fsck>]
+set -euo pipefail
+
+DFKYD="$1"
+CLI="$2"
+FSCK="${3:-}"
+WORK="$(mktemp -d)"
+PID=""
+cleanup() {
+  [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+cd "$WORK"
+
+fail() { echo "daemon_e2e: $1" >&2; exit 1; }
+
+SOCK="$WORK/dfkyd.sock"
+
+start_daemon() {
+  : > dfkyd.log
+  "$DFKYD" store.d --socket "$SOCK" --metrics-port 0 >> dfkyd.log 2>&1 &
+  PID=$!
+  for _ in $(seq 1 200); do
+    grep -q 'dfkyd: ready' dfkyd.log 2>/dev/null && return 0
+    kill -0 "$PID" 2>/dev/null || fail "daemon died at startup: $(cat dfkyd.log)"
+    sleep 0.05
+  done
+  fail "daemon never printed 'dfkyd: ready'"
+}
+
+# ---- flag validation happens before anything touches the store ----------------
+if "$DFKYD" store.d 2>err.txt; then fail "dfkyd without --socket exited 0"; fi
+if "$DFKYD" store.d --socket "$SOCK" --metrics-port banana 2>/dev/null; then
+  fail "dfkyd accepted a non-numeric metrics port"
+fi
+[ ! -d store.d ] || fail "a rejected invocation created the store dir"
+
+"$CLI" init store.d --v 4 --group test128 --store >/dev/null
+start_daemon
+
+# ---- the daemon's lock shuts everyone else out --------------------------------
+wal_sum_before=$(cat store.d/wal.* | cksum)
+if "$CLI" status store.d >/dev/null 2>err.txt; then
+  fail "CLI opened a daemon-locked store"
+fi
+grep -q 'is locked by pid' err.txt || fail "lock error unclear: $(cat err.txt)"
+if "$DFKYD" store.d --socket "$WORK/second.sock" >second.log 2>&1; then
+  fail "second dfkyd on the same store exited 0"
+fi
+grep -q 'is locked by pid' second.log || fail "second dfkyd: unclear error"
+[ "$(cat store.d/wal.* | cksum)" = "$wal_sum_before" ] \
+  || fail "a locked-out process modified the WAL"
+
+# ---- concurrent clients, all acks durable -------------------------------------
+"$CLI" client "$SOCK" ping | grep -q "pid: $PID" || fail "ping pid mismatch"
+pids=()
+for i in $(seq 0 7); do
+  "$CLI" client "$SOCK" add "u$i.key" >/dev/null 2>&1 &
+  pids+=($!)
+done
+for p in "${pids[@]}"; do
+  wait "$p" || fail "a concurrent add failed"
+done
+for i in $(seq 0 7); do [ -s "u$i.key" ] || fail "u$i.key missing"; done
+"$CLI" client "$SOCK" status | grep -q 'active: 8' || fail "not 8 active users"
+
+# ---- the full lifecycle through the socket ------------------------------------
+printf 'the midnight broadcast' > payload.bin
+"$CLI" client "$SOCK" encrypt payload.bin b1.bin >/dev/null
+[ "$("$CLI" decrypt u0.key b1.bin)" = "the midnight broadcast" ] \
+  || fail "daemon-issued key cannot open daemon-encrypted content"
+
+# The concurrent adds race for ids, so revoke a user whose id we pinned down.
+VICTIM=$("$CLI" client "$SOCK" add victim.key \
+  | sed -n 's/^added user #\([0-9]*\).*/\1/p')
+[ -n "$VICTIM" ] || fail "client add did not report the new user id"
+"$CLI" client "$SOCK" revoke "$VICTIM" >/dev/null
+"$CLI" client "$SOCK" encrypt payload.bin b2.bin >/dev/null
+if "$CLI" decrypt victim.key b2.bin >/dev/null 2>&1; then
+  fail "revoked key still decrypts"
+fi
+
+"$CLI" client "$SOCK" new-period --reset-out dnp >/dev/null
+[ -f dnp.0.bin ] || fail "new-period emitted no bundle file"
+"$CLI" apply-reset u0.key dnp.0.bin >/dev/null
+"$CLI" client "$SOCK" encrypt payload.bin b3.bin >/dev/null
+[ "$("$CLI" decrypt u0.key b3.bin)" = "the midnight broadcast" ] \
+  || fail "caught-up key cannot decrypt after the daemon's new-period"
+"$CLI" client "$SOCK" status | grep -q 'period: 1' || fail "period not advanced"
+
+# Malformed requests get errors, not a dead daemon.
+if "$CLI" client "$SOCK" revoke 999 >/dev/null 2>&1; then
+  fail "revoking an unknown user exited 0"
+fi
+"$CLI" client "$SOCK" ping >/dev/null || fail "daemon down after a bad request"
+
+# ---- GET /metrics on the loopback port ----------------------------------------
+PORT=$(sed -n 's|.*http://127.0.0.1:\([0-9]*\)/metrics.*|\1|p' dfkyd.log)
+[ -n "$PORT" ] || fail "daemon never announced a metrics port"
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+cat <&3 > metrics.txt
+exec 3<&- 3>&-
+grep -q '200 OK' metrics.txt || fail "metrics endpoint did not answer 200"
+if grep -q 'dfkyd_requests_total' metrics.txt; then
+  grep -Eq 'dfkyd_commit_batches_total [1-9]' metrics.txt \
+    || fail "metrics: no commit batches counted"
+else
+  grep -q 'compiled out' metrics.txt || fail "metrics body unrecognizable"
+fi
+
+# ---- SIGTERM: drain, final snapshot, release the lock, exit 0 -----------------
+kill -TERM "$PID"
+rc=0; wait "$PID" || rc=$?
+PID=""
+[ "$rc" = 0 ] || fail "SIGTERM shutdown exited $rc"
+grep -q 'shutdown complete' dfkyd.log || fail "no shutdown message"
+[ ! -e "$SOCK" ] || fail "socket file left behind"
+"$CLI" status store.d >/dev/null || fail "store still locked after shutdown"
+if [ -n "$FSCK" ]; then
+  "$FSCK" store.d >/dev/null || fail "fsck dirty after graceful shutdown"
+fi
+
+# ---- SIGKILL mid-load: every acked mutation survives the restart --------------
+start_daemon
+users_before=$("$CLI" client "$SOCK" status | sed -n 's/^active: //p')
+: > acked.txt
+pids=()
+for i in $(seq 1 16); do
+  ( "$CLI" client "$SOCK" add "k$i.key" >/dev/null 2>&1 && echo "$i" >> acked.txt ) &
+  pids+=($!)
+done
+sleep 0.2
+kill -9 "$PID"
+PID=""
+for p in "${pids[@]}"; do wait "$p" || true; done
+acked=$(wc -l < acked.txt)
+
+start_daemon   # open() repairs any torn batch tail under the lock
+users_after=$("$CLI" client "$SOCK" status | sed -n 's/^active: //p')
+recovered=$((users_after - users_before))
+[ "$recovered" -ge "$acked" ] \
+  || fail "SIGKILL lost acked mutations: acked $acked, recovered $recovered"
+
+# `shutdown` over the socket behaves like SIGTERM.
+"$CLI" client "$SOCK" shutdown >/dev/null || fail "shutdown request failed"
+rc=0; wait "$PID" || rc=$?
+PID=""
+[ "$rc" = 0 ] || fail "socket shutdown exited $rc"
+if [ -n "$FSCK" ]; then
+  "$FSCK" store.d >/dev/null || fail "fsck dirty after crash recovery cycle"
+fi
+"$CLI" status store.d | grep -q 'period: *1' || fail "state lost across restarts"
+
+echo "daemon_e2e: ok (SIGKILL: $acked acked, $recovered recovered)"

@@ -1,0 +1,288 @@
+// The dfkyd building blocks, socket-free: the line protocol's strict
+// parsers, the group-commit queue's durability/batching/error semantics,
+// and RequestHandler driven line-by-line against an in-memory store.
+#include <gtest/gtest.h>
+
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "core/content.h"
+#include "core/keyfile.h"
+#include "daemon/daemon.h"
+#include "daemon/group_commit.h"
+#include "daemon/protocol.h"
+#include "rng/chacha_rng.h"
+#include "serial/codec.h"
+#include "store/store.h"
+#include "test_util.h"
+
+namespace dfky::daemon {
+namespace {
+
+// ---- protocol helpers ---------------------------------------------------------
+
+TEST(Protocol, ParseU64AcceptsPlainDecimal) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("8"), 8u);
+  EXPECT_EQ(parse_u64("007"), 7u);
+  EXPECT_EQ(parse_u64("18446744073709551615"), UINT64_MAX);
+}
+
+TEST(Protocol, ParseU64RejectsEverythingStoulWouldLetThrough) {
+  // std::stoul accepts all of these (wrapping, trimming or truncating);
+  // the daemon and the CLI must not.
+  EXPECT_FALSE(parse_u64("-5"));     // stoull wraps to 2^64-5
+  EXPECT_FALSE(parse_u64("+5"));
+  EXPECT_FALSE(parse_u64(" 8"));
+  EXPECT_FALSE(parse_u64("8 "));
+  EXPECT_FALSE(parse_u64("8junk"));  // stoull stops at the junk
+  EXPECT_FALSE(parse_u64("0x10"));
+  EXPECT_FALSE(parse_u64(""));
+  EXPECT_FALSE(parse_u64("banana"));
+  EXPECT_FALSE(parse_u64("18446744073709551616"));      // 2^64
+  EXPECT_FALSE(parse_u64("99999999999999999999999"));   // > 20 digits
+}
+
+TEST(Protocol, HexRoundTrips) {
+  const Bytes data = {0x00, 0x0f, 0xf0, 0xff, 0x5a};
+  EXPECT_EQ(hex_encode(data), "000ff0ff5a");
+  EXPECT_EQ(hex_decode("000ff0ff5a"), data);
+  EXPECT_EQ(hex_decode("000FF0FF5A"), data);  // uppercase tolerated
+  EXPECT_EQ(hex_decode(""), Bytes{});
+  EXPECT_FALSE(hex_decode("abc"));   // odd length
+  EXPECT_FALSE(hex_decode("zz"));
+}
+
+TEST(Protocol, SplitTokensCollapsesRuns) {
+  EXPECT_EQ(split_tokens("  add-user   1  2 "),
+            (std::vector<std::string>{"add-user", "1", "2"}));
+  EXPECT_TRUE(split_tokens("   ").empty());
+}
+
+TEST(Protocol, ResponsesRoundTrip) {
+  EXPECT_EQ(ok_response(), "ok");
+  EXPECT_EQ(ok_response({{"id", "3"}, {"key", "ab"}}), "ok id=3 key=ab");
+  EXPECT_EQ(err_response("no\nnewlines\rhere"), "err no newlines here");
+
+  const auto ok = parse_response("ok id=3 key=ab");
+  ASSERT_TRUE(ok && ok->ok);
+  EXPECT_EQ(ok->fields.at("id"), "3");
+  EXPECT_EQ(ok->fields.at("key"), "ab");
+
+  const auto err = parse_response("err user 7 is unknown");
+  ASSERT_TRUE(err);
+  EXPECT_FALSE(err->ok);
+  EXPECT_EQ(err->error, "user 7 is unknown");
+
+  EXPECT_FALSE(parse_response("okay"));
+  EXPECT_FALSE(parse_response("ok bare-token"));
+  EXPECT_FALSE(parse_response("ok =v"));
+  EXPECT_FALSE(parse_response("errx"));
+}
+
+// ---- group commit -------------------------------------------------------------
+
+struct DaemonStore {
+  MemFileIo fs;
+  std::optional<StateStore> store;
+  std::shared_mutex state_mu;
+
+  explicit DaemonStore(std::size_t v = 2) {
+    ChaChaRng rng(31);
+    SecurityManager mgr(test::test_params(v, /*seed=*/31), rng);
+    store.emplace(StateStore::create(fs, "store", std::move(mgr), rng));
+  }
+};
+
+TEST(GroupCommit, ConcurrentMutationsAreAllDurableWhenAcked) {
+  DaemonStore d;
+  constexpr std::size_t kThreads = 4, kPerThread = 8;
+  {
+    GroupCommit commits(*d.store, d.state_mu);
+    ChaChaRng rng(1);
+    std::mutex rng_mu;
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        for (std::size_t i = 0; i < kPerThread; ++i) {
+          commits.run([&] {
+            std::lock_guard lk(rng_mu);
+            d.store->add_user(rng);
+          });
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(commits.committed(), kThreads * kPerThread);
+    EXPECT_GE(commits.batches(), 1u);
+    EXPECT_LE(commits.batches(), commits.committed());
+  }
+  // Every acked mutation survives a power cut.
+  MemFileIo cut = d.fs;
+  cut.crash();
+  StateStore recovered = StateStore::open(cut, "store");
+  EXPECT_EQ(recovered.manager().users().size(), kThreads * kPerThread);
+}
+
+TEST(GroupCommit, OpErrorReachesOnlyItsSubmitter) {
+  DaemonStore d;
+  GroupCommit commits(*d.store, d.state_mu);
+  ChaChaRng rng(2);
+  // A bad op (unknown user) must throw at its own run() call...
+  const std::uint64_t bogus[] = {404};
+  EXPECT_THROW(commits.run([&] { d.store->remove_users(bogus, rng); }),
+               ContractError);
+  // ...and leave the queue fully usable for the next, valid op.
+  commits.run([&] { d.store->add_user(rng); });
+  EXPECT_EQ(d.store->manager().users().size(), 1u);
+}
+
+TEST(GroupCommit, DestructorReturnsStoreToImmediateMode) {
+  DaemonStore d;
+  {
+    GroupCommit commits(*d.store, d.state_mu);
+    EXPECT_TRUE(d.store->batching());
+  }
+  EXPECT_FALSE(d.store->batching());
+  EXPECT_EQ(d.store->unsynced_records(), 0u);
+}
+
+// ---- request handler ----------------------------------------------------------
+
+struct HandlerFixture : DaemonStore {
+  ChaChaRng rng{77};
+  GroupCommit commits{*store, state_mu};
+  RequestHandler handler{*store, commits, state_mu, rng};
+
+  Response ok(const std::string& line) {
+    const RequestHandler::Result res = handler.handle(line);
+    const auto r = parse_response(res.response);
+    EXPECT_TRUE(r) << res.response;
+    EXPECT_TRUE(r->ok) << res.response;
+    return *r;
+  }
+  std::string err(const std::string& line) {
+    const RequestHandler::Result res = handler.handle(line);
+    const auto r = parse_response(res.response);
+    EXPECT_TRUE(r && !r->ok) << res.response;
+    return r ? r->error : "";
+  }
+};
+
+TEST(RequestHandler, StatusReportsTheStore) {
+  HandlerFixture f;
+  const Response r = f.ok("status");
+  EXPECT_EQ(r.fields.at("period"), "0");
+  EXPECT_EQ(r.fields.at("active"), "0");
+  EXPECT_EQ(r.fields.at("revoked"), "0");
+  EXPECT_EQ(r.fields.at("saturation"), "0/2");
+  EXPECT_EQ(r.fields.at("generation"), "0");
+}
+
+TEST(RequestHandler, AddUserIssuesAWorkingKeyFile) {
+  HandlerFixture f;
+  const Response added = f.ok("add-user");
+  EXPECT_EQ(added.fields.at("id"), "0");
+  const auto key_bytes = hex_decode(added.fields.at("key"));
+  ASSERT_TRUE(key_bytes);
+  const KeyFileData kf = decode_key_file(*key_bytes);
+
+  // The daemon-issued key opens daemon-encrypted content.
+  const Bytes payload = {'h', 'i', ' ', 'd', 'f', 'k', 'y'};
+  const Response enc = f.ok("encrypt " + hex_encode(payload));
+  EXPECT_EQ(enc.fields.at("bytes"), "7");
+  const auto ct_bytes = hex_decode(enc.fields.at("ct"));
+  ASSERT_TRUE(ct_bytes);
+  Reader r(*ct_bytes);
+  const ContentMessage msg = ContentMessage::deserialize(r, kf.sp.group);
+  r.expect_end();
+  EXPECT_EQ(open_content(kf.sp, kf.key, msg), payload);
+}
+
+TEST(RequestHandler, RevokeCutsTheKeyOffImmediately) {
+  HandlerFixture f;
+  const Response added = f.ok("add-user");
+  f.ok("add-user");  // a second user keeps the system non-trivial
+  const KeyFileData kf =
+      decode_key_file(*hex_decode(added.fields.at("key")));
+
+  const Response rev = f.ok("revoke " + added.fields.at("id"));
+  EXPECT_EQ(rev.fields.at("saturation"), "1/2");
+  // No period roll was needed, so no bundles — the public-key edit alone
+  // already excludes the revoked key from new broadcasts.
+  EXPECT_EQ(rev.fields.at("bundles"), "");
+
+  const Response enc = f.ok("encrypt 00ff");
+  const Bytes ct = *hex_decode(enc.fields.at("ct"));
+  Reader cr(ct);
+  const ContentMessage msg = ContentMessage::deserialize(cr, kf.sp.group);
+  EXPECT_THROW(open_content(kf.sp, kf.key, msg), Error);
+
+  const Response st = f.ok("status");
+  EXPECT_EQ(st.fields.at("active"), "1");
+  EXPECT_EQ(st.fields.at("revoked"), "1");
+}
+
+TEST(RequestHandler, SaturatingRevokeRollsThePeriodAndReturnsBundles) {
+  HandlerFixture f;
+  const Response added = f.ok("add-user");
+  f.ok("add-user");
+  f.ok("add-user");
+  const KeyFileData kf =
+      decode_key_file(*hex_decode(added.fields.at("key")));
+
+  // v = 2, so revoking three users forces a New-period mid-batch; its
+  // signed bundle comes back comma-separated in the response.
+  const Response rev = f.ok("revoke 0 1 2");
+  const std::string& csv = rev.fields.at("bundles");
+  ASSERT_FALSE(csv.empty());
+  const std::string first = csv.substr(0, csv.find(','));
+  const Bytes bundle = *hex_decode(first);
+  Reader r(bundle);
+  (void)SignedResetBundle::deserialize(r, kf.sp.group);
+  r.expect_end();
+  EXPECT_EQ(rev.fields.at("period"), "1");
+}
+
+TEST(RequestHandler, NewPeriodAdvancesAndReturnsOneBundle) {
+  HandlerFixture f;
+  const Response r = f.ok("new-period");
+  EXPECT_EQ(r.fields.at("period"), "1");
+  EXPECT_EQ(r.fields.at("saturation"), "0/2");
+  EXPECT_FALSE(r.fields.at("bundle").empty());
+}
+
+TEST(RequestHandler, MalformedRequestsGetErrNotCrashes) {
+  HandlerFixture f;
+  EXPECT_NE(f.err(""), "");
+  EXPECT_NE(f.err("frobnicate"), "");
+  EXPECT_NE(f.err("revoke"), "");
+  EXPECT_NE(f.err("revoke banana"), "");
+  EXPECT_NE(f.err("revoke -5"), "");
+  EXPECT_NE(f.err("revoke 18446744073709551616"), "");
+  EXPECT_NE(f.err("revoke 404"), "");       // unknown user: Error -> err
+  EXPECT_NE(f.err("encrypt zz"), "");
+  EXPECT_NE(f.err("encrypt"), "");
+  EXPECT_NE(f.err("add-user extra-arg"), "");
+  // The handler survived all of it.
+  f.ok("status");
+}
+
+TEST(RequestHandler, ShutdownAcksAndSignals) {
+  HandlerFixture f;
+  const RequestHandler::Result res = f.handler.handle("shutdown");
+  EXPECT_EQ(res.response, "ok");
+  EXPECT_TRUE(res.shutdown);
+  EXPECT_FALSE(f.handler.handle("status").shutdown);
+}
+
+TEST(RequestHandler, OverlongLineIsRejectedUpFront) {
+  HandlerFixture f;
+  const std::string huge(kMaxLineBytes + 1, 'a');
+  const RequestHandler::Result res = f.handler.handle(huge);
+  EXPECT_TRUE(res.response.starts_with("err "));
+}
+
+}  // namespace
+}  // namespace dfky::daemon

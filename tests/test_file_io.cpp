@@ -7,6 +7,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include <unistd.h>
+
 #include "store/file_io.h"
 
 namespace dfky {
@@ -217,6 +219,69 @@ TEST(FaultyFileIo, NoFaultsMeansTransparentPassThrough) {
   EXPECT_EQ(io.fault_counters().bitflips, 0u);
   EXPECT_EQ(io.fault_counters().mutating_ops, 4u);
   EXPECT_EQ(io.fault_counters().reads, 1u);
+}
+
+TEST(MemFileIo, LockIsExclusiveUntilUnlocked) {
+  MemFileIo fs;
+  fs.mkdir("d");
+  std::uint64_t holder = 0;
+  ASSERT_TRUE(fs.lock("d/LOCK", nullptr));
+  EXPECT_FALSE(fs.lock("d/LOCK", &holder));
+  EXPECT_EQ(holder, static_cast<std::uint64_t>(::getpid()));
+  fs.unlock("d/LOCK");
+  EXPECT_TRUE(fs.lock("d/LOCK", nullptr));
+}
+
+TEST(MemFileIo, LockNeedsTheParentDirectory) {
+  MemFileIo fs;
+  EXPECT_THROW(fs.lock("nodir/LOCK", nullptr), IoError);
+}
+
+TEST(MemFileIo, CrashDropsHeldLocks) {
+  // flock locks die with the process; a post-crash reopen must succeed.
+  MemFileIo fs;
+  fs.mkdir("d");
+  ASSERT_TRUE(fs.lock("d/LOCK", nullptr));
+  fs.fsync_file("d/LOCK");
+  fs.fsync_dir("d");
+  fs.fsync_dir("");
+  fs.crash();
+  EXPECT_TRUE(fs.lock("d/LOCK", nullptr));
+}
+
+TEST(FaultyFileIo, LockForwardsWithoutCountingAsMutation) {
+  // Locking is a liveness primitive, not a durability one: it must not
+  // shift the crash-matrix op indices.
+  MemFileIo fs;
+  fs.mkdir("d");
+  FaultyFileIo io(fs, FilePlan{});
+  ASSERT_TRUE(io.lock("d/LOCK", nullptr));
+  std::uint64_t holder = 0;
+  EXPECT_FALSE(io.lock("d/LOCK", &holder));
+  EXPECT_EQ(holder, static_cast<std::uint64_t>(::getpid()));
+  io.unlock("d/LOCK");
+  EXPECT_EQ(io.fault_counters().mutating_ops, 0u);
+}
+
+TEST(RealFileIo, LockIsExclusivePerProcessAndRecordsThePid) {
+  char tmpl[] = "/tmp/dfky_fio_lock_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string path = std::string(tmpl) + "/LOCK";
+  RealFileIo io;
+  ASSERT_TRUE(io.lock(path, nullptr));
+  // Same handle: re-locking our own lock reports ourselves as the holder.
+  std::uint64_t holder = 0;
+  EXPECT_FALSE(io.lock(path, &holder));
+  EXPECT_EQ(holder, static_cast<std::uint64_t>(::getpid()));
+  // The lock file carries the pid in text form for diagnostics.
+  const Bytes content = io.read(path);
+  EXPECT_EQ(std::string(content.begin(), content.end()),
+            std::to_string(::getpid()) + "\n");
+  io.unlock(path);
+  EXPECT_TRUE(io.lock(path, nullptr));
+  io.unlock(path);
+  io.remove(path);
+  ASSERT_EQ(::rmdir(tmpl), 0);
 }
 
 TEST(FileIoHelpers, DirnameOf) {

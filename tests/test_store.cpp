@@ -2,6 +2,10 @@
 // recovery, the full crash-point matrix, and dfky_fsck semantics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include <unistd.h>
+
 #include "core/receiver.h"
 #include "core/scheme.h"
 #include "rng/chacha_rng.h"
@@ -169,7 +173,8 @@ TEST(StateStore, SnapshotRotationLeavesExactlyOneGeneration) {
   const std::string wal =
       StateStore::kWalPrefix + std::to_string(store.generation());
   EXPECT_EQ(fs.list("store"),
-            (std::vector<std::string>{snap, StateStore::kKeyFile, wal}));
+            (std::vector<std::string>{StateStore::kLockFile, snap,
+                                      StateStore::kKeyFile, wal}));
 
   store.snapshot();  // explicit rotation resets the WAL
   EXPECT_EQ(store.wal_records(), 0u);
@@ -209,11 +214,13 @@ TEST(StateStore, GarbageTailIsTruncatedAndReported) {
   fs.fsync_file("store/wal.0");
   fs.fsync_dir("store");
 
-  StateStore recovered = StateStore::open(fs, "store", f.opts);
-  EXPECT_EQ(recovered.manager().save_state(), f.op_states[0]);
-  EXPECT_EQ(recovered.recovery_report().replayed_records, 1u);
-  EXPECT_EQ(recovered.recovery_report().truncated_bytes, 37u);
-  EXPECT_GE(recovered.recovery_report().truncated_records, 1u);
+  {
+    StateStore recovered = StateStore::open(fs, "store", f.opts);
+    EXPECT_EQ(recovered.manager().save_state(), f.op_states[0]);
+    EXPECT_EQ(recovered.recovery_report().replayed_records, 1u);
+    EXPECT_EQ(recovered.recovery_report().truncated_bytes, 37u);
+    EXPECT_GE(recovered.recovery_report().truncated_records, 1u);
+  }  // release the store lock: opens are exclusive
   // The truncation is itself durable: a second open is clean.
   StateStore again = StateStore::open(fs, "store", f.opts);
   EXPECT_EQ(again.recovery_report().truncated_bytes, 0u);
@@ -354,6 +361,175 @@ TEST(StateStore, CrashMatrixRecoversAPrefixAtEveryCrashPoint) {
     const Ciphertext ct =
         encrypt(mgr.params(), mgr.public_key(), m, enc_rng);
     EXPECT_EQ(survivor.decrypt(ct), m) << "crash_at " << crash_at;
+  }
+}
+
+TEST(StateStore, SecondOpenIsLockedOutWithoutTouchingTheStore) {
+  const ScriptFixture& f = fixture();
+  MemFileIo fs = f.base_fs;
+  StateStore store = StateStore::open(fs, "store", f.opts);
+  const Bytes wal_before = fs.read("store/wal.0");
+  try {
+    StateStore second = StateStore::open(fs, "store", f.opts);
+    FAIL() << "second open must throw StoreLockedError";
+  } catch (const StoreLockedError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("is locked by pid"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(std::to_string(::getpid())), std::string::npos) << msg;
+  }
+  // The loser backed off before reading or writing any store state.
+  EXPECT_EQ(fs.read("store/wal.0"), wal_before);
+
+  // Releasing the winner (here: via move, then destruction) frees the lock.
+  { StateStore moved = std::move(store); }
+  StateStore third = StateStore::open(fs, "store", f.opts);
+  EXPECT_EQ(third.manager().save_state(), f.initial_state);
+}
+
+TEST(StateStore, CreateIsAlsoLockedOut) {
+  const ScriptFixture& f = fixture();
+  MemFileIo fs = f.base_fs;
+  StateStore store = StateStore::open(fs, "store", f.opts);
+  ChaChaRng rng(5);
+  SecurityManager mgr(test::test_params(2), rng);
+  EXPECT_THROW(StateStore::create(fs, "store", std::move(mgr), rng, f.opts),
+               StoreLockedError);
+}
+
+TEST(StateStore, ProcessDeathReleasesTheLock) {
+  // flock state dies with the holder: a power cut (or SIGKILL) must leave
+  // the directory openable even though the LOCK file is still there.
+  const ScriptFixture& f = fixture();
+  MemFileIo fs = f.base_fs;
+  StateStore store = StateStore::open(fs, "store", f.opts);
+  MemFileIo cut = fs;  // disk image taken while the lock is held
+  cut.crash();
+  StateStore recovered = StateStore::open(cut, "store", f.opts);
+  EXPECT_EQ(recovered.manager().save_state(), f.initial_state);
+}
+
+TEST(StateStore, BatchedCommitsDeferDurabilityUntilSync) {
+  const ScriptFixture& f = fixture();
+  MemFileIo fs = f.base_fs;
+  StateStore store = StateStore::open(fs, "store", f.opts);
+  ChaChaRng rng(kScriptSeed);
+  script_base_manager(rng);
+
+  store.set_batching(true);
+  const std::size_t wal_before = fs.read("store/wal.0").size();
+  store.add_user(rng);
+  store.add_user(rng);
+  EXPECT_EQ(store.unsynced_records(), 2u);
+  EXPECT_EQ(fs.read("store/wal.0").size(), wal_before)
+      << "staged records must not reach the file before sync()";
+  {
+    // Nothing was acknowledged yet, so losing both records is correct.
+    MemFileIo cut = fs;
+    cut.crash();
+    StateStore lost = StateStore::open(cut, "store", f.opts);
+    EXPECT_EQ(lost.manager().save_state(), f.initial_state);
+  }
+
+  store.sync();
+  EXPECT_EQ(store.unsynced_records(), 0u);
+  EXPECT_GT(fs.read("store/wal.0").size(), wal_before);
+  MemFileIo cut = fs;
+  cut.crash();
+  StateStore recovered = StateStore::open(cut, "store", f.opts);
+  EXPECT_EQ(recovered.manager().save_state(), f.op_states[1]);
+  EXPECT_EQ(recovered.recovery_report().replayed_records, 2u);
+}
+
+TEST(StateStore, TurningBatchingOffFlushesPendingRecords) {
+  const ScriptFixture& f = fixture();
+  MemFileIo fs = f.base_fs;
+  StateStore store = StateStore::open(fs, "store", f.opts);
+  ChaChaRng rng(kScriptSeed);
+  script_base_manager(rng);
+  store.set_batching(true);
+  store.add_user(rng);
+  store.set_batching(false);
+  EXPECT_EQ(store.unsynced_records(), 0u);
+  MemFileIo cut = fs;
+  cut.crash();
+  StateStore recovered = StateStore::open(cut, "store", f.opts);
+  EXPECT_EQ(recovered.manager().save_state(), f.op_states[0]);
+}
+
+// The group-commit crash matrix: the script runs in three batches (a
+// sync() after ops 1, 3 and 5), and the process-model is killed at EVERY
+// mutating I/O boundary — including inside a batch's single multi-record
+// append. Recovery must land on a record-granular prefix that contains
+// every mutation whose covering sync() returned; fsck must pass.
+TEST(StateStore, GroupCommitCrashMatrixKeepsEveryAckedBatch) {
+  const ScriptFixture& f = fixture();
+  constexpr std::size_t kSyncAfter[] = {1, 3, 5};
+  const auto is_sync_point = [&](std::size_t op) {
+    return std::find(std::begin(kSyncAfter), std::end(kSyncAfter), op) !=
+           std::end(kSyncAfter);
+  };
+
+  // I/O ops of a crash-free batched run.
+  std::uint64_t total_ops = 0;
+  {
+    MemFileIo fs = f.base_fs;
+    FaultyFileIo io(fs, FilePlan{});
+    StateStore store = StateStore::open(io, "store", f.opts);
+    ChaChaRng rng(kScriptSeed);
+    script_base_manager(rng);
+    store.set_batching(true);
+    std::size_t op = 0;
+    run_script(store, rng, [&] {
+      if (is_sync_point(op)) store.sync();
+      ++op;
+    });
+    store.set_batching(false);
+    total_ops = io.fault_counters().mutating_ops;
+  }
+  ASSERT_GT(total_ops, 0u);
+
+  for (std::uint64_t crash_at = 0; crash_at < total_ops; ++crash_at) {
+    MemFileIo fs = f.base_fs;
+    FilePlan plan;
+    plan.seed = 9000 + crash_at;
+    plan.crash_at = crash_at;
+    FaultyFileIo io(fs, plan);
+
+    std::size_t acked_ops = 0;  // ops covered by a completed sync()
+    bool crashed = false;
+    try {
+      StateStore store = StateStore::open(io, "store", f.opts);
+      ChaChaRng rng(kScriptSeed);
+      script_base_manager(rng);
+      store.set_batching(true);
+      std::size_t op = 0;
+      run_script(store, rng, [&] {
+        if (is_sync_point(op)) {
+          store.sync();
+          acked_ops = op + 1;
+        }
+        ++op;
+      });
+      store.set_batching(false);
+    } catch (const CrashPoint&) {
+      crashed = true;
+    }
+    ASSERT_TRUE(crashed) << "crash_at " << crash_at;
+
+    fs.crash();
+    StateStore recovered = StateStore::open(fs, "store", f.opts);
+    const Bytes state = recovered.manager().save_state();
+    const std::size_t idx = state_index(f, state);
+    ASSERT_NE(idx, static_cast<std::size_t>(-1))
+        << "crash_at " << crash_at
+        << ": recovered state is not a record-prefix of the script";
+    const std::size_t min_records =
+        acked_ops == 0 ? 0 : f.records_after_op[acked_ops - 1];
+    EXPECT_GE(idx, min_records)
+        << "crash_at " << crash_at << ": an acknowledged batch was lost";
+
+    const FsckReport fsck = fsck_store(fs, "store", /*repair=*/false);
+    EXPECT_TRUE(fsck.ok) << "crash_at " << crash_at;
   }
 }
 

@@ -29,6 +29,7 @@
 // scripted session (counters sum, gauges last-write-wins, histogram buckets
 // add) and prints a summary or Prometheus text; `--since <unix-ts>` keeps
 // only the snapshots stamped at or after the given time.
+#include <cerrno>
 #include <ctime>
 #include <cstdio>
 #include <cstring>
@@ -39,10 +40,16 @@
 #include <string>
 #include <vector>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include "broadcast/bus.h"
 #include "core/content.h"
+#include "core/keyfile.h"
 #include "core/manager.h"
 #include "core/receiver.h"
+#include "daemon/protocol.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "rng/system_rng.h"
@@ -55,9 +62,31 @@ using namespace dfky;
 
 namespace {
 
+void usage(std::FILE* to);
+
 [[noreturn]] void die(const std::string& msg) {
   std::cerr << "dfky_cli: " << msg << "\n";
   std::exit(1);
+}
+
+/// Malformed command line (as opposed to a failing operation): usage text
+/// on stderr and exit code 2, so scripts can tell the two apart.
+[[noreturn]] void die_usage(const std::string& msg) {
+  std::cerr << "dfky_cli: " << msg << "\n";
+  usage(stderr);
+  std::exit(2);
+}
+
+/// Strict numeric argv parsing — std::stoul would accept "-5" (wrapping),
+/// " 8" and "8junk", and throws on overflow; parse_u64 rejects them all.
+std::uint64_t parse_count(const std::string& cmd, const std::string& what,
+                          const std::string& s) {
+  const std::optional<std::uint64_t> v = daemon::parse_u64(s);
+  if (!v) {
+    die_usage(cmd + ": " + what + " expects an unsigned integer, got '" + s +
+              "'");
+  }
+  return *v;
 }
 
 Bytes read_file(const std::string& path) {
@@ -74,79 +103,18 @@ void write_file(const std::string& path, BytesView data) {
             static_cast<std::streamsize>(data.size()));
 }
 
-// ---- public environment (group + generators + v), shared by key files -------
+// ---- key files (format shared with dfkyd — see core/keyfile.h) ---------------
 
-void put_env(Writer& w, const SystemParams& sp) {
-  w.put_u8(sp.group.is_elliptic() ? 1 : 0);
-  if (sp.group.is_elliptic()) {
-    const CurveSpec& c = sp.group.curve();
-    put_bigint(w, c.p);
-    put_bigint(w, c.a);
-    put_bigint(w, c.b);
-    put_bigint(w, c.q);
-    put_bigint(w, c.gx);
-    put_bigint(w, c.gy);
-  } else {
-    put_bigint(w, sp.group.p());
-    put_bigint(w, sp.group.order());
-    put_bigint(w, sp.group.params().g);
-  }
-  put_gelt(w, sp.group, sp.g);
-  put_gelt(w, sp.group, sp.g2);
-  w.put_u64(sp.v);
-}
-
-SystemParams get_env(Reader& r) {
-  const std::uint8_t kind = r.get_u8();
-  std::optional<Group> group;
-  if (kind == 1) {
-    CurveSpec c;
-    c.p = get_bigint(r);
-    c.a = get_bigint(r);
-    c.b = get_bigint(r);
-    c.q = get_bigint(r);
-    c.gx = get_bigint(r);
-    c.gy = get_bigint(r);
-    group.emplace(c);
-  } else if (kind == 0) {
-    GroupParams gp;
-    gp.p = get_bigint(r);
-    gp.q = get_bigint(r);
-    gp.g = get_bigint(r);
-    group.emplace(gp);
-  } else {
-    throw DecodeError("bad group kind");
-  }
-  SystemParams sp{*group, Gelt(), Gelt(), 0};
-  sp.g = get_gelt(r, *group);
-  sp.g2 = get_gelt(r, *group);
-  sp.v = r.get_u64();
-  return sp;
-}
-
-struct KeyFile {
-  SystemParams sp;
-  Gelt manager_vk;
-  UserKey key;
-};
+using KeyFile = KeyFileData;
 
 void write_key_file(const std::string& path, const SecurityManager& mgr,
                     const UserKey& key) {
-  Writer w;
-  put_env(w, mgr.params());
-  put_gelt(w, mgr.params().group, mgr.verification_key());
-  key.serialize(w);
-  write_file(path, w.bytes());
+  write_file(path,
+             encode_key_file(mgr.params(), mgr.verification_key(), key));
 }
 
 KeyFile read_key_file(const std::string& path) {
-  const Bytes raw = read_file(path);
-  Reader r(raw);
-  SystemParams sp = get_env(r);
-  Gelt vk = get_gelt(r, sp.group);
-  UserKey key = UserKey::deserialize(r);
-  r.expect_end();
-  return KeyFile{std::move(sp), std::move(vk), std::move(key)};
+  return decode_key_file(read_file(path));
 }
 
 RealFileIo& real_io() {
@@ -179,6 +147,9 @@ StateHandle load_state(const std::string& path) {
   if (real_io().is_dir(path)) {
     try {
       h.store.emplace(StateStore::open(real_io(), path));
+    } catch (const StoreLockedError& e) {
+      die(std::string(e.what()) +
+          " — use `dfky_cli client` to talk to the daemon that holds it");
     } catch (const Error& e) {
       die("state store '" + path + "' is corrupt or unreadable: " + e.what() +
           " — run `dfky_fsck " + path + "` for a diagnosis");
@@ -245,8 +216,8 @@ int cmd_init(std::vector<std::string> args) {
   if (args.empty()) die("init: missing state file");
   const std::string state_path = args[0];
   args.erase(args.begin());
-  const std::size_t v =
-      std::stoul(flag_value(args, "--v").value_or("8"));
+  const std::size_t v = static_cast<std::size_t>(
+      parse_count("init", "--v", flag_value(args, "--v").value_or("8")));
   const std::string group_name =
       flag_value(args, "--group").value_or("sec512");
   bool as_store = false;
@@ -346,7 +317,9 @@ int cmd_revoke(std::vector<std::string> args) {
       flag_value(args, "--reset-out").value_or("reset");
   reject_unknown_flags(args, "revoke");
   std::vector<std::uint64_t> ids;
-  for (const std::string& a : args) ids.push_back(std::stoull(a));
+  for (const std::string& a : args) {
+    ids.push_back(parse_count("revoke", "user id", a));
+  }
   StateHandle h = load_state(state_path);
   SystemRng rng;
   const auto bundles = h.is_store() ? h.store->remove_users(ids, rng)
@@ -443,11 +416,7 @@ int cmd_apply_reset(std::vector<std::string> args) {
           std::to_string(bundle.reset.new_period) + ")");
   }
   // Rewrite the key file with the updated key.
-  Writer w;
-  put_env(w, kf.sp);
-  put_gelt(w, kf.sp.group, kf.manager_vk);
-  receiver.key().serialize(w);
-  write_file(args[0], w.bytes());
+  write_file(args[0], encode_key_file(kf.sp, kf.manager_vk, receiver.key()));
   std::printf("key updated to period %llu\n",
               static_cast<unsigned long long>(receiver.period()));
   return 0;
@@ -497,6 +466,181 @@ int cmd_trace(std::vector<std::string> args) {
   }
   std::printf("\n");
   return 0;
+}
+
+// ---- talking to a live dfkyd --------------------------------------------------
+
+/// One request/response round over the daemon's unix socket.
+std::string daemon_request(const std::string& socket_path,
+                           const std::string& line) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) die("client: socket: " + std::string(std::strerror(errno)));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof addr.sun_path) {
+    ::close(fd);
+    die("client: socket path too long: " + socket_path);
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    die("client: cannot connect to " + socket_path + ": " + err +
+        " (is dfkyd running?)");
+  }
+  const std::string req = line + "\n";
+  std::size_t off = 0;
+  while (off < req.size()) {
+    const ssize_t n = ::send(fd, req.data() + off, req.size() - off, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      ::close(fd);
+      die("client: send: " + std::string(std::strerror(errno)));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  std::string resp;
+  char buf[1 << 16];
+  while (resp.find('\n') == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t nl = resp.find('\n');
+  if (nl == std::string::npos) {
+    die("client: daemon closed the connection before responding");
+  }
+  return resp.substr(0, nl);
+}
+
+daemon::Response expect_ok(const std::string& raw) {
+  const std::optional<daemon::Response> r = daemon::parse_response(raw);
+  if (!r) die("client: malformed daemon response: " + raw);
+  if (!r->ok) die("client: daemon error: " + r->error);
+  return *r;
+}
+
+const std::string& response_field(const daemon::Response& r,
+                                  const std::string& key) {
+  const auto it = r.fields.find(key);
+  if (it == r.fields.end()) {
+    die("client: daemon response is missing field '" + key + "'");
+  }
+  return it->second;
+}
+
+Bytes decode_blob_field(const daemon::Response& r, const std::string& key) {
+  const std::optional<Bytes> b = daemon::hex_decode(response_field(r, key));
+  if (!b) die("client: daemon field '" + key + "' is not hex");
+  return *b;
+}
+
+/// Writes the hex bundles of a `revoke`/`new-period` response as
+/// `<prefix>.<i>.bin`, the same naming the offline commands use, so
+/// `apply-reset` works on either path.
+std::size_t write_bundles_csv(const std::string& csv,
+                              const std::string& prefix) {
+  std::size_t count = 0;
+  std::size_t start = 0;
+  while (start < csv.size()) {
+    std::size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::optional<Bytes> bundle =
+        daemon::hex_decode(std::string_view(csv).substr(start, comma - start));
+    if (!bundle) die("client: daemon bundle is not hex");
+    const std::string path = prefix + "." + std::to_string(count) + ".bin";
+    write_file(path, *bundle);
+    std::printf("period change -> %s (%zu bytes)\n", path.c_str(),
+                bundle->size());
+    ++count;
+    start = comma + 1;
+  }
+  return count;
+}
+
+int cmd_client(std::vector<std::string> args) {
+  if (args.size() < 2) {
+    die_usage(
+        "client: usage: client <socket> "
+        "(ping|status|add|revoke|new-period|encrypt|shutdown) ...");
+  }
+  const std::string sock = args[0];
+  const std::string sub = args[1];
+  args.erase(args.begin(), args.begin() + 2);
+
+  if (sub == "ping" || sub == "status") {
+    reject_unknown_flags(args, "client " + sub);
+    const daemon::Response r =
+        expect_ok(daemon_request(sock, sub == "ping" ? "ping" : "status"));
+    for (const auto& [k, v] : r.fields) {
+      std::printf("%s: %s\n", k.c_str(), v.c_str());
+    }
+    return 0;
+  }
+  if (sub == "shutdown") {
+    reject_unknown_flags(args, "client shutdown");
+    expect_ok(daemon_request(sock, "shutdown"));
+    std::printf("daemon acknowledged shutdown\n");
+    return 0;
+  }
+  if (sub == "add") {
+    reject_unknown_flags(args, "client add");
+    if (args.size() != 1) {
+      die_usage("client: usage: client <socket> add <key-out>");
+    }
+    const daemon::Response r = expect_ok(daemon_request(sock, "add-user"));
+    write_file(args[0], decode_blob_field(r, "key"));
+    std::printf("added user #%s -> %s\n", response_field(r, "id").c_str(),
+                args[0].c_str());
+    return 0;
+  }
+  if (sub == "revoke") {
+    const std::string reset_prefix =
+        flag_value(args, "--reset-out").value_or("reset");
+    reject_unknown_flags(args, "client revoke");
+    if (args.empty()) {
+      die_usage(
+          "client: usage: client <socket> revoke <id...> [--reset-out P]");
+    }
+    std::string req = "revoke";
+    for (const std::string& a : args) {
+      req += " " + std::to_string(parse_count("client revoke", "user id", a));
+    }
+    const daemon::Response r = expect_ok(daemon_request(sock, req));
+    std::printf("revoked %zu user(s); saturation %s, period %s\n", args.size(),
+                response_field(r, "saturation").c_str(),
+                response_field(r, "period").c_str());
+    write_bundles_csv(response_field(r, "bundles"), reset_prefix);
+    return 0;
+  }
+  if (sub == "new-period") {
+    const std::string reset_prefix =
+        flag_value(args, "--reset-out").value_or("reset");
+    reject_unknown_flags(args, "client new-period");
+    const daemon::Response r = expect_ok(daemon_request(sock, "new-period"));
+    std::printf("advanced to period %s; saturation %s\n",
+                response_field(r, "period").c_str(),
+                response_field(r, "saturation").c_str());
+    write_bundles_csv(response_field(r, "bundle"), reset_prefix);
+    return 0;
+  }
+  if (sub == "encrypt") {
+    reject_unknown_flags(args, "client encrypt");
+    if (args.size() != 2) {
+      die_usage("client: usage: client <socket> encrypt <payload> <out>");
+    }
+    const Bytes payload = read_file(args[0]);
+    const daemon::Response r = expect_ok(
+        daemon_request(sock, "encrypt " + daemon::hex_encode(payload)));
+    const Bytes ct = decode_blob_field(r, "ct");
+    write_file(args[1], ct);
+    std::printf("encrypted %zu bytes -> %s (%zu bytes on the wire)\n",
+                payload.size(), args[1].c_str(), ct.size());
+    return 0;
+  }
+  die_usage("client: unknown daemon command '" + sub + "'");
 }
 
 // ---- metrics snapshots and the stats subcommand -------------------------------
@@ -732,11 +876,8 @@ int cmd_stats(std::vector<std::string> args) {
   const std::string format = flag_value(args, "--format").value_or("summary");
   std::optional<double> since;
   if (const auto s = flag_value(args, "--since")) {
-    try {
-      since = std::stod(*s);
-    } catch (const std::exception&) {
-      die("stats: --since expects a unix timestamp, got '" + *s + "'");
-    }
+    since = static_cast<double>(
+        parse_count("stats", "--since (a unix timestamp)", *s));
   }
   reject_unknown_flags(args, "stats");
   if (args.empty()) {
@@ -768,6 +909,9 @@ void usage(std::FILE* to) {
       "  pirate <state> <rep-out> <key...>     (demo) forge a pirate key\n"
       "  trace <state> <rep-file>              trace a pirate key\n"
       "  stats <metrics-file> [--format summary|prom] [--since TS]\n"
+      "  client <socket> <cmd> ...             talk to a running dfkyd\n"
+      "      ping | status | add <key-out> | revoke <id...> [--reset-out P]\n"
+      "      | new-period [--reset-out P] | encrypt <payload> <out> | shutdown\n"
       "  help                                  this text\n"
       "\n"
       "<state> is a store directory (init --store: WAL + snapshots, every\n"
@@ -808,6 +952,7 @@ int main(int argc, char** argv) {
     else if (cmd == "pirate") rc = cmd_pirate(std::move(args));
     else if (cmd == "trace") rc = cmd_trace(std::move(args));
     else if (cmd == "stats") rc = cmd_stats(std::move(args));
+    else if (cmd == "client") rc = cmd_client(std::move(args));
   } catch (const Error& e) {
     die(e.what());
   } catch (const std::exception& e) {

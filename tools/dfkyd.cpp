@@ -1,0 +1,94 @@
+// dfkyd — serve one store directory over a unix socket (DESIGN.md Sect. 10).
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "daemon/daemon.h"
+#include "daemon/protocol.h"
+
+namespace {
+
+int usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: dfkyd <store-dir> --socket PATH [--metrics-port N]\n"
+               "             [--snapshot-every N]\n"
+               "\n"
+               "Serves the store over a newline protocol (see dfky_cli\n"
+               "client). --metrics-port 0 binds an ephemeral loopback port\n"
+               "for GET /metrics; omit the flag to disable metrics.\n");
+  return out == stdout ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using dfky::daemon::parse_u64;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  dfky::daemon::DaemonOptions opts;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--help" || a == "-h") return usage(stdout);
+    if (a == "--socket" || a == "--metrics-port" || a == "--snapshot-every") {
+      if (i + 1 == args.size()) {
+        std::fprintf(stderr, "dfkyd: %s needs a value\n", a.c_str());
+        return usage(stderr);
+      }
+      const std::string& v = args[++i];
+      if (a == "--socket") {
+        opts.socket_path = v;
+        continue;
+      }
+      const auto n = parse_u64(v);
+      if (!n) {
+        std::fprintf(stderr, "dfkyd: %s: '%s' is not an unsigned integer\n",
+                     a.c_str(), v.c_str());
+        return usage(stderr);
+      }
+      if (a == "--metrics-port") {
+        if (*n > 65535) {
+          std::fprintf(stderr, "dfkyd: --metrics-port: %s is not a port\n",
+                       v.c_str());
+          return usage(stderr);
+        }
+        opts.metrics_port = static_cast<int>(*n);
+      } else {
+        if (*n == 0) {
+          std::fprintf(stderr, "dfkyd: --snapshot-every must be positive\n");
+          return usage(stderr);
+        }
+        opts.store.snapshot_every = static_cast<std::size_t>(*n);
+      }
+      continue;
+    }
+    if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "dfkyd: unknown flag %s\n", a.c_str());
+      return usage(stderr);
+    }
+    if (!opts.store_dir.empty()) {
+      std::fprintf(stderr, "dfkyd: more than one store directory given\n");
+      return usage(stderr);
+    }
+    opts.store_dir = a;
+  }
+  if (opts.store_dir.empty() || opts.socket_path.empty()) {
+    std::fprintf(stderr, "dfkyd: a store directory and --socket are required\n");
+    return usage(stderr);
+  }
+
+  try {
+    dfky::daemon::Daemon daemon(std::move(opts));
+    return daemon.run();
+  } catch (const dfky::StoreLockedError& e) {
+    std::fprintf(stderr, "dfkyd: %s\n", e.what());
+    return 1;
+  } catch (const dfky::Error& e) {
+    std::fprintf(stderr, "dfkyd: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dfkyd: internal error: %s\n", e.what());
+    return 1;
+  }
+}
