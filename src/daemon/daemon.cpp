@@ -10,6 +10,7 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -228,11 +229,47 @@ void close_fd(int& fd) {
   std::exit(1);
 }
 
+/// One /metrics connection, served on its own short-lived detached thread
+/// so a stalled scraper can never wedge the accept loop (the fd carries
+/// recv/send timeouts set by the acceptor). Touches only process-global
+/// state — it must not reference the Daemon, which may be torn down while
+/// a slow scraper drains.
+void serve_metrics_conn(int fd) {
+  char req[2048];
+  const ssize_t n = ::recv(fd, req, sizeof req - 1, 0);
+  const std::string request(req, n > 0 ? static_cast<std::size_t>(n) : 0);
+  std::string status = "200 OK";
+  std::string body;
+  if (request.starts_with("GET /metrics") || request.starts_with("GET / ")) {
+    body = obs::MetricsRegistry::instance().prometheus();
+    if (!obs::enabled()) body = "# dfky observability layer compiled out\n";
+    DFKY_OBS(obs::counter("dfkyd_metrics_scrapes_total").inc(););
+  } else {
+    status = "404 Not Found";
+    body = "not found\n";
+  }
+  char head[256];
+  std::snprintf(head, sizeof head,
+                "HTTP/1.0 %s\r\n"
+                "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                "Content-Length: %zu\r\n"
+                "Connection: close\r\n\r\n",
+                status.c_str(), body.size());
+  send_all(fd, head);
+  send_all(fd, body);
+  ::close(fd);
+}
+
 }  // namespace
 
 Daemon::Daemon(DaemonOptions opts) : opts_(std::move(opts)) {
   store_.emplace(StateStore::open(io_, opts_.store_dir, opts_.store));
-  commits_.emplace(*store_, state_mu_);
+  commits_.emplace(*store_, state_mu_, [this] {
+    // Committer thread: a batch's sync failed, the store is poisoned.
+    // Fail-stop — ack nothing more, shut down, let a restart recover.
+    std::fprintf(stderr, "dfkyd: commit sync failed; shutting down\n");
+    request_stop();
+  });
   handler_.emplace(*store_, *commits_, state_mu_, rng_);
 }
 
@@ -243,7 +280,7 @@ Daemon::~Daemon() {
 
 void Daemon::request_stop() {
   stopping_.store(true);
-  const int fd = wake_fd_;
+  const int fd = wake_fd_.load();
   if (fd >= 0) {
     const char b = 1;
     [[maybe_unused]] const ssize_t n = ::write(fd, &b, 1);
@@ -254,8 +291,8 @@ int Daemon::run() {
   int pipefd[2];
   if (::pipe(pipefd) != 0) die("pipe");
   int wake_read = pipefd[0];
-  wake_fd_ = pipefd[1];
-  g_wake_fd.store(wake_fd_);
+  wake_fd_.store(pipefd[1]);
+  g_wake_fd.store(pipefd[1]);
 
   struct sigaction sa{};
   sa.sa_handler = on_signal;
@@ -337,7 +374,15 @@ int Daemon::run() {
     }
     if (nfds == 3 && (fds[2].revents & POLLIN)) {
       const int mfd = ::accept4(metrics_fd_, nullptr, nullptr, SOCK_CLOEXEC);
-      if (mfd >= 0) serve_metrics(mfd);
+      if (mfd >= 0) {
+        // Timeouts bound the detached thread's lifetime; without them a
+        // scraper that connects and sends nothing would hold the thread
+        // (and, if served inline, the whole daemon) hostage.
+        timeval tv{.tv_sec = 2, .tv_usec = 0};
+        ::setsockopt(mfd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+        ::setsockopt(mfd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+        std::thread([mfd] { serve_metrics_conn(mfd); }).detach();
+      }
     }
   }
   stopping_.store(true);
@@ -356,20 +401,36 @@ int Daemon::run() {
     std::unique_lock lk(conns_mu_);
     conns_cv_.wait(lk, [&] { return active_conns_ == 0; });
   }
+  int rc = 0;
   handler_.reset();
-  commits_.reset();  // joins the committer; flushes anything staged
-  {
-    std::unique_lock state(state_mu_);
-    store_->snapshot();
+  const bool commit_failed = commits_->fatal();
+  commits_.reset();  // joins the committer; a poisoned store skips the flush
+  if (commit_failed) {
+    // Fail-stop shutdown: the last batch's durability is indeterminate;
+    // skip the final snapshot (the store refuses it anyway) and exit
+    // nonzero so supervisors restart us into recovery.
+    std::fprintf(stderr, "dfkyd: exiting after commit failure; "
+                         "restart recovers the durable prefix\n");
+    rc = 1;
+  } else {
+    try {
+      std::unique_lock state(state_mu_);
+      store_->snapshot();
+    } catch (const Error& e) {
+      std::fprintf(stderr, "dfkyd: final snapshot failed: %s\n", e.what());
+      rc = 1;
+    }
   }
   store_.reset();  // releases the LOCK file
   ::unlink(opts_.socket_path.c_str());
   g_wake_fd.store(-1);
   close_fd(wake_read);
-  close_fd(wake_fd_);
-  std::printf("dfkyd: shutdown complete\n");
+  const int wfd = wake_fd_.exchange(-1);
+  if (wfd >= 0) ::close(wfd);
+  std::printf("dfkyd: shutdown complete%s\n",
+              rc == 0 ? "" : " (after commit failure)");
   std::fflush(stdout);
-  return 0;
+  return rc;
 }
 
 void Daemon::conn_loop(int fd) {
@@ -404,32 +465,6 @@ void Daemon::conn_loop(int fd) {
   conn_fds_.erase(fd);
   --active_conns_;
   conns_cv_.notify_all();
-}
-
-void Daemon::serve_metrics(int fd) {
-  char req[2048];
-  const ssize_t n = ::recv(fd, req, sizeof req - 1, 0);
-  const std::string request(req, n > 0 ? static_cast<std::size_t>(n) : 0);
-  std::string status = "200 OK";
-  std::string body;
-  if (request.starts_with("GET /metrics") || request.starts_with("GET / ")) {
-    body = obs::MetricsRegistry::instance().prometheus();
-    if (!obs::enabled()) body = "# dfky observability layer compiled out\n";
-    DFKY_OBS(obs::counter("dfkyd_metrics_scrapes_total").inc(););
-  } else {
-    status = "404 Not Found";
-    body = "not found\n";
-  }
-  char head[256];
-  std::snprintf(head, sizeof head,
-                "HTTP/1.0 %s\r\n"
-                "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
-                "Content-Length: %zu\r\n"
-                "Connection: close\r\n\r\n",
-                status.c_str(), body.size());
-  send_all(fd, head);
-  send_all(fd, body);
-  ::close(fd);
 }
 
 }  // namespace dfky::daemon

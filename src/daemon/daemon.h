@@ -69,9 +69,11 @@ class Daemon {
   Daemon& operator=(const Daemon&) = delete;
 
   /// Binds the sockets, installs SIGINT/SIGTERM handlers, prints the
-  /// `dfkyd: ready` line and serves until a signal or `shutdown` request;
-  /// then drains connections, commits a final snapshot, releases the
-  /// store lock and removes the socket. Returns the process exit code.
+  /// `dfkyd: ready` line and serves until a signal, a `shutdown` request,
+  /// or a group-commit failure (fail-stop); then drains connections,
+  /// commits a final snapshot, releases the store lock and removes the
+  /// socket. Returns the process exit code (nonzero after a fail-stop or
+  /// a failed final snapshot).
   int run();
 
   /// The bound metrics port (resolves option 0); -1 when disabled.
@@ -79,7 +81,6 @@ class Daemon {
 
  private:
   void conn_loop(int fd);
-  void serve_metrics(int fd);
   void request_stop();
 
   DaemonOptions opts_;
@@ -93,7 +94,9 @@ class Daemon {
   int listen_fd_ = -1;
   int metrics_fd_ = -1;
   int metrics_port_ = -1;
-  int wake_fd_ = -1;  // write end of the signal self-pipe
+  // Write end of the signal self-pipe. Atomic: the group-commit thread's
+  // fail-stop callback writes to it concurrently with the main loop.
+  std::atomic<int> wake_fd_{-1};
   std::atomic<bool> stopping_{false};
 
   std::mutex conns_mu_;

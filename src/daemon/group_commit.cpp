@@ -4,8 +4,9 @@
 
 namespace dfky::daemon {
 
-GroupCommit::GroupCommit(StateStore& store, std::shared_mutex& state_mu)
-    : store_(store), state_mu_(state_mu) {
+GroupCommit::GroupCommit(StateStore& store, std::shared_mutex& state_mu,
+                         std::function<void()> on_fatal)
+    : store_(store), state_mu_(state_mu), on_fatal_(std::move(on_fatal)) {
   store_.set_batching(true);
   committer_ = std::thread([this] { committer_loop(); });
 }
@@ -17,13 +18,18 @@ GroupCommit::~GroupCommit() {
   }
   work_cv_.notify_all();
   committer_.join();
-  store_.set_batching(false);  // flushes anything a failed sync left staged
+  // Returns the store to fsync-per-mutation mode. On the normal path this
+  // flushes nothing (the committer drained the queue); after a fail-stop
+  // the store is poisoned and set_batching skips the flush, so mutations
+  // that were NACKed can never silently become durable here.
+  store_.set_batching(false);
 }
 
 void GroupCommit::run(const std::function<void()>& op) {
   Ticket ticket{&op, nullptr, false};
   {
     std::unique_lock lk(mu_);
+    if (fatal_) throw ContractError("group commit: store failed (fail-stop)");
     if (stop_) throw ContractError("group commit: shutting down");
     queue_.push_back(&ticket);
     work_cv_.notify_one();
@@ -41,6 +47,7 @@ void GroupCommit::committer_loop() {
       if (queue_.empty()) return;  // stop requested and fully drained
       batch.swap(queue_);
     }
+    bool sync_failed = false;
     {
       DFKY_OBS_TIMER(span, "dfkyd_commit_batch_ns");
       std::unique_lock state(state_mu_);
@@ -54,22 +61,48 @@ void GroupCommit::committer_loop() {
       try {
         store_.sync();
       } catch (...) {
-        // The fsync itself failed: nothing in this batch is acknowledged.
+        // The batch's fsync (or rotation) failed: nothing in this batch is
+        // acknowledged, and the store has poisoned itself against
+        // re-appending the staged frames. The batch's mutations are live
+        // in the in-memory manager though — serving on would let a later
+        // flush (or shutdown) silently commit NACKed state. Fail-stop:
+        // this thread exits, run() refuses new work, and the owner is
+        // told to shut down so a restart can recover the true prefix.
         const std::exception_ptr err = std::current_exception();
         for (Ticket* t : batch) {
           if (!t->error) t->error = err;
         }
+        sync_failed = true;
       }
     }
-    batches_.fetch_add(1, std::memory_order_relaxed);
-    committed_.fetch_add(batch.size(), std::memory_order_relaxed);
-    DFKY_OBS(obs::counter("dfkyd_commit_batches_total").inc();
-             obs::counter("dfkyd_commit_mutations_total").inc(batch.size()););
+    if (!sync_failed) {
+      batches_.fetch_add(1, std::memory_order_relaxed);
+      committed_.fetch_add(batch.size(), std::memory_order_relaxed);
+      DFKY_OBS(obs::counter("dfkyd_commit_batches_total").inc();
+               obs::counter("dfkyd_commit_mutations_total").inc(batch.size()););
+    } else {
+      // Before any submitter wakes to its NACK: by the time a client sees
+      // the error, the shutdown is already underway.
+      DFKY_OBS(obs::counter("dfkyd_commit_failures_total").inc(););
+      if (on_fatal_) on_fatal_();
+    }
     {
       std::lock_guard lk(mu_);
       for (Ticket* t : batch) t->done = true;
+      if (sync_failed) {
+        // Anything enqueued while the failed batch ran gets failed too —
+        // after fatal_ is set, run() rejects at the door.
+        fatal_ = true;
+        for (Ticket* t : queue_) {
+          t->error = std::make_exception_ptr(
+              ContractError("group commit: store failed (fail-stop)"));
+          t->done = true;
+        }
+        queue_.clear();
+      }
     }
     done_cv_.notify_all();
+    if (sync_failed) return;
   }
 }
 

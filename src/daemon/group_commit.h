@@ -30,10 +30,13 @@ namespace dfky::daemon {
 class GroupCommit {
  public:
   /// Puts `store` into batching mode for its lifetime; both references
-  /// must outlive the queue.
-  GroupCommit(StateStore& store, std::shared_mutex& state_mu);
+  /// must outlive the queue. `on_fatal` (optional) is invoked once, from
+  /// the committer thread, when a batch's sync() fails — the queue has
+  /// fail-stopped and the owner should shut down (see fatal()).
+  GroupCommit(StateStore& store, std::shared_mutex& state_mu,
+              std::function<void()> on_fatal = {});
   /// Drains everything still queued, stops the committer, returns the
-  /// store to fsync-per-mutation mode.
+  /// store to fsync-per-mutation mode (a poisoned store skips the flush).
   ~GroupCommit();
 
   GroupCommit(const GroupCommit&) = delete;
@@ -45,11 +48,21 @@ class GroupCommit {
   /// dfky::Error for invalid requests — the exception is rethrown here
   /// and the op's own changes were never applied (manager mutations
   /// validate before they mutate). Blocks until the covering sync is
-  /// durable. Throws ContractError after shutdown began.
+  /// durable. Throws ContractError after shutdown began or after a sync
+  /// failure fail-stopped the queue.
   void run(const std::function<void()>& op);
 
   std::uint64_t batches() const { return batches_; }
   std::uint64_t committed() const { return committed_; }
+  /// True after a batch's sync() failed. The batch's ops were applied to
+  /// the in-memory manager but their durability is INDETERMINATE (the
+  /// store is poisoned; what reached the WAL is recovered on the next
+  /// open). The committer has exited, every queued ticket was failed, and
+  /// run() refuses new work — the owner must fail-stop and restart.
+  bool fatal() const {
+    std::lock_guard lk(mu_);
+    return fatal_;
+  }
 
  private:
   struct Ticket {
@@ -62,12 +75,14 @@ class GroupCommit {
 
   StateStore& store_;
   std::shared_mutex& state_mu_;
+  std::function<void()> on_fatal_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;  // committer: queue non-empty or stop
   std::condition_variable done_cv_;  // submitters: my ticket is done
   std::vector<Ticket*> queue_;
   bool stop_ = false;
+  bool fatal_ = false;  // a sync failed; the committer has fail-stopped
 
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> committed_{0};

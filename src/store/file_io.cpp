@@ -198,7 +198,7 @@ bool RealFileIo::lock(const std::string& path, std::uint64_t* holder) {
   char buf[32];
   const int len =
       std::snprintf(buf, sizeof buf, "%ld\n", static_cast<long>(::getpid()));
-  if (::ftruncate(fd, 0) != 0 ||
+  if (eintr_retry([&] { return ::ftruncate(fd, 0); }) != 0 ||
       eintr_retry([&] { return ::write(fd, buf, len); }) != len) {
     const int saved = errno;
     ::close(fd);  // releases the flock

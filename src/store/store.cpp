@@ -280,6 +280,7 @@ StateStore::StateStore(StateStore&& other) noexcept
       recovery_(other.recovery_),
       locked_(other.locked_),
       batching_(other.batching_),
+      poisoned_(other.poisoned_),
       pending_(std::move(other.pending_)),
       unsynced_records_(other.unsynced_records_) {
   other.io_ = nullptr;
@@ -501,6 +502,14 @@ void StateStore::append_record(const ManagerMutation& m) {
   chain_tag_ = tag;
 }
 
+void StateStore::ensure_usable() const {
+  if (poisoned_) {
+    throw StorePoisonedError(
+        "state store: " + dir_ +
+        " is poisoned by an earlier WAL write failure; reopen to recover");
+  }
+}
+
 void StateStore::commit() {
   const std::vector<ManagerMutation> muts = mgr_.take_mutation_log();
   if (muts.empty()) return;
@@ -512,10 +521,16 @@ void StateStore::commit() {
     unsynced_records_ += muts.size();
     return;
   }
-  {
+  try {
     DFKY_OBS_TIMER(span, "dfky_store_wal_append_ns");
     for (const ManagerMutation& m : muts) append_record(m);
     io_->fsync_file(path(wal_name(gen_)));
+  } catch (...) {
+    // The chain tag advanced past frames that may not (all) be on disk;
+    // nothing this process appends afterwards could verify. Fail-stop.
+    poisoned_ = true;
+    DFKY_OBS(obs::counter("dfky_store_poisoned_total").inc(););
+    throw;
   }
   wal_records_ += muts.size();
   DFKY_OBS(obs::counter("dfky_store_wal_appends_total").inc(muts.size()););
@@ -524,10 +539,20 @@ void StateStore::commit() {
 
 void StateStore::flush_pending() {
   if (unsynced_records_ == 0) return;
-  {
+  try {
     DFKY_OBS_TIMER(span, "dfky_store_wal_append_ns");
     io_->append(path(wal_name(gen_)), pending_);
     io_->fsync_file(path(wal_name(gen_)));
+  } catch (...) {
+    // The append may have landed (fully or torn) even though the fsync
+    // failed. Retrying would append byte-identical duplicate frames,
+    // breaking the HMAC chain and truncating every later acked batch at
+    // recovery — so the store fail-stops instead: keep pending_ staged,
+    // refuse further work, and let a fresh open() recover the valid
+    // prefix that actually reached the file.
+    poisoned_ = true;
+    DFKY_OBS(obs::counter("dfky_store_poisoned_total").inc(););
+    throw;
   }
   wal_records_ += unsynced_records_;
   DFKY_OBS(
@@ -540,22 +565,27 @@ void StateStore::flush_pending() {
 }
 
 void StateStore::sync() {
+  ensure_usable();
   flush_pending();
   if (wal_records_ >= opts_.snapshot_every) snapshot();
 }
 
 void StateStore::set_batching(bool on) {
-  if (!on && batching_) sync();
+  // A poisoned store must NOT flush its staged frames (they may already be
+  // on disk); the daemon's shutdown path reaches here after a fail-stop.
+  if (!on && batching_ && !poisoned_) sync();
   batching_ = on;
 }
 
 SecurityManager::AddedUser StateStore::add_user(Rng& rng) {
+  ensure_usable();
   auto added = mgr_.add_user(rng);
   commit();
   return added;
 }
 
 SecurityManager::AddedUser StateStore::add_user_with_value(const Bigint& x) {
+  ensure_usable();
   auto added = mgr_.add_user_with_value(x);
   commit();
   return added;
@@ -563,18 +593,21 @@ SecurityManager::AddedUser StateStore::add_user_with_value(const Bigint& x) {
 
 std::vector<SignedResetBundle> StateStore::remove_users(
     std::span<const std::uint64_t> ids, Rng& rng) {
+  ensure_usable();
   auto bundles = mgr_.remove_users(ids, rng);
   commit();
   return bundles;
 }
 
 SignedResetBundle StateStore::new_period(Rng& rng) {
+  ensure_usable();
   auto bundle = mgr_.new_period(rng);
   commit();
   return bundle;
 }
 
 void StateStore::snapshot() {
+  ensure_usable();
   // Batched frames were chained against the current generation's WAL;
   // land them there before rotating (the records are then superseded by
   // the snapshot, but the old WAL stays self-consistent if the rotation

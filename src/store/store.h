@@ -38,6 +38,16 @@ class StoreLockedError : public Error {
   explicit StoreLockedError(const std::string& what) : Error(what) {}
 };
 
+/// A WAL append/fsync failed after frames may have reached the file, so
+/// the in-memory state and the on-disk log can no longer be reconciled by
+/// this process: every further mutation/sync on the store throws this.
+/// Reopening the directory (a fresh open() replays what actually landed)
+/// is the only recovery path.
+class StorePoisonedError : public Error {
+ public:
+  explicit StorePoisonedError(const std::string& what) : Error(what) {}
+};
+
 /// What open() found and repaired. All zeros after a clean open.
 struct RecoveryReport {
   std::uint64_t generation = 0;      // generation recovered into
@@ -102,6 +112,14 @@ class StateStore {
   void sync();
   /// Records applied to the manager but not yet durable (batching only).
   std::size_t unsynced_records() const { return unsynced_records_; }
+  /// True after a WAL append/fsync failed mid-flush. The staged frames may
+  /// be partially on disk; re-appending them would write byte-identical
+  /// duplicate records, break the HMAC chain, and cost every LATER acked
+  /// batch at recovery — so a poisoned store refuses all further mutations
+  /// (StorePoisonedError) and set_batching(false) skips its flush. What
+  /// already reached the file is a valid chain prefix; a fresh open()
+  /// recovers it.
+  bool poisoned() const { return poisoned_; }
 
   std::uint64_t generation() const { return gen_; }
   std::size_t wal_records() const { return wal_records_; }
@@ -123,8 +141,11 @@ class StateStore {
   /// batching mode, stages the frames for the next sync()).
   void commit();
   void append_record(const ManagerMutation& m);
-  /// The staged batch's single append+fsync (no rotation check).
+  /// The staged batch's single append+fsync (no rotation check). A failed
+  /// append/fsync poisons the store before the exception propagates.
   void flush_pending();
+  /// Throws StorePoisonedError when a previous WAL failure poisoned us.
+  void ensure_usable() const;
   std::string path(const std::string& name) const;
 
   FileIo* io_;  // null only in a moved-from store
@@ -138,6 +159,7 @@ class StateStore {
   RecoveryReport recovery_;
   bool locked_ = false;
   bool batching_ = false;
+  bool poisoned_ = false;  // WAL failed mid-write; mutations refused
   Bytes pending_;  // framed records staged while batching
   std::size_t unsynced_records_ = 0;
 };

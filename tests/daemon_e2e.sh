@@ -104,6 +104,14 @@ fi
 # ---- GET /metrics on the loopback port ----------------------------------------
 PORT=$(sed -n 's|.*http://127.0.0.1:\([0-9]*\)/metrics.*|\1|p' dfkyd.log)
 [ -n "$PORT" ] || fail "daemon never announced a metrics port"
+
+# A scraper that connects and sends nothing must not wedge the daemon:
+# requests on the unix socket keep being served while it stalls.
+exec 4<>"/dev/tcp/127.0.0.1/$PORT"
+"$CLI" client "$SOCK" ping >/dev/null \
+  || fail "daemon wedged by a stalled metrics connection"
+exec 4<&- 4>&-
+
 exec 3<>"/dev/tcp/127.0.0.1/$PORT"
 printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
 cat <&3 > metrics.txt

@@ -3,6 +3,7 @@
 // and RequestHandler driven line-by-line against an in-memory store.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <shared_mutex>
 #include <thread>
 #include <vector>
@@ -136,6 +137,59 @@ TEST(GroupCommit, OpErrorReachesOnlyItsSubmitter) {
   // ...and leave the queue fully usable for the next, valid op.
   commits.run([&] { d.store->add_user(rng); });
   EXPECT_EQ(d.store->manager().users().size(), 1u);
+}
+
+TEST(GroupCommit, SyncFailureNacksTheBatchAndFailsStop) {
+  // A batch whose covering fsync fails must NOT keep serving: its ops are
+  // live in the in-memory manager, and a later successful flush (or the
+  // destructor's set_batching(false)) would silently commit mutations the
+  // clients were told had failed.
+  const auto make_store = [](FileIo& io) {
+    ChaChaRng rng(31);
+    SecurityManager mgr(test::test_params(2, /*seed=*/31), rng);
+    return StateStore::create(io, "store", std::move(mgr), rng);
+  };
+
+  // Dry run: the batch's fsync is the last mutating I/O op.
+  std::uint64_t total_ops = 0;
+  {
+    MemFileIo fs;
+    FaultyFileIo io(fs, FilePlan{});
+    StateStore store = make_store(io);
+    std::shared_mutex mu;
+    GroupCommit commits(store, mu);
+    ChaChaRng rng(1);
+    commits.run([&] { store.add_user(rng); });
+    total_ops = io.fault_counters().mutating_ops;
+  }
+  ASSERT_GT(total_ops, 0u);
+
+  MemFileIo fs;
+  FilePlan plan;
+  plan.seed = 77;
+  plan.crash_at = total_ops - 1;
+  FaultyFileIo io(fs, plan);
+  StateStore store = make_store(io);
+  std::shared_mutex mu;
+  std::atomic<int> fatal_calls{0};
+  Bytes wal_after_failure;
+  {
+    GroupCommit commits(store, mu, [&] { fatal_calls.fetch_add(1); });
+    ChaChaRng rng(1);
+    // The sync failure is rethrown at the submitter: a NACK.
+    EXPECT_THROW(commits.run([&] { store.add_user(rng); }), CrashPoint);
+    EXPECT_TRUE(commits.fatal());
+    EXPECT_EQ(fatal_calls.load(), 1);
+    EXPECT_TRUE(store.poisoned());
+    EXPECT_EQ(commits.committed(), 0u);
+    wal_after_failure = fs.read("store/wal.0");
+    // The queue refuses further work instead of batching on a dead store.
+    EXPECT_THROW(commits.run([&] { store.add_user(rng); }), ContractError);
+  }
+  // Destruction (the daemon's shutdown path) did not flush the NACKed
+  // frames behind the clients' backs.
+  EXPECT_EQ(fs.read("store/wal.0"), wal_after_failure);
+  EXPECT_EQ(fatal_calls.load(), 1);
 }
 
 TEST(GroupCommit, DestructorReturnsStoreToImmediateMode) {

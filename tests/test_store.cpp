@@ -456,6 +456,74 @@ TEST(StateStore, TurningBatchingOffFlushesPendingRecords) {
   EXPECT_EQ(recovered.manager().save_state(), f.op_states[0]);
 }
 
+// The review-found duplicate-frame hazard: sync() fails after the batch's
+// append may already have landed. The process keeps running (think ENOSPC
+// that later clears) — the store must fail-stop instead of re-appending
+// the staged frames, because byte-identical duplicates break the HMAC
+// chain and recovery would then truncate every LATER acked batch.
+TEST(StateStore, FailedFlushPoisonsTheStoreInsteadOfDuplicatingFrames) {
+  const ScriptFixture& f = fixture();
+
+  // I/O ops of a crash-free open + one-record batch + sync: the last op is
+  // the batch's fsync, the one before it the batch's single append.
+  std::uint64_t total_ops = 0;
+  {
+    MemFileIo fs = f.base_fs;
+    FaultyFileIo io(fs, FilePlan{});
+    StateStore store = StateStore::open(io, "store", f.opts);
+    ChaChaRng rng(kScriptSeed);
+    script_base_manager(rng);
+    store.set_batching(true);
+    store.add_user(rng);
+    store.sync();
+    total_ops = io.fault_counters().mutating_ops;
+  }
+  ASSERT_GE(total_ops, 2u);
+
+  // fail_at = append: nothing of the batch reached the file.
+  // fail_at = fsync: the append landed but was never made durable.
+  for (const std::uint64_t fail_at : {total_ops - 2, total_ops - 1}) {
+    MemFileIo fs = f.base_fs;
+    FilePlan plan;
+    plan.seed = 4242 + fail_at;
+    plan.crash_at = fail_at;
+    FaultyFileIo io(fs, plan);
+    {
+      StateStore store = StateStore::open(io, "store", f.opts);
+      ChaChaRng rng(kScriptSeed);
+      script_base_manager(rng);
+      store.set_batching(true);
+      store.add_user(rng);
+      EXPECT_THROW(store.sync(), CrashPoint) << "fail_at " << fail_at;
+      EXPECT_TRUE(store.poisoned());
+
+      // The faulty plan has fired, so any further I/O would SUCCEED — a
+      // retry that re-appended pending_ would go through and corrupt the
+      // chain. The poisoned store must refuse instead, touching nothing.
+      const Bytes wal_after_failure = fs.read("store/wal.0");
+      EXPECT_THROW(store.sync(), StorePoisonedError);
+      EXPECT_THROW(store.add_user(rng), StorePoisonedError);
+      EXPECT_THROW(store.snapshot(), StorePoisonedError);
+      store.set_batching(false);  // the daemon's shutdown path: no flush
+      EXPECT_EQ(fs.read("store/wal.0"), wal_after_failure)
+          << "fail_at " << fail_at << ": a poisoned store wrote to the WAL";
+    }
+
+    // Whatever reached the file is a single valid chain prefix: reopening
+    // recovers it (the NACKed record may be present — indeterminate, like
+    // a crash — but never duplicated) and fsck is clean.
+    const FsckReport fsck = fsck_store(fs, "store", /*repair=*/false);
+    EXPECT_TRUE(fsck.ok) << "fail_at " << fail_at;
+    StateStore recovered = StateStore::open(fs, "store", f.opts);
+    const Bytes state = recovered.manager().save_state();
+    if (fail_at == total_ops - 1) {
+      EXPECT_EQ(state, f.op_states[0]) << "appended record lost";
+    } else {
+      EXPECT_EQ(state, f.initial_state) << "unappended record appeared";
+    }
+  }
+}
+
 // The group-commit crash matrix: the script runs in three batches (a
 // sync() after ops 1, 3 and 5), and the process-model is killed at EVERY
 // mutating I/O boundary — including inside a batch's single multi-record
