@@ -14,13 +14,11 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <memory>
 #include <thread>
 
-#include "core/content.h"
-#include "core/keyfile.h"
 #include "daemon/protocol.h"
 #include "obs/metrics.h"
-#include "serial/codec.h"
 
 namespace dfky::daemon {
 
@@ -38,16 +36,32 @@ const char* verb_label(const std::string& verb) {
   return "unknown";  // keep the metric label set closed
 }
 
-std::string saturation_field(const SecurityManager& mgr) {
-  return std::to_string(mgr.saturation_level()) + "/" +
-         std::to_string(mgr.saturation_limit());
+std::string saturation_field(const ShardRouter::Status& st) {
+  return std::to_string(st.saturation_level) + "/" +
+         std::to_string(st.saturation_limit);
+}
+
+std::string periods_field(const ShardRouter::Status& st) {
+  std::string out;
+  for (std::size_t i = 0; i < st.periods.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(st.periods[i]);
+  }
+  return out;
+}
+
+std::string bundles_field(const std::vector<Bytes>& bundles) {
+  std::string out;
+  for (std::size_t i = 0; i < bundles.size(); ++i) {
+    if (i > 0) out += ',';
+    out += hex_encode(bundles[i]);
+  }
+  return out;
 }
 
 }  // namespace
 
-RequestHandler::RequestHandler(StateStore& store, GroupCommit& commits,
-                               std::shared_mutex& state_mu, Rng& rng)
-    : store_(store), commits_(commits), state_mu_(state_mu), rng_(rng) {}
+RequestHandler::RequestHandler(ShardRouter& router) : router_(router) {}
 
 RequestHandler::Result RequestHandler::handle(const std::string& line) {
   Result res;
@@ -55,14 +69,23 @@ RequestHandler::Result RequestHandler::handle(const std::string& line) {
     res.response = err_response("request line too long");
     return res;
   }
-  const std::vector<std::string> tokens = split_tokens(line);
+  const TaggedLine tagged = split_request_tag(line);
+  if (tagged.bad_tag) {
+    res.response = err_response("malformed request tag");
+    return res;
+  }
+  const std::vector<std::string> tokens = split_tokens(tagged.body);
   if (tokens.empty()) {
-    res.response = err_response("empty request");
+    res.response = tag_response(tagged.id, err_response("empty request"));
     return res;
   }
   if (tokens[0] == "shutdown") {
-    res.response = ok_response();
-    res.shutdown = true;
+    if (tokens.size() != 1) {
+      res.response = err_response("shutdown takes no arguments");
+    } else {
+      res.response = ok_response();
+      res.shutdown = true;
+    }
   } else {
     try {
       res.response = dispatch(tokens);
@@ -76,6 +99,7 @@ RequestHandler::Result RequestHandler::handle(const std::string& line) {
                         {{"verb", verb_label(tokens[0])},
                          {"outcome", res.response[0] == 'o' ? "ok" : "err"}})
                .inc(););
+  res.response = tag_response(tagged.id, std::move(res.response));
   return res;
 }
 
@@ -83,40 +107,33 @@ std::string RequestHandler::dispatch(const std::vector<std::string>& tokens) {
   const std::string& verb = tokens[0];
 
   if (verb == "ping") {
+    if (tokens.size() != 1) return err_response("ping takes no arguments");
     return ok_response({{"pid", std::to_string(::getpid())}});
   }
 
   if (verb == "status") {
-    std::shared_lock state(state_mu_);
-    const SecurityManager& mgr = store_.manager();
-    std::size_t active = 0, revoked = 0;
-    for (const UserRecord& u : mgr.users()) (u.revoked ? revoked : active) += 1;
+    if (tokens.size() != 1) return err_response("status takes no arguments");
+    const ShardRouter::Status st = router_.status();
     return ok_response(
         {{"pid", std::to_string(::getpid())},
-         {"period", std::to_string(mgr.period())},
-         {"active", std::to_string(active)},
-         {"revoked", std::to_string(revoked)},
-         {"saturation", saturation_field(mgr)},
-         {"generation", std::to_string(store_.generation())},
-         {"wal_records", std::to_string(store_.wal_records())},
-         {"commit_batches", std::to_string(commits_.batches())},
-         {"committed", std::to_string(commits_.committed())}});
+         {"shards", std::to_string(st.shards)},
+         {"period", std::to_string(st.period)},
+         {"periods", periods_field(st)},
+         {"active", std::to_string(st.active)},
+         {"revoked", std::to_string(st.revoked)},
+         {"saturation", saturation_field(st)},
+         {"generation", std::to_string(st.generation)},
+         {"wal_records", std::to_string(st.wal_records)},
+         {"commit_batches", std::to_string(st.commit_batches)},
+         {"committed", std::to_string(st.committed)}});
   }
 
   if (verb == "add-user") {
     if (tokens.size() != 1) return err_response("add-user takes no arguments");
-    std::uint64_t id = 0;
-    Bytes key_file;
-    commits_.run([&] {
-      std::lock_guard rng_lk(rng_mu_);
-      const SecurityManager::AddedUser added = store_.add_user(rng_);
-      id = added.id;
-      key_file = encode_key_file(store_.manager().params(),
-                                 store_.manager().verification_key(),
-                                 added.key);
-    });
-    return ok_response(
-        {{"id", std::to_string(id)}, {"key", hex_encode(key_file)}});
+    const ShardRouter::AddedUser added = router_.add_user();
+    return ok_response({{"id", std::to_string(added.global_id)},
+                        {"shard", std::to_string(added.shard)},
+                        {"key", hex_encode(added.key_file)}});
   }
 
   if (verb == "revoke") {
@@ -127,62 +144,38 @@ std::string RequestHandler::dispatch(const std::vector<std::string>& tokens) {
       if (!id) return err_response("bad user id '" + tokens[i] + "'");
       ids.push_back(*id);
     }
-    std::string period, saturation, bundles_csv;
-    commits_.run([&] {
-      std::lock_guard rng_lk(rng_mu_);
-      const std::vector<SignedResetBundle> bundles =
-          store_.remove_users(ids, rng_);
-      const Group& group = store_.manager().params().group;
-      for (std::size_t i = 0; i < bundles.size(); ++i) {
-        Writer w;
-        bundles[i].serialize(w, group);
-        if (i > 0) bundles_csv += ',';
-        bundles_csv += hex_encode(w.bytes());
-      }
-      period = std::to_string(store_.manager().period());
-      saturation = saturation_field(store_.manager());
-    });
-    return ok_response({{"period", period},
-                        {"saturation", saturation},
-                        {"bundles", bundles_csv}});
+    const ShardRouter::RevokeResult r = router_.revoke(ids);
+    return ok_response({{"period", std::to_string(r.period)},
+                        {"saturation", saturation_field(router_.status())},
+                        {"bundles", bundles_field(r.bundles)}});
   }
 
   if (verb == "new-period") {
     if (tokens.size() != 1) {
       return err_response("new-period takes no arguments");
     }
-    std::string period, saturation, bundle_hex;
-    commits_.run([&] {
-      std::lock_guard rng_lk(rng_mu_);
-      const SignedResetBundle bundle = store_.new_period(rng_);
-      Writer w;
-      bundle.serialize(w, store_.manager().params().group);
-      bundle_hex = hex_encode(w.bytes());
-      period = std::to_string(store_.manager().period());
-      saturation = saturation_field(store_.manager());
-    });
-    return ok_response({{"period", period},
-                        {"saturation", saturation},
-                        {"bundle", bundle_hex}});
+    const ShardRouter::NewPeriodResult r = router_.new_period_all();
+    return ok_response({{"period", std::to_string(r.period)},
+                        {"saturation", saturation_field(router_.status())},
+                        {"bundles", bundles_field(r.bundles)}});
   }
 
   if (verb == "encrypt") {
-    if (tokens.size() != 2) {
-      return err_response("usage: encrypt <hex-payload>");
+    if (tokens.size() != 2 && tokens.size() != 3) {
+      return err_response("usage: encrypt <hex-payload> [shard]");
     }
     const auto payload = hex_decode(tokens[1]);
     if (!payload) return err_response("payload is not hex");
-    std::shared_lock state(state_mu_);
-    const SecurityManager& mgr = store_.manager();
-    Writer w;
-    {
-      std::lock_guard rng_lk(rng_mu_);
-      const ContentMessage msg =
-          seal_content(mgr.params(), mgr.public_key(), *payload, rng_);
-      msg.serialize(w, mgr.params().group);
+    std::size_t shard = 0;
+    if (tokens.size() == 3) {
+      const auto k = parse_u64(tokens[2]);
+      if (!k) return err_response("bad shard index '" + tokens[2] + "'");
+      shard = static_cast<std::size_t>(*k);
     }
+    const Bytes ct = router_.encrypt(*payload, shard);
     return ok_response({{"bytes", std::to_string(payload->size())},
-                        {"ct", hex_encode(w.bytes())}});
+                        {"shard", std::to_string(shard)},
+                        {"ct", hex_encode(ct)}});
   }
 
   return err_response("unknown command '" + verb + "'");
@@ -191,6 +184,10 @@ std::string RequestHandler::dispatch(const std::vector<std::string>& tokens) {
 // ---- Daemon --------------------------------------------------------------------
 
 namespace {
+
+/// Upper bound on concurrently executing tagged requests per connection;
+/// beyond it the reader blocks, which backpressures the socket.
+constexpr std::size_t kMaxInFlight = 64;
 
 std::atomic<int> g_wake_fd{-1};
 
@@ -263,14 +260,31 @@ void serve_metrics_conn(int fd) {
 }  // namespace
 
 Daemon::Daemon(DaemonOptions opts) : opts_(std::move(opts)) {
-  store_.emplace(StateStore::open(io_, opts_.store_dir, opts_.store));
-  commits_.emplace(*store_, state_mu_, [this] {
-    // Committer thread: a batch's sync failed, the store is poisoned.
-    // Fail-stop — ack nothing more, shut down, let a restart recover.
-    std::fprintf(stderr, "dfkyd: commit sync failed; shutting down\n");
-    request_stop();
-  });
-  handler_.emplace(*store_, *commits_, state_mu_, rng_);
+  std::vector<StateStore> stores;
+  if (is_shard_root(io_, opts_.store_dir)) {
+    ShardSetReport report;
+    stores = open_shard_set(io_, opts_.store_dir, rng_, opts_.store, &report);
+    if (report.rolled_forward > 0) {
+      std::fprintf(stderr,
+                   "dfkyd: shard set recovered to epoch %llu "
+                   "(%zu roll-forward(s))\n",
+                   static_cast<unsigned long long>(report.epoch),
+                   report.rolled_forward);
+    }
+  } else {
+    stores.push_back(StateStore::open(io_, opts_.store_dir, opts_.store));
+  }
+  router_.emplace(
+      std::move(stores),
+      [](std::size_t) { return std::make_unique<SystemRng>(); },
+      [this] {
+        // Committer/barrier thread: a sync failed, that shard's store is
+        // poisoned. Fail-stop — ack nothing more, shut down, let a
+        // restart recover.
+        std::fprintf(stderr, "dfkyd: commit sync failed; shutting down\n");
+        request_stop();
+      });
+  handler_.emplace(*router_);
 }
 
 Daemon::~Daemon() {
@@ -342,6 +356,9 @@ int Daemon::run() {
 
   std::printf("dfkyd: serving %s on %s (pid %ld)\n", opts_.store_dir.c_str(),
               opts_.socket_path.c_str(), static_cast<long>(::getpid()));
+  if (router_->shards() > 1) {
+    std::printf("dfkyd: shard set with %zu shards\n", router_->shards());
+  }
   if (metrics_port_ >= 0) {
     std::printf("dfkyd: metrics on http://127.0.0.1:%d/metrics\n",
                 metrics_port_);
@@ -389,8 +406,9 @@ int Daemon::run() {
 
   // Shutdown sequence: stop accepting, nudge idle connections (their
   // in-flight requests still finish and get their acks), wait for the
-  // connection threads, drain the commit queue, final snapshot, release
-  // the store lock, remove the socket.
+  // connection threads (each waits for its own pipelined workers), stop
+  // the committers, final snapshot per shard, release the store locks,
+  // remove the socket.
   close_fd(listen_fd_);
   close_fd(metrics_fd_);
   {
@@ -403,25 +421,25 @@ int Daemon::run() {
   }
   int rc = 0;
   handler_.reset();
-  const bool commit_failed = commits_->fatal();
-  commits_.reset();  // joins the committer; a poisoned store skips the flush
+  const bool commit_failed = router_->fatal();
+  router_->stop_commits();  // joins committers; poisoned shards skip the flush
   if (commit_failed) {
-    // Fail-stop shutdown: the last batch's durability is indeterminate;
-    // skip the final snapshot (the store refuses it anyway) and exit
-    // nonzero so supervisors restart us into recovery.
+    // Fail-stop shutdown: the last batch's (or barrier's) durability is
+    // indeterminate; skip the final snapshots (a poisoned store refuses
+    // them anyway) and exit nonzero so supervisors restart us into
+    // recovery — which re-equalizes the shard epochs.
     std::fprintf(stderr, "dfkyd: exiting after commit failure; "
                          "restart recovers the durable prefix\n");
     rc = 1;
   } else {
     try {
-      std::unique_lock state(state_mu_);
-      store_->snapshot();
+      router_->snapshot_all();
     } catch (const Error& e) {
       std::fprintf(stderr, "dfkyd: final snapshot failed: %s\n", e.what());
       rc = 1;
     }
   }
-  store_.reset();  // releases the LOCK file
+  router_.reset();  // releases every shard's LOCK file
   ::unlink(opts_.socket_path.c_str());
   g_wake_fd.store(-1);
   close_fd(wake_read);
@@ -434,6 +452,17 @@ int Daemon::run() {
 }
 
 void Daemon::conn_loop(int fd) {
+  // Per-connection pipelining state, shared with this connection's
+  // detached worker threads (shared_ptr: a worker may outlive the loop's
+  // local scope on send failure, never the Daemon — the loop waits for
+  // in_flight == 0 before it decrements active_conns_).
+  struct ConnState {
+    std::mutex mu;  // serializes sends and guards in_flight
+    std::condition_variable cv;
+    std::size_t in_flight = 0;
+  };
+  const auto st = std::make_shared<ConnState>();
+
   std::string buf;
   char chunk[1 << 16];
   bool done = false;
@@ -447,18 +476,66 @@ void Daemon::conn_loop(int fd) {
       std::string line = buf.substr(0, pos);
       buf.erase(0, pos + 1);
       if (!line.empty() && line.back() == '\r') line.pop_back();
+      const TaggedLine tagged = split_request_tag(line);
+      if (tagged.id && !tagged.bad_tag) {
+        // Tagged request: run it on its own thread so requests routed to
+        // different shards overlap; the echoed tag lets the client match
+        // the out-of-order completions. Bound the fan-out per connection.
+        {
+          std::unique_lock lk(st->mu);
+          st->cv.wait(lk, [&] { return st->in_flight < kMaxInFlight; });
+          ++st->in_flight;
+        }
+        std::thread([this, fd, st, line = std::move(line)] {
+          RequestHandler::Result res = handler_->handle(line);
+          res.response += '\n';
+          {
+            std::lock_guard lk(st->mu);
+            send_all(fd, res.response);
+          }
+          // request_stop before the in_flight decrement: once the last
+          // worker decrements, the conn loop may exit and the daemon tear
+          // down, so `this` must not be touched after it.
+          if (res.shutdown) request_stop();
+          {
+            std::lock_guard lk(st->mu);
+            --st->in_flight;
+          }
+          st->cv.notify_all();
+        }).detach();
+        continue;
+      }
+      // Untagged (or bad-tag) request: preserve the classic strict
+      // ordering — drain every pipelined worker first, then run inline.
+      {
+        std::unique_lock lk(st->mu);
+        st->cv.wait(lk, [&] { return st->in_flight == 0; });
+      }
       RequestHandler::Result res = handler_->handle(line);
       res.response += '\n';
-      if (!send_all(fd, res.response)) done = true;
+      {
+        std::lock_guard lk(st->mu);
+        if (!send_all(fd, res.response)) done = true;
+      }
       if (res.shutdown) {
         request_stop();
         done = true;
       }
     }
     if (buf.size() > kMaxLineBytes) {
+      {
+        std::unique_lock lk(st->mu);
+        st->cv.wait(lk, [&] { return st->in_flight == 0; });
+      }
       send_all(fd, err_response("request line too long") + "\n");
       done = true;
     }
+  }
+  // Let every pipelined worker finish (and send its ack) before the
+  // connection is torn down and counted out.
+  {
+    std::unique_lock lk(st->mu);
+    st->cv.wait(lk, [&] { return st->in_flight == 0; });
   }
   ::close(fd);
   std::lock_guard lk(conns_mu_);

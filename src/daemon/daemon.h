@@ -1,14 +1,18 @@
-// dfkyd — the long-running manager daemon (DESIGN.md Sect. 10).
+// dfkyd — the long-running manager daemon (DESIGN.md Sect. 10–11).
 //
-// One daemon owns one store directory (exclusively, via the store's LOCK
-// file) and serves the newline protocol of daemon/protocol.h over a
-// unix-domain stream socket. Mutations (`add-user`, `revoke`,
-// `new-period`) are funneled through the GroupCommit queue and
-// acknowledged only after their batch's fsync; reads (`status`,
-// `encrypt`) run on the connection threads under a shared state lock.
-// SIGINT/SIGTERM (or a `shutdown` request) drain in-flight requests, take
-// a final snapshot and release the store. An optional loopback TCP port
-// answers `GET /metrics` with the obs registry's Prometheus text.
+// One daemon owns one store directory — a plain store or a shard root
+// (autodetected; every shard's LOCK is taken) — and serves the newline
+// protocol of daemon/protocol.h over a unix-domain stream socket through
+// a ShardRouter. Mutations (`add-user`, `revoke`, `new-period`) are
+// funneled through the owning shard's GroupCommit queue (new-period
+// through the cross-shard epoch barrier) and acknowledged only after
+// their fsync; reads (`status`, `encrypt`) run on the connection threads
+// under shared state locks. Requests tagged `@<id>` run concurrently and
+// may complete out of order; untagged requests keep strict ordering.
+// SIGINT/SIGTERM (or a `shutdown` request) drain in-flight requests,
+// take a final snapshot on every shard and release the stores. An
+// optional loopback TCP port answers `GET /metrics` with the obs
+// registry's Prometheus text.
 #pragma once
 
 #include <atomic>
@@ -16,22 +20,21 @@
 #include <mutex>
 #include <optional>
 #include <set>
-#include <shared_mutex>
 #include <string>
 
-#include "daemon/group_commit.h"
+#include "daemon/shard.h"
 #include "rng/system_rng.h"
 #include "store/store.h"
 
 namespace dfky::daemon {
 
 /// Request dispatch, socket-free so tests can drive it directly: one
-/// protocol line in, one response line out (no trailing newline).
-/// Thread-safe; mutations block until durable.
+/// protocol line in, one response line out (no trailing newline); a
+/// leading `@<id>` tag is echoed on the response. Thread-safe; mutations
+/// block until durable on their shard.
 class RequestHandler {
  public:
-  RequestHandler(StateStore& store, GroupCommit& commits,
-                 std::shared_mutex& state_mu, Rng& rng);
+  explicit RequestHandler(ShardRouter& router);
 
   struct Result {
     std::string response;
@@ -42,15 +45,11 @@ class RequestHandler {
  private:
   std::string dispatch(const std::vector<std::string>& tokens);
 
-  StateStore& store_;
-  GroupCommit& commits_;
-  std::shared_mutex& state_mu_;
-  Rng& rng_;
-  std::mutex rng_mu_;  // encrypt (conn threads) vs mutations (committer)
+  ShardRouter& router_;
 };
 
 struct DaemonOptions {
-  std::string store_dir;
+  std::string store_dir;  // plain store or shard root (autodetected)
   std::string socket_path;
   /// Loopback TCP port for GET /metrics: -1 disables, 0 binds an
   /// ephemeral port (reported by metrics_port() and on stdout).
@@ -60,8 +59,10 @@ struct DaemonOptions {
 
 class Daemon {
  public:
-  /// Opens the store (taking its LOCK — throws StoreLockedError when a
-  /// second daemon targets the same directory).
+  /// Opens the store — `opts.store_dir/shard.0` existing makes it a shard
+  /// set, every shard's LOCK is taken (throws StoreLockedError when any
+  /// shard is held by another daemon, and the already-locked shards are
+  /// released). Laggard shards are rolled forward to the set's epoch.
   explicit Daemon(DaemonOptions opts);
   ~Daemon();
 
@@ -70,10 +71,10 @@ class Daemon {
 
   /// Binds the sockets, installs SIGINT/SIGTERM handlers, prints the
   /// `dfkyd: ready` line and serves until a signal, a `shutdown` request,
-  /// or a group-commit failure (fail-stop); then drains connections,
-  /// commits a final snapshot, releases the store lock and removes the
-  /// socket. Returns the process exit code (nonzero after a fail-stop or
-  /// a failed final snapshot).
+  /// or a commit/barrier failure (fail-stop); then drains connections,
+  /// commits a final snapshot per shard, releases the store locks and
+  /// removes the socket. Returns the process exit code (nonzero after a
+  /// fail-stop or a failed final snapshot).
   int run();
 
   /// The bound metrics port (resolves option 0); -1 when disabled.
@@ -85,16 +86,14 @@ class Daemon {
 
   DaemonOptions opts_;
   RealFileIo io_;
-  std::optional<StateStore> store_;
-  std::shared_mutex state_mu_;
-  SystemRng rng_;
-  std::optional<GroupCommit> commits_;
+  SystemRng rng_;  // shard-set open (roll-forward); shards get their own
+  std::optional<ShardRouter> router_;
   std::optional<RequestHandler> handler_;
 
   int listen_fd_ = -1;
   int metrics_fd_ = -1;
   int metrics_port_ = -1;
-  // Write end of the signal self-pipe. Atomic: the group-commit thread's
+  // Write end of the signal self-pipe. Atomic: a committer thread's
   // fail-stop callback writes to it concurrently with the main loop.
   std::atomic<int> wake_fd_{-1};
   std::atomic<bool> stopping_{false};

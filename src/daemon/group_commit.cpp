@@ -5,8 +5,11 @@
 namespace dfky::daemon {
 
 GroupCommit::GroupCommit(StateStore& store, std::shared_mutex& state_mu,
-                         std::function<void()> on_fatal)
-    : store_(store), state_mu_(state_mu), on_fatal_(std::move(on_fatal)) {
+                         std::function<void()> on_fatal, obs::Labels labels)
+    : store_(store),
+      state_mu_(state_mu),
+      on_fatal_(std::move(on_fatal)),
+      labels_(std::move(labels)) {
   store_.set_batching(true);
   committer_ = std::thread([this] { committer_loop(); });
 }
@@ -49,7 +52,7 @@ void GroupCommit::committer_loop() {
     }
     bool sync_failed = false;
     {
-      DFKY_OBS_TIMER(span, "dfkyd_commit_batch_ns");
+      DFKY_OBS_TIMER(span, "dfkyd_commit_batch_ns", labels_);
       std::unique_lock state(state_mu_);
       for (Ticket* t : batch) {
         try {
@@ -78,12 +81,13 @@ void GroupCommit::committer_loop() {
     if (!sync_failed) {
       batches_.fetch_add(1, std::memory_order_relaxed);
       committed_.fetch_add(batch.size(), std::memory_order_relaxed);
-      DFKY_OBS(obs::counter("dfkyd_commit_batches_total").inc();
-               obs::counter("dfkyd_commit_mutations_total").inc(batch.size()););
+      DFKY_OBS(obs::counter("dfkyd_commit_batches_total", labels_).inc();
+               obs::counter("dfkyd_commit_mutations_total", labels_)
+                   .inc(batch.size()););
     } else {
       // Before any submitter wakes to its NACK: by the time a client sees
       // the error, the shutdown is already underway.
-      DFKY_OBS(obs::counter("dfkyd_commit_failures_total").inc(););
+      DFKY_OBS(obs::counter("dfkyd_commit_failures_total", labels_).inc(););
       if (on_fatal_) on_fatal_();
     }
     {

@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "store/store.h"
 
 namespace dfky::daemon {
@@ -33,8 +34,11 @@ class GroupCommit {
   /// must outlive the queue. `on_fatal` (optional) is invoked once, from
   /// the committer thread, when a batch's sync() fails — the queue has
   /// fail-stopped and the owner should shut down (see fatal()).
+  /// `labels` is attached to every dfkyd_commit_* metric this queue
+  /// emits; a sharded daemon passes {{"shard", "<k>"}} so per-shard
+  /// committers stay distinguishable in one registry.
   GroupCommit(StateStore& store, std::shared_mutex& state_mu,
-              std::function<void()> on_fatal = {});
+              std::function<void()> on_fatal = {}, obs::Labels labels = {});
   /// Drains everything still queued, stops the committer, returns the
   /// store to fsync-per-mutation mode (a poisoned store skips the flush).
   ~GroupCommit();
@@ -76,6 +80,7 @@ class GroupCommit {
   StateStore& store_;
   std::shared_mutex& state_mu_;
   std::function<void()> on_fatal_;
+  obs::Labels labels_;  // shard identity on every metric
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // committer: queue non-empty or stop

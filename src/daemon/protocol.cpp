@@ -61,6 +61,30 @@ std::vector<std::string> split_tokens(std::string_view line) {
   return tokens;
 }
 
+TaggedLine split_request_tag(std::string_view line) {
+  TaggedLine out;
+  out.body = line;
+  if (line.empty() || line[0] != '@') return out;
+  const std::size_t end = line.find(' ');
+  const std::string_view tag =
+      line.substr(1, end == std::string_view::npos ? end : end - 1);
+  const auto id = parse_u64(tag);
+  if (!id) {
+    out.bad_tag = true;
+    return out;
+  }
+  out.id = *id;
+  out.body = end == std::string_view::npos ? std::string_view{}
+                                           : line.substr(end + 1);
+  return out;
+}
+
+std::string tag_response(std::optional<std::uint64_t> id,
+                         std::string response) {
+  if (!id) return response;
+  return "@" + std::to_string(*id) + " " + std::move(response);
+}
+
 std::string ok_response(
     const std::vector<std::pair<std::string, std::string>>& fields) {
   std::string out = "ok";
@@ -81,6 +105,12 @@ std::string err_response(std::string_view message) {
 
 std::optional<Response> parse_response(std::string_view line) {
   Response resp;
+  if (line.starts_with("@")) {
+    const TaggedLine tagged = split_request_tag(line);
+    if (tagged.bad_tag || !tagged.id) return std::nullopt;
+    resp.id = tagged.id;
+    line = tagged.body;
+  }
   if (line == "ok" || line.starts_with("ok ")) {
     resp.ok = true;
     for (const std::string& tok :

@@ -10,7 +10,18 @@
 // Values never contain spaces or newlines: binary payloads (key files,
 // reset bundles, ciphertexts) travel as lowercase hex, lists as
 // comma-separated values. One request line yields exactly one response
-// line, in order, so a client may pipeline.
+// line.
+//
+// Pipelining (DESIGN.md Sect. 11): a request may carry a client-chosen
+// tag as its first token, and the response echoes it:
+//
+//   request  := ['@' id ' '] verb (' ' arg)*
+//   response := ['@' id ' '] ("ok" (' ' key '=' value)* | "err " message)
+//
+// Tagged requests on one connection may complete OUT OF ORDER (a sharded
+// daemon runs them concurrently), so the tag — not arrival order — maps a
+// response to its request. Untagged requests keep the strict one-in
+// one-out ordering and never overlap tagged ones.
 #pragma once
 
 #include <map>
@@ -44,6 +55,21 @@ std::optional<Bytes> hex_decode(std::string_view hex);
 /// tokens never appear.
 std::vector<std::string> split_tokens(std::string_view line);
 
+/// A request line with its optional `@<id>` pipeline tag peeled off.
+struct TaggedLine {
+  std::optional<std::uint64_t> id;  // set iff the line began with a tag
+  std::string_view body;            // the line after the tag (whole line if none)
+  bool bad_tag = false;             // began with '@' but the id is malformed
+};
+/// Recognizes a leading `@<id>` token (strict parse_u64 id). A lone '@' or
+/// a non-numeric id sets bad_tag — the daemon answers `err`, it does not
+/// guess. The returned views alias `line`.
+TaggedLine split_request_tag(std::string_view line);
+
+/// Prefixes `response` with the `@<id> ` echo when `id` is set.
+std::string tag_response(std::optional<std::uint64_t> id,
+                         std::string response);
+
 std::string ok_response(
     const std::vector<std::pair<std::string, std::string>>& fields = {});
 /// The message is flattened to one line (newlines become spaces).
@@ -51,12 +77,14 @@ std::string err_response(std::string_view message);
 
 struct Response {
   bool ok = false;
+  std::optional<std::uint64_t> id;            // echoed pipeline tag, if any
   std::string error;                          // "err" responses
   std::map<std::string, std::string> fields;  // "ok" responses
 };
 
-/// Parses one response line (no trailing newline); nullopt when the line
-/// fits neither grammar production.
+/// Parses one response line (no trailing newline), including an optional
+/// leading `@<id>` echo; nullopt when the line fits neither grammar
+/// production.
 std::optional<Response> parse_response(std::string_view line);
 
 }  // namespace dfky::daemon

@@ -1,0 +1,205 @@
+#include "daemon/shard.h"
+
+#include <algorithm>
+
+#include "core/content.h"
+#include "core/keyfile.h"
+#include "obs/metrics.h"
+#include "serial/codec.h"
+
+namespace dfky::daemon {
+
+namespace {
+
+obs::Labels shard_labels(std::size_t shard) {
+  return {{"shard", std::to_string(shard)}};
+}
+
+Bytes serialize_bundle(const SignedResetBundle& bundle, const Group& group) {
+  Writer w;
+  bundle.serialize(w, group);
+  return std::move(w).take();
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(std::vector<StateStore> stores,
+                         const RngFactory& make_rng,
+                         std::function<void()> on_fatal)
+    : on_fatal_(std::move(on_fatal)) {
+  if (stores.empty()) throw ContractError("shard router: no shards");
+  shards_.reserve(stores.size());
+  for (StateStore& s : stores) {
+    shards_.push_back(std::make_unique<Shard>(std::move(s)));
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& sh = *shards_[i];
+    sh.rng = make_rng(i);
+    sh.commits.emplace(sh.store, sh.state_mu, [this] { fail_stop(); },
+                       shard_labels(i));
+  }
+}
+
+ShardRouter::~ShardRouter() { stop_commits(); }
+
+void ShardRouter::fail_stop() {
+  bool expected = false;
+  if (fatal_.compare_exchange_strong(expected, true) && on_fatal_) {
+    on_fatal_();
+  }
+}
+
+ShardRouter::AddedUser ShardRouter::add_user() {
+  const std::size_t k = static_cast<std::size_t>(
+      next_add_.fetch_add(1, std::memory_order_relaxed) % shards_.size());
+  Shard& sh = *shards_[k];
+  AddedUser out;
+  out.shard = k;
+  sh.commits->run([&] {
+    std::lock_guard rng_lk(sh.rng_mu);
+    const SecurityManager::AddedUser added = sh.store.add_user(*sh.rng);
+    out.global_id = global_of(added.id, k);
+    out.key_file = encode_key_file(sh.store.manager().params(),
+                                   sh.store.manager().verification_key(),
+                                   added.key);
+  });
+  DFKY_OBS(obs::counter("dfkyd_shard_mutations_total",
+                        {{"shard", std::to_string(k)}, {"verb", "add-user"}})
+               .inc(););
+  return out;
+}
+
+ShardRouter::RevokeResult ShardRouter::revoke(
+    std::span<const std::uint64_t> global_ids) {
+  // Partition by shard, preserving the caller's order within a shard.
+  std::vector<std::vector<std::uint64_t>> by_shard(shards_.size());
+  for (const std::uint64_t id : global_ids) {
+    by_shard[shard_of(id)].push_back(local_of(id));
+  }
+  RevokeResult out;
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    if (by_shard[k].empty()) continue;
+    Shard& sh = *shards_[k];
+    sh.commits->run([&] {
+      std::lock_guard rng_lk(sh.rng_mu);
+      const std::vector<SignedResetBundle> bundles =
+          sh.store.remove_users(by_shard[k], *sh.rng);
+      const Group& group = sh.store.manager().params().group;
+      for (const SignedResetBundle& b : bundles) {
+        out.bundles.push_back(serialize_bundle(b, group));
+      }
+    });
+    DFKY_OBS(obs::counter("dfkyd_shard_mutations_total",
+                          {{"shard", std::to_string(k)}, {"verb", "revoke"}})
+                 .inc(););
+  }
+  for (auto& sh : shards_) {
+    std::shared_lock lk(sh->state_mu);
+    out.period = std::max(out.period, sh->store.manager().period());
+  }
+  return out;
+}
+
+ShardRouter::NewPeriodResult ShardRouter::new_period_all() {
+  std::lock_guard barrier_lk(barrier_mu_);
+  if (fatal_.load()) {
+    throw ContractError("new-period: shard set failed (fail-stop)");
+  }
+  DFKY_OBS_TIMER(span, "dfkyd_epoch_barrier_ns");
+  // Hold every shard's state lock exclusively for the whole barrier. The
+  // committers run their batch AND its sync under this lock, so once we
+  // hold all of them no shard has staged-but-unsynced records: the only
+  // frames the phase-2 syncs flush are the barrier's own.
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& sh : shards_) locks.emplace_back(sh->state_mu);
+
+  NewPeriodResult out;
+  // The target epoch equalizes shards that drifted apart through
+  // saturating revokes: every shard rolls up to max+1, laggards emitting
+  // one bundle per period they skip.
+  std::uint64_t target = 0;
+  for (auto& sh : shards_) {
+    target = std::max(target, sh->store.manager().period());
+  }
+  ++target;
+  try {
+    // Phase 1 — prepare: apply and stage each shard's reset record(s).
+    // The stores are in batching mode (the committers own them), so this
+    // touches no file: a crash here loses everything uniformly.
+    for (auto& sh : shards_) {
+      std::lock_guard rng_lk(sh->rng_mu);
+      const Group& group = sh->store.manager().params().group;
+      while (sh->store.manager().period() < target) {
+        out.bundles.push_back(
+            serialize_bundle(sh->store.new_period(*sh->rng), group));
+      }
+    }
+    // Phase 2 — commit: one WAL append+fsync per shard. A crash between
+    // two syncs leaves the set at mixed epochs; open_shard_set rolls the
+    // laggards forward, which is sound because we have not acked yet.
+    for (auto& sh : shards_) sh->store.sync();
+  } catch (...) {
+    // Some shards may hold applied-but-unstaged or staged-but-unsynced
+    // state that a later batch's sync would silently commit. Fail-stop:
+    // nothing is acked, the daemon shuts down, recovery re-equalizes.
+    fail_stop();
+    throw;
+  }
+  out.period = target;
+  DFKY_OBS(obs::counter("dfkyd_epoch_barriers_total").inc(););
+  return out;
+}
+
+ShardRouter::Status ShardRouter::status() const {
+  Status st;
+  st.shards = shards_.size();
+  for (const auto& sh : shards_) {
+    std::shared_lock lk(sh->state_mu);
+    const SecurityManager& mgr = sh->store.manager();
+    st.periods.push_back(mgr.period());
+    st.period = std::max(st.period, mgr.period());
+    for (const UserRecord& u : mgr.users()) {
+      (u.revoked ? st.revoked : st.active) += 1;
+    }
+    st.saturation_level += mgr.saturation_level();
+    st.saturation_limit += mgr.saturation_limit();
+    st.generation += sh->store.generation();
+    st.wal_records += sh->store.wal_records();
+    st.commit_batches += sh->commits->batches();
+    st.committed += sh->commits->committed();
+  }
+  return st;
+}
+
+Bytes ShardRouter::encrypt(BytesView payload, std::size_t shard) {
+  if (shard >= shards_.size()) {
+    throw ContractError("encrypt: shard " + std::to_string(shard) +
+                        " out of range (have " +
+                        std::to_string(shards_.size()) + ")");
+  }
+  Shard& sh = *shards_[shard];
+  std::shared_lock state(sh.state_mu);
+  const SecurityManager& mgr = sh.store.manager();
+  Writer w;
+  {
+    std::lock_guard rng_lk(sh.rng_mu);
+    const ContentMessage msg =
+        seal_content(mgr.params(), mgr.public_key(), payload, *sh.rng);
+    msg.serialize(w, mgr.params().group);
+  }
+  return std::move(w).take();
+}
+
+void ShardRouter::stop_commits() {
+  for (auto& sh : shards_) sh->commits.reset();
+}
+
+void ShardRouter::snapshot_all() {
+  for (auto& sh : shards_) {
+    std::unique_lock state(sh->state_mu);
+    sh->store.snapshot();
+  }
+}
+
+}  // namespace dfky::daemon

@@ -1,0 +1,151 @@
+// ShardRouter — dfkyd over N StateStore shards (DESIGN.md Sect. 11).
+//
+// Each shard is an independent scheme instance with its own store
+// directory, exclusive LOCK, reader/writer state lock, RNG and
+// group-commit committer thread; every daemon metric a shard emits
+// carries a {"shard", "<k>"} label. The router owns the fan-out:
+//
+//   * user ids — global id = local id * N + shard, so `id % N` names the
+//     shard and ids from different shards never collide. add-user places
+//     round-robin; revoke partitions its ids by shard and commits per
+//     shard (atomic within a shard, not across shards).
+//   * new-period — a TWO-PHASE cross-shard epoch barrier: with every
+//     shard's state lock held exclusively (committers sync before
+//     releasing theirs, so nothing is staged), phase 1 stages each
+//     shard's reset record in memory (batching mode: no I/O), phase 2
+//     issues each shard's WAL append+fsync. The caller is acked only
+//     after every shard's sync. A crash between the phases leaves shards
+//     at mixed periods; open_shard_set rolls the laggards forward, which
+//     is safe exactly because the barrier was never acked.
+//   * fail-stop — any shard's sync failure (in a batch or in the
+//     barrier) poisons that shard's store; the router reports fatal()
+//     and invokes on_fatal once so the daemon can shut down and restart
+//     into recovery.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <span>
+#include <vector>
+
+#include "daemon/group_commit.h"
+#include "store/store.h"
+
+namespace dfky::daemon {
+
+class ShardRouter {
+ public:
+  /// One fresh Rng per shard, so committer threads never serialize on a
+  /// shared generator (the daemon passes SystemRng, tests a seeded one).
+  using RngFactory = std::function<std::unique_ptr<Rng>(std::size_t shard)>;
+
+  /// Takes ownership of the opened shard stores (from open_shard_set, or
+  /// a single-element vector for a plain store). `on_fatal` is invoked at
+  /// most once, on the first sync failure anywhere in the set.
+  ShardRouter(std::vector<StateStore> stores, const RngFactory& make_rng,
+              std::function<void()> on_fatal = {});
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  std::size_t shards() const { return shards_.size(); }
+  std::size_t shard_of(std::uint64_t global_id) const {
+    return static_cast<std::size_t>(global_id % shards_.size());
+  }
+  std::uint64_t local_of(std::uint64_t global_id) const {
+    return global_id / shards_.size();
+  }
+  std::uint64_t global_of(std::uint64_t local_id, std::size_t shard) const {
+    return local_id * shards_.size() + shard;
+  }
+
+  // -- mutations (durable before they return, per the shard's committer) --------
+
+  struct AddedUser {
+    std::uint64_t global_id = 0;
+    std::size_t shard = 0;
+    Bytes key_file;  // ready-to-write key file (group + vk + user key)
+  };
+  AddedUser add_user();
+
+  struct RevokeResult {
+    std::uint64_t period = 0;  // max period across the whole set afterwards
+    std::vector<Bytes> bundles;  // serialized SignedResetBundles, all shards
+  };
+  /// Partitions `global_ids` by shard and revokes per shard. Ids are
+  /// validated against their shard by the manager; an unknown id fails
+  /// that shard's sub-batch (earlier shards' revocations stand — the
+  /// operation is atomic per shard, not across shards).
+  RevokeResult revoke(std::span<const std::uint64_t> global_ids);
+
+  struct NewPeriodResult {
+    std::uint64_t period = 0;    // the new common epoch
+    std::vector<Bytes> bundles;  // one serialized reset bundle per shard
+  };
+  /// The two-phase cross-shard epoch barrier. Serialized against itself;
+  /// throws after a fail-stop.
+  NewPeriodResult new_period_all();
+
+  // -- reads --------------------------------------------------------------------
+
+  struct Status {
+    std::size_t shards = 0;
+    std::uint64_t period = 0;  // max across shards
+    std::vector<std::uint64_t> periods;  // per shard
+    std::size_t active = 0, revoked = 0;             // summed
+    std::size_t saturation_level = 0, saturation_limit = 0;  // summed
+    std::uint64_t generation = 0;   // summed
+    std::size_t wal_records = 0;    // summed
+    std::uint64_t commit_batches = 0, committed = 0;  // summed
+  };
+  Status status() const;
+
+  /// Seals `payload` under shard `shard`'s public key (keys issued by a
+  /// shard only open that shard's broadcasts).
+  Bytes encrypt(BytesView payload, std::size_t shard);
+
+  /// True after any shard fail-stopped (batch sync or barrier failure).
+  bool fatal() const { return fatal_.load(); }
+
+  // -- shutdown helpers (the daemon's teardown sequence) ------------------------
+
+  /// Joins every shard's committer thread and returns the stores to
+  /// fsync-per-mutation mode (poisoned shards skip their flush).
+  void stop_commits();
+  /// Final snapshot on every shard, under its exclusive state lock.
+  /// Throws on the first failing shard.
+  void snapshot_all();
+
+  // -- direct shard access (tests, bench) ---------------------------------------
+  StateStore& store(std::size_t shard) { return shards_[shard]->store; }
+  std::shared_mutex& state_mu(std::size_t shard) {
+    return shards_[shard]->state_mu;
+  }
+
+ private:
+  /// Non-movable: GroupCommit and the committer thread hold references
+  /// into the shard, so its address must be stable for its lifetime.
+  struct Shard {
+    explicit Shard(StateStore s) : store(std::move(s)) {}
+    StateStore store;
+    std::shared_mutex state_mu;
+    std::unique_ptr<Rng> rng;
+    std::mutex rng_mu;  // reads (encrypt) vs the shard's committer
+    std::optional<GroupCommit> commits;
+  };
+
+  void fail_stop();  // sets fatal_, invokes on_fatal_ once
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::function<void()> on_fatal_;
+  std::atomic<bool> fatal_{false};
+  std::atomic<std::uint64_t> next_add_{0};  // round-robin placement
+  std::mutex barrier_mu_;  // serializes new_period_all against itself
+};
+
+}  // namespace dfky::daemon

@@ -642,6 +642,93 @@ void StateStore::snapshot() {
   }
 }
 
+// ---- sharded deployments -------------------------------------------------------
+
+std::string shard_dir_name(std::size_t shard) {
+  return "shard." + std::to_string(shard);
+}
+
+bool is_shard_root(FileIo& io, const std::string& dir) {
+  return io.is_dir(dir) && io.is_dir(join(dir, shard_dir_name(0)));
+}
+
+std::size_t count_shards(FileIo& io, const std::string& dir) {
+  std::size_t n = 0;
+  while (io.is_dir(join(dir, shard_dir_name(n)))) ++n;
+  return n;
+}
+
+std::vector<StateStore> create_shard_set(FileIo& io, const std::string& root,
+                                         std::vector<SecurityManager> managers,
+                                         Rng& rng, StoreOptions opts) {
+  if (managers.empty()) {
+    throw ContractError("shard set: need at least one shard");
+  }
+  if (!io.is_dir(root)) io.mkdir(root);
+  if (io.exists(join(root, StateStore::kKeyFile))) {
+    throw ContractError("shard set: " + root + " already holds a plain store");
+  }
+  if (is_shard_root(io, root)) {
+    throw ContractError("shard set: " + root + " already holds a shard set");
+  }
+  std::vector<StateStore> shards;
+  shards.reserve(managers.size());
+  for (std::size_t i = 0; i < managers.size(); ++i) {
+    shards.push_back(StateStore::create(io, join(root, shard_dir_name(i)),
+                                        std::move(managers[i]), rng, opts));
+  }
+  // The shard.<i> entries are part of the committed layout.
+  io.fsync_dir(root);
+  return shards;
+}
+
+std::vector<StateStore> open_shard_set(FileIo& io, const std::string& root,
+                                       Rng& rng, StoreOptions opts,
+                                       ShardSetReport* report) {
+  const std::size_t n = count_shards(io, root);
+  if (n == 0) {
+    throw DecodeError("shard set: " + root + " has no shard.0 directory");
+  }
+  // All-or-nothing locking: a StoreLockedError on any shard propagates and
+  // the already-opened shards release their LOCKs on unwind, so a partially
+  // locked set never lingers.
+  std::vector<StateStore> shards;
+  shards.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards.push_back(StateStore::open(io, join(root, shard_dir_name(i)), opts));
+  }
+  // Epoch equalization. Shards diverge in exactly two ways: a crash between
+  // the two phases of a cross-shard new-period (some shards' WAL syncs
+  // landed, some did not — the barrier was never acked, so completing it is
+  // safe), and saturating revokes that rolled one shard autonomously. Both
+  // resolve the same way: roll every lagging shard forward to the maximum
+  // period; each roll is an ordinary durable new-period whose reset bundle
+  // lands in that shard's archive for receiver catch-up.
+  std::uint64_t epoch = 0;
+  for (const StateStore& s : shards) {
+    epoch = std::max(epoch, s.manager().period());
+  }
+  std::size_t rolled = 0;
+  for (StateStore& s : shards) {
+    while (s.manager().period() < epoch) {
+      s.new_period(rng);
+      ++rolled;
+    }
+  }
+  if (report != nullptr) {
+    report->shards = n;
+    report->epoch = epoch;
+    report->rolled_forward = rolled;
+    report->recoveries.clear();
+    for (const StateStore& s : shards) {
+      report->recoveries.push_back(s.recovery_report());
+    }
+  }
+  DFKY_OBS(obs::counter("dfky_store_shard_set_opens_total").inc();
+           obs::counter("dfky_store_shard_rollforwards_total").inc(rolled););
+  return shards;
+}
+
 // ---- fsck ----------------------------------------------------------------------
 
 FsckReport fsck_store(FileIo& io, const std::string& dir, bool repair) {
@@ -666,6 +753,7 @@ FsckReport fsck_store(FileIo& io, const std::string& dir, bool repair) {
       const RecoveryReport& rr = s.recovery_report();
       r.ok = true;
       r.generation = rr.generation;
+      r.period = s.manager().period();
       r.wal_records = rr.replayed_records;
       r.torn_tail_bytes = rr.truncated_bytes;
       r.stale_files = rr.stale_files_removed;
@@ -774,6 +862,8 @@ FsckReport fsck_store(FileIo& io, const std::string& dir, bool repair) {
       }
     }
   }
+
+  r.period = mgr->period();
 
   // Anything beyond {store.key, snap.<g>, wal.<g>} is stale.
   r.stale_files =

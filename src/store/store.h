@@ -164,6 +164,52 @@ class StateStore {
   std::size_t unsynced_records_ = 0;
 };
 
+// ---- sharded deployments (DESIGN.md Sect. 11) ---------------------------------
+//
+// A shard ROOT is a directory holding shard.0 .. shard.<N-1>, each a
+// complete store directory of its own: own HMAC key, own generations, own
+// LOCK. Shards are independent scheme instances partitioned by user id
+// (global id = local id * N + shard); the only cross-shard invariant is
+// the EPOCH — after recovery every shard sits at the same period. A crash
+// between the two phases of a cross-shard new-period leaves some shards
+// one period ahead; since that barrier was never acknowledged, open can
+// roll the lagging shards forward to the maximum (each roll is an
+// ordinary durable new-period), which is what open_shard_set does.
+
+/// "shard.<i>" — the root-relative directory of shard i.
+std::string shard_dir_name(std::size_t shard);
+
+/// True when `dir` is a shard root (contains a shard.0 subdirectory).
+/// Plain stores carry store.key at the top level instead, so the two
+/// layouts are distinguishable without configuration.
+bool is_shard_root(FileIo& io, const std::string& dir);
+
+/// Number of contiguous shard.<i> subdirectories starting at shard.0.
+std::size_t count_shards(FileIo& io, const std::string& dir);
+
+/// What open_shard_set found and did.
+struct ShardSetReport {
+  std::size_t shards = 0;
+  std::uint64_t epoch = 0;         // common period every shard landed on
+  std::size_t rolled_forward = 0;  // new-period rolls issued to equalize
+  std::vector<RecoveryReport> recoveries;  // per-shard open() reports
+};
+
+/// Creates a shard root with one store per manager (`managers[i]` becomes
+/// shard i). All shards durable when this returns.
+std::vector<StateStore> create_shard_set(FileIo& io, const std::string& root,
+                                         std::vector<SecurityManager> managers,
+                                         Rng& rng, StoreOptions opts = {});
+
+/// Multi-instance recovery entry point: opens every shard (taking every
+/// LOCK — a StoreLockedError on any shard unwinds the ones already
+/// opened), then equalizes the epoch by rolling lagging shards forward to
+/// the maximum period with `rng`. Throws DecodeError when `root` holds no
+/// shard.0.
+std::vector<StateStore> open_shard_set(FileIo& io, const std::string& root,
+                                       Rng& rng, StoreOptions opts = {},
+                                       ShardSetReport* report = nullptr);
+
 /// File-system check for a store directory. In check mode (repair = false)
 /// nothing is written and `ok` reports whether the store is pristine: a
 /// valid key file, exactly one generation, a clean WAL, no stale files.
@@ -174,6 +220,7 @@ struct FsckReport {
   bool repaired = false;       // repair mode actually changed something
   bool unrecoverable = false;  // no valid snapshot survives
   std::uint64_t generation = 0;
+  std::uint64_t period = 0;          // manager period after WAL replay
   std::size_t wal_records = 0;       // valid records in the live WAL
   std::size_t torn_tail_bytes = 0;   // trailing bytes failing validation
   std::size_t stale_files = 0;       // tmp / old-generation leftovers

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Gates the daemon bench (E12 group commit, E13 sharding) against the
+# checked-in baseline in bench/baselines/: a fresh DFKY_BENCH_SMOKE=1 run
+# must keep every (bench, op, n, v) median within the threshold factor of
+# the recorded figure. The threshold is deliberately generous — smoke runs
+# are short and CI machines differ from the machine that recorded the
+# baseline — so only step-change regressions (a lost batch path, an extra
+# fsync per ack) trip it, not scheduler noise.
+#
+#   tests/bench_baseline_check.sh <bench-binary> <bench_compare> <baseline-dir>
+set -euo pipefail
+
+bench="$(readlink -f "$1")"
+compare="$(readlink -f "$2")"
+baselines="$(readlink -f "$3")"
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+cd "$work"
+
+fail() { echo "bench_baseline_check: $1" >&2; exit 1; }
+
+[ -d "$baselines" ] || fail "no baseline dir at $baselines"
+
+mkdir current
+(cd current && DFKY_BENCH_SMOKE=1 "$bench" > /dev/null) \
+  || fail "bench run failed"
+
+"$compare" "$baselines" current --threshold 5.0 > compare.txt \
+  || { cat compare.txt >&2; fail "median regressed past 5x of the baseline"; }
+cat compare.txt
+
+# The gate is only meaningful if records actually matched: a renamed op or
+# baseline file silently comparing nothing must fail loudly.
+grep -Eq ' [1-9][0-9]* compared' compare.txt \
+  || fail "no records matched the baseline (renamed op or baseline file?)"
+
+echo "bench_baseline_check: ok"

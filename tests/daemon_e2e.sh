@@ -12,8 +12,10 @@ CLI="$2"
 FSCK="${3:-}"
 WORK="$(mktemp -d)"
 PID=""
+SPID=""
 cleanup() {
   [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null
+  [ -n "$SPID" ] && kill -9 "$SPID" 2>/dev/null
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -118,7 +120,8 @@ cat <&3 > metrics.txt
 exec 3<&- 3>&-
 grep -q '200 OK' metrics.txt || fail "metrics endpoint did not answer 200"
 if grep -q 'dfkyd_requests_total' metrics.txt; then
-  grep -Eq 'dfkyd_commit_batches_total [1-9]' metrics.txt \
+  # The commit counters carry a shard label even on a plain store.
+  grep -Eq 'dfkyd_commit_batches_total(\{[^}]*\})? [1-9]' metrics.txt \
     || fail "metrics: no commit batches counted"
 else
   grep -q 'compiled out' metrics.txt || fail "metrics body unrecognizable"
@@ -167,4 +170,126 @@ if [ -n "$FSCK" ]; then
 fi
 "$CLI" status store.d | grep -q 'period: *1' || fail "state lost across restarts"
 
-echo "daemon_e2e: ok (SIGKILL: $acked acked, $recovered recovered)"
+# =========================== sharded deployments ===============================
+SSOCK="$WORK/sharded.sock"
+
+start_sharded() {
+  : > sharded.log
+  "$DFKYD" shards.d --socket "$SSOCK" >> sharded.log 2>&1 &
+  SPID=$!
+  for _ in $(seq 1 200); do
+    grep -q 'dfkyd: ready' sharded.log 2>/dev/null && return 0
+    kill -0 "$SPID" 2>/dev/null \
+      || fail "sharded daemon died at startup: $(cat sharded.log)"
+    sleep 0.05
+  done
+  fail "sharded daemon never printed 'dfkyd: ready'"
+}
+
+sharded_field() {  # sharded_field <field>: read one field off client status
+  "$CLI" client "$SSOCK" status | sed -n "s/^$1: //p"
+}
+
+"$CLI" init shards.d --v 4 --group test128 --store --shards 3 \
+  | grep -q '(3 shards)' || fail "init --shards 3 did not report 3 shards"
+for i in 0 1 2; do
+  [ -d "shards.d/shard.$i" ] || fail "shard.$i directory missing"
+done
+"$CLI" status shards.d | grep -q 'shards: *3' \
+  || fail "offline status does not recognize the shard set"
+
+# ---- one locked shard aborts the whole-daemon startup (all-or-nothing) --------
+"$DFKYD" shards.d/shard.1 --socket "$WORK/holder.sock" > holder.log 2>&1 &
+HOLDER=$!
+for _ in $(seq 1 200); do
+  grep -q 'dfkyd: ready' holder.log 2>/dev/null && break
+  sleep 0.05
+done
+grep -q 'dfkyd: ready' holder.log || fail "plain daemon on shard.1 never ready"
+if "$DFKYD" shards.d --socket "$SSOCK" > sharded.log 2>&1; then
+  fail "sharded dfkyd started despite shard.1 being locked"
+fi
+grep -q 'is locked by pid' sharded.log \
+  || fail "sharded lock-out error unclear: $(cat sharded.log)"
+kill -TERM "$HOLDER"; wait "$HOLDER" || fail "shard.1 holder exited nonzero"
+
+# The failed attempt must have unwound the locks it took on shard.0/shard.2.
+start_sharded
+grep -q 'shard set with 3 shards' sharded.log \
+  || fail "daemon did not announce the shard set"
+[ "$(sharded_field shards)" = 3 ] || fail "client status: wrong shard count"
+[ "$(sharded_field periods)" = "0,0,0" ] || fail "shards not all at period 0"
+
+# ---- round-robin adds land on all shards, ids name their shard ----------------
+for i in $(seq 0 5); do
+  "$CLI" client "$SSOCK" add "s$i.key" >/dev/null || fail "sharded add failed"
+done
+[ "$(sharded_field active)" = 6 ] || fail "not 6 active users on the shard set"
+
+# ---- pipelined client: out-of-order completion, in-order output ---------------
+{ for _ in $(seq 1 4); do printf 'ping\nstatus\n'; done; } > pipe_in.txt
+"$CLI" client "$SSOCK" pipeline --window 4 < pipe_in.txt > pipe_out.txt \
+  || fail "pipelined client exited nonzero"
+grep -q 'pipelined 8 request(s), window 4, 0 error(s)' pipe_out.txt \
+  || fail "pipeline summary wrong: $(tail -1 pipe_out.txt)"
+idx=$(sed -n 's/^\[\([0-9]*\)\].*/\1/p' pipe_out.txt | tr '\n' ' ')
+[ "$idx" = "0 1 2 3 4 5 6 7 " ] \
+  || fail "pipelined responses out of input order: $idx"
+# An err reply is reported per-request and in the exit status, without
+# tearing down the rest of the window.
+if printf 'ping\nbogus\nping\n' \
+    | "$CLI" client "$SSOCK" pipeline --window 2 > pipe_err.txt; then
+  fail "pipeline with an err reply exited 0"
+fi
+grep -q 'pipelined 3 request(s), window 2, 1 error(s)' pipe_err.txt \
+  || fail "pipeline error accounting wrong: $(tail -1 pipe_err.txt)"
+
+# ---- shard-targeted encrypt and the cross-shard new-period --------------------
+SVICTIM=$("$CLI" client "$SSOCK" add svictim.key \
+  | sed -n 's/^added user #\([0-9]*\).*/\1/p')
+[ -n "$SVICTIM" ] || fail "sharded add did not report the user id"
+VSHARD=$((SVICTIM % 3))
+"$CLI" client "$SSOCK" encrypt payload.bin sb1.bin --shard "$VSHARD" >/dev/null
+[ "$("$CLI" decrypt svictim.key sb1.bin)" = "the midnight broadcast" ] \
+  || fail "sharded key cannot open its own shard's broadcast"
+"$CLI" client "$SSOCK" new-period --reset-out snp >/dev/null
+for i in 0 1 2; do
+  [ -f "snp.$i.bin" ] || fail "cross-shard new-period: bundle $i missing"
+done
+[ "$(sharded_field periods)" = "1,1,1" ] \
+  || fail "new-period left shards on different epochs"
+"$CLI" apply-reset svictim.key snp.$VSHARD.bin >/dev/null \
+  || fail "shard bundle does not apply to its shard's key"
+"$CLI" client "$SSOCK" encrypt payload.bin sb2.bin --shard "$VSHARD" >/dev/null
+[ "$("$CLI" decrypt svictim.key sb2.bin)" = "the midnight broadcast" ] \
+  || fail "caught-up sharded key cannot decrypt after the epoch barrier"
+
+# ---- SIGKILL mid cross-shard new-period: one consistent epoch -----------------
+users_before=$(sharded_field active)
+( while "$CLI" client "$SSOCK" new-period >/dev/null 2>&1; do :; done ) &
+NP_LOOP=$!
+sleep 0.3
+kill -9 "$SPID"
+SPID=""
+wait "$NP_LOOP" 2>/dev/null || true
+
+start_sharded
+periods=$(sharded_field periods)
+[ "$(echo "$periods" | tr ',' '\n' | sort -u | wc -l)" = 1 ] \
+  || fail "SIGKILL mid new-period left mixed epochs: $periods"
+[ "$(sharded_field active)" = "$users_before" ] \
+  || fail "SIGKILL mid new-period lost acked users"
+
+"$CLI" client "$SSOCK" shutdown >/dev/null || fail "sharded shutdown failed"
+rc=0; wait "$SPID" || rc=$?
+SPID=""
+[ "$rc" = 0 ] || fail "sharded socket shutdown exited $rc"
+if [ -n "$FSCK" ]; then
+  "$FSCK" shards.d > fsck_shards.txt || fail "fsck dirty on the shard set"
+  grep -q 'shard set with 3 shard(s)' fsck_shards.txt \
+    || fail "fsck did not recognize the shard set"
+  grep -q 'all shards at period' fsck_shards.txt \
+    || fail "fsck sees an epoch spread after recovery"
+fi
+
+echo "daemon_e2e: ok (SIGKILL: $acked acked, $recovered recovered; sharded ok)"

@@ -3,7 +3,11 @@
 // and RequestHandler driven line-by-line against an in-memory store.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
+#include <optional>
+#include <set>
 #include <shared_mutex>
 #include <thread>
 #include <vector>
@@ -61,6 +65,33 @@ TEST(Protocol, SplitTokensCollapsesRuns) {
   EXPECT_TRUE(split_tokens("   ").empty());
 }
 
+TEST(Protocol, RequestTagsSplitStrictly) {
+  const TaggedLine plain = split_request_tag("status");
+  EXPECT_FALSE(plain.id);
+  EXPECT_FALSE(plain.bad_tag);
+  EXPECT_EQ(plain.body, "status");
+
+  const TaggedLine tagged = split_request_tag("@17 revoke 3");
+  ASSERT_TRUE(tagged.id);
+  EXPECT_EQ(*tagged.id, 17u);
+  EXPECT_EQ(tagged.body, "revoke 3");
+
+  const TaggedLine bare = split_request_tag("@5");
+  ASSERT_TRUE(bare.id);
+  EXPECT_EQ(*bare.id, 5u);
+  EXPECT_EQ(bare.body, "");
+
+  // '@' with a malformed id is an error, not a guess: parse_u64 strictness
+  // applies to tags too.
+  EXPECT_TRUE(split_request_tag("@").bad_tag);
+  EXPECT_TRUE(split_request_tag("@x status").bad_tag);
+  EXPECT_TRUE(split_request_tag("@-1 status").bad_tag);
+  EXPECT_TRUE(split_request_tag("@18446744073709551616 ping").bad_tag);
+
+  EXPECT_EQ(tag_response(std::nullopt, "ok"), "ok");
+  EXPECT_EQ(tag_response(7, "ok a=b"), "@7 ok a=b");
+}
+
 TEST(Protocol, ResponsesRoundTrip) {
   EXPECT_EQ(ok_response(), "ok");
   EXPECT_EQ(ok_response({{"id", "3"}, {"key", "ab"}}), "ok id=3 key=ab");
@@ -80,6 +111,19 @@ TEST(Protocol, ResponsesRoundTrip) {
   EXPECT_FALSE(parse_response("ok bare-token"));
   EXPECT_FALSE(parse_response("ok =v"));
   EXPECT_FALSE(parse_response("errx"));
+
+  // Tagged responses carry the echoed pipeline id.
+  const auto tagged = parse_response("@9 ok id=3");
+  ASSERT_TRUE(tagged && tagged->ok);
+  ASSERT_TRUE(tagged->id);
+  EXPECT_EQ(*tagged->id, 9u);
+  EXPECT_EQ(tagged->fields.at("id"), "3");
+  const auto terr = parse_response("@2 err nope");
+  ASSERT_TRUE(terr && !terr->ok && terr->id);
+  EXPECT_EQ(*terr->id, 2u);
+  EXPECT_EQ(terr->error, "nope");
+  EXPECT_FALSE(parse_response("@x ok"));
+  EXPECT_FALSE(parse_response("@5"));
 }
 
 // ---- group commit -------------------------------------------------------------
@@ -204,20 +248,40 @@ TEST(GroupCommit, DestructorReturnsStoreToImmediateMode) {
 
 // ---- request handler ----------------------------------------------------------
 
-struct HandlerFixture : DaemonStore {
-  ChaChaRng rng{77};
-  GroupCommit commits{*store, state_mu};
-  RequestHandler handler{*store, commits, state_mu, rng};
+/// RequestHandler over a ShardRouter — one shard by default (the classic
+/// daemon shape), more for the sharded tests. Deterministic per-shard RNGs.
+struct HandlerFixture {
+  MemFileIo fs;
+  std::optional<ShardRouter> router;
+  std::optional<RequestHandler> handler;
+
+  explicit HandlerFixture(std::size_t shards = 1, std::size_t v = 2) {
+    ChaChaRng rng(31);
+    std::vector<StateStore> stores;
+    if (shards == 1) {
+      SecurityManager mgr(test::test_params(v, /*seed=*/31), rng);
+      stores.push_back(StateStore::create(fs, "store", std::move(mgr), rng));
+    } else {
+      const SystemParams sp = test::test_params(v, /*seed=*/31);
+      std::vector<SecurityManager> managers;
+      for (std::size_t i = 0; i < shards; ++i) managers.emplace_back(sp, rng);
+      stores = create_shard_set(fs, "store", std::move(managers), rng);
+    }
+    router.emplace(std::move(stores), [](std::size_t k) {
+      return std::make_unique<ChaChaRng>(100 + k);
+    });
+    handler.emplace(*router);
+  }
 
   Response ok(const std::string& line) {
-    const RequestHandler::Result res = handler.handle(line);
+    const RequestHandler::Result res = handler->handle(line);
     const auto r = parse_response(res.response);
     EXPECT_TRUE(r) << res.response;
     EXPECT_TRUE(r->ok) << res.response;
     return *r;
   }
   std::string err(const std::string& line) {
-    const RequestHandler::Result res = handler.handle(line);
+    const RequestHandler::Result res = handler->handle(line);
     const auto r = parse_response(res.response);
     EXPECT_TRUE(r && !r->ok) << res.response;
     return r ? r->error : "";
@@ -227,7 +291,9 @@ struct HandlerFixture : DaemonStore {
 TEST(RequestHandler, StatusReportsTheStore) {
   HandlerFixture f;
   const Response r = f.ok("status");
+  EXPECT_EQ(r.fields.at("shards"), "1");
   EXPECT_EQ(r.fields.at("period"), "0");
+  EXPECT_EQ(r.fields.at("periods"), "0");
   EXPECT_EQ(r.fields.at("active"), "0");
   EXPECT_EQ(r.fields.at("revoked"), "0");
   EXPECT_EQ(r.fields.at("saturation"), "0/2");
@@ -304,7 +370,9 @@ TEST(RequestHandler, NewPeriodAdvancesAndReturnsOneBundle) {
   const Response r = f.ok("new-period");
   EXPECT_EQ(r.fields.at("period"), "1");
   EXPECT_EQ(r.fields.at("saturation"), "0/2");
-  EXPECT_FALSE(r.fields.at("bundle").empty());
+  const std::string& csv = r.fields.at("bundles");
+  EXPECT_FALSE(csv.empty());
+  EXPECT_EQ(csv.find(','), std::string::npos);  // one shard, one bundle
 }
 
 TEST(RequestHandler, MalformedRequestsGetErrNotCrashes) {
@@ -325,17 +393,178 @@ TEST(RequestHandler, MalformedRequestsGetErrNotCrashes) {
 
 TEST(RequestHandler, ShutdownAcksAndSignals) {
   HandlerFixture f;
-  const RequestHandler::Result res = f.handler.handle("shutdown");
+  const RequestHandler::Result res = f.handler->handle("shutdown");
   EXPECT_EQ(res.response, "ok");
   EXPECT_TRUE(res.shutdown);
-  EXPECT_FALSE(f.handler.handle("status").shutdown);
+  EXPECT_FALSE(f.handler->handle("status").shutdown);
 }
 
 TEST(RequestHandler, OverlongLineIsRejectedUpFront) {
   HandlerFixture f;
   const std::string huge(kMaxLineBytes + 1, 'a');
-  const RequestHandler::Result res = f.handler.handle(huge);
+  const RequestHandler::Result res = f.handler->handle(huge);
   EXPECT_TRUE(res.response.starts_with("err "));
+}
+
+TEST(RequestHandler, TaggedRequestsEchoTheirTag) {
+  HandlerFixture f;
+  const RequestHandler::Result res = f.handler->handle("@42 status");
+  EXPECT_TRUE(res.response.starts_with("@42 ok ")) << res.response;
+  const auto r = parse_response(res.response);
+  ASSERT_TRUE(r && r->ok && r->id);
+  EXPECT_EQ(*r->id, 42u);
+
+  // Errors echo the tag too — a pipelining client must be able to match
+  // every response, including failures.
+  const auto e = parse_response(f.handler->handle("@7 frobnicate").response);
+  ASSERT_TRUE(e && !e->ok && e->id);
+  EXPECT_EQ(*e->id, 7u);
+
+  // A malformed tag cannot be echoed; the reply is an untagged err.
+  const RequestHandler::Result bad = f.handler->handle("@nope status");
+  EXPECT_TRUE(bad.response.starts_with("err ")) << bad.response;
+
+  // A tagged shutdown still signals.
+  EXPECT_TRUE(f.handler->handle("@1 shutdown").shutdown);
+}
+
+// ---- sharded handler / ShardRouter --------------------------------------------
+
+TEST(ShardRouter, AddUserRoundRobinsAndIdsNameTheirShard) {
+  HandlerFixture f(/*shards=*/3);
+  const Response st = f.ok("status");
+  EXPECT_EQ(st.fields.at("shards"), "3");
+  EXPECT_EQ(st.fields.at("periods"), "0,0,0");
+  EXPECT_EQ(st.fields.at("saturation"), "0/6");  // summed across shards
+
+  std::set<std::string> shards_seen;
+  for (int i = 0; i < 6; ++i) {
+    const Response added = f.ok("add-user");
+    const std::uint64_t id = *parse_u64(added.fields.at("id"));
+    const std::uint64_t shard = *parse_u64(added.fields.at("shard"));
+    EXPECT_EQ(id % 3, shard);  // global id = local*N + shard
+    shards_seen.insert(added.fields.at("shard"));
+  }
+  EXPECT_EQ(shards_seen.size(), 3u);  // round-robin reached every shard
+  EXPECT_EQ(f.ok("status").fields.at("active"), "6");
+}
+
+TEST(ShardRouter, KeysOpenOnlyTheirOwnShardsBroadcasts) {
+  HandlerFixture f(/*shards=*/2);
+  const Response a = f.ok("add-user");  // shard 0
+  const Response b = f.ok("add-user");  // shard 1
+  ASSERT_EQ(a.fields.at("shard"), "0");
+  ASSERT_EQ(b.fields.at("shard"), "1");
+  const KeyFileData ka = decode_key_file(*hex_decode(a.fields.at("key")));
+  const KeyFileData kb = decode_key_file(*hex_decode(b.fields.at("key")));
+
+  const Bytes payload = {1, 2, 3};
+  const Response enc0 = f.ok("encrypt " + hex_encode(payload) + " 0");
+  EXPECT_EQ(enc0.fields.at("shard"), "0");
+  const Bytes ct0 = *hex_decode(enc0.fields.at("ct"));
+  Reader r0(ct0);
+  const ContentMessage m0 = ContentMessage::deserialize(r0, ka.sp.group);
+  EXPECT_EQ(open_content(ka.sp, ka.key, m0), payload);
+  // Shard 1's key is a different scheme instance entirely.
+  EXPECT_THROW(open_content(kb.sp, kb.key, m0), Error);
+
+  EXPECT_NE(f.err("encrypt 00 2"), "");  // out-of-range shard
+}
+
+TEST(ShardRouter, RevokePartitionsAcrossShards) {
+  HandlerFixture f(/*shards=*/2);
+  std::vector<std::string> ids;
+  for (int i = 0; i < 4; ++i) ids.push_back(f.ok("add-user").fields.at("id"));
+  // One id per shard in a single request: both shards commit their part.
+  f.ok("revoke " + ids[0] + " " + ids[1]);
+  const Response st = f.ok("status");
+  EXPECT_EQ(st.fields.at("active"), "2");
+  EXPECT_EQ(st.fields.at("revoked"), "2");
+  EXPECT_EQ(st.fields.at("saturation"), "2/4");
+  // An unknown id fails its shard's sub-batch.
+  EXPECT_NE(f.err("revoke 404"), "");
+}
+
+TEST(ShardRouter, NewPeriodIsACrossShardBarrier) {
+  HandlerFixture f(/*shards=*/3);
+  const Response r = f.ok("new-period");
+  EXPECT_EQ(r.fields.at("period"), "1");
+  // One bundle per shard, every shard on the new epoch.
+  EXPECT_EQ(std::count(r.fields.at("bundles").begin(),
+                       r.fields.at("bundles").end(), ','),
+            2);
+  EXPECT_EQ(f.ok("status").fields.at("periods"), "1,1,1");
+
+  // Durable on every shard: a power cut after the ack loses nothing.
+  MemFileIo cut = f.fs;
+  cut.crash();
+  ChaChaRng rng(9);
+  ShardSetReport rep;
+  const std::vector<StateStore> recovered =
+      open_shard_set(cut, "store", rng, {}, &rep);
+  EXPECT_EQ(rep.epoch, 1u);
+  EXPECT_EQ(rep.rolled_forward, 0u);
+  for (const StateStore& s : recovered) {
+    EXPECT_EQ(s.manager().period(), 1u);
+  }
+}
+
+TEST(ShardRouter, EqualizesEpochsDriftedBySaturatingRevokes) {
+  // v=2: revoking 3 users on one shard rolls that shard's period
+  // autonomously. The next cross-shard new-period must land everyone on
+  // one common epoch, not leave the set staggered.
+  HandlerFixture f(/*shards=*/2);
+  std::vector<std::string> shard0_ids;
+  for (int i = 0; i < 8; ++i) {
+    const Response added = f.ok("add-user");
+    if (added.fields.at("shard") == "0") {
+      shard0_ids.push_back(added.fields.at("id"));
+    }
+  }
+  ASSERT_GE(shard0_ids.size(), 3u);
+  f.ok("revoke " + shard0_ids[0] + " " + shard0_ids[1] + " " +
+       shard0_ids[2]);
+  EXPECT_EQ(f.ok("status").fields.at("periods"), "1,0");  // drifted
+
+  const Response np = f.ok("new-period");
+  EXPECT_EQ(np.fields.at("period"), "2");  // max(1,0)+1
+  EXPECT_EQ(f.ok("status").fields.at("periods"), "2,2");
+  // The laggard shard emitted a catch-up bundle for each period it
+  // skipped: 1 (shard 0) + 2 (shard 1) bundles in total.
+  EXPECT_EQ(std::count(np.fields.at("bundles").begin(),
+                       np.fields.at("bundles").end(), ','),
+            2);
+}
+
+TEST(ShardRouter, ConcurrentMutationsLandOnTheRightShardsDurably) {
+  HandlerFixture f(/*shards=*/3);
+  constexpr std::size_t kThreads = 4, kPerThread = 6;
+  std::vector<std::thread> threads;
+  std::mutex ids_mu;
+  std::vector<std::uint64_t> ids;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const ShardRouter::AddedUser added = f.router->add_user();
+        std::lock_guard lk(ids_mu);
+        ids.push_back(added.global_id);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // No id was handed out twice, regardless of interleaving.
+  std::set<std::uint64_t> unique_ids(ids.begin(), ids.end());
+  EXPECT_EQ(unique_ids.size(), kThreads * kPerThread);
+
+  // Every ack survives a crash of all shards at once.
+  MemFileIo cut = f.fs;
+  cut.crash();
+  ChaChaRng rng(9);
+  const std::vector<StateStore> recovered =
+      open_shard_set(cut, "store", rng);
+  std::size_t users = 0;
+  for (const StateStore& s : recovered) users += s.manager().users().size();
+  EXPECT_EQ(users, kThreads * kPerThread);
 }
 
 }  // namespace

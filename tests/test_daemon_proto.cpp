@@ -1,0 +1,257 @@
+// Socket-protocol fuzzing for dfkyd (DESIGN.md Sect. 10–11): hostile
+// request lines — malformed hex blobs, oversized lines, truncated and
+// interleaved commands, NUL bytes, seeded random garbage — driven straight
+// through RequestHandler. Every line must come back as exactly one `err`
+// reply (never an `ok`, never an exception, never a hang), the handler
+// must stay usable afterwards, and no store mutation may slip through.
+// tools/sanitize_check.sh re-runs this battery under ASan/UBSan.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "daemon/daemon.h"
+#include "daemon/protocol.h"
+#include "rng/chacha_rng.h"
+#include "store/store.h"
+#include "test_util.h"
+
+namespace dfky::daemon {
+namespace {
+
+struct ProtoFixture {
+  MemFileIo fs;
+  std::optional<ShardRouter> router;
+  std::optional<RequestHandler> handler;
+
+  explicit ProtoFixture(std::size_t shards = 2) {
+    ChaChaRng rng(97);
+    const SystemParams sp = test::test_params(2, /*seed=*/97);
+    std::vector<StateStore> stores;
+    if (shards == 1) {
+      SecurityManager mgr(sp, rng);
+      stores.push_back(StateStore::create(fs, "store", std::move(mgr), rng));
+    } else {
+      std::vector<SecurityManager> managers;
+      for (std::size_t i = 0; i < shards; ++i) managers.emplace_back(sp, rng);
+      stores = create_shard_set(fs, "store", std::move(managers), rng);
+    }
+    router.emplace(std::move(stores), [](std::size_t k) {
+      return std::make_unique<ChaChaRng>(500 + k);
+    });
+    handler.emplace(*router);
+  }
+
+  /// Runs one line; asserts it neither shuts the daemon down nor throws.
+  std::string run(const std::string& line) {
+    RequestHandler::Result res = handler->handle(line);
+    EXPECT_FALSE(res.shutdown) << "line: " << line;
+    return res.response;
+  }
+
+  /// True when `line` draws an error reply (with or without a tag echo).
+  bool rejected(const std::string& line) {
+    const std::string resp = run(line);
+    const std::optional<Response> r = parse_response(resp);
+    return r && !r->ok;
+  }
+
+  std::uint64_t users() const { return router->status().active; }
+};
+
+// ---- malformed verbs and truncated commands -----------------------------------
+
+TEST(DaemonProto, TruncatedAndUnknownCommandsDrawErrors) {
+  ProtoFixture f;
+  const char* lines[] = {
+      "",              // empty line
+      " ",             // whitespace only
+      "bogus",         // unknown verb
+      "STATUS",        // verbs are case-sensitive
+      "revoke",        // missing ids
+      "revoke ",       // trailing space, still no ids
+      "encrypt",       // missing payload
+      "add-user 1",    // add-user takes no args
+      "status extra",  // status takes no args
+      "ping x y z",
+      "new-period now",
+      "shutdown --force",
+      "revoke 1 2 oops 3",  // one bad id poisons the batch
+      "revoke -1",
+      "revoke 18446744073709551616",  // 2^64
+  };
+  for (const char* line : lines) {
+    EXPECT_TRUE(f.rejected(line)) << "line: '" << line << "'";
+  }
+  // The handler is still healthy: a well-formed request succeeds.
+  const std::optional<Response> ok = parse_response(f.run("ping"));
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(ok->ok);
+  EXPECT_EQ(f.users(), 0u) << "a malformed line mutated the store";
+}
+
+TEST(DaemonProto, MalformedHexBlobsAreRejected) {
+  ProtoFixture f;
+  const char* lines[] = {
+      "encrypt zz",         // not hex
+      "encrypt abc",        // odd length
+      "encrypt 0x4141",     // 0x prefix is not part of the grammar
+      "encrypt 41 41",      // hex must be one token... (41 is a shard id
+                            // out of range for 2 shards)
+      "encrypt 41 x",       // ...and the shard id strictly decimal
+      "encrypt 41 -1",
+      "encrypt 41 2",       // shard out of range
+      "encrypt \xff\xfe",   // raw bytes where hex belongs
+      "encrypt 4g",
+  };
+  for (const char* line : lines) {
+    EXPECT_TRUE(f.rejected(line)) << "line: '" << line << "'";
+  }
+  // Well-formed encrypt still works after the abuse.
+  const std::optional<Response> ok = parse_response(f.run("encrypt 4141"));
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(ok->ok);
+}
+
+TEST(DaemonProto, OversizedLinesAreRejectedWithoutAllocationBlowup) {
+  ProtoFixture f;
+  std::string huge = "encrypt ";
+  huge.append(kMaxLineBytes + 1, '4');  // > 8 MiB of "hex"
+  EXPECT_TRUE(f.rejected(huge));
+  // Exactly at the cap with garbage content: still a clean error.
+  std::string at_cap(kMaxLineBytes, 'a');
+  EXPECT_TRUE(f.rejected(at_cap));
+  EXPECT_EQ(f.users(), 0u);
+}
+
+TEST(DaemonProto, NulBytesAndControlCharactersDrawErrors) {
+  ProtoFixture f;
+  const std::string lines[] = {
+      std::string("status\0", 7),             // embedded NUL after a verb
+      std::string("\0status", 7),             // leading NUL
+      std::string("revoke 1\0 2", 11),        // NUL splitting arguments
+      std::string("\0", 1),                   // NUL alone
+      "status\tnow",                          // tab is not a separator
+      "ping\rpong",                           // stray CR mid-line
+      "add-user\nstatus",                     // injected newline
+  };
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(f.rejected(line)) << "line bytes: " << line.size();
+  }
+  EXPECT_EQ(f.users(), 0u);
+}
+
+// ---- malformed pipeline tags --------------------------------------------------
+
+TEST(DaemonProto, MalformedTagsAreRejectedUntagged) {
+  ProtoFixture f;
+  const char* lines[] = {
+      "@",            // tag marker alone
+      "@ status",     // empty id
+      "@x status",    // non-decimal id
+      "@-1 status",   // sign
+      "@1x status",   // trailing junk in the id
+      "@18446744073709551616 status",  // 2^64
+      "@@3 status",   // doubled marker
+  };
+  for (const char* line : lines) {
+    const std::string resp = f.run(line);
+    // A bad tag cannot be echoed (its id is unparseable), so the error
+    // comes back untagged.
+    EXPECT_NE(resp.substr(0, 1), "@") << "line: '" << line << "'";
+    const std::optional<Response> r = parse_response(resp);
+    ASSERT_TRUE(r.has_value()) << "line: '" << line << "'";
+    EXPECT_FALSE(r->ok) << "line: '" << line << "'";
+  }
+  // A good tag on a bad body is echoed on the error.
+  const std::string resp = f.run("@7 bogus");
+  EXPECT_EQ(resp.substr(0, 3), "@7 ");
+  const std::optional<Response> r = parse_response(resp);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(r->ok);
+  ASSERT_TRUE(r->id.has_value());
+  EXPECT_EQ(*r->id, 7u);
+}
+
+// ---- interleaved command fragments --------------------------------------------
+
+TEST(DaemonProto, InterleavedCommandFragmentsNeverCompose) {
+  ProtoFixture f;
+  // Fragments of valid commands glued across "line" boundaries the way a
+  // buggy client might flush them. None may be interpreted as the whole.
+  const char* lines[] = {
+      "add-",     "user",          // split verb
+      "new-period revoke 0",       // two verbs on one line
+      "status status",
+      "@1 @2 status",              // tag where the verb belongs
+      "revoke @2",                 // tag where an id belongs
+      "encrypt 41 41 41",          // trailing repeats
+  };
+  for (const char* line : lines) {
+    EXPECT_TRUE(f.rejected(line)) << "line: '" << line << "'";
+  }
+  EXPECT_EQ(f.users(), 0u) << "an interleaved fragment mutated the store";
+}
+
+// ---- seeded random garbage ----------------------------------------------------
+
+TEST(DaemonProto, SeededGarbageNeverCrashesOrMutates) {
+  ProtoFixture f;
+  ChaChaRng rng(20260805);
+  const std::string verbs[] = {"", "ping ", "status ", "add-user ",
+                               "revoke ", "new-period ", "encrypt ", "@"};
+  std::uint64_t oks = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    // Half the lines start from a real verb so the fuzz reaches the
+    // argument parsers, not just the verb table.
+    std::string line(verbs[rng.u64() % 8]);
+    const std::size_t len = rng.u64() % 64;
+    for (std::size_t i = 0; i < len; ++i) {
+      line.push_back(static_cast<char>(rng.u64() % 256));
+    }
+    RequestHandler::Result res;
+    ASSERT_NO_THROW(res = f.handler->handle(line)) << "iter " << iter;
+    EXPECT_FALSE(res.shutdown) << "iter " << iter;
+    ASSERT_FALSE(res.response.empty()) << "iter " << iter;
+    const std::optional<Response> r = parse_response(res.response);
+    ASSERT_TRUE(r.has_value()) << "iter " << iter << " unparseable reply: "
+                               << res.response;
+    if (r->ok) ++oks;
+  }
+  // Random bytes can legitimately hit argless verbs ("ping", "status",
+  // "add-user" with an empty tail) — but only those; everything needing
+  // an argument must have failed.
+  const ShardRouter::Status st = f.router->status();
+  EXPECT_EQ(st.period, 0u) << "garbage triggered a new-period";
+  EXPECT_EQ(st.revoked, 0u) << "garbage revoked a user";
+  EXPECT_EQ(st.active, oks == 0 ? 0 : st.active);  // adds only via clean verbs
+  // The handler survives and still serves.
+  const std::optional<Response> ok = parse_response(f.run("status"));
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(ok->ok);
+}
+
+TEST(DaemonProto, SingleShardHandlerSurvivesTheSameBattery) {
+  ProtoFixture f(/*shards=*/1);
+  ChaChaRng rng(31337);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string line;
+    const std::size_t len = rng.u64() % 48;
+    for (std::size_t i = 0; i < len; ++i) {
+      line.push_back(static_cast<char>(rng.u64() % 256));
+    }
+    RequestHandler::Result res;
+    ASSERT_NO_THROW(res = f.handler->handle(line)) << "iter " << iter;
+    EXPECT_FALSE(res.shutdown);
+    EXPECT_FALSE(res.response.empty());
+  }
+  EXPECT_TRUE(f.rejected("encrypt zz"));
+  const std::optional<Response> ok = parse_response(f.run("ping"));
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(ok->ok);
+}
+
+}  // namespace
+}  // namespace dfky::daemon

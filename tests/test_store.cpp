@@ -675,5 +675,137 @@ TEST(Fsck, UnrecoverableOnBadKeyOrSnapshot) {
   EXPECT_TRUE(fsck_store(empty, "missing", /*repair=*/false).unrecoverable);
 }
 
+// ---- sharded deployments (DESIGN.md Sect. 11) ---------------------------------
+
+constexpr std::size_t kShards = 3;
+constexpr std::uint64_t kShardSeed = 4242;
+
+/// A 3-shard set with two durably acked users per shard. Built once; every
+/// crash run starts from a copy of the returned filesystem.
+MemFileIo sharded_base_fs() {
+  MemFileIo fs;
+  ChaChaRng rng(kShardSeed);
+  const SystemParams sp = test::test_params(2, /*seed=*/kShardSeed);
+  std::vector<SecurityManager> managers;
+  for (std::size_t i = 0; i < kShards; ++i) managers.emplace_back(sp, rng);
+  std::vector<StateStore> stores =
+      create_shard_set(fs, "shards", std::move(managers), rng);
+  for (StateStore& s : stores) {
+    s.add_user(rng);  // unbatched: durable (acked) before the crash run
+    s.add_user(rng);
+  }
+  return fs;
+}
+
+/// The two-phase cross-shard new-period, on raw stores: phase 1 stages
+/// every shard's reset record in memory, phase 2 syncs shard by shard —
+/// exactly the I/O schedule ShardRouter::new_period_all issues, so the
+/// FaultyFileIo crash indices land between the phases and between the
+/// per-shard syncs.
+void run_two_phase_new_period(FileIo& io) {
+  ChaChaRng rng(kShardSeed + 1);
+  std::vector<StateStore> stores = open_shard_set(io, "shards", rng);
+  for (StateStore& s : stores) s.set_batching(true);
+  for (StateStore& s : stores) s.new_period(rng);  // phase 1: no file I/O
+  for (StateStore& s : stores) s.sync();           // phase 2: commit
+  for (StateStore& s : stores) s.set_batching(false);
+}
+
+TEST(ShardSet, CreateAndOpenRoundTrip) {
+  MemFileIo fs = sharded_base_fs();
+  EXPECT_TRUE(is_shard_root(fs, "shards"));
+  EXPECT_FALSE(is_shard_root(fs, "shards/shard.0"));
+  EXPECT_EQ(count_shards(fs, "shards"), kShards);
+
+  ChaChaRng rng(1);
+  ShardSetReport rep;
+  const std::vector<StateStore> stores =
+      open_shard_set(fs, "shards", rng, {}, &rep);
+  EXPECT_EQ(rep.shards, kShards);
+  EXPECT_EQ(rep.epoch, 0u);
+  EXPECT_EQ(rep.rolled_forward, 0u);
+  ASSERT_EQ(rep.recoveries.size(), kShards);
+  for (const StateStore& s : stores) {
+    EXPECT_EQ(s.manager().users().size(), 2u);
+  }
+
+  // A shard set is not a plain store and vice versa.
+  EXPECT_THROW(StateStore::open(fs, "shards"), Error);
+  MemFileIo plain;
+  ChaChaRng rng2(2);
+  SecurityManager mgr(test::test_params(2, /*seed=*/7), rng2);
+  StateStore::create(plain, "store", std::move(mgr), rng2);
+  EXPECT_THROW(open_shard_set(plain, "store", rng2), Error);
+}
+
+TEST(ShardSet, OpenLocksAllShardsOrNone) {
+  MemFileIo fs = sharded_base_fs();
+  ChaChaRng rng(1);
+  {
+    // Somebody holds ONE shard in the middle of the set...
+    StateStore holder = StateStore::open(fs, "shards/shard.1");
+    // ...so the set open must fail, releasing the locks it already took.
+    EXPECT_THROW(open_shard_set(fs, "shards", rng), StoreLockedError);
+  }
+  // All-or-nothing: after the holder is gone, every shard (including
+  // shard.0, locked and unwound during the failed attempt) opens cleanly.
+  const std::vector<StateStore> stores = open_shard_set(fs, "shards", rng);
+  EXPECT_EQ(stores.size(), kShards);
+}
+
+TEST(ShardSet, CrossShardNewPeriodCrashMatrixRecoversOneEpoch) {
+  const MemFileIo base_fs = sharded_base_fs();
+
+  // I/O ops of a crash-free open + two-phase barrier.
+  std::uint64_t total_ops = 0;
+  {
+    MemFileIo fs = base_fs;
+    FaultyFileIo io(fs, FilePlan{});
+    run_two_phase_new_period(io);
+    total_ops = io.fault_counters().mutating_ops;
+  }
+  ASSERT_GT(total_ops, 0u);
+
+  for (std::uint64_t crash_at = 0; crash_at < total_ops; ++crash_at) {
+    MemFileIo fs = base_fs;
+    FilePlan plan;
+    plan.seed = 9000 + crash_at;
+    plan.crash_at = crash_at;
+    FaultyFileIo io(fs, plan);
+    bool crashed = false;
+    try {
+      run_two_phase_new_period(io);
+    } catch (const CrashPoint&) {
+      crashed = true;
+    }
+    ASSERT_TRUE(crashed) << "crash_at " << crash_at;
+
+    // Power cut: volatile writes vanish, then the daemon restarts.
+    fs.crash();
+    ChaChaRng rng(7);
+    ShardSetReport rep;
+    const std::vector<StateStore> recovered =
+        open_shard_set(fs, "shards", rng, {}, &rep);
+
+    // The un-acked barrier either fully vanished (epoch 0) or was rolled
+    // forward to completion (epoch 1) — never a mixed-epoch set.
+    EXPECT_LE(rep.epoch, 1u) << "crash_at " << crash_at;
+    for (const StateStore& s : recovered) {
+      EXPECT_EQ(s.manager().period(), rep.epoch)
+          << "crash_at " << crash_at << " shard " << s.dir();
+      // Every durably acked mutation (the two adds per shard) survived.
+      EXPECT_EQ(s.manager().users().size(), 2u) << "crash_at " << crash_at;
+    }
+
+    // The recovered set passes fsck shard by shard.
+    for (std::size_t i = 0; i < kShards; ++i) {
+      const FsckReport r =
+          fsck_store(fs, "shards/" + shard_dir_name(i), /*repair=*/false);
+      EXPECT_TRUE(r.ok) << "crash_at " << crash_at << " shard " << i;
+      EXPECT_EQ(r.period, rep.epoch) << "crash_at " << crash_at;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dfky

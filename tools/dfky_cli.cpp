@@ -30,14 +30,17 @@
 // add) and prints a summary or Prometheus text; `--since <unix-ts>` keeps
 // only the snapshots stamped at or after the given time.
 #include <cerrno>
+#include <condition_variable>
 #include <ctime>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <sys/socket.h>
@@ -145,6 +148,11 @@ StateHandle load_state(const std::string& path) {
   StateHandle h;
   h.path = path;
   if (real_io().is_dir(path)) {
+    if (is_shard_root(real_io(), path)) {
+      die("state store '" + path +
+          "' is a shard set — serve it with dfkyd and use `dfky_cli client` "
+          "(`dfky_cli status` prints an offline summary)");
+    }
     try {
       h.store.emplace(StateStore::open(real_io(), path));
     } catch (const StoreLockedError& e) {
@@ -220,6 +228,8 @@ int cmd_init(std::vector<std::string> args) {
       parse_count("init", "--v", flag_value(args, "--v").value_or("8")));
   const std::string group_name =
       flag_value(args, "--group").value_or("sec512");
+  const std::size_t shards = static_cast<std::size_t>(parse_count(
+      "init", "--shards", flag_value(args, "--shards").value_or("1")));
   bool as_store = false;
   for (auto it = args.begin(); it != args.end();) {
     if (*it == "--store") {
@@ -230,9 +240,22 @@ int cmd_init(std::vector<std::string> args) {
     }
   }
   reject_unknown_flags(args, "init");
+  if (shards == 0) die("init: --shards must be positive");
+  if (shards > 1 && !as_store) die("init: --shards requires --store");
   SystemRng rng;
   const SystemParams sp =
       SystemParams::create(group_by_name(group_name), v, rng);
+  if (shards > 1) {
+    // A shard set: shard.<k> subdirectories, one independent manager (and
+    // LOCK, WAL, snapshot chain) per shard — served by a sharded dfkyd.
+    std::vector<SecurityManager> managers;
+    for (std::size_t i = 0; i < shards; ++i) managers.emplace_back(sp, rng);
+    create_shard_set(real_io(), state_path, std::move(managers), rng);
+    std::printf("initialized: group=%s v=%zu m=%zu store=%s/ (%zu shards)\n",
+                group_name.c_str(), v, sp.max_collusion(), state_path.c_str(),
+                shards);
+    return 0;
+  }
   SecurityManager mgr(sp, rng);
   if (as_store) {
     const std::size_t state_bytes = mgr.save_state().size();
@@ -250,9 +273,58 @@ int cmd_init(std::vector<std::string> args) {
   return 0;
 }
 
+/// Offline summary of a shard set. Opening takes every shard's LOCK for
+/// the duration and equalizes a torn epoch (the same roll-forward a
+/// daemon restart performs), so this doubles as an offline repair.
+int shard_set_status(const std::string& path) {
+  SystemRng rng;
+  ShardSetReport rep;
+  std::vector<StateStore> stores;
+  try {
+    stores = open_shard_set(real_io(), path, rng, {}, &rep);
+  } catch (const StoreLockedError& e) {
+    die(std::string(e.what()) +
+        " — use `dfky_cli client` to talk to the daemon that holds it");
+  } catch (const Error& e) {
+    die("shard set '" + path + "' is corrupt or unreadable: " + e.what() +
+        " — run `dfky_fsck " + path + "` for a diagnosis");
+  }
+  std::size_t active = 0, revoked = 0;
+  for (const StateStore& s : stores) {
+    for (const UserRecord& u : s.manager().users()) {
+      (u.revoked ? revoked : active) += 1;
+    }
+  }
+  std::printf("shards:            %zu\n", rep.shards);
+  std::printf("period:            %llu%s\n",
+              static_cast<unsigned long long>(rep.epoch),
+              rep.rolled_forward > 0 ? " (equalized at open)" : "");
+  std::printf("users:             %zu active, %zu revoked\n", active, revoked);
+  if (rep.rolled_forward > 0) {
+    std::printf("roll-forwards:     %zu (torn cross-shard new-period)\n",
+                rep.rolled_forward);
+  }
+  for (std::size_t i = 0; i < stores.size(); ++i) {
+    const StateStore& s = stores[i];
+    std::size_t a = 0, r = 0;
+    for (const UserRecord& u : s.manager().users()) {
+      (u.revoked ? r : a) += 1;
+    }
+    std::printf(
+        "shard %zu:           period %llu, %zu active, %zu revoked, "
+        "generation %llu, %zu WAL record(s)\n",
+        i, static_cast<unsigned long long>(s.manager().period()), a, r,
+        static_cast<unsigned long long>(s.generation()), s.wal_records());
+  }
+  return 0;
+}
+
 int cmd_status(std::vector<std::string> args) {
   reject_unknown_flags(args, "status");
   if (args.empty()) die("status: missing state file");
+  if (real_io().is_dir(args[0]) && is_shard_root(real_io(), args[0])) {
+    return shard_set_status(args[0]);
+  }
   const StateHandle h = load_state(args[0]);
   const SecurityManager& mgr = h.mgr();
   std::size_t active = 0, revoked = 0;
@@ -470,9 +542,8 @@ int cmd_trace(std::vector<std::string> args) {
 
 // ---- talking to a live dfkyd --------------------------------------------------
 
-/// One request/response round over the daemon's unix socket.
-std::string daemon_request(const std::string& socket_path,
-                           const std::string& line) {
+/// Connects to a dfkyd unix socket; dies with a helpful message.
+int connect_daemon(const std::string& socket_path) {
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) die("client: socket: " + std::string(std::strerror(errno)));
   sockaddr_un addr{};
@@ -488,16 +559,29 @@ std::string daemon_request(const std::string& socket_path,
     die("client: cannot connect to " + socket_path + ": " + err +
         " (is dfkyd running?)");
   }
-  const std::string req = line + "\n";
+  return fd;
+}
+
+/// Sends all of `data`; returns false on a broken connection.
+bool send_str(int fd, std::string_view data) {
   std::size_t off = 0;
-  while (off < req.size()) {
-    const ssize_t n = ::send(fd, req.data() + off, req.size() - off, 0);
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, 0);
     if (n < 0 && errno == EINTR) continue;
-    if (n < 0) {
-      ::close(fd);
-      die("client: send: " + std::string(std::strerror(errno)));
-    }
+    if (n < 0) return false;
     off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// One request/response round over the daemon's unix socket.
+std::string daemon_request(const std::string& socket_path,
+                           const std::string& line) {
+  const int fd = connect_daemon(socket_path);
+  if (!send_str(fd, line + "\n")) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    die("client: send: " + err);
   }
   std::string resp;
   char buf[1 << 16];
@@ -560,16 +644,137 @@ std::size_t write_bundles_csv(const std::string& csv,
   return count;
 }
 
+/// `client <socket> pipeline [--window W]` — the pipelined client mode
+/// (DESIGN.md Sect. 11). Reads protocol request lines from stdin, tags
+/// request i with `@<i>`, and keeps up to W requests in flight over ONE
+/// connection before reading replies. A sharded daemon completes tagged
+/// requests out of order; the echoed tags let this client print every
+/// response in input order regardless. Strict accounting: a missing,
+/// duplicated, or unknown response id is fatal. Exit 0 when every request
+/// was answered `ok`, 1 when any was answered `err`.
+int cmd_client_pipeline(const std::string& sock,
+                        std::vector<std::string> args) {
+  const std::size_t window = static_cast<std::size_t>(
+      parse_count("client pipeline", "--window",
+                  flag_value(args, "--window").value_or("32")));
+  reject_unknown_flags(args, "client pipeline");
+  if (!args.empty()) {
+    die_usage("client: usage: client <socket> pipeline [--window W] < requests");
+  }
+  if (window == 0) die("client pipeline: --window must be positive");
+
+  std::vector<std::string> reqs;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '@') {
+      die("client pipeline: requests must not carry @tags "
+          "(they are assigned automatically)");
+    }
+    reqs.push_back(line);
+  }
+  if (reqs.empty()) {
+    std::printf("pipelined 0 request(s)\n");
+    return 0;
+  }
+
+  const int fd = connect_daemon(sock);
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t received = 0;
+  bool broken = false;
+
+  // Writer on its own thread, reader on this one: the two never block
+  // each other, so a full socket buffer can't deadlock the client the
+  // way write-then-read lockstep with a large window would.
+  std::thread sender([&] {
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      {
+        std::unique_lock lk(mu);
+        cv.wait(lk, [&] { return i < received + window || broken; });
+        if (broken) return;
+      }
+      const std::string req = "@" + std::to_string(i) + " " + reqs[i] + "\n";
+      if (!send_str(fd, req)) {
+        std::lock_guard lk(mu);
+        broken = true;
+        return;
+      }
+    }
+  });
+
+  std::map<std::uint64_t, std::string> responses;  // id -> untagged line
+  std::size_t next_print = 0;
+  std::size_t errors = 0;
+  std::string fail;  // deferred die(): the sender must be joined first
+  std::string buf;
+  char chunk[1 << 16];
+  while (fail.empty() && received < reqs.size()) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      fail = "daemon closed the connection after " +
+             std::to_string(received) + " of " + std::to_string(reqs.size()) +
+             " replies";
+      break;
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos;
+    while (fail.empty() && (pos = buf.find('\n')) != std::string::npos) {
+      const std::string resp = buf.substr(0, pos);
+      buf.erase(0, pos + 1);
+      const std::optional<daemon::Response> r = daemon::parse_response(resp);
+      if (!r || !r->id) {
+        fail = "malformed pipelined response: " + resp;
+        break;
+      }
+      if (*r->id >= reqs.size() || responses.count(*r->id)) {
+        fail = "response id " + std::to_string(*r->id) +
+               (responses.count(*r->id) ? " duplicated" : " never requested");
+        break;
+      }
+      if (!r->ok) ++errors;
+      const std::size_t tag_end = resp.find(' ');
+      responses[*r->id] = resp.substr(tag_end + 1);
+      {
+        std::lock_guard lk(mu);
+        ++received;
+      }
+      cv.notify_all();
+      while (next_print < reqs.size() && responses.count(next_print)) {
+        std::printf("[%zu] %s\n", next_print,
+                    responses[next_print].c_str());
+        ++next_print;
+      }
+    }
+  }
+  {
+    std::lock_guard lk(mu);
+    broken = true;  // unblock the sender if we bailed early
+  }
+  cv.notify_all();
+  sender.join();
+  ::close(fd);
+  if (!fail.empty()) die("client pipeline: " + fail);
+  std::printf("pipelined %zu request(s), window %zu, %zu error(s)\n",
+              reqs.size(), window, errors);
+  return errors == 0 ? 0 : 1;
+}
+
 int cmd_client(std::vector<std::string> args) {
   if (args.size() < 2) {
     die_usage(
         "client: usage: client <socket> "
-        "(ping|status|add|revoke|new-period|encrypt|shutdown) ...");
+        "(ping|status|add|revoke|new-period|encrypt|pipeline|shutdown) ...");
   }
   const std::string sock = args[0];
   const std::string sub = args[1];
   args.erase(args.begin(), args.begin() + 2);
 
+  if (sub == "pipeline") {
+    return cmd_client_pipeline(sock, std::move(args));
+  }
   if (sub == "ping" || sub == "status") {
     reject_unknown_flags(args, "client " + sub);
     const daemon::Response r =
@@ -623,17 +828,24 @@ int cmd_client(std::vector<std::string> args) {
     std::printf("advanced to period %s; saturation %s\n",
                 response_field(r, "period").c_str(),
                 response_field(r, "saturation").c_str());
-    write_bundles_csv(response_field(r, "bundle"), reset_prefix);
+    write_bundles_csv(response_field(r, "bundles"), reset_prefix);
     return 0;
   }
   if (sub == "encrypt") {
+    const std::optional<std::string> shard = flag_value(args, "--shard");
     reject_unknown_flags(args, "client encrypt");
     if (args.size() != 2) {
-      die_usage("client: usage: client <socket> encrypt <payload> <out>");
+      die_usage(
+          "client: usage: client <socket> encrypt <payload> <out> "
+          "[--shard K]");
     }
     const Bytes payload = read_file(args[0]);
-    const daemon::Response r = expect_ok(
-        daemon_request(sock, "encrypt " + daemon::hex_encode(payload)));
+    std::string req = "encrypt " + daemon::hex_encode(payload);
+    if (shard) {
+      req += " " + std::to_string(
+                       parse_count("client encrypt", "--shard", *shard));
+    }
+    const daemon::Response r = expect_ok(daemon_request(sock, req));
     const Bytes ct = decode_blob_field(r, "ct");
     write_file(args[1], ct);
     std::printf("encrypted %zu bytes -> %s (%zu bytes on the wire)\n",
@@ -898,7 +1110,8 @@ int cmd_stats(std::vector<std::string> args) {
 void usage(std::FILE* to) {
   std::fputs(
       "usage: dfky_cli <command> ... [--metrics-out FILE]\n"
-      "  init <state> [--v N] [--group NAME] [--store]  create a system\n"
+      "  init <state> [--v N] [--group NAME] [--store] [--shards N]\n"
+      "                                        create a system\n"
       "  status <state>                        show system state\n"
       "  add <state> <key-out>                 subscribe a user\n"
       "  revoke <state> <id...> [--reset-out P]  revoke users\n"
@@ -911,11 +1124,16 @@ void usage(std::FILE* to) {
       "  stats <metrics-file> [--format summary|prom] [--since TS]\n"
       "  client <socket> <cmd> ...             talk to a running dfkyd\n"
       "      ping | status | add <key-out> | revoke <id...> [--reset-out P]\n"
-      "      | new-period [--reset-out P] | encrypt <payload> <out> | shutdown\n"
+      "      | new-period [--reset-out P] | encrypt <payload> <out> [--shard K]\n"
+      "      | pipeline [--window W]  (requests on stdin, tagged @<n>,\n"
+      "        up to W in flight on one connection; replies printed in\n"
+      "        input order) | shutdown\n"
       "  help                                  this text\n"
       "\n"
       "<state> is a store directory (init --store: WAL + snapshots, every\n"
-      "mutation durable before the command returns; see dfky_fsck) or a\n"
+      "mutation durable before the command returns; see dfky_fsck), a\n"
+      "shard root (init --store --shards N: shard.<k> subdirectories, one\n"
+      "WAL/LOCK per shard, served by a sharded dfkyd) or a\n"
       "legacy single state file. --metrics-out FILE appends this\n"
       "invocation's metrics snapshot (JSONL) to FILE; `stats` merges the\n"
       "snapshots of a whole session, `--since TS` windows them by the\n"

@@ -5,9 +5,18 @@
 //   dfky_fsck <store-dir> --repair   truncate torn WAL tails, drop invalid
 //                                    snapshots' leftovers, remove stale files
 //
+// A shard root (a directory holding shard.0, shard.1, ...) is detected
+// automatically: every shard is checked, the per-shard reports are printed,
+// and the epoch spread is summarized (a spread of one period is the normal
+// footprint of a crash between the two phases of a cross-shard new-period;
+// the daemon equalizes it at the next open). The exit status is the worst
+// across the shards.
+//
 // Exit status: 0 the store is usable (check mode: pristine; repair mode:
 // recovered), 1 findings that repair could fix, 2 unrecoverable (no valid
 // snapshot survives — restore from backup).
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -21,6 +30,75 @@ namespace {
 
 void usage(std::FILE* to) {
   std::fputs("usage: dfky_fsck <store-dir> [--repair]\n", to);
+}
+
+void print_report(const std::string& dir, const FsckReport& r) {
+  std::printf("%s: %s\n", dir.c_str(),
+              r.unrecoverable ? "UNRECOVERABLE"
+              : r.ok          ? (r.repaired ? "recovered" : "clean")
+                              : "needs repair");
+  if (!r.unrecoverable) {
+    std::printf("  generation:     %llu\n",
+                static_cast<unsigned long long>(r.generation));
+    std::printf("  period:         %llu\n",
+                static_cast<unsigned long long>(r.period));
+    std::printf("  wal records:    %zu\n", r.wal_records);
+    std::printf("  torn tail:      %zu byte(s)\n", r.torn_tail_bytes);
+    std::printf("  stale files:    %zu\n", r.stale_files);
+  }
+  for (const std::string& note : r.notes) {
+    std::printf("  note: %s\n", note.c_str());
+  }
+}
+
+int report_status(const FsckReport& r) {
+  if (r.unrecoverable) return 2;
+  return r.ok ? 0 : 1;
+}
+
+/// Checks every shard of a shard root; exit status is the worst shard's.
+int fsck_shard_set(FileIo& io, const std::string& dir, bool repair) {
+  const std::size_t n = count_shards(io, dir);
+  std::printf("%s: shard set with %zu shard(s)\n", dir.c_str(), n);
+  int worst = 0;
+  std::uint64_t min_period = UINT64_MAX, max_period = 0;
+  bool have_periods = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string shard_dir = dir + "/" + shard_dir_name(i);
+    FsckReport r;
+    try {
+      r = fsck_store(io, shard_dir, repair);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "dfky_fsck: %s: %s\n", shard_dir.c_str(), e.what());
+      worst = 2;
+      continue;
+    }
+    print_report(shard_dir, r);
+    worst = std::max(worst, report_status(r));
+    if (!r.unrecoverable) {
+      min_period = std::min(min_period, r.period);
+      max_period = std::max(max_period, r.period);
+      have_periods = true;
+    }
+  }
+  if (have_periods) {
+    if (min_period == max_period) {
+      std::printf("%s: all shards at period %llu\n", dir.c_str(),
+                  static_cast<unsigned long long>(max_period));
+    } else {
+      std::printf(
+          "%s: epoch spread %llu..%llu — a torn cross-shard new-period; "
+          "the next daemon open rolls the laggards forward\n",
+          dir.c_str(), static_cast<unsigned long long>(min_period),
+          static_cast<unsigned long long>(max_period));
+    }
+  }
+  if (worst == 2) {
+    std::printf("  a shard has no valid snapshot; restore from backup\n");
+  } else if (worst == 1) {
+    std::printf("  run `dfky_fsck %s --repair` to fix\n", dir.c_str());
+  }
+  return worst;
 }
 
 }  // namespace
@@ -52,6 +130,9 @@ int main(int argc, char** argv) {
   }
 
   RealFileIo io;
+  if (is_shard_root(io, dir)) {
+    return fsck_shard_set(io, dir, repair);
+  }
   FsckReport r;
   try {
     r = fsck_store(io, dir, repair);
@@ -60,20 +141,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::printf("%s: %s\n", dir.c_str(),
-              r.unrecoverable ? "UNRECOVERABLE"
-              : r.ok          ? (r.repaired ? "recovered" : "clean")
-                              : "needs repair");
-  if (!r.unrecoverable) {
-    std::printf("  generation:     %llu\n",
-                static_cast<unsigned long long>(r.generation));
-    std::printf("  wal records:    %zu\n", r.wal_records);
-    std::printf("  torn tail:      %zu byte(s)\n", r.torn_tail_bytes);
-    std::printf("  stale files:    %zu\n", r.stale_files);
-  }
-  for (const std::string& note : r.notes) {
-    std::printf("  note: %s\n", note.c_str());
-  }
+  print_report(dir, r);
   if (r.unrecoverable) {
     std::printf("  the store has no valid snapshot; restore from backup\n");
     return 2;

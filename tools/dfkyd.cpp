@@ -1,4 +1,5 @@
-// dfkyd — serve one store directory over a unix socket (DESIGN.md Sect. 10).
+// dfkyd — serve one store directory (or shard root) over a unix socket
+// (DESIGN.md Sect. 10–11).
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -16,8 +17,11 @@ int usage(std::FILE* out) {
                "             [--snapshot-every N]\n"
                "\n"
                "Serves the store over a newline protocol (see dfky_cli\n"
-               "client). --metrics-port 0 binds an ephemeral loopback port\n"
-               "for GET /metrics; omit the flag to disable metrics.\n");
+               "client). A shard root (init --store --shards N) is detected\n"
+               "automatically: every shard's LOCK is taken and requests are\n"
+               "routed by user id. --metrics-port 0 binds an ephemeral\n"
+               "loopback port for GET /metrics; omit the flag to disable\n"
+               "metrics.\n");
   return out == stdout ? 0 : 2;
 }
 

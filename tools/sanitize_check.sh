@@ -28,9 +28,10 @@ if [ "$mode" = "tsan" ]; then
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 else
   build_dir="${1:-$repo/build-asan}"
-  filter="${2:-FaultyBus|Recovery|FaultMatrixTest|Bus\.|Obs|MemFileIo|FaultyFileIo|StateStore|CrashMatrix|Fsck|PersistenceFuzz}"
+  filter="${2:-FaultyBus|Recovery|FaultMatrixTest|Bus\.|Obs|MemFileIo|FaultyFileIo|StateStore|CrashMatrix|Fsck|PersistenceFuzz|ShardSet|ShardRouter|DaemonProto}"
   sanitize_flag=-DDFKY_SANITIZE=ON
-  targets=(fault_tests system_tests obs_tests store_tests core_tests)
+  targets=(fault_tests system_tests obs_tests store_tests core_tests
+    daemon_proto_tests daemon_tests)
   # halt_on_error so a sanitizer report fails the run loudly.
   export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
   export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
