@@ -29,7 +29,7 @@ namespace {
 const char* verb_label(const std::string& verb) {
   static constexpr const char* kVerbs[] = {
       "ping", "status", "add-user", "revoke", "new-period", "encrypt",
-      "shutdown"};
+      "shutdown", "repl-status", "repl-append", "repl-snap", "promote"};
   for (const char* v : kVerbs) {
     if (verb == v) return v;
   }
@@ -116,6 +116,7 @@ std::string RequestHandler::dispatch(const std::vector<std::string>& tokens) {
     const ShardRouter::Status st = router_.status();
     return ok_response(
         {{"pid", std::to_string(::getpid())},
+         {"role", router_.follower() ? "follower" : "primary"},
          {"shards", std::to_string(st.shards)},
          {"period", std::to_string(st.period)},
          {"periods", periods_field(st)},
@@ -158,6 +159,64 @@ std::string RequestHandler::dispatch(const std::vector<std::string>& tokens) {
     return ok_response({{"period", std::to_string(r.period)},
                         {"saturation", saturation_field(router_.status())},
                         {"bundles", bundles_field(r.bundles)}});
+  }
+
+  if (verb == "repl-status") {
+    if (tokens.size() != 1) {
+      return err_response("repl-status takes no arguments");
+    }
+    const std::vector<ShardRouter::ReplPosition> pos = router_.repl_positions();
+    std::vector<std::pair<std::string, std::string>> fields = {
+        {"role", router_.follower() ? "follower" : "primary"},
+        {"shards", std::to_string(pos.size())}};
+    for (std::size_t k = 0; k < pos.size(); ++k) {
+      fields.emplace_back("s" + std::to_string(k),
+                          std::to_string(pos[k].generation) + ":" +
+                              std::to_string(pos[k].records));
+    }
+    return ok_response(fields);
+  }
+
+  if (verb == "repl-append") {
+    if (tokens.size() != 5) {
+      return err_response(
+          "usage: repl-append <shard> <generation> <start-record> "
+          "<hex-frames>");
+    }
+    const auto shard = parse_u64(tokens[1]);
+    const auto gen = parse_u64(tokens[2]);
+    const auto start = parse_u64(tokens[3]);
+    if (!shard || !gen || !start) {
+      return err_response("repl-append: bad numeric argument");
+    }
+    const auto frames = hex_decode(tokens[4]);
+    if (!frames) return err_response("repl-append: frames are not hex");
+    const std::uint64_t seq = router_.replica_append(
+        static_cast<std::size_t>(*shard), *gen, *start, *frames);
+    return ok_response({{"seq", std::to_string(seq)}});
+  }
+
+  if (verb == "repl-snap") {
+    if (tokens.size() != 4) {
+      return err_response(
+          "usage: repl-snap <shard> <generation> <hex-snapshot>");
+    }
+    const auto shard = parse_u64(tokens[1]);
+    const auto gen = parse_u64(tokens[2]);
+    if (!shard || !gen) return err_response("repl-snap: bad numeric argument");
+    const auto frame = hex_decode(tokens[3]);
+    if (!frame) return err_response("repl-snap: snapshot is not hex");
+    router_.replica_snapshot(static_cast<std::size_t>(*shard), *gen, *frame);
+    return ok_response({{"gen", std::to_string(*gen)}, {"seq", "0"}});
+  }
+
+  if (verb == "promote") {
+    if (tokens.size() != 1) return err_response("promote takes no arguments");
+    router_.promote();
+    const ShardRouter::Status st = router_.status();
+    return ok_response({{"role", "primary"},
+                        {"period", std::to_string(st.period)},
+                        {"wal_records", std::to_string(st.wal_records)}});
   }
 
   if (verb == "encrypt") {
@@ -226,6 +285,56 @@ void close_fd(int& fd) {
   std::exit(1);
 }
 
+/// Replication link over the follower daemon's unix socket: one untagged
+/// request line per roundtrip. Timeouts bound a hung follower — the
+/// sender treats a timeout as a link failure and reconnects with backoff.
+class SocketReplLink : public ReplLink {
+ public:
+  explicit SocketReplLink(int fd) : fd_(fd) {}
+  ~SocketReplLink() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  std::optional<std::string> roundtrip(const std::string& line) override {
+    if (!send_all(fd_, line + "\n")) return std::nullopt;
+    for (;;) {
+      const std::size_t pos = buf_.find('\n');
+      if (pos != std::string::npos) {
+        std::string resp = buf_.substr(0, pos);
+        buf_.erase(0, pos + 1);
+        if (!resp.empty() && resp.back() == '\r') resp.pop_back();
+        return resp;
+      }
+      char chunk[1 << 16];
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return std::nullopt;  // peer gone, or timeout
+      buf_.append(chunk, static_cast<std::size_t>(n));
+      if (buf_.size() > kMaxLineBytes) return std::nullopt;
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buf_;
+};
+
+std::unique_ptr<ReplLink> connect_repl_socket(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) return nullptr;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return nullptr;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  const timeval tv{.tv_sec = 30, .tv_usec = 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  return std::make_unique<SocketReplLink>(fd);
+}
+
 /// One /metrics connection, served on its own short-lived detached thread
 /// so a stalled scraper can never wedge the accept loop (the fd carries
 /// recv/send timeouts set by the acceptor). Touches only process-global
@@ -262,14 +371,28 @@ void serve_metrics_conn(int fd) {
 Daemon::Daemon(DaemonOptions opts) : opts_(std::move(opts)) {
   std::vector<StateStore> stores;
   if (is_shard_root(io_, opts_.store_dir)) {
-    ShardSetReport report;
-    stores = open_shard_set(io_, opts_.store_dir, rng_, opts_.store, &report);
-    if (report.rolled_forward > 0) {
-      std::fprintf(stderr,
-                   "dfkyd: shard set recovered to epoch %llu "
-                   "(%zu roll-forward(s))\n",
-                   static_cast<unsigned long long>(report.epoch),
-                   report.rolled_forward);
+    if (opts_.follower) {
+      // A follower opens its shards WITHOUT open_shard_set's epoch
+      // equalization: rolling a laggard forward writes local new-period
+      // records, forking the stream it is about to receive from the
+      // primary. Mixed epochs on a follower are resolved by the primary's
+      // frames — or by promote(), if this replica is the survivor.
+      const std::size_t n = count_shards(io_, opts_.store_dir);
+      for (std::size_t i = 0; i < n; ++i) {
+        stores.push_back(StateStore::open(
+            io_, opts_.store_dir + "/" + shard_dir_name(i), opts_.store));
+      }
+    } else {
+      ShardSetReport report;
+      stores =
+          open_shard_set(io_, opts_.store_dir, rng_, opts_.store, &report);
+      if (report.rolled_forward > 0) {
+        std::fprintf(stderr,
+                     "dfkyd: shard set recovered to epoch %llu "
+                     "(%zu roll-forward(s))\n",
+                     static_cast<unsigned long long>(report.epoch),
+                     report.rolled_forward);
+      }
     }
   } else {
     stores.push_back(StateStore::open(io_, opts_.store_dir, opts_.store));
@@ -283,7 +406,8 @@ Daemon::Daemon(DaemonOptions opts) : opts_(std::move(opts)) {
         // restart recover.
         std::fprintf(stderr, "dfkyd: commit sync failed; shutting down\n");
         request_stop();
-      });
+      },
+      opts_.follower);
   handler_.emplace(*router_);
 }
 
@@ -359,6 +483,20 @@ int Daemon::run() {
   if (router_->shards() > 1) {
     std::printf("dfkyd: shard set with %zu shards\n", router_->shards());
   }
+  if (opts_.follower) {
+    std::printf("dfkyd: follower (read-only replica; `promote` to serve "
+                "mutations)\n");
+  }
+  if (!opts_.replicate_to.empty()) {
+    std::vector<FollowerSpec> specs;
+    for (const std::string& path : opts_.replicate_to) {
+      specs.push_back(FollowerSpec{
+          path, [path] { return connect_repl_socket(path); }});
+      std::printf("dfkyd: replicating to %s\n", path.c_str());
+    }
+    repl_.emplace(*router_, std::move(specs));
+    router_->attach_replication(&*repl_);
+  }
   if (metrics_port_ >= 0) {
     std::printf("dfkyd: metrics on http://127.0.0.1:%d/metrics\n",
                 metrics_port_);
@@ -420,6 +558,14 @@ int Daemon::run() {
     conns_cv_.wait(lk, [&] { return active_conns_ == 0; });
   }
   int rc = 0;
+  // Stop replication before the committers: stop() releases any committer
+  // blocked in its post_sync ack gate, and detaching keeps later syncs
+  // (final snapshot) from touching a dead sender.
+  if (repl_) {
+    router_->attach_replication(nullptr);
+    repl_->stop();
+    repl_.reset();
+  }
   handler_.reset();
   const bool commit_failed = router_->fatal();
   router_->stop_commits();  // joins committers; poisoned shards skip the flush

@@ -22,6 +22,7 @@
 #include <set>
 #include <string>
 
+#include "daemon/repl.h"
 #include "daemon/shard.h"
 #include "rng/system_rng.h"
 #include "store/store.h"
@@ -55,6 +56,14 @@ struct DaemonOptions {
   /// ephemeral port (reported by metrics_port() and on stdout).
   int metrics_port = -1;
   StoreOptions store;
+  /// Come up as a read-only replica (DESIGN.md Sect. 12): no committers,
+  /// mutations rejected, state advances via repl-append/repl-snap from a
+  /// primary, `promote` flips to primary. A follower shard set is opened
+  /// WITHOUT epoch equalization — rolling laggards forward writes local
+  /// new-period records, which would fork the replicated stream.
+  bool follower = false;
+  /// Follower daemon socket paths this (primary) daemon replicates to.
+  std::vector<std::string> replicate_to;
 };
 
 class Daemon {
@@ -89,6 +98,7 @@ class Daemon {
   SystemRng rng_;  // shard-set open (roll-forward); shards get their own
   std::optional<ShardRouter> router_;
   std::optional<RequestHandler> handler_;
+  std::optional<ReplicationSender> repl_;  // primaries with --replicate-to
 
   int listen_fd_ = -1;
   int metrics_fd_ = -1;

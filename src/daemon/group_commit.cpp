@@ -5,11 +5,13 @@
 namespace dfky::daemon {
 
 GroupCommit::GroupCommit(StateStore& store, std::shared_mutex& state_mu,
-                         std::function<void()> on_fatal, obs::Labels labels)
+                         std::function<void()> on_fatal, obs::Labels labels,
+                         std::function<void()> post_sync)
     : store_(store),
       state_mu_(state_mu),
       on_fatal_(std::move(on_fatal)),
-      labels_(std::move(labels)) {
+      labels_(std::move(labels)),
+      post_sync_(std::move(post_sync)) {
   store_.set_batching(true);
   committer_ = std::thread([this] { committer_loop(); });
 }
@@ -79,6 +81,11 @@ void GroupCommit::committer_loop() {
       }
     }
     if (!sync_failed) {
+      // Replication gate, outside the state lock (the sender's shipping
+      // threads take it shared to read the WAL) and before any ticket is
+      // marked done — submitters never see their ack until live followers
+      // hold the batch.
+      if (post_sync_) post_sync_();
       batches_.fetch_add(1, std::memory_order_relaxed);
       committed_.fetch_add(batch.size(), std::memory_order_relaxed);
       DFKY_OBS(obs::counter("dfkyd_commit_batches_total", labels_).inc();

@@ -37,8 +37,14 @@ class GroupCommit {
   /// `labels` is attached to every dfkyd_commit_* metric this queue
   /// emits; a sharded daemon passes {{"shard", "<k>"}} so per-shard
   /// committers stay distinguishable in one registry.
+  /// `post_sync` (optional) runs on the committer thread after each
+  /// successful batch sync, after the state lock is released but BEFORE
+  /// any submitter is acked — the replication hook: a primary blocks here
+  /// until live followers ack the batch, keeping durable-on-a-follower
+  /// part of the acknowledgement contract. It must not throw.
   GroupCommit(StateStore& store, std::shared_mutex& state_mu,
-              std::function<void()> on_fatal = {}, obs::Labels labels = {});
+              std::function<void()> on_fatal = {}, obs::Labels labels = {},
+              std::function<void()> post_sync = {});
   /// Drains everything still queued, stops the committer, returns the
   /// store to fsync-per-mutation mode (a poisoned store skips the flush).
   ~GroupCommit();
@@ -81,6 +87,7 @@ class GroupCommit {
   std::shared_mutex& state_mu_;
   std::function<void()> on_fatal_;
   obs::Labels labels_;  // shard identity on every metric
+  std::function<void()> post_sync_;  // replication ack gate (may be empty)
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // committer: queue non-empty or stop

@@ -1,0 +1,326 @@
+#include "daemon/repl.h"
+
+#include <algorithm>
+#include <chrono>
+#include <shared_mutex>
+
+#include "daemon/protocol.h"
+#include "daemon/shard.h"
+#include "obs/metrics.h"
+
+namespace dfky::daemon {
+
+namespace {
+
+std::uint32_t frame_be32(BytesView raw, std::size_t off) {
+  return (static_cast<std::uint32_t>(raw[off]) << 24) |
+         (static_cast<std::uint32_t>(raw[off + 1]) << 16) |
+         (static_cast<std::uint32_t>(raw[off + 2]) << 8) |
+         static_cast<std::uint32_t>(raw[off + 3]);
+}
+
+/// Splits a frames blob into whole-record chunks of at most `max_bytes`
+/// (a chunk always holds at least one record). Returns {offset, records}
+/// chunk boundaries; the blob is trusted (it came from our own WAL).
+struct FrameChunk {
+  std::size_t begin = 0, end = 0;
+  std::uint64_t records = 0;
+};
+
+std::vector<FrameChunk> split_frames(BytesView frames, std::size_t max_bytes) {
+  std::vector<FrameChunk> out;
+  FrameChunk cur;
+  std::size_t off = 0;
+  while (off < frames.size()) {
+    const std::size_t len = frame_be32(frames, off);
+    const std::size_t end = off + kWalFrameHeaderBytes + len;
+    if (cur.records > 0 && end - cur.begin > max_bytes) {
+      cur.end = off;
+      out.push_back(cur);
+      cur = FrameChunk{off, off, 0};
+    }
+    ++cur.records;
+    off = end;
+  }
+  if (cur.records > 0) {
+    cur.end = off;
+    out.push_back(cur);
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> field_u64(const Response& r, const std::string& k) {
+  const auto it = r.fields.find(k);
+  if (it == r.fields.end()) return std::nullopt;
+  return parse_u64(it->second);
+}
+
+}  // namespace
+
+ReplicationSender::ReplicationSender(ShardRouter& router,
+                                     std::vector<FollowerSpec> followers,
+                                     ReplOptions opts)
+    : router_(router), opts_(opts) {
+  for (FollowerSpec& spec : followers) {
+    auto f = std::make_unique<Follower>();
+    f->spec = std::move(spec);
+    f->gen.assign(router_.shards(), 0);
+    f->acked.assign(router_.shards(), 0);
+    followers_.push_back(std::move(f));
+  }
+  for (auto& f : followers_) {
+    f->thread = std::thread([this, fp = f.get()] { follower_loop(*fp); });
+  }
+}
+
+ReplicationSender::~ReplicationSender() { stop(); }
+
+void ReplicationSender::stop() {
+  {
+    std::lock_guard lk(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  ack_cv_.notify_all();
+  for (auto& f : followers_) {
+    if (f->thread.joinable()) f->thread.join();
+  }
+}
+
+bool ReplicationSender::stopping() const {
+  std::lock_guard lk(mu_);
+  return stop_;
+}
+
+void ReplicationSender::set_live(Follower& f, bool live) {
+  {
+    std::lock_guard lk(mu_);
+    f.live = live;
+  }
+  // Dead followers stop gating acks; waiters must re-evaluate.
+  ack_cv_.notify_all();
+  DFKY_OBS(obs::gauge("dfkyd_repl_follower_live", {{"follower", f.spec.name}})
+               .set(live ? 1 : 0););
+}
+
+void ReplicationSender::publish_lag(const std::string& follower, std::size_t k,
+                                    std::uint64_t lag_frames,
+                                    std::uint64_t lag_bytes,
+                                    std::uint64_t acked) const {
+  DFKY_OBS(const obs::Labels labels = {{"shard", std::to_string(k)},
+                                       {"follower", follower}};
+           obs::gauge("dfkyd_repl_lag_frames", labels)
+               .set(static_cast<std::int64_t>(lag_frames));
+           obs::gauge("dfkyd_repl_lag_bytes", labels)
+               .set(static_cast<std::int64_t>(lag_bytes));
+           obs::gauge("dfkyd_repl_acked_seq", labels)
+               .set(static_cast<std::int64_t>(acked)););
+  (void)follower;
+  (void)k;
+  (void)lag_frames;
+  (void)lag_bytes;
+  (void)acked;
+}
+
+bool ReplicationSender::establish(Follower& f) {
+  f.link = f.spec.connect ? f.spec.connect() : nullptr;
+  if (!f.link) return false;
+  const auto line = f.link->roundtrip("repl-status");
+  if (!line) {
+    f.link.reset();
+    return false;
+  }
+  const auto resp = parse_response(*line);
+  if (!resp || !resp->ok) {
+    f.link.reset();
+    return false;
+  }
+  {
+    std::lock_guard lk(mu_);
+    for (std::size_t k = 0; k < router_.shards(); ++k) {
+      // s<k> = "<generation>:<records>"
+      const auto it = resp->fields.find("s" + std::to_string(k));
+      f.gen[k] = 0;
+      f.acked[k] = 0;
+      if (it == resp->fields.end()) continue;
+      const std::size_t colon = it->second.find(':');
+      if (colon == std::string::npos) continue;
+      const auto g = parse_u64(it->second.substr(0, colon));
+      const auto s = parse_u64(it->second.substr(colon + 1));
+      if (g && s) {
+        f.gen[k] = *g;
+        f.acked[k] = *s;
+      }
+    }
+  }
+  set_live(f, true);
+  DFKY_OBS(obs::counter("dfkyd_repl_connects_total",
+                        {{"follower", f.spec.name}})
+               .inc(););
+  return true;
+}
+
+bool ReplicationSender::ship_shard(Follower& f, std::size_t k, bool* shipped) {
+  std::uint64_t fgen, fseq;
+  {
+    std::lock_guard lk(mu_);
+    fgen = f.gen[k];
+    fseq = f.acked[k];
+  }
+  // Read the shard's durable head (and whatever needs shipping) under the
+  // shard's shared state lock; committers exclude us while they batch.
+  std::uint64_t pgen = 0, precs = 0;
+  Bytes snap;
+  WalShipment ship;
+  {
+    std::shared_lock state(router_.state_mu(k));
+    const StateStore& st = router_.store(k);
+    pgen = st.generation();
+    precs = st.wal_records();
+    if (fgen != pgen) {
+      snap = router_.store(k).read_snapshot_frame();
+    } else if (fseq < precs) {
+      ship = router_.store(k).read_frames_from(fseq, 0);
+    }
+  }
+
+  if (fgen != pgen) {
+    // A generation behind (or, after a primary restart from backup, ahead —
+    // the snapshot install is idempotent and re-anchors either way).
+    publish_lag(f.spec.name, k, precs, snap.size(), 0);
+    const std::string line = "repl-snap " + std::to_string(k) + " " +
+                             std::to_string(pgen) + " " + hex_encode(snap);
+    const auto out = f.link->roundtrip(line);
+    if (!out) return false;
+    const auto resp = parse_response(*out);
+    if (!resp || !resp->ok) return false;
+    {
+      std::lock_guard lk(mu_);
+      f.gen[k] = pgen;
+      f.acked[k] = 0;
+    }
+    ack_cv_.notify_all();
+    *shipped = true;
+    DFKY_OBS(obs::counter("dfkyd_repl_snapshots_total",
+                          {{"follower", f.spec.name}})
+                 .inc(););
+    return true;
+  }
+
+  if (ship.frames.empty()) {
+    publish_lag(f.spec.name, k, 0, 0, fseq);
+    return true;
+  }
+  publish_lag(f.spec.name, k, precs - fseq, ship.frames.size(), fseq);
+  std::uint64_t next = ship.start_record;
+  for (const FrameChunk& c : split_frames(ship.frames, opts_.max_batch_bytes)) {
+    const BytesView chunk(ship.frames.data() + c.begin, c.end - c.begin);
+    const std::string line = "repl-append " + std::to_string(k) + " " +
+                             std::to_string(pgen) + " " + std::to_string(next) +
+                             " " + hex_encode(chunk);
+    const auto out = f.link->roundtrip(line);
+    if (!out) return false;
+    const auto resp = parse_response(*out);
+    if (!resp || !resp->ok) return false;
+    const auto seq = field_u64(*resp, "seq");
+    // No forward progress from a healthy-looking follower means the
+    // streams disagree; drop the link and resync from repl-status.
+    if (!seq || *seq < next + c.records) return false;
+    next += c.records;
+    {
+      std::lock_guard lk(mu_);
+      f.gen[k] = pgen;
+      f.acked[k] = std::max(f.acked[k], *seq);
+    }
+    ack_cv_.notify_all();
+    *shipped = true;
+    DFKY_OBS(obs::counter("dfkyd_repl_shipped_frames_total",
+                          {{"shard", std::to_string(k)},
+                           {"follower", f.spec.name}})
+                 .inc(c.records););
+  }
+  publish_lag(f.spec.name, k, 0, 0, next);
+  return true;
+}
+
+void ReplicationSender::follower_loop(Follower& f) {
+  int backoff = opts_.backoff_min_ms;
+  while (!stopping()) {
+    if (!f.link) {
+      if (!establish(f)) {
+        set_live(f, false);
+        std::unique_lock lk(mu_);
+        work_cv_.wait_for(lk, std::chrono::milliseconds(backoff),
+                          [&] { return stop_; });
+        backoff = std::min(backoff * 2, opts_.backoff_max_ms);
+        continue;
+      }
+      backoff = opts_.backoff_min_ms;
+    }
+    bool shipped = false;
+    bool link_ok = true;
+    try {
+      for (std::size_t k = 0; k < router_.shards() && link_ok; ++k) {
+        link_ok = ship_shard(f, k, &shipped);
+      }
+    } catch (const Error&) {
+      // A fail-stopped shard can no longer be read (the store poisoned
+      // itself mid-mutation). Nothing is shippable and the daemon is
+      // already shutting down; doze instead of tearing down the process
+      // from a shipping thread.
+      shipped = false;
+    }
+    if (!link_ok) {
+      f.link.reset();
+      set_live(f, false);
+      continue;
+    }
+    if (!shipped) {
+      // Caught up: doze until a committer syncs new work (post_sync wakes
+      // us via sync_shard) or a timeout re-checks the head.
+      std::unique_lock lk(mu_);
+      work_cv_.wait_for(lk, std::chrono::milliseconds(20),
+                        [&] { return stop_; });
+    }
+  }
+}
+
+void ReplicationSender::sync_shard(std::size_t shard) {
+  std::uint64_t pgen = 0, head = 0;
+  {
+    std::shared_lock state(router_.state_mu(shard));
+    const StateStore& st = router_.store(shard);
+    pgen = st.generation();
+    head = st.wal_records();
+  }
+  std::unique_lock lk(mu_);
+  work_cv_.notify_all();
+  ack_cv_.wait(lk, [&] {
+    if (stop_) return true;
+    for (const auto& f : followers_) {
+      if (!f->live) continue;
+      if (f->gen[shard] > pgen) continue;  // rotated past the captured head
+      if (f->gen[shard] == pgen && f->acked[shard] >= head) continue;
+      return false;
+    }
+    return true;
+  });
+}
+
+void ReplicationSender::sync_all() {
+  for (std::size_t k = 0; k < router_.shards(); ++k) sync_shard(k);
+}
+
+std::vector<ReplicationSender::FollowerStatus> ReplicationSender::status()
+    const {
+  std::lock_guard lk(mu_);
+  std::vector<FollowerStatus> out;
+  out.reserve(followers_.size());
+  for (const auto& f : followers_) {
+    out.push_back(FollowerStatus{f->spec.name, f->live, f->gen, f->acked});
+  }
+  return out;
+}
+
+}  // namespace dfky::daemon

@@ -1,0 +1,129 @@
+// WAL-shipping replication for dfkyd (DESIGN.md Sect. 12).
+//
+// A primary daemon owns one ReplicationSender. The sender runs one thread
+// per follower; each thread keeps a protocol link to its follower daemon
+// (reconnecting with capped exponential backoff), learns the follower's
+// per-shard position with `repl-status`, and streams the gap: raw WAL
+// frames (`repl-append`, whole records, chunked under the protocol's line
+// cap) while the generations match, the live snapshot file (`repl-snap`)
+// when the follower is a generation behind. Followers append the frames
+// verbatim — primary and follower share the store's HMAC key from the
+// bootstrap clone, so the ordinary chain verification authenticates the
+// stream and replicas stay byte-identical.
+//
+// The ack contract: sync_shard(k) blocks until every LIVE follower has
+// acked shard k up to the head captured at entry. GroupCommit calls it
+// from its post_sync hook, so a client's ack means the batch is durable on
+// the primary AND on every live follower. A follower whose link drops is
+// marked dead and stops gating acks — the primary degrades to standalone
+// rather than stalling, and catches the follower up after reconnect.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+
+namespace dfky::daemon {
+
+class ShardRouter;
+
+/// One request/response round over the daemon protocol. Implementations:
+/// a unix-socket client line (the daemon), a direct RequestHandler call
+/// with fault injection (the simulator).
+class ReplLink {
+ public:
+  virtual ~ReplLink() = default;
+  /// Sends one request line (no trailing newline) and returns the response
+  /// line, or nullopt on link failure (the sender reconnects and resyncs;
+  /// the protocol is idempotent, so a lost ack only costs a re-ship).
+  virtual std::optional<std::string> roundtrip(const std::string& line) = 0;
+};
+
+/// Reconnect seam: a fresh link, or nullptr while the follower is down.
+using ReplLinkFactory = std::function<std::unique_ptr<ReplLink>()>;
+
+struct FollowerSpec {
+  std::string name;  // metric label ("follower") and log identity
+  ReplLinkFactory connect;
+};
+
+struct ReplOptions {
+  /// Raw frame bytes per repl-append line (hex doubles this on the wire;
+  /// keep well under protocol::kMaxLineBytes).
+  std::size_t max_batch_bytes = std::size_t{1} << 20;
+  int backoff_min_ms = 10;   // reconnect backoff floor
+  int backoff_max_ms = 500;  // reconnect backoff cap
+};
+
+class ReplicationSender {
+ public:
+  /// Starts one shipping thread per follower. `router` must outlive the
+  /// sender; call stop() (or destroy) before tearing the router down.
+  ReplicationSender(ShardRouter& router, std::vector<FollowerSpec> followers,
+                    ReplOptions opts = {});
+  ~ReplicationSender();
+
+  ReplicationSender(const ReplicationSender&) = delete;
+  ReplicationSender& operator=(const ReplicationSender&) = delete;
+
+  /// Blocks until every live follower acked shard k up to the durable head
+  /// captured at entry (a follower that rotated past the captured
+  /// generation counts as caught up). Returns immediately when no follower
+  /// is live — a degraded primary acks standalone. Unblocked by stop().
+  void sync_shard(std::size_t shard);
+  /// sync_shard for every shard — the barrier's prepare/commit gates.
+  void sync_all();
+
+  struct FollowerStatus {
+    std::string name;
+    bool live = false;
+    std::vector<std::uint64_t> generation;  // per shard, last acked
+    std::vector<std::uint64_t> acked;       // per shard, acked record count
+  };
+  std::vector<FollowerStatus> status() const;
+
+  /// Stops the shipping threads and releases every sync_shard waiter.
+  void stop();
+
+ private:
+  struct Follower {
+    FollowerSpec spec;
+    std::unique_ptr<ReplLink> link;  // touched only by its own thread
+    bool live = false;               // guarded by mu_
+    std::vector<std::uint64_t> gen;    // guarded by mu_
+    std::vector<std::uint64_t> acked;  // guarded by mu_
+    std::thread thread;
+  };
+
+  void follower_loop(Follower& f);
+  /// Connect + repl-status resync; false when the follower is unreachable.
+  bool establish(Follower& f);
+  /// Ships shard k's gap; false on link failure (caller drops the link).
+  /// Sets *shipped when at least one line went out.
+  bool ship_shard(Follower& f, std::size_t k, bool* shipped);
+  void set_live(Follower& f, bool live);
+  void publish_lag(const std::string& follower, std::size_t k,
+                   std::uint64_t lag_frames, std::uint64_t lag_bytes,
+                   std::uint64_t acked) const;
+  bool stopping() const;
+
+  ShardRouter& router_;
+  ReplOptions opts_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // shipping threads: new head or stop
+  std::condition_variable ack_cv_;   // sync_shard waiters: acks advanced
+  bool stop_ = false;
+
+  std::vector<std::unique_ptr<Follower>> followers_;
+};
+
+}  // namespace dfky::daemon

@@ -4,6 +4,7 @@
 
 #include "core/content.h"
 #include "core/keyfile.h"
+#include "daemon/repl.h"
 #include "obs/metrics.h"
 #include "serial/codec.h"
 
@@ -25,18 +26,46 @@ Bytes serialize_bundle(const SignedResetBundle& bundle, const Group& group) {
 
 ShardRouter::ShardRouter(std::vector<StateStore> stores,
                          const RngFactory& make_rng,
-                         std::function<void()> on_fatal)
-    : on_fatal_(std::move(on_fatal)) {
+                         std::function<void()> on_fatal, bool follower)
+    : on_fatal_(std::move(on_fatal)), follower_(follower) {
   if (stores.empty()) throw ContractError("shard router: no shards");
   shards_.reserve(stores.size());
   for (StateStore& s : stores) {
     shards_.push_back(std::make_unique<Shard>(std::move(s)));
   }
   for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->rng = make_rng(i);
+  }
+  // A follower runs no committers: its stores must stay in
+  // fsync-per-mutation mode so replica ingest appends land directly.
+  if (!follower) start_committers();
+  DFKY_OBS(obs::gauge("dfkyd_role", {{"role", "primary"}})
+               .set(follower ? 0 : 1);
+           obs::gauge("dfkyd_role", {{"role", "follower"}})
+               .set(follower ? 1 : 0););
+}
+
+void ShardRouter::start_committers() {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
     Shard& sh = *shards_[i];
-    sh.rng = make_rng(i);
-    sh.commits.emplace(sh.store, sh.state_mu, [this] { fail_stop(); },
-                       shard_labels(i));
+    // Exclusive state lock: promote() runs this while readers (status)
+    // probe sh.commits under the shared lock.
+    std::unique_lock state(sh.state_mu);
+    sh.commits.emplace(
+        sh.store, sh.state_mu, [this] { fail_stop(); }, shard_labels(i),
+        [this, i] {
+          // Replication ack gate: with a sender attached, a batch is acked
+          // only once every live follower holds it.
+          if (ReplicationSender* r = repl_.load()) r->sync_shard(i);
+        });
+  }
+}
+
+void ShardRouter::ensure_primary(const char* verb) const {
+  if (follower_.load()) {
+    throw ContractError(std::string(verb) +
+                        ": this daemon is a read-only replica (promote it "
+                        "to accept mutations)");
   }
 }
 
@@ -50,6 +79,7 @@ void ShardRouter::fail_stop() {
 }
 
 ShardRouter::AddedUser ShardRouter::add_user() {
+  ensure_primary("add-user");
   const std::size_t k = static_cast<std::size_t>(
       next_add_.fetch_add(1, std::memory_order_relaxed) % shards_.size());
   Shard& sh = *shards_[k];
@@ -71,6 +101,7 @@ ShardRouter::AddedUser ShardRouter::add_user() {
 
 ShardRouter::RevokeResult ShardRouter::revoke(
     std::span<const std::uint64_t> global_ids) {
+  ensure_primary("revoke");
   // Partition by shard, preserving the caller's order within a shard.
   std::vector<std::vector<std::uint64_t>> by_shard(shards_.size());
   for (const std::uint64_t id : global_ids) {
@@ -101,11 +132,17 @@ ShardRouter::RevokeResult ShardRouter::revoke(
 }
 
 ShardRouter::NewPeriodResult ShardRouter::new_period_all() {
+  ensure_primary("new-period");
   std::lock_guard barrier_lk(barrier_mu_);
   if (fatal_.load()) {
     throw ContractError("new-period: shard set failed (fail-stop)");
   }
   DFKY_OBS_TIMER(span, "dfkyd_epoch_barrier_ns");
+  // Prepare gate across replicas: every live follower must hold the full
+  // pre-barrier history before we stage the epoch roll. Done before taking
+  // the state locks — the sender's shipping threads read under shared
+  // locks, so waiting while holding them exclusively would deadlock.
+  if (ReplicationSender* r = repl_.load()) r->sync_all();
   // Hold every shard's state lock exclusively for the whole barrier. The
   // committers run their batch AND its sync under this lock, so once we
   // hold all of them no shard has staged-but-unsynced records: the only
@@ -148,7 +185,103 @@ ShardRouter::NewPeriodResult ShardRouter::new_period_all() {
   }
   out.period = target;
   DFKY_OBS(obs::counter("dfkyd_epoch_barriers_total").inc(););
+  // Commit gate: release the state locks (the shipping threads need them
+  // shared), then hold the ack until every live follower has replayed the
+  // barrier records. A follower that dies mid-wait stops gating — the
+  // barrier lands standalone, and the laggard roll-forward (promote /
+  // open_shard_set) re-equalizes that replica if it ever comes back.
+  locks.clear();
+  if (ReplicationSender* r = repl_.load()) r->sync_all();
   return out;
+}
+
+std::uint64_t ShardRouter::replica_append(std::size_t shard, std::uint64_t gen,
+                                          std::uint64_t start_record,
+                                          BytesView frames) {
+  if (!follower_.load()) {
+    throw ContractError("repl-append: this daemon is a primary");
+  }
+  if (shard >= shards_.size()) {
+    throw ContractError("repl-append: shard " + std::to_string(shard) +
+                        " out of range");
+  }
+  Shard& sh = *shards_[shard];
+  std::unique_lock state(sh.state_mu);
+  const std::uint64_t seq =
+      sh.store.replica_apply_frames(gen, start_record, frames);
+  DFKY_OBS(obs::counter("dfkyd_shard_mutations_total",
+                        {{"shard", std::to_string(shard)},
+                         {"verb", "repl-append"}})
+               .inc(););
+  return seq;
+}
+
+void ShardRouter::replica_snapshot(std::size_t shard, std::uint64_t gen,
+                                   BytesView frame) {
+  if (!follower_.load()) {
+    throw ContractError("repl-snap: this daemon is a primary");
+  }
+  if (shard >= shards_.size()) {
+    throw ContractError("repl-snap: shard " + std::to_string(shard) +
+                        " out of range");
+  }
+  Shard& sh = *shards_[shard];
+  std::unique_lock state(sh.state_mu);
+  sh.store.replica_apply_snapshot(gen, frame);
+  DFKY_OBS(obs::counter("dfkyd_shard_mutations_total",
+                        {{"shard", std::to_string(shard)},
+                         {"verb", "repl-snap"}})
+               .inc(););
+}
+
+std::vector<ShardRouter::ReplPosition> ShardRouter::repl_positions() const {
+  std::vector<ReplPosition> out;
+  out.reserve(shards_.size());
+  for (const auto& sh : shards_) {
+    std::shared_lock lk(sh->state_mu);
+    out.push_back(ReplPosition{sh->store.generation(),
+                               static_cast<std::uint64_t>(
+                                   sh->store.wal_records())});
+  }
+  return out;
+}
+
+void ShardRouter::promote() {
+  std::lock_guard barrier_lk(barrier_mu_);
+  if (!follower_.load()) return;  // already a primary — idempotent
+  if (fatal_.load()) {
+    throw ContractError("promote: shard set failed (fail-stop)");
+  }
+  // Laggard roll-forward: a primary killed inside the barrier's phase-2
+  // sync loop replicated the epoch roll to some shards only. The barrier
+  // was never acked, so completing it here is safe — the same reasoning
+  // (and the same ordinary durable new-periods) as open_shard_set's
+  // equalization after a crash.
+  std::uint64_t target = 0;
+  for (auto& sh : shards_) {
+    std::unique_lock lk(sh->state_mu);
+    target = std::max(target, sh->store.manager().period());
+  }
+  std::size_t rolled = 0;
+  for (auto& sh : shards_) {
+    std::unique_lock lk(sh->state_mu);
+    std::lock_guard rng_lk(sh->rng_mu);
+    while (sh->store.manager().period() < target) {
+      sh->store.new_period(*sh->rng);  // durable: batching is off here
+      ++rolled;
+    }
+  }
+  start_committers();
+  follower_.store(false);
+  DFKY_OBS(obs::gauge("dfkyd_role", {{"role", "primary"}}).set(1);
+           obs::gauge("dfkyd_role", {{"role", "follower"}}).set(0);
+           obs::counter("dfkyd_promotions_total").inc();
+           obs::counter("dfky_store_shard_rollforwards_total").inc(rolled);
+           obs::event({.name = "promote",
+                       .period = static_cast<std::int64_t>(target),
+                       .detail = "laggards-rolled",
+                       .value = static_cast<std::int64_t>(rolled)}););
+  (void)rolled;
 }
 
 ShardRouter::Status ShardRouter::status() const {
@@ -166,8 +299,10 @@ ShardRouter::Status ShardRouter::status() const {
     st.saturation_limit += mgr.saturation_limit();
     st.generation += sh->store.generation();
     st.wal_records += sh->store.wal_records();
-    st.commit_batches += sh->commits->batches();
-    st.committed += sh->commits->committed();
+    if (sh->commits) {  // a follower runs no committers
+      st.commit_batches += sh->commits->batches();
+      st.committed += sh->commits->committed();
+    }
   }
   return st;
 }
@@ -196,6 +331,10 @@ void ShardRouter::stop_commits() {
 }
 
 void ShardRouter::snapshot_all() {
+  // A follower must never self-rotate: its generations are the primary's
+  // (shipped via repl-snap), and a locally minted generation would wedge
+  // the stream — the primary's frames would mismatch until a resync.
+  if (follower_.load()) return;
   for (auto& sh : shards_) {
     std::unique_lock state(sh->state_mu);
     sh->store.snapshot();

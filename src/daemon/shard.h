@@ -37,6 +37,8 @@
 
 namespace dfky::daemon {
 
+class ReplicationSender;
+
 class ShardRouter {
  public:
   /// One fresh Rng per shard, so committer threads never serialize on a
@@ -46,8 +48,14 @@ class ShardRouter {
   /// Takes ownership of the opened shard stores (from open_shard_set, or
   /// a single-element vector for a plain store). `on_fatal` is invoked at
   /// most once, on the first sync failure anywhere in the set.
+  ///
+  /// With `follower = true` the router comes up as a read-only replica:
+  /// no committer threads run (the stores stay in fsync-per-mutation mode,
+  /// which replica ingest requires), every mutation verb throws, and state
+  /// advances only through replica_append / replica_snapshot — until
+  /// promote() turns the router into an ordinary primary.
   ShardRouter(std::vector<StateStore> stores, const RngFactory& make_rng,
-              std::function<void()> on_fatal = {});
+              std::function<void()> on_fatal = {}, bool follower = false);
   ~ShardRouter();
 
   ShardRouter(const ShardRouter&) = delete;
@@ -112,6 +120,39 @@ class ShardRouter {
   /// True after any shard fail-stopped (batch sync or barrier failure).
   bool fatal() const { return fatal_.load(); }
 
+  // -- replication (DESIGN.md Sect. 12) ------------------------------------------
+
+  /// True while this router is a read-only replica.
+  bool follower() const { return follower_.load(); }
+
+  /// Follower ingest of a primary's WAL shipment for one shard, under the
+  /// shard's exclusive state lock. Returns the shard's record count after
+  /// ingest — the sequence number acked back to the primary. Throws
+  /// ContractError on a primary (the stream would race the committers).
+  std::uint64_t replica_append(std::size_t shard, std::uint64_t gen,
+                               std::uint64_t start_record, BytesView frames);
+  /// Follower ingest of a shipped snapshot rotation (idempotent).
+  void replica_snapshot(std::size_t shard, std::uint64_t gen, BytesView frame);
+
+  struct ReplPosition {
+    std::uint64_t generation = 0;
+    std::uint64_t records = 0;
+  };
+  /// Per-shard durable positions (shared state lock), for repl-status.
+  std::vector<ReplPosition> repl_positions() const;
+
+  /// Turns a follower into a primary: equalizes shard epochs by rolling
+  /// laggards forward (the same laggard-recovery new-periods open_shard_set
+  /// issues — a kill during the old primary's phase-2 sync loop can leave a
+  /// follower's shards at mixed periods), then starts the committer
+  /// threads. Idempotent; serialized against the epoch barrier.
+  void promote();
+
+  /// Attaches (or detaches, with nullptr) the primary's replication
+  /// sender. While attached, committers and the epoch barrier block acks
+  /// on live-follower replication. Detach before destroying the sender.
+  void attach_replication(ReplicationSender* repl) { repl_.store(repl); }
+
   // -- shutdown helpers (the daemon's teardown sequence) ------------------------
 
   /// Joins every shard's committer thread and returns the stores to
@@ -140,12 +181,16 @@ class ShardRouter {
   };
 
   void fail_stop();  // sets fatal_, invokes on_fatal_ once
+  void start_committers();
+  void ensure_primary(const char* verb) const;
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::function<void()> on_fatal_;
   std::atomic<bool> fatal_{false};
+  std::atomic<bool> follower_{false};
+  std::atomic<ReplicationSender*> repl_{nullptr};
   std::atomic<std::uint64_t> next_add_{0};  // round-robin placement
-  std::mutex barrier_mu_;  // serializes new_period_all against itself
+  std::mutex barrier_mu_;  // serializes new_period_all (and promote)
 };
 
 }  // namespace dfky::daemon

@@ -222,6 +222,19 @@ RealFileIo::~RealFileIo() {
 
 // ---- MemFileIo -----------------------------------------------------------------
 
+MemFileIo::MemFileIo(const MemFileIo& other) { *this = other; }
+
+MemFileIo& MemFileIo::operator=(const MemFileIo& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lk(mu_, other.mu_);
+  locks_ = other.locks_;
+  files_ = other.files_;
+  live_dirs_ = other.live_dirs_;
+  durable_ns_ = other.durable_ns_;
+  durable_dirs_ = other.durable_dirs_;
+  return *this;
+}
+
 MemFileIo::Inode& MemFileIo::live_inode(const std::string& path) {
   auto it = files_.find(path);
   if (it == files_.end()) throw IoError("mem_io: no such file: " + path);
@@ -229,14 +242,17 @@ MemFileIo::Inode& MemFileIo::live_inode(const std::string& path) {
 }
 
 bool MemFileIo::exists(const std::string& path) const {
+  std::lock_guard lk(mu_);
   return files_.contains(path) || live_dirs_.contains(path);
 }
 
 bool MemFileIo::is_dir(const std::string& path) const {
+  std::lock_guard lk(mu_);
   return live_dirs_.contains(path);
 }
 
 std::vector<std::string> MemFileIo::list(const std::string& dir) const {
+  std::lock_guard lk(mu_);
   if (!live_dirs_.contains(dir)) throw IoError("mem_io: no such dir: " + dir);
   std::vector<std::string> names;
   for (const auto& [path, inode] : files_) {
@@ -249,12 +265,14 @@ std::vector<std::string> MemFileIo::list(const std::string& dir) const {
 }
 
 Bytes MemFileIo::read(const std::string& path) const {
+  std::lock_guard lk(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) throw IoError("mem_io: no such file: " + path);
   return it->second.live;
 }
 
 void MemFileIo::write(const std::string& path, BytesView data) {
+  std::lock_guard lk(mu_);
   if (!live_dirs_.contains(dirname_of(path))) {
     throw IoError("mem_io: no such dir for: " + path);
   }
@@ -262,6 +280,7 @@ void MemFileIo::write(const std::string& path, BytesView data) {
 }
 
 void MemFileIo::append(const std::string& path, BytesView data) {
+  std::lock_guard lk(mu_);
   if (!live_dirs_.contains(dirname_of(path))) {
     throw IoError("mem_io: no such dir for: " + path);
   }
@@ -270,12 +289,14 @@ void MemFileIo::append(const std::string& path, BytesView data) {
 }
 
 void MemFileIo::truncate(const std::string& path, std::size_t size) {
+  std::lock_guard lk(mu_);
   Inode& ino = live_inode(path);
   if (ino.live.size() < size) throw IoError("mem_io: truncate grows " + path);
   ino.live.resize(size);
 }
 
 void MemFileIo::rename(const std::string& from, const std::string& to) {
+  std::lock_guard lk(mu_);
   auto it = files_.find(from);
   if (it == files_.end()) throw IoError("mem_io: rename missing " + from);
   if (!live_dirs_.contains(dirname_of(to))) {
@@ -286,11 +307,15 @@ void MemFileIo::rename(const std::string& from, const std::string& to) {
 }
 
 void MemFileIo::remove(const std::string& path) {
+  std::lock_guard lk(mu_);
   if (files_.erase(path) == 0) throw IoError("mem_io: remove missing " + path);
 }
 
 void MemFileIo::mkdir(const std::string& path) {
-  if (exists(path)) throw IoError("mem_io: mkdir exists: " + path);
+  std::lock_guard lk(mu_);
+  if (files_.contains(path) || live_dirs_.contains(path)) {
+    throw IoError("mem_io: mkdir exists: " + path);
+  }
   if (!live_dirs_.contains(dirname_of(path))) {
     throw IoError("mem_io: mkdir into missing dir: " + path);
   }
@@ -298,6 +323,7 @@ void MemFileIo::mkdir(const std::string& path) {
 }
 
 void MemFileIo::fsync_file(const std::string& path) {
+  std::lock_guard lk(mu_);
   Inode& ino = live_inode(path);
   ino.durable = ino.live;
   // If the directory entry is already durable, the synced content reaches
@@ -308,6 +334,7 @@ void MemFileIo::fsync_file(const std::string& path) {
 }
 
 void MemFileIo::fsync_dir(const std::string& dir) {
+  std::lock_guard lk(mu_);
   if (!live_dirs_.contains(dir)) throw IoError("mem_io: no such dir: " + dir);
   // Persist the entry table of `dir`: creations, renames and removals all
   // become crash-safe. Content durability is fsync_file's job — an entry
@@ -327,6 +354,7 @@ void MemFileIo::fsync_dir(const std::string& dir) {
 }
 
 bool MemFileIo::lock(const std::string& path, std::uint64_t* holder) {
+  std::lock_guard lk(mu_);
   if (holder != nullptr) *holder = 0;
   if (!live_dirs_.contains(dirname_of(path))) {
     throw IoError("mem_io: no such dir for: " + path);
@@ -345,9 +373,13 @@ bool MemFileIo::lock(const std::string& path, std::uint64_t* holder) {
   return true;
 }
 
-void MemFileIo::unlock(const std::string& path) { locks_.erase(path); }
+void MemFileIo::unlock(const std::string& path) {
+  std::lock_guard lk(mu_);
+  locks_.erase(path);
+}
 
 void MemFileIo::crash() {
+  std::lock_guard lk(mu_);
   std::map<std::string, Inode> survivors;
   for (const auto& [path, inode] : durable_ns_) {
     survivors[path] = Inode{inode.durable, inode.durable};
@@ -359,6 +391,7 @@ void MemFileIo::crash() {
 
 void MemFileIo::inject_durable_append(const std::string& path,
                                       BytesView data) {
+  std::lock_guard lk(mu_);
   auto it = durable_ns_.find(path);
   if (it == durable_ns_.end()) return;  // entry never durable: nothing lands
   it->second.durable.insert(it->second.durable.end(), data.begin(),
@@ -387,9 +420,25 @@ inline void note_io_fault(const char* kind) {
 FaultyFileIo::FaultyFileIo(MemFileIo& fs, FilePlan plan)
     : fs_(fs), plan_(plan), rng_(plan.seed) {}
 
+FilePlan FaultyFileIo::plan() const {
+  std::lock_guard lk(mu_);
+  return plan_;
+}
+
+FileFaultCounters FaultyFileIo::fault_counters() const {
+  std::lock_guard lk(mu_);
+  return counters_;
+}
+
+void FaultyFileIo::set_plan(FilePlan plan) {
+  std::lock_guard lk(mu_);
+  plan_ = plan;
+}
+
 void FaultyFileIo::mutating_op(const char* op, const std::string& path,
                                BytesView torn_data,
                                const std::string* torn_target) {
+  std::lock_guard lk(mu_);
   const std::uint64_t index = counters_.mutating_ops++;
   if (plan_.crash_at && index == *plan_.crash_at) {
     ++counters_.crashes;
@@ -417,6 +466,7 @@ std::vector<std::string> FaultyFileIo::list(const std::string& dir) const {
 }
 
 Bytes FaultyFileIo::read(const std::string& path) const {
+  std::lock_guard lk(mu_);
   ++counters_.reads;
   Bytes data = fs_.read(path);
   // Unconditional draws keep the PRG stream aligned across runs, exactly

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -114,6 +115,13 @@ class RealFileIo final : public FileIo {
 
 class MemFileIo final : public FileIo {
  public:
+  MemFileIo() = default;
+  /// Deep copy of both namespaces (tests fork a filesystem to model an
+  /// independent replica or a post-crash reopen). Thread-safe on `other`;
+  /// the new instance starts unshared.
+  MemFileIo(const MemFileIo& other);
+  MemFileIo& operator=(const MemFileIo& other);
+
   bool exists(const std::string& path) const override;
   bool is_dir(const std::string& path) const override;
   std::vector<std::string> list(const std::string& dir) const override;
@@ -148,6 +156,10 @@ class MemFileIo final : public FileIo {
 
   Inode& live_inode(const std::string& path);
 
+  /// One MemFileIo is shared by every shard of a set, so committer,
+  /// replication-sender and client threads reach the same maps through
+  /// different files; RealFileIo gets this isolation from the kernel.
+  mutable std::mutex mu_;
   std::map<std::string, std::uint64_t> locks_;  // path -> holder pid
   std::map<std::string, Inode> files_;       // live namespace
   std::set<std::string> live_dirs_{{""}};    // "" is the cwd root
@@ -203,8 +215,15 @@ class FaultyFileIo final : public FileIo {
   bool lock(const std::string& path, std::uint64_t* holder) override;
   void unlock(const std::string& path) override;
 
-  const FilePlan& plan() const { return plan_; }
-  const FileFaultCounters& fault_counters() const { return counters_; }
+  FilePlan plan() const;
+  FileFaultCounters fault_counters() const;
+
+  /// Replaces the fault plan mid-run; the op counter keeps running, so a
+  /// caller arms a relative crash with
+  /// `crash_at = fault_counters().mutating_ops + d`. The cluster simulator
+  /// uses this to detonate inside a specific window (e.g. the epoch
+  /// barrier's phase-2 appends) after a fault-free warm-up.
+  void set_plan(FilePlan plan);
 
  private:
   /// Counts the op; throws CrashPoint when the plan says so. `torn_target`
@@ -214,6 +233,9 @@ class FaultyFileIo final : public FileIo {
                    BytesView torn_data, const std::string* torn_target);
 
   MemFileIo& fs_;
+  /// Committer, sender and client threads all funnel through one injector
+  /// in the simulator; the plan/PRG/counters must move in lockstep.
+  mutable std::mutex mu_;
   FilePlan plan_;
   mutable ChaChaRng rng_;
   mutable FileFaultCounters counters_;

@@ -236,7 +236,6 @@ WalScan scan_wal(BytesView raw, BytesView key, std::uint64_t gen,
   s.valid_end = kWalHeader;
   Sha256::Digest chain = seed;
   while (true) {
-    const std::size_t start = raw.size() - r.remaining();
     if (r.remaining() < kFrameHeader) break;
     const std::size_t len = r.get_u32();
     const std::uint32_t crc = r.get_u32();
@@ -640,6 +639,315 @@ void StateStore::snapshot() {
   } catch (const IoError&) {
     // Leftovers are harmless; CrashPoint (not IoError) still propagates.
   }
+}
+
+// ---- replication ---------------------------------------------------------------
+
+namespace {
+
+std::string hex_of(BytesView raw) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(raw.size() * 2);
+  for (const byte b : raw) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string StateStore::chain_head_hex() const {
+  return hex_of(BytesView(chain_tag_.data(), chain_tag_.size()));
+}
+
+WalShipment StateStore::read_frames_from(std::uint64_t start_record,
+                                         std::size_t max_bytes) const {
+  ensure_usable();
+  if (start_record > wal_records_) {
+    throw ContractError("state store: read_frames_from(" +
+                        std::to_string(start_record) + ") past the " +
+                        std::to_string(wal_records_) + " durable record(s)");
+  }
+  WalShipment out;
+  out.generation = gen_;
+  out.start_record = start_record;
+  // Staged batch frames live in pending_, never in the file, so the file
+  // holds exactly the durable records — the only ones a replica may see.
+  const Bytes raw = io_->read(path(wal_name(gen_)));
+  if (raw.size() < kWalHeader) {
+    throw DecodeError("state store: " + wal_name(gen_) + " lost its header");
+  }
+  std::size_t off = kWalHeader;
+  for (std::uint64_t idx = 0; idx < wal_records_; ++idx) {
+    if (raw.size() - off < kFrameHeader) {
+      throw DecodeError("state store: " + wal_name(gen_) + " truncated");
+    }
+    const std::size_t len = read_be32(raw, off);
+    if (len > kMaxRecordBytes || raw.size() - off - kFrameHeader < len) {
+      throw DecodeError("state store: " + wal_name(gen_) + " malformed frame");
+    }
+    const std::size_t end = off + kFrameHeader + len;
+    if (idx >= start_record) {
+      if (max_bytes != 0 && !out.frames.empty() &&
+          out.frames.size() + (end - off) > max_bytes) {
+        break;
+      }
+      out.frames.insert(out.frames.end(), raw.begin() + off, raw.begin() + end);
+      ++out.records;
+    }
+    off = end;
+  }
+  return out;
+}
+
+Bytes StateStore::read_snapshot_frame() const {
+  ensure_usable();
+  return io_->read(path(snap_name(gen_)));
+}
+
+std::uint64_t StateStore::replica_apply_frames(std::uint64_t gen,
+                                               std::uint64_t start_record,
+                                               BytesView frames) {
+  ensure_usable();
+  if (batching_) {
+    throw ContractError("state store: replica apply requires batching off");
+  }
+  if (gen != gen_) {
+    throw DecodeError("state store: replica shipment for generation " +
+                      std::to_string(gen) + ", store is at " +
+                      std::to_string(gen_));
+  }
+  if (start_record > wal_records_) {
+    throw DecodeError("state store: replica shipment starts at record " +
+                      std::to_string(start_record) + " past our " +
+                      std::to_string(wal_records_));
+  }
+  // Validate the whole shipment before touching disk or state: skip the
+  // overlap (records we already hold — dup re-delivery), then CRC-, chain-
+  // and parse-check every new record. A torn final frame (truncated mid
+  // record) is dropped; the primary re-ships it whole. A record that fails
+  // verification, by contrast, means the streams diverged — throw.
+  std::vector<ManagerMutation> muts;
+  Sha256::Digest chain = chain_tag_;
+  std::uint64_t idx = start_record;
+  std::size_t new_begin = 0, new_end = 0;
+  bool have_new = false;
+  std::size_t off = 0;
+  while (off < frames.size()) {
+    if (frames.size() - off < kFrameHeader) break;  // torn header
+    const std::size_t len = read_be32(frames, off);
+    if (len > kMaxRecordBytes || frames.size() - off - kFrameHeader < len) {
+      break;  // torn payload
+    }
+    const std::size_t end = off + kFrameHeader + len;
+    if (idx < wal_records_) {  // dup: already durable here, skip structurally
+      off = end;
+      ++idx;
+      continue;
+    }
+    const std::uint32_t crc = read_be32(frames, off + 4);
+    const BytesView tag = frames.subspan(off + 8, kTagSize);
+    const BytesView payload = frames.subspan(off + kFrameHeader, len);
+    if (crc32c(payload) != crc) {
+      throw DecodeError("state store: replica frame " + std::to_string(idx) +
+                        " fails CRC");
+    }
+    const Sha256::Digest want = chain_next(key_, chain, payload);
+    if (!std::equal(tag.begin(), tag.end(), want.begin())) {
+      throw DecodeError("state store: replica frame " + std::to_string(idx) +
+                        " breaks the HMAC chain — streams diverged");
+    }
+    try {
+      Reader pr(payload);
+      muts.push_back(ManagerMutation::deserialize(pr, mgr_.params().group));
+      pr.expect_end();
+    } catch (const Error& e) {
+      throw DecodeError("state store: replica frame " + std::to_string(idx) +
+                        " does not parse: " + e.what());
+    }
+    if (!have_new) {
+      new_begin = off;
+      have_new = true;
+    }
+    new_end = end;
+    chain = want;
+    ++idx;
+    off = end;
+  }
+  if (!have_new) return wal_records_;  // pure dup (or torn-only) shipment
+  try {
+    DFKY_OBS_TIMER(span, "dfky_store_wal_append_ns");
+    io_->append(path(wal_name(gen_)),
+                Bytes(frames.begin() + static_cast<std::ptrdiff_t>(new_begin),
+                      frames.begin() + static_cast<std::ptrdiff_t>(new_end)));
+    io_->fsync_file(path(wal_name(gen_)));
+  } catch (...) {
+    // Same fail-stop contract as flush_pending: the frames may be partially
+    // on disk, so this process can no longer extend the chain.
+    poisoned_ = true;
+    DFKY_OBS(obs::counter("dfky_store_poisoned_total").inc(););
+    throw;
+  }
+  for (const ManagerMutation& m : muts) {
+    try {
+      mgr_.apply_mutation(m);
+    } catch (...) {
+      // Durable but unappliable: memory and disk disagree. Fail-stop; a
+      // reopen replays the file and surfaces the same error deterministically.
+      poisoned_ = true;
+      throw;
+    }
+  }
+  wal_records_ += muts.size();
+  chain_tag_ = chain;
+  DFKY_OBS(obs::counter("dfky_store_replica_frames_total").inc(muts.size()););
+  return wal_records_;
+}
+
+void StateStore::replica_apply_snapshot(std::uint64_t new_gen,
+                                        BytesView frame) {
+  ensure_usable();
+  if (batching_) {
+    throw ContractError("state store: replica apply requires batching off");
+  }
+  if (new_gen <= gen_) return;  // dup re-delivery of a rotation we hold
+  const auto info = parse_snapshot(frame, key_, new_gen);
+  if (!info) {
+    throw DecodeError("state store: shipped snapshot for generation " +
+                      std::to_string(new_gen) + " fails validation");
+  }
+  SecurityManager restored = SecurityManager::restore_state(info->payload);
+  // Durable install, mirroring snapshot(): temp + fsync + rename, fresh WAL
+  // seeded from the snapshot tag, then directory fsync as the commit point.
+  const std::string tmp = path(snap_name(new_gen) + kTmpSuffix);
+  io_->write(tmp, Bytes(frame.begin(), frame.end()));
+  io_->fsync_file(tmp);
+  io_->rename(tmp, path(snap_name(new_gen)));
+  io_->write(path(wal_name(new_gen)), encode_wal_header(new_gen, info->tag));
+  io_->fsync_file(path(wal_name(new_gen)));
+  io_->fsync_dir(dir_);
+  const std::uint64_t old = gen_;
+  gen_ = new_gen;
+  wal_records_ = 0;
+  chain_tag_ = info->tag;
+  mgr_ = std::move(restored);
+  mgr_.set_mutation_recording(true);
+  DFKY_OBS(obs::counter("dfky_store_replica_snapshots_total").inc(););
+  try {
+    io_->remove(path(snap_name(old)));
+    io_->remove(path(wal_name(old)));
+    io_->fsync_dir(dir_);
+  } catch (const IoError&) {
+    // Leftovers are harmless; the next open()/fsck removes them.
+  }
+}
+
+void clone_store_files(FileIo& src, FileIo& dst, const std::string& dir) {
+  if (!src.is_dir(dir)) {
+    throw DecodeError("clone: no such directory: " + dir);
+  }
+  if (!dst.is_dir(dir)) dst.mkdir(dir);
+  for (const std::string& name : src.list(dir)) {
+    if (name == StateStore::kLockFile) continue;  // per-process, never cloned
+    const std::string p = join(dir, name);
+    dst.write(p, src.read(p));
+    dst.fsync_file(p);
+  }
+  // list() reports regular files only; a shard root's subdirectories are
+  // probed by their well-known names.
+  for (std::size_t i = 0; src.is_dir(join(dir, shard_dir_name(i))); ++i) {
+    clone_store_files(src, dst, join(dir, shard_dir_name(i)));
+  }
+  dst.fsync_dir(dir);
+}
+
+WalInspection inspect_store_wal(FileIo& io, const std::string& dir) {
+  WalInspection r;
+  if (!io.is_dir(dir)) {
+    r.notes.push_back("no such directory: " + dir);
+    return r;
+  }
+  Bytes key;
+  try {
+    key = decode_key_file(io.read(join(dir, StateStore::kKeyFile)));
+  } catch (const Error& e) {
+    r.notes.push_back(std::string("store.key unusable: ") + e.what());
+    return r;
+  }
+  std::vector<std::uint64_t> gens;
+  for (const std::string& name : io.list(dir)) {
+    if (const auto g = parse_gen(name, StateStore::kSnapPrefix)) {
+      gens.push_back(*g);
+    }
+  }
+  std::sort(gens.rbegin(), gens.rend());
+  std::optional<SecurityManager> mgr;
+  Sha256::Digest seed{};
+  for (const std::uint64_t g : gens) {
+    Bytes raw;
+    try {
+      raw = io.read(join(dir, snap_name(g)));
+    } catch (const IoError&) {
+      continue;
+    }
+    const auto info = parse_snapshot(raw, key, g);
+    if (!info) continue;
+    try {
+      mgr.emplace(SecurityManager::restore_state(info->payload));
+    } catch (const Error&) {
+      continue;
+    }
+    r.generation = g;
+    seed = info->tag;
+    break;
+  }
+  if (!mgr) {
+    r.notes.push_back("no valid snapshot");
+    return r;
+  }
+  r.chain_head_hex = hex_of(BytesView(seed.data(), seed.size()));
+  const std::string wal = join(dir, wal_name(r.generation));
+  if (!io.exists(wal)) {
+    r.notes.push_back(wal_name(r.generation) + " missing");
+    r.period = mgr->period();
+    r.ok = true;  // a snapshot with no WAL is an empty (zero-record) log
+    return r;
+  }
+  const Bytes raw = io.read(wal);
+  const WalScan scan = scan_wal(raw, key, r.generation, seed);
+  if (!scan.header_ok) {
+    r.notes.push_back(wal_name(r.generation) + ": bad header");
+    r.period = mgr->period();
+    return r;
+  }
+  std::size_t keep_end = kWalHeader;
+  const Group& group = mgr->params().group;
+  for (const WalRecord& rec : scan.records) {
+    try {
+      Reader pr(rec.payload);
+      const ManagerMutation m = ManagerMutation::deserialize(pr, group);
+      pr.expect_end();
+      mgr->apply_mutation(m);
+    } catch (const Error&) {
+      break;  // semantically torn tail
+    }
+    ++r.records;
+    keep_end = rec.end;
+    r.chain_head_hex = hex_of(BytesView(rec.tag.data(), rec.tag.size()));
+  }
+  if (keep_end < raw.size()) {
+    r.notes.push_back(wal_name(r.generation) + ": " +
+                      std::to_string(raw.size() - keep_end) +
+                      " torn tail byte(s)");
+  }
+  r.frames.assign(raw.begin() + kWalHeader,
+                  raw.begin() + static_cast<std::ptrdiff_t>(keep_end));
+  r.frame_bytes = r.frames.size();
+  r.period = mgr->period();
+  r.ok = true;
+  return r;
 }
 
 // ---- sharded deployments -------------------------------------------------------

@@ -31,6 +31,20 @@ struct StoreOptions {
   std::size_t snapshot_every = 64;
 };
 
+/// Bytes of framing per WAL record: u32 payload length, u32 CRC32C, and the
+/// 32-byte chained HMAC tag. Shared with the replication transport, which
+/// splits shipments on frame boundaries.
+inline constexpr std::size_t kWalFrameHeaderBytes = 4 + 4 + Sha256::kDigestSize;
+
+/// A slice of a primary's live WAL, framed exactly as on disk, ready to be
+/// appended verbatim by a replica that shares the store's HMAC key.
+struct WalShipment {
+  std::uint64_t generation = 0;    // WAL generation the frames belong to
+  std::uint64_t start_record = 0;  // index of the first framed record
+  std::uint64_t records = 0;       // whole records in `frames`
+  Bytes frames;                    // raw frame bytes (no WAL header)
+};
+
 /// Another process holds the store directory's LOCK file. Distinct from
 /// DecodeError: the store is fine, it is just in use.
 class StoreLockedError : public Error {
@@ -125,6 +139,50 @@ class StateStore {
   std::size_t wal_records() const { return wal_records_; }
   const RecoveryReport& recovery_report() const { return recovery_; }
   const std::string& dir() const { return dir_; }
+  /// Hex of the WAL chain head (the last record's HMAC tag, or the live
+  /// snapshot's seed tag when the WAL is empty). Two replicas whose chain
+  /// heads match hold byte-identical logs.
+  std::string chain_head_hex() const;
+
+  // -- replication (DESIGN.md Sect. 12) ------------------------------------------
+  //
+  // Replicas are bootstrapped by cloning the primary's store directory
+  // (clone_store_files), so primary and follower share one HMAC key and one
+  // chain history. Replication then ships raw WAL frames: the follower
+  // appends them verbatim, which keeps the replicas byte-identical and lets
+  // the ordinary chain verification authenticate the stream.
+
+  /// Reads up to `max_bytes` of whole framed records from the live WAL,
+  /// starting at record index `start_record` (0-based; must not exceed
+  /// wal_records()). `max_bytes = 0` means no cap. Only durable records are
+  /// shipped — staged batch frames never appear.
+  WalShipment read_frames_from(std::uint64_t start_record,
+                               std::size_t max_bytes = 0) const;
+  /// The live generation's snapshot file, verbatim. Shipping this exact
+  /// frame (rather than re-encoding current state) matters: its tag seeds
+  /// the live WAL's chain, so a follower installing it can verify and
+  /// append the frames that follow.
+  Bytes read_snapshot_frame() const;
+
+  /// Follower ingest: verifies and appends WAL frames shipped from the
+  /// primary. `start_record` anchors the shipment: records the follower
+  /// already holds (index < wal_records()) are skipped structurally (dup
+  /// re-delivery is a no-op), a gap (start_record > wal_records()) throws
+  /// DecodeError, and a generation mismatch throws DecodeError (the primary
+  /// resyncs with a snapshot). New records must pass CRC + HMAC chain
+  /// verification from the current chain head; a torn final frame is
+  /// ignored (the primary re-ships it whole). Valid new records are
+  /// appended + fsynced, then applied to the manager. Returns the record
+  /// count after ingest — the sequence number to ack.
+  std::uint64_t replica_apply_frames(std::uint64_t gen,
+                                     std::uint64_t start_record,
+                                     BytesView frames);
+  /// Follower ingest of a shipped snapshot rotation (or bootstrap resync):
+  /// validates the frame against the shared key, durably installs it as
+  /// generation `new_gen` with a fresh WAL, restores the manager from its
+  /// payload, and removes the superseded generation. `new_gen <=
+  /// generation()` is an idempotent no-op (dup re-delivery).
+  void replica_apply_snapshot(std::uint64_t new_gen, BytesView frame);
 
   // -- layout constants shared with dfky_fsck ------------------------------------
   static constexpr char kKeyFile[] = "store.key";
@@ -228,5 +286,29 @@ struct FsckReport {
 };
 
 FsckReport fsck_store(FileIo& io, const std::string& dir, bool repair);
+
+// ---- replication helpers (DESIGN.md Sect. 12) ----------------------------------
+
+/// Copies a store directory (plain store or shard root) from `src` to the
+/// same path under `dst`, skipping LOCK files — the bootstrap step that
+/// hands a follower the primary's HMAC keys and chain history. The source
+/// must be quiescent (no live daemon writing it).
+void clone_store_files(FileIo& src, FileIo& dst, const std::string& dir);
+
+/// Read-only WAL inspection for replica comparison (dfky_fsck --replica).
+/// Unlike fsck_store this exposes the raw validated frame bytes so two
+/// replicas of one shard can be compared for prefix compatibility.
+struct WalInspection {
+  bool ok = false;  // a valid snapshot + WAL header were found
+  std::uint64_t generation = 0;
+  std::uint64_t period = 0;     // manager period after replaying the WAL
+  std::size_t records = 0;      // chain-valid records in the live WAL
+  std::size_t frame_bytes = 0;  // bytes of those frames (header excluded)
+  std::string chain_head_hex;   // tag of the last valid record (or seed)
+  Bytes frames;                 // the validated frame bytes themselves
+  std::vector<std::string> notes;
+};
+
+WalInspection inspect_store_wal(FileIo& io, const std::string& dir);
 
 }  // namespace dfky

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # End-to-end exercise of dfkyd: store locking against concurrent opens,
 # concurrent clients through the group-commit queue, the /metrics endpoint,
-# SIGTERM graceful shutdown, and SIGKILL crash-recovery with every
-# acknowledged mutation intact.
+# SIGTERM graceful shutdown, SIGKILL crash-recovery with every acknowledged
+# mutation intact, and a real-process primary/follower failover (SIGKILL the
+# primary mid-load, promote the follower, client retry masks the gap).
 #
 #   daemon_e2e.sh <dfkyd> <dfky_cli> [<dfky_fsck>]
 set -euo pipefail
@@ -13,9 +14,13 @@ FSCK="${3:-}"
 WORK="$(mktemp -d)"
 PID=""
 SPID=""
+RPID=""
+FPID=""
 cleanup() {
   [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null
   [ -n "$SPID" ] && kill -9 "$SPID" 2>/dev/null
+  [ -n "$RPID" ] && kill -9 "$RPID" 2>/dev/null
+  [ -n "$FPID" ] && kill -9 "$FPID" 2>/dev/null
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -292,4 +297,136 @@ if [ -n "$FSCK" ]; then
     || fail "fsck sees an epoch spread after recovery"
 fi
 
-echo "daemon_e2e: ok (SIGKILL: $acked acked, $recovered recovered; sharded ok)"
+# ========================== replicated deployments =============================
+# A primary/follower pair over WAL shipping (DESIGN.md Sect. 12): the
+# follower serves reads and rejects writes; an ack from the primary means
+# the record is durable on the follower too, so SIGKILLing the primary and
+# promoting the follower loses nothing. Clients connect through a socket
+# symlink; repointing it plus the default connect retry masks the gap.
+PSOCK_REAL="$WORK/repl_primary.sock"
+FSOCK="$WORK/repl_follower.sock"
+CSOCK="$WORK/cluster.sock"
+
+"$CLI" init repl_primary.d --v 4 --group test128 --store --shards 2 >/dev/null
+# A replica bootstraps from a byte-for-byte backup of the primary (shares
+# the WAL HMAC keys, so shipped frames chain-verify).
+cp -r repl_primary.d repl_follower.d
+
+: > follower.log
+"$DFKYD" repl_follower.d --socket "$FSOCK" --follower >> follower.log 2>&1 &
+FPID=$!
+for _ in $(seq 1 200); do
+  grep -q 'dfkyd: ready' follower.log 2>/dev/null && break
+  kill -0 "$FPID" 2>/dev/null \
+    || fail "follower died at startup: $(cat follower.log)"
+  sleep 0.05
+done
+grep -q 'dfkyd: ready' follower.log || fail "follower never ready"
+
+: > rprimary.log
+"$DFKYD" repl_primary.d --socket "$PSOCK_REAL" --replicate-to "$FSOCK" \
+  >> rprimary.log 2>&1 &
+RPID=$!
+for _ in $(seq 1 200); do
+  grep -q 'dfkyd: ready' rprimary.log 2>/dev/null && break
+  kill -0 "$RPID" 2>/dev/null \
+    || fail "replicating primary died at startup: $(cat rprimary.log)"
+  sleep 0.05
+done
+grep -q 'dfkyd: ready' rprimary.log || fail "replicating primary never ready"
+ln -s "$PSOCK_REAL" "$CSOCK"
+
+# ---- the follower is a read-only replica --------------------------------------
+"$CLI" client "$FSOCK" status | grep -q 'role: follower' \
+  || fail "follower does not report role follower"
+if "$CLI" client "$FSOCK" add nope.key >/dev/null 2>&1; then
+  fail "follower accepted a mutation"
+fi
+
+# ---- every primary ack is already applied on the follower ---------------------
+for i in $(seq 1 6); do
+  "$CLI" client "$CSOCK" add "r$i.key" >/dev/null || fail "replicated add failed"
+done
+# No polling: the primary's ack gates on the follower's ack, so the
+# follower must show the full history the instant our add returns.
+"$CLI" client "$FSOCK" status | grep -q 'active: 6' \
+  || fail "follower missing acked users"
+# ...and it serves encrypt: id 0 landed on shard 0, its key opens the
+# follower's broadcast.
+"$CLI" client "$FSOCK" encrypt payload.bin fb1.bin --shard 0 >/dev/null \
+  || fail "follower refused encrypt"
+[ "$("$CLI" decrypt r1.key fb1.bin)" = "the midnight broadcast" ] \
+  || fail "follower-encrypted content does not open"
+# The cross-shard barrier replicates too.
+"$CLI" client "$CSOCK" new-period --reset-out rnp >/dev/null
+"$CLI" client "$FSOCK" status | grep -q 'period: 1' \
+  || fail "follower epoch lags an acked new-period"
+
+# ---- SIGKILL the primary mid-load; fsck the pair at the quiet point -----------
+: > racked.txt
+pids=()
+for i in $(seq 1 12); do
+  ( "$CLI" client "$CSOCK" add "ra$i.key" >/dev/null 2>&1 \
+      && echo "$i" >> racked.txt ) &
+  pids+=($!)
+done
+sleep 0.2
+kill -9 "$RPID"
+RPID=""
+for p in "${pids[@]}"; do wait "$p" || true; done
+racked=$(wc -l < racked.txt)
+if [ -n "$FSCK" ]; then
+  # The dead primary may carry a durable-but-unacked tail; that is "agree,
+  # one lags", never divergence.
+  "$FSCK" --replica repl_primary.d repl_follower.d > fsck_replica.txt \
+    || fail "fsck --replica flagged the pair: $(cat fsck_replica.txt)"
+  grep -q 'replicas agree on every shard' fsck_replica.txt \
+    || fail "fsck --replica output unclear: $(cat fsck_replica.txt)"
+fi
+
+# ---- promote under a live retrying client -------------------------------------
+# The client starts while nothing is listening; default retry (~15s budget)
+# must carry it across promote + symlink swap.
+( "$CLI" client "$CSOCK" add failover.key >/dev/null 2>&1 \
+    && : > failover.ok ) &
+FAILOVER_CLIENT=$!
+"$CLI" client "$FSOCK" promote | grep -q 'promoted to primary' \
+  || fail "promote did not report primary"
+ln -sfn "$FSOCK" "$CSOCK"
+wait "$FAILOVER_CLIENT" || fail "retrying client died during failover"
+[ -f failover.ok ] || fail "failover client add never acked"
+[ -s failover.key ] || fail "failover key file missing"
+
+# ---- the promoted follower serves the full acked history ----------------------
+"$CLI" client "$CSOCK" status | grep -q 'role: primary' \
+  || fail "promoted follower still claims follower role"
+active=$("$CLI" client "$CSOCK" status | sed -n 's/^active: //p')
+[ "$active" -ge $((6 + racked + 1)) ] \
+  || fail "promotion lost acked users: acked $((6 + racked + 1)), has $active"
+# ...and issues working keys for new mutations.
+PVICTIM=$("$CLI" client "$CSOCK" add promoted.key \
+  | sed -n 's/^added user #\([0-9]*\).*/\1/p')
+[ -n "$PVICTIM" ] || fail "promoted add did not report the user id"
+"$CLI" client "$CSOCK" encrypt payload.bin pb1.bin --shard $((PVICTIM % 2)) \
+  >/dev/null
+[ "$("$CLI" decrypt promoted.key pb1.bin)" = "the midnight broadcast" ] \
+  || fail "promoted follower issues dead keys"
+"$CLI" client "$CSOCK" new-period --reset-out pnp >/dev/null \
+  || fail "promoted follower cannot run the epoch barrier"
+
+"$CLI" client "$FSOCK" shutdown >/dev/null || fail "promoted shutdown failed"
+rc=0; wait "$FPID" || rc=$?
+FPID=""
+[ "$rc" = 0 ] || fail "promoted shutdown exited $rc"
+if [ -n "$FSCK" ]; then
+  # The promoted stream moved on; the dead primary either lags it (exit 0)
+  # or forked on a durable-but-unshipped tail (exit 1 — the detection this
+  # mode exists for). Only an unreadable store (exit 2) is a failure here.
+  rc=0; "$FSCK" --replica repl_primary.d repl_follower.d > fsck_final.txt \
+    || rc=$?
+  [ "$rc" -le 1 ] \
+    || fail "fsck --replica unreadable after failover: $(cat fsck_final.txt)"
+fi
+
+echo "daemon_e2e: ok (SIGKILL: $acked acked, $recovered recovered;" \
+  "sharded ok; failover: $racked acked through the kill, $active recovered)"

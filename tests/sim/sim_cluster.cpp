@@ -1,0 +1,228 @@
+#include "sim/sim_cluster.h"
+
+#include <thread>
+#include <utility>
+
+#include "rng/chacha_rng.h"
+#include "test_util.h"
+
+namespace dfky::sim {
+
+namespace {
+
+FilePlan fault_free(std::uint64_t seed) {
+  FilePlan plan;
+  plan.seed = seed;
+  return plan;
+}
+
+}  // namespace
+
+// ---- SimNode -------------------------------------------------------------------
+
+SimNode::SimNode(std::string name, std::size_t shards, std::uint64_t seed)
+    : name_(std::move(name)) {
+  faulty_.emplace(fs_, fault_free(seed));
+  open(/*create=*/true, shards, /*follower=*/false, seed);
+}
+
+SimNode::SimNode(std::string name, const SimNode& src, std::uint64_t seed)
+    : name_(std::move(name)) {
+  // A replica bootstraps from a disk image of the primary: the durable
+  // view (crash() also drops the primary's LOCK ownership, which never
+  // travels with a backup). Sharing the image shares the stores' HMAC
+  // keys, so shipped frames chain-verify on this node.
+  fs_ = src.fs_;
+  fs_.crash();
+  faulty_.emplace(fs_, fault_free(seed));
+  open(/*create=*/false, 0, /*follower=*/true, seed);
+}
+
+SimNode::~SimNode() {
+  std::unique_lock lk(life_mu_);
+  alive_.store(false);
+  handler_.reset();
+  router_.reset();
+}
+
+void SimNode::open(bool create, std::size_t shards, bool follower,
+                   std::uint64_t seed) {
+  std::vector<StateStore> stores;
+  if (create) {
+    ChaChaRng rng(seed);
+    const SystemParams sp = test::test_params(/*v=*/2, seed);
+    std::vector<SecurityManager> managers;
+    for (std::size_t i = 0; i < shards; ++i) managers.emplace_back(sp, rng);
+    stores = create_shard_set(*faulty_, "store", std::move(managers), rng);
+  } else if (follower) {
+    // Like `dfkyd --follower`: no epoch equalization — rolling a laggard
+    // forward writes local records, forking the stream this node is about
+    // to receive.
+    const std::size_t n = count_shards(*faulty_, "store");
+    for (std::size_t i = 0; i < n; ++i) {
+      stores.push_back(
+          StateStore::open(*faulty_, "store/" + shard_dir_name(i)));
+    }
+  } else {
+    ChaChaRng rng(seed ^ 0x9e3779b9ull);
+    stores = open_shard_set(*faulty_, "store", rng);
+  }
+  router_.emplace(
+      std::move(stores),
+      [seed](std::size_t k) {
+        return std::make_unique<ChaChaRng>(seed * 1000 + k);
+      },
+      std::function<void()>{}, follower);
+  handler_.emplace(*router_);
+  alive_.store(true);
+}
+
+std::optional<std::string> SimNode::request(const std::string& line) {
+  std::shared_lock lk(life_mu_);
+  if (!alive_.load()) return std::nullopt;
+  return handler_->handle(line).response;
+}
+
+void SimNode::kill() {
+  std::unique_lock lk(life_mu_);
+  if (!alive_.exchange(false)) return;
+  // The platter at the instant of death: everything not fsynced is gone.
+  MemFileIo dead = fs_;
+  dead.crash();
+  // Disarm pending disk faults so the (discarded) teardown can't detonate
+  // them inside a destructor.
+  faulty_->set_plan(fault_free(1));
+  handler_.reset();
+  router_.reset();  // joins committers; their parting flushes die with fs_
+  fs_ = dead;
+}
+
+void SimNode::restart(bool follower, std::uint64_t seed) {
+  std::unique_lock lk(life_mu_);
+  if (alive_.load()) return;
+  faulty_->set_plan(fault_free(seed));
+  open(/*create=*/false, 0, follower, seed);
+}
+
+MemFileIo SimNode::durable_disk() const {
+  MemFileIo copy = fs_;
+  copy.crash();
+  return copy;
+}
+
+// ---- SimLink -------------------------------------------------------------------
+
+namespace {
+
+class SimLink final : public daemon::ReplLink {
+ public:
+  SimLink(SimNode& target, std::atomic<bool>& cut, LinkFaults faults,
+          std::uint64_t seed)
+      : target_(target), cut_(cut), faults_(faults), rng_(seed) {}
+
+  std::optional<std::string> roundtrip(const std::string& line) override {
+    if (cut_.load()) return std::nullopt;
+    // Draw both faults up front so the PRG stream stays aligned whatever
+    // the target does.
+    const bool dup = rng_.u64() % 1000 < faults_.dup_per_mille;
+    const bool lose_ack = rng_.u64() % 1000 < faults_.ack_loss_per_mille;
+    auto resp = target_.request(line);
+    if (!resp) return std::nullopt;
+    if (dup) {
+      // The network delivered the line twice; the target must treat the
+      // replay as idempotent, and the duplicate's response is the one the
+      // sender sees.
+      auto again = target_.request(line);
+      if (!again) return std::nullopt;
+      resp = std::move(again);
+    }
+    if (lose_ack) return std::nullopt;  // applied, but the sender never hears
+    return resp;
+  }
+
+ private:
+  SimNode& target_;
+  std::atomic<bool>& cut_;
+  LinkFaults faults_;
+  ChaChaRng rng_;
+};
+
+}  // namespace
+
+// ---- SimCluster ----------------------------------------------------------------
+
+SimCluster::SimCluster(std::size_t shards, std::size_t followers,
+                       std::uint64_t seed, LinkFaults faults)
+    : shards_(shards),
+      faults_(faults),
+      primary_(std::make_unique<SimNode>("primary", shards, seed)) {
+  std::vector<daemon::FollowerSpec> specs;
+  for (std::size_t i = 0; i < followers; ++i) {
+    followers_.push_back(std::make_unique<SimNode>(
+        "follower" + std::to_string(i), *primary_, seed + 101 + i));
+    partitioned_.push_back(std::make_unique<std::atomic<bool>>(false));
+    attempts_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+    specs.push_back(daemon::FollowerSpec{
+        followers_[i]->name(), [this, i, seed] {
+          if (!followers_[i]->alive()) {
+            return std::unique_ptr<daemon::ReplLink>{};
+          }
+          // A fresh connection draws a fresh fault stream; replaying the
+          // connection's faults verbatim could fail every reconnect the
+          // same way forever.
+          const std::uint64_t attempt = attempts_[i]->fetch_add(1);
+          return make_link(i, seed + 7919 * (attempt + 1) + i);
+        }});
+  }
+  sender_.emplace(primary_->router(), std::move(specs),
+                  daemon::ReplOptions{.max_batch_bytes = std::size_t{1} << 20,
+                                      .backoff_min_ms = 1,
+                                      .backoff_max_ms = 10});
+  primary_->router().attach_replication(&*sender_);
+}
+
+SimCluster::~SimCluster() {
+  if (sender_) {
+    sender_->stop();
+    if (primary_->alive()) primary_->router().attach_replication(nullptr);
+    sender_.reset();
+  }
+}
+
+std::unique_ptr<daemon::ReplLink> SimCluster::make_link(std::size_t i,
+                                                        std::uint64_t seed) {
+  return std::make_unique<SimLink>(*followers_[i], *partitioned_[i], faults_,
+                                   seed);
+}
+
+void SimCluster::kill_primary() {
+  if (sender_) {
+    sender_->stop();
+    primary_->router().attach_replication(nullptr);
+    sender_.reset();
+  }
+  primary_->kill();
+}
+
+bool SimCluster::wait_converged(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    const auto head = primary_->router().repl_positions();
+    bool all = true;
+    for (const auto& f : followers_) {
+      if (!f->alive()) continue;
+      const auto pos = f->router().repl_positions();
+      for (std::size_t k = 0; k < head.size(); ++k) {
+        if (pos[k].generation != head[k].generation ||
+            pos[k].records != head[k].records) {
+          all = false;
+        }
+      }
+    }
+    if (all) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace dfky::sim

@@ -1,0 +1,152 @@
+// Deterministic in-process dfkyd cluster for fault testing (DESIGN.md
+// Sect. 12).
+//
+// A SimCluster is one primary plus N followers, each a full SimNode — a
+// MemFileIo "disk" behind a FaultyFileIo injector, a ShardRouter and a
+// RequestHandler — joined by the REAL ReplicationSender over SimLinks
+// that deliver protocol lines straight into the follower's handler. Every
+// fault is drawn from a seeded PRG: link faults (lost acks, duplicated
+// deliveries) per link, disk faults (crash points, torn appends) per
+// node, so one seed names one fault schedule. The sender's threads are
+// real, but every assertion is about converged end state — which the ack
+// contract makes schedule-independent: a client ack means durable on the
+// primary and on every live follower, no matter how the threads raced.
+//
+// Node death is a power cut, not a shutdown: kill() snapshots the durable
+// view of the disk at the instant of death and discards everything the
+// teardown would have flushed. restart() reboots from exactly that state.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "daemon/daemon.h"
+#include "daemon/repl.h"
+#include "daemon/shard.h"
+#include "store/file_io.h"
+#include "store/store.h"
+
+namespace dfky::sim {
+
+/// Per-link fault rates in parts per mille, drawn per roundtrip from the
+/// link's own seeded PRG. An "ack loss" applies the request on the target
+/// and then loses the response — the sender must resync and re-deliver,
+/// exercising the follower's idempotent replay. A "dup" delivers the same
+/// line twice back to back.
+struct LinkFaults {
+  std::uint32_t ack_loss_per_mille = 0;
+  std::uint32_t dup_per_mille = 0;
+};
+
+/// One in-process dfkyd node.
+class SimNode {
+ public:
+  /// Fresh primary: creates a `shards`-shard set on this node's disk.
+  SimNode(std::string name, std::size_t shards, std::uint64_t seed);
+  /// Replica bootstrap: clones `src`'s current files (sharing the stores'
+  /// HMAC keys, so shipped frames verify) and opens as a follower.
+  SimNode(std::string name, const SimNode& src, std::uint64_t seed);
+  ~SimNode();
+
+  SimNode(const SimNode&) = delete;
+  SimNode& operator=(const SimNode&) = delete;
+
+  const std::string& name() const { return name_; }
+  bool alive() const { return alive_.load(); }
+
+  /// One protocol roundtrip; nullopt when the node is dead. Thread-safe —
+  /// in-flight requests hold the node alive until they return.
+  std::optional<std::string> request(const std::string& line);
+
+  /// Power cut. Waits out in-flight requests, then replaces the disk with
+  /// its durable view as of the moment of death (teardown writes are
+  /// discarded — a killed process flushes nothing).
+  void kill();
+
+  /// Reboots a killed node from its durable disk state. A follower reboot
+  /// opens shards without epoch equalization, exactly like
+  /// `dfkyd --follower`; a primary reboot runs laggard recovery.
+  void restart(bool follower, std::uint64_t seed);
+
+  /// The disk's fault injector (arm crash points via set_plan).
+  FaultyFileIo& disk() { return *faulty_; }
+  /// A copy of the durable view (what a crash right now would leave).
+  MemFileIo durable_disk() const;
+
+  /// Direct router access for state inspection. Only valid while alive.
+  daemon::ShardRouter& router() { return *router_; }
+
+ private:
+  void open(bool create, std::size_t shards, bool follower,
+            std::uint64_t seed);
+
+  std::string name_;
+  MemFileIo fs_;
+  std::optional<FaultyFileIo> faulty_;
+  /// request() shared, kill()/restart() exclusive: death drains in-flight
+  /// requests instead of destroying the router under them.
+  mutable std::shared_mutex life_mu_;
+  std::atomic<bool> alive_{false};
+  std::optional<daemon::ShardRouter> router_;
+  std::optional<daemon::RequestHandler> handler_;
+};
+
+/// One primary, `followers` replicas, and the real ReplicationSender
+/// wired over fault-injected in-process links.
+class SimCluster {
+ public:
+  SimCluster(std::size_t shards, std::size_t followers, std::uint64_t seed,
+             LinkFaults faults = {});
+  ~SimCluster();
+
+  SimNode& primary() { return *primary_; }
+  SimNode& follower(std::size_t i) { return *followers_[i]; }
+  std::size_t followers() const { return followers_.size(); }
+  std::size_t shards() const { return shards_; }
+
+  /// Cuts (true) or heals (false) the link to follower `i`. A cut link
+  /// fails every roundtrip; the sender marks the follower dead and the
+  /// primary degrades to standalone acks until the heal.
+  void set_partitioned(std::size_t i, bool cut) {
+    partitioned_[i]->store(cut);
+  }
+
+  /// Stops replication and power-cuts the primary (in that order — a dead
+  /// primary ships nothing).
+  void kill_primary();
+  /// Power-cuts follower `i`; the sender discovers the death on its next
+  /// roundtrip and stops gating acks on it.
+  void kill_follower(std::size_t i) { followers_[i]->kill(); }
+  /// Reboots follower `i` as a follower; the sender reconnects and ships
+  /// the gap on its own.
+  void restart_follower(std::size_t i, std::uint64_t seed) {
+    followers_[i]->restart(/*follower=*/true, seed);
+  }
+
+  /// True once every LIVE follower acked the primary's current per-shard
+  /// durable heads and its stores report the same positions. False on
+  /// timeout.
+  bool wait_converged(std::chrono::milliseconds timeout);
+
+ private:
+  std::unique_ptr<daemon::ReplLink> make_link(std::size_t i,
+                                              std::uint64_t seed);
+
+  std::size_t shards_;
+  LinkFaults faults_;
+  std::unique_ptr<SimNode> primary_;
+  std::vector<std::unique_ptr<SimNode>> followers_;
+  std::vector<std::unique_ptr<std::atomic<bool>>> partitioned_;
+  /// Reconnect counter per follower: each connection draws a fresh link
+  /// fault stream.
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> attempts_;
+  std::optional<daemon::ReplicationSender> sender_;
+};
+
+}  // namespace dfky::sim

@@ -567,5 +567,196 @@ TEST(ShardRouter, ConcurrentMutationsLandOnTheRightShardsDurably) {
   EXPECT_EQ(users, kThreads * kPerThread);
 }
 
+// ---- replication: follower routers, repl verbs, promotion ---------------------
+
+/// A primary router plus a follower router over a cloned shard set, both
+/// socket-free behind RequestHandlers — the unit-level shape of a
+/// two-daemon cluster (the sockets are exercised by daemon_e2e.sh).
+struct ReplFixture {
+  MemFileIo pfs, ffs;
+  std::optional<ShardRouter> prim, foll;
+  std::optional<RequestHandler> ph, fh;
+
+  explicit ReplFixture(std::size_t shards = 2, std::size_t v = 2) {
+    ChaChaRng rng(31);
+    const SystemParams sp = test::test_params(v, /*seed=*/31);
+    std::vector<SecurityManager> managers;
+    for (std::size_t i = 0; i < shards; ++i) managers.emplace_back(sp, rng);
+    std::vector<StateStore> stores =
+        create_shard_set(pfs, "store", std::move(managers), rng);
+    clone_store_files(pfs, ffs, "store");  // the bootstrap clone
+    prim.emplace(std::move(stores), [](std::size_t k) {
+      return std::make_unique<ChaChaRng>(100 + k);
+    });
+    // A follower opens its shards individually — no epoch equalization.
+    std::vector<StateStore> fstores;
+    for (std::size_t i = 0; i < shards; ++i) {
+      fstores.push_back(
+          StateStore::open(ffs, "store/" + shard_dir_name(i)));
+    }
+    foll.emplace(
+        std::move(fstores),
+        [](std::size_t k) { return std::make_unique<ChaChaRng>(200 + k); },
+        std::function<void()>{}, /*follower=*/true);
+    ph.emplace(*prim);
+    fh.emplace(*foll);
+  }
+
+  Response ok(RequestHandler& h, const std::string& line) {
+    const RequestHandler::Result res = h.handle(line);
+    const auto r = parse_response(res.response);
+    EXPECT_TRUE(r) << res.response;
+    EXPECT_TRUE(r && r->ok) << res.response;
+    return r ? *r : Response{};
+  }
+  std::string err(RequestHandler& h, const std::string& line) {
+    const RequestHandler::Result res = h.handle(line);
+    const auto r = parse_response(res.response);
+    EXPECT_TRUE(r && !r->ok) << res.response;
+    return r ? r->error : "";
+  }
+
+  /// One catch-up pass, primary -> follower, through the wire verbs —
+  /// exactly the requests ReplicationSender issues.
+  void ship_all() {
+    for (std::size_t k = 0; k < prim->shards(); ++k) {
+      ShardRouter::ReplPosition pos = foll->repl_positions()[k];
+      StateStore& st = prim->store(k);
+      if (pos.generation != st.generation()) {
+        ok(*fh, "repl-snap " + std::to_string(k) + " " +
+                    std::to_string(st.generation()) + " " +
+                    hex_encode(st.read_snapshot_frame()));
+        pos = ShardRouter::ReplPosition{st.generation(), 0};
+      }
+      const WalShipment ship = st.read_frames_from(pos.records);
+      if (ship.records == 0) continue;
+      const Response r =
+          ok(*fh, "repl-append " + std::to_string(k) + " " +
+                      std::to_string(ship.generation) + " " +
+                      std::to_string(ship.start_record) + " " +
+                      hex_encode(ship.frames));
+      EXPECT_EQ(r.fields.at("seq"), std::to_string(st.wal_records()));
+    }
+  }
+};
+
+TEST(Replication, FollowerRejectsMutationsAndReportsItsRole) {
+  ReplFixture f;
+  EXPECT_EQ(f.ok(*f.ph, "status").fields.at("role"), "primary");
+  EXPECT_EQ(f.ok(*f.fh, "status").fields.at("role"), "follower");
+
+  EXPECT_NE(f.err(*f.fh, "add-user"), "");
+  EXPECT_NE(f.err(*f.fh, "revoke 0"), "");
+  EXPECT_NE(f.err(*f.fh, "new-period"), "");
+  // Reads stay available on a follower.
+  f.ok(*f.fh, "encrypt 00ff");
+  f.ok(*f.fh, "repl-status");
+
+  // And a primary refuses the replica-ingest verbs: its committers own
+  // the WAL, a concurrent stream would race them.
+  EXPECT_NE(f.err(*f.ph, "repl-append 0 0 0 ab"), "");
+  EXPECT_NE(f.err(*f.ph, "repl-snap 0 1 ab"), "");
+}
+
+TEST(Replication, WireVerbsConvergeTheFollower) {
+  ReplFixture f;
+  for (int i = 0; i < 5; ++i) f.ok(*f.ph, "add-user");
+  f.ok(*f.ph, "new-period");
+  f.ship_all();
+
+  const Response ps = f.ok(*f.ph, "status");
+  const Response fs = f.ok(*f.fh, "status");
+  for (const char* key : {"active", "revoked", "periods", "wal_records"}) {
+    EXPECT_EQ(fs.fields.at(key), ps.fields.at(key)) << key;
+  }
+  for (std::size_t k = 0; k < f.prim->shards(); ++k) {
+    EXPECT_EQ(f.foll->store(k).chain_head_hex(),
+              f.prim->store(k).chain_head_hex())
+        << "shard " << k;
+  }
+
+  // repl-status mirrors the per-shard positions.
+  const Response rs = f.ok(*f.fh, "repl-status");
+  EXPECT_EQ(rs.fields.at("role"), "follower");
+  for (std::size_t k = 0; k < f.prim->shards(); ++k) {
+    const StateStore& st = f.prim->store(k);
+    EXPECT_EQ(rs.fields.at("s" + std::to_string(k)),
+              std::to_string(st.generation()) + ":" +
+                  std::to_string(st.wal_records()));
+  }
+
+  // Duplicate re-delivery of the full history is acked, not re-applied.
+  const std::string before = f.ok(*f.fh, "status").fields.at("wal_records");
+  for (std::size_t k = 0; k < f.prim->shards(); ++k) {
+    const WalShipment ship = f.prim->store(k).read_frames_from(0);
+    if (ship.records == 0) continue;
+    f.ok(*f.fh, "repl-append " + std::to_string(k) + " " +
+                    std::to_string(ship.generation) + " 0 " +
+                    hex_encode(ship.frames));
+  }
+  EXPECT_EQ(f.ok(*f.fh, "status").fields.at("wal_records"), before);
+}
+
+TEST(Replication, PromoteServesHistoryAndAcceptsMutations) {
+  ReplFixture f;
+  std::vector<std::string> keys;
+  for (int i = 0; i < 4; ++i) {
+    keys.push_back(f.ok(*f.ph, "add-user").fields.at("key"));
+  }
+  f.ship_all();
+
+  const Response pr = f.ok(*f.fh, "promote");
+  EXPECT_EQ(pr.fields.at("role"), "primary");
+  EXPECT_EQ(f.ok(*f.fh, "status").fields.at("role"), "primary");
+  // Idempotent: a retried promote is an ok, not a crash.
+  f.ok(*f.fh, "promote");
+
+  // The promoted follower serves the full acked history...
+  const Response st = f.ok(*f.fh, "status");
+  EXPECT_EQ(st.fields.at("active"), "4");
+  // ...a key issued by the old primary opens the new primary's broadcasts...
+  const KeyFileData kf = decode_key_file(*hex_decode(keys[0]));
+  const Bytes payload = {9, 9, 9};
+  const Response enc =
+      f.ok(*f.fh, "encrypt " + hex_encode(payload) + " 0");
+  const Bytes ct = *hex_decode(enc.fields.at("ct"));
+  Reader r(ct);
+  const ContentMessage msg = ContentMessage::deserialize(r, kf.sp.group);
+  r.expect_end();
+  EXPECT_EQ(open_content(kf.sp, kf.key, msg), payload);
+  // ...and mutations flow again, through freshly started committers.
+  f.ok(*f.fh, "add-user");
+  f.ok(*f.fh, "new-period");
+  EXPECT_EQ(f.ok(*f.fh, "status").fields.at("active"), "5");
+
+  // Acked history really is durable on the promoted node.
+  MemFileIo cut = f.ffs;
+  cut.crash();
+  ChaChaRng rng(9);
+  const std::vector<StateStore> recovered =
+      open_shard_set(cut, "store", rng);
+  std::size_t users = 0;
+  for (const StateStore& s : recovered) users += s.manager().users().size();
+  EXPECT_EQ(users, 5u);
+}
+
+TEST(Replication, PromoteEqualizesMixedEpochs) {
+  // A primary killed mid-barrier can leave the follower's shards at mixed
+  // periods (shard 0's frames arrived, shard 1's did not). promote() must
+  // land every shard on one epoch before serving.
+  ReplFixture f;
+  f.ok(*f.ph, "new-period");
+  // Ship only shard 0.
+  const WalShipment ship = f.prim->store(0).read_frames_from(0);
+  ASSERT_GT(ship.records, 0u);
+  f.ok(*f.fh, "repl-append 0 " + std::to_string(ship.generation) + " 0 " +
+                  hex_encode(ship.frames));
+  EXPECT_EQ(f.ok(*f.fh, "status").fields.at("periods"), "1,0");
+
+  f.ok(*f.fh, "promote");
+  EXPECT_EQ(f.ok(*f.fh, "status").fields.at("periods"), "1,1");
+  f.ok(*f.fh, "add-user");  // and it serves
+}
+
 }  // namespace
 }  // namespace dfky::daemon

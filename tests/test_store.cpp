@@ -807,5 +807,200 @@ TEST(ShardSet, CrossShardNewPeriodCrashMatrixRecoversOneEpoch) {
   }
 }
 
+// ---- replication (DESIGN.md Sect. 12) -----------------------------------------
+
+/// A primary/follower pair sharing one HMAC key: the follower directory is
+/// a clone of the primary's taken right after create() (the bootstrap
+/// step), so shipped frames append verbatim and chain-verify.
+struct ReplicaPair {
+  MemFileIo pfs, ffs;
+  std::optional<StateStore> prim, foll;
+
+  explicit ReplicaPair(std::size_t snapshot_every = 1000) {
+    StoreOptions opts;
+    opts.snapshot_every = snapshot_every;
+    ChaChaRng rng(kScriptSeed);
+    SecurityManager mgr = script_base_manager(rng);
+    ChaChaRng key_rng(1);
+    prim.emplace(
+        StateStore::create(pfs, "store", std::move(mgr), key_rng, opts));
+    clone_store_files(pfs, ffs, "store");
+    foll.emplace(StateStore::open(ffs, "store", opts));
+  }
+
+  /// Ships everything the follower is missing, exactly like the daemon's
+  /// ReplicationSender: snapshot resync on a generation mismatch, then
+  /// frames from the follower's record count.
+  void ship_all() {
+    if (foll->generation() != prim->generation()) {
+      foll->replica_apply_snapshot(prim->generation(),
+                                   prim->read_snapshot_frame());
+    }
+    const WalShipment ship = prim->read_frames_from(foll->wal_records());
+    foll->replica_apply_frames(ship.generation, ship.start_record,
+                               ship.frames);
+  }
+
+  void expect_identical() {
+    EXPECT_EQ(foll->generation(), prim->generation());
+    EXPECT_EQ(foll->wal_records(), prim->wal_records());
+    EXPECT_EQ(foll->chain_head_hex(), prim->chain_head_hex());
+    EXPECT_EQ(foll->manager().save_state(), prim->manager().save_state());
+    const std::string wal =
+        "store/wal." + std::to_string(prim->generation());
+    EXPECT_EQ(ffs.read(wal), pfs.read(wal));
+  }
+};
+
+TEST(Replication, ShippedFramesReplayToAnIdenticalReplica) {
+  ReplicaPair p;
+  ChaChaRng rng(kScriptSeed);
+  script_base_manager(rng);  // burn the setup draws
+  run_script(*p.prim, rng, [&] {
+    p.ship_all();
+    p.expect_identical();
+  });
+  EXPECT_GT(p.prim->wal_records(), 0u);
+}
+
+TEST(Replication, DuplicateShipmentLeavesTheStoreByteIdentical) {
+  ReplicaPair p;
+  ChaChaRng rng(kScriptSeed);
+  script_base_manager(rng);
+  run_script(*p.prim, rng, [] {});
+
+  const WalShipment ship = p.prim->read_frames_from(0);
+  ASSERT_GT(ship.records, 0u);
+  const std::uint64_t acked =
+      p.foll->replica_apply_frames(ship.generation, 0, ship.frames);
+  EXPECT_EQ(acked, p.prim->wal_records());
+  const Bytes wal_clean = p.ffs.read("store/wal.0");
+  const Bytes state_clean = p.foll->manager().save_state();
+
+  // Re-delivering the whole shipment (a retry after a lost ack) is a
+  // structural skip: same ack, same bytes, same manager state.
+  const std::uint64_t again =
+      p.foll->replica_apply_frames(ship.generation, 0, ship.frames);
+  EXPECT_EQ(again, acked);
+  EXPECT_EQ(p.ffs.read("store/wal.0"), wal_clean);
+  EXPECT_EQ(p.foll->manager().save_state(), state_clean);
+  p.expect_identical();
+}
+
+TEST(Replication, TornFinalFrameAppliesThePrefixThenConverges) {
+  ReplicaPair p;
+  ChaChaRng rng(kScriptSeed);
+  script_base_manager(rng);
+  run_script(*p.prim, rng, [] {});
+
+  const WalShipment ship = p.prim->read_frames_from(0);
+  ASSERT_GT(ship.records, 1u);
+  // Cut the shipment mid-final-frame (a connection torn mid-send).
+  Bytes torn(ship.frames.begin(), ship.frames.end() - 5);
+  const std::uint64_t acked =
+      p.foll->replica_apply_frames(ship.generation, 0, torn);
+  EXPECT_EQ(acked, ship.records - 1);
+  EXPECT_EQ(p.foll->wal_records(), ship.records - 1);
+
+  // Full re-delivery from record 0: the already-held prefix is skipped,
+  // the once-torn final frame lands whole, replicas converge.
+  const std::uint64_t again =
+      p.foll->replica_apply_frames(ship.generation, 0, ship.frames);
+  EXPECT_EQ(again, ship.records);
+  p.expect_identical();
+}
+
+TEST(Replication, CorruptFrameIsRejectedWithoutSideEffects) {
+  ReplicaPair p;
+  ChaChaRng rng(kScriptSeed);
+  script_base_manager(rng);
+  run_script(*p.prim, rng, [] {});
+
+  WalShipment ship = p.prim->read_frames_from(0);
+  ASSERT_GT(ship.frames.size(), kWalFrameHeaderBytes);
+  ship.frames[kWalFrameHeaderBytes] ^= 0x01;  // first record's payload
+  const Bytes wal_before = p.ffs.read("store/wal.0");
+  EXPECT_THROW(p.foll->replica_apply_frames(ship.generation, 0, ship.frames),
+               DecodeError);
+  EXPECT_EQ(p.foll->wal_records(), 0u);
+  EXPECT_EQ(p.ffs.read("store/wal.0"), wal_before);
+}
+
+TEST(Replication, GapAndGenerationMismatchAreRejected) {
+  ReplicaPair p;
+  ChaChaRng rng(kScriptSeed);
+  script_base_manager(rng);
+  run_script(*p.prim, rng, [] {});
+  const WalShipment ship = p.prim->read_frames_from(0);
+
+  // A shipment starting past the follower's head would hide lost records.
+  EXPECT_THROW(p.foll->replica_apply_frames(ship.generation, 2, ship.frames),
+               DecodeError);
+  // A generation the follower is not on needs a snapshot resync instead.
+  EXPECT_THROW(
+      p.foll->replica_apply_frames(ship.generation + 1, 0, ship.frames),
+      DecodeError);
+  EXPECT_EQ(p.foll->wal_records(), 0u);
+}
+
+TEST(Replication, SnapshotShipmentResyncsAcrossARotation) {
+  // snapshot_every=3 forces rotations mid-script; the lagging follower
+  // must resync via the shipped snapshot frame, then tail the new WAL.
+  ReplicaPair p(/*snapshot_every=*/3);
+  ChaChaRng rng(kScriptSeed);
+  script_base_manager(rng);
+  run_script(*p.prim, rng, [] {});
+  ASSERT_GT(p.prim->generation(), 0u);
+
+  p.ship_all();
+  p.expect_identical();
+
+  // Dup snapshot delivery (<= current generation) is an idempotent no-op.
+  const Bytes state = p.foll->manager().save_state();
+  p.foll->replica_apply_snapshot(p.prim->generation(),
+                                 p.prim->read_snapshot_frame());
+  EXPECT_EQ(p.foll->manager().save_state(), state);
+  p.expect_identical();
+}
+
+TEST(Replication, InspectStoreWalComparesReplicas) {
+  ReplicaPair p;
+  ChaChaRng rng(kScriptSeed);
+  script_base_manager(rng);
+  run_script(*p.prim, rng, [] {});
+
+  // Ship everything but the final record: a lagging follower.
+  const WalShipment all = p.prim->read_frames_from(0);
+  const WalShipment head = p.prim->read_frames_from(0, all.frames.size() - 1);
+  ASSERT_LT(head.records, all.records);
+  p.foll->replica_apply_frames(head.generation, 0, head.frames);
+
+  const WalInspection wp = inspect_store_wal(p.pfs, "store");
+  const WalInspection wf = inspect_store_wal(p.ffs, "store");
+  ASSERT_TRUE(wp.ok);
+  ASSERT_TRUE(wf.ok);
+  EXPECT_EQ(wp.generation, wf.generation);
+  EXPECT_EQ(wp.records, all.records);
+  EXPECT_EQ(wf.records, head.records);
+  // The lagging WAL is a byte prefix of the longer one (fsck --replica's
+  // agreement criterion)...
+  EXPECT_TRUE(std::equal(wf.frames.begin(), wf.frames.end(),
+                         wp.frames.begin()));
+  EXPECT_NE(wp.chain_head_hex, wf.chain_head_hex);
+
+  // ...while independent histories at the same generation are not: fork
+  // the follower with a local mutation instead of the primary's stream.
+  ChaChaRng fork_rng(4242);
+  p.foll->add_user(fork_rng);
+  const WalInspection forked = inspect_store_wal(p.ffs, "store");
+  ASSERT_TRUE(forked.ok);
+  EXPECT_EQ(forked.generation, wp.generation);
+  const std::size_t shorter = std::min(forked.frames.size(),
+                                       wp.frames.size());
+  EXPECT_FALSE(std::equal(forked.frames.begin(),
+                          forked.frames.begin() + shorter,
+                          wp.frames.begin()));
+}
+
 }  // namespace
 }  // namespace dfky

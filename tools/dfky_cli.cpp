@@ -29,8 +29,11 @@
 // scripted session (counters sum, gauges last-write-wins, histogram buckets
 // add) and prints a summary or Prometheus text; `--since <unix-ts>` keeps
 // only the snapshots stamped at or after the given time.
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <ctime>
 #include <cstdio>
 #include <cstring>
@@ -542,24 +545,59 @@ int cmd_trace(std::vector<std::string> args) {
 
 // ---- talking to a live dfkyd --------------------------------------------------
 
-/// Connects to a dfkyd unix socket; dies with a helpful message.
+/// Connect retry policy (--retry-ms / --retry-max, global flags). A daemon
+/// restart or failover window shows up to clients as ECONNREFUSED (socket
+/// file exists, nobody listening), ENOENT (socket not recreated yet) or a
+/// reset; retrying with capped exponential backoff + jitter masks the gap.
+/// Defaults: start at 25ms, double to a 500ms cap, give up after 40
+/// attempts (~15s of failover headroom). --retry-max 0 disables retrying.
+struct RetryPolicy {
+  std::uint64_t base_ms = 25;
+  std::uint64_t max_attempts = 40;
+};
+RetryPolicy g_retry;
+
+bool connect_errno_transient(int err) {
+  return err == ECONNREFUSED || err == ENOENT || err == EAGAIN ||
+         err == ECONNRESET || err == ETIMEDOUT;
+}
+
+/// Connects to a dfkyd unix socket, retrying transient failures per
+/// `g_retry`; dies with a helpful message once the budget is spent.
 int connect_daemon(const std::string& socket_path) {
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) die("client: socket: " + std::string(std::strerror(errno)));
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.size() >= sizeof addr.sun_path) {
+  std::uint64_t delay_ms = g_retry.base_ms;
+  // Deterministic per-process jitter stream; enough to de-synchronize a
+  // herd of scripted clients hammering a restarting daemon.
+  std::uint32_t jitter_state =
+      static_cast<std::uint32_t>(::getpid()) * 2654435761u + 1u;
+  for (std::uint64_t attempt = 0;; ++attempt) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) die("client: socket: " + std::string(std::strerror(errno)));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof addr.sun_path) {
+      ::close(fd);
+      die("client: socket path too long: " + socket_path);
+    }
+    std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0) {
+      return fd;
+    }
+    const int err = errno;
     ::close(fd);
-    die("client: socket path too long: " + socket_path);
+    if (!connect_errno_transient(err) || attempt + 1 >= g_retry.max_attempts) {
+      die("client: cannot connect to " + socket_path + ": " +
+          std::strerror(err) + " (is dfkyd running?" +
+          (g_retry.max_attempts > 1
+               ? " gave up after " + std::to_string(attempt + 1) + " attempts"
+               : "") +
+          ")");
+    }
+    jitter_state = jitter_state * 1664525u + 1013904223u;
+    const std::uint64_t jitter = jitter_state % (delay_ms / 2 + 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms + jitter));
+    delay_ms = std::min<std::uint64_t>(delay_ms * 2, 500);
   }
-  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    const std::string err = std::strerror(errno);
-    ::close(fd);
-    die("client: cannot connect to " + socket_path + ": " + err +
-        " (is dfkyd running?)");
-  }
-  return fd;
 }
 
 /// Sends all of `data`; returns false on a broken connection.
@@ -766,7 +804,8 @@ int cmd_client(std::vector<std::string> args) {
   if (args.size() < 2) {
     die_usage(
         "client: usage: client <socket> "
-        "(ping|status|add|revoke|new-period|encrypt|pipeline|shutdown) ...");
+        "(ping|status|add|revoke|new-period|encrypt|pipeline|repl-status"
+        "|promote|shutdown) ...");
   }
   const std::string sock = args[0];
   const std::string sub = args[1];
@@ -775,13 +814,21 @@ int cmd_client(std::vector<std::string> args) {
   if (sub == "pipeline") {
     return cmd_client_pipeline(sock, std::move(args));
   }
-  if (sub == "ping" || sub == "status") {
+  if (sub == "ping" || sub == "status" || sub == "repl-status") {
     reject_unknown_flags(args, "client " + sub);
-    const daemon::Response r =
-        expect_ok(daemon_request(sock, sub == "ping" ? "ping" : "status"));
+    const daemon::Response r = expect_ok(daemon_request(sock, sub));
     for (const auto& [k, v] : r.fields) {
       std::printf("%s: %s\n", k.c_str(), v.c_str());
     }
+    return 0;
+  }
+  if (sub == "promote") {
+    reject_unknown_flags(args, "client promote");
+    const daemon::Response r = expect_ok(daemon_request(sock, "promote"));
+    std::printf("promoted to %s at period %s (%s WAL record(s))\n",
+                response_field(r, "role").c_str(),
+                response_field(r, "period").c_str(),
+                response_field(r, "wal_records").c_str());
     return 0;
   }
   if (sub == "shutdown") {
@@ -1127,7 +1174,10 @@ void usage(std::FILE* to) {
       "      | new-period [--reset-out P] | encrypt <payload> <out> [--shard K]\n"
       "      | pipeline [--window W]  (requests on stdin, tagged @<n>,\n"
       "        up to W in flight on one connection; replies printed in\n"
-      "        input order) | shutdown\n"
+      "        input order) | repl-status | promote | shutdown\n"
+      "      connects retry transient failures with capped exponential\n"
+      "      backoff: --retry-ms B (initial delay, default 25, doubling to\n"
+      "      500ms) --retry-max N (attempts, default 40; 0 or 1 disables)\n"
       "  help                                  this text\n"
       "\n"
       "<state> is a store directory (init --store: WAL + snapshots, every\n"
@@ -1154,9 +1204,16 @@ int main(int argc, char** argv) {
     usage(stdout);
     return 0;
   }
-  // Global flag, valid on every subcommand.
+  // Global flags, valid on every subcommand.
   const std::optional<std::string> metrics_out =
       flag_value(args, "--metrics-out");
+  if (const auto v = flag_value(args, "--retry-ms")) {
+    g_retry.base_ms = parse_count(cmd, "--retry-ms", *v);
+    if (g_retry.base_ms == 0) die("--retry-ms must be positive");
+  }
+  if (const auto v = flag_value(args, "--retry-max")) {
+    g_retry.max_attempts = parse_count(cmd, "--retry-max", *v);
+  }
   int rc = -1;
   try {
     if (cmd == "init") rc = cmd_init(std::move(args));

@@ -4,6 +4,15 @@
 //   dfky_fsck <store-dir>            check only; the store is not touched
 //   dfky_fsck <store-dir> --repair   truncate torn WAL tails, drop invalid
 //                                    snapshots' leftovers, remove stale files
+//   dfky_fsck --replica <dirA> <dirB>
+//                                    compare two replicas of the same store
+//                                    (or two shard roots, shard by shard):
+//                                    per-replica WAL length and chain head;
+//                                    exit 1 when two WALs of the same
+//                                    generation are NOT prefix-related (the
+//                                    streams diverged — one replica must be
+//                                    re-seeded), 0 when one replica merely
+//                                    lags the other
 //
 // A shard root (a directory holding shard.0, shard.1, ...) is detected
 // automatically: every shard is checked, the per-shard reports are printed,
@@ -29,7 +38,10 @@ using namespace dfky;
 namespace {
 
 void usage(std::FILE* to) {
-  std::fputs("usage: dfky_fsck <store-dir> [--repair]\n", to);
+  std::fputs(
+      "usage: dfky_fsck <store-dir> [--repair]\n"
+      "       dfky_fsck --replica <dirA> <dirB>\n",
+      to);
 }
 
 void print_report(const std::string& dir, const FsckReport& r) {
@@ -101,15 +113,121 @@ int fsck_shard_set(FileIo& io, const std::string& dir, bool repair) {
   return worst;
 }
 
+// ---- replica comparison (--replica) -------------------------------------------
+
+void print_inspection(const std::string& dir, const WalInspection& w) {
+  if (!w.ok) {
+    std::printf("%s: UNRECOVERABLE (no valid snapshot)\n", dir.c_str());
+  } else {
+    std::printf("%s: generation %llu, period %llu, %zu WAL record(s) "
+                "(%zu frame byte(s))\n",
+                dir.c_str(), static_cast<unsigned long long>(w.generation),
+                static_cast<unsigned long long>(w.period), w.records,
+                w.frame_bytes);
+    std::printf("  chain head:     %.16s...\n", w.chain_head_hex.c_str());
+  }
+  for (const std::string& note : w.notes) {
+    std::printf("  note: %s\n", note.c_str());
+  }
+}
+
+/// Compares one store pair. Exit contribution: 0 replicas agree (equal, or
+/// one lags the other on the same stream), 1 diverged, 2 unreadable.
+int compare_replica_pair(FileIo& io, const std::string& a,
+                         const std::string& b) {
+  WalInspection wa, wb;
+  try {
+    wa = inspect_store_wal(io, a);
+    wb = inspect_store_wal(io, b);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "dfky_fsck: %s\n", e.what());
+    return 2;
+  }
+  print_inspection(a, wa);
+  print_inspection(b, wb);
+  if (!wa.ok || !wb.ok) return 2;
+  if (wa.generation != wb.generation) {
+    // Different snapshot generations never share a WAL chain; the lagging
+    // replica is waiting for a snapshot resync (repl-snap), not diverged.
+    std::printf(
+        "  replicas are on different generations (%llu vs %llu); the "
+        "lagging one resyncs via snapshot shipping\n",
+        static_cast<unsigned long long>(wa.generation),
+        static_cast<unsigned long long>(wb.generation));
+    return 0;
+  }
+  const WalInspection& shorter = wa.records <= wb.records ? wa : wb;
+  const WalInspection& longer = wa.records <= wb.records ? wb : wa;
+  const bool prefix =
+      std::equal(shorter.frames.begin(), shorter.frames.end(),
+                 longer.frames.begin());
+  if (!prefix) {
+    std::printf(
+        "  DIVERGED: same generation but the shorter WAL (%zu record(s)) "
+        "is not a prefix of the longer (%zu record(s)) — the replicas "
+        "forked; re-seed one from the other\n",
+        shorter.records, longer.records);
+    return 1;
+  }
+  if (wa.records == wb.records) {
+    std::printf("  replicas are identical (chain head %.16s...)\n",
+                wa.chain_head_hex.c_str());
+  } else {
+    std::printf("  replicas agree; %s lags by %zu record(s)\n",
+                (wa.records < wb.records ? a : b).c_str(),
+                longer.records - shorter.records);
+  }
+  return 0;
+}
+
+int cmd_replica(FileIo& io, const std::string& a, const std::string& b) {
+  const bool root_a = is_shard_root(io, a);
+  const bool root_b = is_shard_root(io, b);
+  if (root_a != root_b) {
+    std::fprintf(stderr,
+                 "dfky_fsck: --replica: '%s' %s a shard root but '%s' %s\n",
+                 a.c_str(), root_a ? "is" : "is not", b.c_str(),
+                 root_b ? "is" : "is not");
+    return 2;
+  }
+  if (!root_a) {
+    return compare_replica_pair(io, a, b);
+  }
+  const std::size_t na = count_shards(io, a);
+  const std::size_t nb = count_shards(io, b);
+  if (na != nb) {
+    std::fprintf(stderr,
+                 "dfky_fsck: --replica: shard counts differ (%zu vs %zu)\n",
+                 na, nb);
+    return 2;
+  }
+  std::printf("comparing %zu shard(s)\n", na);
+  int worst = 0;
+  for (std::size_t i = 0; i < na; ++i) {
+    worst = std::max(
+        worst, compare_replica_pair(io, a + "/" + shard_dir_name(i),
+                                    b + "/" + shard_dir_name(i)));
+  }
+  if (worst == 0) {
+    std::printf("%s and %s: replicas agree on every shard\n", a.c_str(),
+                b.c_str());
+  }
+  return worst;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string dir;
   bool repair = false;
+  bool replica = false;
+  std::vector<std::string> dirs;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--repair") {
       repair = true;
+    } else if (a == "--replica") {
+      replica = true;
     } else if (a == "--help" || a == "-h") {
       usage(stdout);
       return 0;
@@ -117,12 +235,23 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "dfky_fsck: unknown flag '%s'\n", a.c_str());
       usage(stderr);
       return 2;
-    } else if (dir.empty()) {
-      dir = a;
     } else {
+      dirs.push_back(a);
+    }
+  }
+  if (replica) {
+    if (repair || dirs.size() != 2) {
+      std::fprintf(stderr,
+                   "dfky_fsck: --replica takes exactly two store directories "
+                   "(and no --repair)\n");
       usage(stderr);
       return 2;
     }
+    RealFileIo rio;
+    return cmd_replica(rio, dirs[0], dirs[1]);
+  }
+  if (dirs.size() == 1) {
+    dir = dirs[0];
   }
   if (dir.empty()) {
     usage(stderr);

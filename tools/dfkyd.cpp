@@ -14,14 +14,23 @@ namespace {
 int usage(std::FILE* out) {
   std::fprintf(out,
                "usage: dfkyd <store-dir> --socket PATH [--metrics-port N]\n"
-               "             [--snapshot-every N]\n"
+               "             [--snapshot-every N] [--follower]\n"
+               "             [--replicate-to PATH]...\n"
                "\n"
                "Serves the store over a newline protocol (see dfky_cli\n"
                "client). A shard root (init --store --shards N) is detected\n"
                "automatically: every shard's LOCK is taken and requests are\n"
                "routed by user id. --metrics-port 0 binds an ephemeral\n"
                "loopback port for GET /metrics; omit the flag to disable\n"
-               "metrics.\n");
+               "metrics.\n"
+               "\n"
+               "Replication (DESIGN.md Sect. 12): --follower comes up as a\n"
+               "read-only replica (mutations rejected; state advances via\n"
+               "repl-append/repl-snap from a primary; `dfky_cli client <sock>\n"
+               "promote` flips it to primary). --replicate-to PATH (repeatable)\n"
+               "streams this primary's WAL to the follower daemon listening on\n"
+               "each PATH; mutations are acknowledged only after every live\n"
+               "follower acked them.\n");
   return out == stdout ? 0 : 2;
 }
 
@@ -35,6 +44,18 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     if (a == "--help" || a == "-h") return usage(stdout);
+    if (a == "--follower") {
+      opts.follower = true;
+      continue;
+    }
+    if (a == "--replicate-to") {
+      if (i + 1 == args.size()) {
+        std::fprintf(stderr, "dfkyd: %s needs a value\n", a.c_str());
+        return usage(stderr);
+      }
+      opts.replicate_to.push_back(args[++i]);
+      continue;
+    }
     if (a == "--socket" || a == "--metrics-port" || a == "--snapshot-every") {
       if (i + 1 == args.size()) {
         std::fprintf(stderr, "dfkyd: %s needs a value\n", a.c_str());
@@ -79,6 +100,12 @@ int main(int argc, char** argv) {
   }
   if (opts.store_dir.empty() || opts.socket_path.empty()) {
     std::fprintf(stderr, "dfkyd: a store directory and --socket are required\n");
+    return usage(stderr);
+  }
+  if (opts.follower && !opts.replicate_to.empty()) {
+    std::fprintf(stderr,
+                 "dfkyd: --follower and --replicate-to are mutually exclusive "
+                 "(a follower becomes a sender only after `promote`)\n");
     return usage(stderr);
   }
 
