@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/build_info.h"
 #include "obs/metrics.h"
 
 namespace dfky::benchjson {
@@ -109,6 +110,14 @@ class Report {
     }
     std::fprintf(f, "{\"schema\":\"dfky-bench-v1\",\"bench\":\"%s\",",
                  name_.c_str());
+    // Identifies the binary under test (extra key; the schema checker
+    // validates required fields only, so dfky-bench-v1 stays compatible).
+    const BuildInfo b = build_info();
+    std::fprintf(f,
+                 "\"build\":{\"version\":\"%s\",\"git\":\"%s\","
+                 "\"sanitizer\":\"%s\",\"obs\":%s},",
+                 b.version.c_str(), b.git.c_str(), b.sanitizer.c_str(),
+                 b.obs ? "true" : "false");
     std::fprintf(f, "\"smoke\":%s,\"obs\":%s,\"records\":[",
                  smoke() ? "true" : "false",
                  obs::enabled() ? "true" : "false");

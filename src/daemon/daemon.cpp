@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include <arpa/inet.h>
@@ -19,6 +21,7 @@
 
 #include "daemon/protocol.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dfky::daemon {
 
@@ -26,10 +29,12 @@ namespace dfky::daemon {
 
 namespace {
 
-const char* verb_label(const std::string& verb) {
+// Only referenced from DFKY_OBS blocks, hence unused in OFF builds.
+[[maybe_unused]] const char* verb_label(const std::string& verb) {
   static constexpr const char* kVerbs[] = {
       "ping", "status", "add-user", "revoke", "new-period", "encrypt",
-      "shutdown", "repl-status", "repl-append", "repl-snap", "promote"};
+      "shutdown", "repl-status", "repl-append", "repl-snap", "promote",
+      "health", "trace"};
   for (const char* v : kVerbs) {
     if (verb == v) return v;
   }
@@ -64,12 +69,19 @@ std::string bundles_field(const std::vector<Bytes>& bundles) {
 RequestHandler::RequestHandler(ShardRouter& router) : router_(router) {}
 
 RequestHandler::Result RequestHandler::handle(const std::string& line) {
+  // The request's whole lifetime inside the daemon. The destructor closes
+  // the final `respond` span (wakeup from the committer, response
+  // formatting, tagging) and files the trace; layers below stamp their own
+  // spans through the thread-local context or the group-commit ticket.
+  // (maybe_unused: the OFF stub is stateless and side-effect free.)
+  [[maybe_unused]] obs::ScopedTrace trace;
   Result res;
   if (line.size() > kMaxLineBytes) {
     res.response = err_response("request line too long");
     return res;
   }
   const TaggedLine tagged = split_request_tag(line);
+  DFKY_OBS(obs::trace_mark(obs::SpanKind::kAccept););
   if (tagged.bad_tag) {
     res.response = err_response("malformed request tag");
     return res;
@@ -79,6 +91,8 @@ RequestHandler::Result RequestHandler::handle(const std::string& line) {
     res.response = tag_response(tagged.id, err_response("empty request"));
     return res;
   }
+  DFKY_OBS(trace.set_verb(verb_label(tokens[0]));
+           obs::trace_mark(obs::SpanKind::kParse););
   if (tokens[0] == "shutdown") {
     if (tokens.size() != 1) {
       res.response = err_response("shutdown takes no arguments");
@@ -98,7 +112,8 @@ RequestHandler::Result RequestHandler::handle(const std::string& line) {
   DFKY_OBS(obs::counter("dfkyd_requests_total",
                         {{"verb", verb_label(tokens[0])},
                          {"outcome", res.response[0] == 'o' ? "ok" : "err"}})
-               .inc(););
+               .inc();
+           trace.set_outcome(res.response[0] == 'o'););
   res.response = tag_response(tagged.id, std::move(res.response));
   return res;
 }
@@ -217,6 +232,86 @@ std::string RequestHandler::dispatch(const std::vector<std::string>& tokens) {
     return ok_response({{"role", "primary"},
                         {"period", std::to_string(st.period)},
                         {"wal_records", std::to_string(st.wal_records)}});
+  }
+
+  if (verb == "health") {
+    if (tokens.size() != 1) return err_response("health takes no arguments");
+    const ShardRouter::HealthReport h = router_.health();
+    // Verdict: `fail` when nothing can be acked any more (fail-stop or a
+    // poisoned shard), `degraded` when the node serves but not fully (a
+    // read-only follower, or a primary whose follower died and stopped
+    // gating acks), `ok` otherwise. Reasons are comma-joined (values must
+    // stay space-free for the k=v protocol).
+    std::vector<std::string> reasons;
+    for (std::size_t k = 0; k < h.poisoned.size(); ++k) {
+      if (h.poisoned[k]) {
+        reasons.push_back("shard" + std::to_string(k) + "-poisoned");
+      }
+    }
+    if (h.fatal) reasons.push_back("fail-stop");
+    const bool fail = !reasons.empty();
+    if (h.follower) reasons.push_back("follower-read-only");
+    std::size_t live = 0;
+    std::uint64_t lag = 0;
+    for (const auto& f : h.followers) {
+      if (f.live) {
+        ++live;
+      } else {
+        reasons.push_back("follower-dead:" + f.name);
+      }
+      lag += f.lag_records;
+    }
+    const char* verdict =
+        fail ? "fail" : (reasons.empty() ? "ok" : "degraded");
+    std::string poisoned, periods, queue_total;
+    std::size_t queued = 0;
+    for (std::size_t k = 0; k < h.poisoned.size(); ++k) {
+      if (k > 0) {
+        poisoned += ',';
+        periods += ',';
+      }
+      poisoned += h.poisoned[k] ? '1' : '0';
+      periods += std::to_string(h.periods[k]);
+      queued += h.queue_depths[k];
+    }
+    std::string joined = "none";
+    if (!reasons.empty()) {
+      joined.clear();
+      for (std::size_t i = 0; i < reasons.size(); ++i) {
+        if (i > 0) joined += ',';
+        joined += reasons[i];
+      }
+    }
+    return ok_response(
+        {{"verdict", verdict},
+         {"role", h.follower ? "follower" : "primary"},
+         {"shards", std::to_string(h.poisoned.size())},
+         {"period", std::to_string(h.period)},
+         {"periods", periods},
+         {"poisoned", poisoned},
+         {"queued", std::to_string(queued)},
+         {"followers_live",
+          std::to_string(live) + "/" + std::to_string(h.followers.size())},
+         {"lag_records", std::to_string(lag)},
+         {"reasons", joined}});
+  }
+
+  if (verb == "trace") {
+    if (tokens.size() > 2) return err_response("usage: trace [max]");
+    std::size_t max = 64;
+    if (tokens.size() == 2) {
+      const auto m = parse_u64(tokens[1]);
+      if (!m) return err_response("bad trace count '" + tokens[1] + "'");
+      max = static_cast<std::size_t>(*m);
+    }
+    // JSONL rides the one-line protocol as hex, exactly like key files and
+    // ciphertexts do; GET /trace serves the same text raw.
+    const std::string jsonl = obs::trace_jsonl(max);
+    const std::size_t lines =
+        static_cast<std::size_t>(std::count(jsonl.begin(), jsonl.end(), '\n'));
+    return ok_response(
+        {{"lines", std::to_string(lines)},
+         {"jsonl", hex_encode(Bytes(jsonl.begin(), jsonl.end()))}});
   }
 
   if (verb == "encrypt") {
@@ -346,7 +441,12 @@ void serve_metrics_conn(int fd) {
   const std::string request(req, n > 0 ? static_cast<std::size_t>(n) : 0);
   std::string status = "200 OK";
   std::string body;
-  if (request.starts_with("GET /metrics") || request.starts_with("GET / ")) {
+  if (request.starts_with("GET /trace")) {
+    body = obs::trace_jsonl();
+    if (!obs::enabled()) body = "# dfky observability layer compiled out\n";
+    DFKY_OBS(obs::counter("dfkyd_trace_scrapes_total").inc(););
+  } else if (request.starts_with("GET /metrics") ||
+             request.starts_with("GET / ")) {
     body = obs::MetricsRegistry::instance().prometheus();
     if (!obs::enabled()) body = "# dfky observability layer compiled out\n";
     DFKY_OBS(obs::counter("dfkyd_metrics_scrapes_total").inc(););
@@ -366,9 +466,63 @@ void serve_metrics_conn(int fd) {
   ::close(fd);
 }
 
+/// Forwards everything to the real io, sleeping before each fsync_file.
+/// Armed only via the DFKYD_TEST_FSYNC_STALL_US environment variable —
+/// the e2e harness's deterministic "slow disk" (DESIGN.md Sect. 13.3).
+class StallFileIo final : public FileIo {
+ public:
+  StallFileIo(FileIo& inner, std::uint64_t stall_us)
+      : inner_(inner), stall_us_(stall_us) {}
+
+  bool exists(const std::string& p) const override { return inner_.exists(p); }
+  bool is_dir(const std::string& p) const override { return inner_.is_dir(p); }
+  std::vector<std::string> list(const std::string& d) const override {
+    return inner_.list(d);
+  }
+  Bytes read(const std::string& p) const override { return inner_.read(p); }
+  void write(const std::string& p, BytesView d) override { inner_.write(p, d); }
+  void append(const std::string& p, BytesView d) override {
+    inner_.append(p, d);
+  }
+  void truncate(const std::string& p, std::size_t s) override {
+    inner_.truncate(p, s);
+  }
+  void rename(const std::string& f, const std::string& t) override {
+    inner_.rename(f, t);
+  }
+  void remove(const std::string& p) override { inner_.remove(p); }
+  void mkdir(const std::string& p) override { inner_.mkdir(p); }
+  void fsync_file(const std::string& p) override {
+    std::this_thread::sleep_for(std::chrono::microseconds(stall_us_));
+    inner_.fsync_file(p);
+  }
+  void fsync_dir(const std::string& d) override { inner_.fsync_dir(d); }
+  bool lock(const std::string& p, std::uint64_t* h) override {
+    return inner_.lock(p, h);
+  }
+  void unlock(const std::string& p) override { inner_.unlock(p); }
+
+ private:
+  FileIo& inner_;
+  std::uint64_t stall_us_;
+};
+
+std::unique_ptr<FileIo> make_stall_io(FileIo& inner) {
+  const char* env = std::getenv("DFKYD_TEST_FSYNC_STALL_US");
+  if (env == nullptr || *env == '\0') return nullptr;
+  const auto us = parse_u64(env);
+  if (!us || *us == 0) return nullptr;
+  std::fprintf(stderr, "dfkyd: TEST fsync stall armed: %llu us per fsync\n",
+               static_cast<unsigned long long>(*us));
+  return std::make_unique<StallFileIo>(inner, *us);
+}
+
 }  // namespace
 
-Daemon::Daemon(DaemonOptions opts) : opts_(std::move(opts)) {
+Daemon::Daemon(DaemonOptions opts)
+    : opts_(std::move(opts)),
+      stall_io_(make_stall_io(real_io_)),
+      io_(stall_io_ ? *stall_io_ : static_cast<FileIo&>(real_io_)) {
   std::vector<StateStore> stores;
   if (is_shard_root(io_, opts_.store_dir)) {
     if (opts_.follower) {

@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <set>
@@ -94,7 +95,13 @@ class Daemon {
   void request_stop();
 
   DaemonOptions opts_;
-  RealFileIo io_;
+  RealFileIo real_io_;
+  /// Test-only: when DFKYD_TEST_FSYNC_STALL_US is set in the environment,
+  /// every fsync sleeps that many microseconds first — daemon_e2e.sh uses
+  /// it to force requests over the slow-trace threshold. Null in normal
+  /// operation.
+  std::unique_ptr<FileIo> stall_io_;
+  FileIo& io_;  // stall_io_ when armed, else real_io_
   SystemRng rng_;  // shard-set open (roll-forward); shards get their own
   std::optional<ShardRouter> router_;
   std::optional<RequestHandler> handler_;

@@ -31,7 +31,7 @@ GroupCommit::~GroupCommit() {
 }
 
 void GroupCommit::run(const std::function<void()>& op) {
-  Ticket ticket{&op, nullptr, false};
+  Ticket ticket{&op, nullptr, false, obs::current_trace()};
   {
     std::unique_lock lk(mu_);
     if (fatal_) throw ContractError("group commit: store failed (fail-stop)");
@@ -57,6 +57,8 @@ void GroupCommit::committer_loop() {
       DFKY_OBS_TIMER(span, "dfkyd_commit_batch_ns", labels_);
       std::unique_lock state(state_mu_);
       for (Ticket* t : batch) {
+        // The ticket's queue wait ends as its op starts executing.
+        DFKY_OBS(if (t->trace) t->trace->mark(obs::SpanKind::kQueueWait););
         try {
           (*t->op)();
         } catch (...) {
@@ -65,6 +67,18 @@ void GroupCommit::committer_loop() {
       }
       try {
         store_.sync();
+        // One append+fsync covered the whole batch, so every ticket gets
+        // the same wal_append/fsync boundary: the store's append-done
+        // stamp splits the two.
+        DFKY_OBS(const std::uint64_t append_done =
+                     store_.last_sync_append_done_ns();
+                 const std::uint64_t sync_done =
+                     obs::TraceContext::now_ns();
+                 for (Ticket* t : batch) {
+                   if (!t->trace) continue;
+                   t->trace->mark_at(obs::SpanKind::kWalAppend, append_done);
+                   t->trace->mark_at(obs::SpanKind::kFsync, sync_done);
+                 });
       } catch (...) {
         // The batch's fsync (or rotation) failed: nothing in this batch is
         // acknowledged, and the store has poisoned itself against
@@ -86,6 +100,11 @@ void GroupCommit::committer_loop() {
       // marked done — submitters never see their ack until live followers
       // hold the batch.
       if (post_sync_) post_sync_();
+      DFKY_OBS(const std::uint64_t acked = obs::TraceContext::now_ns();
+               for (Ticket* t : batch) {
+                 if (t->trace)
+                   t->trace->mark_at(obs::SpanKind::kReplAck, acked);
+               });
       batches_.fetch_add(1, std::memory_order_relaxed);
       committed_.fetch_add(batch.size(), std::memory_order_relaxed);
       DFKY_OBS(obs::counter("dfkyd_commit_batches_total", labels_).inc();

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/store.h"
 
 namespace dfky::daemon {
@@ -74,11 +75,25 @@ class GroupCommit {
     return fatal_;
   }
 
+  /// Mutations currently waiting for the committer (excludes the batch
+  /// being flushed right now). Health reporting reads this as the shard's
+  /// queue depth.
+  std::size_t queued() const {
+    std::lock_guard lk(mu_);
+    return queue_.size();
+  }
+
  private:
   struct Ticket {
     const std::function<void()>* op;
     std::exception_ptr error;
     bool done = false;
+    /// The submitter's request trace, stamped by the committer thread
+    /// (queue_wait / wal_append / fsync / repl_ack). Safe without extra
+    /// synchronization: the submitter blocks until `done`, and the done
+    /// hand-off (mutex + condvar) orders the committer's writes before
+    /// the submitter's reads. Null when the request isn't traced.
+    obs::TraceContext* trace = nullptr;
   };
 
   void committer_loop();

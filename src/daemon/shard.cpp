@@ -6,6 +6,7 @@
 #include "core/keyfile.h"
 #include "daemon/repl.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serial/codec.h"
 
 namespace dfky::daemon {
@@ -85,6 +86,8 @@ ShardRouter::AddedUser ShardRouter::add_user() {
   Shard& sh = *shards_[k];
   AddedUser out;
   out.shard = k;
+  // Routing is done; the queue wait starts at submission.
+  DFKY_OBS(obs::trace_mark(obs::SpanKind::kRoute););
   sh.commits->run([&] {
     std::lock_guard rng_lk(sh.rng_mu);
     const SecurityManager::AddedUser added = sh.store.add_user(*sh.rng);
@@ -108,6 +111,7 @@ ShardRouter::RevokeResult ShardRouter::revoke(
     by_shard[shard_of(id)].push_back(local_of(id));
   }
   RevokeResult out;
+  DFKY_OBS(obs::trace_mark(obs::SpanKind::kRoute););
   for (std::size_t k = 0; k < shards_.size(); ++k) {
     if (by_shard[k].empty()) continue;
     Shard& sh = *shards_[k];
@@ -150,6 +154,9 @@ ShardRouter::NewPeriodResult ShardRouter::new_period_all() {
   std::vector<std::unique_lock<std::shared_mutex>> locks;
   locks.reserve(shards_.size());
   for (auto& sh : shards_) locks.emplace_back(sh->state_mu);
+  // Route ends once the barrier owns every shard: what follows is the
+  // two-phase epoch roll (barrier_prepare / barrier_commit spans).
+  DFKY_OBS(obs::trace_mark(obs::SpanKind::kRoute););
 
   NewPeriodResult out;
   // The target epoch equalizes shards that drifted apart through
@@ -172,10 +179,12 @@ ShardRouter::NewPeriodResult ShardRouter::new_period_all() {
             serialize_bundle(sh->store.new_period(*sh->rng), group));
       }
     }
+    DFKY_OBS(obs::trace_mark(obs::SpanKind::kBarrierPrepare););
     // Phase 2 — commit: one WAL append+fsync per shard. A crash between
     // two syncs leaves the set at mixed epochs; open_shard_set rolls the
     // laggards forward, which is sound because we have not acked yet.
     for (auto& sh : shards_) sh->store.sync();
+    DFKY_OBS(obs::trace_mark(obs::SpanKind::kBarrierCommit););
   } catch (...) {
     // Some shards may hold applied-but-unstaged or staged-but-unsynced
     // state that a later batch's sync would silently commit. Fail-stop:
@@ -192,6 +201,7 @@ ShardRouter::NewPeriodResult ShardRouter::new_period_all() {
   // open_shard_set) re-equalizes that replica if it ever comes back.
   locks.clear();
   if (ReplicationSender* r = repl_.load()) r->sync_all();
+  DFKY_OBS(obs::trace_mark(obs::SpanKind::kReplAck););
   return out;
 }
 
@@ -305,6 +315,40 @@ ShardRouter::Status ShardRouter::status() const {
     }
   }
   return st;
+}
+
+ShardRouter::HealthReport ShardRouter::health() const {
+  HealthReport h;
+  h.follower = follower_.load();
+  h.fatal = fatal_.load();
+  std::vector<std::uint64_t> records(shards_.size(), 0);
+  std::vector<std::uint64_t> gens(shards_.size(), 0);
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    const auto& sh = shards_[k];
+    std::shared_lock lk(sh->state_mu);
+    h.periods.push_back(sh->store.manager().period());
+    h.period = std::max(h.period, h.periods.back());
+    h.poisoned.push_back(sh->store.poisoned());
+    h.queue_depths.push_back(sh->commits ? sh->commits->queued() : 0);
+    records[k] = static_cast<std::uint64_t>(sh->store.wal_records());
+    gens[k] = sh->store.generation();
+  }
+  if (ReplicationSender* r = repl_.load()) {
+    for (const ReplicationSender::FollowerStatus& fs : r->status()) {
+      HealthReport::Follower f;
+      f.name = fs.name;
+      f.live = fs.live;
+      for (std::size_t k = 0; k < shards_.size(); ++k) {
+        const std::uint64_t gen = k < fs.generation.size() ? fs.generation[k]
+                                                          : 0;
+        const std::uint64_t acked =
+            (gen == gens[k] && k < fs.acked.size()) ? fs.acked[k] : 0;
+        if (records[k] > acked) f.lag_records += records[k] - acked;
+      }
+      h.followers.push_back(std::move(f));
+    }
+  }
+  return h;
 }
 
 Bytes ShardRouter::encrypt(BytesView payload, std::size_t shard) {

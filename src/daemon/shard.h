@@ -113,6 +113,28 @@ class ShardRouter {
   };
   Status status() const;
 
+  /// Raw material for the `health` verb (DESIGN.md Sect. 13.4): role and
+  /// fail-stop state, per-shard poisoned/epoch/queue-depth, and — with a
+  /// replication sender attached — per-follower liveness and lag (primary
+  /// records minus acked records, summed across shards; a follower on a
+  /// stale generation counts the primary's whole shard log as lag). The
+  /// ok/degraded/fail verdict is the protocol layer's to compute.
+  struct HealthReport {
+    bool follower = false;
+    bool fatal = false;
+    std::uint64_t period = 0;                 // max across shards
+    std::vector<std::uint64_t> periods;       // per shard
+    std::vector<bool> poisoned;               // per shard
+    std::vector<std::size_t> queue_depths;    // per shard (0 on a follower)
+    struct Follower {
+      std::string name;
+      bool live = false;
+      std::uint64_t lag_records = 0;
+    };
+    std::vector<Follower> followers;  // empty when no sender is attached
+  };
+  HealthReport health() const;
+
   /// Seals `payload` under shard `shard`'s public key (keys issued by a
   /// shard only open that shard's broadcasts).
   Bytes encrypt(BytesView payload, std::size_t shard);

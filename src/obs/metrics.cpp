@@ -72,6 +72,12 @@ std::vector<std::uint64_t> Histogram::default_ns_bounds() {
           64'000'000ull, 250'000'000ull, 1'000'000'000ull};
 }
 
+std::vector<std::uint64_t> Histogram::fast_ns_bounds() {
+  return {250ull,         1'000ull,       4'000ull,       16'000ull,
+          64'000ull,      250'000ull,     1'000'000ull,   4'000'000ull,
+          16'000'000ull,  64'000'000ull,  250'000'000ull, 1'000'000'000ull};
+}
+
 Histogram::Histogram(const std::vector<std::uint64_t>& bounds) {
   require(bounds.size() <= kMaxBounds, "histogram: too many bucket bounds");
   require(std::is_sorted(bounds.begin(), bounds.end()),
@@ -125,6 +131,8 @@ struct MetricsRegistry::Impl {
   std::map<SeriesKey, std::unique_ptr<Counter>> counters;
   std::map<SeriesKey, std::unique_ptr<Gauge>> gauges;
   std::map<SeriesKey, std::unique_ptr<Histogram>> histograms;
+  std::map<std::string, std::vector<std::uint64_t>, std::less<>>
+      histogram_bounds;  // per-name registration-time bounds overrides
   std::deque<Event> events;
   std::uint64_t events_dropped = 0;
 };
@@ -164,10 +172,26 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
   std::lock_guard<std::mutex> lock(im.mu);
   auto& slot = im.histograms[make_key(name, labels)];
   if (!slot) {
-    slot.reset(new Histogram(bounds.empty() ? Histogram::default_ns_bounds()
-                                            : bounds));
+    const auto reg = im.histogram_bounds.find(name);
+    if (reg != im.histogram_bounds.end()) {
+      slot.reset(new Histogram(reg->second));
+    } else {
+      slot.reset(new Histogram(bounds.empty() ? Histogram::default_ns_bounds()
+                                              : bounds));
+    }
   }
   return *slot;
+}
+
+void MetricsRegistry::set_default_bounds(std::string_view name,
+                                         std::vector<std::uint64_t> bounds) {
+  require(bounds.size() <= Histogram::kMaxBounds,
+          "set_default_bounds: too many bucket bounds");
+  require(std::is_sorted(bounds.begin(), bounds.end()),
+          "set_default_bounds: bucket bounds must be sorted");
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.histogram_bounds[std::string(name)] = std::move(bounds);
 }
 
 void MetricsRegistry::emit(Event ev) {

@@ -100,6 +100,11 @@ class Histogram {
   /// Default bounds for nanosecond timings: 1us .. 4s, roughly x4 steps.
   static std::vector<std::uint64_t> default_ns_bounds();
 
+  /// Sub-microsecond bounds for daemon request latencies: 250ns .. 1s,
+  /// roughly x4 steps. Registered by dfkyd for its request histograms via
+  /// MetricsRegistry::set_default_bounds.
+  static std::vector<std::uint64_t> fast_ns_bounds();
+
   void observe(std::uint64_t x) noexcept {
     std::size_t i = 0;
     while (i < n_bounds_ && x > bounds_[i]) ++i;
@@ -148,6 +153,15 @@ class MetricsRegistry {
   Gauge& gauge(std::string_view name, const Labels& labels = {});
   Histogram& histogram(std::string_view name, const Labels& labels = {},
                        const std::vector<std::uint64_t>& bounds = {});
+
+  /// Registers default bucket bounds for every *future* histogram series
+  /// with this name (any label set), overriding both default_ns_bounds()
+  /// and call-site bounds. Series created earlier keep their bounds
+  /// (first registration wins per series), so call this at startup before
+  /// traffic — dfkyd does, to give its latency histograms sub-microsecond
+  /// resolution without recompiling call sites.
+  void set_default_bounds(std::string_view name,
+                          std::vector<std::uint64_t> bounds);
 
   /// Appends to the bounded event ring (oldest events are dropped; the
   /// drop count is itself reported as dfky_obs_events_dropped_total).
@@ -248,6 +262,7 @@ class Histogram {
  public:
   static constexpr std::size_t kMaxBounds = 16;
   static std::vector<std::uint64_t> default_ns_bounds() { return {}; }
+  static std::vector<std::uint64_t> fast_ns_bounds() { return {}; }
   void observe(std::uint64_t) const noexcept {}
   std::uint64_t count() const noexcept { return 0; }
   std::uint64_t sum() const noexcept { return 0; }
@@ -273,6 +288,7 @@ class MetricsRegistry {
                        const std::vector<std::uint64_t>& = {}) {
     return histogram_;
   }
+  void set_default_bounds(std::string_view, std::vector<std::uint64_t>) {}
   void emit(Event) {}
   std::vector<Event> events() const { return {}; }
   static constexpr std::size_t kEventCapacity = 4096;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include <dirent.h>
 #include <fcntl.h>
@@ -524,6 +526,14 @@ void FaultyFileIo::mkdir(const std::string& path) {
 
 void FaultyFileIo::fsync_file(const std::string& path) {
   mutating_op("fsync_file", path, {}, nullptr);
+  std::uint64_t delay = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    delay = plan_.fsync_delay_ns;
+  }
+  // Sleep outside the lock: a stalled fsync must not block other threads'
+  // fault bookkeeping.
+  if (delay != 0) std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
   fs_.fsync_file(path);
 }
 

@@ -182,6 +182,10 @@ struct FilePlan {
   std::optional<std::uint64_t> crash_at;
   double bitflip_read_prob = 0.0;  // one bit of a read() flipped
   double short_read_prob = 0.0;    // read() loses a seeded-length tail
+  /// Every fsync_file sleeps this long before completing — a stalled disk,
+  /// not a fault. Used by the tracing tests to force a request over the
+  /// slow-request threshold deterministically.
+  std::uint64_t fsync_delay_ns = 0;
 };
 
 struct FileFaultCounters {

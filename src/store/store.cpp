@@ -1,6 +1,7 @@
 #include "store/store.h"
 
 #include <algorithm>
+#include <chrono>
 #include <new>
 
 #include "crypto/crc32c.h"
@@ -541,6 +542,10 @@ void StateStore::flush_pending() {
   try {
     DFKY_OBS_TIMER(span, "dfky_store_wal_append_ns");
     io_->append(path(wal_name(gen_)), pending_);
+    DFKY_OBS(last_sync_append_done_ns_ = static_cast<std::uint64_t>(
+                 std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now().time_since_epoch())
+                     .count()););
     io_->fsync_file(path(wal_name(gen_)));
   } catch (...) {
     // The append may have landed (fully or torn) even though the fsync

@@ -126,6 +126,13 @@ class StateStore {
   void sync();
   /// Records applied to the manager but not yet durable (batching only).
   std::size_t unsynced_records() const { return unsynced_records_; }
+  /// Steady-clock ns at which the last sync()'s WAL append returned,
+  /// before its fsync began — the wal_append/fsync split point request
+  /// traces use (DESIGN.md Sect. 13). 0 until the first flush, and always
+  /// 0 under DFKY_OBS=OFF.
+  std::uint64_t last_sync_append_done_ns() const {
+    return last_sync_append_done_ns_;
+  }
   /// True after a WAL append/fsync failed mid-flush. The staged frames may
   /// be partially on disk; re-appending them would write byte-identical
   /// duplicate records, break the HMAC chain, and cost every LATER acked
@@ -220,6 +227,7 @@ class StateStore {
   bool poisoned_ = false;  // WAL failed mid-write; mutations refused
   Bytes pending_;  // framed records staged while batching
   std::size_t unsynced_records_ = 0;
+  std::uint64_t last_sync_append_done_ns_ = 0;
 };
 
 // ---- sharded deployments (DESIGN.md Sect. 11) ---------------------------------

@@ -142,6 +142,29 @@ if "$CLI" stats "$M" --since yesterday >/dev/null 2>&1; then
   fail "stats --since accepted a non-numeric timestamp"
 fi
 
+# ---- stats --name/--user narrow the event log ---------------------------------
+# The scripted session above revoked users 1,2,3, so the revoke events
+# carry known user ids; filters print the matching event lines verbatim.
+if grep -q '"obs":"on"' "$M"; then
+  "$CLI" stats "$M" --name revoke > ev.txt || fail "stats --name exited nonzero"
+  grep -c '^event revoke ' ev.txt | grep -qx 3 \
+    || fail "stats --name revoke: want 3 event lines: $(grep -c '^event ' ev.txt)"
+  if grep '^event ' ev.txt | grep -v '^event revoke ' > /dev/null; then
+    fail "stats --name leaked foreign events"
+  fi
+  "$CLI" stats "$M" --name revoke --user 2 > ev2.txt \
+    || fail "stats --user exited nonzero"
+  grep -q '^event revoke .*user=2' ev2.txt \
+    || fail "stats --user 2 missed the matching revoke"
+  grep -c '^event ' ev2.txt | grep -qx 1 \
+    || fail "stats --user 2 kept non-matching events"
+  if "$CLI" stats "$M" --name no_such_event | grep '^event ' > /dev/null; then
+    fail "stats --name with an unknown event still printed events"
+  fi
+fi
+check_usage_error stats "$M" --user banana
+check_usage_error stats "$M" --name ''
+
 # ---- corrupt state files die with a clear message ----------------------------
 printf 'not a dfky state file' > bogus.state
 if "$CLI" status bogus.state >/dev/null 2>err.txt; then

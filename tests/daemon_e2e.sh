@@ -4,13 +4,17 @@
 # SIGTERM graceful shutdown, SIGKILL crash-recovery with every acknowledged
 # mutation intact, and a real-process primary/follower failover (SIGKILL the
 # primary mid-load, promote the follower, client retry masks the gap).
+# Observability surfaces ride the same daemons: the health verb's verdict
+# and exit code, GET /trace, the slow-request log under an armed fsync
+# stall, and a one-frame dfky_top render.
 #
-#   daemon_e2e.sh <dfkyd> <dfky_cli> [<dfky_fsck>]
+#   daemon_e2e.sh <dfkyd> <dfky_cli> [<dfky_fsck>] [<dfky_top>]
 set -euo pipefail
 
 DFKYD="$1"
 CLI="$2"
 FSCK="${3:-}"
+TOP="${4:-}"
 WORK="$(mktemp -d)"
 PID=""
 SPID=""
@@ -132,6 +136,39 @@ else
   grep -q 'compiled out' metrics.txt || fail "metrics body unrecognizable"
 fi
 
+# ---- health: a machine-checkable verdict, exit status to match ----------------
+"$CLI" client "$SOCK" health > health.txt \
+  || fail "healthy daemon's health verb exited non-zero"
+grep -q '^verdict: ok' health.txt \
+  || fail "health verdict wrong: $(cat health.txt)"
+
+# ---- GET /trace serves the same JSONL the `trace` verb returns ----------------
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf 'GET /trace HTTP/1.0\r\n\r\n' >&3
+cat <&3 > trace_http.txt
+exec 3<&- 3>&-
+grep -q '200 OK' trace_http.txt || fail "trace endpoint did not answer 200"
+OBS_ON=0
+if grep -q 'trace_meta' trace_http.txt; then
+  OBS_ON=1
+  grep -q '"kind":"trace"' trace_http.txt \
+    || fail "GET /trace carries no trace records"
+  "$CLI" client "$SOCK" trace > trace_cli.txt || fail "trace verb failed"
+  grep -q '"verb":"add-user"' trace_cli.txt \
+    || fail "trace verb output misses the adds we just ran"
+else
+  grep -q 'compiled out' trace_http.txt || fail "/trace body unrecognizable"
+fi
+
+# ---- dfky_top renders one frame from /metrics + /trace ------------------------
+if [ -n "$TOP" ] && [ "$OBS_ON" = 1 ]; then
+  "$TOP" --port "$PORT" --iterations 1 > top.txt \
+    || fail "dfky_top exited nonzero"
+  grep -q '^dfkyd  role=primary' top.txt \
+    || fail "dfky_top header unrecognizable: $(head -1 top.txt)"
+  grep -q 'add-user' top.txt || fail "dfky_top table misses add-user"
+fi
+
 # ---- SIGTERM: drain, final snapshot, release the lock, exit 0 -----------------
 kill -TERM "$PID"
 rc=0; wait "$PID" || rc=$?
@@ -174,6 +211,36 @@ if [ -n "$FSCK" ]; then
   "$FSCK" store.d >/dev/null || fail "fsck dirty after crash recovery cycle"
 fi
 "$CLI" status store.d | grep -q 'period: *1' || fail "state lost across restarts"
+
+# ---- slow-request capture: a stalled fsync lands in the slow log --------------
+# DFKYD_TEST_FSYNC_STALL_US delays every fsync inside the daemon; with the
+# slow threshold well below the stall, the mutation must surface as a
+# slow_trace that attributes the time to its fsync span (DESIGN.md 13.3).
+if [ "$OBS_ON" = 1 ]; then
+  "$CLI" init slow.d --v 4 --group test128 --store >/dev/null
+  : > slow.log
+  DFKYD_TEST_FSYNC_STALL_US=20000 "$DFKYD" slow.d --socket "$WORK/slow.sock" \
+    --trace-slow-us 5000 >> slow.log 2>&1 &
+  PID=$!
+  for _ in $(seq 1 200); do
+    grep -q 'dfkyd: ready' slow.log 2>/dev/null && break
+    kill -0 "$PID" 2>/dev/null || fail "stalled daemon died: $(cat slow.log)"
+    sleep 0.05
+  done
+  grep -q 'dfkyd: ready' slow.log || fail "stalled daemon never ready"
+  grep -q 'TEST fsync stall armed' slow.log || fail "fsync stall not armed"
+  "$CLI" client "$WORK/slow.sock" add slow_u.key >/dev/null \
+    || fail "add against the stalled daemon failed"
+  "$CLI" client "$WORK/slow.sock" trace > slow_trace.txt \
+    || fail "trace verb failed on the stalled daemon"
+  grep -q '"kind":"slow_trace".*"verb":"add-user".*"span":"fsync"' \
+    slow_trace.txt || fail "stalled add-user missing from the slow log"
+  "$CLI" client "$WORK/slow.sock" shutdown >/dev/null \
+    || fail "stalled daemon shutdown failed"
+  rc=0; wait "$PID" || rc=$?
+  PID=""
+  [ "$rc" = 0 ] || fail "stalled daemon shutdown exited $rc"
+fi
 
 # =========================== sharded deployments ===============================
 SSOCK="$WORK/sharded.sock"
@@ -361,6 +428,13 @@ done
 "$CLI" client "$CSOCK" new-period --reset-out rnp >/dev/null
 "$CLI" client "$FSOCK" status | grep -q 'period: 1' \
   || fail "follower epoch lags an acked new-period"
+# The replicating primary counts its follower live and fully caught up.
+"$CLI" client "$CSOCK" health > rp_health.txt \
+  || fail "replicating primary health non-ok: $(cat rp_health.txt)"
+grep -q '^verdict: ok' rp_health.txt \
+  || fail "replicating primary verdict: $(cat rp_health.txt)"
+grep -q '^followers_live: 1/1' rp_health.txt \
+  || fail "follower not counted live: $(cat rp_health.txt)"
 
 # ---- SIGKILL the primary mid-load; fsck the pair at the quiet point -----------
 : > racked.txt
@@ -384,6 +458,16 @@ if [ -n "$FSCK" ]; then
     || fail "fsck --replica output unclear: $(cat fsck_replica.txt)"
 fi
 
+# ---- the survivor self-reports degraded until it is promoted ------------------
+# `client health` mirrors the verdict in its exit status, so a monitoring
+# script can gate a promote decision on it without parsing anything.
+rc=0; "$CLI" client "$FSOCK" health > surv_health.txt || rc=$?
+[ "$rc" = 1 ] || fail "survivor health exited $rc (degraded must exit 1)"
+grep -q '^verdict: degraded' surv_health.txt \
+  || fail "survivor not degraded: $(cat surv_health.txt)"
+grep -q 'follower-read-only' surv_health.txt \
+  || fail "survivor missing the read-only reason: $(cat surv_health.txt)"
+
 # ---- promote under a live retrying client -------------------------------------
 # The client starts while nothing is listening; default retry (~15s budget)
 # must carry it across promote + symlink swap.
@@ -400,6 +484,10 @@ wait "$FAILOVER_CLIENT" || fail "retrying client died during failover"
 # ---- the promoted follower serves the full acked history ----------------------
 "$CLI" client "$CSOCK" status | grep -q 'role: primary' \
   || fail "promoted follower still claims follower role"
+"$CLI" client "$CSOCK" health > prom_health.txt \
+  || fail "promoted survivor health non-ok: $(cat prom_health.txt)"
+grep -q '^verdict: ok' prom_health.txt \
+  || fail "promoted survivor verdict: $(cat prom_health.txt)"
 active=$("$CLI" client "$CSOCK" status | sed -n 's/^active: //p')
 [ "$active" -ge $((6 + racked + 1)) ] \
   || fail "promotion lost acked users: acked $((6 + racked + 1)), has $active"

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Proves the DFKY_OBS=OFF compile-out contract for the tracing layer
+# (DESIGN.md Sect. 13): configures a -DDFKY_OBS=OFF tree, builds dfkyd,
+# and asserts the binary contains NO tracing implementation symbols —
+# trace.cpp must be preprocessed away entirely, and every call site must
+# bind to the inert header stubs. The ON-side sanity leg asserts the same
+# grep DOES fire on the regular build's dfkyd, so a renamed namespace
+# can't silently turn the check into a no-op.
+#
+#   tests/obs_off_build_check.sh <on-dfkyd> [off-build-dir]
+#
+# The OFF tree is kept between runs (default: <repo>/build-obs-off) so
+# reruns are incremental.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+on_dfkyd="$(readlink -f "$1")"
+build="${2:-$repo/build-obs-off}"
+
+fail() { echo "obs_off_build_check: $1" >&2; exit 1; }
+
+# The tracing layer's ON-side symbols all live in the `on` inline
+# namespace; the OFF stubs live in `off` and carry no state worth a
+# definition after inlining — but only `on` symbols are contractual.
+pattern='dfky::obs::on::(ScopedTrace|TraceContext|trace_mark|trace_record|trace_jsonl|trace_json_line|recent_traces|slow_traces|trace_reset|set_tracing|set_slow_threshold_ns)'
+
+# grep consumes all input (no -q): -q would exit at the first match and
+# SIGPIPE nm, which pipefail turns into a spurious failure.
+nm -C "$on_dfkyd" | grep -E "$pattern" > /dev/null \
+  || fail "sanity leg: the ON build's dfkyd has no trace symbols — the \
+symbol pattern is stale and the check below proves nothing"
+
+cmake -S "$repo" -B "$build" -DDFKY_OBS=OFF -DCMAKE_BUILD_TYPE=Release \
+  > /dev/null
+cmake --build "$build" -j"$(nproc)" --target dfkyd > /dev/null
+
+if nm -C "$build/tools/dfkyd" | grep -E "$pattern"; then
+  fail "DFKY_OBS=OFF dfkyd still contains tracing symbols (above)"
+fi
+
+echo "obs_off_build_check: ok (no trace symbols in $build/tools/dfkyd)"

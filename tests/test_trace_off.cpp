@@ -1,0 +1,52 @@
+// Forces the DFKY_OBS=OFF trace stubs in this translation unit (the
+// on/off inline-namespace split makes that ODR-safe next to the ON TUs in
+// the same binary) and checks every tracing construct the daemon uses
+// compiles to an inert no-op. The stub TraceContext is deliberately
+// field-free, so this TU also proves no instrumentation site reads trace
+// state outside a DFKY_OBS block.
+#ifdef DFKY_OBS_ENABLED
+#undef DFKY_OBS_ENABLED
+#endif
+#define DFKY_OBS_ENABLED 0
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+
+namespace dfky {
+namespace {
+
+TEST(TraceOff, ScopedTraceIsInert) {
+  obs::ScopedTrace trace;
+  EXPECT_FALSE(trace.active());
+  trace.set_verb("add-user");
+  trace.set_outcome(false);
+  EXPECT_EQ(obs::current_trace(), nullptr);
+}
+
+TEST(TraceOff, MarksAndSwitchesAreNoOps) {
+  obs::trace_mark(obs::SpanKind::kFsync);
+  obs::TraceContext ctx;
+  ctx.mark(obs::SpanKind::kAccept);
+  ctx.mark_at(obs::SpanKind::kParse, 123);
+  EXPECT_EQ(obs::TraceContext::now_ns(), 0u);
+
+  obs::set_tracing(true);
+  EXPECT_FALSE(obs::tracing_enabled());
+  obs::set_slow_threshold_ns(5000);
+  EXPECT_EQ(obs::slow_threshold_ns(), 0u);
+}
+
+TEST(TraceOff, ExportsAreEmpty) {
+  obs::TraceContext ctx;
+  obs::trace_record(ctx);
+  EXPECT_TRUE(obs::recent_traces().empty());
+  EXPECT_TRUE(obs::slow_traces().empty());
+  EXPECT_EQ(obs::trace_json_line(ctx), "");
+  EXPECT_EQ(obs::trace_jsonl(), "");
+  EXPECT_EQ(obs::trace_jsonl(16), "");
+  obs::trace_reset();  // must be callable
+}
+
+}  // namespace
+}  // namespace dfky

@@ -22,7 +22,7 @@ done
 
 benches=(bench_group bench_encdec bench_user_ops bench_tracing
          bench_transmission bench_new_period bench_bbc bench_expiry
-         bench_longlived bench_recovery bench_store)
+         bench_longlived bench_recovery bench_store bench_daemon)
 
 cmake -S "$repo" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j"$(nproc)" \

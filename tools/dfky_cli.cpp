@@ -805,7 +805,7 @@ int cmd_client(std::vector<std::string> args) {
     die_usage(
         "client: usage: client <socket> "
         "(ping|status|add|revoke|new-period|encrypt|pipeline|repl-status"
-        "|promote|shutdown) ...");
+        "|health|trace|promote|shutdown) ...");
   }
   const std::string sock = args[0];
   const std::string sub = args[1];
@@ -820,6 +820,32 @@ int cmd_client(std::vector<std::string> args) {
     for (const auto& [k, v] : r.fields) {
       std::printf("%s: %s\n", k.c_str(), v.c_str());
     }
+    return 0;
+  }
+  if (sub == "health") {
+    reject_unknown_flags(args, "client health");
+    const daemon::Response r = expect_ok(daemon_request(sock, "health"));
+    const std::string& verdict = response_field(r, "verdict");
+    std::printf("verdict: %s\n", verdict.c_str());
+    for (const auto& [k, v] : r.fields) {
+      if (k != "verdict") std::printf("%s: %s\n", k.c_str(), v.c_str());
+    }
+    // Health-check exit semantics: scripts can gate on the verdict without
+    // parsing the output.
+    return verdict == "ok" ? 0 : 1;
+  }
+  if (sub == "trace") {
+    reject_unknown_flags(args, "client trace");
+    if (args.size() > 1) {
+      die_usage("client: usage: client <socket> trace [max]");
+    }
+    std::string req = "trace";
+    if (args.size() == 1) {
+      req += " " + std::to_string(parse_count("client trace", "max", args[0]));
+    }
+    const daemon::Response r = expect_ok(daemon_request(sock, req));
+    const Bytes jsonl = decode_blob_field(r, "jsonl");
+    std::fwrite(jsonl.data(), 1, jsonl.size(), stdout);
     return 0;
   }
   if (sub == "promote") {
@@ -1131,6 +1157,43 @@ void print_prometheus(const MergedMetrics& m) {
   }
 }
 
+/// Drops events (and their counts) that miss the `--name`/`--user` filters.
+/// Counters/gauges/histograms are left alone — the filters select from the
+/// longitudinal event log, not the aggregates.
+void filter_events(MergedMetrics& m, const std::optional<std::string>& name,
+                   std::optional<std::int64_t> user) {
+  if (!name && !user) return;
+  std::vector<json::Value> kept;
+  m.event_counts.clear();
+  for (json::Value& ev : m.events) {
+    if (name && ev.find("name")->as_string() != *name) continue;
+    if (user) {
+      const json::Value* u = ev.find("user");
+      if (!u || static_cast<std::int64_t>(u->as_number()) != *user) continue;
+    }
+    m.event_counts[ev.find("name")->as_string()] += 1;
+    kept.push_back(std::move(ev));
+  }
+  m.events = std::move(kept);
+}
+
+/// One line per surviving event, in file order — the per-user / per-name
+/// timeline view the summary's aggregate counts can't give.
+void print_events(const MergedMetrics& m) {
+  for (const json::Value& ev : m.events) {
+    std::printf("event %s", ev.find("name")->as_string().c_str());
+    for (const char* k : {"period", "user", "value"}) {
+      if (const json::Value* v = ev.find(k)) {
+        std::printf(" %s=%s", k, json::format_number(v->as_number()).c_str());
+      }
+    }
+    if (const json::Value* d = ev.find("detail")) {
+      std::printf(" detail=%s", d->as_string().c_str());
+    }
+    std::printf("\n");
+  }
+}
+
 int cmd_stats(std::vector<std::string> args) {
   const std::string format = flag_value(args, "--format").value_or("summary");
   std::optional<double> since;
@@ -1138,14 +1201,26 @@ int cmd_stats(std::vector<std::string> args) {
     since = static_cast<double>(
         parse_count("stats", "--since (a unix timestamp)", *s));
   }
+  const std::optional<std::string> name_filter = flag_value(args, "--name");
+  if (name_filter && name_filter->empty()) {
+    die_usage("stats: --name expects a non-empty event name");
+  }
+  std::optional<std::int64_t> user_filter;
+  if (const auto u = flag_value(args, "--user")) {
+    user_filter = static_cast<std::int64_t>(
+        parse_count("stats", "--user (a user id)", *u));
+  }
   reject_unknown_flags(args, "stats");
   if (args.empty()) {
-    die("stats: usage: stats <metrics-file> [--format summary|prom] "
-        "[--since TS]");
+    die_usage(
+        "stats: usage: stats <metrics-file> [--format summary|prom] "
+        "[--since TS] [--name EVENT] [--user ID]");
   }
-  const MergedMetrics m = read_metrics_file(args[0], since);
+  MergedMetrics m = read_metrics_file(args[0], since);
+  filter_events(m, name_filter, user_filter);
   if (format == "summary") {
     print_summary(m);
+    if (name_filter || user_filter) print_events(m);
   } else if (format == "prom") {
     print_prometheus(m);
   } else {
@@ -1169,12 +1244,16 @@ void usage(std::FILE* to) {
       "  pirate <state> <rep-out> <key...>     (demo) forge a pirate key\n"
       "  trace <state> <rep-file>              trace a pirate key\n"
       "  stats <metrics-file> [--format summary|prom] [--since TS]\n"
+      "        [--name EVENT] [--user ID]   filter the event log by event\n"
+      "        name / user id (matching events are listed one per line)\n"
       "  client <socket> <cmd> ...             talk to a running dfkyd\n"
       "      ping | status | add <key-out> | revoke <id...> [--reset-out P]\n"
       "      | new-period [--reset-out P] | encrypt <payload> <out> [--shard K]\n"
       "      | pipeline [--window W]  (requests on stdin, tagged @<n>,\n"
       "        up to W in flight on one connection; replies printed in\n"
-      "        input order) | repl-status | promote | shutdown\n"
+      "        input order) | repl-status | health  (cluster verdict\n"
+      "        ok/degraded/fail; exit 1 unless ok) | trace [max]  (recent +\n"
+      "        slow request traces as JSONL) | promote | shutdown\n"
       "      connects retry transient failures with capped exponential\n"
       "      backoff: --retry-ms B (initial delay, default 25, doubling to\n"
       "      500ms) --retry-max N (attempts, default 40; 0 or 1 disables)\n"

@@ -8,21 +8,26 @@
 
 #include "daemon/daemon.h"
 #include "daemon/protocol.h"
+#include "obs/build_info.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
 int usage(std::FILE* out) {
   std::fprintf(out,
                "usage: dfkyd <store-dir> --socket PATH [--metrics-port N]\n"
-               "             [--snapshot-every N] [--follower]\n"
-               "             [--replicate-to PATH]...\n"
+               "             [--snapshot-every N] [--trace-slow-us N]\n"
+               "             [--follower] [--replicate-to PATH]...\n"
                "\n"
                "Serves the store over a newline protocol (see dfky_cli\n"
                "client). A shard root (init --store --shards N) is detected\n"
                "automatically: every shard's LOCK is taken and requests are\n"
                "routed by user id. --metrics-port 0 binds an ephemeral\n"
-               "loopback port for GET /metrics; omit the flag to disable\n"
-               "metrics.\n"
+               "loopback port for GET /metrics and GET /trace; omit the flag\n"
+               "to disable both. Requests slower than --trace-slow-us\n"
+               "(default 10000; 0 disables) are kept in the slow-request log\n"
+               "served by the `trace` verb and GET /trace.\n"
                "\n"
                "Replication (DESIGN.md Sect. 12): --follower comes up as a\n"
                "read-only replica (mutations rejected; state advances via\n"
@@ -54,6 +59,21 @@ int main(int argc, char** argv) {
         return usage(stderr);
       }
       opts.replicate_to.push_back(args[++i]);
+      continue;
+    }
+    if (a == "--trace-slow-us") {
+      if (i + 1 == args.size()) {
+        std::fprintf(stderr, "dfkyd: %s needs a value\n", a.c_str());
+        return usage(stderr);
+      }
+      const std::string& v = args[++i];
+      const auto n = parse_u64(v);
+      if (!n) {
+        std::fprintf(stderr, "dfkyd: %s: '%s' is not an unsigned integer\n",
+                     a.c_str(), v.c_str());
+        return usage(stderr);
+      }
+      dfky::obs::set_slow_threshold_ns(*n * 1000);
       continue;
     }
     if (a == "--socket" || a == "--metrics-port" || a == "--snapshot-every") {
@@ -108,6 +128,17 @@ int main(int argc, char** argv) {
                  "(a follower becomes a sender only after `promote`)\n");
     return usage(stderr);
   }
+
+  // Daemon latencies live well under the generic 1us-floor timing buckets;
+  // registering sub-microsecond bounds here (before any traffic creates the
+  // series) re-buckets every labeled variant without touching call sites.
+  dfky::obs::MetricsRegistry::instance().set_default_bounds(
+      "dfkyd_request_ns", dfky::obs::Histogram::fast_ns_bounds());
+  dfky::obs::MetricsRegistry::instance().set_default_bounds(
+      "dfkyd_commit_batch_ns", dfky::obs::Histogram::fast_ns_bounds());
+  dfky::obs::MetricsRegistry::instance().set_default_bounds(
+      "dfkyd_epoch_barrier_ns", dfky::obs::Histogram::fast_ns_bounds());
+  dfky::publish_build_info();
 
   try {
     dfky::daemon::Daemon daemon(std::move(opts));

@@ -8,7 +8,8 @@
 # the fault matrix, the bus reentrancy regressions, the metrics registry,
 # the durable-store crash matrix, and the persistence corruption fuzz.
 # --tsan builds -DDFKY_SANITIZE_THREAD=ON instead and runs the
-# obs concurrency tests, which hammer one registry from many threads.
+# obs concurrency tests (metrics registry and trace ring hammered from
+# many threads) plus the cluster-simulator suites.
 # Pass '.*' to sanitize the whole suite.
 set -euo pipefail
 
@@ -26,13 +27,13 @@ export DFKY_SIM_SEEDS="${DFKY_SIM_SEEDS:-20}"
 
 if [ "$mode" = "tsan" ]; then
   build_dir="${1:-$repo/build-tsan}"
-  filter="${2:-ObsConcurrency|ObsCounter|ObsEvents|SimCluster}"
+  filter="${2:-ObsConcurrency|ObsCounter|ObsEvents|TraceConcurrency|SimCluster|SimHealth|SimTrace}"
   sanitize_flag=-DDFKY_SANITIZE_THREAD=ON
   targets=(obs_tests sim_tests)
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 else
   build_dir="${1:-$repo/build-asan}"
-  filter="${2:-FaultyBus|Recovery|FaultMatrixTest|Bus\.|Obs|MemFileIo|FaultyFileIo|StateStore|CrashMatrix|Fsck|PersistenceFuzz|ShardSet|ShardRouter|DaemonProto|Replication|SimCluster}"
+  filter="${2:-FaultyBus|Recovery|FaultMatrixTest|Bus\.|Obs|MemFileIo|FaultyFileIo|StateStore|CrashMatrix|Fsck|PersistenceFuzz|ShardSet|ShardRouter|DaemonProto|Replication|SimCluster|SimHealth|SimTrace|TraceLifecycle|TraceSlow|TraceJson|TraceConcurrency|TraceOff}"
   sanitize_flag=-DDFKY_SANITIZE=ON
   targets=(fault_tests system_tests obs_tests store_tests core_tests
     daemon_proto_tests daemon_tests sim_tests)
