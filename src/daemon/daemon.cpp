@@ -17,6 +17,7 @@
 #include <unistd.h>
 
 #include <memory>
+#include <random>
 #include <thread>
 
 #include "daemon/protocol.h"
@@ -33,8 +34,8 @@ namespace {
 [[maybe_unused]] const char* verb_label(const std::string& verb) {
   static constexpr const char* kVerbs[] = {
       "ping", "status", "add-user", "revoke", "new-period", "encrypt",
-      "shutdown", "repl-status", "repl-append", "repl-snap", "promote",
-      "health", "trace"};
+      "shutdown", "repl-status", "repl-append", "repl-snap", "repl-truncate",
+      "repl-hb", "promote", "demote", "health", "trace"};
   for (const char* v : kVerbs) {
     if (verb == v) return v;
   }
@@ -55,6 +56,24 @@ std::string periods_field(const ShardRouter::Status& st) {
   return out;
 }
 
+// Only referenced from a DFKY_OBS block (trace-id adoption).
+[[maybe_unused]] std::optional<std::uint64_t> parse_hex_u64(
+    std::string_view s) {
+  if (s.empty() || s.size() > 16) return std::nullopt;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return v;
+}
+
 std::string bundles_field(const std::vector<Bytes>& bundles) {
   std::string out;
   for (std::size_t i = 0; i < bundles.size(); ++i) {
@@ -66,7 +85,8 @@ std::string bundles_field(const std::vector<Bytes>& bundles) {
 
 }  // namespace
 
-RequestHandler::RequestHandler(ShardRouter& router) : router_(router) {}
+RequestHandler::RequestHandler(ShardRouter& router, Hooks hooks)
+    : router_(router), hooks_(std::move(hooks)) {}
 
 RequestHandler::Result RequestHandler::handle(const std::string& line) {
   // The request's whole lifetime inside the daemon. The destructor closes
@@ -132,6 +152,7 @@ std::string RequestHandler::dispatch(const std::vector<std::string>& tokens) {
     return ok_response(
         {{"pid", std::to_string(::getpid())},
          {"role", router_.follower() ? "follower" : "primary"},
+         {"term", std::to_string(router_.term())},
          {"shards", std::to_string(st.shards)},
          {"period", std::to_string(st.period)},
          {"periods", periods_field(st)},
@@ -183,55 +204,125 @@ std::string RequestHandler::dispatch(const std::vector<std::string>& tokens) {
     const std::vector<ShardRouter::ReplPosition> pos = router_.repl_positions();
     std::vector<std::pair<std::string, std::string>> fields = {
         {"role", router_.follower() ? "follower" : "primary"},
+        {"term", std::to_string(router_.term())},
         {"shards", std::to_string(pos.size())}};
+    // How long ago this follower last heard any primary — election
+    // candidates poll it to detect asymmetric partitions (a peer that
+    // still hears a primary vetoes the election). Omitted when no
+    // primary was ever heard: absence reads as "starved".
+    const std::int64_t hb_age = router_.primary_contact_age_ms();
+    if (router_.follower() && hb_age >= 0) {
+      fields.emplace_back("hb_age_ms", std::to_string(hb_age));
+    }
     for (std::size_t k = 0; k < pos.size(); ++k) {
       fields.emplace_back("s" + std::to_string(k),
                           std::to_string(pos[k].generation) + ":" +
-                              std::to_string(pos[k].records));
+                              std::to_string(pos[k].records) + ":" +
+                              pos[k].chain_head);
     }
     return ok_response(fields);
   }
 
   if (verb == "repl-append") {
-    if (tokens.size() != 5) {
+    if (tokens.size() != 6 && tokens.size() != 7) {
       return err_response(
-          "usage: repl-append <shard> <generation> <start-record> "
-          "<hex-frames>");
+          "usage: repl-append <shard> <generation> <term> <start-record> "
+          "<hex-frames> [trace=<id>]");
     }
     const auto shard = parse_u64(tokens[1]);
     const auto gen = parse_u64(tokens[2]);
-    const auto start = parse_u64(tokens[3]);
-    if (!shard || !gen || !start) {
+    const auto term = parse_u64(tokens[3]);
+    const auto start = parse_u64(tokens[4]);
+    if (!shard || !gen || !term || !start) {
       return err_response("repl-append: bad numeric argument");
     }
-    const auto frames = hex_decode(tokens[4]);
+    const auto frames = hex_decode(tokens[5]);
     if (!frames) return err_response("repl-append: frames are not hex");
+    if (tokens.size() == 7) {
+      if (!tokens[6].starts_with("trace=")) {
+        return err_response("repl-append: bad trailing token '" + tokens[6] +
+                            "'");
+      }
+      // Join the primary's trace: this request's spans file under the id
+      // of the mutation that produced the shipped frames.
+      DFKY_OBS(if (const auto tid = parse_hex_u64(
+                       std::string_view(tokens[6]).substr(6))) {
+        obs::trace_adopt_id(*tid);
+      });
+    }
     const std::uint64_t seq = router_.replica_append(
-        static_cast<std::size_t>(*shard), *gen, *start, *frames);
-    return ok_response({{"seq", std::to_string(seq)}});
+        static_cast<std::size_t>(*shard), *gen, *start, *frames, *term);
+    return ok_response({{"seq", std::to_string(seq)},
+                        {"term", std::to_string(router_.term())}});
   }
 
   if (verb == "repl-snap") {
-    if (tokens.size() != 4) {
+    if (tokens.size() != 5) {
       return err_response(
-          "usage: repl-snap <shard> <generation> <hex-snapshot>");
+          "usage: repl-snap <shard> <generation> <term> <hex-snapshot>");
     }
     const auto shard = parse_u64(tokens[1]);
     const auto gen = parse_u64(tokens[2]);
-    if (!shard || !gen) return err_response("repl-snap: bad numeric argument");
-    const auto frame = hex_decode(tokens[3]);
+    const auto term = parse_u64(tokens[3]);
+    if (!shard || !gen || !term) {
+      return err_response("repl-snap: bad numeric argument");
+    }
+    const auto frame = hex_decode(tokens[4]);
     if (!frame) return err_response("repl-snap: snapshot is not hex");
-    router_.replica_snapshot(static_cast<std::size_t>(*shard), *gen, *frame);
+    router_.replica_snapshot(static_cast<std::size_t>(*shard), *gen, *frame,
+                             *term);
     return ok_response({{"gen", std::to_string(*gen)}, {"seq", "0"}});
+  }
+
+  if (verb == "repl-truncate") {
+    if (tokens.size() != 6) {
+      return err_response(
+          "usage: repl-truncate <shard> <generation> <term> <records> "
+          "<chain-tag-hex>");
+    }
+    const auto shard = parse_u64(tokens[1]);
+    const auto gen = parse_u64(tokens[2]);
+    const auto term = parse_u64(tokens[3]);
+    const auto records = parse_u64(tokens[4]);
+    if (!shard || !gen || !term || !records) {
+      return err_response("repl-truncate: bad numeric argument");
+    }
+    const std::uint64_t seq = router_.replica_truncate(
+        static_cast<std::size_t>(*shard), *gen, *records, tokens[5], *term);
+    return ok_response({{"seq", std::to_string(seq)}});
+  }
+
+  if (verb == "repl-hb") {
+    if (tokens.size() != 2) return err_response("usage: repl-hb <term>");
+    const auto term = parse_u64(tokens[1]);
+    if (!term) return err_response("repl-hb: bad term");
+    router_.note_primary_heartbeat(*term);
+    return ok_response(
+        {{"term", std::to_string(router_.term())},
+         {"role", router_.follower() ? "follower" : "primary"}});
   }
 
   if (verb == "promote") {
     if (tokens.size() != 1) return err_response("promote takes no arguments");
-    router_.promote();
+    const ShardRouter::PromoteResult r = router_.promote();
     const ShardRouter::Status st = router_.status();
     return ok_response({{"role", "primary"},
+                        {"already", r.already ? "1" : "0"},
+                        {"term", std::to_string(r.term)},
                         {"period", std::to_string(st.period)},
                         {"wal_records", std::to_string(st.wal_records)}});
+  }
+
+  if (verb == "demote") {
+    if (tokens.size() != 1) return err_response("demote takes no arguments");
+    // Stop the replication sender FIRST: it releases any committer parked
+    // in the ack gate, which demote() is about to join.
+    if (hooks_.pre_demote) hooks_.pre_demote();
+    const ShardRouter::PromoteResult r = router_.demote();
+    return ok_response({{"role", "follower"},
+                        {"already", r.already ? "1" : "0"},
+                        {"term", std::to_string(r.term)},
+                        {"period", std::to_string(r.period)}});
   }
 
   if (verb == "health") {
@@ -251,6 +342,7 @@ std::string RequestHandler::dispatch(const std::vector<std::string>& tokens) {
     if (h.fatal) reasons.push_back("fail-stop");
     const bool fail = !reasons.empty();
     if (h.follower) reasons.push_back("follower-read-only");
+    if (h.fenced) reasons.push_back("fenced");
     std::size_t live = 0;
     std::uint64_t lag = 0;
     for (const auto& f : h.followers) {
@@ -282,9 +374,15 @@ std::string RequestHandler::dispatch(const std::vector<std::string>& tokens) {
         joined += reasons[i];
       }
     }
+    std::string watchdog = hooks_.watchdog_state ? hooks_.watchdog_state()
+                                                 : std::string();
+    if (watchdog.empty()) watchdog = "off";
     return ok_response(
         {{"verdict", verdict},
          {"role", h.follower ? "follower" : "primary"},
+         {"term", std::to_string(h.term)},
+         {"fenced", h.fenced ? "1" : "0"},
+         {"watchdog", watchdog},
          {"shards", std::to_string(h.poisoned.size())},
          {"period", std::to_string(h.period)},
          {"periods", periods},
@@ -562,7 +660,16 @@ Daemon::Daemon(DaemonOptions opts)
         request_stop();
       },
       opts_.follower);
-  handler_.emplace(*router_);
+  handler_.emplace(
+      *router_,
+      RequestHandler::Hooks{
+          .pre_demote = [this] { stop_replication(); },
+          .watchdog_state =
+              [this] {
+                return watchdog_ ? std::string(FailoverWatchdog::state_name(
+                                       watchdog_->state()))
+                                 : std::string();
+              }});
 }
 
 Daemon::~Daemon() {
@@ -577,6 +684,84 @@ void Daemon::request_stop() {
     const char b = 1;
     [[maybe_unused]] const ssize_t n = ::write(fd, &b, 1);
   }
+}
+
+void Daemon::probe_peers() {
+  // Armed startup: learn the cluster's epoch BEFORE serving a request. A
+  // revived ex-primary finds the successor's higher term here, demotes in
+  // place and starts fenced as a follower — it never accepts a write the
+  // cluster would have to disown (DESIGN.md Sect. 14).
+  for (const std::string& path : opts_.replicate_to) {
+    const auto link = connect_repl_socket(path);
+    if (!link) continue;
+    const auto out = link->roundtrip("repl-status");
+    if (!out) continue;
+    const auto resp = parse_response(*out);
+    if (!resp || !resp->ok) continue;
+    const auto term_it = resp->fields.find("term");
+    if (term_it == resp->fields.end()) continue;
+    const auto pterm = parse_u64(term_it->second);
+    if (!pterm || *pterm <= router_->term()) continue;
+    // ANY peer on a higher term proves a successor was elected (terms only
+    // advance through promotes) — a primary that merely adopted the number
+    // and kept serving would be a zombie running under the successor's own
+    // term, indistinguishable from it to every follower.
+    if (!router_->follower()) {
+      const auto role = resp->fields.find("role");
+      std::fprintf(stderr,
+                   "dfkyd: peer %s (%s) is at term %llu (ours %llu): "
+                   "starting fenced until re-seeded\n",
+                   path.c_str(),
+                   role != resp->fields.end() ? role->second.c_str()
+                                              : "unknown role",
+                   static_cast<unsigned long long>(*pterm),
+                   static_cast<unsigned long long>(router_->term()));
+      router_->demote();
+      router_->fence(*pterm);
+    } else {
+      router_->adopt_term(*pterm);
+    }
+  }
+}
+
+void Daemon::start_replication() {
+  std::lock_guard lk(repl_mu_);
+  if (repl_ || opts_.replicate_to.empty()) return;
+  std::vector<FollowerSpec> specs;
+  for (const std::string& path : opts_.replicate_to) {
+    specs.push_back(
+        FollowerSpec{path, [path] { return connect_repl_socket(path); }});
+    std::printf("dfkyd: replicating to %s\n", path.c_str());
+  }
+  ReplOptions ropts;
+  if (opts_.auto_failover) {
+    ropts.lease_ms = opts_.lease_ms;
+    ropts.hb_interval_ms = opts_.hb_interval_ms;
+    ropts.on_stale_term = [this](std::uint64_t t) {
+      // Self-STONITH: a follower is on a newer primary's term. Fence (all
+      // further mutations NACK with StaleTermError) and exit nonzero; the
+      // restarted process probes the peers and re-seeds as a follower.
+      std::fprintf(stderr,
+                   "dfkyd: fenced by newer term %llu; shutting down\n",
+                   static_cast<unsigned long long>(t));
+      router_->fence(t);
+      fenced_exit_.store(true);
+      request_stop();
+    };
+  }
+  repl_.emplace(*router_, std::move(specs), ropts);
+  router_->attach_replication(&*repl_);
+  std::fflush(stdout);
+}
+
+void Daemon::stop_replication() {
+  std::lock_guard lk(repl_mu_);
+  if (!repl_) return;
+  // Detach first (later syncs skip the gate), then stop() — it releases
+  // any committer parked in sync_shard before joining the ship threads.
+  router_->attach_replication(nullptr);
+  repl_->stop();
+  repl_.reset();
 }
 
 int Daemon::run() {
@@ -641,15 +826,34 @@ int Daemon::run() {
     std::printf("dfkyd: follower (read-only replica; `promote` to serve "
                 "mutations)\n");
   }
-  if (!opts_.replicate_to.empty()) {
-    std::vector<FollowerSpec> specs;
+  if (opts_.auto_failover && !opts_.replicate_to.empty()) {
+    probe_peers();
+  }
+  if (!opts_.replicate_to.empty() && !router_->follower()) {
+    start_replication();
+  }
+  if (opts_.auto_failover && router_->follower() &&
+      !opts_.replicate_to.empty()) {
+    FailoverOptions fo;
+    fo.self = opts_.socket_path;
     for (const std::string& path : opts_.replicate_to) {
-      specs.push_back(FollowerSpec{
-          path, [path] { return connect_repl_socket(path); }});
-      std::printf("dfkyd: replicating to %s\n", path.c_str());
+      fo.peers.push_back(
+          FollowerSpec{path, [path] { return connect_repl_socket(path); }});
     }
-    repl_.emplace(*router_, std::move(specs));
-    router_->attach_replication(&*repl_);
+    fo.hb_timeout_ms = opts_.hb_timeout_ms;
+    fo.election_min_ms = opts_.election_min_ms;
+    fo.election_max_ms = opts_.election_max_ms;
+    fo.seed = (static_cast<std::uint64_t>(std::random_device{}()) << 32) ^
+              std::random_device{}();
+    fo.on_promoted = [this](std::uint64_t term) {
+      std::printf("dfkyd: auto-failover: promoted to primary at term %llu\n",
+                  static_cast<unsigned long long>(term));
+      std::fflush(stdout);
+      start_replication();
+    };
+    watchdog_ = std::make_unique<FailoverWatchdog>(*router_, std::move(fo));
+    std::printf("dfkyd: auto-failover watchdog armed (hb timeout %d ms)\n",
+                opts_.hb_timeout_ms);
   }
   if (metrics_port_ >= 0) {
     std::printf("dfkyd: metrics on http://127.0.0.1:%d/metrics\n",
@@ -712,24 +916,30 @@ int Daemon::run() {
     conns_cv_.wait(lk, [&] { return active_conns_ == 0; });
   }
   int rc = 0;
+  // Watchdog first: after its thread joins, no promotion (and no sender
+  // engagement) can race the teardown below.
+  if (watchdog_) watchdog_->stop();
   // Stop replication before the committers: stop() releases any committer
   // blocked in its post_sync ack gate, and detaching keeps later syncs
   // (final snapshot) from touching a dead sender.
-  if (repl_) {
-    router_->attach_replication(nullptr);
-    repl_->stop();
-    repl_.reset();
-  }
+  stop_replication();
   handler_.reset();
   const bool commit_failed = router_->fatal();
   router_->stop_commits();  // joins committers; poisoned shards skip the flush
-  if (commit_failed) {
+  if (commit_failed || fenced_exit_.load()) {
     // Fail-stop shutdown: the last batch's (or barrier's) durability is
-    // indeterminate; skip the final snapshots (a poisoned store refuses
-    // them anyway) and exit nonzero so supervisors restart us into
-    // recovery — which re-equalizes the shard epochs.
-    std::fprintf(stderr, "dfkyd: exiting after commit failure; "
-                         "restart recovers the durable prefix\n");
+    // indeterminate — or this node was fenced by a newer term and its WAL
+    // may carry a NACKed (forked) suffix. Skip the final snapshots (a
+    // poisoned store refuses them anyway; snapshotting a fork would bake
+    // it into a new generation) and exit nonzero so supervisors restart
+    // us into recovery — roll-forward re-equalization, or a fenced
+    // re-seed from the new primary.
+    std::fprintf(stderr,
+                 commit_failed
+                     ? "dfkyd: exiting after commit failure; restart "
+                       "recovers the durable prefix\n"
+                     : "dfkyd: exiting fenced (a newer primary exists); "
+                       "restart re-seeds from it\n");
     rc = 1;
   } else {
     try {

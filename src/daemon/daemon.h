@@ -23,6 +23,7 @@
 #include <set>
 #include <string>
 
+#include "daemon/failover.h"
 #include "daemon/repl.h"
 #include "daemon/shard.h"
 #include "rng/system_rng.h"
@@ -36,7 +37,19 @@ namespace dfky::daemon {
 /// block until durable on their shard.
 class RequestHandler {
  public:
-  explicit RequestHandler(ShardRouter& router);
+  /// Daemon-level integration points for verbs that reach beyond the
+  /// router. All optional — the simulator and tests wire what they need.
+  struct Hooks {
+    /// Invoked before ShardRouter::demote(): the owner detaches and stops
+    /// its replication sender so no committer can be parked in the ack
+    /// gate while demote() joins it.
+    std::function<void()> pre_demote;
+    /// Returns the failover watchdog's state name ("watching", ...) or ""
+    /// when none is armed — surfaced by `health`.
+    std::function<std::string()> watchdog_state;
+  };
+
+  explicit RequestHandler(ShardRouter& router, Hooks hooks = {});
 
   struct Result {
     std::string response;
@@ -48,6 +61,7 @@ class RequestHandler {
   std::string dispatch(const std::vector<std::string>& tokens);
 
   ShardRouter& router_;
+  Hooks hooks_;
 };
 
 struct DaemonOptions {
@@ -63,8 +77,25 @@ struct DaemonOptions {
   /// WITHOUT epoch equalization — rolling laggards forward writes local
   /// new-period records, which would fork the replicated stream.
   bool follower = false;
-  /// Follower daemon socket paths this (primary) daemon replicates to.
+  /// Peer daemon socket paths. On a primary: the followers it replicates
+  /// to. With auto_failover, every node lists every OTHER cluster member
+  /// here (symmetric peer lists) — a promoted follower replicates to the
+  /// same set it used to watch.
   std::vector<std::string> replicate_to;
+  /// Arms self-healing failover (DESIGN.md Sect. 14). On a primary the
+  /// replication sender gains a majority-ack lease plus idle heartbeats
+  /// and the daemon fail-stops when fenced by a newer term; on a follower
+  /// a watchdog election-promotes it once the primary goes silent. Both
+  /// roles probe the peers at startup and start fenced if a newer-term
+  /// primary already exists.
+  bool auto_failover = false;
+  /// Armed timings. Keep lease_ms <= hb_timeout_ms: a primary that lost
+  /// its lease has fenced itself before any follower campaigns.
+  int lease_ms = 750;
+  int hb_interval_ms = 200;
+  int hb_timeout_ms = 1000;
+  int election_min_ms = 100;
+  int election_max_ms = 400;
 };
 
 class Daemon {
@@ -93,6 +124,9 @@ class Daemon {
  private:
   void conn_loop(int fd);
   void request_stop();
+  void probe_peers();        // armed startup: adopt/fence the cluster epoch
+  void start_replication();  // idempotent; also the watchdog's on_promoted
+  void stop_replication();   // idempotent; pre-demote and shutdown
 
   DaemonOptions opts_;
   RealFileIo real_io_;
@@ -105,7 +139,16 @@ class Daemon {
   SystemRng rng_;  // shard-set open (roll-forward); shards get their own
   std::optional<ShardRouter> router_;
   std::optional<RequestHandler> handler_;
-  std::optional<ReplicationSender> repl_;  // primaries with --replicate-to
+  /// Engaged on a (possibly just-promoted) primary with peers. Guarded by
+  /// repl_mu_: the watchdog thread engages it on promotion while a demote
+  /// request or the shutdown path stops it.
+  std::optional<ReplicationSender> repl_;
+  std::mutex repl_mu_;
+  std::unique_ptr<FailoverWatchdog> watchdog_;  // armed followers only
+  /// Set when a stale-term NACK fenced this (ex-)primary: exit nonzero
+  /// and skip the final snapshots, exactly like a commit failure — the
+  /// forked WAL suffix stays a WAL suffix for the re-seed to truncate.
+  std::atomic<bool> fenced_exit_{false};
 
   int listen_fd_ = -1;
   int metrics_fd_ = -1;

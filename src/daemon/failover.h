@@ -1,0 +1,124 @@
+// Follower-side automatic failover (DESIGN.md Sect. 14).
+//
+// A FailoverWatchdog runs on every armed follower. It watches the
+// router's primary-contact clock (fed by repl-append/snap/truncate/hb
+// ingest); once the primary has been silent past hb_timeout_ms, the
+// follower waits a randomized election delay (plus capped backoff after
+// failed rounds) and campaigns: it polls every peer's `repl-status` and
+// promotes itself ONLY when
+//
+//   - no reachable peer is a primary at our term or newer, and no
+//     reachable follower still hears a primary (its hb_age_ms is fresh) —
+//     otherwise a partitioned candidate could elect itself while the
+//     majority side is healthy;
+//   - a majority of the follower set is reachable and equally starved
+//     (votes = reachable stale followers + itself) — an armed primary's
+//     ack needs a cluster majority, so the quorums intersect and the
+//     winner holds every acknowledged record;
+//   - no reachable stale peer is more caught up (higher summed
+//     generation, then records, then lexicographically smaller identity
+//     breaks exact ties) — the better-positioned peer is left to win.
+//
+// The winner adopts term = max(every term seen) + 1 — durably, via
+// ShardRouter::promote(new_term), BEFORE its committers start — and the
+// owner's on_promoted callback attaches a ReplicationSender to the other
+// peers. A revived ex-primary then sees the higher term on its first
+// exchange and fences itself (shard.h: StaleTermError).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "daemon/repl.h"
+
+namespace dfky::daemon {
+
+class ShardRouter;
+
+struct FailoverOptions {
+  /// This node's cluster identity — its socket path. Must be the same
+  /// string the peers use in their own peer lists: exact ties in the
+  /// catch-up comparison elect the lexicographically smallest identity.
+  std::string self;
+  /// Every OTHER cluster member (the primary included), with link
+  /// factories; FollowerSpec::name must be the peer's identity.
+  std::vector<FollowerSpec> peers;
+  /// The primary is presumed dead after this much ingest silence. Keep it
+  /// ABOVE the primary's ReplOptions::lease_ms so a primary that lost its
+  /// lease has fenced itself before any follower starts campaigning.
+  int hb_timeout_ms = 1000;
+  /// Randomized pre-campaign delay bounds: desynchronizes candidates so
+  /// one usually polls (and wins) before the others start.
+  int election_min_ms = 100;
+  int election_max_ms = 400;
+  /// Failed campaign rounds back off exponentially up to this cap.
+  int backoff_max_ms = 3000;
+  /// Seeds the election-delay rng (the simulator passes its workload
+  /// seed; the daemon passes system entropy).
+  std::uint64_t seed = 0;
+  /// Invoked from the watchdog thread right after a winning promote, with
+  /// the new term — the owner starts replicating to the peers. Must not
+  /// join the watchdog's thread.
+  std::function<void(std::uint64_t new_term)> on_promoted;
+};
+
+class FailoverWatchdog {
+ public:
+  /// Exported as the dfky_watchdog_state gauge (and `health`).
+  enum class State : int {
+    kIdle = 0,      // constructed, thread not yet scanning
+    kWatching = 1,  // primary contact is fresh
+    kElecting = 2,  // silence exceeded; delaying or campaigning
+    kPromoted = 3,  // this node won; watchdog is done
+  };
+
+  /// Starts the watchdog thread. `router` must outlive the watchdog.
+  FailoverWatchdog(ShardRouter& router, FailoverOptions opts);
+  ~FailoverWatchdog();
+
+  FailoverWatchdog(const FailoverWatchdog&) = delete;
+  FailoverWatchdog& operator=(const FailoverWatchdog&) = delete;
+
+  /// Stops the thread; no promotion happens after this returns.
+  void stop();
+
+  State state() const { return state_.load(); }
+  static const char* state_name(State s);
+
+ private:
+  enum class Round {
+    kWon,           // promoted under a fresh term
+    kPrimaryAlive,  // a primary (or a follower that hears one) answered
+    kLost,          // a better-positioned candidate should win
+    kNoQuorum,      // not enough reachable starved followers
+  };
+
+  void loop();
+  Round campaign();
+  void set_state(State s);
+  bool stopped_wait(std::chrono::milliseconds d);  // true when stopping
+
+  ShardRouter& router_;
+  FailoverOptions opts_;
+  std::mt19937_64 rng_;
+  std::atomic<State> state_{State::kIdle};
+  /// Contact clock fallback: treats construction time as the last contact
+  /// until the router hears a real primary, so a freshly armed follower
+  /// grants the primary one full timeout before campaigning.
+  std::chrono::steady_clock::time_point started_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace dfky::daemon

@@ -6,7 +6,7 @@ namespace dfky::daemon {
 
 GroupCommit::GroupCommit(StateStore& store, std::shared_mutex& state_mu,
                          std::function<void()> on_fatal, obs::Labels labels,
-                         std::function<void()> post_sync)
+                         std::function<std::string()> post_sync)
     : store_(store),
       state_mu_(state_mu),
       on_fatal_(std::move(on_fatal)),
@@ -16,18 +16,22 @@ GroupCommit::GroupCommit(StateStore& store, std::shared_mutex& state_mu,
   committer_ = std::thread([this] { committer_loop(); });
 }
 
-GroupCommit::~GroupCommit() {
-  {
-    std::lock_guard lk(mu_);
-    stop_ = true;
-  }
-  work_cv_.notify_all();
-  committer_.join();
-  // Returns the store to fsync-per-mutation mode. On the normal path this
-  // flushes nothing (the committer drained the queue); after a fail-stop
-  // the store is poisoned and set_batching skips the flush, so mutations
-  // that were NACKed can never silently become durable here.
-  store_.set_batching(false);
+GroupCommit::~GroupCommit() { shut_down(); }
+
+void GroupCommit::shut_down() {
+  std::call_once(shutdown_once_, [this] {
+    {
+      std::lock_guard lk(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    committer_.join();
+    // Returns the store to fsync-per-mutation mode. On the normal path this
+    // flushes nothing (the committer drained the queue); after a fail-stop
+    // the store is poisoned and set_batching skips the flush, so mutations
+    // that were NACKed can never silently become durable here.
+    store_.set_batching(false);
+  });
 }
 
 void GroupCommit::run(const std::function<void()>& op) {
@@ -94,17 +98,36 @@ void GroupCommit::committer_loop() {
         sync_failed = true;
       }
     }
-    if (!sync_failed) {
+    std::string repl_label;
+    if (!sync_failed && post_sync_) {
       // Replication gate, outside the state lock (the sender's shipping
       // threads take it shared to read the WAL) and before any ticket is
       // marked done — submitters never see their ack until live followers
       // hold the batch.
-      if (post_sync_) post_sync_();
+      try {
+        repl_label = post_sync_();
+      } catch (...) {
+        // The gate REFUSED the ack (replication lease lost, or a higher
+        // failover term fenced this node). The batch is durable in the
+        // local WAL but acknowledging it would split history from the
+        // cluster's: NACK every ticket and fail-stop exactly like a sync
+        // failure. The un-acked suffix is discarded when this node
+        // re-seeds from the new primary (DESIGN.md Sect. 14).
+        const std::exception_ptr err = std::current_exception();
+        for (Ticket* t : batch) {
+          if (!t->error) t->error = err;
+        }
+        sync_failed = true;
+      }
+    }
+    if (!sync_failed) {
       DFKY_OBS(const std::uint64_t acked = obs::TraceContext::now_ns();
                for (Ticket* t : batch) {
                  if (t->trace)
-                   t->trace->mark_at(obs::SpanKind::kReplAck, acked);
+                   t->trace->mark_at(obs::SpanKind::kReplAck, acked,
+                                     repl_label);
                });
+      (void)repl_label;
       batches_.fetch_add(1, std::memory_order_relaxed);
       committed_.fetch_add(batch.size(), std::memory_order_relaxed);
       DFKY_OBS(obs::counter("dfkyd_commit_batches_total", labels_).inc();

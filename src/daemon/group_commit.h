@@ -42,16 +42,27 @@ class GroupCommit {
   /// successful batch sync, after the state lock is released but BEFORE
   /// any submitter is acked — the replication hook: a primary blocks here
   /// until live followers ack the batch, keeping durable-on-a-follower
-  /// part of the acknowledgement contract. It must not throw.
+  /// part of the acknowledgement contract. Its return value labels the
+  /// batch's repl_ack trace spans (the follower names that held the
+  /// batch; "" for no label). A throw REFUSES the ack: the batch is
+  /// NACKed and the queue fail-stops (how a lease-fenced or stale-term
+  /// primary guarantees it never acknowledges past the fence).
   GroupCommit(StateStore& store, std::shared_mutex& state_mu,
               std::function<void()> on_fatal = {}, obs::Labels labels = {},
-              std::function<void()> post_sync = {});
+              std::function<std::string()> post_sync = {});
   /// Drains everything still queued, stops the committer, returns the
   /// store to fsync-per-mutation mode (a poisoned store skips the flush).
   ~GroupCommit();
 
   GroupCommit(const GroupCommit&) = delete;
   GroupCommit& operator=(const GroupCommit&) = delete;
+
+  /// The destructor's work as an idempotent, thread-safe call: drains the
+  /// queue, joins the committer, returns the store to fsync-per-mutation
+  /// mode. run() refuses new submissions from the moment this starts.
+  /// demote() uses this to stop a live queue while stragglers may still
+  /// hold a reference to it.
+  void shut_down();
 
   /// Runs `op` on the committer thread, grouped under one fsync with
   /// concurrently submitted ops. `op` must only touch the store/manager
@@ -102,7 +113,8 @@ class GroupCommit {
   std::shared_mutex& state_mu_;
   std::function<void()> on_fatal_;
   obs::Labels labels_;  // shard identity on every metric
-  std::function<void()> post_sync_;  // replication ack gate (may be empty)
+  // Replication ack gate (may be empty); returns the repl_ack span label.
+  std::function<std::string()> post_sync_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // committer: queue non-empty or stop
@@ -110,6 +122,7 @@ class GroupCommit {
   std::vector<Ticket*> queue_;
   bool stop_ = false;
   bool fatal_ = false;  // a sync failed; the committer has fail-stopped
+  std::once_flag shutdown_once_;  // shut_down() races dtor vs demote
 
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> committed_{0};

@@ -19,6 +19,8 @@
 // rather than stalling, and catches the follower up after reconnect.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -61,6 +63,24 @@ struct ReplOptions {
   std::size_t max_batch_bytes = std::size_t{1} << 20;
   int backoff_min_ms = 10;   // reconnect backoff floor
   int backoff_max_ms = 500;  // reconnect backoff cap
+
+  // -- failover arming (DESIGN.md Sect. 14; all zero = PR 6 semantics) ----------
+
+  /// When > 0 the sender is ARMED: an ack additionally requires a majority
+  /// of the cluster (acked followers + this primary) to hold the batch,
+  /// and once no follower has answered any request within `lease_ms` the
+  /// gate throws StaleTermError instead of acking — the primary fences
+  /// itself BEFORE any follower's election timeout can elect a successor
+  /// (keep lease_ms <= the followers' heartbeat timeout).
+  int lease_ms = 0;
+  /// Idle `repl-hb` cadence: keeps follower watchdogs fed and the lease
+  /// fresh when no mutations flow. 0 disables (unarmed clusters).
+  int hb_interval_ms = 0;
+  /// Invoked (at most once, from a shipping thread) when a follower NACKs
+  /// a shipment with `stale-term`: a newer primary exists and this node
+  /// must stop acting as one. The callback must not join the sender's
+  /// threads — trigger the owner's shutdown instead.
+  std::function<void(std::uint64_t newer_term)> on_stale_term;
 };
 
 class ReplicationSender {
@@ -78,7 +98,13 @@ class ReplicationSender {
   /// captured at entry (a follower that rotated past the captured
   /// generation counts as caught up). Returns immediately when no follower
   /// is live — a degraded primary acks standalone. Unblocked by stop().
-  void sync_shard(std::size_t shard);
+  /// ARMED (ReplOptions::lease_ms > 0): additionally requires a cluster
+  /// majority to hold the head, and throws StaleTermError once the lease
+  /// expires or a stale-term NACK arrived — refusing the ack so the
+  /// committer NACKs the batch and fail-stops (DESIGN.md Sect. 14).
+  /// Returns the comma-joined names of the followers that held the head
+  /// at return ("" when none) — the committer's repl_ack span label.
+  std::string sync_shard(std::size_t shard);
   /// sync_shard for every shard — the barrier's prepare/commit gates.
   void sync_all();
 
@@ -100,28 +126,58 @@ class ReplicationSender {
     bool live = false;               // guarded by mu_
     std::vector<std::uint64_t> gen;    // guarded by mu_
     std::vector<std::uint64_t> acked;  // guarded by mu_
+    /// Chain head the follower reported at the last repl-status, hex, per
+    /// shard; cleared once verified against ours (guarded by mu_). A
+    /// mismatch at matching positions means a forked suffix — the
+    /// divergence walk truncates it (DESIGN.md Sect. 14).
+    std::vector<std::string> chain;
+    /// Last successful roundtrip, any verb (guarded by mu_) — lease input.
+    std::chrono::steady_clock::time_point last_contact{};
     std::thread thread;
   };
 
   void follower_loop(Follower& f);
-  /// Connect + repl-status resync; false when the follower is unreachable.
+  /// Connect + repl-status resync; false when the follower is unreachable
+  /// (or NACKed us with a stale term / is itself a primary).
   bool establish(Follower& f);
   /// Ships shard k's gap; false on link failure (caller drops the link).
   /// Sets *shipped when at least one line went out.
   bool ship_shard(Follower& f, std::size_t k, bool* shipped);
+  /// Walks the follower's forked shard k back to the longest shared chain
+  /// prefix via repl-truncate; false on link failure.
+  bool repair_divergence(Follower& f, std::size_t k, std::uint64_t pgen,
+                         std::uint64_t precs, std::uint64_t fseq);
   void set_live(Follower& f, bool live);
+  void note_contact(Follower& f);
+  /// Inspects a follower's err response: a `stale-term` NACK adopts the
+  /// newer term, signals on_stale_term once, and poisons further acks.
+  void note_nack(const Follower& f, const std::string& error);
   void publish_lag(const std::string& follower, std::size_t k,
                    std::uint64_t lag_frames, std::uint64_t lag_bytes,
                    std::uint64_t acked) const;
   bool stopping() const;
+  /// Armed only: true when no follower answered within lease_ms.
+  bool lease_expired_locked(std::chrono::steady_clock::time_point now) const;
 
   ShardRouter& router_;
   ReplOptions opts_;
+  /// The router's term at construction — this sender's TENURE term, stamped
+  /// on every verb it ships. Deliberately NOT re-read from the router: a
+  /// fence() adopts the deposing primary's newer term into the router, and a
+  /// still-running shipping thread that re-read it could stamp verbs that
+  /// pass the followers' term gate (a fenced zombie issuing repl-truncate
+  /// under the successor's term is exactly the split-brain fencing exists to
+  /// prevent). A promote creates a NEW sender, which captures the new term.
+  const std::uint64_t term_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // shipping threads: new head or stop
   std::condition_variable ack_cv_;   // sync_shard waiters: acks advanced
   bool stop_ = false;
+  /// A follower told us a newer primary exists (stale-term NACK). Armed
+  /// senders refuse every further ack; set once, never cleared.
+  std::atomic<bool> stale_term_seen_{false};
+  std::atomic<std::uint64_t> stale_term_value_{0};
 
   std::vector<std::unique_ptr<Follower>> followers_;
 };

@@ -1,6 +1,7 @@
 #include "daemon/shard.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "core/content.h"
 #include "core/keyfile.h"
@@ -37,13 +38,20 @@ ShardRouter::ShardRouter(std::vector<StateStore> stores,
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     shards_[i]->rng = make_rng(i);
   }
+  // The node's failover term is the max across shard TERM files: a crash
+  // between adopt_term's per-shard writes leaves some shards behind, and
+  // max-recovery re-equalizes them upward (terms only move forward).
+  std::uint64_t term = 0;
+  for (const auto& sh : shards_) term = std::max(term, sh->store.term());
+  term_.store(term);
   // A follower runs no committers: its stores must stay in
   // fsync-per-mutation mode so replica ingest appends land directly.
   if (!follower) start_committers();
   DFKY_OBS(obs::gauge("dfkyd_role", {{"role", "primary"}})
                .set(follower ? 0 : 1);
            obs::gauge("dfkyd_role", {{"role", "follower"}})
-               .set(follower ? 1 : 0););
+               .set(follower ? 1 : 0);
+           obs::gauge("dfky_repl_term").set(term););
 }
 
 void ShardRouter::start_committers() {
@@ -52,22 +60,113 @@ void ShardRouter::start_committers() {
     // Exclusive state lock: promote() runs this while readers (status)
     // probe sh.commits under the shared lock.
     std::unique_lock state(sh.state_mu);
-    sh.commits.emplace(
+    sh.commits.store(std::make_shared<GroupCommit>(
         sh.store, sh.state_mu, [this] { fail_stop(); }, shard_labels(i),
         [this, i] {
           // Replication ack gate: with a sender attached, a batch is acked
-          // only once every live follower holds it.
-          if (ReplicationSender* r = repl_.load()) r->sync_shard(i);
-        });
+          // only once every live follower holds it. A throw here (lease
+          // lost, stale term) NACKs the batch and fail-stops the queue.
+          if (ReplicationSender* r = repl_.load()) return r->sync_shard(i);
+          return std::string();
+        }));
   }
 }
 
 void ShardRouter::ensure_primary(const char* verb) const {
+  if (fenced_.load()) {
+    DFKY_OBS(obs::counter("dfky_fenced_writes_total").inc(););
+    throw StaleTermError("stale-term term=" + std::to_string(term_.load()) +
+                         " (" + verb +
+                         ": this node was fenced by a newer primary and is "
+                         "re-seeding)");
+  }
   if (follower_.load()) {
     throw ContractError(std::string(verb) +
                         ": this daemon is a read-only replica (promote it "
                         "to accept mutations)");
   }
+}
+
+void ShardRouter::adopt_term(std::uint64_t t) {
+  std::lock_guard term_lk(term_mu_);
+  if (t <= term_.load()) return;
+  // Persist before publishing: a crash mid-loop leaves some shards behind,
+  // and the constructor's max-recovery absorbs that.
+  for (auto& sh : shards_) sh->store.set_term(t);
+  term_.store(t);
+  DFKY_OBS(obs::gauge("dfky_repl_term").set(t);
+           obs::event({.name = "term_adopt",
+                       .detail = "",
+                       .value = static_cast<std::int64_t>(t)}););
+}
+
+void ShardRouter::fence(std::uint64_t observed_term) {
+  adopt_term(observed_term);
+  if (fenced_.exchange(true)) return;
+  DFKY_OBS(obs::event({.name = "fence",
+                       .detail = "stale-term",
+                       .value = static_cast<std::int64_t>(term_.load())}););
+}
+
+void ShardRouter::note_term(Shard& sh, std::uint64_t term, const char* verb) {
+  (void)sh;
+  const std::uint64_t ours = term_.load();
+  if (term < ours) {
+    throw StaleTermError("stale-term term=" + std::to_string(ours) + " (" +
+                         verb + " carries term " + std::to_string(term) +
+                         " — sender is a fenced ex-primary)");
+  }
+  if (term > ours) adopt_term(term);
+}
+
+void ShardRouter::stamp_trace(Shard& sh) {
+  DFKY_OBS(if (const obs::TraceContext* t = obs::current_trace()) {
+    sh.last_trace_id.store(t->id, std::memory_order_relaxed);
+  });
+}
+
+void ShardRouter::stamp_primary_contact() {
+  primary_contact_ns_.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count(),
+      std::memory_order_relaxed);
+}
+
+std::int64_t ShardRouter::primary_contact_age_ms() const {
+  const std::int64_t at = primary_contact_ns_.load(std::memory_order_relaxed);
+  if (at < 0) return -1;
+  const std::int64_t now =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  return std::max<std::int64_t>(0, (now - at) / 1'000'000);
+}
+
+void ShardRouter::note_primary_heartbeat(std::uint64_t term) {
+  const std::uint64_t ours = term_.load();
+  if (!follower_.load()) {
+    if (term > ours) {
+      // A real primary at a newer term is pinging us while we still think
+      // we are one: we are the zombie. Fence immediately — mutations start
+      // refusing before our own sender even hears a stale-term NACK.
+      fence(term);
+      return;
+    }
+    if (term < ours) {
+      throw StaleTermError("stale-term term=" + std::to_string(ours) +
+                           " (repl-hb from a fenced ex-primary)");
+    }
+    throw ContractError(
+        "repl-hb: split-brain — receiver is a primary at the same term");
+  }
+  if (term < ours) {
+    throw StaleTermError("stale-term term=" + std::to_string(ours) +
+                         " (repl-hb carries term " + std::to_string(term) +
+                         " — sender is a fenced ex-primary)");
+  }
+  if (term > ours) adopt_term(term);
+  stamp_primary_contact();
 }
 
 ShardRouter::~ShardRouter() { stop_commits(); }
@@ -88,7 +187,13 @@ ShardRouter::AddedUser ShardRouter::add_user() {
   out.shard = k;
   // Routing is done; the queue wait starts at submission.
   DFKY_OBS(obs::trace_mark(obs::SpanKind::kRoute););
-  sh.commits->run([&] {
+  stamp_trace(sh);
+  const std::shared_ptr<GroupCommit> commits = sh.commits.load();
+  if (!commits) {  // demoted since the entry check
+    ensure_primary("add-user");
+    throw ContractError("add-user: shard committer is gone (demoting)");
+  }
+  commits->run([&] {
     std::lock_guard rng_lk(sh.rng_mu);
     const SecurityManager::AddedUser added = sh.store.add_user(*sh.rng);
     out.global_id = global_of(added.id, k);
@@ -115,7 +220,13 @@ ShardRouter::RevokeResult ShardRouter::revoke(
   for (std::size_t k = 0; k < shards_.size(); ++k) {
     if (by_shard[k].empty()) continue;
     Shard& sh = *shards_[k];
-    sh.commits->run([&] {
+    stamp_trace(sh);
+    const std::shared_ptr<GroupCommit> commits = sh.commits.load();
+    if (!commits) {  // demoted since the entry check
+      ensure_primary("revoke");
+      throw ContractError("revoke: shard committer is gone (demoting)");
+    }
+    commits->run([&] {
       std::lock_guard rng_lk(sh.rng_mu);
       const std::vector<SignedResetBundle> bundles =
           sh.store.remove_users(by_shard[k], *sh.rng);
@@ -138,6 +249,10 @@ ShardRouter::RevokeResult ShardRouter::revoke(
 ShardRouter::NewPeriodResult ShardRouter::new_period_all() {
   ensure_primary("new-period");
   std::lock_guard barrier_lk(barrier_mu_);
+  // Re-checked under the barrier lock: a concurrent demote() (serialized
+  // on the same lock) may have turned us into a follower, whose stores are
+  // no longer in batching mode — phase 1 would hit the files directly.
+  ensure_primary("new-period");
   if (fatal_.load()) {
     throw ContractError("new-period: shard set failed (fail-stop)");
   }
@@ -172,6 +287,7 @@ ShardRouter::NewPeriodResult ShardRouter::new_period_all() {
     // The stores are in batching mode (the committers own them), so this
     // touches no file: a crash here loses everything uniformly.
     for (auto& sh : shards_) {
+      stamp_trace(*sh);
       std::lock_guard rng_lk(sh->rng_mu);
       const Group& group = sh->store.manager().params().group;
       while (sh->store.manager().period() < target) {
@@ -200,14 +316,26 @@ ShardRouter::NewPeriodResult ShardRouter::new_period_all() {
   // barrier lands standalone, and the laggard roll-forward (promote /
   // open_shard_set) re-equalizes that replica if it ever comes back.
   locks.clear();
-  if (ReplicationSender* r = repl_.load()) r->sync_all();
+  if (ReplicationSender* r = repl_.load()) {
+    try {
+      r->sync_all();
+    } catch (...) {
+      // The armed gate refused the barrier's ack (lease lost / stale
+      // term). The rolls are durable LOCALLY but acknowledging them would
+      // fork epoch history from the cluster's: NACK and fail-stop, same
+      // contract as the group-commit gate. The re-seed truncates them.
+      fail_stop();
+      throw;
+    }
+  }
   DFKY_OBS(obs::trace_mark(obs::SpanKind::kReplAck););
   return out;
 }
 
 std::uint64_t ShardRouter::replica_append(std::size_t shard, std::uint64_t gen,
                                           std::uint64_t start_record,
-                                          BytesView frames) {
+                                          BytesView frames,
+                                          std::uint64_t term) {
   if (!follower_.load()) {
     throw ContractError("repl-append: this daemon is a primary");
   }
@@ -217,8 +345,13 @@ std::uint64_t ShardRouter::replica_append(std::size_t shard, std::uint64_t gen,
   }
   Shard& sh = *shards_[shard];
   std::unique_lock state(sh.state_mu);
+  note_term(sh, term, "repl-append");
+  stamp_primary_contact();
   const std::uint64_t seq =
       sh.store.replica_apply_frames(gen, start_record, frames);
+  // The current-term primary is feeding us again: whatever fencing put us
+  // here has been repaired (the forked suffix is gone, or never existed).
+  fenced_.store(false);
   DFKY_OBS(obs::counter("dfkyd_shard_mutations_total",
                         {{"shard", std::to_string(shard)},
                          {"verb", "repl-append"}})
@@ -227,7 +360,7 @@ std::uint64_t ShardRouter::replica_append(std::size_t shard, std::uint64_t gen,
 }
 
 void ShardRouter::replica_snapshot(std::size_t shard, std::uint64_t gen,
-                                   BytesView frame) {
+                                   BytesView frame, std::uint64_t term) {
   if (!follower_.load()) {
     throw ContractError("repl-snap: this daemon is a primary");
   }
@@ -237,11 +370,39 @@ void ShardRouter::replica_snapshot(std::size_t shard, std::uint64_t gen,
   }
   Shard& sh = *shards_[shard];
   std::unique_lock state(sh.state_mu);
+  note_term(sh, term, "repl-snap");
+  stamp_primary_contact();
   sh.store.replica_apply_snapshot(gen, frame);
+  fenced_.store(false);
   DFKY_OBS(obs::counter("dfkyd_shard_mutations_total",
                         {{"shard", std::to_string(shard)},
                          {"verb", "repl-snap"}})
                .inc(););
+}
+
+std::uint64_t ShardRouter::replica_truncate(std::size_t shard,
+                                            std::uint64_t gen,
+                                            std::uint64_t records,
+                                            const std::string& expected_tag_hex,
+                                            std::uint64_t term) {
+  if (!follower_.load()) {
+    throw ContractError("repl-truncate: this daemon is a primary");
+  }
+  if (shard >= shards_.size()) {
+    throw ContractError("repl-truncate: shard " + std::to_string(shard) +
+                        " out of range");
+  }
+  Shard& sh = *shards_[shard];
+  std::unique_lock state(sh.state_mu);
+  note_term(sh, term, "repl-truncate");
+  stamp_primary_contact();
+  const std::uint64_t seq =
+      sh.store.replica_truncate(gen, records, expected_tag_hex);
+  DFKY_OBS(obs::counter("dfkyd_shard_mutations_total",
+                        {{"shard", std::to_string(shard)},
+                         {"verb", "repl-truncate"}})
+               .inc(););
+  return seq;
 }
 
 std::vector<ShardRouter::ReplPosition> ShardRouter::repl_positions() const {
@@ -249,19 +410,38 @@ std::vector<ShardRouter::ReplPosition> ShardRouter::repl_positions() const {
   out.reserve(shards_.size());
   for (const auto& sh : shards_) {
     std::shared_lock lk(sh->state_mu);
-    out.push_back(ReplPosition{sh->store.generation(),
-                               static_cast<std::uint64_t>(
-                                   sh->store.wal_records())});
+    out.push_back(ReplPosition{
+        sh->store.generation(),
+        static_cast<std::uint64_t>(sh->store.wal_records()),
+        sh->store.chain_head_hex()});
   }
   return out;
 }
 
-void ShardRouter::promote() {
+ShardRouter::PromoteResult ShardRouter::promote(
+    std::optional<std::uint64_t> new_term) {
   std::lock_guard barrier_lk(barrier_mu_);
-  if (!follower_.load()) return;  // already a primary — idempotent
+  PromoteResult res;
+  if (!follower_.load()) {  // already a primary — idempotent, but distinct
+    res.already = true;
+    res.term = term_.load();
+    for (auto& sh : shards_) {
+      std::shared_lock lk(sh->state_mu);
+      res.period = std::max(res.period, sh->store.manager().period());
+    }
+    DFKY_OBS(obs::event({.name = "promote",
+                         .period = static_cast<std::int64_t>(res.period),
+                         .detail = "already-primary",
+                         .value = static_cast<std::int64_t>(res.term)}););
+    return res;
+  }
   if (fatal_.load()) {
     throw ContractError("promote: shard set failed (fail-stop)");
   }
+  // The new term is durable BEFORE this node can accept a write: a zombie
+  // of the old term must see it on its first exchange, not a window where
+  // both sides still claim the same term.
+  if (new_term) adopt_term(*new_term);
   // Laggard roll-forward: a primary killed inside the barrier's phase-2
   // sync loop replicated the epoch roll to some shards only. The barrier
   // was never acked, so completing it here is safe — the same reasoning
@@ -282,16 +462,58 @@ void ShardRouter::promote() {
     }
   }
   start_committers();
+  fenced_.store(false);
   follower_.store(false);
+  res.term = term_.load();
+  res.period = target;
+  res.rolled = rolled;
   DFKY_OBS(obs::gauge("dfkyd_role", {{"role", "primary"}}).set(1);
            obs::gauge("dfkyd_role", {{"role", "follower"}}).set(0);
            obs::counter("dfkyd_promotions_total").inc();
            obs::counter("dfky_store_shard_rollforwards_total").inc(rolled);
            obs::event({.name = "promote",
                        .period = static_cast<std::int64_t>(target),
-                       .detail = "laggards-rolled",
+                       .detail = "term=" + std::to_string(res.term),
                        .value = static_cast<std::int64_t>(rolled)}););
-  (void)rolled;
+  return res;
+}
+
+ShardRouter::PromoteResult ShardRouter::demote() {
+  std::lock_guard barrier_lk(barrier_mu_);
+  PromoteResult res;
+  res.term = term_.load();
+  for (auto& sh : shards_) {
+    std::shared_lock lk(sh->state_mu);
+    res.period = std::max(res.period, sh->store.manager().period());
+  }
+  if (follower_.load()) {  // already a follower — idempotent, but distinct
+    res.already = true;
+    DFKY_OBS(obs::event({.name = "demote",
+                         .period = static_cast<std::int64_t>(res.period),
+                         .detail = "already-follower",
+                         .value = static_cast<std::int64_t>(res.term)}););
+    return res;
+  }
+  // Refuse new mutations first (ensure_primary), then stop each committer.
+  // Mutations already queued drain and ack normally — they were accepted
+  // while this node was primary, so they linearize before the demotion.
+  // A straggler submitting after the stop flag gets a clean "shutting
+  // down" NACK, and the atomic shared_ptr keeps its queue alive while it
+  // does — never a call into a destroyed committer.
+  follower_.store(true);
+  for (auto& sh : shards_) {
+    if (const std::shared_ptr<GroupCommit> c = sh->commits.exchange(nullptr)) {
+      c->shut_down();
+    }
+  }
+  DFKY_OBS(obs::gauge("dfkyd_role", {{"role", "primary"}}).set(0);
+           obs::gauge("dfkyd_role", {{"role", "follower"}}).set(1);
+           obs::counter("dfkyd_demotions_total").inc();
+           obs::event({.name = "demote",
+                       .period = static_cast<std::int64_t>(res.period),
+                       .detail = "term=" + std::to_string(res.term),
+                       .value = 0}););
+  return res;
 }
 
 ShardRouter::Status ShardRouter::status() const {
@@ -309,9 +531,9 @@ ShardRouter::Status ShardRouter::status() const {
     st.saturation_limit += mgr.saturation_limit();
     st.generation += sh->store.generation();
     st.wal_records += sh->store.wal_records();
-    if (sh->commits) {  // a follower runs no committers
-      st.commit_batches += sh->commits->batches();
-      st.committed += sh->commits->committed();
+    if (const std::shared_ptr<GroupCommit> c = sh->commits.load()) {
+      st.commit_batches += c->batches();  // a follower runs no committers
+      st.committed += c->committed();
     }
   }
   return st;
@@ -321,6 +543,8 @@ ShardRouter::HealthReport ShardRouter::health() const {
   HealthReport h;
   h.follower = follower_.load();
   h.fatal = fatal_.load();
+  h.fenced = fenced_.load();
+  h.term = term_.load();
   std::vector<std::uint64_t> records(shards_.size(), 0);
   std::vector<std::uint64_t> gens(shards_.size(), 0);
   for (std::size_t k = 0; k < shards_.size(); ++k) {
@@ -329,7 +553,8 @@ ShardRouter::HealthReport ShardRouter::health() const {
     h.periods.push_back(sh->store.manager().period());
     h.period = std::max(h.period, h.periods.back());
     h.poisoned.push_back(sh->store.poisoned());
-    h.queue_depths.push_back(sh->commits ? sh->commits->queued() : 0);
+    const std::shared_ptr<GroupCommit> c = sh->commits.load();
+    h.queue_depths.push_back(c ? c->queued() : 0);
     records[k] = static_cast<std::uint64_t>(sh->store.wal_records());
     gens[k] = sh->store.generation();
   }
@@ -371,7 +596,11 @@ Bytes ShardRouter::encrypt(BytesView payload, std::size_t shard) {
 }
 
 void ShardRouter::stop_commits() {
-  for (auto& sh : shards_) sh->commits.reset();
+  for (auto& sh : shards_) {
+    if (const std::shared_ptr<GroupCommit> c = sh->commits.exchange(nullptr)) {
+      c->shut_down();
+    }
+  }
 }
 
 void ShardRouter::snapshot_all() {

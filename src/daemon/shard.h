@@ -39,6 +39,17 @@ namespace dfky::daemon {
 
 class ReplicationSender;
 
+/// A mutation (or replication shipment) arrived carrying a failover term
+/// older than the one this node has adopted — the sender is a fenced
+/// ex-primary (or this node is). Distinct from ContractError so the
+/// protocol layer can emit the `stale-term` NACK a zombie's sender parses,
+/// and so a fenced write is never confused with an ordinary refusal
+/// (DESIGN.md Sect. 14).
+class StaleTermError : public Error {
+ public:
+  explicit StaleTermError(const std::string& what) : Error(what) {}
+};
+
 class ShardRouter {
  public:
   /// One fresh Rng per shard, so committer threads never serialize on a
@@ -122,6 +133,8 @@ class ShardRouter {
   struct HealthReport {
     bool follower = false;
     bool fatal = false;
+    bool fenced = false;
+    std::uint64_t term = 0;
     std::uint64_t period = 0;                 // max across shards
     std::vector<std::uint64_t> periods;       // per shard
     std::vector<bool> poisoned;               // per shard
@@ -148,27 +161,85 @@ class ShardRouter {
   bool follower() const { return follower_.load(); }
 
   /// Follower ingest of a primary's WAL shipment for one shard, under the
-  /// shard's exclusive state lock. Returns the shard's record count after
-  /// ingest — the sequence number acked back to the primary. Throws
-  /// ContractError on a primary (the stream would race the committers).
+  /// shard's exclusive state lock. `term` is the sender's failover term:
+  /// lower than ours NACKs with StaleTermError (a fenced zombie never
+  /// feeds us), higher is adopted and persisted. Returns the shard's
+  /// record count after ingest — the sequence number acked back to the
+  /// primary. Throws ContractError on a primary (the stream would race
+  /// the committers). A successful ingest clears the fenced flag: the
+  /// node is demonstrably back on the legitimate primary's stream.
   std::uint64_t replica_append(std::size_t shard, std::uint64_t gen,
-                               std::uint64_t start_record, BytesView frames);
-  /// Follower ingest of a shipped snapshot rotation (idempotent).
-  void replica_snapshot(std::size_t shard, std::uint64_t gen, BytesView frame);
+                               std::uint64_t start_record, BytesView frames,
+                               std::uint64_t term);
+  /// Follower ingest of a shipped snapshot rotation (idempotent). Same
+  /// term handling as replica_append.
+  void replica_snapshot(std::size_t shard, std::uint64_t gen, BytesView frame,
+                        std::uint64_t term);
+  /// Follower-side fork repair: drops shard `shard`'s WAL suffix past
+  /// `records` once the retained prefix's chain tag matches
+  /// `expected_tag_hex` (see StateStore::replica_truncate). Same term
+  /// handling as replica_append.
+  std::uint64_t replica_truncate(std::size_t shard, std::uint64_t gen,
+                                 std::uint64_t records,
+                                 const std::string& expected_tag_hex,
+                                 std::uint64_t term);
 
   struct ReplPosition {
     std::uint64_t generation = 0;
     std::uint64_t records = 0;
+    std::string chain_head;  // hex chain tag — divergence detection
   };
   /// Per-shard durable positions (shared state lock), for repl-status.
   std::vector<ReplPosition> repl_positions() const;
 
+  // -- failover terms + fencing (DESIGN.md Sect. 14) ----------------------------
+
+  /// The highest failover term this node has adopted (max across shard
+  /// TERM files at open; persisted to every shard on adoption).
+  std::uint64_t term() const { return term_.load(); }
+  /// Durably adopts `t` on every shard (no-op unless it exceeds term()).
+  void adopt_term(std::uint64_t t);
+  /// Fences this node: adopts `observed_term` and refuses every further
+  /// mutation with StaleTermError until it re-joins a legitimate
+  /// primary's stream (replica_append under the current term clears it).
+  void fence(std::uint64_t observed_term);
+  bool fenced() const { return fenced_.load(); }
+
+  /// `repl-hb <term>` ingest. On a follower: rejects a stale sender with
+  /// StaleTermError, adopts a newer term, stamps primary contact. On a
+  /// primary: a newer term fences this node (it is a zombie and a real
+  /// primary is pinging it); the same term is a split-brain ContractError.
+  void note_primary_heartbeat(std::uint64_t term);
+  /// Milliseconds since the last primary contact (repl-append/snap/
+  /// truncate/hb ingest), or -1 when none was ever seen. The follower
+  /// watchdog's silence clock, and repl-status's `hb_age_ms` field.
+  std::int64_t primary_contact_age_ms() const;
+  /// Restarts the silence clock without a real contact — the watchdog
+  /// stamps this after standing down to a primary it can reach but that
+  /// cannot reach us, so it re-campaigns a full timeout later at the
+  /// earliest.
+  void stamp_primary_contact();
+
+  struct PromoteResult {
+    bool already = false;      // node was already in the requested role
+    std::uint64_t term = 0;    // term in effect after the call
+    std::uint64_t period = 0;  // max epoch after the call
+    std::size_t rolled = 0;    // laggard new-periods issued (promote only)
+  };
   /// Turns a follower into a primary: equalizes shard epochs by rolling
   /// laggards forward (the same laggard-recovery new-periods open_shard_set
   /// issues — a kill during the old primary's phase-2 sync loop can leave a
   /// follower's shards at mixed periods), then starts the committer
-  /// threads. Idempotent; serialized against the epoch barrier.
-  void promote();
+  /// threads. `new_term`, when set, is durably adopted before committers
+  /// start (the watchdog promotes under max(seen)+1). Promoting a primary
+  /// is an `already = true` no-op — distinct, not an error. Serialized
+  /// against the epoch barrier.
+  PromoteResult promote(std::optional<std::uint64_t> new_term = std::nullopt);
+  /// The inverse: joins the committers and returns the node to read-only
+  /// follower mode (replica ingest requires fsync-per-mutation stores).
+  /// Demoting a follower is an `already = true` no-op. The caller must
+  /// detach/stop any replication sender itself.
+  PromoteResult demote();
 
   /// Attaches (or detaches, with nullptr) the primary's replication
   /// sender. While attached, committers and the epoch barrier block acks
@@ -189,6 +260,12 @@ class ShardRouter {
   std::shared_mutex& state_mu(std::size_t shard) {
     return shards_[shard]->state_mu;
   }
+  /// Trace id of the most recent traced mutation routed to `shard` (0 when
+  /// none) — stamped on repl-append shipments so the follower's apply span
+  /// joins the primary's timeline (DESIGN.md Sect. 13).
+  std::uint64_t last_trace_id(std::size_t shard) const {
+    return shards_[shard]->last_trace_id.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Non-movable: GroupCommit and the committer thread hold references
@@ -199,20 +276,32 @@ class ShardRouter {
     std::shared_mutex state_mu;
     std::unique_ptr<Rng> rng;
     std::mutex rng_mu;  // reads (encrypt) vs the shard's committer
-    std::optional<GroupCommit> commits;
+    /// Atomic shared_ptr so demote() can stop and drop a live queue while
+    /// a straggling mutation still holds a reference (its run() then fails
+    /// with "shutting down" instead of touching freed memory). Null on a
+    /// follower.
+    std::atomic<std::shared_ptr<GroupCommit>> commits;
+    std::atomic<std::uint64_t> last_trace_id{0};  // repl trace propagation
   };
 
   void fail_stop();  // sets fatal_, invokes on_fatal_ once
   void start_committers();
   void ensure_primary(const char* verb) const;
+  void note_term(Shard& sh, std::uint64_t term, const char* verb);
+  void stamp_trace(Shard& sh);
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::function<void()> on_fatal_;
   std::atomic<bool> fatal_{false};
   std::atomic<bool> follower_{false};
+  std::atomic<bool> fenced_{false};
+  std::atomic<std::uint64_t> term_{0};
+  /// steady_clock ns of the last primary contact; -1 = never.
+  std::atomic<std::int64_t> primary_contact_ns_{-1};
   std::atomic<ReplicationSender*> repl_{nullptr};
   std::atomic<std::uint64_t> next_add_{0};  // round-robin placement
   std::mutex barrier_mu_;  // serializes new_period_all (and promote)
+  std::mutex term_mu_;     // serializes TERM-file persistence
 };
 
 }  // namespace dfky::daemon

@@ -84,15 +84,20 @@ std::uint64_t TraceContext::now_ns() {
           .count());
 }
 
-void TraceContext::mark_at(SpanKind k, std::uint64_t t) {
+void TraceContext::mark_at(SpanKind k, std::uint64_t t,
+                           std::string_view label) {
   const std::uint64_t end = t > cursor_ns ? t : cursor_ns;
-  spans.push_back(TraceSpan{k, cursor_ns, end});
+  spans.push_back(TraceSpan{k, cursor_ns, end, std::string(label)});
   cursor_ns = end;
 }
 
 void TraceContext::mark(SpanKind k) { mark_at(k, now_ns()); }
 
 TraceContext* current_trace() { return t_current; }
+
+void trace_adopt_id(std::uint64_t id) {
+  if (t_current != nullptr) t_current->id = id;
+}
 
 ScopedTrace::ScopedTrace() {
   if (!g_tracing.load(std::memory_order_relaxed)) return;
@@ -199,8 +204,10 @@ std::string trace_json_line(const TraceContext& t, std::string_view kind) {
   for (std::size_t i = 0; i < t.spans.size(); ++i) {
     const TraceSpan& sp = t.spans[i];
     if (i > 0) os << ",";
-    os << "{\"span\":\"" << span_name(sp.kind)
-       << "\",\"start_ns\":" << (sp.start_ns - t.start_ns)
+    os << "{\"span\":\"" << span_name(sp.kind) << "\"";
+    if (!sp.label.empty()) os << ",\"label\":\"" << json::escape(sp.label)
+                              << "\"";
+    os << ",\"start_ns\":" << (sp.start_ns - t.start_ns)
        << ",\"dur_ns\":" << (sp.end_ns - sp.start_ns) << "}";
   }
   os << "]}";

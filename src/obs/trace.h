@@ -70,11 +70,14 @@ inline constexpr std::string_view span_name(SpanKind k) {
   return "unknown";
 }
 
-/// One closed span: [start_ns, end_ns] on the steady clock.
+/// One closed span: [start_ns, end_ns] on the steady clock. `label`
+/// qualifies the kind when one name isn't enough — a repl_ack span
+/// carries the follower names that held the batch at ack time.
 struct TraceSpan {
   SpanKind kind = SpanKind::kAccept;
   std::uint64_t start_ns = 0;
   std::uint64_t end_ns = 0;
+  std::string label;
 };
 
 #if DFKY_OBS_ENABLED
@@ -96,8 +99,9 @@ struct TraceContext {
 
   /// Closes [cursor, max(t, cursor)] as `k` and advances the cursor.
   /// Timestamps from the past are clamped to a zero-length span rather
-  /// than producing overlap.
-  void mark_at(SpanKind k, std::uint64_t t);
+  /// than producing overlap. A non-empty `label` is rendered alongside
+  /// the span name in the JSONL.
+  void mark_at(SpanKind k, std::uint64_t t, std::string_view label = {});
   /// mark_at(k, now).
   void mark(SpanKind k);
 };
@@ -131,6 +135,13 @@ class ScopedTrace {
 /// Convenience: close a span on the thread's current trace (no-op when
 /// there is none).
 void trace_mark(SpanKind k);
+
+/// Replaces the current trace's id (no-op without one). Replication uses
+/// it to JOIN timelines: a follower applying a repl-append that carries
+/// `trace=<id>` adopts the primary's id, so the same id indexes the
+/// mutation's spans on the primary AND its apply spans on the follower
+/// (DESIGN.md Sect. 13/14).
+void trace_adopt_id(std::uint64_t id);
 
 /// Runtime switches. Tracing defaults to on; the slow threshold defaults
 /// to 10ms and 0 disables the slow log (the ring still fills).
@@ -179,7 +190,8 @@ inline namespace off {
 
 struct TraceContext {
   static std::uint64_t now_ns() { return 0; }
-  void mark_at(SpanKind, std::uint64_t) const noexcept {}
+  void mark_at(SpanKind, std::uint64_t, std::string_view = {}) const noexcept {
+  }
   void mark(SpanKind) const noexcept {}
 };
 
@@ -196,6 +208,7 @@ class ScopedTrace {
 };
 
 inline void trace_mark(SpanKind) {}
+inline void trace_adopt_id(std::uint64_t) {}
 inline void set_tracing(bool) {}
 inline bool tracing_enabled() { return false; }
 inline void set_slow_threshold_ns(std::uint64_t) {}

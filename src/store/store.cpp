@@ -16,6 +16,7 @@ namespace {
 constexpr std::uint32_t kKeyMagic = 0x6466736b;   // "dfsk"
 constexpr std::uint32_t kSnapMagic = 0x64667374;  // "dfst"
 constexpr std::uint32_t kWalMagic = 0x6466776c;   // "dfwl"
+constexpr std::uint32_t kTermMagic = 0x6466746d;  // "dftm"
 constexpr std::uint8_t kVersion = 1;
 constexpr std::size_t kTagSize = Sha256::kDigestSize;
 // Per record: u32 payload length, u32 CRC32C, chained HMAC tag.
@@ -115,6 +116,35 @@ Bytes decode_key_file(BytesView raw) {
   if (r.get_u32() != crc32c(key)) throw DecodeError("store.key: bad checksum");
   r.expect_end();
   return key;
+}
+
+Bytes encode_term_file(std::uint64_t term) {
+  Writer w;
+  w.put_u32(kTermMagic);
+  w.put_u8(kVersion);
+  w.put_u64(term);
+  w.put_u32(crc32c(w.bytes()));
+  return std::move(w).take();
+}
+
+/// 0 when the file is absent or fails validation — a corrupt TERM only
+/// regresses the node's view; peers carrying the real term re-fence it on
+/// the first exchange, so treating damage as "never failed over" is safe.
+std::uint64_t read_term_file(FileIo& io, const std::string& dir) {
+  const std::string p = join(dir, StateStore::kTermFile);
+  if (!io.exists(p)) return 0;
+  try {
+    const Bytes raw = io.read(p);
+    Reader r(raw);
+    if (r.get_u32() != kTermMagic) return 0;
+    if (r.get_u8() != kVersion) return 0;
+    const std::uint64_t term = r.get_u64();
+    if (r.get_u32() != crc32c(BytesView(raw.data(), 4 + 1 + 8))) return 0;
+    r.expect_end();
+    return term;
+  } catch (const Error&) {
+    return 0;
+  }
 }
 
 Bytes encode_snapshot(BytesView key, std::uint64_t gen, BytesView payload,
@@ -275,6 +305,7 @@ StateStore::StateStore(StateStore&& other) noexcept
       mgr_(std::move(other.mgr_)),
       key_(std::move(other.key_)),
       gen_(other.gen_),
+      term_(other.term_),
       wal_records_(other.wal_records_),
       chain_tag_(other.chain_tag_),
       recovery_(other.recovery_),
@@ -455,8 +486,8 @@ StateStore StateStore::open(FileIo& io, std::string dir, StoreOptions opts) {
   // third process a lock on a fresh inode).
   bool dirty_dir = rewrote_wal;
   for (const std::string& name : io.list(dir)) {
-    if (name == kKeyFile || name == kLockFile || name == snap_name(gen) ||
-        name == wal_name(gen)) {
+    if (name == kKeyFile || name == kLockFile || name == kTermFile ||
+        name == snap_name(gen) || name == wal_name(gen)) {
       continue;
     }
     io.remove(join(dir, name));
@@ -480,6 +511,7 @@ StateStore StateStore::open(FileIo& io, std::string dir, StoreOptions opts) {
 
   StateStore s(io, std::move(dir), opts, std::move(*mgr), std::move(key));
   s.gen_ = gen;
+  s.term_ = read_term_file(io, s.dir_);
   s.wal_records_ = applied;
   s.chain_tag_ = chain;
   s.recovery_ = rep;
@@ -487,6 +519,16 @@ StateStore StateStore::open(FileIo& io, std::string dir, StoreOptions opts) {
   s.locked_ = true;
   lock.disarm();
   return s;
+}
+
+void StateStore::set_term(std::uint64_t t) {
+  if (t <= term_) return;
+  const std::string tmp = path(std::string(kTermFile) + kTmpSuffix);
+  io_->write(tmp, encode_term_file(t));
+  io_->fsync_file(tmp);
+  io_->rename(tmp, path(kTermFile));
+  io_->fsync_dir(dir_);
+  term_ = t;
 }
 
 void StateStore::append_record(const ManagerMutation& m) {
@@ -849,6 +891,101 @@ void StateStore::replica_apply_snapshot(std::uint64_t new_gen,
   }
 }
 
+std::string StateStore::chain_tag_hex_at(std::uint64_t records) const {
+  if (records > wal_records_) {
+    throw DecodeError("state store: chain_tag_hex_at(" +
+                      std::to_string(records) + ") past the " +
+                      std::to_string(wal_records_) + " durable record(s)");
+  }
+  if (records == wal_records_) return chain_head_hex();
+  const Bytes raw = io_->read(path(wal_name(gen_)));
+  if (raw.size() < kWalHeader) {
+    throw DecodeError("state store: " + wal_name(gen_) + " lost its header");
+  }
+  // The header carries the chain seed; scanning from it re-derives every
+  // prefix tag (records = 0 is the seed itself).
+  Sha256::Digest seed{};
+  std::copy(raw.begin() + 4 + 1 + 8, raw.begin() + kWalHeader, seed.begin());
+  if (records == 0) return hex_of(BytesView(seed.data(), seed.size()));
+  const WalScan scan = scan_wal(raw, key_, gen_, seed);
+  if (!scan.header_ok || scan.records.size() < records) {
+    throw DecodeError("state store: " + wal_name(gen_) +
+                      " no longer validates to record " +
+                      std::to_string(records));
+  }
+  const Sha256::Digest& tag = scan.records[records - 1].tag;
+  return hex_of(BytesView(tag.data(), tag.size()));
+}
+
+std::uint64_t StateStore::replica_truncate(std::uint64_t gen,
+                                           std::uint64_t records,
+                                           const std::string& expected_tag_hex) {
+  if (batching_) {
+    throw ContractError("state store: replica truncate requires batching off");
+  }
+  if (gen != gen_) {
+    throw DecodeError("state store: replica truncate for generation " +
+                      std::to_string(gen) + " but the store is at " +
+                      std::to_string(gen_));
+  }
+  if (records > wal_records_) {
+    throw DecodeError("state store: replica truncate to " +
+                      std::to_string(records) + " record(s) past the " +
+                      std::to_string(wal_records_) + " held");
+  }
+  if (chain_tag_hex_at(records) != expected_tag_hex) {
+    throw DecodeError("state store: chain tag mismatch at record " +
+                      std::to_string(records) +
+                      " — divergence predates the requested prefix");
+  }
+  if (records == wal_records_) return wal_records_;  // nothing forked here
+
+  // The retained prefix matches the primary's history byte for byte; drop
+  // the forked suffix and rebuild memory from what is left on disk.
+  const Bytes raw = io_->read(path(wal_name(gen_)));
+  Sha256::Digest seed{};
+  std::copy(raw.begin() + 4 + 1 + 8, raw.begin() + kWalHeader, seed.begin());
+  const WalScan scan = scan_wal(raw, key_, gen_, seed);
+  const std::size_t keep_end =
+      records == 0 ? kWalHeader : scan.records[records - 1].end;
+  [[maybe_unused]] const std::uint64_t dropped = wal_records_ - records;
+  io_->truncate(path(wal_name(gen_)), keep_end);
+  io_->fsync_file(path(wal_name(gen_)));
+  try {
+    const auto info =
+        parse_snapshot(io_->read(path(snap_name(gen_))), key_, gen_);
+    if (!info) {
+      throw DecodeError("state store: " + snap_name(gen_) +
+                        " fails validation during truncate rebuild");
+    }
+    SecurityManager restored = SecurityManager::restore_state(info->payload);
+    const Group& group = restored.params().group;
+    for (std::uint64_t i = 0; i < records; ++i) {
+      Reader pr(scan.records[i].payload);
+      const ManagerMutation m = ManagerMutation::deserialize(pr, group);
+      pr.expect_end();
+      restored.apply_mutation(m);
+    }
+    mgr_ = std::move(restored);
+  } catch (...) {
+    // File already truncated but memory could not be rebuilt: disk and
+    // memory disagree, same contract as a failed flush.
+    poisoned_ = true;
+    throw;
+  }
+  wal_records_ = records;
+  chain_tag_ = records == 0 ? seed : scan.records[records - 1].tag;
+  mgr_.set_mutation_recording(true);
+  mgr_.take_mutation_log();
+  poisoned_ = false;  // disk and memory were just re-reconciled
+  DFKY_OBS(obs::counter("dfky_store_replica_truncates_total").inc();
+           obs::event({.name = "replica_truncate",
+                       .period = static_cast<std::int64_t>(mgr_.period()),
+                       .detail = dir_,
+                       .value = static_cast<std::int64_t>(dropped)}););
+  return wal_records_;
+}
+
 void clone_store_files(FileIo& src, FileIo& dst, const std::string& dir) {
   if (!src.is_dir(dir)) {
     throw DecodeError("clone: no such directory: " + dir);
@@ -1096,7 +1233,9 @@ FsckReport fsck_store(FileIo& io, const std::string& dir, bool repair) {
   std::vector<std::uint64_t> gens;
   std::size_t entries = 0;
   for (const std::string& name : io.list(dir)) {
-    if (name == StateStore::kLockFile) continue;  // infrastructure, not state
+    if (name == StateStore::kLockFile || name == StateStore::kTermFile) {
+      continue;  // infrastructure, not state
+    }
     ++entries;
     if (const auto g = parse_gen(name, StateStore::kSnapPrefix)) {
       gens.push_back(*g);

@@ -191,12 +191,40 @@ class StateStore {
   /// generation()` is an idempotent no-op (dup re-delivery).
   void replica_apply_snapshot(std::uint64_t new_gen, BytesView frame);
 
+  /// Hex of the chain tag after the first `records` WAL records (0 = the
+  /// snapshot seed tag; wal_records() = chain_head_hex()). This is what a
+  /// primary compares against a follower's reported chain head to detect a
+  /// forked suffix. Throws DecodeError when `records` exceeds the log.
+  std::string chain_tag_hex_at(std::uint64_t records) const;
+
+  /// Fencing recovery: discards every WAL record past `records` after
+  /// verifying that the retained prefix's chain tag equals
+  /// `expected_tag_hex` (the new primary's tag at that depth). The WAL file
+  /// is physically truncated and the manager is rebuilt from the snapshot +
+  /// retained prefix, so a fenced ex-primary can drop its forked suffix and
+  /// re-join the promoted node's history via ordinary replica_apply_frames.
+  /// `gen` must match the live generation. Returns the record count after
+  /// truncation. A tag mismatch throws DecodeError and changes nothing —
+  /// the caller walks further back.
+  std::uint64_t replica_truncate(std::uint64_t gen, std::uint64_t records,
+                                 const std::string& expected_tag_hex);
+
+  // -- failover term (DESIGN.md Sect. 14) -----------------------------------------
+  /// Monotonic failover term persisted in <dir>/TERM (CRC-framed, written
+  /// via tmp + fsync + rename). 0 when the file is absent — a cluster that
+  /// never failed over. Loaded by open()/create().
+  std::uint64_t term() const { return term_; }
+  /// Durably persists `t` as the store's term. Lower-than-current values
+  /// are ignored (terms only move forward).
+  void set_term(std::uint64_t t);
+
   // -- layout constants shared with dfky_fsck ------------------------------------
   static constexpr char kKeyFile[] = "store.key";
   static constexpr char kSnapPrefix[] = "snap.";
   static constexpr char kWalPrefix[] = "wal.";
   static constexpr char kTmpSuffix[] = ".tmp";
   static constexpr char kLockFile[] = "LOCK";
+  static constexpr char kTermFile[] = "TERM";
 
  private:
   StateStore(FileIo& io, std::string dir, StoreOptions opts,
@@ -219,6 +247,7 @@ class StateStore {
   SecurityManager mgr_;
   Bytes key_;  // HMAC key (never leaves the store directory)
   std::uint64_t gen_ = 0;
+  std::uint64_t term_ = 0;  // failover term from <dir>/TERM (0 = absent)
   std::size_t wal_records_ = 0;
   Sha256::Digest chain_tag_{};  // tag of the last WAL record (or the seed)
   RecoveryReport recovery_;

@@ -2,8 +2,11 @@
 # End-to-end exercise of dfkyd: store locking against concurrent opens,
 # concurrent clients through the group-commit queue, the /metrics endpoint,
 # SIGTERM graceful shutdown, SIGKILL crash-recovery with every acknowledged
-# mutation intact, and a real-process primary/follower failover (SIGKILL the
-# primary mid-load, promote the follower, client retry masks the gap).
+# mutation intact, a real-process primary/follower failover (SIGKILL the
+# primary mid-load, promote the follower, client retry masks the gap), and a
+# three-node self-healing cluster: --auto-failover elects and promotes a
+# follower after SIGKILLing the primary with no operator in the loop, and a
+# revived ex-primary starts fenced and re-seeds from the successor.
 # Observability surfaces ride the same daemons: the health verb's verdict
 # and exit code, GET /trace, the slow-request log under an armed fsync
 # stall, and a one-frame dfky_top render.
@@ -20,11 +23,17 @@ PID=""
 SPID=""
 RPID=""
 FPID=""
+APID=""
+BPID=""
+CPID=""
 cleanup() {
   [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null
   [ -n "$SPID" ] && kill -9 "$SPID" 2>/dev/null
   [ -n "$RPID" ] && kill -9 "$RPID" 2>/dev/null
   [ -n "$FPID" ] && kill -9 "$FPID" 2>/dev/null
+  [ -n "$APID" ] && kill -9 "$APID" 2>/dev/null
+  [ -n "$BPID" ] && kill -9 "$BPID" 2>/dev/null
+  [ -n "$CPID" ] && kill -9 "$CPID" 2>/dev/null
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -516,5 +525,179 @@ if [ -n "$FSCK" ]; then
     || fail "fsck --replica unreadable after failover: $(cat fsck_final.txt)"
 fi
 
+# ===================== self-healing cluster (--auto-failover) ==================
+# Three symmetric nodes (DESIGN.md Sect. 14): every node lists every other
+# as a --replicate-to peer and runs --auto-failover. The primary acks only
+# under a majority-held lease; followers watchdog the primary's heartbeats
+# and elect + promote the most-caught-up survivor entirely on their own.
+ABSOCK="$WORK/fo_a.sock"
+BBSOCK="$WORK/fo_b.sock"
+CBSOCK="$WORK/fo_c.sock"
+FOSOCK="$WORK/fo_cluster.sock"
+# Generous wall-clock timings for a loaded CI box: 2s ack lease, 100ms
+# heartbeats, 3s election timeout, 100-500ms election delay.
+FT="2000,100,3000,100,500"
+
+# lease > hb-timeout would let a partitioned primary keep acking after its
+# successor is elected; the flag parser must refuse the combination.
+if "$DFKYD" fo_a.d --socket "$ABSOCK" --replicate-to "$BBSOCK" \
+    --auto-failover --failover-timings 4000,100,3000,100,500 2>ft_err.txt; then
+  fail "dfkyd accepted a lease longer than the election timeout"
+fi
+grep -q 'must not exceed' ft_err.txt \
+  || fail "lease/timeout validation error unclear: $(cat ft_err.txt)"
+if "$DFKYD" fo_a.d --socket "$ABSOCK" --auto-failover 2>af_err.txt; then
+  fail "dfkyd accepted --auto-failover without peers"
+fi
+
+"$CLI" init fo_a.d --v 4 --group test128 --store --shards 2 >/dev/null
+cp -r fo_a.d fo_b.d
+cp -r fo_a.d fo_c.d
+
+# Starts one cluster node and leaves its pid in FO_PID (a command
+# substitution would orphan the daemon into a subshell and break `wait`).
+start_fo_node() {  # start_fo_node <name> <dir> <socket> <peer1> <peer2> [role]
+  local log="$1.log" dir="$2" sock="$3" p1="$4" p2="$5" role="${6:-}"
+  : > "$log"
+  # shellcheck disable=SC2086
+  "$DFKYD" "$dir" --socket "$sock" --replicate-to "$p1" --replicate-to "$p2" \
+    --auto-failover --failover-timings "$FT" $role >> "$log" 2>&1 &
+  FO_PID=$!
+  for _ in $(seq 1 200); do
+    grep -q 'dfkyd: ready' "$log" 2>/dev/null && return 0
+    kill -0 "$FO_PID" 2>/dev/null || fail "$1 died at startup: $(cat "$log")"
+    sleep 0.05
+  done
+  fail "$1 never printed 'dfkyd: ready'"
+}
+
+start_fo_node fo_a fo_a.d "$ABSOCK" "$BBSOCK" "$CBSOCK"; APID=$FO_PID
+start_fo_node fo_b fo_b.d "$BBSOCK" "$ABSOCK" "$CBSOCK" --follower; BPID=$FO_PID
+start_fo_node fo_c fo_c.d "$CBSOCK" "$ABSOCK" "$BBSOCK" --follower; CPID=$FO_PID
+grep -q 'auto-failover watchdog armed' fo_b.log \
+  || fail "fo_b watchdog not armed: $(cat fo_b.log)"
+grep -q 'auto-failover watchdog armed' fo_c.log \
+  || fail "fo_c watchdog not armed: $(cat fo_c.log)"
+ln -sfn "$ABSOCK" "$FOSOCK"
+
+# ---- term surfaces on every diagnostics channel -------------------------------
+"$CLI" client "$ABSOCK" repl-status > fo_repl.txt \
+  || fail "repl-status failed on the armed primary"
+grep -q '^term: 0' fo_repl.txt || fail "repl-status missing term: $(cat fo_repl.txt)"
+"$CLI" client "$ABSOCK" health | grep -q '^term: 0' \
+  || fail "health does not surface the term"
+
+# ---- promote/demote are idempotent with a distinct exit ------------------------
+rc=0; "$CLI" client "$ABSOCK" promote > promote_again.txt || rc=$?
+[ "$rc" = 3 ] || fail "re-promoting the primary exited $rc (want 3)"
+grep -q 'already primary' promote_again.txt \
+  || fail "re-promote output unclear: $(cat promote_again.txt)"
+rc=0; "$CLI" client "$CBSOCK" demote > demote_again.txt || rc=$?
+[ "$rc" = 3 ] || fail "re-demoting a follower exited $rc (want 3)"
+grep -q 'already a follower' demote_again.txt \
+  || fail "re-demote output unclear: $(cat demote_again.txt)"
+
+# ---- acked writes land on the majority before the ack -------------------------
+for i in $(seq 1 5); do
+  "$CLI" client "$FOSOCK" add "fo$i.key" >/dev/null \
+    || fail "armed add $i failed"
+done
+"$CLI" client "$BBSOCK" status | grep -q 'active: 5' \
+  || fail "fo_b missing acked users the instant the ack returned"
+"$CLI" client "$CBSOCK" status | grep -q 'active: 5' \
+  || fail "fo_c missing acked users the instant the ack returned"
+
+# ---- SIGKILL the primary: the cluster heals itself ----------------------------
+( "$CLI" client "$FOSOCK" add healed.key >/dev/null 2>&1 \
+    && : > healed.ok ) &
+HEAL_CLIENT=$!
+kill -9 "$APID"
+APID=""
+WSOCK=""; WLOG=""; LSOCK=""
+for _ in $(seq 1 400); do
+  if grep -q 'auto-failover: promoted' fo_b.log 2>/dev/null; then
+    WSOCK="$BBSOCK"; WLOG=fo_b.log; LSOCK="$CBSOCK"; break
+  fi
+  if grep -q 'auto-failover: promoted' fo_c.log 2>/dev/null; then
+    WSOCK="$CBSOCK"; WLOG=fo_c.log; LSOCK="$BBSOCK"; break
+  fi
+  sleep 0.05
+done
+[ -n "$WSOCK" ] || fail "no follower auto-promoted after the SIGKILL"
+ln -sfn "$WSOCK" "$FOSOCK"
+wait "$HEAL_CLIENT" || fail "retrying client died across the auto-failover"
+[ -f healed.ok ] || fail "client add never acked across the auto-failover"
+"$CLI" client "$WSOCK" status | grep -q 'role: primary' \
+  || fail "auto-promoted node does not serve as primary"
+"$CLI" client "$WSOCK" repl-status | grep -Eq '^term: [1-9]' \
+  || fail "auto-promoted node still on term 0"
+"$CLI" client "$WSOCK" status | grep -q 'active: 6' \
+  || fail "auto-promoted node lost acked users"
+# The winner's health turns degraded once its sender gives up on the dead
+# ex-primary's socket: the auto-heal is visible to monitoring, not silent.
+for _ in $(seq 1 200); do
+  rc=0; "$CLI" client "$WSOCK" health > fo_health.txt || rc=$?
+  [ "$rc" = 1 ] && grep -q '^verdict: degraded' fo_health.txt && break
+  sleep 0.05
+done
+grep -q '^verdict: degraded' fo_health.txt \
+  || fail "winner never reported degraded with fo_a dead: $(cat fo_health.txt)"
+grep -q 'follower-dead:' fo_health.txt \
+  || fail "winner's degraded verdict lacks the follower-dead reason: $(cat fo_health.txt)"
+# The surviving follower tails the new primary's stream.
+for _ in $(seq 1 100); do
+  "$CLI" client "$LSOCK" status | grep -q 'active: 6' && break
+  sleep 0.05
+done
+"$CLI" client "$LSOCK" status | grep -q 'active: 6' \
+  || fail "surviving follower never converged on the new primary"
+
+# ---- a revived ex-primary is fenced at startup and re-seeds online ------------
+# The supervisor restarts the crashed node with its ORIGINAL primary command
+# line; the startup probe hears the successor's higher term and starts
+# fenced as a follower instead of serving a single stale write.
+start_fo_node fo_a fo_a.d "$ABSOCK" "$BBSOCK" "$CBSOCK"; APID=$FO_PID
+grep -q 'starting fenced until re-seeded' fo_a.log \
+  || fail "revived ex-primary did not fence at startup: $(cat fo_a.log)"
+if "$CLI" client "$ABSOCK" add zombie.key >/dev/null 2>&1; then
+  fail "a fenced ex-primary acked a write"
+fi
+for _ in $(seq 1 200); do
+  "$CLI" client "$ABSOCK" status | grep -q 'active: 6' && break
+  sleep 0.05
+done
+"$CLI" client "$ABSOCK" status | grep -q 'active: 6' \
+  || fail "revived ex-primary never re-seeded from the successor"
+"$CLI" client "$ABSOCK" status | grep -q 'role: follower' \
+  || fail "revived ex-primary still claims the primary role"
+# ...and with every follower re-seeded and live, the winner is ok again:
+# degraded -> ok across the whole heal.
+for _ in $(seq 1 200); do
+  if "$CLI" client "$WSOCK" health > fo_health2.txt 2>&1; then break; fi
+  sleep 0.05
+done
+grep -q '^verdict: ok' fo_health2.txt \
+  || fail "winner never recovered to ok after the re-seed: $(cat fo_health2.txt)"
+
+# ---- byte-level agreement on the quiesced cluster, then clean exits -----------
+if [ -n "$FSCK" ]; then
+  W_DIR=fo_b.d; [ "$WSOCK" = "$CBSOCK" ] && W_DIR=fo_c.d
+  "$FSCK" --replica "$W_DIR" fo_a.d > fsck_fo.txt \
+    || fail "fsck --replica: re-seeded ex-primary diverges: $(cat fsck_fo.txt)"
+  grep -q 'replicas agree on every shard' fsck_fo.txt \
+    || fail "fsck --replica output unclear: $(cat fsck_fo.txt)"
+fi
+"$CLI" client "$ABSOCK" shutdown >/dev/null || fail "fo_a shutdown failed"
+rc=0; wait "$APID" || rc=$?; APID=""
+[ "$rc" = 0 ] || fail "re-seeded fo_a shutdown exited $rc"
+for S in "$BBSOCK" "$CBSOCK"; do
+  "$CLI" client "$S" shutdown >/dev/null 2>&1 || true
+done
+rc=0; wait "$BPID" || rc=$?; BPID=""
+[ "$rc" = 0 ] || fail "fo_b shutdown exited $rc"
+rc=0; wait "$CPID" || rc=$?; CPID=""
+[ "$rc" = 0 ] || fail "fo_c shutdown exited $rc"
+
 echo "daemon_e2e: ok (SIGKILL: $acked acked, $recovered recovered;" \
-  "sharded ok; failover: $racked acked through the kill, $active recovered)"
+  "sharded ok; failover: $racked acked through the kill, $active recovered;" \
+  "auto-failover: healed via ${WSOCK##*/})"

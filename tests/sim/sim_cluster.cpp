@@ -177,7 +177,10 @@ SimCluster::SimCluster(std::size_t shards, std::size_t followers,
   sender_.emplace(primary_->router(), std::move(specs),
                   daemon::ReplOptions{.max_batch_bytes = std::size_t{1} << 20,
                                       .backoff_min_ms = 1,
-                                      .backoff_max_ms = 10});
+                                      .backoff_max_ms = 10,
+                                      .lease_ms = 0,
+                                      .hb_interval_ms = 0,
+                                      .on_stale_term = {}});
   primary_->router().attach_replication(&*sender_);
 }
 
@@ -222,6 +225,189 @@ bool SimCluster::wait_converged(std::chrono::milliseconds timeout) {
     if (all) return true;
     if (std::chrono::steady_clock::now() >= deadline) return false;
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+// ---- SimFailoverCluster --------------------------------------------------------
+
+SimFailoverCluster::SimFailoverCluster(std::size_t shards, std::size_t nodes,
+                                       std::uint64_t seed, SimTimings timings,
+                                       LinkFaults faults)
+    : shards_(shards), seed_(seed), timings_(timings), faults_(faults) {
+  members_.push_back(std::make_unique<Member>("node0", shards, seed));
+  for (std::size_t i = 1; i < nodes; ++i) {
+    members_.push_back(std::make_unique<Member>(
+        "node" + std::to_string(i), members_[0]->node, seed + 101 + i));
+  }
+  for (std::size_t i = 0; i < nodes * nodes; ++i) {
+    cut_.push_back(std::make_unique<std::atomic<bool>>(false));
+    attempts_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+  }
+  start_sender(0);
+  for (std::size_t i = 1; i < nodes; ++i) arm_watchdog(i);
+}
+
+SimFailoverCluster::~SimFailoverCluster() {
+  // Watchdogs first: after their threads join, no promotion can engage a
+  // new sender under the teardown.
+  for (auto& m : members_) {
+    if (m->watchdog) m->watchdog->stop();
+  }
+  for (std::size_t i = 0; i < members_.size(); ++i) stop_sender(i);
+}
+
+std::unique_ptr<daemon::ReplLink> SimFailoverCluster::make_link(
+    std::size_t from, std::size_t to) {
+  Member& target = *members_[to];
+  if (!target.node.alive()) return nullptr;
+  const std::size_t e = from * members_.size() + to;
+  // A fresh connection draws a fresh fault stream (see SimCluster).
+  const std::uint64_t attempt = attempts_[e]->fetch_add(1);
+  return std::make_unique<SimLink>(target.node, *cut_[e], faults_,
+                                   seed_ + 7919 * (attempt + 1) + e);
+}
+
+std::vector<daemon::FollowerSpec> SimFailoverCluster::peer_specs(
+    std::size_t i) {
+  std::vector<daemon::FollowerSpec> specs;
+  for (std::size_t j = 0; j < members_.size(); ++j) {
+    if (j == i) continue;
+    specs.push_back(daemon::FollowerSpec{
+        members_[j]->node.name(), [this, i, j] { return make_link(i, j); }});
+  }
+  return specs;
+}
+
+void SimFailoverCluster::start_sender(std::size_t i) {
+  Member& m = *members_[i];
+  std::lock_guard lk(m.repl_mu);
+  if (m.sender) return;
+  daemon::ReplOptions ro;
+  ro.max_batch_bytes = std::size_t{1} << 20;
+  ro.backoff_min_ms = 1;
+  ro.backoff_max_ms = 10;
+  ro.lease_ms = timings_.lease_ms;
+  ro.hb_interval_ms = timings_.hb_interval_ms;
+  ro.on_stale_term = [&m](std::uint64_t t) {
+    // The daemon also fail-stops and exits here; in-process, fencing the
+    // router is the part the ack contract depends on.
+    m.node.router().fence(t);
+  };
+  m.sender.emplace(m.node.router(), peer_specs(i), std::move(ro));
+  m.node.router().attach_replication(&*m.sender);
+}
+
+void SimFailoverCluster::stop_sender(std::size_t i) {
+  Member& m = *members_[i];
+  std::lock_guard lk(m.repl_mu);
+  if (!m.sender) return;
+  if (m.node.alive()) m.node.router().attach_replication(nullptr);
+  m.sender->stop();
+  m.sender.reset();
+}
+
+void SimFailoverCluster::arm_watchdog(std::size_t i) {
+  Member& m = *members_[i];
+  daemon::FailoverOptions fo;
+  fo.self = m.node.name();
+  fo.peers = peer_specs(i);
+  fo.hb_timeout_ms = timings_.hb_timeout_ms;
+  fo.election_min_ms = timings_.election_min_ms;
+  fo.election_max_ms = timings_.election_max_ms;
+  fo.backoff_max_ms = 200;
+  fo.seed = seed_ * 31 + i;
+  fo.on_promoted = [this, i](std::uint64_t) { start_sender(i); };
+  m.watchdog = std::make_unique<daemon::FailoverWatchdog>(m.node.router(),
+                                                          std::move(fo));
+}
+
+void SimFailoverCluster::set_cut(std::size_t from, std::size_t to, bool cut) {
+  cut_[from * members_.size() + to]->store(cut);
+}
+
+void SimFailoverCluster::isolate(std::size_t i, bool cut) {
+  for (std::size_t j = 0; j < members_.size(); ++j) {
+    if (j == i) continue;
+    set_cut(i, j, cut);
+    set_cut(j, i, cut);
+  }
+}
+
+void SimFailoverCluster::kill(std::size_t i) {
+  Member& m = *members_[i];
+  if (m.watchdog) {
+    m.watchdog->stop();
+    m.watchdog.reset();
+  }
+  stop_sender(i);
+  m.node.kill();
+}
+
+void SimFailoverCluster::restart_follower(std::size_t i, std::uint64_t seed) {
+  members_[i]->node.restart(/*follower=*/true, seed);
+  arm_watchdog(i);
+}
+
+void SimFailoverCluster::revive_as_primary(std::size_t i,
+                                           std::uint64_t seed) {
+  members_[i]->node.restart(/*follower=*/false, seed);
+  start_sender(i);
+}
+
+bool SimFailoverCluster::writable(std::size_t i) {
+  Member& m = *members_[i];
+  if (!m.node.alive()) return false;
+  daemon::ShardRouter& r = m.node.router();
+  return !r.follower() && !r.fenced() && !r.fatal();
+}
+
+std::size_t SimFailoverCluster::writable_count() {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (writable(i)) ++n;
+  }
+  return n;
+}
+
+std::optional<std::size_t> SimFailoverCluster::wait_for_primary(
+    std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    std::optional<std::size_t> best;
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      if (!writable(i)) continue;
+      if (!best ||
+          members_[i]->node.router().term() >
+              members_[*best]->node.router().term()) {
+        best = i;
+      }
+    }
+    if (best) return best;
+    if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+bool SimFailoverCluster::wait_converged(std::size_t primary,
+                                        std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    const auto head = members_[primary]->node.router().repl_positions();
+    bool all = true;
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      if (i == primary || !members_[i]->node.alive()) continue;
+      const auto pos = members_[i]->node.router().repl_positions();
+      for (std::size_t k = 0; k < head.size(); ++k) {
+        if (pos[k].generation != head[k].generation ||
+            pos[k].records != head[k].records ||
+            pos[k].chain_head != head[k].chain_head) {
+          all = false;
+        }
+      }
+    }
+    if (all) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
 }
 

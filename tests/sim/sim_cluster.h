@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "daemon/daemon.h"
+#include "daemon/failover.h"
 #include "daemon/repl.h"
 #include "daemon/shard.h"
 #include "store/file_io.h"
@@ -147,6 +148,95 @@ class SimCluster {
   /// fault stream.
   std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> attempts_;
   std::optional<daemon::ReplicationSender> sender_;
+};
+
+/// Armed failover timings (real milliseconds — the lease and watchdog run
+/// on wall clocks, so the sim keeps them small enough for a fast sweep but
+/// generous enough that sanitizer slowdown or machine load can't starve a
+/// healthy primary's sender past its own lease. lease_ms < hb_timeout_ms
+/// preserves fence-before-successor.
+struct SimTimings {
+  int lease_ms = 800;
+  int hb_interval_ms = 50;
+  int hb_timeout_ms = 1200;
+  int election_min_ms = 20;
+  int election_max_ms = 120;
+};
+
+/// A symmetric self-healing cluster (DESIGN.md Sect. 14): every node can
+/// hold the primary role. Node 0 starts as the primary with an ARMED
+/// ReplicationSender (majority-ack gate + lease + idle heartbeats); every
+/// other node starts as a follower running a FailoverWatchdog that
+/// election-promotes it once the primary goes silent. A sender that hears
+/// a stale-term NACK fences its router in place (the daemon additionally
+/// exits; in-process, the fence is the part acks depend on). Links are
+/// directional and cuttable per (from, to) pair, so asymmetric partitions
+/// are expressible.
+class SimFailoverCluster {
+ public:
+  SimFailoverCluster(std::size_t shards, std::size_t nodes,
+                     std::uint64_t seed, SimTimings timings = {},
+                     LinkFaults faults = {});
+  ~SimFailoverCluster();
+
+  SimNode& node(std::size_t i) { return members_[i]->node; }
+  std::size_t nodes() const { return members_.size(); }
+  std::size_t shards() const { return shards_; }
+
+  /// Cuts (true) or heals (false) the directional link from -> to.
+  void set_cut(std::size_t from, std::size_t to, bool cut);
+  /// Cuts (or heals) every link touching `i` — a full one-node partition.
+  void isolate(std::size_t i, bool cut);
+
+  /// Stops node i's watchdog and sender, then power-cuts it.
+  void kill(std::size_t i);
+  /// Reboots a killed node as an armed follower (watchdog re-armed) — the
+  /// supervisor restart after a crash or a fenced exit.
+  void restart_follower(std::size_t i, std::uint64_t seed);
+  /// Reboots a killed ex-primary as a ZOMBIE: it comes back believing it
+  /// is still the primary (armed sender, no startup probe) and must be
+  /// fenced by the cluster's higher term before it can ack anything.
+  void revive_as_primary(std::size_t i, std::uint64_t seed);
+
+  /// Node i is alive, holds the primary role, and is neither fenced nor
+  /// fail-stopped — it would still try to ack writes.
+  bool writable(std::size_t i);
+  /// Count of writable nodes right now (the split-brain probe).
+  std::size_t writable_count();
+  /// Polls until at least one node is writable; returns the writable node
+  /// with the highest term, or nullopt on timeout.
+  std::optional<std::size_t> wait_for_primary(
+      std::chrono::milliseconds timeout);
+  /// Every LIVE node matches node `primary`'s per-shard generation, record
+  /// count AND chain head (chain equality means byte-identical WALs).
+  bool wait_converged(std::size_t primary, std::chrono::milliseconds timeout);
+
+ private:
+  struct Member {
+    template <typename... Args>
+    explicit Member(Args&&... args) : node(std::forward<Args>(args)...) {}
+    SimNode node;
+    /// Engage/stop guard, like the daemon's repl_mu_: the watchdog thread
+    /// engages the sender on promotion while the driver tears it down.
+    std::mutex repl_mu;
+    std::optional<daemon::ReplicationSender> sender;
+    std::unique_ptr<daemon::FailoverWatchdog> watchdog;
+  };
+
+  std::unique_ptr<daemon::ReplLink> make_link(std::size_t from,
+                                              std::size_t to);
+  std::vector<daemon::FollowerSpec> peer_specs(std::size_t i);
+  void start_sender(std::size_t i);
+  void stop_sender(std::size_t i);
+  void arm_watchdog(std::size_t i);
+
+  std::size_t shards_;
+  std::uint64_t seed_;
+  SimTimings timings_;
+  LinkFaults faults_;
+  std::vector<std::unique_ptr<Member>> members_;
+  std::vector<std::unique_ptr<std::atomic<bool>>> cut_;  // N*N, from*N+to
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> attempts_;
 };
 
 }  // namespace dfky::sim

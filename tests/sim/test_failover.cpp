@@ -1,0 +1,302 @@
+// Seeded self-healing-cluster workloads (DESIGN.md Sect. 14) over the
+// symmetric failover simulator. Every test sweeps DFKY_SIM_SEEDS seeds
+// (default 5; CI sanitizer sweeps run 20) and reports the failing seed via
+// SCOPED_TRACE. The invariants, per seed:
+//
+//   * SIGKILLing the primary auto-promotes a follower within the election
+//     timeout and loses ZERO acked mutations — in-process requests are
+//     synchronous, so the surviving state must match the acked count
+//     exactly;
+//   * a partitioned primary loses its lease and NACKs (fail-stop) BEFORE
+//     any successor is elected — at no point do two nodes ack writes;
+//   * a revived zombie primary is fenced with a distinct stale-term NACK,
+//     never silently commits, and re-seeds over the wire to a WAL
+//     byte-identical with the new primary's;
+//   * a partition landing anywhere inside the new-period barrier leaves
+//     every node on ONE epoch once the cluster heals — acked barriers
+//     survive, un-acked ones either never happened or roll forward under
+//     the new term.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "daemon/protocol.h"
+#include "sim/sim_cluster.h"
+#include "store/store.h"
+
+namespace dfky::sim {
+namespace {
+
+using daemon::Response;
+
+std::size_t sweep_seeds() {
+  if (const char* env = std::getenv("DFKY_SIM_SEEDS")) {
+    const auto n = daemon::parse_u64(env);
+    if (n && *n > 0) return static_cast<std::size_t>(*n);
+  }
+  return 5;
+}
+
+constexpr auto kElectBudget = std::chrono::seconds(20);
+constexpr auto kConvergeBudget = std::chrono::seconds(20);
+
+Response ok(SimNode& node, const std::string& line) {
+  const auto raw = node.request(line);
+  EXPECT_TRUE(raw.has_value()) << line << " on a dead node";
+  if (!raw) return Response{};
+  const auto r = daemon::parse_response(*raw);
+  EXPECT_TRUE(r.has_value()) << line << " -> " << *raw;
+  if (!r) return Response{};
+  EXPECT_TRUE(r->ok) << line << " -> " << *raw;
+  return *r;
+}
+
+/// A request that must NOT ack; returns the daemon's error text.
+std::string expect_nack(SimNode& node, const std::string& line) {
+  const auto raw = node.request(line);
+  EXPECT_TRUE(raw.has_value()) << line << " on a dead node";
+  if (!raw) return "";
+  const auto r = daemon::parse_response(*raw);
+  EXPECT_TRUE(r.has_value()) << line << " -> " << *raw;
+  if (!r) return "";
+  EXPECT_FALSE(r->ok) << line << " unexpectedly acked: " << *raw;
+  return r->error;
+}
+
+/// `ops` acked add-users against node `i`; returns how many acked (which
+/// must be all of them unless the caller said failures are expected).
+std::size_t add_users(SimFailoverCluster& c, std::size_t i, std::size_t ops) {
+  for (std::size_t n = 0; n < ops; ++n) ok(c.node(i), "add-user");
+  return ops;
+}
+
+std::uint64_t field_u64(const Response& r, const std::string& key) {
+  return *daemon::parse_u64(r.fields.at(key));
+}
+
+/// All shard periods of `node` equal; returns that one epoch.
+std::uint64_t one_epoch(SimNode& node) {
+  const Response st = ok(node, "status");
+  const std::string periods = st.fields.at("periods");
+  std::set<std::string> distinct;
+  std::size_t from = 0;
+  while (from <= periods.size()) {
+    const std::size_t comma = periods.find(',', from);
+    distinct.insert(periods.substr(
+        from, comma == std::string::npos ? std::string::npos : comma - from));
+    if (comma == std::string::npos) break;
+    from = comma + 1;
+  }
+  EXPECT_EQ(distinct.size(), 1u) << "mixed epochs: " << periods;
+  return field_u64(st, "period");
+}
+
+/// Durable WALs of `a` and `b` are byte-identical, shard by shard.
+void expect_byte_identical(SimNode& a, SimNode& b, std::size_t shards) {
+  MemFileIo da = a.durable_disk();
+  MemFileIo db = b.durable_disk();
+  for (std::size_t k = 0; k < shards; ++k) {
+    const std::string dir = "store/" + shard_dir_name(k);
+    const WalInspection wa = inspect_store_wal(da, dir);
+    const WalInspection wb = inspect_store_wal(db, dir);
+    ASSERT_TRUE(wa.ok);
+    ASSERT_TRUE(wb.ok);
+    EXPECT_EQ(wa.generation, wb.generation) << "shard " << k;
+    EXPECT_EQ(wa.records, wb.records) << "shard " << k;
+    EXPECT_EQ(wa.chain_head_hex, wb.chain_head_hex) << "shard " << k;
+    EXPECT_EQ(wa.frames, wb.frames) << "shard " << k;
+  }
+}
+
+// ---- workloads -----------------------------------------------------------------
+
+TEST(SimFailover, KillPrimaryAutoPromotesWithoutAckedLoss) {
+  for (std::uint64_t seed = 1; seed <= sweep_seeds(); ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    SimFailoverCluster c(/*shards=*/2, /*nodes=*/3, seed);
+    const std::size_t acked = add_users(c, 0, 10);
+
+    c.kill(0);  // SIGKILL, mid-cluster; no manual promote follows
+    const auto np = c.wait_for_primary(kElectBudget);
+    ASSERT_TRUE(np.has_value()) << "no follower auto-promoted";
+    ASSERT_NE(*np, 0u);
+
+    // Requests are synchronous, so an ok response IS the full acked set:
+    // the auto-promoted node must hold exactly the acked users (the armed
+    // majority gate put every one of them on a quorum).
+    const Response st = ok(c.node(*np), "status");
+    EXPECT_EQ(field_u64(st, "active"), acked);
+    EXPECT_GE(field_u64(st, "term"), 1u);  // promoted under a fresh term
+    one_epoch(c.node(*np));
+
+    // Writes flow again through the new primary, and the surviving
+    // follower tails its stream.
+    add_users(c, *np, 3);
+    ASSERT_TRUE(c.wait_converged(*np, kConvergeBudget));
+    EXPECT_EQ(c.writable_count(), 1u);
+    for (std::size_t i = 1; i < c.nodes(); ++i) {
+      if (i == *np) continue;
+      expect_byte_identical(c.node(*np), c.node(i), c.shards());
+    }
+  }
+}
+
+TEST(SimFailover, PartitionedPrimaryFencesBeforeSuccessorServes) {
+  for (std::uint64_t seed = 1; seed <= sweep_seeds(); ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    SimFailoverCluster c(/*shards=*/2, /*nodes=*/3, seed);
+    const std::size_t acked = add_users(c, 0, 6);
+
+    // Full partition of the primary. Its next write must NACK: the armed
+    // gate cannot reach a majority and the lease expires — and because
+    // lease_ms < the followers' hb_timeout_ms, this happens BEFORE any
+    // follower can campaign. The NACK fail-stops the node.
+    c.isolate(0, true);
+    expect_nack(c.node(0), "add-user");
+    EXPECT_FALSE(c.writable(0));
+
+    // The majority side elects a successor and serves.
+    const auto np = c.wait_for_primary(kElectBudget);
+    ASSERT_TRUE(np.has_value());
+    ASSERT_NE(*np, 0u);
+    add_users(c, *np, 4);
+    EXPECT_EQ(c.writable_count(), 1u);  // never two writable primaries
+
+    // Heal; the fail-stopped ex-primary restarts as a follower (the
+    // supervisor path after a fenced/fail-stop exit) and re-seeds —
+    // including truncating the un-acked record its failed write may have
+    // staged locally.
+    c.isolate(0, false);
+    c.kill(0);
+    c.restart_follower(0, seed + 500);
+    ASSERT_TRUE(c.wait_converged(*np, kConvergeBudget));
+    EXPECT_EQ(field_u64(ok(c.node(0), "status"), "active"), acked + 4);
+    expect_byte_identical(c.node(*np), c.node(0), c.shards());
+    EXPECT_EQ(c.writable_count(), 1u);
+  }
+}
+
+TEST(SimFailover, RevivedZombieIsFencedAndReseededByteIdentical) {
+  for (std::uint64_t seed = 1; seed <= sweep_seeds(); ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    SimFailoverCluster c(/*shards=*/2, /*nodes=*/3, seed);
+    const std::size_t shared = add_users(c, 0, 8);
+
+    c.kill(0);
+    const auto np = c.wait_for_primary(kElectBudget);
+    ASSERT_TRUE(np.has_value());
+    ASSERT_NE(*np, 0u);
+    add_users(c, *np, 5);  // history the zombie never saw
+
+    // The dead ex-primary reboots still believing it is the primary. Its
+    // own armed sender hears the cluster's higher term on the first
+    // exchange and fences it: the write NACKs with the DISTINCT
+    // stale-term error, and nothing is silently committed.
+    c.revive_as_primary(0, seed + 900);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(20);
+    std::string err;
+    while (true) {
+      err = expect_nack(c.node(0), "add-user");
+      if (err.rfind("stale-term", 0) == 0 ||
+          std::chrono::steady_clock::now() >= deadline) {
+        break;
+      }
+      // Before the fence lands the write can also die on the expired
+      // lease (a group-commit fail-stop) — equally un-acked; keep probing
+      // until the fence itself is observable.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_EQ(err.rfind("stale-term", 0), 0u) << err;
+    EXPECT_FALSE(c.writable(0));
+    EXPECT_EQ(field_u64(ok(c.node(*np), "status"), "active"), shared + 5);
+
+    // Fenced exit + follower restart: the new primary's sender walks the
+    // zombie back past any forked suffix (repl-truncate) and re-seeds it
+    // over the wire to a byte-identical WAL.
+    c.kill(0);
+    c.restart_follower(0, seed + 901);
+    const bool conv = c.wait_converged(*np, kConvergeBudget);
+    if (!conv) {
+      for (std::size_t i = 0; i < c.nodes(); ++i) {
+        if (!c.node(i).alive()) continue;
+        fprintf(stderr, "node%zu repl-status: %s\n", i,
+                c.node(i).request("repl-status").value_or("<dead>").c_str());
+        fprintf(stderr, "node%zu health: %s\n", i,
+                c.node(i).request("health").value_or("<dead>").c_str());
+      }
+    }
+    ASSERT_TRUE(conv);
+    const Response st = ok(c.node(0), "status");
+    EXPECT_EQ(field_u64(st, "active"), shared + 5);
+    EXPECT_EQ(field_u64(st, "term"),
+              field_u64(ok(c.node(*np), "status"), "term"));
+    expect_byte_identical(c.node(*np), c.node(0), c.shards());
+    EXPECT_EQ(c.writable_count(), 1u);
+  }
+}
+
+TEST(SimFailover, PartitionDuringBarrierLeavesSingleEpoch) {
+  for (std::uint64_t seed = 1; seed <= sweep_seeds(); ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    SimFailoverCluster c(/*shards=*/3, /*nodes=*/3, seed);
+    const std::size_t acked = add_users(c, 0, 6);
+
+    // Cut the primary off at a seeded offset inside the barrier's window:
+    // early cuts abort it on the prepare gate, late ones land mid-roll or
+    // after the commit gate — every placement must end on one epoch.
+    std::mt19937_64 rng(seed * 13 + 7);
+    const auto cut_after = std::chrono::microseconds(rng() % 3000);
+    std::thread cutter([&] {
+      std::this_thread::sleep_for(cut_after);
+      c.isolate(0, true);
+    });
+    const auto raw = c.node(0).request("new-period");
+    cutter.join();
+    ASSERT_TRUE(raw.has_value());
+    const bool barrier_acked = daemon::parse_response(*raw)->ok;
+
+    // However the barrier ended, the isolated primary can never ack
+    // again. A cut that landed after the barrier's last follower sync
+    // leaves it idle and still *believing* it is primary — which is fine
+    // (it cannot know) — so force the observation: its next ack attempt
+    // waits out the lease, NACKs, and fail-stops it. Then the majority
+    // side heals itself.
+    expect_nack(c.node(0), "add-user");
+    EXPECT_FALSE(c.writable(0));
+    const auto np = c.wait_for_primary(kElectBudget);
+    ASSERT_TRUE(np.has_value());
+    ASSERT_NE(*np, 0u);
+    const std::uint64_t epoch = one_epoch(c.node(*np));
+    if (barrier_acked) {
+      EXPECT_GE(epoch, 1u);  // acked barriers survive
+    }
+
+    // Heal + supervisor restart of the ex-primary; whatever partial rolls
+    // its WAL holds are truncated away by the re-seed. Every node ends on
+    // the new primary's single epoch.
+    c.isolate(0, false);
+    c.kill(0);
+    c.restart_follower(0, seed + 700);
+    ASSERT_TRUE(c.wait_converged(*np, kConvergeBudget));
+    add_users(c, *np, 1);  // the healed cluster still acks
+    ASSERT_TRUE(c.wait_converged(*np, kConvergeBudget));
+    for (std::size_t i = 0; i < c.nodes(); ++i) {
+      if (i == *np) continue;
+      EXPECT_EQ(one_epoch(c.node(i)), one_epoch(c.node(*np))) << "node " << i;
+      expect_byte_identical(c.node(*np), c.node(i), c.shards());
+    }
+    const Response st = ok(c.node(*np), "status");
+    EXPECT_EQ(field_u64(st, "active"), acked + 1);
+    EXPECT_EQ(c.writable_count(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace dfky::sim

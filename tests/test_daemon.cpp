@@ -624,15 +624,15 @@ struct ReplFixture {
       StateStore& st = prim->store(k);
       if (pos.generation != st.generation()) {
         ok(*fh, "repl-snap " + std::to_string(k) + " " +
-                    std::to_string(st.generation()) + " " +
+                    std::to_string(st.generation()) + " 0 " +
                     hex_encode(st.read_snapshot_frame()));
-        pos = ShardRouter::ReplPosition{st.generation(), 0};
+        pos = ShardRouter::ReplPosition{st.generation(), 0, {}};
       }
       const WalShipment ship = st.read_frames_from(pos.records);
       if (ship.records == 0) continue;
       const Response r =
           ok(*fh, "repl-append " + std::to_string(k) + " " +
-                      std::to_string(ship.generation) + " " +
+                      std::to_string(ship.generation) + " 0 " +
                       std::to_string(ship.start_record) + " " +
                       hex_encode(ship.frames));
       EXPECT_EQ(r.fields.at("seq"), std::to_string(st.wal_records()));
@@ -654,8 +654,8 @@ TEST(Replication, FollowerRejectsMutationsAndReportsItsRole) {
 
   // And a primary refuses the replica-ingest verbs: its committers own
   // the WAL, a concurrent stream would race them.
-  EXPECT_NE(f.err(*f.ph, "repl-append 0 0 0 ab"), "");
-  EXPECT_NE(f.err(*f.ph, "repl-snap 0 1 ab"), "");
+  EXPECT_NE(f.err(*f.ph, "repl-append 0 0 0 0 ab"), "");
+  EXPECT_NE(f.err(*f.ph, "repl-snap 0 1 0 ab"), "");
 }
 
 TEST(Replication, WireVerbsConvergeTheFollower) {
@@ -682,7 +682,8 @@ TEST(Replication, WireVerbsConvergeTheFollower) {
     const StateStore& st = f.prim->store(k);
     EXPECT_EQ(rs.fields.at("s" + std::to_string(k)),
               std::to_string(st.generation()) + ":" +
-                  std::to_string(st.wal_records()));
+                  std::to_string(st.wal_records()) + ":" +
+                  st.chain_head_hex());
   }
 
   // Duplicate re-delivery of the full history is acked, not re-applied.
@@ -691,7 +692,7 @@ TEST(Replication, WireVerbsConvergeTheFollower) {
     const WalShipment ship = f.prim->store(k).read_frames_from(0);
     if (ship.records == 0) continue;
     f.ok(*f.fh, "repl-append " + std::to_string(k) + " " +
-                    std::to_string(ship.generation) + " 0 " +
+                    std::to_string(ship.generation) + " 0 0 " +
                     hex_encode(ship.frames));
   }
   EXPECT_EQ(f.ok(*f.fh, "status").fields.at("wal_records"), before);
@@ -749,7 +750,7 @@ TEST(Replication, PromoteEqualizesMixedEpochs) {
   // Ship only shard 0.
   const WalShipment ship = f.prim->store(0).read_frames_from(0);
   ASSERT_GT(ship.records, 0u);
-  f.ok(*f.fh, "repl-append 0 " + std::to_string(ship.generation) + " 0 " +
+  f.ok(*f.fh, "repl-append 0 " + std::to_string(ship.generation) + " 0 0 " +
                   hex_encode(ship.frames));
   EXPECT_EQ(f.ok(*f.fh, "status").fields.at("periods"), "1,0");
 

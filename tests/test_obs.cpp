@@ -210,6 +210,25 @@ TEST(ObsExporters, PrometheusGolden) {
   EXPECT_EQ(lines_with_prefix(prom, "t_golden_"), expected);
 }
 
+TEST(ObsExporters, FailoverSeriesGolden) {
+  // The self-healing cluster's scrape surface (DESIGN.md Sect. 14), pinned
+  // by name: dashboards and dfky_top key on these exact series.
+  obs::gauge("dfky_repl_term").set(4);
+  obs::gauge("dfky_watchdog_state").set(1);  // watching
+  obs::counter("dfky_failovers_total").inc();
+  obs::counter("dfky_fenced_writes_total").inc(2);
+
+  const std::string prom = obs::MetricsRegistry::instance().prometheus();
+  EXPECT_EQ(lines_with_prefix(prom, "dfky_repl_term"),
+            std::vector<std::string>{"dfky_repl_term 4"});
+  EXPECT_EQ(lines_with_prefix(prom, "dfky_watchdog_state"),
+            std::vector<std::string>{"dfky_watchdog_state 1"});
+  EXPECT_EQ(lines_with_prefix(prom, "dfky_failovers_total"),
+            std::vector<std::string>{"dfky_failovers_total 1"});
+  EXPECT_EQ(lines_with_prefix(prom, "dfky_fenced_writes_total"),
+            std::vector<std::string>{"dfky_fenced_writes_total 2"});
+}
+
 TEST(ObsExporters, JsonlGoldenAndParsesBack) {
   obs::counter("t_jgold_total", {{"b", "2"}, {"a", "1"}}).inc(5);
   const std::string out = obs::MetricsRegistry::instance().jsonl();

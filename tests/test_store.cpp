@@ -1002,5 +1002,119 @@ TEST(Replication, InspectStoreWalComparesReplicas) {
                           wp.frames.begin()));
 }
 
+TEST(Term, PersistsMonotonicallyAcrossReopen) {
+  ReplicaPair p;
+  EXPECT_EQ(p.prim->term(), 0u);  // no TERM file = term 0
+
+  p.prim->set_term(7);
+  EXPECT_EQ(p.prim->term(), 7u);
+  p.prim->set_term(3);  // terms only move forward
+  EXPECT_EQ(p.prim->term(), 7u);
+
+  MemFileIo cut = p.pfs;
+  cut.crash();  // set_term is durable the moment it returns
+  StateStore reopened = StateStore::open(cut, "store");
+  EXPECT_EQ(reopened.term(), 7u);
+}
+
+TEST(Term, CorruptOrAbsentFileReadsZero) {
+  ReplicaPair p;
+  p.prim->set_term(5);
+  MemFileIo cut = p.pfs;
+  cut.crash();  // also drops prim's LOCK so reopening is legal
+
+  // Flip a byte of the persisted payload: the CRC rejects it and open()
+  // degrades to term 0 (an old-primary restart then loses any election to
+  // a node with a real term — safe, just conservative).
+  const std::string path = std::string("store/") + StateStore::kTermFile;
+  Bytes raw = cut.read(path);
+  raw[raw.size() / 2] ^= 0x01;
+  cut.write(path, raw);
+  {
+    StateStore reopened = StateStore::open(cut, "store");
+    EXPECT_EQ(reopened.term(), 0u);
+  }
+  MemFileIo gone = p.pfs;
+  gone.crash();
+  gone.remove(path);
+  StateStore reopened = StateStore::open(gone, "store");
+  EXPECT_EQ(reopened.term(), 0u);
+}
+
+TEST(Term, ChainTagAtMatchesPrefixBoundaries) {
+  ReplicaPair p;
+  ChaChaRng rng(kScriptSeed);
+  script_base_manager(rng);
+  run_script(*p.prim, rng, [] {});
+  const std::uint64_t n = p.prim->wal_records();
+  ASSERT_GT(n, 1u);
+
+  EXPECT_EQ(p.prim->chain_tag_hex_at(n), p.prim->chain_head_hex());
+  EXPECT_EQ(p.foll->chain_tag_hex_at(0), p.prim->chain_tag_hex_at(0));
+  EXPECT_THROW(p.prim->chain_tag_hex_at(n + 1), DecodeError);
+
+  // A follower holding a true prefix agrees with the primary at every
+  // shared depth — the divergence probe the sender runs.
+  const WalShipment all = p.prim->read_frames_from(0);
+  const WalShipment head = p.prim->read_frames_from(0, all.frames.size() - 1);
+  p.foll->replica_apply_frames(head.generation, 0, head.frames);
+  for (std::uint64_t i = 0; i <= head.records; ++i) {
+    EXPECT_EQ(p.foll->chain_tag_hex_at(i), p.prim->chain_tag_hex_at(i)) << i;
+  }
+}
+
+TEST(Term, ReplicaTruncateDropsAForkedSuffixAndRejoins) {
+  // A fenced ex-primary holds the shared history plus a forked (NACKed)
+  // suffix; replica_truncate must cut exactly at the divergence point,
+  // rebuild the manager from the retained prefix, and leave the store
+  // able to tail the new primary's stream again.
+  ReplicaPair p;
+  ChaChaRng rng(kScriptSeed);
+  script_base_manager(rng);
+  run_script(*p.prim, rng, [&] { p.ship_all(); });
+  p.expect_identical();
+  const std::uint64_t shared = p.prim->wal_records();
+  const Bytes shared_state = p.prim->manager().save_state();
+
+  // The (about-to-be-fenced) primary writes two records past the fence...
+  ChaChaRng fork_rng(4242);
+  p.prim->add_user(fork_rng);
+  p.prim->add_user(fork_rng);
+  ASSERT_EQ(p.prim->wal_records(), shared + 2);
+  // ...while the promoted follower's history moves on independently.
+  ChaChaRng new_rng(8888);
+  p.foll->add_user(new_rng);
+
+  // Wrong tag (the new primary's head, not the tag at the cut): refused,
+  // nothing changes.
+  EXPECT_THROW(p.prim->replica_truncate(p.prim->generation(), shared,
+                                        p.foll->chain_head_hex()),
+               DecodeError);
+  EXPECT_EQ(p.prim->wal_records(), shared + 2);
+
+  // The sender's walk lands on the last agreeing depth.
+  const std::uint64_t after = p.prim->replica_truncate(
+      p.prim->generation(), shared, p.foll->chain_tag_hex_at(shared));
+  EXPECT_EQ(after, shared);
+  EXPECT_EQ(p.prim->wal_records(), shared);
+  EXPECT_EQ(p.prim->chain_head_hex(), p.prim->chain_tag_hex_at(shared));
+  EXPECT_EQ(p.prim->manager().save_state(), shared_state);
+
+  // Re-seeded over the wire: the ex-primary tails the new history and the
+  // pair is byte-identical again (roles swapped vs the fixture helpers).
+  const WalShipment ship = p.foll->read_frames_from(shared);
+  p.prim->replica_apply_frames(ship.generation, ship.start_record,
+                               ship.frames);
+  EXPECT_EQ(p.prim->chain_head_hex(), p.foll->chain_head_hex());
+  EXPECT_EQ(p.prim->manager().save_state(), p.foll->manager().save_state());
+
+  // And the truncation is durable, not an in-memory fiction.
+  MemFileIo cut = p.pfs;
+  cut.crash();
+  StateStore reopened = StateStore::open(cut, "store");
+  EXPECT_EQ(reopened.wal_records(), p.foll->wal_records());
+  EXPECT_EQ(reopened.chain_head_hex(), p.foll->chain_head_hex());
+}
+
 }  // namespace
 }  // namespace dfky

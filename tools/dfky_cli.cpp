@@ -805,7 +805,7 @@ int cmd_client(std::vector<std::string> args) {
     die_usage(
         "client: usage: client <socket> "
         "(ping|status|add|revoke|new-period|encrypt|pipeline|repl-status"
-        "|health|trace|promote|shutdown) ...");
+        "|health|trace|promote|demote|shutdown) ...");
   }
   const std::string sock = args[0];
   const std::string sub = args[1];
@@ -851,10 +851,38 @@ int cmd_client(std::vector<std::string> args) {
   if (sub == "promote") {
     reject_unknown_flags(args, "client promote");
     const daemon::Response r = expect_ok(daemon_request(sock, "promote"));
-    std::printf("promoted to %s at period %s (%s WAL record(s))\n",
-                response_field(r, "role").c_str(),
+    const auto already = r.fields.find("already");
+    const auto term = r.fields.find("term");
+    const std::string term_sfx =
+        term != r.fields.end() ? " at term " + term->second : std::string();
+    if (already != r.fields.end() && already->second == "1") {
+      // Idempotent re-promote: report it distinctly (exit 3) so failover
+      // scripts can tell "I won" from "someone beat me to it".
+      std::printf("already primary%s (period %s)\n", term_sfx.c_str(),
+                  response_field(r, "period").c_str());
+      return 3;
+    }
+    std::printf("promoted to %s%s at period %s (%s WAL record(s))\n",
+                response_field(r, "role").c_str(), term_sfx.c_str(),
                 response_field(r, "period").c_str(),
                 response_field(r, "wal_records").c_str());
+    return 0;
+  }
+  if (sub == "demote") {
+    reject_unknown_flags(args, "client demote");
+    const daemon::Response r = expect_ok(daemon_request(sock, "demote"));
+    const auto already = r.fields.find("already");
+    const auto term = r.fields.find("term");
+    const std::string term_sfx =
+        term != r.fields.end() ? " at term " + term->second : std::string();
+    if (already != r.fields.end() && already->second == "1") {
+      std::printf("already a follower%s (period %s)\n", term_sfx.c_str(),
+                  response_field(r, "period").c_str());
+      return 3;
+    }
+    std::printf("demoted to %s%s at period %s\n",
+                response_field(r, "role").c_str(), term_sfx.c_str(),
+                response_field(r, "period").c_str());
     return 0;
   }
   if (sub == "shutdown") {
@@ -1253,7 +1281,8 @@ void usage(std::FILE* to) {
       "        up to W in flight on one connection; replies printed in\n"
       "        input order) | repl-status | health  (cluster verdict\n"
       "        ok/degraded/fail; exit 1 unless ok) | trace [max]  (recent +\n"
-      "        slow request traces as JSONL) | promote | shutdown\n"
+      "        slow request traces as JSONL) | promote | demote  (role\n"
+      "        flips; re-promote/re-demote exits 3 \"already\") | shutdown\n"
       "      connects retry transient failures with capped exponential\n"
       "      backoff: --retry-ms B (initial delay, default 25, doubling to\n"
       "      500ms) --retry-max N (attempts, default 40; 0 or 1 disables)\n"

@@ -179,6 +179,8 @@ void render(const std::string& metrics, const std::string& trace_jsonl) {
 
   // Replication identity and follower state from the repl gauges.
   std::string role = "unknown";
+  double term = -1;            // dfky_repl_term; -1 = not exported
+  double watchdog_state = -1;  // dfky_watchdog_state; -1 = no watchdog
   std::map<std::string, double> follower_live;
   std::map<std::string, double> follower_lag_frames;
   std::map<std::string, VerbHist> verbs;
@@ -186,6 +188,10 @@ void render(const std::string& metrics, const std::string& trace_jsonl) {
     if (s.name == "dfkyd_role" && s.value > 0) {
       const auto it = s.labels.find("role");
       if (it != s.labels.end()) role = it->second;
+    } else if (s.name == "dfky_repl_term") {
+      term = s.value;
+    } else if (s.name == "dfky_watchdog_state") {
+      watchdog_state = s.value;
     } else if (s.name == "dfkyd_repl_follower_live") {
       const auto it = s.labels.find("follower");
       if (it != s.labels.end()) follower_live[it->second] = s.value;
@@ -252,7 +258,18 @@ void render(const std::string& metrics, const std::string& trace_jsonl) {
     }
   }
 
-  std::printf("dfkyd  role=%s  followers:", role.c_str());
+  // Keep the new identity fields AFTER role= — scripts anchor on the
+  // `^dfkyd  role=...` prefix.
+  std::printf("dfkyd  role=%s", role.c_str());
+  if (term >= 0) std::printf("  term=%.0f", term);
+  if (watchdog_state >= 0) {
+    static const char* kWatchdog[] = {"idle", "watching", "electing",
+                                      "promoted"};
+    const int ws = static_cast<int>(watchdog_state);
+    std::printf("  watchdog=%s",
+                ws >= 0 && ws < 4 ? kWatchdog[ws] : "?");
+  }
+  std::printf("  followers:");
   if (follower_live.empty()) std::printf(" none");
   for (const auto& [name, live] : follower_live) {
     const auto lag = follower_lag_frames.find(name);

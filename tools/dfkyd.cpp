@@ -19,6 +19,8 @@ int usage(std::FILE* out) {
                "usage: dfkyd <store-dir> --socket PATH [--metrics-port N]\n"
                "             [--snapshot-every N] [--trace-slow-us N]\n"
                "             [--follower] [--replicate-to PATH]...\n"
+               "             [--auto-failover]\n"
+               "             [--failover-timings LEASE,HB,TIMEOUT,EMIN,EMAX]\n"
                "\n"
                "Serves the store over a newline protocol (see dfky_cli\n"
                "client). A shard root (init --store --shards N) is detected\n"
@@ -35,7 +37,18 @@ int usage(std::FILE* out) {
                "promote` flips it to primary). --replicate-to PATH (repeatable)\n"
                "streams this primary's WAL to the follower daemon listening on\n"
                "each PATH; mutations are acknowledged only after every live\n"
-               "follower acked them.\n");
+               "follower acked them.\n"
+               "\n"
+               "Self-healing (DESIGN.md Sect. 14): --auto-failover arms\n"
+               "lease-fenced failover. Give EVERY node the same symmetric\n"
+               "--replicate-to peer list (each node lists every OTHER member).\n"
+               "A primary then acks only while a majority of followers holds\n"
+               "each batch, followers watchdog the primary and auto-promote\n"
+               "the most-caught-up one when it dies, and a revived stale\n"
+               "primary is fenced (exits nonzero) instead of splitting\n"
+               "history. --failover-timings tunes, in ms: ack lease, heartbeat\n"
+               "interval, silence timeout, election delay min, max (defaults\n"
+               "750,200,1000,100,400; keep lease <= timeout).\n");
   return out == stdout ? 0 : 2;
 }
 
@@ -51,6 +64,45 @@ int main(int argc, char** argv) {
     if (a == "--help" || a == "-h") return usage(stdout);
     if (a == "--follower") {
       opts.follower = true;
+      continue;
+    }
+    if (a == "--auto-failover") {
+      opts.auto_failover = true;
+      continue;
+    }
+    if (a == "--failover-timings") {
+      if (i + 1 == args.size()) {
+        std::fprintf(stderr, "dfkyd: %s needs a value\n", a.c_str());
+        return usage(stderr);
+      }
+      const std::string& v = args[++i];
+      int* const dst[] = {&opts.lease_ms, &opts.hb_interval_ms,
+                          &opts.hb_timeout_ms, &opts.election_min_ms,
+                          &opts.election_max_ms};
+      std::size_t pos = 0;
+      bool bad = false;
+      for (std::size_t f = 0; f < 5 && !bad; ++f) {
+        const std::size_t comma = v.find(',', pos);
+        if ((f < 4) != (comma != std::string::npos)) {
+          bad = true;
+          break;
+        }
+        const auto n = parse_u64(v.substr(
+            pos, comma == std::string::npos ? std::string::npos : comma - pos));
+        if (!n || *n == 0 || *n > 600000) {
+          bad = true;
+          break;
+        }
+        *dst[f] = static_cast<int>(*n);
+        pos = comma + 1;
+      }
+      if (bad) {
+        std::fprintf(stderr,
+                     "dfkyd: --failover-timings wants five positive ms values "
+                     "'lease,hb,timeout,emin,emax', got '%s'\n",
+                     v.c_str());
+        return usage(stderr);
+      }
       continue;
     }
     if (a == "--replicate-to") {
@@ -122,10 +174,26 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "dfkyd: a store directory and --socket are required\n");
     return usage(stderr);
   }
-  if (opts.follower && !opts.replicate_to.empty()) {
+  if (opts.follower && !opts.replicate_to.empty() && !opts.auto_failover) {
     std::fprintf(stderr,
                  "dfkyd: --follower and --replicate-to are mutually exclusive "
-                 "(a follower becomes a sender only after `promote`)\n");
+                 "without --auto-failover (a follower becomes a sender only "
+                 "after `promote`; with auto-failover the symmetric peer list "
+                 "is how a promoted follower finds its followers)\n");
+    return usage(stderr);
+  }
+  if (opts.auto_failover && opts.replicate_to.empty()) {
+    std::fprintf(stderr,
+                 "dfkyd: --auto-failover needs --replicate-to peers (the "
+                 "symmetric cluster member list)\n");
+    return usage(stderr);
+  }
+  if (opts.auto_failover && opts.lease_ms > opts.hb_timeout_ms) {
+    std::fprintf(stderr,
+                 "dfkyd: --failover-timings: lease (%d) must not exceed the "
+                 "silence timeout (%d) — a deposed primary must fence itself "
+                 "before any follower campaigns\n",
+                 opts.lease_ms, opts.hb_timeout_ms);
     return usage(stderr);
   }
 
