@@ -305,6 +305,11 @@ std::string RequestHandler::dispatch(const std::vector<std::string>& tokens) {
   if (verb == "promote") {
     if (tokens.size() != 1) return err_response("promote takes no arguments");
     const ShardRouter::PromoteResult r = router_.promote();
+    // A fresh primary must replicate before it acks: without the sender
+    // the post_sync gate is a no-op and every mutation acks standalone,
+    // silently voiding the armed majority-ack contract. Idempotent
+    // re-promotes skip it — the sender is already running.
+    if (!r.already && hooks_.post_promote) hooks_.post_promote();
     const ShardRouter::Status st = router_.status();
     return ok_response({{"role", "primary"},
                         {"already", r.already ? "1" : "0"},
@@ -319,6 +324,9 @@ std::string RequestHandler::dispatch(const std::vector<std::string>& tokens) {
     // in the ack gate, which demote() is about to join.
     if (hooks_.pre_demote) hooks_.pre_demote();
     const ShardRouter::PromoteResult r = router_.demote();
+    // Back to follower: re-arm the failover watchdog, or the node would
+    // silently stop voting in (and standing for) elections.
+    if (!r.already && hooks_.post_demote) hooks_.post_demote();
     return ok_response({{"role", "follower"},
                         {"already", r.already ? "1" : "0"},
                         {"term", std::to_string(r.term)},
@@ -664,8 +672,11 @@ Daemon::Daemon(DaemonOptions opts)
       *router_,
       RequestHandler::Hooks{
           .pre_demote = [this] { stop_replication(); },
+          .post_demote = [this] { start_watchdog(); },
+          .post_promote = [this] { start_replication(); },
           .watchdog_state =
               [this] {
+                std::lock_guard lk(watchdog_mu_);
                 return watchdog_ ? std::string(FailoverWatchdog::state_name(
                                        watchdog_->state()))
                                  : std::string();
@@ -749,8 +760,9 @@ void Daemon::start_replication() {
       request_stop();
     };
   }
-  repl_.emplace(*router_, std::move(specs), ropts);
-  router_->attach_replication(&*repl_);
+  repl_ = std::make_shared<ReplicationSender>(*router_, std::move(specs),
+                                              ropts);
+  router_->attach_replication(repl_);
   std::fflush(stdout);
 }
 
@@ -759,9 +771,49 @@ void Daemon::stop_replication() {
   if (!repl_) return;
   // Detach first (later syncs skip the gate), then stop() — it releases
   // any committer parked in sync_shard before joining the ship threads.
+  // Dropping our reference does NOT destroy a sender a committer is still
+  // borrowing inside sync_shard: the gate's shared_ptr keeps it alive
+  // until the borrower leaves (stop() made that wait momentary).
   router_->attach_replication(nullptr);
   repl_->stop();
   repl_.reset();
+}
+
+void Daemon::start_watchdog() {
+  if (!opts_.auto_failover || opts_.replicate_to.empty()) return;
+  std::lock_guard lk(watchdog_mu_);
+  // A watchdog still scanning keeps its state; one that retired in
+  // kPromoted (its node was primary until this demote) is replaced.
+  if (watchdog_ &&
+      watchdog_->state() != FailoverWatchdog::State::kPromoted) {
+    return;
+  }
+  FailoverOptions fo;
+  fo.self = opts_.socket_path;
+  for (const std::string& path : opts_.replicate_to) {
+    fo.peers.push_back(
+        FollowerSpec{path, [path] { return connect_repl_socket(path); }});
+  }
+  fo.hb_timeout_ms = opts_.hb_timeout_ms;
+  fo.election_min_ms = opts_.election_min_ms;
+  fo.election_max_ms = opts_.election_max_ms;
+  fo.seed = (static_cast<std::uint64_t>(std::random_device{}()) << 32) ^
+            std::random_device{}();
+  fo.on_promoted = [this](std::uint64_t term) {
+    std::printf("dfkyd: auto-failover: promoted to primary at term %llu\n",
+                static_cast<unsigned long long>(term));
+    std::fflush(stdout);
+    start_replication();
+  };
+  watchdog_ = std::make_unique<FailoverWatchdog>(*router_, std::move(fo));
+  std::printf("dfkyd: auto-failover watchdog armed (hb timeout %d ms)\n",
+              opts_.hb_timeout_ms);
+  std::fflush(stdout);
+}
+
+void Daemon::stop_watchdog() {
+  std::lock_guard lk(watchdog_mu_);
+  if (watchdog_) watchdog_->stop();
 }
 
 int Daemon::run() {
@@ -832,29 +884,7 @@ int Daemon::run() {
   if (!opts_.replicate_to.empty() && !router_->follower()) {
     start_replication();
   }
-  if (opts_.auto_failover && router_->follower() &&
-      !opts_.replicate_to.empty()) {
-    FailoverOptions fo;
-    fo.self = opts_.socket_path;
-    for (const std::string& path : opts_.replicate_to) {
-      fo.peers.push_back(
-          FollowerSpec{path, [path] { return connect_repl_socket(path); }});
-    }
-    fo.hb_timeout_ms = opts_.hb_timeout_ms;
-    fo.election_min_ms = opts_.election_min_ms;
-    fo.election_max_ms = opts_.election_max_ms;
-    fo.seed = (static_cast<std::uint64_t>(std::random_device{}()) << 32) ^
-              std::random_device{}();
-    fo.on_promoted = [this](std::uint64_t term) {
-      std::printf("dfkyd: auto-failover: promoted to primary at term %llu\n",
-                  static_cast<unsigned long long>(term));
-      std::fflush(stdout);
-      start_replication();
-    };
-    watchdog_ = std::make_unique<FailoverWatchdog>(*router_, std::move(fo));
-    std::printf("dfkyd: auto-failover watchdog armed (hb timeout %d ms)\n",
-                opts_.hb_timeout_ms);
-  }
+  if (router_->follower()) start_watchdog();
   if (metrics_port_ >= 0) {
     std::printf("dfkyd: metrics on http://127.0.0.1:%d/metrics\n",
                 metrics_port_);
@@ -918,7 +948,7 @@ int Daemon::run() {
   int rc = 0;
   // Watchdog first: after its thread joins, no promotion (and no sender
   // engagement) can race the teardown below.
-  if (watchdog_) watchdog_->stop();
+  stop_watchdog();
   // Stop replication before the committers: stop() releases any committer
   // blocked in its post_sync ack gate, and detaching keeps later syncs
   // (final snapshot) from touching a dead sender.

@@ -44,6 +44,15 @@ class RequestHandler {
     /// its replication sender so no committer can be parked in the ack
     /// gate while demote() joins it.
     std::function<void()> pre_demote;
+    /// Invoked after a non-idempotent demote: the owner re-arms its
+    /// failover watchdog so the node keeps voting in (and standing for)
+    /// elections as a follower.
+    std::function<void()> post_demote;
+    /// Invoked after a non-idempotent promote: the owner starts its
+    /// replication sender — without it a manually promoted node would ack
+    /// every mutation standalone, voiding the armed majority-ack contract
+    /// (the watchdog's auto-promote runs the same path via on_promoted).
+    std::function<void()> post_promote;
     /// Returns the failover watchdog's state name ("watching", ...) or ""
     /// when none is armed — surfaced by `health`.
     std::function<std::string()> watchdog_state;
@@ -125,8 +134,10 @@ class Daemon {
   void conn_loop(int fd);
   void request_stop();
   void probe_peers();        // armed startup: adopt/fence the cluster epoch
-  void start_replication();  // idempotent; also the watchdog's on_promoted
+  void start_replication();  // idempotent; manual promote and on_promoted
   void stop_replication();   // idempotent; pre-demote and shutdown
+  void start_watchdog();     // idempotent; armed startup and post-demote
+  void stop_watchdog();      // shutdown
 
   DaemonOptions opts_;
   RealFileIo real_io_;
@@ -141,10 +152,15 @@ class Daemon {
   std::optional<RequestHandler> handler_;
   /// Engaged on a (possibly just-promoted) primary with peers. Guarded by
   /// repl_mu_: the watchdog thread engages it on promotion while a demote
-  /// request or the shutdown path stops it.
-  std::optional<ReplicationSender> repl_;
+  /// request or the shutdown path stops it. A shared_ptr because the
+  /// router's committers borrow it through the post_sync gate — the last
+  /// borrower leaving sync_shard keeps it alive past stop_replication().
+  std::shared_ptr<ReplicationSender> repl_;
   std::mutex repl_mu_;
-  std::unique_ptr<FailoverWatchdog> watchdog_;  // armed followers only
+  /// Armed followers only. Guarded by watchdog_mu_: a demote request
+  /// re-arms it while `health` reads its state (and shutdown stops it).
+  std::unique_ptr<FailoverWatchdog> watchdog_;
+  std::mutex watchdog_mu_;
   /// Set when a stale-term NACK fenced this (ex-)primary: exit nonzero
   /// and skip the final snapshots, exactly like a commit failure — the
   /// forked WAL suffix stays a WAL suffix for the re-seed to truncate.

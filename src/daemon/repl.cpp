@@ -204,12 +204,15 @@ bool ReplicationSender::establish(Follower& f) {
     f.link.reset();
     return false;
   }
-  note_contact(f);
-  // Term scrutiny before any byte ships. A peer carrying a newer term means
-  // WE are the stale side (a failover happened behind our back): signal it
-  // exactly like a stale-term NACK. A peer answering as a primary at our
-  // term or below is a same-epoch split (manual double promote) — never
-  // feed it; keep retrying until one side demotes.
+  // Term scrutiny before any byte ships — and before the contact stamp. A
+  // peer carrying a newer term means WE are the stale side (a failover
+  // happened behind our back): signal it exactly like a stale-term NACK. A
+  // peer answering as a primary at our term or below is a same-epoch split
+  // (manual double promote) — never feed it; keep retrying until one side
+  // demotes. Neither answer is lease-qualifying contact: counting a
+  // dueling primary's reconnect probes would keep this side's lease fresh
+  // forever, masking the split as a silent ack stall instead of letting
+  // the lease expire and fail-stop it.
   const auto pterm = field_u64(*resp, "term");
   if (pterm && *pterm > term_) {
     note_nack(f, "stale-term term=" + std::to_string(*pterm) +
@@ -222,6 +225,7 @@ bool ReplicationSender::establish(Follower& f) {
     f.link.reset();
     return false;
   }
+  note_contact(f);
   {
     std::lock_guard lk(mu_);
     f.chain.assign(router_.shards(), std::string());

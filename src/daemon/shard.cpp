@@ -66,7 +66,11 @@ void ShardRouter::start_committers() {
           // Replication ack gate: with a sender attached, a batch is acked
           // only once every live follower holds it. A throw here (lease
           // lost, stale term) NACKs the batch and fail-stops the queue.
-          if (ReplicationSender* r = repl_.load()) return r->sync_shard(i);
+          // The shared_ptr keeps the sender alive through sync_shard even
+          // if a concurrent demote detaches and drops it mid-wait.
+          if (const std::shared_ptr<ReplicationSender> r = replication()) {
+            return r->sync_shard(i);
+          }
           return std::string();
         }));
   }
@@ -261,7 +265,9 @@ ShardRouter::NewPeriodResult ShardRouter::new_period_all() {
   // pre-barrier history before we stage the epoch roll. Done before taking
   // the state locks — the sender's shipping threads read under shared
   // locks, so waiting while holding them exclusively would deadlock.
-  if (ReplicationSender* r = repl_.load()) r->sync_all();
+  if (const std::shared_ptr<ReplicationSender> r = replication()) {
+    r->sync_all();
+  }
   // Hold every shard's state lock exclusively for the whole barrier. The
   // committers run their batch AND its sync under this lock, so once we
   // hold all of them no shard has staged-but-unsynced records: the only
@@ -316,7 +322,7 @@ ShardRouter::NewPeriodResult ShardRouter::new_period_all() {
   // barrier lands standalone, and the laggard roll-forward (promote /
   // open_shard_set) re-equalizes that replica if it ever comes back.
   locks.clear();
-  if (ReplicationSender* r = repl_.load()) {
+  if (const std::shared_ptr<ReplicationSender> r = replication()) {
     try {
       r->sync_all();
     } catch (...) {
@@ -558,7 +564,7 @@ ShardRouter::HealthReport ShardRouter::health() const {
     records[k] = static_cast<std::uint64_t>(sh->store.wal_records());
     gens[k] = sh->store.generation();
   }
-  if (ReplicationSender* r = repl_.load()) {
+  if (const std::shared_ptr<ReplicationSender> r = replication()) {
     for (const ReplicationSender::FollowerStatus& fs : r->status()) {
       HealthReport::Follower f;
       f.name = fs.name;

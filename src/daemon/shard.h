@@ -243,8 +243,22 @@ class ShardRouter {
 
   /// Attaches (or detaches, with nullptr) the primary's replication
   /// sender. While attached, committers and the epoch barrier block acks
-  /// on live-follower replication. Detach before destroying the sender.
-  void attach_replication(ReplicationSender* repl) { repl_.store(repl); }
+  /// on live-follower replication. Shared ownership: a committer that
+  /// loaded the pointer into its post_sync gate holds the sender alive
+  /// through sync_shard, so the owner may detach + stop + drop its own
+  /// reference while a borrower is still inside the gate.
+  void attach_replication(std::shared_ptr<ReplicationSender> repl) {
+    std::lock_guard lk(repl_ptr_mu_);
+    repl_ = std::move(repl);
+  }
+
+  /// Borrows the attached sender (null when detached). The returned copy
+  /// keeps the sender alive for the duration of the borrow even if the
+  /// owner detaches concurrently.
+  std::shared_ptr<ReplicationSender> replication() const {
+    std::lock_guard lk(repl_ptr_mu_);
+    return repl_;
+  }
 
   // -- shutdown helpers (the daemon's teardown sequence) ------------------------
 
@@ -298,7 +312,10 @@ class ShardRouter {
   std::atomic<std::uint64_t> term_{0};
   /// steady_clock ns of the last primary contact; -1 = never.
   std::atomic<std::int64_t> primary_contact_ns_{-1};
-  std::atomic<ReplicationSender*> repl_{nullptr};
+  /// Guards repl_ (a plain mutex rather than std::atomic<shared_ptr>:
+  /// the borrow is a pointer copy, never held across blocking work).
+  mutable std::mutex repl_ptr_mu_;
+  std::shared_ptr<ReplicationSender> repl_;
   std::atomic<std::uint64_t> next_add_{0};  // round-robin placement
   std::mutex barrier_mu_;  // serializes new_period_all (and promote)
   std::mutex term_mu_;     // serializes TERM-file persistence

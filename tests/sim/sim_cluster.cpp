@@ -174,14 +174,15 @@ SimCluster::SimCluster(std::size_t shards, std::size_t followers,
           return make_link(i, seed + 7919 * (attempt + 1) + i);
         }});
   }
-  sender_.emplace(primary_->router(), std::move(specs),
-                  daemon::ReplOptions{.max_batch_bytes = std::size_t{1} << 20,
-                                      .backoff_min_ms = 1,
-                                      .backoff_max_ms = 10,
-                                      .lease_ms = 0,
-                                      .hb_interval_ms = 0,
-                                      .on_stale_term = {}});
-  primary_->router().attach_replication(&*sender_);
+  sender_ = std::make_shared<daemon::ReplicationSender>(
+      primary_->router(), std::move(specs),
+      daemon::ReplOptions{.max_batch_bytes = std::size_t{1} << 20,
+                          .backoff_min_ms = 1,
+                          .backoff_max_ms = 10,
+                          .lease_ms = 0,
+                          .hb_interval_ms = 0,
+                          .on_stale_term = {}});
+  primary_->router().attach_replication(sender_);
 }
 
 SimCluster::~SimCluster() {
@@ -293,8 +294,9 @@ void SimFailoverCluster::start_sender(std::size_t i) {
     // router is the part the ack contract depends on.
     m.node.router().fence(t);
   };
-  m.sender.emplace(m.node.router(), peer_specs(i), std::move(ro));
-  m.node.router().attach_replication(&*m.sender);
+  m.sender = std::make_shared<daemon::ReplicationSender>(
+      m.node.router(), peer_specs(i), std::move(ro));
+  m.node.router().attach_replication(m.sender);
 }
 
 void SimFailoverCluster::stop_sender(std::size_t i) {

@@ -147,7 +147,9 @@ class SimCluster {
   /// Reconnect counter per follower: each connection draws a fresh link
   /// fault stream.
   std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> attempts_;
-  std::optional<daemon::ReplicationSender> sender_;
+  /// shared_ptr: the router's committers borrow it through the post_sync
+  /// gate, matching the daemon's ownership.
+  std::shared_ptr<daemon::ReplicationSender> sender_;
 };
 
 /// Armed failover timings (real milliseconds — the lease and watchdog run
@@ -219,7 +221,7 @@ class SimFailoverCluster {
     /// Engage/stop guard, like the daemon's repl_mu_: the watchdog thread
     /// engages the sender on promotion while the driver tears it down.
     std::mutex repl_mu;
-    std::optional<daemon::ReplicationSender> sender;
+    std::shared_ptr<daemon::ReplicationSender> sender;
     std::unique_ptr<daemon::FailoverWatchdog> watchdog;
   };
 

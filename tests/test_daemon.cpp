@@ -741,6 +741,31 @@ TEST(Replication, PromoteServesHistoryAndAcceptsMutations) {
   EXPECT_EQ(users, 5u);
 }
 
+TEST(Replication, PromoteAndDemoteHooksFireOnlyOnRoleChange) {
+  // The daemon wires post_promote -> start_replication and post_demote ->
+  // start_watchdog: a manually promoted node must replicate before it
+  // acks, and a demoted one must keep voting in elections. Idempotent
+  // retries of either verb must NOT re-fire the hooks.
+  ReplFixture f;
+  int promoted = 0, demoted = 0, pre = 0;
+  RequestHandler hooked(
+      *f.foll, RequestHandler::Hooks{
+                   .pre_demote = [&] { ++pre; },
+                   .post_demote = [&] { ++demoted; },
+                   .post_promote = [&] { ++promoted; }});
+  EXPECT_EQ(f.ok(hooked, "promote").fields.at("already"), "0");
+  EXPECT_EQ(promoted, 1);
+  EXPECT_EQ(f.ok(hooked, "promote").fields.at("already"), "1");
+  EXPECT_EQ(promoted, 1);  // idempotent retry: replication already runs
+
+  EXPECT_EQ(f.ok(hooked, "demote").fields.at("already"), "0");
+  EXPECT_EQ(pre, 1);
+  EXPECT_EQ(demoted, 1);
+  EXPECT_EQ(f.ok(hooked, "demote").fields.at("already"), "1");
+  EXPECT_EQ(pre, 2);       // pre_demote always runs (stop is idempotent)
+  EXPECT_EQ(demoted, 1);   // but the watchdog is not re-armed twice
+}
+
 TEST(Replication, PromoteEqualizesMixedEpochs) {
   // A primary killed mid-barrier can leave the follower's shards at mixed
   // periods (shard 0's frames arrived, shard 1's did not). promote() must
