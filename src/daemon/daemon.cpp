@@ -10,7 +10,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
-#include <poll.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <sys/un.h>
@@ -21,6 +21,7 @@
 #include <thread>
 
 #include "daemon/protocol.h"
+#include "daemon/reactor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -445,10 +446,6 @@ std::string RequestHandler::dispatch(const std::vector<std::string>& tokens) {
 
 namespace {
 
-/// Upper bound on concurrently executing tagged requests per connection;
-/// beyond it the reader blocks, which backpressures the socket.
-constexpr std::size_t kMaxInFlight = 64;
-
 std::atomic<int> g_wake_fd{-1};
 
 void on_signal(int) {
@@ -534,42 +531,6 @@ std::unique_ptr<ReplLink> connect_repl_socket(const std::string& path) {
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
   ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
   return std::make_unique<SocketReplLink>(fd);
-}
-
-/// One /metrics connection, served on its own short-lived detached thread
-/// so a stalled scraper can never wedge the accept loop (the fd carries
-/// recv/send timeouts set by the acceptor). Touches only process-global
-/// state — it must not reference the Daemon, which may be torn down while
-/// a slow scraper drains.
-void serve_metrics_conn(int fd) {
-  char req[2048];
-  const ssize_t n = ::recv(fd, req, sizeof req - 1, 0);
-  const std::string request(req, n > 0 ? static_cast<std::size_t>(n) : 0);
-  std::string status = "200 OK";
-  std::string body;
-  if (request.starts_with("GET /trace")) {
-    body = obs::trace_jsonl();
-    if (!obs::enabled()) body = "# dfky observability layer compiled out\n";
-    DFKY_OBS(obs::counter("dfkyd_trace_scrapes_total").inc(););
-  } else if (request.starts_with("GET /metrics") ||
-             request.starts_with("GET / ")) {
-    body = obs::MetricsRegistry::instance().prometheus();
-    if (!obs::enabled()) body = "# dfky observability layer compiled out\n";
-    DFKY_OBS(obs::counter("dfkyd_metrics_scrapes_total").inc(););
-  } else {
-    status = "404 Not Found";
-    body = "not found\n";
-  }
-  char head[256];
-  std::snprintf(head, sizeof head,
-                "HTTP/1.0 %s\r\n"
-                "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
-                "Content-Length: %zu\r\n"
-                "Connection: close\r\n\r\n",
-                status.c_str(), body.size());
-  send_all(fd, head);
-  send_all(fd, body);
-  ::close(fd);
 }
 
 /// Forwards everything to the real io, sleeping before each fsync_file.
@@ -848,7 +809,21 @@ int Daemon::run() {
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
     die("bind " + opts_.socket_path);
   }
-  if (::listen(listen_fd_, 64) != 0) die("listen");
+  // Let the kernel clamp to net.core.somaxconn rather than hardcoding a
+  // backlog far below it — a 10k-client reconnect storm overflows a
+  // backlog of 64 and the overflow looks like silent connect stalls.
+  const int backlog = opts_.backlog > 0 ? opts_.backlog : SOMAXCONN;
+  if (::listen(listen_fd_, backlog) != 0) die("listen");
+
+  // Serve with as many fds as the hard limit allows; connections are the
+  // whole point of the reactor front end. Best effort — on failure the
+  // EMFILE accept path sheds gracefully instead of spinning.
+  rlimit nofile{};
+  if (::getrlimit(RLIMIT_NOFILE, &nofile) == 0 &&
+      nofile.rlim_cur < nofile.rlim_max) {
+    nofile.rlim_cur = nofile.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &nofile);
+  }
 
   if (opts_.metrics_port >= 0) {
     metrics_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
@@ -889,62 +864,44 @@ int Daemon::run() {
     std::printf("dfkyd: metrics on http://127.0.0.1:%d/metrics\n",
                 metrics_port_);
   }
+  ReactorOptions ropts;
+  ropts.listen_fd = listen_fd_;
+  ropts.metrics_fd = metrics_fd_;
+  ropts.wake_fd = wake_read;
+  const unsigned hw = std::thread::hardware_concurrency();
+  ropts.workers = opts_.workers > 0
+                      ? static_cast<std::size_t>(opts_.workers)
+                      : std::clamp<std::size_t>(hw, 4, 16);
+  ropts.idle_timeout_ms = opts_.idle_timeout_ms;
+  ropts.busy_queue_limit = opts_.busy_queue_limit;
+  std::printf("dfkyd: reactor: %zu workers, backlog %d%s\n", ropts.workers,
+              backlog,
+              opts_.idle_timeout_ms > 0 ? ", idle timeout armed" : "");
   std::printf("dfkyd: ready\n");
   std::fflush(stdout);
 
-  while (!stopping_.load()) {
-    pollfd fds[3] = {{wake_read, POLLIN, 0},
-                     {listen_fd_, POLLIN, 0},
-                     {metrics_fd_, POLLIN, 0}};
-    const nfds_t nfds = metrics_fd_ >= 0 ? 3 : 2;
-    const int n = ::poll(fds, nfds, -1);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      die("poll");
-    }
-    if (fds[0].revents != 0) break;  // SIGINT/SIGTERM or shutdown request
-    if (fds[1].revents & POLLIN) {
-      const int cfd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
-      if (cfd >= 0) {
-        {
-          std::lock_guard lk(conns_mu_);
-          conn_fds_.insert(cfd);
-          ++active_conns_;
-        }
-        DFKY_OBS(obs::counter("dfkyd_connections_total").inc(););
-        std::thread([this, cfd] { conn_loop(cfd); }).detach();
-      }
-    }
-    if (nfds == 3 && (fds[2].revents & POLLIN)) {
-      const int mfd = ::accept4(metrics_fd_, nullptr, nullptr, SOCK_CLOEXEC);
-      if (mfd >= 0) {
-        // Timeouts bound the detached thread's lifetime; without them a
-        // scraper that connects and sends nothing would hold the thread
-        // (and, if served inline, the whole daemon) hostage.
-        timeval tv{.tv_sec = 2, .tv_usec = 0};
-        ::setsockopt(mfd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
-        ::setsockopt(mfd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
-        std::thread([mfd] { serve_metrics_conn(mfd); }).detach();
-      }
-    }
+  {
+    Reactor reactor(
+        ropts,
+        [this](const std::string& line) {
+          const RequestHandler::Result res = handler_->handle(line);
+          return Reactor::Result{res.response, res.shutdown};
+        },
+        [this] { return router_->queue_depth_total(); },
+        [this] { request_stop(); });
+    // Serves until a signal, a `shutdown` request or a fail-stop makes
+    // the wake pipe readable; returns with every request that reached
+    // the pool answered and every client fd closed.
+    reactor.run();
   }
   stopping_.store(true);
 
-  // Shutdown sequence: stop accepting, nudge idle connections (their
-  // in-flight requests still finish and get their acks), wait for the
-  // connection threads (each waits for its own pipelined workers), stop
-  // the committers, final snapshot per shard, release the store locks,
+  // Shutdown sequence: the reactor already stopped accepting and drained
+  // the connections (in-flight requests got their acks); now stop the
+  // committers, final snapshot per shard, release the store locks,
   // remove the socket.
   close_fd(listen_fd_);
   close_fd(metrics_fd_);
-  {
-    std::lock_guard lk(conns_mu_);
-    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
-  }
-  {
-    std::unique_lock lk(conns_mu_);
-    conns_cv_.wait(lk, [&] { return active_conns_ == 0; });
-  }
   int rc = 0;
   // Watchdog first: after its thread joins, no promotion (and no sender
   // engagement) can race the teardown below.
@@ -989,99 +946,6 @@ int Daemon::run() {
               rc == 0 ? "" : " (after commit failure)");
   std::fflush(stdout);
   return rc;
-}
-
-void Daemon::conn_loop(int fd) {
-  // Per-connection pipelining state, shared with this connection's
-  // detached worker threads (shared_ptr: a worker may outlive the loop's
-  // local scope on send failure, never the Daemon — the loop waits for
-  // in_flight == 0 before it decrements active_conns_).
-  struct ConnState {
-    std::mutex mu;  // serializes sends and guards in_flight
-    std::condition_variable cv;
-    std::size_t in_flight = 0;
-  };
-  const auto st = std::make_shared<ConnState>();
-
-  std::string buf;
-  char chunk[1 << 16];
-  bool done = false;
-  while (!done) {
-    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;
-    buf.append(chunk, static_cast<std::size_t>(n));
-    std::size_t pos;
-    while (!done && (pos = buf.find('\n')) != std::string::npos) {
-      std::string line = buf.substr(0, pos);
-      buf.erase(0, pos + 1);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      const TaggedLine tagged = split_request_tag(line);
-      if (tagged.id && !tagged.bad_tag) {
-        // Tagged request: run it on its own thread so requests routed to
-        // different shards overlap; the echoed tag lets the client match
-        // the out-of-order completions. Bound the fan-out per connection.
-        {
-          std::unique_lock lk(st->mu);
-          st->cv.wait(lk, [&] { return st->in_flight < kMaxInFlight; });
-          ++st->in_flight;
-        }
-        std::thread([this, fd, st, line = std::move(line)] {
-          RequestHandler::Result res = handler_->handle(line);
-          res.response += '\n';
-          {
-            std::lock_guard lk(st->mu);
-            send_all(fd, res.response);
-          }
-          // request_stop before the in_flight decrement: once the last
-          // worker decrements, the conn loop may exit and the daemon tear
-          // down, so `this` must not be touched after it.
-          if (res.shutdown) request_stop();
-          {
-            std::lock_guard lk(st->mu);
-            --st->in_flight;
-          }
-          st->cv.notify_all();
-        }).detach();
-        continue;
-      }
-      // Untagged (or bad-tag) request: preserve the classic strict
-      // ordering — drain every pipelined worker first, then run inline.
-      {
-        std::unique_lock lk(st->mu);
-        st->cv.wait(lk, [&] { return st->in_flight == 0; });
-      }
-      RequestHandler::Result res = handler_->handle(line);
-      res.response += '\n';
-      {
-        std::lock_guard lk(st->mu);
-        if (!send_all(fd, res.response)) done = true;
-      }
-      if (res.shutdown) {
-        request_stop();
-        done = true;
-      }
-    }
-    if (buf.size() > kMaxLineBytes) {
-      {
-        std::unique_lock lk(st->mu);
-        st->cv.wait(lk, [&] { return st->in_flight == 0; });
-      }
-      send_all(fd, err_response("request line too long") + "\n");
-      done = true;
-    }
-  }
-  // Let every pipelined worker finish (and send its ack) before the
-  // connection is torn down and counted out.
-  {
-    std::unique_lock lk(st->mu);
-    st->cv.wait(lk, [&] { return st->in_flight == 0; });
-  }
-  ::close(fd);
-  std::lock_guard lk(conns_mu_);
-  conn_fds_.erase(fd);
-  --active_conns_;
-  conns_cv_.notify_all();
 }
 
 }  // namespace dfky::daemon

@@ -3,12 +3,14 @@
 // One daemon owns one store directory — a plain store or a shard root
 // (autodetected; every shard's LOCK is taken) — and serves the newline
 // protocol of daemon/protocol.h over a unix-domain stream socket through
-// a ShardRouter. Mutations (`add-user`, `revoke`, `new-period`) are
-// funneled through the owning shard's GroupCommit queue (new-period
-// through the cross-shard epoch barrier) and acknowledged only after
-// their fsync; reads (`status`, `encrypt`) run on the connection threads
-// under shared state locks. Requests tagged `@<id>` run concurrently and
-// may complete out of order; untagged requests keep strict ordering.
+// a ShardRouter. Connections are owned by an epoll reactor
+// (daemon/reactor.h) and requests execute on its small fixed worker
+// pool. Mutations (`add-user`, `revoke`, `new-period`) are funneled
+// through the owning shard's GroupCommit queue (new-period through the
+// cross-shard epoch barrier) and acknowledged only after their fsync;
+// reads (`status`, `encrypt`) run on the worker threads under shared
+// state locks. Requests tagged `@<id>` run concurrently and may
+// complete out of order; untagged requests keep strict ordering.
 // SIGINT/SIGTERM (or a `shutdown` request) drain in-flight requests,
 // take a final snapshot on every shard and release the stores. An
 // optional loopback TCP port answers `GET /metrics` with the obs
@@ -16,11 +18,9 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <set>
 #include <string>
 
 #include "daemon/failover.h"
@@ -79,6 +79,19 @@ struct DaemonOptions {
   /// Loopback TCP port for GET /metrics: -1 disables, 0 binds an
   /// ephemeral port (reported by metrics_port() and on stdout).
   int metrics_port = -1;
+  /// listen(2) backlog for the client socket; 0 uses SOMAXCONN (the
+  /// kernel clamps to net.core.somaxconn either way — see README).
+  int backlog = 0;
+  /// Close client connections idle this long, in ms (0: never reap).
+  int idle_timeout_ms = 0;
+  /// Request-execution pool size; 0 sizes from the hardware (clamped to
+  /// [4, 16]). This bounds concurrently executing requests daemon-wide —
+  /// connections themselves are nearly free under the reactor.
+  int workers = 0;
+  /// Admission control (DESIGN.md Sect. 15): shed mutations with
+  /// `err busy` and pause accepting while the group-commit queues hold
+  /// this many un-acked mutations (0 disables).
+  std::size_t busy_queue_limit = 1024;
   StoreOptions store;
   /// Come up as a read-only replica (DESIGN.md Sect. 12): no committers,
   /// mutations rejected, state advances via repl-append/repl-snap from a
@@ -131,7 +144,6 @@ class Daemon {
   int metrics_port() const { return metrics_port_; }
 
  private:
-  void conn_loop(int fd);
   void request_stop();
   void probe_peers();        // armed startup: adopt/fence the cluster epoch
   void start_replication();  // idempotent; manual promote and on_promoted
@@ -173,11 +185,6 @@ class Daemon {
   // fail-stop callback writes to it concurrently with the main loop.
   std::atomic<int> wake_fd_{-1};
   std::atomic<bool> stopping_{false};
-
-  std::mutex conns_mu_;
-  std::condition_variable conns_cv_;
-  std::set<int> conn_fds_;
-  std::size_t active_conns_ = 0;
 };
 
 }  // namespace dfky::daemon

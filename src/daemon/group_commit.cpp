@@ -41,6 +41,7 @@ void GroupCommit::run(const std::function<void()>& op) {
     if (fatal_) throw ContractError("group commit: store failed (fail-stop)");
     if (stop_) throw ContractError("group commit: shutting down");
     queue_.push_back(&ticket);
+    depth_.fetch_add(1, std::memory_order_relaxed);
     work_cv_.notify_one();
     done_cv_.wait(lk, [&] { return ticket.done; });
   }
@@ -142,6 +143,7 @@ void GroupCommit::committer_loop() {
     {
       std::lock_guard lk(mu_);
       for (Ticket* t : batch) t->done = true;
+      depth_.fetch_sub(batch.size(), std::memory_order_relaxed);
       if (sync_failed) {
         // Anything enqueued while the failed batch ran gets failed too —
         // after fatal_ is set, run() rejects at the door.
@@ -151,6 +153,7 @@ void GroupCommit::committer_loop() {
               ContractError("group commit: store failed (fail-stop)"));
           t->done = true;
         }
+        depth_.fetch_sub(queue_.size(), std::memory_order_relaxed);
         queue_.clear();
       }
     }

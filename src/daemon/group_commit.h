@@ -94,6 +94,12 @@ class GroupCommit {
     return queue_.size();
   }
 
+  /// Mutations submitted but not yet acked or NACKed (queued + the batch
+  /// in flight). Lock-free: the reactor's admission control polls this on
+  /// every mutation dispatch, so it must never contend with the committer
+  /// (DESIGN.md Sect. 15).
+  std::size_t depth() const { return depth_.load(std::memory_order_relaxed); }
+
  private:
   struct Ticket {
     const std::function<void()>* op;
@@ -126,6 +132,7 @@ class GroupCommit {
 
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> committed_{0};
+  std::atomic<std::size_t> depth_{0};  // submitted and not yet (N)ACKed
 
   std::thread committer_;  // last member: starts after everything above
 };

@@ -103,6 +103,42 @@ std::string err_response(std::string_view message) {
   return out;
 }
 
+bool LineFramer::feed(std::string_view data) {
+  if (overflow_) return false;
+  buf_.append(data);
+  return true;
+}
+
+std::optional<std::string> LineFramer::next() {
+  if (overflow_) return std::nullopt;
+  const std::size_t start = scan_ < pos_ ? pos_ : scan_;
+  const std::size_t lf = buf_.find('\n', start);
+  if (lf == std::string::npos) {
+    scan_ = buf_.size();
+    if (buf_.size() - pos_ > max_) overflow_ = true;
+    return std::nullopt;
+  }
+  std::size_t end = lf;
+  if (end > pos_ && buf_[end - 1] == '\r') --end;
+  if (end - pos_ > max_) {
+    overflow_ = true;
+    return std::nullopt;
+  }
+  std::string line = buf_.substr(pos_, end - pos_);
+  pos_ = lf + 1;
+  scan_ = pos_;
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = scan_ = 0;
+  } else if (pos_ > (std::size_t{64} << 10)) {
+    // Amortized compaction: drop the consumed prefix once it dominates.
+    buf_.erase(0, pos_);
+    scan_ -= pos_;
+    pos_ = 0;
+  }
+  return line;
+}
+
 std::optional<Response> parse_response(std::string_view line) {
   Response resp;
   if (line.starts_with("@")) {

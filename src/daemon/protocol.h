@@ -87,4 +87,38 @@ struct Response {
 /// production.
 std::optional<Response> parse_response(std::string_view line);
 
+/// Incremental LF framing for a non-blocking byte stream (the reactor's
+/// per-connection read path, DESIGN.md Sect. 15). Bytes go in as they
+/// arrive, complete lines come out with the LF (and an optional trailing
+/// CR) stripped. The scan position is remembered across feeds, so a line
+/// arriving in many small reads costs one pass over each byte, not a
+/// re-scan of the whole buffer per read. A partial line growing past
+/// `max_line_bytes` poisons the framer: the connection is violating the
+/// protocol and must be answered `err` and closed, not buffered further.
+class LineFramer {
+ public:
+  explicit LineFramer(std::size_t max_line_bytes = kMaxLineBytes)
+      : max_(max_line_bytes) {}
+
+  /// Appends raw bytes. Returns false when the framer is already
+  /// poisoned (the bytes are dropped).
+  bool feed(std::string_view data);
+  /// Pops the next complete line, or nullopt when none is buffered (or
+  /// the framer is poisoned). Overflow is detected here, so drain every
+  /// complete line after each feed() — buffered() only means "incomplete
+  /// tail" once next() has returned nullopt.
+  std::optional<std::string> next();
+
+  bool overflowed() const { return overflow_; }
+  /// Bytes buffered but not yet returned (the incomplete tail).
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;   // start of the first unreturned line
+  std::size_t scan_ = 0;  // resume point for the LF scan
+  std::size_t max_;
+  bool overflow_ = false;
+};
+
 }  // namespace dfky::daemon

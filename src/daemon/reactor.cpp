@@ -1,0 +1,807 @@
+#include "daemon/reactor.h"
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dfky::daemon {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// epoll_event.data.u64 sentinels; connection ids start above them.
+constexpr std::uint64_t kWakeId = 1;
+constexpr std::uint64_t kListenId = 2;
+constexpr std::uint64_t kMetricsListenId = 3;
+constexpr std::uint64_t kCompletionId = 4;
+constexpr std::uint64_t kFirstConnId = 16;
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Verbs funneled through group commit — the only ones admission control
+/// sheds. Reads stay cheap under load and repl/cluster verbs must never
+/// bounce (a shed repl-append would stall replication exactly when the
+/// primary is busiest).
+bool is_shed_verb(std::string_view body) {
+  const std::size_t sp = body.find(' ');
+  const std::string_view verb =
+      sp == std::string_view::npos ? body : body.substr(0, sp);
+  return verb == "add-user" || verb == "revoke" || verb == "new-period";
+}
+
+/// One metrics scraper exchange (same contract as the old detached-thread
+/// server): parse the request line, answer Prometheus text, close.
+std::string metrics_http_response(const std::string& request) {
+  std::string status = "200 OK";
+  std::string body;
+  if (request.starts_with("GET /trace")) {
+    body = obs::trace_jsonl();
+    if (!obs::enabled()) body = "# dfky observability layer compiled out\n";
+    DFKY_OBS(obs::counter("dfkyd_trace_scrapes_total").inc(););
+  } else if (request.starts_with("GET /metrics") ||
+             request.starts_with("GET / ")) {
+    body = obs::MetricsRegistry::instance().prometheus();
+    if (!obs::enabled()) body = "# dfky observability layer compiled out\n";
+    DFKY_OBS(obs::counter("dfkyd_metrics_scrapes_total").inc(););
+  } else {
+    status = "404 Not Found";
+    body = "not found\n";
+  }
+  char head[256];
+  std::snprintf(head, sizeof head,
+                "HTTP/1.0 %s\r\n"
+                "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                "Content-Length: %zu\r\n"
+                "Connection: close\r\n\r\n",
+                status.c_str(), body.size());
+  return std::string(head) + body;
+}
+
+std::size_t count_open_fds() {
+  std::size_t n = 0;
+  DIR* d = ::opendir("/proc/self/fd");
+  if (d == nullptr) return 0;
+  while (::readdir(d) != nullptr) ++n;
+  ::closedir(d);
+  return n >= 3 ? n - 2 : n;  // ".", ".." and the opendir fd roughly cancel
+}
+
+}  // namespace
+
+struct Reactor::Impl {
+  struct Conn {
+    int fd = -1;
+    std::uint64_t id = 0;
+    bool metrics = false;
+
+    // Client conns: incremental framing + pipelining state.
+    LineFramer framer;
+    std::deque<std::string> pending;  // complete lines, not yet dispatched
+    std::size_t in_flight = 0;        // tagged requests at the pool
+    bool untagged_running = false;
+
+    // Write side, both kinds of conn.
+    std::string wq;  // unflushed response bytes
+    std::size_t wq_off = 0;
+
+    std::uint32_t interest = 0;  // events currently registered
+    bool read_paused = false;
+    bool read_closed = false;       // peer EOF (or drain shut the read side)
+    bool close_after_flush = false;
+    bool line_overflow = false;     // framer poisoned: err + close
+    bool overflow_err_queued = false;
+
+    Clock::time_point last_activity;
+    /// Hard close time: always set on scrapers, set on a client conn
+    /// once it owes us nothing but a final flush it may never take.
+    Clock::time_point deadline{};
+    std::string http_req;  // scrapers only
+
+    std::size_t wq_size() const { return wq.size() - wq_off; }
+  };
+
+  struct Job {
+    std::uint64_t conn_id;
+    std::string line;
+    bool untagged;
+  };
+  struct Completion {
+    std::uint64_t conn_id;
+    std::string bytes;  // newline-terminated response
+    bool untagged;
+    bool shutdown;
+  };
+
+  ReactorOptions opts;
+  Handler handler;
+  std::function<std::size_t()> queue_depth;
+  std::function<void()> on_shutdown;
+
+  int epfd = -1;
+  int comp_pipe[2] = {-1, -1};  // [0] in epoll, [1] nonblocking, workers kick
+  int reserve_fd = -1;          // burned to drain accepts under EMFILE
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns;
+  std::uint64_t next_id = kFirstConnId;
+  std::size_t metrics_conns = 0;
+
+  bool draining = false;
+  bool accept_paused = false;  // listen fd out of the epoll set
+  bool accept_paused_busy = false;
+  Clock::time_point accept_resume{};  // EMFILE backoff expiry
+  bool emfile_logged = false;
+  Clock::time_point last_fd_gauge{};
+  Clock::time_point last_tick{};
+
+  // Worker pool.
+  std::vector<std::thread> workers;
+  std::mutex jobs_mu;
+  std::condition_variable jobs_cv;
+  std::deque<Job> jobs;
+  bool jobs_stop = false;
+  std::mutex comp_mu;
+  std::vector<Completion> completions;
+
+  // Stats, readable from other threads (tests poll while run() serves).
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> emfile_rejects{0};
+  std::atomic<std::uint64_t> busy_shed{0};
+  std::atomic<std::uint64_t> idle_reaped{0};
+  std::atomic<std::uint64_t> overflow_closed{0};
+  std::atomic<std::uint64_t> metrics_rejects{0};
+  std::atomic<std::size_t> open_conns{0};
+
+  // ---- epoll plumbing ----
+
+  void ep_add(int fd, std::uint64_t id, std::uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.u64 = id;
+    ::epoll_ctl(epfd, EPOLL_CTL_ADD, fd, &ev);
+  }
+  void ep_mod(int fd, std::uint64_t id, std::uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.u64 = id;
+    ::epoll_ctl(epfd, EPOLL_CTL_MOD, fd, &ev);
+  }
+  void ep_del(int fd) { ::epoll_ctl(epfd, EPOLL_CTL_DEL, fd, nullptr); }
+
+  /// Reconciles a connection's registered events with what it needs now:
+  /// EPOLLIN unless its reads are paused or closed, EPOLLOUT while
+  /// responses wait for socket buffer space.
+  void update_interest(Conn& c) {
+    std::uint32_t want = 0;
+    if (!c.read_closed && !c.read_paused) want |= EPOLLIN;
+    if (c.wq_size() > 0) want |= EPOLLOUT;
+    if (want != c.interest) {
+      ep_mod(c.fd, c.id, want);
+      c.interest = want;
+    }
+  }
+
+  // ---- connection lifecycle ----
+
+  Conn* find(std::uint64_t id) {
+    const auto it = conns.find(id);
+    return it == conns.end() ? nullptr : it->second.get();
+  }
+
+  void close_conn(std::uint64_t id) {
+    const auto it = conns.find(id);
+    if (it == conns.end()) return;
+    Conn& c = *it->second;
+    if (c.metrics) {
+      --metrics_conns;
+    } else {
+      open_conns.fetch_sub(1, std::memory_order_relaxed);
+    }
+    ::close(c.fd);  // the kernel drops it from the epoll set
+    conns.erase(it);
+  }
+
+  /// Appends one response and flushes what the socket accepts now.
+  /// Returns false when the connection was closed (write-queue overflow
+  /// or a dead peer) — the caller's Conn reference is gone.
+  bool queue_bytes(Conn& c, std::string bytes) {
+    if (c.wq_off > 0 && c.wq_off == c.wq.size()) {
+      c.wq.clear();
+      c.wq_off = 0;
+    }
+    c.wq += std::move(bytes);
+    return flush_wq(c);
+  }
+
+  bool flush_wq(Conn& c) {
+    while (c.wq_off < c.wq.size()) {
+      const ssize_t n = ::send(c.fd, c.wq.data() + c.wq_off,
+                               c.wq.size() - c.wq_off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        close_conn(c.id);
+        return false;
+      }
+      c.wq_off += static_cast<std::size_t>(n);
+    }
+    if (c.wq_off == c.wq.size()) {
+      c.wq.clear();
+      c.wq_off = 0;
+    } else if (c.wq_off > (std::size_t{256} << 10)) {
+      c.wq.erase(0, c.wq_off);
+      c.wq_off = 0;
+    }
+    if (c.wq_size() > opts.write_queue_limit) {
+      // The peer stopped reading its responses long ago; holding its
+      // backlog in memory indefinitely is the unbounded-thread bug in a
+      // new costume. Drop the connection.
+      overflow_closed.fetch_add(1, std::memory_order_relaxed);
+      DFKY_OBS(obs::counter("dfkyd_write_overflow_closed_total").inc(););
+      close_conn(c.id);
+      return false;
+    }
+    return true;
+  }
+
+  // ---- request dispatch ----
+
+  void submit(std::uint64_t conn_id, std::string line, bool untagged) {
+    {
+      std::lock_guard lk(jobs_mu);
+      jobs.push_back(Job{conn_id, std::move(line), untagged});
+    }
+    jobs_cv.notify_one();
+  }
+
+  bool should_shed(std::string_view body) const {
+    if (opts.busy_queue_limit == 0 || !queue_depth) return false;
+    if (!is_shed_verb(body)) return false;
+    return queue_depth() >= opts.busy_queue_limit;
+  }
+
+  /// Hands as many buffered lines to the pool as the pipelining rules
+  /// allow (protocol.h): tagged lines run concurrently up to the
+  /// per-connection bound, an untagged line waits for all of them and
+  /// then runs alone. Returns false when the connection closed under a
+  /// locally answered `err busy` whose flush failed.
+  bool try_dispatch(Conn& c) {
+    while (!c.pending.empty()) {
+      const TaggedLine tagged = split_request_tag(c.pending.front());
+      const bool is_tagged = tagged.id.has_value() && !tagged.bad_tag;
+      if (c.untagged_running) break;
+      if (is_tagged) {
+        if (c.in_flight >= opts.max_inflight_per_conn) break;
+        if (should_shed(tagged.body)) {
+          busy_shed.fetch_add(1, std::memory_order_relaxed);
+          DFKY_OBS(obs::counter("dfkyd_busy_shed_total").inc(););
+          const std::string resp =
+              tag_response(tagged.id, err_response("busy")) + "\n";
+          c.pending.pop_front();
+          if (!queue_bytes(c, resp)) return false;
+          continue;
+        }
+        ++c.in_flight;
+        submit(c.id, std::move(c.pending.front()), /*untagged=*/false);
+        c.pending.pop_front();
+        continue;
+      }
+      if (c.in_flight > 0) break;
+      if (should_shed(tagged.body)) {
+        busy_shed.fetch_add(1, std::memory_order_relaxed);
+        DFKY_OBS(obs::counter("dfkyd_busy_shed_total").inc(););
+        c.pending.pop_front();
+        if (!queue_bytes(c, err_response("busy") + "\n")) return false;
+        continue;
+      }
+      c.untagged_running = true;
+      submit(c.id, std::move(c.pending.front()), /*untagged=*/true);
+      c.pending.pop_front();
+      break;
+    }
+    c.read_paused = draining || c.line_overflow ||
+                    c.pending.size() >= opts.max_pending_per_conn ||
+                    c.wq_size() >= opts.write_queue_limit / 2;
+    return true;
+  }
+
+  /// Finishing moves once a connection has nothing left to do: the
+  /// deferred oversize-line error, then the close it has been waiting
+  /// for (peer EOF, protocol violation, or a flushed scraper response).
+  void maybe_finish(std::uint64_t id) {
+    Conn* c = find(id);
+    if (c == nullptr) return;
+    const bool quiesced =
+        c->pending.empty() && c->in_flight == 0 && !c->untagged_running;
+    if (c->line_overflow && quiesced && !c->overflow_err_queued) {
+      // Matches the threaded front end: every complete line already read
+      // gets its answer first, then the violation is reported and the
+      // connection dropped.
+      c->overflow_err_queued = true;
+      c->close_after_flush = true;
+      c->deadline = Clock::now() + std::chrono::seconds(5);
+      if (!queue_bytes(*c, err_response("request line too long") + "\n")) {
+        return;
+      }
+    }
+    if ((c->read_closed || c->close_after_flush) && quiesced &&
+        c->wq_size() == 0) {
+      close_conn(id);
+      return;
+    }
+    update_interest(*c);
+  }
+
+  // ---- accept paths ----
+
+  void pause_accept(bool busy, Clock::time_point resume) {
+    if (!accept_paused) {
+      ep_del(opts.listen_fd);
+      accept_paused = true;
+    }
+    accept_paused_busy = busy;
+    accept_resume = resume;
+  }
+
+  void maybe_resume_accept(Clock::time_point now) {
+    if (!accept_paused || draining) return;
+    if (accept_paused_busy) {
+      if (opts.busy_queue_limit != 0 && queue_depth &&
+          queue_depth() >= opts.busy_queue_limit) {
+        return;
+      }
+    } else if (now < accept_resume) {
+      return;
+    }
+    accept_paused = false;
+    accept_paused_busy = false;
+    ep_add(opts.listen_fd, kListenId, EPOLLIN);
+  }
+
+  void on_listen_ready(Clock::time_point now) {
+    for (int i = 0; i < 64; ++i) {
+      if (opts.busy_queue_limit != 0 && queue_depth &&
+          queue_depth() >= opts.busy_queue_limit) {
+        // Saturated: stop taking on new clients until the committers
+        // drain the backlog (existing connections shed per-request).
+        pause_accept(/*busy=*/true, now);
+        return;
+      }
+      const int cfd =
+          ::accept4(opts.listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+      if (cfd < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EMFILE || errno == ENFILE) {
+          reject_accept_emfile(now);
+          return;
+        }
+        // ECONNABORTED and friends: the would-be client is gone; the
+        // listen socket is fine.
+        continue;
+      }
+      accepted.fetch_add(1, std::memory_order_relaxed);
+      DFKY_OBS(obs::counter("dfkyd_connections_total").inc(););
+      set_nonblocking(cfd);
+      add_conn(cfd, /*metrics=*/false, now);
+    }
+  }
+
+  /// EMFILE/ENFILE: the process is out of fds, and a level-triggered
+  /// ready listen socket would otherwise spin this loop at 100% doing
+  /// nothing. Burn the reserve fd to actually accept the connection,
+  /// tell the client `err busy`, close it, and back off.
+  void reject_accept_emfile(Clock::time_point now) {
+    emfile_rejects.fetch_add(1, std::memory_order_relaxed);
+    DFKY_OBS(obs::counter("dfkyd_accept_overflow_total").inc(););
+    if (!emfile_logged) {
+      emfile_logged = true;
+      std::fprintf(stderr,
+                   "dfkyd: accept: out of file descriptors; shedding new "
+                   "connections (raise RLIMIT_NOFILE)\n");
+    }
+    if (reserve_fd >= 0) {
+      ::close(reserve_fd);
+      reserve_fd = -1;
+      const int cfd =
+          ::accept4(opts.listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+      if (cfd >= 0) {
+        const char msg[] = "err busy\n";
+        [[maybe_unused]] const ssize_t n =
+            ::send(cfd, msg, sizeof msg - 1, MSG_NOSIGNAL | MSG_DONTWAIT);
+        ::close(cfd);
+      }
+      reserve_fd = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+    }
+    pause_accept(/*busy=*/false,
+                 now + std::chrono::milliseconds(opts.accept_backoff_ms));
+  }
+
+  void on_metrics_listen_ready(Clock::time_point now) {
+    for (int i = 0; i < 16; ++i) {
+      const int mfd =
+          ::accept4(opts.metrics_fd, nullptr, nullptr, SOCK_CLOEXEC);
+      if (mfd < 0) {
+        if (errno == EINTR) continue;
+        return;  // EAGAIN, EMFILE, ...: try again on the next wakeup
+      }
+      if (metrics_conns >= opts.max_metrics_conns) {
+        // A scraper flood used to mean a thread per scrape, without
+        // bound. Now it means a closed connection.
+        metrics_rejects.fetch_add(1, std::memory_order_relaxed);
+        DFKY_OBS(obs::counter("dfkyd_metrics_rejected_total").inc(););
+        ::close(mfd);
+        continue;
+      }
+      set_nonblocking(mfd);
+      Conn* c = add_conn(mfd, /*metrics=*/true, now);
+      c->deadline = now + std::chrono::milliseconds(opts.metrics_timeout_ms);
+    }
+  }
+
+  Conn* add_conn(int fd, bool metrics, Clock::time_point now) {
+    auto conn = std::make_unique<Conn>();
+    Conn* c = conn.get();
+    c->fd = fd;
+    c->id = next_id++;
+    c->metrics = metrics;
+    c->last_activity = now;
+    c->interest = EPOLLIN;
+    conns.emplace(c->id, std::move(conn));
+    if (metrics) {
+      ++metrics_conns;
+    } else {
+      open_conns.fetch_add(1, std::memory_order_relaxed);
+    }
+    ep_add(fd, c->id, EPOLLIN);
+    return c;
+  }
+
+  // ---- read paths ----
+
+  void on_conn_readable(Conn& c, Clock::time_point now) {
+    char buf[std::size_t{64} << 10];
+    for (int i = 0; i < 16; ++i) {
+      const ssize_t n = ::recv(c.fd, buf, sizeof buf, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        close_conn(c.id);
+        return;
+      }
+      if (n == 0) {
+        c.read_closed = true;
+        break;
+      }
+      c.last_activity = now;
+      if (c.metrics) {
+        c.http_req.append(buf, static_cast<std::size_t>(n));
+        if (c.http_req.size() > 8192) c.read_closed = true;  // not HTTP
+        break;  // one request per connection; no need to drain more
+      }
+      c.framer.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+      while (auto line = c.framer.next()) c.pending.push_back(std::move(*line));
+      if (c.framer.overflowed()) {
+        c.line_overflow = true;
+        ::shutdown(c.fd, SHUT_RD);
+        c.read_closed = true;
+        break;
+      }
+      if (c.pending.size() >= opts.max_pending_per_conn) break;
+    }
+    if (c.metrics) {
+      if (c.http_req.find("\r\n\r\n") != std::string::npos ||
+          c.http_req.find("\n\n") != std::string::npos || c.read_closed) {
+        c.read_closed = true;
+        c.close_after_flush = true;
+        if (!queue_bytes(c, metrics_http_response(c.http_req))) return;
+      }
+      maybe_finish(c.id);
+      return;
+    }
+    if (!try_dispatch(c)) return;
+    maybe_finish(c.id);
+  }
+
+  // ---- completions ----
+
+  void on_completions() {
+    char drainbuf[256];
+    while (::read(comp_pipe[0], drainbuf, sizeof drainbuf) > 0) {
+    }
+    std::vector<Completion> done;
+    {
+      std::lock_guard lk(comp_mu);
+      done.swap(completions);
+    }
+    const auto now = Clock::now();
+    for (Completion& comp : done) {
+      bool alive = true;
+      if (Conn* c = find(comp.conn_id)) {
+        if (comp.untagged) {
+          c->untagged_running = false;
+        } else if (c->in_flight > 0) {
+          --c->in_flight;
+        }
+        c->last_activity = now;
+        alive = queue_bytes(*c, std::move(comp.bytes));
+        if (alive) alive = try_dispatch(*c);
+        if (alive) maybe_finish(comp.conn_id);
+      }
+      if (comp.shutdown && on_shutdown) on_shutdown();
+    }
+  }
+
+  // ---- periodic work ----
+
+  void on_tick(Clock::time_point now) {
+    maybe_resume_accept(now);
+    if (now - last_tick < std::chrono::milliseconds(50)) return;
+    last_tick = now;
+    std::vector<std::uint64_t> reap_deadline;
+    std::vector<std::uint64_t> reap_idle;
+    for (const auto& [id, c] : conns) {
+      if (c->deadline != Clock::time_point{} && now >= c->deadline) {
+        reap_deadline.push_back(id);
+        continue;
+      }
+      if (c->metrics || opts.idle_timeout_ms <= 0) continue;
+      if (c->in_flight > 0 || c->untagged_running || !c->pending.empty() ||
+          c->wq_size() > 0) {
+        continue;
+      }
+      if (now - c->last_activity >=
+          std::chrono::milliseconds(opts.idle_timeout_ms)) {
+        reap_idle.push_back(id);
+      }
+    }
+    for (const std::uint64_t id : reap_deadline) close_conn(id);
+    for (const std::uint64_t id : reap_idle) {
+      idle_reaped.fetch_add(1, std::memory_order_relaxed);
+      DFKY_OBS(obs::counter("dfkyd_idle_reaped_total").inc(););
+      close_conn(id);
+    }
+    DFKY_OBS(
+        obs::gauge("dfkyd_conns").set(static_cast<std::int64_t>(
+            open_conns.load(std::memory_order_relaxed)));
+        obs::gauge("dfkyd_metrics_conns")
+            .set(static_cast<std::int64_t>(metrics_conns));
+        if (now - last_fd_gauge >= std::chrono::seconds(1)) {
+          last_fd_gauge = now;
+          obs::gauge("dfkyd_fds_open")
+              .set(static_cast<std::int64_t>(count_open_fds()));
+          rlimit rl{};
+          if (::getrlimit(RLIMIT_NOFILE, &rl) == 0) {
+            obs::gauge("dfkyd_fds_limit")
+                .set(static_cast<std::int64_t>(rl.rlim_cur));
+          }
+        });
+  }
+
+  // ---- drain ----
+
+  /// Stop-the-front-end sequence, same contract as the threaded path:
+  /// accepting stops, reads stop (undispatched input is dropped — the
+  /// old loop dropped its read buffer the same way), every request
+  /// already at the pool completes and its ack is flushed, then a
+  /// bounded flush window covers clients slow to read the last bytes.
+  void drain() {
+    draining = true;
+    ep_del(opts.wake_fd);  // level-triggered; would spin the drain loop
+    if (!accept_paused) ep_del(opts.listen_fd);
+    if (opts.metrics_fd >= 0) ep_del(opts.metrics_fd);
+    for (auto& [id, c] : conns) {
+      if (!c->read_closed) {
+        ::shutdown(c->fd, SHUT_RD);
+        c->read_closed = true;
+      }
+      c->pending.clear();
+      update_interest(*c);
+    }
+    std::optional<Clock::time_point> flush_deadline;
+    epoll_event events[64];
+    for (;;) {
+      bool executing = false;
+      bool unflushed = false;
+      for (const auto& [id, c] : conns) {
+        if (c->in_flight > 0 || c->untagged_running) executing = true;
+        if (c->wq_size() > 0) unflushed = true;
+      }
+      if (!executing && !unflushed) break;
+      const auto now = Clock::now();
+      if (!executing) {
+        if (!flush_deadline) {
+          flush_deadline = now + std::chrono::seconds(5);
+        } else if (now >= *flush_deadline) {
+          break;  // unresponsive clients forfeit their last responses
+        }
+      }
+      const int n = ::epoll_wait(epfd, events, 64, 100);
+      if (n < 0 && errno != EINTR) break;
+      for (int i = 0; i < n; ++i) {
+        const std::uint64_t id = events[i].data.u64;
+        if (id == kCompletionId) {
+          on_completions();
+        } else if (Conn* c = find(id)) {
+          if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+            close_conn(id);
+          } else if (events[i].events & EPOLLOUT) {
+            if (flush_wq(*c)) maybe_finish(id);
+          }
+        }
+      }
+    }
+    {
+      std::lock_guard lk(jobs_mu);
+      jobs_stop = true;
+    }
+    jobs_cv.notify_all();
+    for (std::thread& w : workers) w.join();
+    workers.clear();
+    std::vector<std::uint64_t> ids;
+    ids.reserve(conns.size());
+    for (const auto& [id, c] : conns) ids.push_back(id);
+    for (const std::uint64_t id : ids) close_conn(id);
+  }
+
+  void worker_loop() {
+    for (;;) {
+      Job job;
+      {
+        std::unique_lock lk(jobs_mu);
+        jobs_cv.wait(lk, [&] { return jobs_stop || !jobs.empty(); });
+        if (jobs.empty()) return;  // stop requested and fully drained
+        job = std::move(jobs.front());
+        jobs.pop_front();
+      }
+      Result res = handler(job.line);
+      res.response += '\n';
+      {
+        std::lock_guard lk(comp_mu);
+        completions.push_back(Completion{job.conn_id, std::move(res.response),
+                                         job.untagged, res.shutdown});
+      }
+      // Nonblocking kick; a full pipe already means a wakeup is pending.
+      const char b = 1;
+      [[maybe_unused]] const ssize_t n = ::write(comp_pipe[1], &b, 1);
+    }
+  }
+
+  void run() {
+    epfd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epfd < 0) {
+      std::fprintf(stderr, "dfkyd: epoll_create1: %s\n", std::strerror(errno));
+      return;
+    }
+    if (::pipe2(comp_pipe, O_CLOEXEC | O_NONBLOCK) != 0) {
+      std::fprintf(stderr, "dfkyd: pipe2: %s\n", std::strerror(errno));
+      ::close(epfd);
+      epfd = -1;
+      return;
+    }
+    reserve_fd = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+    set_nonblocking(opts.listen_fd);
+    if (opts.metrics_fd >= 0) set_nonblocking(opts.metrics_fd);
+
+    ep_add(opts.wake_fd, kWakeId, EPOLLIN);
+    ep_add(opts.listen_fd, kListenId, EPOLLIN);
+    if (opts.metrics_fd >= 0) ep_add(opts.metrics_fd, kMetricsListenId, EPOLLIN);
+    ep_add(comp_pipe[0], kCompletionId, EPOLLIN);
+
+    const std::size_t nworkers = opts.workers > 0 ? opts.workers : 1;
+    workers.reserve(nworkers);
+    for (std::size_t i = 0; i < nworkers; ++i) {
+      workers.emplace_back([this] { worker_loop(); });
+    }
+
+    epoll_event events[128];
+    bool wake = false;
+    while (!wake) {
+      const int n = ::epoll_wait(epfd, events, 128, 250);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        std::fprintf(stderr, "dfkyd: epoll_wait: %s\n", std::strerror(errno));
+        break;
+      }
+      const auto now = Clock::now();
+      for (int i = 0; i < n && !wake; ++i) {
+        const std::uint64_t id = events[i].data.u64;
+        switch (id) {
+          case kWakeId:
+            wake = true;
+            break;
+          case kListenId:
+            on_listen_ready(now);
+            break;
+          case kMetricsListenId:
+            on_metrics_listen_ready(now);
+            break;
+          case kCompletionId:
+            on_completions();
+            break;
+          default:
+            if (Conn* c = find(id)) {
+              if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+                close_conn(id);
+                break;
+              }
+              if (events[i].events & EPOLLOUT) {
+                if (!flush_wq(*c)) break;
+                // Draining the queue may lift the backpressure pause.
+                if (!try_dispatch(*c)) break;
+              }
+              if (events[i].events & EPOLLIN) {
+                on_conn_readable(*c, now);
+              } else {
+                maybe_finish(id);
+              }
+            }
+            break;
+        }
+      }
+      on_tick(Clock::now());
+    }
+
+    drain();
+
+    ::close(comp_pipe[0]);
+    ::close(comp_pipe[1]);
+    comp_pipe[0] = comp_pipe[1] = -1;
+    if (reserve_fd >= 0) {
+      ::close(reserve_fd);
+      reserve_fd = -1;
+    }
+    ::close(epfd);
+    epfd = -1;
+  }
+};
+
+Reactor::Reactor(ReactorOptions opts, Handler handler,
+                 std::function<std::size_t()> queue_depth,
+                 std::function<void()> on_shutdown_request)
+    : impl_(new Impl) {
+  impl_->opts = opts;
+  impl_->handler = std::move(handler);
+  impl_->queue_depth = std::move(queue_depth);
+  impl_->on_shutdown = std::move(on_shutdown_request);
+}
+
+Reactor::~Reactor() { delete impl_; }
+
+void Reactor::run() { impl_->run(); }
+
+Reactor::Stats Reactor::stats() const {
+  Stats s;
+  s.accepted = impl_->accepted.load(std::memory_order_relaxed);
+  s.emfile_rejects = impl_->emfile_rejects.load(std::memory_order_relaxed);
+  s.busy_shed = impl_->busy_shed.load(std::memory_order_relaxed);
+  s.idle_reaped = impl_->idle_reaped.load(std::memory_order_relaxed);
+  s.overflow_closed = impl_->overflow_closed.load(std::memory_order_relaxed);
+  s.metrics_rejects = impl_->metrics_rejects.load(std::memory_order_relaxed);
+  s.open_conns = impl_->open_conns.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace dfky::daemon

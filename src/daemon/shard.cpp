@@ -411,6 +411,15 @@ std::uint64_t ShardRouter::replica_truncate(std::size_t shard,
   return seq;
 }
 
+std::size_t ShardRouter::queue_depth_total() const {
+  std::size_t total = 0;
+  for (const auto& sh : shards_) {
+    const std::shared_ptr<GroupCommit> commits = sh->commits.load();
+    if (commits) total += commits->depth();
+  }
+  return total;
+}
+
 std::vector<ShardRouter::ReplPosition> ShardRouter::repl_positions() const {
   std::vector<ReplPosition> out;
   out.reserve(shards_.size());

@@ -155,6 +155,12 @@ class ShardRouter {
   /// True after any shard fail-stopped (batch sync or barrier failure).
   bool fatal() const { return fatal_.load(); }
 
+  /// Mutations submitted across every shard's committer and not yet
+  /// (N)ACKed — the reactor's admission-control signal (DESIGN.md
+  /// Sect. 15). Lock-free reads of each queue's depth counter; 0 on a
+  /// follower (no committers run).
+  std::size_t queue_depth_total() const;
+
   // -- replication (DESIGN.md Sect. 12) ------------------------------------------
 
   /// True while this router is a read-only replica.

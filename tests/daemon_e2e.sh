@@ -60,6 +60,12 @@ if "$DFKYD" store.d 2>err.txt; then fail "dfkyd without --socket exited 0"; fi
 if "$DFKYD" store.d --socket "$SOCK" --metrics-port banana 2>/dev/null; then
   fail "dfkyd accepted a non-numeric metrics port"
 fi
+if "$DFKYD" store.d --socket "$SOCK" --backlog 0 2>/dev/null; then
+  fail "dfkyd accepted --backlog 0"
+fi
+if "$DFKYD" store.d --socket "$SOCK" --workers 0 2>/dev/null; then
+  fail "dfkyd accepted --workers 0"
+fi
 [ ! -d store.d ] || fail "a rejected invocation created the store dir"
 
 "$CLI" init store.d --v 4 --group test128 --store >/dev/null
@@ -145,6 +151,40 @@ else
   grep -q 'compiled out' metrics.txt || fail "metrics body unrecognizable"
 fi
 
+# ---- scraper flood: the connection cap sheds, the daemon keeps serving --------
+# 40 scrapers that connect and go silent: the reactor holds the first 32
+# (the default cap), rejects the rest outright, and never spawns a thread
+# or stalls the request path for any of them.
+FLOOD_FDS=()
+for _ in $(seq 1 40); do
+  if exec {mfd}<>"/dev/tcp/127.0.0.1/$PORT"; then
+    FLOOD_FDS+=("$mfd")
+  fi
+done
+[ "${#FLOOD_FDS[@]}" -ge 40 ] || fail "scraper flood: not all connects landed"
+"$CLI" client "$SOCK" ping >/dev/null \
+  || fail "daemon wedged by a metrics scraper flood"
+for mfd in "${FLOOD_FDS[@]}"; do
+  exec {mfd}<&- || true
+done
+# With the flood gone the slots free up and a real scrape works again; a
+# rejected-over-cap connection must have been counted.
+flood_ok=0
+for _ in $(seq 1 100); do
+  if exec 3<>"/dev/tcp/127.0.0.1/$PORT"; then
+    printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+    cat <&3 > flood_metrics.txt || true
+    exec 3<&- 3>&-
+    grep -q '200 OK' flood_metrics.txt && { flood_ok=1; break; }
+  fi
+  sleep 0.05
+done
+[ "$flood_ok" = 1 ] || fail "metrics unreachable after the scraper flood"
+if grep -q 'dfkyd_requests_total' flood_metrics.txt; then
+  grep -Eq 'dfkyd_metrics_rejected_total(\{[^}]*\})? [1-9]' flood_metrics.txt \
+    || fail "scraper flood: no over-cap rejections counted"
+fi
+
 # ---- health: a machine-checkable verdict, exit status to match ----------------
 "$CLI" client "$SOCK" health > health.txt \
   || fail "healthy daemon's health verb exited non-zero"
@@ -201,6 +241,10 @@ for i in $(seq 1 16); do
 done
 sleep 0.2
 kill -9 "$PID"
+# The restart takes over the dead daemon's lock by noticing its pid is
+# gone; poll the pid out of existence first or the takeover can race the
+# kernel still tearing the process down.
+for _ in $(seq 1 100); do kill -0 "$PID" 2>/dev/null || break; sleep 0.05; done
 PID=""
 for p in "${pids[@]}"; do wait "$p" || true; done
 acked=$(wc -l < acked.txt)
@@ -249,6 +293,91 @@ if [ "$OBS_ON" = 1 ]; then
   rc=0; wait "$PID" || rc=$?
   PID=""
   [ "$rc" = 0 ] || fail "stalled daemon shutdown exited $rc"
+fi
+
+# ---- fd exhaustion: EMFILE sheds new connections, never kills the daemon ------
+# The daemon runs with RLIMIT_NOFILE clamped to 64; a client herd holds
+# more connections than that leaves room for. accept() hitting EMFILE must
+# shed (reserve-fd accept-then-close with `err busy`, log once, back off) —
+# not exit, not spin — and serve normally once the herd drains.
+"$CLI" init fe.d --v 4 --group test128 --store >/dev/null
+FESOCK="$WORK/fe.sock"
+: > fe.log
+( ulimit -n 64 && exec "$DFKYD" fe.d --socket "$FESOCK" ) >> fe.log 2>&1 &
+PID=$!
+for _ in $(seq 1 200); do
+  grep -q 'dfkyd: ready' fe.log 2>/dev/null && break
+  kill -0 "$PID" 2>/dev/null || fail "clamped daemon died at startup: $(cat fe.log)"
+  sleep 0.05
+done
+grep -q 'dfkyd: ready' fe.log || fail "clamped daemon never ready"
+"$CLI" client "$FESOCK" soak --idle 60 --active 0 --hold-ms 2000 \
+  > fe_soak.txt 2>&1 &
+SOAK=$!
+for _ in $(seq 1 200); do
+  grep -q 'out of file descriptors' fe.log 2>/dev/null && break
+  sleep 0.05
+done
+grep -q 'out of file descriptors' fe.log \
+  || fail "EMFILE never reported: $(tail -5 fe.log)"
+kill -0 "$PID" 2>/dev/null || fail "daemon died under fd exhaustion"
+wait "$SOAK" || true
+"$CLI" client "$FESOCK" ping >/dev/null \
+  || fail "daemon not serving after the fd-exhaustion herd drained"
+"$CLI" client "$FESOCK" shutdown >/dev/null \
+  || fail "clamped daemon shutdown failed"
+rc=0; wait "$PID" || rc=$?
+PID=""
+[ "$rc" = 0 ] || fail "clamped daemon shutdown exited $rc"
+
+# ---- 1k idle connections plus active pipelined load through the reactor -------
+# The herd scales with the hard fd limit (each side needs IDLE fds plus
+# slack), capped at the 1000 the reactor must hold without breaking a sweat.
+HARD=$(ulimit -Hn); [ "$HARD" = unlimited ] && HARD=1048576
+IDLE=1000
+[ $((HARD / 2 - 100)) -lt "$IDLE" ] && IDLE=$((HARD / 2 - 100))
+if [ "$IDLE" -ge 100 ]; then
+  "$CLI" init soakst.d --v 4 --group test128 --store >/dev/null
+  SKSOCK="$WORK/soak.sock"
+  : > soakd.log
+  "$DFKYD" soakst.d --socket "$SKSOCK" --metrics-port 0 \
+    --idle-timeout-ms 60000 --workers 8 >> soakd.log 2>&1 &
+  PID=$!
+  for _ in $(seq 1 200); do
+    grep -q 'dfkyd: ready' soakd.log 2>/dev/null && break
+    kill -0 "$PID" 2>/dev/null || fail "soak daemon died: $(cat soakd.log)"
+    sleep 0.05
+  done
+  grep -q 'dfkyd: ready' soakd.log || fail "soak daemon never ready"
+  SKPORT=$(sed -n 's|.*http://127.0.0.1:\([0-9]*\)/metrics.*|\1|p' soakd.log)
+  "$CLI" client "$SKSOCK" soak --idle "$IDLE" --active 8 --per 50 \
+    --hold-ms 3000 > soak_out.txt &
+  SOAK=$!
+  # While the herd is held, the conns gauge on /metrics must see it.
+  if [ "$OBS_ON" = 1 ] && [ -n "$SKPORT" ]; then
+    seen_conns=0
+    for _ in $(seq 1 100); do
+      if exec 3<>"/dev/tcp/127.0.0.1/$SKPORT"; then
+        printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+        cat <&3 > soak_metrics.txt || true
+        exec 3<&- 3>&-
+        conns=$(sed -n 's/^dfkyd_conns \([0-9]*\)$/\1/p' soak_metrics.txt)
+        [ -n "$conns" ] && [ "$conns" -ge "$IDLE" ] && { seen_conns=1; break; }
+      fi
+      sleep 0.05
+    done
+    [ "$seen_conns" = 1 ] \
+      || fail "dfkyd_conns never reached the $IDLE-conn herd"
+  fi
+  wait "$SOAK" || fail "idle-herd soak reported errors: $(cat soak_out.txt)"
+  grep -q "soak: $IDLE idle conn(s) held (0 refused), 8 worker(s) x 50" \
+    soak_out.txt || fail "soak summary wrong: $(cat soak_out.txt)"
+  grep -q '400 answered, 0 error(s)' soak_out.txt \
+    || fail "soak lost responses: $(cat soak_out.txt)"
+  "$CLI" client "$SKSOCK" shutdown >/dev/null || fail "soak shutdown failed"
+  rc=0; wait "$PID" || rc=$?
+  PID=""
+  [ "$rc" = 0 ] || fail "soak daemon shutdown exited $rc"
 fi
 
 # =========================== sharded deployments ===============================
@@ -351,6 +480,8 @@ users_before=$(sharded_field active)
 NP_LOOP=$!
 sleep 0.3
 kill -9 "$SPID"
+# As above: let the killed daemon's pid disappear before the lock takeover.
+for _ in $(seq 1 100); do kill -0 "$SPID" 2>/dev/null || break; sleep 0.05; done
 SPID=""
 wait "$NP_LOOP" 2>/dev/null || true
 
@@ -584,8 +715,12 @@ ln -sfn "$ABSOCK" "$FOSOCK"
 "$CLI" client "$ABSOCK" repl-status > fo_repl.txt \
   || fail "repl-status failed on the armed primary"
 grep -q '^term: 0' fo_repl.txt || fail "repl-status missing term: $(cat fo_repl.txt)"
-"$CLI" client "$ABSOCK" health | grep -q '^term: 0' \
-  || fail "health does not surface the term"
+# The verdict may transiently be degraded while the freshly started senders
+# connect (health exits 1 then, which pipefail would misread as "no term
+# line"), so capture the report first and grep it separately.
+rc=0; "$CLI" client "$ABSOCK" health > fo_health0.txt || rc=$?
+[ "$rc" -le 1 ] || fail "health verb failed on the armed primary"
+grep -q '^term: 0' fo_health0.txt || fail "health does not surface the term"
 
 # ---- promote/demote are idempotent with a distinct exit ------------------------
 rc=0; "$CLI" client "$ABSOCK" promote > promote_again.txt || rc=$?

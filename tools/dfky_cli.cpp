@@ -46,6 +46,7 @@
 #include <thread>
 #include <vector>
 
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -800,12 +801,134 @@ int cmd_client_pipeline(const std::string& sock,
   return errors == 0 ? 0 : 1;
 }
 
+/// Single connect attempt, no retries, no die(): the soak harness runs
+/// against daemons that are deliberately shedding, and a refused or
+/// reset connection is a data point there, not a fatal error.
+int connect_once(const std::string& socket_path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof addr.sun_path) {
+    ::close(fd);
+    return -1;
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// `client <socket> soak [--idle N] [--active M] [--per K] [--hold-ms T]`
+/// — connection-scale load harness for the reactor front end (DESIGN.md
+/// Sect. 15). Opens N idle connections and HOLDS them (pipeline can't:
+/// it reads stdin to EOF before connecting), then runs M concurrent
+/// workers that each pipeline K tagged pings over their own connection.
+/// With --hold-ms the idle herd stays connected that long after the
+/// active phase — the e2e suite uses a pure-idle soak as the
+/// fd-exhaustion holder. Exits 0 when every active request was answered
+/// `ok`; connect failures on the idle herd are reported, not fatal (a
+/// daemon at its fd limit is expected to shed them).
+int cmd_client_soak(const std::string& sock, std::vector<std::string> args) {
+  const auto idle = static_cast<std::size_t>(parse_count(
+      "client soak", "--idle", flag_value(args, "--idle").value_or("0")));
+  const auto active = static_cast<std::size_t>(parse_count(
+      "client soak", "--active", flag_value(args, "--active").value_or("0")));
+  const auto per = static_cast<std::size_t>(parse_count(
+      "client soak", "--per", flag_value(args, "--per").value_or("100")));
+  const auto hold_ms = parse_count(
+      "client soak", "--hold-ms", flag_value(args, "--hold-ms").value_or("0"));
+  reject_unknown_flags(args, "client soak");
+  if (!args.empty()) {
+    die_usage(
+        "client: usage: client <socket> soak [--idle N] [--active M] "
+        "[--per K] [--hold-ms T]");
+  }
+
+  // The soak's own fd budget has to cover the herd.
+  rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) == 0 && rl.rlim_cur < rl.rlim_max) {
+    rl.rlim_cur = rl.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &rl);
+  }
+
+  std::vector<int> held;
+  held.reserve(idle);
+  std::size_t idle_failed = 0;
+  for (std::size_t i = 0; i < idle; ++i) {
+    const int fd = connect_once(sock);
+    if (fd < 0) {
+      ++idle_failed;
+      continue;
+    }
+    held.push_back(fd);
+  }
+
+  std::atomic<std::size_t> errors{0};
+  std::atomic<std::size_t> answered{0};
+  std::vector<std::thread> workers;
+  workers.reserve(active);
+  for (std::size_t w = 0; w < active; ++w) {
+    workers.emplace_back([&, w] {
+      const int fd = connect_once(sock);
+      if (fd < 0) {
+        errors.fetch_add(per);
+        return;
+      }
+      std::string out;
+      for (std::size_t i = 0; i < per; ++i) {
+        out += "@" + std::to_string(w * per + i) + " ping\n";
+      }
+      if (!send_str(fd, out)) {
+        errors.fetch_add(per);
+        ::close(fd);
+        return;
+      }
+      std::string buf;
+      char chunk[1 << 16];
+      std::size_t got = 0;
+      while (got < per) {
+        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) break;
+        buf.append(chunk, static_cast<std::size_t>(n));
+        std::size_t pos;
+        while ((pos = buf.find('\n')) != std::string::npos) {
+          const std::string resp = buf.substr(0, pos);
+          buf.erase(0, pos + 1);
+          ++got;
+          const std::optional<daemon::Response> r =
+              daemon::parse_response(resp);
+          if (!r || !r->ok) errors.fetch_add(1);
+        }
+      }
+      answered.fetch_add(got);
+      if (got < per) errors.fetch_add(per - got);
+      ::close(fd);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  if (hold_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(hold_ms));
+  }
+  for (const int fd : held) ::close(fd);
+
+  std::printf(
+      "soak: %zu idle conn(s) held (%zu refused), %zu worker(s) x %zu "
+      "request(s), %zu answered, %zu error(s)\n",
+      held.size(), idle_failed, active, per, answered.load(), errors.load());
+  return errors.load() == 0 ? 0 : 1;
+}
+
 int cmd_client(std::vector<std::string> args) {
   if (args.size() < 2) {
     die_usage(
         "client: usage: client <socket> "
-        "(ping|status|add|revoke|new-period|encrypt|pipeline|repl-status"
-        "|health|trace|promote|demote|shutdown) ...");
+        "(ping|status|add|revoke|new-period|encrypt|pipeline|soak"
+        "|repl-status|health|trace|promote|demote|shutdown) ...");
   }
   const std::string sock = args[0];
   const std::string sub = args[1];
@@ -813,6 +936,9 @@ int cmd_client(std::vector<std::string> args) {
 
   if (sub == "pipeline") {
     return cmd_client_pipeline(sock, std::move(args));
+  }
+  if (sub == "soak") {
+    return cmd_client_soak(sock, std::move(args));
   }
   if (sub == "ping" || sub == "status" || sub == "repl-status") {
     reject_unknown_flags(args, "client " + sub);

@@ -18,6 +18,8 @@ int usage(std::FILE* out) {
   std::fprintf(out,
                "usage: dfkyd <store-dir> --socket PATH [--metrics-port N]\n"
                "             [--snapshot-every N] [--trace-slow-us N]\n"
+               "             [--backlog N] [--idle-timeout-ms N]\n"
+               "             [--workers N] [--busy-queue-limit N]\n"
                "             [--follower] [--replicate-to PATH]...\n"
                "             [--auto-failover]\n"
                "             [--failover-timings LEASE,HB,TIMEOUT,EMIN,EMAX]\n"
@@ -30,6 +32,16 @@ int usage(std::FILE* out) {
                "to disable both. Requests slower than --trace-slow-us\n"
                "(default 10000; 0 disables) are kept in the slow-request log\n"
                "served by the `trace` verb and GET /trace.\n"
+               "\n"
+               "Front end (DESIGN.md Sect. 15): connections are served by an\n"
+               "epoll reactor; requests execute on --workers threads (default:\n"
+               "hardware, clamped to 4..16). --backlog sets the listen(2)\n"
+               "backlog (default SOMAXCONN; the kernel clamps to\n"
+               "net.core.somaxconn). --idle-timeout-ms closes client\n"
+               "connections idle that long (default 0: never).\n"
+               "--busy-queue-limit sheds mutations with `err busy` while that\n"
+               "many are queued un-acked at the committers (default 1024;\n"
+               "0 disables).\n"
                "\n"
                "Replication (DESIGN.md Sect. 12): --follower comes up as a\n"
                "read-only replica (mutations rejected; state advances via\n"
@@ -128,7 +140,9 @@ int main(int argc, char** argv) {
       dfky::obs::set_slow_threshold_ns(*n * 1000);
       continue;
     }
-    if (a == "--socket" || a == "--metrics-port" || a == "--snapshot-every") {
+    if (a == "--socket" || a == "--metrics-port" || a == "--snapshot-every" ||
+        a == "--backlog" || a == "--idle-timeout-ms" || a == "--workers" ||
+        a == "--busy-queue-limit") {
       if (i + 1 == args.size()) {
         std::fprintf(stderr, "dfkyd: %s needs a value\n", a.c_str());
         return usage(stderr);
@@ -151,6 +165,26 @@ int main(int argc, char** argv) {
           return usage(stderr);
         }
         opts.metrics_port = static_cast<int>(*n);
+      } else if (a == "--backlog") {
+        if (*n == 0 || *n > 1000000) {
+          std::fprintf(stderr, "dfkyd: --backlog must be in 1..1000000\n");
+          return usage(stderr);
+        }
+        opts.backlog = static_cast<int>(*n);
+      } else if (a == "--idle-timeout-ms") {
+        if (*n > 86400000) {
+          std::fprintf(stderr, "dfkyd: --idle-timeout-ms: too large\n");
+          return usage(stderr);
+        }
+        opts.idle_timeout_ms = static_cast<int>(*n);
+      } else if (a == "--workers") {
+        if (*n == 0 || *n > 1024) {
+          std::fprintf(stderr, "dfkyd: --workers must be in 1..1024\n");
+          return usage(stderr);
+        }
+        opts.workers = static_cast<int>(*n);
+      } else if (a == "--busy-queue-limit") {
+        opts.busy_queue_limit = static_cast<std::size_t>(*n);
       } else {
         if (*n == 0) {
           std::fprintf(stderr, "dfkyd: --snapshot-every must be positive\n");
