@@ -18,10 +18,12 @@
 
 #include <memory>
 #include <random>
+#include <shared_mutex>
 #include <thread>
 
 #include "daemon/protocol.h"
 #include "daemon/reactor.h"
+#include "serial/buffer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -36,7 +38,7 @@ namespace {
   static constexpr const char* kVerbs[] = {
       "ping", "status", "add-user", "revoke", "new-period", "encrypt",
       "shutdown", "repl-status", "repl-append", "repl-snap", "repl-truncate",
-      "repl-hb", "promote", "demote", "health", "trace"};
+      "repl-hb", "promote", "demote", "health", "trace", "subscribe"};
   for (const char* v : kVerbs) {
     if (verb == v) return v;
   }
@@ -183,6 +185,13 @@ std::string RequestHandler::dispatch(const std::vector<std::string>& tokens) {
       ids.push_back(*id);
     }
     const ShardRouter::RevokeResult r = router_.revoke(ids);
+    // A revoke that crossed its shard's saturation threshold rolled the
+    // period reactively — subscribers need that reset like any other.
+    if (!r.bundles.empty() && hooks_.publish) {
+      hooks_.publish("bcast new-period period=" + std::to_string(r.period) +
+                         " bundles=" + bundles_field(r.bundles),
+                     r.period);
+    }
     return ok_response({{"period", std::to_string(r.period)},
                         {"saturation", saturation_field(router_.status())},
                         {"bundles", bundles_field(r.bundles)}});
@@ -193,6 +202,11 @@ std::string RequestHandler::dispatch(const std::vector<std::string>& tokens) {
       return err_response("new-period takes no arguments");
     }
     const ShardRouter::NewPeriodResult r = router_.new_period_all();
+    if (hooks_.publish) {
+      hooks_.publish("bcast new-period period=" + std::to_string(r.period) +
+                         " bundles=" + bundles_field(r.bundles),
+                     r.period);
+    }
     return ok_response({{"period", std::to_string(r.period)},
                         {"saturation", saturation_field(router_.status())},
                         {"bundles", bundles_field(r.bundles)}});
@@ -434,9 +448,22 @@ std::string RequestHandler::dispatch(const std::vector<std::string>& tokens) {
       shard = static_cast<std::size_t>(*k);
     }
     const Bytes ct = router_.encrypt(*payload, shard);
+    if (hooks_.publish) {
+      hooks_.publish("bcast encrypt shard=" + std::to_string(shard) +
+                         " bytes=" + std::to_string(payload->size()) + " ct=" +
+                         hex_encode(ct),
+                     0);
+    }
     return ok_response({{"bytes", std::to_string(payload->size())},
                         {"shard", std::to_string(shard)},
                         {"ct", hex_encode(ct)}});
+  }
+
+  if (verb == "subscribe") {
+    // The reactor intercepts `subscribe` before it reaches a worker —
+    // landing here means the connection has no stream to upgrade (the
+    // in-process simulator, or a front end without a feed hub).
+    return err_response("subscribe requires a streaming client connection");
   }
 
   return err_response("unknown command '" + verb + "'");
@@ -629,6 +656,9 @@ Daemon::Daemon(DaemonOptions opts)
         request_stop();
       },
       opts_.follower);
+  feed_ = std::make_unique<FeedHub>();
+  feed_->set_replay(
+      [this](std::optional<std::uint64_t> from) { return feed_replay(from); });
   handler_.emplace(
       *router_,
       RequestHandler::Hooks{
@@ -641,7 +671,59 @@ Daemon::Daemon(DaemonOptions opts)
                 return watchdog_ ? std::string(FailoverWatchdog::state_name(
                                        watchdog_->state()))
                                  : std::string();
+              },
+          .publish =
+              [this](std::string line, std::uint64_t period) {
+                feed_->publish(std::move(line), period);
               }});
+}
+
+FeedReplay Daemon::feed_replay(std::optional<std::uint64_t> from) {
+  // Runs on the reactor thread. Shared-lock every shard in index order
+  // (the same order the epoch barrier locks them) for one consistent
+  // cut of periods + archives.
+  const std::size_t n = router_->shards();
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) locks.emplace_back(router_->state_mu(k));
+  FeedReplay rep;
+  for (std::size_t k = 0; k < n; ++k) {
+    const SecurityManager& mgr = router_->store(k).manager();
+    rep.current = std::max(rep.current, mgr.period());
+    // The shard with the shortest archive binds how far back the feed
+    // can bridge; beyond that the client needs the signed catch-up
+    // protocol.
+    rep.oldest = std::max(rep.oldest, mgr.archive_oldest_period());
+  }
+  if (!from) {  // fresh subscribe: current broadcasts only
+    rep.ok = true;
+    return rep;
+  }
+  if (*from >= rep.current) {  // nothing missed
+    rep.ok = true;
+    return rep;
+  }
+  if (*from + 1 < rep.oldest) return rep;  // evicted: ok stays false
+  for (std::uint64_t p = *from + 1; p <= rep.current; ++p) {
+    std::string bundles;
+    for (std::size_t k = 0; k < n; ++k) {
+      const SecurityManager& mgr = router_->store(k).manager();
+      for (const SignedResetBundle& b : mgr.reset_archive()) {
+        if (b.reset.new_period != p) continue;
+        Writer w;
+        b.serialize(w, mgr.params().group);
+        if (!bundles.empty()) bundles += ',';
+        bundles += hex_encode(std::move(w).take());
+      }
+    }
+    // A shard that never rolled through p (per-shard reactive resets)
+    // contributes nothing; skip epochs no shard archived.
+    if (bundles.empty()) continue;
+    rep.lines.push_back("bcast new-period period=" + std::to_string(p) +
+                        " bundles=" + bundles);
+  }
+  rep.ok = true;
+  return rep;
 }
 
 Daemon::~Daemon() {
@@ -874,6 +956,7 @@ int Daemon::run() {
                       : std::clamp<std::size_t>(hw, 4, 16);
   ropts.idle_timeout_ms = opts_.idle_timeout_ms;
   ropts.busy_queue_limit = opts_.busy_queue_limit;
+  ropts.feed = feed_.get();
   std::printf("dfkyd: reactor: %zu workers, backlog %d%s\n", ropts.workers,
               backlog,
               opts_.idle_timeout_ms > 0 ? ", idle timeout armed" : "");

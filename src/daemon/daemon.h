@@ -24,6 +24,7 @@
 #include <string>
 
 #include "daemon/failover.h"
+#include "daemon/feed.h"
 #include "daemon/repl.h"
 #include "daemon/shard.h"
 #include "rng/system_rng.h"
@@ -56,6 +57,12 @@ class RequestHandler {
     /// Returns the failover watchdog's state name ("watching", ...) or ""
     /// when none is armed — surfaced by `health`.
     std::function<std::string()> watchdog_state;
+    /// Invoked after a committed broadcast-worthy mutation (`new-period`,
+    /// a revoke that rolled its shard's period, `encrypt`) with the push
+    /// line for the streaming feed (DESIGN.md Sect. 16). Runs on the
+    /// worker thread AFTER durability — subscribers never see an epoch
+    /// the store could still lose.
+    std::function<void(std::string line, std::uint64_t period)> publish;
   };
 
   explicit RequestHandler(ShardRouter& router, Hooks hooks = {});
@@ -145,6 +152,9 @@ class Daemon {
 
  private:
   void request_stop();
+  /// Replay source for `subscribe from-period`: rebuilds the missed
+  /// `new-period` push lines out of the shards' reset archives.
+  FeedReplay feed_replay(std::optional<std::uint64_t> from);
   void probe_peers();        // armed startup: adopt/fence the cluster epoch
   void start_replication();  // idempotent; manual promote and on_promoted
   void stop_replication();   // idempotent; pre-demote and shutdown
@@ -161,6 +171,11 @@ class Daemon {
   FileIo& io_;  // stall_io_ when armed, else real_io_
   SystemRng rng_;  // shard-set open (roll-forward); shards get their own
   std::optional<ShardRouter> router_;
+  /// Streaming fan-out hub (DESIGN.md Sect. 16): workers publish
+  /// committed broadcasts through the handler's publish hook, the
+  /// reactor fans them out to `subscribe`d connections. Created before
+  /// handler_ (the hooks capture it) and destroyed after the reactor.
+  std::unique_ptr<FeedHub> feed_;
   std::optional<RequestHandler> handler_;
   /// Engaged on a (possibly just-promoted) primary with peers. Guarded by
   /// repl_mu_: the watchdog thread engages it on promotion while a demote

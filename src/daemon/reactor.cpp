@@ -11,6 +11,7 @@
 #include <optional>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include <dirent.h>
@@ -18,8 +19,10 @@
 #include <sys/epoll.h>
 #include <sys/resource.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include "daemon/feed.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -34,7 +37,11 @@ constexpr std::uint64_t kWakeId = 1;
 constexpr std::uint64_t kListenId = 2;
 constexpr std::uint64_t kMetricsListenId = 3;
 constexpr std::uint64_t kCompletionId = 4;
+constexpr std::uint64_t kFeedId = 5;
 constexpr std::uint64_t kFirstConnId = 16;
+
+/// Segments gathered per writev batch.
+constexpr std::size_t kWritevBatch = 64;
 
 void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -50,6 +57,16 @@ bool is_shed_verb(std::string_view body) {
   const std::string_view verb =
       sp == std::string_view::npos ? body : body.substr(0, sp);
   return verb == "add-user" || verb == "revoke" || verb == "new-period";
+}
+
+/// `subscribe` is the one verb the reactor answers itself: it mutates
+/// per-connection stream state the workers cannot see. Never shed — a
+/// busy daemon is exactly when receivers need the push stream.
+bool is_subscribe_verb(std::string_view body) {
+  const std::size_t sp = body.find(' ');
+  const std::string_view verb =
+      sp == std::string_view::npos ? body : body.substr(0, sp);
+  return verb == "subscribe";
 }
 
 /// One metrics scraper exchange (same contract as the old detached-thread
@@ -103,9 +120,15 @@ struct Reactor::Impl {
     std::size_t in_flight = 0;        // tagged requests at the pool
     bool untagged_running = false;
 
-    // Write side, both kinds of conn.
-    std::string wq;  // unflushed response bytes
-    std::size_t wq_off = 0;
+    // Write side, both kinds of conn: a rope of refcounted segments
+    // drained with writev. Broadcast fan-out aliases ONE FeedFrame
+    // buffer into every subscriber's rope — no per-subscriber copy.
+    struct Seg {
+      std::shared_ptr<const std::string> data;
+      std::size_t off = 0;  // bytes of *data already sent
+    };
+    std::deque<Seg> wq;
+    std::size_t wq_bytes = 0;  // unflushed bytes across all segments
 
     std::uint32_t interest = 0;  // events currently registered
     bool read_paused = false;
@@ -113,6 +136,7 @@ struct Reactor::Impl {
     bool close_after_flush = false;
     bool line_overflow = false;     // framer poisoned: err + close
     bool overflow_err_queued = false;
+    bool subscriber = false;  // upgraded to a push stream by `subscribe`
 
     Clock::time_point last_activity;
     /// Hard close time: always set on scrapers, set on a client conn
@@ -120,7 +144,7 @@ struct Reactor::Impl {
     Clock::time_point deadline{};
     std::string http_req;  // scrapers only
 
-    std::size_t wq_size() const { return wq.size() - wq_off; }
+    std::size_t wq_size() const { return wq_bytes; }
   };
 
   struct Job {
@@ -147,6 +171,7 @@ struct Reactor::Impl {
   std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns;
   std::uint64_t next_id = kFirstConnId;
   std::size_t metrics_conns = 0;
+  std::unordered_set<std::uint64_t> subscribers;  // push-stream conn ids
 
   bool draining = false;
   bool accept_paused = false;  // listen fd out of the epoll set
@@ -173,6 +198,9 @@ struct Reactor::Impl {
   std::atomic<std::uint64_t> overflow_closed{0};
   std::atomic<std::uint64_t> metrics_rejects{0};
   std::atomic<std::size_t> open_conns{0};
+  std::atomic<std::uint64_t> feed_shed{0};
+  std::atomic<std::uint64_t> feed_replayed{0};
+  std::atomic<std::size_t> subscriber_count{0};
 
   // ---- epoll plumbing ----
 
@@ -219,47 +247,77 @@ struct Reactor::Impl {
     } else {
       open_conns.fetch_sub(1, std::memory_order_relaxed);
     }
+    if (c.subscriber) {
+      subscribers.erase(id);
+      subscriber_count.store(subscribers.size(), std::memory_order_relaxed);
+    }
     ::close(c.fd);  // the kernel drops it from the epoll set
     conns.erase(it);
   }
 
-  /// Appends one response and flushes what the socket accepts now.
-  /// Returns false when the connection was closed (write-queue overflow
-  /// or a dead peer) — the caller's Conn reference is gone.
+  /// Appends one response (an owned segment) and flushes what the
+  /// socket accepts now. Returns false when the connection was closed
+  /// (write-queue overflow or a dead peer) — the caller's Conn
+  /// reference is gone.
   bool queue_bytes(Conn& c, std::string bytes) {
-    if (c.wq_off > 0 && c.wq_off == c.wq.size()) {
-      c.wq.clear();
-      c.wq_off = 0;
-    }
-    c.wq += std::move(bytes);
+    if (bytes.empty()) return flush_wq(c);
+    return queue_seg(c, std::make_shared<const std::string>(std::move(bytes)));
+  }
+
+  /// Appends one refcounted segment — broadcast fan-out pushes the SAME
+  /// frame buffer into every subscriber's rope through here.
+  bool queue_seg(Conn& c, std::shared_ptr<const std::string> seg) {
+    c.wq_bytes += seg->size();
+    c.wq.push_back(Conn::Seg{std::move(seg), 0});
     return flush_wq(c);
   }
 
   bool flush_wq(Conn& c) {
-    while (c.wq_off < c.wq.size()) {
-      const ssize_t n = ::send(c.fd, c.wq.data() + c.wq_off,
-                               c.wq.size() - c.wq_off, MSG_NOSIGNAL);
+    while (!c.wq.empty()) {
+      iovec iov[kWritevBatch];
+      std::size_t iovcnt = 0;
+      for (const Conn::Seg& s : c.wq) {
+        if (iovcnt == kWritevBatch) break;
+        iov[iovcnt].iov_base =
+            const_cast<char*>(s.data->data() + s.off);
+        iov[iovcnt].iov_len = s.data->size() - s.off;
+        ++iovcnt;
+      }
+      msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = iovcnt;
+      const ssize_t n = ::sendmsg(c.fd, &msg, MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EINTR) continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK) break;
         close_conn(c.id);
         return false;
       }
-      c.wq_off += static_cast<std::size_t>(n);
+      c.wq_bytes -= static_cast<std::size_t>(n);
+      std::size_t left = static_cast<std::size_t>(n);
+      while (left > 0) {
+        Conn::Seg& s = c.wq.front();
+        const std::size_t avail = s.data->size() - s.off;
+        if (left < avail) {
+          s.off += left;
+          break;
+        }
+        left -= avail;
+        c.wq.pop_front();  // releases this conn's frame reference
+      }
     }
-    if (c.wq_off == c.wq.size()) {
-      c.wq.clear();
-      c.wq_off = 0;
-    } else if (c.wq_off > (std::size_t{256} << 10)) {
-      c.wq.erase(0, c.wq_off);
-      c.wq_off = 0;
-    }
-    if (c.wq_size() > opts.write_queue_limit) {
+    if (c.wq_bytes > opts.write_queue_limit) {
       // The peer stopped reading its responses long ago; holding its
       // backlog in memory indefinitely is the unbounded-thread bug in a
-      // new costume. Drop the connection.
+      // new costume. Drop the connection. For a push stream this IS the
+      // slow-subscriber shed: its queued frame references are released
+      // and nobody else's stream is touched.
       overflow_closed.fetch_add(1, std::memory_order_relaxed);
       DFKY_OBS(obs::counter("dfkyd_write_overflow_closed_total").inc(););
+      if (c.subscriber) {
+        feed_shed.fetch_add(1, std::memory_order_relaxed);
+        DFKY_OBS(obs::counter("dfkyd_feed_shed_total").inc(););
+      }
       close_conn(c.id);
       return false;
     }
@@ -292,6 +350,18 @@ struct Reactor::Impl {
       const TaggedLine tagged = split_request_tag(c.pending.front());
       const bool is_tagged = tagged.id.has_value() && !tagged.bad_tag;
       if (c.untagged_running) break;
+      if (opts.feed != nullptr && is_subscribe_verb(tagged.body)) {
+        // Stream registration mutates reactor-owned state, so the
+        // reactor answers it inline (no worker round trip). An untagged
+        // subscribe still honors the barrier; a tagged one is
+        // instantaneous and may answer out of order like any tagged
+        // request.
+        if (!is_tagged && c.in_flight > 0) break;
+        const std::string line = std::move(c.pending.front());
+        c.pending.pop_front();
+        if (!handle_subscribe(c, split_request_tag(line))) return false;
+        continue;
+      }
       if (is_tagged) {
         if (c.in_flight >= opts.max_inflight_per_conn) break;
         if (should_shed(tagged.body)) {
@@ -325,6 +395,99 @@ struct Reactor::Impl {
                     c.pending.size() >= opts.max_pending_per_conn ||
                     c.wq_size() >= opts.write_queue_limit / 2;
     return true;
+  }
+
+  // ---- streaming fan-out (DESIGN.md Sect. 16) ----
+
+  /// `subscribe [from-period]`, answered on the reactor thread: replay
+  /// the missed epochs out of the hub's history, then upgrade the
+  /// connection to a push stream. Returns false when the connection
+  /// closed (flush failure or replay overflowing the write queue).
+  bool handle_subscribe(Conn& c, const TaggedLine& t) {
+    const std::vector<std::string> tokens = split_tokens(t.body);
+    std::optional<std::uint64_t> from;
+    bool bad = tokens.size() > 2;
+    if (tokens.size() == 2) {
+      from = parse_u64(tokens[1]);
+      bad = !from.has_value();
+    }
+    if (bad) {
+      DFKY_OBS(obs::counter("dfkyd_requests_total",
+                            {{"verb", "subscribe"}, {"outcome", "err"}})
+                   .inc(););
+      return queue_bytes(
+          c, tag_response(t.id, err_response("usage: subscribe [from-period]")) +
+                 "\n");
+    }
+    const FeedReplay rep = opts.feed->replay(from);
+    if (!rep.ok) {
+      // `from` predates every archive: the client needs the signed
+      // catch-up protocol (RecoveryClient), not a feed replay. The
+      // connection is NOT upgraded.
+      DFKY_OBS(obs::counter("dfkyd_requests_total",
+                            {{"verb", "subscribe"}, {"outcome", "err"}})
+                   .inc(););
+      return queue_bytes(
+          c, tag_response(
+                 t.id, err_response("replay-unavailable oldest=" +
+                                    std::to_string(rep.oldest) + " period=" +
+                                    std::to_string(rep.current))) +
+                 "\n");
+    }
+    if (!c.subscriber) {
+      c.subscriber = true;
+      subscribers.insert(c.id);
+      subscriber_count.store(subscribers.size(), std::memory_order_relaxed);
+    }
+    DFKY_OBS(obs::counter("dfkyd_requests_total",
+                          {{"verb", "subscribe"}, {"outcome", "ok"}})
+                 .inc(););
+    const std::string head =
+        tag_response(t.id,
+                     ok_response({{"period", std::to_string(rep.current)},
+                                  {"replayed",
+                                   std::to_string(rep.lines.size())}})) +
+        "\n";
+    if (!queue_bytes(c, head)) return false;
+    const std::size_t replayed = rep.lines.size();
+    for (std::string line : rep.lines) {
+      line += '\n';
+      if (!queue_bytes(c, std::move(line))) return false;
+    }
+    feed_replayed.fetch_add(replayed, std::memory_order_relaxed);
+    DFKY_OBS(if (replayed > 0) {
+      obs::counter("dfkyd_feed_replayed_total").inc(replayed);
+    });
+    return true;
+  }
+
+  /// Frames pending at the hub: encode-once fan-out. Every subscriber's
+  /// rope gets an aliased reference to the SAME frame buffer; the frame
+  /// dies (and stamps the broadcast-to-all-current histogram) when the
+  /// last queue drains or sheds it.
+  void on_feed_ready() {
+    if (opts.feed == nullptr) return;
+    char drainbuf[256];
+    while (::read(opts.feed->notify_fd(), drainbuf, sizeof drainbuf) > 0) {
+    }
+    const std::vector<FeedFramePtr> frames = opts.feed->take_pending();
+    if (frames.empty()) return;
+    // Snapshot: a shed inside queue_seg mutates the live set.
+    const std::vector<std::uint64_t> ids(subscribers.begin(),
+                                         subscribers.end());
+    for (const std::uint64_t id : ids) {
+      Conn* c = find(id);
+      if (c == nullptr || !c->subscriber) continue;
+      bool alive = true;
+      for (const FeedFramePtr& f : frames) {
+        std::shared_ptr<const std::string> seg(f, &f->line);
+        if (!queue_seg(*c, std::move(seg))) {
+          alive = false;
+          break;
+        }
+      }
+      if (alive) update_interest(*c);  // arm EPOLLOUT for the tail
+    }
   }
 
   /// Finishing moves once a connection has nothing left to do: the
@@ -568,6 +731,9 @@ struct Reactor::Impl {
         continue;
       }
       if (c->metrics || opts.idle_timeout_ms <= 0) continue;
+      // A push stream is legitimately quiet between broadcasts — it is
+      // never idle-reaped (a dead peer still fails its next fan-out).
+      if (c->subscriber) continue;
       if (c->in_flight > 0 || c->untagged_running || !c->pending.empty() ||
           c->wq_size() > 0) {
         continue;
@@ -588,6 +754,8 @@ struct Reactor::Impl {
             open_conns.load(std::memory_order_relaxed)));
         obs::gauge("dfkyd_metrics_conns")
             .set(static_cast<std::int64_t>(metrics_conns));
+        obs::gauge("dfkyd_feed_subscribers")
+            .set(static_cast<std::int64_t>(subscribers.size()));
         if (now - last_fd_gauge >= std::chrono::seconds(1)) {
           last_fd_gauge = now;
           obs::gauge("dfkyd_fds_open")
@@ -623,6 +791,10 @@ struct Reactor::Impl {
     std::optional<Clock::time_point> flush_deadline;
     epoll_event events[64];
     for (;;) {
+      // A worker finishing new-period mid-drain may still publish; fan
+      // those frames out BEFORE deciding whether anything is unflushed,
+      // so in-flight broadcasts reach every subscriber's last flush.
+      on_feed_ready();
       bool executing = false;
       bool unflushed = false;
       for (const auto& [id, c] : conns) {
@@ -644,6 +816,8 @@ struct Reactor::Impl {
         const std::uint64_t id = events[i].data.u64;
         if (id == kCompletionId) {
           on_completions();
+        } else if (id == kFeedId) {
+          on_feed_ready();
         } else if (Conn* c = find(id)) {
           if (events[i].events & (EPOLLERR | EPOLLHUP)) {
             close_conn(id);
@@ -709,6 +883,9 @@ struct Reactor::Impl {
     ep_add(opts.listen_fd, kListenId, EPOLLIN);
     if (opts.metrics_fd >= 0) ep_add(opts.metrics_fd, kMetricsListenId, EPOLLIN);
     ep_add(comp_pipe[0], kCompletionId, EPOLLIN);
+    if (opts.feed != nullptr && opts.feed->notify_fd() >= 0) {
+      ep_add(opts.feed->notify_fd(), kFeedId, EPOLLIN);
+    }
 
     const std::size_t nworkers = opts.workers > 0 ? opts.workers : 1;
     workers.reserve(nworkers);
@@ -740,6 +917,9 @@ struct Reactor::Impl {
             break;
           case kCompletionId:
             on_completions();
+            break;
+          case kFeedId:
+            on_feed_ready();
             break;
           default:
             if (Conn* c = find(id)) {
@@ -801,6 +981,9 @@ Reactor::Stats Reactor::stats() const {
   s.overflow_closed = impl_->overflow_closed.load(std::memory_order_relaxed);
   s.metrics_rejects = impl_->metrics_rejects.load(std::memory_order_relaxed);
   s.open_conns = impl_->open_conns.load(std::memory_order_relaxed);
+  s.feed_shed = impl_->feed_shed.load(std::memory_order_relaxed);
+  s.feed_replayed = impl_->feed_replayed.load(std::memory_order_relaxed);
+  s.subscribers = impl_->subscriber_count.load(std::memory_order_relaxed);
   return s;
 }
 

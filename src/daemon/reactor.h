@@ -44,6 +44,8 @@
 
 namespace dfky::daemon {
 
+class FeedHub;
+
 struct ReactorOptions {
   int listen_fd = -1;   // bound+listening unix socket (required)
   int metrics_fd = -1;  // bound+listening loopback TCP socket (-1: none)
@@ -69,6 +71,13 @@ struct ReactorOptions {
   std::size_t busy_queue_limit = 0;
   /// Accept pause after an EMFILE/ENFILE accept failure, ms.
   int accept_backoff_ms = 100;
+  /// Streaming fan-out hub (DESIGN.md Sect. 16). When set, `subscribe
+  /// [from-period]` upgrades a connection to a push stream: published
+  /// frames are fanned out through the bounded write queues (one
+  /// refcounted copy, writev from the frame rope), slow subscribers are
+  /// shed by the ordinary overflow close, and missed epochs are replayed
+  /// via the hub's replay source. Not owned; must outlive run().
+  FeedHub* feed = nullptr;
 };
 
 class Reactor {
@@ -90,6 +99,9 @@ class Reactor {
     std::uint64_t overflow_closed = 0;  // write-queue overflow closes
     std::uint64_t metrics_rejects = 0;  // scrapers over the conn cap
     std::size_t open_conns = 0;         // current client conns
+    std::uint64_t feed_shed = 0;      // subscribers closed as too slow
+    std::uint64_t feed_replayed = 0;  // replayed epoch frames (subscribe)
+    std::size_t subscribers = 0;      // current push-stream conns
   };
 
   /// `queue_depth` (may be empty) returns the admission-control signal —

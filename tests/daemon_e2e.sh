@@ -26,6 +26,7 @@ FPID=""
 APID=""
 BPID=""
 CPID=""
+UPID=""
 cleanup() {
   [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null
   [ -n "$SPID" ] && kill -9 "$SPID" 2>/dev/null
@@ -34,6 +35,7 @@ cleanup() {
   [ -n "$APID" ] && kill -9 "$APID" 2>/dev/null
   [ -n "$BPID" ] && kill -9 "$BPID" 2>/dev/null
   [ -n "$CPID" ] && kill -9 "$CPID" 2>/dev/null
+  [ -n "$UPID" ] && kill -9 "$UPID" 2>/dev/null
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -218,6 +220,46 @@ if [ -n "$TOP" ] && [ "$OBS_ON" = 1 ]; then
   grep -q 'add-user' top.txt || fail "dfky_top table misses add-user"
 fi
 
+# ---- streaming feed: live subscribe, replay catch-up, the storm client --------
+# A held connection upgraded with `subscribe` gets every committed
+# new-period pushed as one `bcast` line; --count 2 exits after two frames.
+"$CLI" client "$SOCK" subscribe --count 2 > sublog.txt &
+UPID=$!
+for _ in $(seq 1 200); do
+  grep -q 'subscribed period=' sublog.txt 2>/dev/null && break
+  kill -0 "$UPID" 2>/dev/null || fail "subscriber died before the ack: $(cat sublog.txt)"
+  sleep 0.05
+done
+grep -q 'subscribed period=' sublog.txt || fail "subscribe never acknowledged"
+"$CLI" client "$SOCK" new-period >/dev/null
+"$CLI" client "$SOCK" new-period >/dev/null
+rc=0; wait "$UPID" || rc=$?
+UPID=""
+[ "$rc" = 0 ] || fail "subscriber exited $rc: $(cat sublog.txt)"
+[ "$(grep -c '^bcast new-period ' sublog.txt)" = 2 ] \
+  || fail "subscriber saw the wrong frames: $(cat sublog.txt)"
+
+# Catch-up storm: 200 receivers park on the CURRENT period, two more
+# epochs commit, then all 200 subscribe from the stale period at once and
+# must replay the gap before going live. recovered= must equal the herd.
+"$CLI" client "$SOCK" storm --receivers 200 --periods 2 --workers 4 \
+  > storm.txt || fail "storm client failed: $(cat storm.txt)"
+grep -q 'recovered=200' storm.txt \
+  || fail "storm left receivers behind: $(cat storm.txt)"
+grep -q ' failed=0' storm.txt || fail "storm receivers failed: $(cat storm.txt)"
+
+if [ "$OBS_ON" = 1 ]; then
+  exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+  printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+  cat <&3 > metrics_feed.txt
+  exec 3<&- 3>&-
+  grep -Eq 'dfkyd_feed_frames_total [1-9]' metrics_feed.txt \
+    || fail "metrics: no feed frames counted after the broadcasts"
+  grep -Eq 'dfkyd_feed_replayed_total [1-9]' metrics_feed.txt \
+    || fail "metrics: no feed replays counted after the storm"
+fi
+FEED_PERIOD=$("$CLI" client "$SOCK" status | sed -n 's/^period: //p')
+
 # ---- SIGTERM: drain, final snapshot, release the lock, exit 0 -----------------
 kill -TERM "$PID"
 rc=0; wait "$PID" || rc=$?
@@ -263,7 +305,8 @@ PID=""
 if [ -n "$FSCK" ]; then
   "$FSCK" store.d >/dev/null || fail "fsck dirty after crash recovery cycle"
 fi
-"$CLI" status store.d | grep -q 'period: *1' || fail "state lost across restarts"
+"$CLI" status store.d | grep -q "period: *$FEED_PERIOD" \
+  || fail "state lost across restarts"
 
 # ---- slow-request capture: a stalled fsync lands in the slow log --------------
 # DFKYD_TEST_FSYNC_STALL_US delays every fsync inside the daemon; with the

@@ -24,6 +24,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "daemon/feed.h"
 #include "daemon/protocol.h"
 #include "daemon/reactor.h"
 
@@ -417,6 +418,193 @@ TEST(Reactor, ShutdownVerbAcksThenStops) {
   EXPECT_EQ(recv_line(fd, buf), std::nullopt);  // drained and closed
   h.join();  // run() returned because the handler said shutdown
   ::close(fd);
+}
+
+// ---- streaming fan-out (DESIGN.md Sect. 16) ----
+
+TEST(Reactor, FeedSubscribePushesFramesToEverySubscriberOnly) {
+  FeedHub hub;
+  ReactorOptions opts;
+  opts.feed = &hub;
+  Harness h(opts, echo_handler);
+
+  const int sub1 = connect_unix(h.sock);
+  const int sub2 = connect_unix(h.sock);
+  const int plain = connect_unix(h.sock);
+  ASSERT_GE(sub1, 0);
+  ASSERT_GE(sub2, 0);
+  ASSERT_GE(plain, 0);
+  std::string b1, b2, bp;
+  ASSERT_TRUE(send_all(sub1, "subscribe\n"));
+  EXPECT_EQ(recv_line(sub1, b1), "ok period=0 replayed=0");
+  ASSERT_TRUE(send_all(sub2, "@9 subscribe\n"));
+  EXPECT_EQ(recv_line(sub2, b2), "@9 ok period=0 replayed=0");
+  ASSERT_TRUE(send_all(plain, "ping\n"));
+  EXPECT_EQ(recv_line(plain, bp), "ok body=ping");
+  EXPECT_TRUE(eventually([&] { return h.reactor->stats().subscribers == 2; }));
+
+  hub.publish("bcast new-period period=1 bundles=aa", 1);
+  hub.publish("bcast new-period period=2 bundles=bb", 2);
+  EXPECT_EQ(recv_line(sub1, b1), "bcast new-period period=1 bundles=aa");
+  EXPECT_EQ(recv_line(sub1, b1), "bcast new-period period=2 bundles=bb");
+  EXPECT_EQ(recv_line(sub2, b2), "bcast new-period period=1 bundles=aa");
+  EXPECT_EQ(recv_line(sub2, b2), "bcast new-period period=2 bundles=bb");
+  // Non-subscribers never see the push stream.
+  EXPECT_TRUE(quiet_for(plain, 200));
+
+  // A subscriber's connection still answers ordinary requests.
+  ASSERT_TRUE(send_all(sub1, "@3 status\n"));
+  EXPECT_EQ(recv_line(sub1, b1), "@3 ok body=status");
+
+  ::close(sub1);
+  ::close(sub2);
+  EXPECT_TRUE(eventually([&] { return h.reactor->stats().subscribers == 0; }));
+  ::close(plain);
+}
+
+TEST(Reactor, FeedSlowSubscriberShedLosesNobodyElsesFrames) {
+  FeedHub hub;
+  ReactorOptions opts;
+  opts.feed = &hub;
+  opts.write_queue_limit = std::size_t{64} << 10;
+  Harness h(opts, echo_handler);
+
+  const int good = connect_unix(h.sock);
+  const int slow = connect_unix(h.sock);
+  ASSERT_GE(good, 0);
+  ASSERT_GE(slow, 0);
+  std::string bg, bs;
+  ASSERT_TRUE(send_all(good, "subscribe\n"));
+  EXPECT_EQ(recv_line(good, bg), "ok period=0 replayed=0");
+  ASSERT_TRUE(send_all(slow, "subscribe\n"));
+  EXPECT_EQ(recv_line(slow, bs), "ok period=0 replayed=0");
+  EXPECT_TRUE(eventually([&] { return h.reactor->stats().subscribers == 2; }));
+
+  // 64 x 32KiB frames against a subscriber that never reads: its socket
+  // buffer fills, then its write queue, then it is shed — while the
+  // reading subscriber receives every frame, in order.
+  const std::string pad(std::size_t{32} << 10, 'x');
+  const int kFrames = 64;
+  for (int i = 0; i < kFrames; ++i) {
+    hub.publish("bcast n=" + std::to_string(i) + " pad=" + pad,
+                static_cast<std::uint64_t>(i));
+    const auto line = recv_line(good, bg);
+    ASSERT_TRUE(line.has_value()) << "good subscriber died at frame " << i;
+    EXPECT_TRUE(line->starts_with("bcast n=" + std::to_string(i) + " "))
+        << "frame " << i << " got: " << line->substr(0, 40);
+  }
+  EXPECT_TRUE(eventually([&] { return h.reactor->stats().feed_shed >= 1; }));
+  EXPECT_TRUE(eventually([&] { return h.reactor->stats().subscribers == 1; }));
+  ::close(good);
+  ::close(slow);
+}
+
+TEST(Reactor, FeedResumeReplaysExactlyTheMissedEpochs) {
+  FeedHub hub;
+  hub.set_replay([](std::optional<std::uint64_t> from) {
+    FeedReplay rep;
+    rep.current = 5;
+    rep.oldest = 2;
+    if (!from) {
+      rep.ok = true;
+      return rep;
+    }
+    if (*from + 1 < rep.oldest) return rep;  // evicted
+    rep.ok = true;
+    for (std::uint64_t p = *from + 1; p <= rep.current; ++p) {
+      rep.lines.push_back("bcast new-period period=" + std::to_string(p) +
+                          " bundles=ff");
+    }
+    return rep;
+  });
+  ReactorOptions opts;
+  opts.feed = &hub;
+  Harness h(opts, echo_handler);
+
+  // Resume from period 2: epochs 3, 4, 5 — exactly the missed ones.
+  const int fd = connect_unix(h.sock);
+  ASSERT_GE(fd, 0);
+  std::string buf;
+  ASSERT_TRUE(send_all(fd, "subscribe 2\n"));
+  EXPECT_EQ(recv_line(fd, buf), "ok period=5 replayed=3");
+  EXPECT_EQ(recv_line(fd, buf), "bcast new-period period=3 bundles=ff");
+  EXPECT_EQ(recv_line(fd, buf), "bcast new-period period=4 bundles=ff");
+  EXPECT_EQ(recv_line(fd, buf), "bcast new-period period=5 bundles=ff");
+  EXPECT_TRUE(quiet_for(fd, 200));  // and nothing more
+  EXPECT_EQ(h.reactor->stats().feed_replayed, 3u);
+
+  // Already current: subscribed, nothing replayed.
+  ASSERT_TRUE(send_all(fd, "@1 subscribe 5\n"));
+  EXPECT_EQ(recv_line(fd, buf), "@1 ok period=5 replayed=0");
+
+  // Evicted from the archive: NOT subscribed, told where the feed can
+  // bridge from so the client falls back to the signed catch-up path.
+  const int old = connect_unix(h.sock);
+  ASSERT_GE(old, 0);
+  std::string bo;
+  ASSERT_TRUE(send_all(old, "subscribe 0\n"));
+  EXPECT_EQ(recv_line(old, bo), "err replay-unavailable oldest=2 period=5");
+  hub.publish("bcast new-period period=6 bundles=ee", 6);
+  EXPECT_EQ(recv_line(fd, buf), "bcast new-period period=6 bundles=ee");
+  EXPECT_TRUE(quiet_for(old, 200));  // the rejected conn is not a stream
+
+  // Malformed resume point.
+  ASSERT_TRUE(send_all(old, "subscribe zero\n"));
+  EXPECT_EQ(recv_line(old, bo), "err usage: subscribe [from-period]");
+  ::close(fd);
+  ::close(old);
+}
+
+TEST(Reactor, FeedDrainFlushesInFlightBroadcastFrames) {
+  FeedHub hub;
+  ReactorOptions opts;
+  opts.feed = &hub;
+  Harness h(opts, echo_handler);
+  const int fd = connect_unix(h.sock);
+  ASSERT_GE(fd, 0);
+  std::string buf;
+  ASSERT_TRUE(send_all(fd, "subscribe\n"));
+  EXPECT_EQ(recv_line(fd, buf), "ok period=0 replayed=0");
+
+  // Frames published right before shutdown must still reach the stream:
+  // the drain fans out pending frames and flushes them before closing.
+  hub.publish("bcast new-period period=1 bundles=aa", 1);
+  hub.publish("bcast new-period period=2 bundles=bb", 2);
+  hub.publish("bcast new-period period=3 bundles=cc", 3);
+  h.stop();
+  EXPECT_EQ(recv_line(fd, buf), "bcast new-period period=1 bundles=aa");
+  EXPECT_EQ(recv_line(fd, buf), "bcast new-period period=2 bundles=bb");
+  EXPECT_EQ(recv_line(fd, buf), "bcast new-period period=3 bundles=cc");
+  EXPECT_EQ(recv_line(fd, buf), std::nullopt);  // then clean EOF
+  ::close(fd);
+}
+
+TEST(Reactor, FeedSubscriberOutlivesIdleReaping) {
+  FeedHub hub;
+  ReactorOptions opts;
+  opts.feed = &hub;
+  opts.idle_timeout_ms = 100;
+  Harness h(opts, echo_handler);
+  const int sub = connect_unix(h.sock);
+  const int plain = connect_unix(h.sock);
+  ASSERT_GE(sub, 0);
+  ASSERT_GE(plain, 0);
+  std::string bs, bp;
+  ASSERT_TRUE(send_all(sub, "subscribe\n"));
+  EXPECT_EQ(recv_line(sub, bs), "ok period=0 replayed=0");
+  ASSERT_TRUE(send_all(plain, "ping\n"));
+  EXPECT_EQ(recv_line(plain, bp), "ok body=ping");
+
+  // The plain connection idles out; the subscriber is quiet for the same
+  // stretch but push streams are never idle-reaped.
+  EXPECT_EQ(recv_line(plain, bp), std::nullopt);
+  EXPECT_TRUE(eventually([&] { return h.reactor->stats().idle_reaped >= 1; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_EQ(h.reactor->stats().subscribers, 1u);
+  hub.publish("bcast new-period period=9 bundles=dd", 9);
+  EXPECT_EQ(recv_line(sub, bs), "bcast new-period period=9 bundles=dd");
+  ::close(sub);
+  ::close(plain);
 }
 
 TEST(Reactor, DrainAnswersInFlightRequests) {

@@ -5,9 +5,12 @@
 //
 //   bench_compare <baseline-dir> <current-dir> [--threshold R]
 //
-// Records are matched by (bench, op, n, v). Timing-free records
-// (median_ns = 0 on either side) and benches present on only one side are
-// reported but never fail the gate — new benches must not need a synthetic
+// Records are matched by (bench, op, n, v). Timing-free records fall back
+// to comparing their `bytes` payload against the same threshold — the
+// transmission benches measure wire size, not latency, and a ciphertext
+// that grew past the factor is as much a regression as a slow one. Records
+// with neither signal and benches present on only one side are reported
+// but never fail the gate — new benches must not need a synthetic
 // baseline. Exit status: 0 no regression, 1 regression, 2 usage/IO error.
 #include <cstdio>
 #include <cstdlib>
@@ -36,7 +39,12 @@ struct Key {
   }
 };
 
-using Table = std::map<Key, std::uint64_t>;  // -> median_ns
+struct Row {
+  std::uint64_t median_ns = 0;
+  std::uint64_t bytes = 0;
+};
+
+using Table = std::map<Key, Row>;
 
 void usage(std::FILE* to) {
   std::fputs(
@@ -76,7 +84,7 @@ Table load_dir(FileIo& io, const std::string& dir) {
       if (op == nullptr) throw DecodeError(name + ": record missing op");
       const Key k{bench_name->as_string(), op->as_string(),
                   field_u64(rec, "n"), field_u64(rec, "v")};
-      out[k] = field_u64(rec, "median_ns");
+      out[k] = Row{field_u64(rec, "median_ns"), field_u64(rec, "bytes")};
     }
   }
   return out;
@@ -133,39 +141,47 @@ int main(int argc, char** argv) {
 
   std::size_t compared = 0, skipped = 0, regressions = 0;
   std::printf("%-14s %-24s %8s %4s %12s %12s %8s\n", "bench", "op", "n", "v",
-              "base-ns", "cur-ns", "ratio");
-  for (const auto& [key, cur_ns] : cur) {
+              "base", "cur", "ratio");
+  for (const auto& [key, cur_row] : cur) {
     const auto it = base.find(key);
     if (it == base.end()) {
       ++skipped;
       continue;  // new record: nothing to regress against
     }
-    const std::uint64_t base_ns = it->second;
-    if (base_ns == 0 || cur_ns == 0) {
-      ++skipped;  // transmission-only records carry no timing
+    const Row& base_row = it->second;
+    // Timing first; timing-free records gate on wire size instead.
+    std::uint64_t base_val = base_row.median_ns, cur_val = cur_row.median_ns;
+    const char* unit = "ns";
+    if (base_val == 0 || cur_val == 0) {
+      base_val = base_row.bytes;
+      cur_val = cur_row.bytes;
+      unit = "B";
+    }
+    if (base_val == 0 || cur_val == 0) {
+      ++skipped;  // no timing, no payload: nothing to compare
       continue;
     }
     const double ratio =
-        static_cast<double>(cur_ns) / static_cast<double>(base_ns);
+        static_cast<double>(cur_val) / static_cast<double>(base_val);
     const bool bad = ratio > threshold;
     if (bad) ++regressions;
     ++compared;
-    std::printf("%-14s %-24s %8llu %4llu %12llu %12llu %7.2fx%s\n",
+    std::printf("%-14s %-24s %8llu %4llu %10llu%-2s %10llu%-2s %7.2fx%s\n",
                 key.bench.c_str(), key.op.c_str(),
                 static_cast<unsigned long long>(key.n),
                 static_cast<unsigned long long>(key.v),
-                static_cast<unsigned long long>(base_ns),
-                static_cast<unsigned long long>(cur_ns), ratio,
+                static_cast<unsigned long long>(base_val), unit,
+                static_cast<unsigned long long>(cur_val), unit, ratio,
                 bad ? "  REGRESSION" : "");
   }
-  for (const auto& [key, ns] : base) {
+  for (const auto& [key, row] : base) {
     if (cur.find(key) == cur.end()) {
       std::printf("# note: baseline record %s/%s (n=%llu, v=%llu) missing "
                   "from current run\n",
                   key.bench.c_str(), key.op.c_str(),
                   static_cast<unsigned long long>(key.n),
                   static_cast<unsigned long long>(key.v));
-      (void)ns;
+      (void)row;
     }
   }
   std::printf("bench_compare: %zu compared, %zu skipped, %zu regression(s), "

@@ -923,12 +923,203 @@ int cmd_client_soak(const std::string& sock, std::vector<std::string> args) {
   return errors.load() == 0 ? 0 : 1;
 }
 
+/// Reads one LF line from a held stream connection; empty optional on
+/// EOF or error. Unlike daemon_request, the connection stays open — the
+/// feed modes live on one socket for their whole run.
+std::optional<std::string> stream_line(int fd, std::string& buf) {
+  for (;;) {
+    const std::size_t pos = buf.find('\n');
+    if (pos != std::string::npos) {
+      std::string line = buf.substr(0, pos);
+      buf.erase(0, pos + 1);
+      return line;
+    }
+    char chunk[1 << 16];
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return std::nullopt;
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+/// `client <socket> subscribe [--from-period P] [--count N]` — upgrades
+/// the connection to a push stream (DESIGN.md Sect. 16) and prints every
+/// broadcast frame as it lands. With --from-period the daemon replays the
+/// missed epochs out of its reset archives first; with --count the
+/// client exits 0 after N frames (0: stream until the daemon goes away).
+int cmd_client_subscribe(const std::string& sock,
+                         std::vector<std::string> args) {
+  const std::optional<std::string> from = flag_value(args, "--from-period");
+  const auto count = parse_count("client subscribe", "--count",
+                                 flag_value(args, "--count").value_or("0"));
+  reject_unknown_flags(args, "client subscribe");
+  if (!args.empty()) {
+    die_usage(
+        "client: usage: client <socket> subscribe [--from-period P] "
+        "[--count N]");
+  }
+  std::string req = "subscribe";
+  if (from) {
+    req += " " + std::to_string(
+                     parse_count("client subscribe", "--from-period", *from));
+  }
+  const int fd = connect_daemon(sock);
+  if (!send_str(fd, req + "\n")) die("client: send: subscribe");
+  std::string buf;
+  const std::optional<std::string> first = stream_line(fd, buf);
+  if (!first) die("client: daemon closed the connection before responding");
+  const std::optional<daemon::Response> r = daemon::parse_response(*first);
+  if (!r) die("client: malformed daemon response: " + *first);
+  if (!r->ok) {
+    ::close(fd);
+    die("client: daemon error: " + r->error);
+  }
+  std::printf("subscribed period=%s replayed=%s\n",
+              response_field(*r, "period").c_str(),
+              response_field(*r, "replayed").c_str());
+  std::fflush(stdout);
+  std::uint64_t frames = 0;
+  while (count == 0 || frames < count) {
+    const std::optional<std::string> line = stream_line(fd, buf);
+    if (!line) {
+      ::close(fd);
+      // A finite subscription cut short is a failure; an open-ended one
+      // ends whenever the daemon does.
+      if (count != 0) die("client: stream ended before --count frames");
+      return 0;
+    }
+    std::printf("%s\n", line->c_str());
+    std::fflush(stdout);
+    ++frames;
+  }
+  ::close(fd);
+  return 0;
+}
+
+/// `client <socket> storm [--receivers N] [--periods G] [--workers W]` —
+/// the catch-up-storm load driver (DESIGN.md Sect. 16). Parks N
+/// connections, advances the epoch G times behind their backs, then has
+/// every connection subscribe from the pre-gap period at once: the
+/// daemon must bridge each one over the missed epochs via replay and
+/// land it on the live stream. Exits 0 only when every receiver
+/// recovered (full replay, correct period).
+int cmd_client_storm(const std::string& sock, std::vector<std::string> args) {
+  const auto receivers = static_cast<std::size_t>(
+      parse_count("client storm", "--receivers",
+                  flag_value(args, "--receivers").value_or("1000")));
+  const auto periods = parse_count(
+      "client storm", "--periods", flag_value(args, "--periods").value_or("1"));
+  const auto workers = static_cast<std::size_t>(parse_count(
+      "client storm", "--workers", flag_value(args, "--workers").value_or("8")));
+  reject_unknown_flags(args, "client storm");
+  if (!args.empty() || receivers == 0 || periods == 0 || workers == 0) {
+    die_usage(
+        "client: usage: client <socket> storm [--receivers N] [--periods G] "
+        "[--workers W]");
+  }
+
+  // The herd's fd budget.
+  rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) == 0 && rl.rlim_cur < rl.rlim_max) {
+    rl.rlim_cur = rl.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &rl);
+  }
+
+  const daemon::Response status = expect_ok(daemon_request(sock, "status"));
+  const std::uint64_t before =
+      parse_count("client storm", "status period",
+                  response_field(status, "period"));
+
+  // Park the herd first: these connections exist while the epochs roll,
+  // exactly like receivers that were offline for the broadcasts.
+  std::vector<int> herd;
+  herd.reserve(receivers);
+  std::size_t refused = 0;
+  for (std::size_t i = 0; i < receivers; ++i) {
+    const int fd = connect_once(sock);
+    if (fd < 0) {
+      ++refused;
+      continue;
+    }
+    const timeval tv{.tv_sec = 30, .tv_usec = 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    herd.push_back(fd);
+  }
+
+  // The missed epochs, committed behind the parked herd's back.
+  for (std::uint64_t g = 0; g < periods; ++g) {
+    expect_ok(daemon_request(sock, "new-period"));
+  }
+  const std::uint64_t after =
+      parse_count("client storm", "status period",
+                  response_field(expect_ok(daemon_request(sock, "status")),
+                                 "period"));
+
+  // Release the herd: every connection subscribes from the pre-gap
+  // period at once and must be replayed up to `after`.
+  std::atomic<std::size_t> recovered{0};
+  std::atomic<std::size_t> failed{0};
+  std::atomic<std::uint64_t> frames_replayed{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      for (std::size_t i = w; i < herd.size(); i += workers) {
+        const int fd = herd[i];
+        if (!send_str(fd, "subscribe " + std::to_string(before) + "\n")) {
+          failed.fetch_add(1);
+          continue;
+        }
+        std::string buf;
+        const std::optional<std::string> first = stream_line(fd, buf);
+        const std::optional<daemon::Response> r =
+            first ? daemon::parse_response(*first) : std::nullopt;
+        if (!r || !r->ok) {
+          failed.fetch_add(1);
+          continue;
+        }
+        const auto replayed = daemon::parse_u64(r->fields.at("replayed"));
+        const auto at = daemon::parse_u64(r->fields.at("period"));
+        if (!replayed || !at || *at < after || *replayed < after - before) {
+          failed.fetch_add(1);
+          continue;
+        }
+        // Drain the replayed epochs off the wire: recovery means the
+        // frames actually arrived, not just that the daemon promised.
+        std::uint64_t got = 0;
+        while (got < *replayed) {
+          const std::optional<std::string> line = stream_line(fd, buf);
+          if (!line || line->rfind("bcast ", 0) != 0) break;
+          ++got;
+        }
+        frames_replayed.fetch_add(got);
+        if (got == *replayed) {
+          recovered.fetch_add(1);
+        } else {
+          failed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  for (const int fd : herd) ::close(fd);
+
+  std::printf(
+      "storm: receivers=%zu (%zu refused) periods=%llu->%llu recovered=%zu "
+      "failed=%zu frames_replayed=%llu\n",
+      receivers, refused, static_cast<unsigned long long>(before),
+      static_cast<unsigned long long>(after), recovered.load(), failed.load(),
+      static_cast<unsigned long long>(frames_replayed.load()));
+  return (recovered.load() == receivers && refused == 0) ? 0 : 1;
+}
+
 int cmd_client(std::vector<std::string> args) {
   if (args.size() < 2) {
     die_usage(
         "client: usage: client <socket> "
         "(ping|status|add|revoke|new-period|encrypt|pipeline|soak"
-        "|repl-status|health|trace|promote|demote|shutdown) ...");
+        "|subscribe|storm|repl-status|health|trace|promote|demote|shutdown) "
+        "...");
   }
   const std::string sock = args[0];
   const std::string sub = args[1];
@@ -939,6 +1130,12 @@ int cmd_client(std::vector<std::string> args) {
   }
   if (sub == "soak") {
     return cmd_client_soak(sock, std::move(args));
+  }
+  if (sub == "subscribe") {
+    return cmd_client_subscribe(sock, std::move(args));
+  }
+  if (sub == "storm") {
+    return cmd_client_storm(sock, std::move(args));
   }
   if (sub == "ping" || sub == "status" || sub == "repl-status") {
     reject_unknown_flags(args, "client " + sub);
@@ -1409,6 +1606,12 @@ void usage(std::FILE* to) {
       "        ok/degraded/fail; exit 1 unless ok) | trace [max]  (recent +\n"
       "        slow request traces as JSONL) | promote | demote  (role\n"
       "        flips; re-promote/re-demote exits 3 \"already\") | shutdown\n"
+      "      | subscribe [--from-period P] [--count N]  (upgrade to a push\n"
+      "        stream: missed epochs replayed, then live broadcast frames\n"
+      "        printed as they land; exit after N frames)\n"
+      "      | storm [--receivers N] [--periods G] [--workers W]  (catch-up\n"
+      "        storm driver: park N connections, roll G epochs, release\n"
+      "        them all at once; exit 0 only when every one recovered)\n"
       "      connects retry transient failures with capped exponential\n"
       "      backoff: --retry-ms B (initial delay, default 25, doubling to\n"
       "      500ms) --retry-max N (attempts, default 40; 0 or 1 disables)\n"

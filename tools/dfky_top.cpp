@@ -181,6 +181,9 @@ void render(const std::string& metrics, const std::string& trace_jsonl) {
   std::string role = "unknown";
   double term = -1;            // dfky_repl_term; -1 = not exported
   double watchdog_state = -1;  // dfky_watchdog_state; -1 = no watchdog
+  double subscribers = -1;     // dfkyd_feed_subscribers; -1 = no feed
+  double feed_frames = -1;     // dfkyd_feed_frames_total
+  double feed_shed = -1;       // dfkyd_feed_shed_total
   std::map<std::string, double> follower_live;
   std::map<std::string, double> follower_lag_frames;
   std::map<std::string, VerbHist> verbs;
@@ -192,6 +195,12 @@ void render(const std::string& metrics, const std::string& trace_jsonl) {
       term = s.value;
     } else if (s.name == "dfky_watchdog_state") {
       watchdog_state = s.value;
+    } else if (s.name == "dfkyd_feed_subscribers") {
+      subscribers = s.value;
+    } else if (s.name == "dfkyd_feed_frames_total") {
+      feed_frames = s.value;
+    } else if (s.name == "dfkyd_feed_shed_total") {
+      feed_shed = s.value;
     } else if (s.name == "dfkyd_repl_follower_live") {
       const auto it = s.labels.find("follower");
       if (it != s.labels.end()) follower_live[it->second] = s.value;
@@ -268,6 +277,13 @@ void render(const std::string& metrics, const std::string& trace_jsonl) {
     const int ws = static_cast<int>(watchdog_state);
     std::printf("  watchdog=%s",
                 ws >= 0 && ws < 4 ? kWatchdog[ws] : "?");
+  }
+  if (subscribers >= 0) {
+    // Streaming feed (DESIGN.md Sect. 16): live subscriber count, frames
+    // fanned out since start, slow subscribers shed.
+    std::printf("  subs=%.0f", subscribers);
+    if (feed_frames >= 0) std::printf("/%.0f frames", feed_frames);
+    if (feed_shed > 0) std::printf(" (%.0f shed)", feed_shed);
   }
   std::printf("  followers:");
   if (follower_live.empty()) std::printf(" none");

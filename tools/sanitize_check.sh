@@ -27,13 +27,13 @@ export DFKY_SIM_SEEDS="${DFKY_SIM_SEEDS:-20}"
 
 if [ "$mode" = "tsan" ]; then
   build_dir="${1:-$repo/build-tsan}"
-  filter="${2:-ObsConcurrency|ObsCounter|ObsEvents|TraceConcurrency|SimCluster|SimHealth|SimTrace|SimFailover|Reactor\.}"
+  filter="${2:-ObsConcurrency|ObsCounter|ObsEvents|TraceConcurrency|SimCluster|SimHealth|SimTrace|SimFailover|SimFeed|Reactor\.}"
   sanitize_flag=-DDFKY_SANITIZE_THREAD=ON
   targets=(obs_tests sim_tests failover_sim_tests reactor_tests)
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 else
   build_dir="${1:-$repo/build-asan}"
-  filter="${2:-FaultyBus|Recovery|FaultMatrixTest|Bus\.|Obs|MemFileIo|FaultyFileIo|StateStore|CrashMatrix|Fsck|PersistenceFuzz|ShardSet|ShardRouter|DaemonProto|Replication|SimCluster|SimHealth|SimTrace|SimFailover|TraceLifecycle|TraceSlow|TraceJson|TraceConcurrency|TraceOff|Term\.|Reactor\.}"
+  filter="${2:-FaultyBus|Recovery|FaultMatrixTest|Bus\.|Obs|MemFileIo|FaultyFileIo|StateStore|CrashMatrix|Fsck|PersistenceFuzz|ShardSet|ShardRouter|DaemonProto|Replication|SimCluster|SimHealth|SimTrace|SimFailover|SimFeed|TraceLifecycle|TraceSlow|TraceJson|TraceConcurrency|TraceOff|Term\.|Reactor\.}"
   sanitize_flag=-DDFKY_SANITIZE=ON
   targets=(fault_tests system_tests obs_tests store_tests core_tests
     daemon_proto_tests daemon_tests sim_tests failover_sim_tests
